@@ -1,0 +1,79 @@
+//! Ablation A3: compatibility-aware vs locality-only placement across
+//! job mixes.
+//!
+//! Runs several arrival orders of split-forcing job streams through both
+//! placement policies and reports each cluster's mean slowdown, then times
+//! the placement decision itself (the solver-in-the-loop cost a real
+//! scheduler would pay per arrival).
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcc::experiments::cluster::{run, ClusterConfig};
+use scheduler::{ClusterScheduler, SchedulerConfig};
+use simtime::{Bandwidth, Dur};
+use topology::builders::two_tier;
+use workload::{JobSpec, Model};
+
+fn stream(order: usize) -> Vec<JobSpec> {
+    let w3 = |spec: JobSpec| JobSpec { workers: 3, ..spec };
+    let mut jobs = vec![
+        w3(JobSpec::reference(Model::BertLarge, 8)),
+        w3(JobSpec::reference(Model::Vgg19, 1200)),
+        JobSpec::reference(Model::ResNet50, 1600),
+    ];
+    let n = jobs.len();
+    jobs.rotate_left(order % n);
+    jobs
+}
+
+fn reproduce() {
+    banner("Ablation A3 — placement policy vs mean slowdown, 3 arrival orders");
+    println!(
+        "{:<16} {:>18} {:>22}",
+        "arrival order", "locality slowdown", "compat-aware slowdown"
+    );
+    for order in 0..3 {
+        let cfg = ClusterConfig {
+            jobs: stream(order),
+            iterations: 12,
+            warmup: 4,
+            ..ClusterConfig::default()
+        };
+        let r = run(&cfg);
+        println!(
+            "{:<16} {:>17.2}× {:>21.2}×",
+            format!("rotation {order}"),
+            r.locality.mean_slowdown(),
+            r.compatibility.mean_slowdown()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    // Time the placement decision alone (profiling + closure + solve).
+    c.bench_function("ablation_placement/submit_3_jobs_compat_aware", |b| {
+        b.iter(|| {
+            let fabric = two_tier(
+                4,
+                2,
+                2,
+                Bandwidth::from_gbps(50),
+                Bandwidth::from_gbps(50),
+                Dur::ZERO,
+            );
+            let mut s = ClusterScheduler::new(fabric, SchedulerConfig::compatibility_aware());
+            for spec in stream(0) {
+                s.submit(spec).unwrap();
+            }
+            s.cluster_verdict()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation A1: sector resolution vs solver accuracy and cost.
+//!
+//! The paper discretizes the circle "for scalability" without saying how
+//! finely. This ablation sweeps the sector count on a *tight* instance —
+//! two jobs whose communication arcs exactly fill the circle — where
+//! coarse, conservative quantization must eventually report a false
+//! incompatible, and measures where that happens and what resolution
+//! costs.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geometry::{solve_pair, Profile, SolverConfig};
+use simtime::Dur;
+
+fn tight_pair() -> (Profile, Profile) {
+    // 49% + 49% comm: feasible, but only with ≈2% of the circle spare.
+    (
+        Profile::compute_then_comm(Dur::from_millis(51), Dur::from_millis(49)),
+        Profile::compute_then_comm(Dur::from_millis(51), Dur::from_millis(49)),
+    )
+}
+
+fn reproduce() {
+    banner("Ablation A1 — sector resolution vs verdict on a 2% -slack instance");
+    let (a, b) = tight_pair();
+    println!("{:<10} {:>12} {:>14}", "sectors", "verdict", "overlap est.");
+    for sectors in [45, 90, 180, 360, 720, 1440, 2880, 5760] {
+        let cfg = SolverConfig {
+            sectors,
+            ..SolverConfig::default()
+        };
+        let v = solve_pair(&a, &b, &cfg).unwrap();
+        println!(
+            "{sectors:<10} {:>12} {:>13.2}%",
+            if v.is_compatible() { "compatible" } else { "INCOMPATIBLE" },
+            v.overlap_fraction() * 100.0
+        );
+    }
+    println!(
+        "(conservative quantization pads each arc by up to one sector, so very\n\
+         coarse circles reject this feasible instance — resolution buys accuracy)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let (a, b) = tight_pair();
+    let mut group = c.benchmark_group("ablation_sectors/solve_pair");
+    for sectors in [180usize, 720, 2880] {
+        let cfg = SolverConfig {
+            sectors,
+            ..SolverConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(sectors), &cfg, |bch, cfg| {
+            bch.iter(|| solve_pair(&a, &b, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation A2: how strong must the unfairness knob be?
+//!
+//! Sweeps the aggressive job's DCQCN timer `T` (the default peer stays at
+//! 125 µs) on the Fig. 1 pair and reports each setting's first-iteration
+//! bandwidth split and steady-state speedup over fair sharing. The paper
+//! uses 100 µs; the sweep shows the payoff is robust across a wide band —
+//! any persistent asymmetry suffices to trigger the slide.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcc::experiments::fig1::{run, Fig1Config};
+use simtime::Dur;
+
+fn cfg_with_timer(us: u64, iterations: usize) -> Fig1Config {
+    Fig1Config {
+        iterations,
+        aggressive_timer: Dur::from_micros(us),
+        ..Fig1Config::default()
+    }
+}
+
+fn reproduce() {
+    banner("Ablation A2 — unfairness strength (aggressive T) vs payoff");
+    println!(
+        "{:<8} {:>14} {:>12} {:>12}",
+        "T (µs)", "1st-iter split", "J1 speedup", "J2 speedup"
+    );
+    for t_us in [60, 80, 100, 110, 120] {
+        let r = run(&cfg_with_timer(t_us, 20));
+        let sp = r.speedups();
+        println!(
+            "{t_us:<8} {:>6.1}/{:<6.1} {:>12} {:>12}",
+            r.unfair.first_iteration_bw[0],
+            r.unfair.first_iteration_bw[1],
+            sp[0].to_string(),
+            sp[1].to_string()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("ablation_unfairness/fig1_run");
+    for t_us in [80u64, 100, 120] {
+        let cfg = cfg_with_timer(t_us, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(t_us), &cfg, |bch, cfg| {
+            bch.iter(|| run(cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

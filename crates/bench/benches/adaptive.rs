@@ -1,0 +1,31 @@
+//! Regenerates the §4.i adaptively-unfair congestion-control experiment
+//! and times one pair run.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcc::experiments::adaptive::{run, AdaptiveConfig};
+
+fn reproduce() {
+    banner("§4.i — adaptively unfair congestion control");
+    let r = run(&AdaptiveConfig::default());
+    println!("{}", r.render());
+    let (stat, adapt) = r.victim_speedups();
+    println!("incompatible victim: static {stat} vs adaptive {adapt} (adaptive must spare it)");
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let quick = AdaptiveConfig {
+        iterations: 8,
+        warmup: 3,
+        ..AdaptiveConfig::default()
+    };
+    c.bench_function("adaptive/five_scenarios_8_iters", |b| b.iter(|| run(&quick)));
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates the §5 cluster-level placement experiment and times the
+//! placement + evaluation pipeline.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcc::experiments::cluster::{run, ClusterConfig};
+
+fn reproduce() {
+    banner("§5 — locality-only vs compatibility-aware placement");
+    let r = run(&ClusterConfig::default());
+    println!("{}", r.render());
+    println!(
+        "contended links: locality {} vs compat-aware {}",
+        r.locality.contended_links, r.compatibility.contended_links
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let quick = ClusterConfig {
+        iterations: 6,
+        warmup: 2,
+        ..ClusterConfig::default()
+    };
+    c.bench_function("cluster/both_policies_6_iters", |b| b.iter(|| run(&quick)));
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

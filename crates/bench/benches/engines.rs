@@ -1,0 +1,93 @@
+//! Engine performance: simulated-time throughput of the three network
+//! engines — how much cluster time one wall-clock second buys at each
+//! fidelity level.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcqcn::CcVariant;
+use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator};
+use netsim::packet::{PacketJob, PacketSimConfig, PacketSimulator};
+use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
+use simtime::{Bandwidth, Dur};
+use topology::builders::dumbbell;
+use workload::{JobSpec, Model};
+
+fn pair() -> [JobSpec; 2] {
+    [
+        JobSpec::reference(Model::ResNet50, 400),
+        JobSpec::reference(Model::ResNet50, 400),
+    ]
+}
+
+fn reproduce() {
+    banner("Engine fidelity ladder — cost of simulating 200 ms of cluster time");
+    println!(
+        "fluid (event-driven allocation)  ≪  rate (5 µs DCQCN steps)  ≪  packet (per-packet events)"
+    );
+    println!("(timings follow from Criterion below)");
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let span = Dur::from_millis(200);
+    let specs = pair();
+
+    c.bench_function("engines/fluid_200ms_2jobs", |b| {
+        b.iter(|| {
+            let d = dumbbell(2, Bandwidth::from_gbps(50), Bandwidth::from_gbps(50), Dur::ZERO);
+            let t = &d.topology;
+            let jobs: Vec<FluidJob> = (0..2)
+                .map(|i| {
+                    let path = t
+                        .route(topology::FlowKey {
+                            src: d.left_hosts[i],
+                            dst: d.right_hosts[i],
+                            tag: 0,
+                        })
+                        .unwrap();
+                    FluidJob::single_path(specs[i], path.links().to_vec())
+                })
+                .collect();
+            let mut sim = FluidSimulator::new(t, FluidConfig::fair(), &jobs);
+            sim.run_for(span);
+            sim.progress(0).completed()
+        })
+    });
+
+    c.bench_function("engines/rate_200ms_2jobs", |b| {
+        b.iter(|| {
+            let jobs = [
+                RateJob::new(specs[0], CcVariant::Fair),
+                RateJob::new(specs[1], CcVariant::Fair),
+            ];
+            let mut sim = RateSimulator::new(RateSimConfig::default(), &jobs);
+            sim.run_for(span);
+            sim.progress(0).completed()
+        })
+    });
+
+    c.bench_function("engines/packet_200ms_2jobs", |b| {
+        b.iter(|| {
+            let jobs = [
+                PacketJob {
+                    spec: specs[0],
+                    variant: CcVariant::Fair,
+                },
+                PacketJob {
+                    spec: specs[1],
+                    variant: CcVariant::Fair,
+                },
+            ];
+            let mut sim = PacketSimulator::new(PacketSimConfig::default(), &jobs);
+            sim.run_until(simtime::Time::ZERO + span);
+            sim.packet_counts().0
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 1 (first-iteration bandwidth shares + iteration-time
+//! CDF) and times one fair-scenario run.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcc::experiments::fig1::{run, Fig1Config};
+
+fn reproduce() {
+    banner("Fig. 1 — fair vs unfair DCQCN, two VGG19(1200) jobs");
+    let cfg = Fig1Config {
+        iterations: 60,
+        ..Fig1Config::default()
+    };
+    let r = run(&cfg);
+    println!("{}", r.render());
+    let sp = r.speedups();
+    println!(
+        "median speedups: J1 {}, J2 {} (paper testbed: ≈1.23× both)",
+        sp[0], sp[1]
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let quick = Fig1Config {
+        iterations: 8,
+        warmup: 2,
+        ..Fig1Config::default()
+    };
+    c.bench_function("fig1/both_scenarios_8_iters", |b| {
+        b.iter(|| run(&quick))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

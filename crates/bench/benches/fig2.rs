@@ -1,0 +1,36 @@
+//! Regenerates Fig. 2 (the sliding effect: per-iteration contended time)
+//! and times the traced two-scenario run.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcc::experiments::fig2::{run, Fig2Config};
+
+fn reproduce() {
+    banner("Fig. 2 — link-utilization sliding, fair vs unfair");
+    let cfg = Fig2Config::default();
+    let r = run(&cfg);
+    println!("{}", r.render());
+    match r.interleaved_at() {
+        Some(i) => println!(
+            "phases fully interleaved by iteration {} (paper: by the fourth)",
+            i + 1
+        ),
+        None => println!("phases never fully interleaved"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let quick = Fig2Config {
+        iterations: 4,
+        ..Fig2Config::default()
+    };
+    c.bench_function("fig2/traced_4_iters", |b| b.iter(|| run(&quick)));
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

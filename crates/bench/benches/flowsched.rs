@@ -1,0 +1,29 @@
+//! Regenerates the §4.iii flow-scheduling experiment and times the gated
+//! fluid run.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcc::experiments::flowsched::{run, FlowschedConfig};
+
+fn reproduce() {
+    banner("§4.iii — precise flow scheduling from rotation angles");
+    let r = run(&FlowschedConfig::default());
+    println!("{}", r.render());
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let quick = FlowschedConfig {
+        iterations: 8,
+        warmup: 3,
+        ..FlowschedConfig::default()
+    };
+    c.bench_function("flowsched/solve_gate_run_8_iters", |b| b.iter(|| run(&quick)));
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

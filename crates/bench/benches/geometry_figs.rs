@@ -1,0 +1,59 @@
+//! Regenerates Figs. 3–5 (the geometric abstraction) and times the
+//! rotation solver on representative instances.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use geometry::{solve, solve_pair, Profile, SolverConfig};
+use mlcc::experiments::geometry_demo::{fig3, fig4, fig5};
+use simtime::Dur;
+
+fn reproduce() {
+    banner("Figs. 3–5 — the geometric abstraction");
+    let f3 = fig3(8);
+    println!(
+        "Fig. 3: VGG16 circle — perimeter {}, comm arc {}; arcs stable over {} iterations: {}",
+        f3.profile.period(),
+        f3.profile.comm_time(),
+        f3.per_iteration_checks.len(),
+        f3.per_iteration_checks.iter().all(|&(c, m)| !c && m),
+    );
+    let f4 = fig4();
+    println!(
+        "Fig. 4: same-period pair — {} ms initial overlap, rotated apart: {}",
+        f4.overlap_at_zero_ms,
+        f4.verdict.is_compatible()
+    );
+    let f5 = fig5();
+    let rot = f5.verdict.rotations().expect("fig5 compatible")[1];
+    println!(
+        "Fig. 5: unified circle {} (reps {:?}); J2 rotation {:.1}°",
+        f5.perimeter, f5.repetitions, rot.degrees
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let cfg = SolverConfig::default();
+    // Exact two-job scan (the Fig. 4/5 kernel).
+    let a = Profile::compute_then_comm(Dur::from_millis(141), Dur::from_millis(114));
+    let b = Profile::compute_then_comm(Dur::from_millis(200), Dur::from_millis(55));
+    c.bench_function("geometry/solve_pair_720_sectors", |bch| {
+        bch.iter(|| solve_pair(&a, &b, &cfg).unwrap())
+    });
+    // Three-job DFS (the Table 1 group-5 kernel).
+    let trio = [
+        Profile::compute_then_comm(Dur::from_micros(166_280), Dur::from_micros(118_720)),
+        Profile::compute_then_comm(Dur::from_micros(171_080), Dur::from_micros(113_920)),
+        Profile::compute_then_comm(Dur::from_micros(121_540), Dur::from_micros(20_960)),
+    ];
+    c.bench_function("geometry/solve_trio_720_sectors", |bch| {
+        bch.iter(|| solve(&trio, &cfg).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the §4.ii switch-priority-queue experiment and times the
+//! fluid strict-priority run.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcc::experiments::priority::{run, PriorityConfig};
+
+fn reproduce() {
+    banner("§4.ii — switch priority queues");
+    let r = run(&PriorityConfig::default());
+    println!("{}", r.render());
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let quick = PriorityConfig {
+        iterations: 8,
+        warmup: 3,
+        ..PriorityConfig::default()
+    };
+    c.bench_function("priority/both_policies_8_iters", |b| b.iter(|| run(&quick)));
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

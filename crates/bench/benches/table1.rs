@@ -1,0 +1,43 @@
+//! Regenerates Table 1 (all five job groups, fair vs ordered unfairness,
+//! measured and predicted compatibility) and times one group.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcc::experiments::table1::{paper_groups, run, run_group, Table1Config};
+
+fn reproduce() {
+    banner("Table 1 — five job groups, fair vs unfair iteration times");
+    let cfg = Table1Config {
+        iterations: 20,
+        warmup: 5,
+        ..Table1Config::default()
+    };
+    let r = run(&cfg);
+    println!("{}", r.render());
+    let agree = r.groups.iter().filter(|g| g.prediction_agrees()).count();
+    println!(
+        "geometry verdict agrees with measured outcome in {}/{} groups",
+        agree,
+        r.groups.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let quick = Table1Config {
+        iterations: 6,
+        warmup: 2,
+        ..Table1Config::default()
+    };
+    let group4 = paper_groups()[3].clone(); // WRN + VGG16 (fast periods)
+    c.bench_function("table1/group4_both_scenarios_6_iters", |b| {
+        b.iter(|| run_group(&group4, &quick))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

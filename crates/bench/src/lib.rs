@@ -1,0 +1,23 @@
+//! Shared scaffolding for the benchmark harness.
+//!
+//! Every bench in `benches/` regenerates one of the paper's tables or
+//! figures: it prints the reproduced rows/series once (so `cargo bench`
+//! output doubles as the experiment log recorded in `EXPERIMENTS.md`),
+//! then times a representative kernel of that experiment with Criterion.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// Standard Criterion settings for simulation-scale benches: few samples,
+/// bounded measurement time — one experiment run takes seconds of wall
+/// clock, so statistical microbenchmark defaults (100 samples) would run
+/// for hours.
+pub fn configure(c: Criterion) -> Criterion {
+    c.sample_size(10).measurement_time(Duration::from_secs(8))
+}
+
+/// Prints a banner separating the reproduction output from Criterion's
+/// timing output.
+pub fn banner(title: &str) {
+    println!("\n===== {title} =====");
+}

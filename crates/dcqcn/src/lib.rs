@@ -1,0 +1,62 @@
+//! DCQCN congestion control, plus the paper's unfairness knobs.
+//!
+//! DCQCN (Zhu et al., SIGCOMM '15 — the paper's refs [57, 58]) is the
+//! default RDMA congestion control in ML clusters and the algorithm every
+//! experiment in the paper runs on. It has three participants:
+//!
+//! * **CP** (congestion point — the switch): marks ECN on egress packets
+//!   with a RED-style probability curve over queue depth ([`RedMarker`]).
+//! * **NP** (notification point — the receiver): on ECN-marked arrivals,
+//!   returns a CNP to the sender at most once per 50 µs per flow
+//!   ([`NotificationPoint`]).
+//! * **RP** (reaction point — the sender NIC): cuts rate multiplicatively
+//!   on CNP and recovers through fast-recovery / additive-increase /
+//!   hyper-increase stages driven by a **timer with period `T`** and a byte
+//!   counter ([`DcqcnRp`]).
+//!
+//! `T` is the paper's unfairness knob (§2): its testbed default is 125 µs,
+//! and setting one job's `T` to 100 µs makes that job recover faster after
+//! every rate cut, durably claiming a larger bandwidth share — ≈30 vs
+//! 15 Gbps on a 50 Gbps link in Fig. 1c.
+//!
+//! The paper's **adaptively unfair** variant (§4.i) replaces the constant
+//! additive-increase step `R_AI` with `R_AI · (1 + sent/total)` where
+//! `sent/total` is the flow's progress through its current communication
+//! phase: a job near the end of its allreduce out-competes one just
+//! starting, which interleaves compatible jobs and degenerates to fair
+//! sharing for incompatible ones. Drive it via [`DcqcnRp::set_phase_progress`].
+//!
+//! Everything here is simulation-clock driven and deterministic; the
+//! rate-based network engine in `netsim` owns packet/byte accounting and
+//! calls into these state machines.
+//!
+//! # Example
+//!
+//! ```
+//! use dcqcn::{DcqcnParams, DcqcnRp};
+//! use simtime::Dur;
+//!
+//! let mut rp = DcqcnRp::new(DcqcnParams::testbed_default());
+//! assert_eq!(rp.rate(), 50e9); // RDMA starts at line rate
+//! rp.on_cnp();                 // congestion notification: cut
+//! assert_eq!(rp.rate(), 25e9); // alpha was 1 → halved
+//! rp.advance(Dur::from_micros(125), 0.0); // one timer period
+//! assert_eq!(rp.rate(), 37.5e9); // fast recovery: halfway back to target
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cp;
+mod np;
+mod params;
+mod rp;
+pub mod swift;
+mod variant;
+
+pub use cp::RedMarker;
+pub use np::NotificationPoint;
+pub use params::DcqcnParams;
+pub use rp::DcqcnRp;
+pub use swift::{SwiftParams, SwiftRp};
+pub use variant::CcVariant;

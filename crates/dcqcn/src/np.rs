@@ -1,0 +1,80 @@
+//! [`NotificationPoint`]: the receiver-side CNP pacer.
+
+use simtime::{Dur, Time};
+
+/// Receiver-side CNP generation: when ECN-marked packets arrive, notify the
+/// sender with a Congestion Notification Packet — but at most once per
+/// `interval` per flow (50 µs in hardware), so a burst of marks costs the
+/// sender a single rate cut.
+#[derive(Debug, Clone)]
+pub struct NotificationPoint {
+    interval: Dur,
+    last_cnp: Option<Time>,
+}
+
+impl NotificationPoint {
+    /// A pacer with the given minimum CNP gap.
+    pub fn new(interval: Dur) -> NotificationPoint {
+        NotificationPoint {
+            interval,
+            last_cnp: None,
+        }
+    }
+
+    /// Reports that one or more ECN-marked packets arrived at `now`.
+    /// Returns `true` iff a CNP should be sent (and records it).
+    pub fn on_marked_arrival(&mut self, now: Time) -> bool {
+        match self.last_cnp {
+            Some(t) if now.saturating_since(t) < self.interval => false,
+            _ => {
+                self.last_cnp = Some(now);
+                true
+            }
+        }
+    }
+
+    /// When the last CNP was emitted, if any.
+    pub fn last_cnp(&self) -> Option<Time> {
+        self.last_cnp
+    }
+
+    /// Forgets pacing state (e.g. when a flow restarts).
+    pub fn reset(&mut self) {
+        self.last_cnp = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Time {
+        Time::from_nanos(v * 1_000)
+    }
+
+    #[test]
+    fn first_mark_always_fires() {
+        let mut np = NotificationPoint::new(Dur::from_micros(50));
+        assert!(np.on_marked_arrival(us(0)));
+        assert_eq!(np.last_cnp(), Some(us(0)));
+    }
+
+    #[test]
+    fn paces_to_interval() {
+        let mut np = NotificationPoint::new(Dur::from_micros(50));
+        assert!(np.on_marked_arrival(us(100)));
+        assert!(!np.on_marked_arrival(us(120)));
+        assert!(!np.on_marked_arrival(us(149)));
+        assert!(np.on_marked_arrival(us(150))); // exactly one interval later
+        assert!(!np.on_marked_arrival(us(199)));
+        assert!(np.on_marked_arrival(us(205)));
+    }
+
+    #[test]
+    fn reset_reopens_immediately() {
+        let mut np = NotificationPoint::new(Dur::from_micros(50));
+        assert!(np.on_marked_arrival(us(10)));
+        np.reset();
+        assert!(np.on_marked_arrival(us(11)));
+    }
+}

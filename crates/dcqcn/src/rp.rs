@@ -1,0 +1,429 @@
+//! [`DcqcnRp`]: the sender-side (reaction point) rate state machine.
+
+use crate::DcqcnParams;
+use simtime::Dur;
+
+/// DCQCN reaction point for one flow.
+///
+/// State per the SIGCOMM '15 algorithm:
+/// * current rate `R_C` and target rate `R_T` (both start at line rate —
+///   RDMA flows begin at full speed);
+/// * congestion estimate `alpha` (EWMA of "was a CNP received lately");
+/// * two rate-increase event sources: a **timer** with period `T` and a
+///   **byte counter** with threshold `B`; each counts *stages* since the
+///   last rate cut.
+///
+/// On CNP: `R_T ← R_C`, `R_C ← R_C·(1 − alpha/2)`, `alpha ← (1−g)·alpha + g`,
+/// and all increase stages reset. On each increase event:
+///
+/// * both stages ≤ F → **fast recovery**: `R_C ← (R_C + R_T)/2`;
+/// * exactly one stage > F → **additive increase**:
+///   `R_T ← R_T + R_AI·boost`, then averaging;
+/// * both stages > F → **hyper increase**: `R_T ← R_T + R_HAI`, then
+///   averaging.
+///
+/// `boost` is 1 for classic DCQCN. The paper's adaptively-unfair variant
+/// (§4.i) sets `boost = 1 + sent/total` via [`DcqcnRp::set_phase_progress`].
+/// The boost scales the increase steps (the paper's formula) and softens
+/// the multiplicative decrease (our extension — see [`DcqcnRp::on_cnp`]
+/// for why the literal formula alone is numerically inert).
+///
+/// The engine drives the RP with [`DcqcnRp::advance`] every simulation
+/// step, including while the flow is idle: with no CNPs arriving, timer
+/// events keep firing and the rate climbs back to line rate — which is why
+/// a job starts each new communication phase fast, a property the sliding
+/// dynamics of §2 depend on.
+#[derive(Debug, Clone)]
+pub struct DcqcnRp {
+    params: DcqcnParams,
+    rc: f64,
+    rt: f64,
+    alpha: f64,
+    time_stage: u32,
+    byte_stage: u32,
+    timer_elapsed: Dur,
+    bytes_since_event: f64,
+    alpha_elapsed: Dur,
+    boost: f64,
+}
+
+impl DcqcnRp {
+    /// A fresh flow at line rate.
+    ///
+    /// # Panics
+    /// Panics if `params` are inconsistent (see [`DcqcnParams::validate`]).
+    pub fn new(params: DcqcnParams) -> DcqcnRp {
+        params.validate();
+        let line = params.line_rate.as_bps_f64();
+        DcqcnRp {
+            params,
+            rc: line,
+            rt: line,
+            alpha: 1.0,
+            time_stage: 0,
+            byte_stage: 0,
+            timer_elapsed: Dur::ZERO,
+            bytes_since_event: 0.0,
+            alpha_elapsed: Dur::ZERO,
+            boost: 1.0,
+        }
+    }
+
+    /// The parameters this RP runs with.
+    pub fn params(&self) -> &DcqcnParams {
+        &self.params
+    }
+
+    /// Current sending rate in bits/s.
+    pub fn rate(&self) -> f64 {
+        self.rc
+    }
+
+    /// Current congestion estimate `alpha`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Current additive-increase boost (1 unless adaptive unfairness is
+    /// active).
+    pub fn boost(&self) -> f64 {
+        self.boost
+    }
+
+    /// Sets the adaptive-unfairness boost from communication-phase
+    /// progress: `boost = 1 + progress`, `progress ∈ [0, 1]` (clamped).
+    pub fn set_phase_progress(&mut self, progress: f64) {
+        self.boost = 1.0 + progress.clamp(0.0, 1.0);
+    }
+
+    /// Resets the boost to classic DCQCN behaviour.
+    pub fn clear_boost(&mut self) {
+        self.boost = 1.0;
+    }
+
+    /// Resets the flow to a fresh line-rate state. The network engine calls
+    /// this when a job starts a new communication phase: RDMA transmits a
+    /// new message burst at line rate (per-QP rate limiting state does not
+    /// meaningfully survive a multi-hundred-millisecond idle compute phase,
+    /// during which timer-driven increase would have recovered most of the
+    /// rate anyway — see `idle_recovery_is_substantial`).
+    pub fn restart(&mut self) {
+        let line = self.params.line_rate.as_bps_f64();
+        self.rc = line;
+        self.rt = line;
+        self.alpha = 1.0;
+        self.time_stage = 0;
+        self.byte_stage = 0;
+        self.timer_elapsed = Dur::ZERO;
+        self.bytes_since_event = 0.0;
+        self.alpha_elapsed = Dur::ZERO;
+    }
+
+    /// Handles a CNP: multiplicative decrease and increase-state reset.
+    ///
+    /// The adaptive boost softens the decrease: a flow at progress `p`
+    /// cuts by `alpha / (2·(1 + p))` instead of `alpha / 2`. This is where
+    /// adaptive unfairness actually gets its teeth in our reproduction:
+    /// contended DCQCN is CNP-dominated (stages reset every ~50 µs, so the
+    /// increase-side boost the paper writes down rarely fires), and the
+    /// one quantity exercised on every congestion event is the cut. The
+    /// monotone mapping — closer to finishing ⇒ more aggressive — is
+    /// exactly the paper's; only the term it modulates differs (see
+    /// EXPERIMENTS.md, §4.i).
+    pub fn on_cnp(&mut self) {
+        self.rt = self.rc;
+        self.rc = (self.rc * (1.0 - self.alpha / (2.0 * self.boost)))
+            .max(self.params.min_rate.as_bps_f64());
+        self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g;
+        self.time_stage = 0;
+        self.byte_stage = 0;
+        self.timer_elapsed = Dur::ZERO;
+        self.bytes_since_event = 0.0;
+        self.alpha_elapsed = Dur::ZERO;
+    }
+
+    /// Advances the RP's clocks by `dt`, during which the flow sent
+    /// `bytes_sent` bytes. Fires any due timer / byte-counter / alpha-decay
+    /// events.
+    pub fn advance(&mut self, dt: Dur, bytes_sent: f64) {
+        assert!(bytes_sent >= 0.0, "advance: negative bytes");
+        // Alpha decay: every alpha_timer without a CNP.
+        self.alpha_elapsed += dt;
+        while self.alpha_elapsed >= self.params.alpha_timer {
+            self.alpha_elapsed -= self.params.alpha_timer;
+            self.alpha *= 1.0 - self.params.g;
+        }
+        // Timer-driven increase events.
+        self.timer_elapsed += dt;
+        while self.timer_elapsed >= self.params.timer {
+            self.timer_elapsed -= self.params.timer;
+            self.increase_event(true);
+        }
+        // Byte-counter-driven increase events.
+        self.bytes_since_event += bytes_sent;
+        let b = self.params.byte_counter.as_bytes() as f64;
+        while self.bytes_since_event >= b {
+            self.bytes_since_event -= b;
+            self.increase_event(false);
+        }
+    }
+
+    fn increase_event(&mut self, from_timer: bool) {
+        if from_timer {
+            self.time_stage = self.time_stage.saturating_add(1);
+        } else {
+            self.byte_stage = self.byte_stage.saturating_add(1);
+        }
+        let f = self.params.fast_recovery;
+        let line = self.params.line_rate.as_bps_f64();
+        if self.time_stage > f && self.byte_stage > f {
+            // Hyper increase. The adaptive boost applies here too: the
+            // paper's formula names only R_AI, but hyper-increase dominates
+            // recovery whenever CNPs are sparse, so a boost confined to
+            // R_AI is numerically invisible (see EXPERIMENTS.md, §4.i).
+            self.rt += self.params.r_hai.as_bps_f64() * self.boost;
+        } else if self.time_stage > f || self.byte_stage > f {
+            // Additive increase — the paper's stated boost target.
+            self.rt += self.params.r_ai.as_bps_f64() * self.boost;
+        }
+        // Fast recovery (both stages ≤ F) leaves R_T untouched.
+        self.rt = self.rt.min(line);
+        self.rc = ((self.rc + self.rt) / 2.0).min(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::Bandwidth;
+
+    fn rp() -> DcqcnRp {
+        DcqcnRp::new(DcqcnParams::testbed_default())
+    }
+
+    const LINE: f64 = 50e9;
+
+    #[test]
+    fn starts_at_line_rate() {
+        let r = rp();
+        assert_eq!(r.rate(), LINE);
+        assert_eq!(r.alpha(), 1.0);
+        assert_eq!(r.boost(), 1.0);
+    }
+
+    #[test]
+    fn cnp_cuts_rate_by_half_alpha() {
+        let mut r = rp();
+        r.on_cnp();
+        // alpha was 1 → cut by 50%.
+        assert_eq!(r.rate(), LINE * 0.5);
+        // alpha updated toward 1 (EWMA with g): (1−g)·1 + g = 1.
+        assert_eq!(r.alpha(), 1.0);
+        // Target remembers the pre-cut rate.
+        r.advance(Dur::from_micros(125), 0.0); // one timer event: fast recovery
+        assert_eq!(r.rate(), LINE * 0.75); // (0.5 + 1.0)/2 of line
+    }
+
+    #[test]
+    fn fast_recovery_halves_toward_target() {
+        let mut r = rp();
+        r.on_cnp(); // rc = 0.5 line, rt = line
+        let mut prev = r.rate();
+        for _ in 0..5 {
+            r.advance(Dur::from_micros(125), 0.0);
+            let now = r.rate();
+            assert!(now > prev, "recovery must be monotone");
+            prev = now;
+        }
+        // After 5 fast-recovery steps: 1 − 0.5^6 of line ≈ 0.992.
+        assert!((r.rate() / LINE - (1.0 - 0.5f64.powi(6))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn additive_increase_after_f_stages() {
+        let mut r = rp();
+        r.on_cnp();
+        // 6 timer events: stages 1..=5 are fast recovery, 6th is additive.
+        for _ in 0..6 {
+            r.advance(Dur::from_micros(125), 0.0);
+        }
+        // rt should now exceed the original line-capped target only via
+        // R_AI; since rt was already `line`, it remains capped.
+        assert!(r.rate() <= LINE);
+        // Drop rate first, then check AI actually moves rt upward.
+        let mut low = rp();
+        for _ in 0..20 {
+            low.on_cnp(); // drive rc near min
+        }
+        let floor = low.rate();
+        for _ in 0..6 {
+            low.advance(Dur::from_micros(125), 0.0);
+        }
+        assert!(low.rate() > floor);
+    }
+
+    #[test]
+    fn hyper_increase_needs_both_counters() {
+        let p = DcqcnParams::testbed_default();
+        let b = p.byte_counter.as_bytes() as f64;
+        let mut r = DcqcnRp::new(p);
+        // Crush the rate so increases are visible.
+        for _ in 0..30 {
+            r.on_cnp();
+        }
+        let start = r.rate();
+        // Fire 6 byte events and 6 timer events → stages (6, 6): the last
+        // events run hyper increase.
+        for _ in 0..6 {
+            r.advance(Dur::from_micros(125), b);
+        }
+        // With R_HAI = 10×R_AI the climb must dwarf pure-AI recovery.
+        let mut ai_only = DcqcnRp::new(DcqcnParams::testbed_default());
+        for _ in 0..30 {
+            ai_only.on_cnp();
+        }
+        for _ in 0..6 {
+            ai_only.advance(Dur::from_micros(125), 0.0);
+        }
+        assert!(
+            r.rate() - start > (ai_only.rate() - start) * 1.5,
+            "hyper {} vs ai {}",
+            r.rate(),
+            ai_only.rate()
+        );
+    }
+
+    /// The unfairness knob: a smaller T recovers faster after identical
+    /// cuts — the mechanism behind Fig. 1c's 30/15 Gbps split.
+    #[test]
+    fn smaller_timer_recovers_faster() {
+        let mk = |t_us| {
+            let mut r =
+                DcqcnRp::new(DcqcnParams::testbed_default().with_timer(Dur::from_micros(t_us)));
+            r.on_cnp();
+            r.on_cnp(); // rc ≈ 0.25 line
+            r
+        };
+        let mut aggressive = mk(100);
+        let mut default = mk(125);
+        // Same wall-clock recovery window, no traffic.
+        for _ in 0..100 {
+            aggressive.advance(Dur::from_micros(25), 0.0);
+            default.advance(Dur::from_micros(25), 0.0);
+        }
+        assert!(
+            aggressive.rate() > default.rate(),
+            "T=100µs {} ≤ T=125µs {}",
+            aggressive.rate(),
+            default.rate()
+        );
+    }
+
+    /// §4.i: a flow near the end of its phase (boost → 2) out-recovers one
+    /// just starting (boost → 1), all else equal.
+    #[test]
+    fn adaptive_boost_accelerates_additive_increase() {
+        let mk = |progress: f64| {
+            let mut r = DcqcnRp::new(DcqcnParams::testbed_default());
+            for _ in 0..20 {
+                r.on_cnp();
+            }
+            r.set_phase_progress(progress);
+            // Push past fast recovery into additive territory.
+            for _ in 0..30 {
+                r.advance(Dur::from_micros(125), 0.0);
+            }
+            r.rate()
+        };
+        let fresh = mk(0.0);
+        let finishing = mk(1.0);
+        assert!(
+            finishing > fresh,
+            "boosted {finishing} ≤ unboosted {fresh}"
+        );
+    }
+
+    #[test]
+    fn boost_is_clamped_and_clearable() {
+        let mut r = rp();
+        r.set_phase_progress(7.5);
+        assert_eq!(r.boost(), 2.0);
+        r.set_phase_progress(-3.0);
+        assert_eq!(r.boost(), 1.0);
+        r.set_phase_progress(0.5);
+        assert_eq!(r.boost(), 1.5);
+        r.clear_boost();
+        assert_eq!(r.boost(), 1.0);
+    }
+
+    #[test]
+    fn rate_never_below_floor_or_above_line() {
+        let mut r = rp();
+        for _ in 0..1_000 {
+            r.on_cnp();
+        }
+        assert!(r.rate() >= DcqcnParams::testbed_default().min_rate.as_bps_f64());
+        for _ in 0..100_000 {
+            r.advance(Dur::from_micros(125), 1e7);
+        }
+        assert!(r.rate() <= LINE);
+    }
+
+    /// Idle flows climb back substantially: timer-driven additive increase
+    /// alone recovers R_AI per T = 40 Mbps / 125 µs = 320 Mbps per ms, so a
+    /// 100 ms compute phase recovers ≳30 Gbps from the floor.
+    #[test]
+    fn idle_recovery_is_substantial() {
+        let mut r = rp();
+        for _ in 0..10 {
+            r.on_cnp();
+        }
+        assert!(r.rate() < LINE * 0.01);
+        // 100 ms of idle (a compute phase) with no CNPs.
+        for _ in 0..20_000 {
+            r.advance(Dur::from_micros(5), 0.0);
+        }
+        assert!(
+            r.rate() > 30e9,
+            "idle recovery reached only {:.2} Gbps",
+            r.rate() / 1e9
+        );
+        // Alpha decays toward 0 meanwhile.
+        assert!(r.alpha() < 0.05, "alpha {}", r.alpha());
+    }
+
+    /// A restart puts the flow back at a pristine line-rate state.
+    #[test]
+    fn restart_returns_to_line_rate() {
+        let mut r = rp();
+        for _ in 0..10 {
+            r.on_cnp();
+        }
+        r.advance(Dur::from_micros(625), 1e6);
+        assert!(r.rate() < LINE);
+        r.restart();
+        assert_eq!(r.rate(), LINE);
+        assert_eq!(r.alpha(), 1.0);
+        // Next timer event is a fresh fast-recovery stage (no stage carry-over):
+        // at line rate it must not move the rate above line.
+        r.advance(Dur::from_micros(125), 0.0);
+        assert_eq!(r.rate(), LINE);
+    }
+
+    #[test]
+    fn alpha_decays_without_cnps() {
+        let mut r = rp();
+        let a0 = r.alpha();
+        r.advance(Dur::from_micros(550), 0.0); // 10 alpha-timer periods
+        assert!(r.alpha() < a0);
+        let expected = (1.0 - 1.0 / 256.0f64).powi(10);
+        assert!((r.alpha() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_rate_parameterization() {
+        let p = DcqcnParams::testbed_default().with_line_rate(Bandwidth::from_gbps(100));
+        let r = DcqcnRp::new(p);
+        assert_eq!(r.rate(), 100e9);
+    }
+}

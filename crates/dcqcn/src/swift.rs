@@ -1,0 +1,231 @@
+//! [`SwiftRp`]: a delay-based companion congestion controller.
+//!
+//! The paper's related work lists RDMA congestion controllers beyond DCQCN
+//! (IRN, RoCC) and notes none exploit ML periodicity. To show the
+//! unfairness payoff is **transport-agnostic**, this module implements a
+//! simplified delay-target controller in the style of TIMELY/Swift: the
+//! sender measures fabric queueing delay and holds it at a per-flow
+//! `target_delay` — additive increase below target, multiplicative
+//! decrease proportional to the excess above it.
+//!
+//! The unfairness knob is the **target delay itself**: a flow with a
+//! higher target tolerates a deeper queue and durably claims a larger
+//! bandwidth share (in real Swift this is exactly how flow weighting is
+//! implemented). Equal targets share fairly; unequal targets reproduce the
+//! sliding payoff of §2 with no DCQCN machinery at all.
+
+use simtime::{Bandwidth, Dur};
+
+/// Parameters of the delay-based controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwiftParams {
+    /// Line rate: cap and initial rate.
+    pub line_rate: Bandwidth,
+    /// Queueing-delay target the controller holds.
+    pub target_delay: Dur,
+    /// Additive increase per update interval while below target.
+    pub ai: Bandwidth,
+    /// Maximum multiplicative decrease per update (β).
+    pub beta: f64,
+    /// Control update interval (an RTT-scale clock).
+    pub update_interval: Dur,
+    /// Rate floor.
+    pub min_rate: Bandwidth,
+}
+
+impl SwiftParams {
+    /// Defaults for a 50 Gbps fabric: 30 µs delay target, 200 Mbps AI per
+    /// 25 µs update, β = 0.4.
+    pub fn fabric_default() -> SwiftParams {
+        SwiftParams {
+            line_rate: Bandwidth::from_gbps(50),
+            target_delay: Dur::from_micros(30),
+            ai: Bandwidth::from_mbps(200),
+            beta: 0.4,
+            update_interval: Dur::from_micros(25),
+            min_rate: Bandwidth::from_mbps(40),
+        }
+    }
+
+    /// The same parameters with a different delay target — the unfairness
+    /// knob (a higher target wins bandwidth).
+    pub fn with_target(self, target_delay: Dur) -> SwiftParams {
+        SwiftParams {
+            target_delay,
+            ..self
+        }
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    /// Panics on zero line rate / interval / target, or `beta` outside
+    /// `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(!self.line_rate.is_zero(), "SwiftParams: zero line rate");
+        assert!(!self.target_delay.is_zero(), "SwiftParams: zero target");
+        assert!(
+            !self.update_interval.is_zero(),
+            "SwiftParams: zero update interval"
+        );
+        assert!(
+            self.beta > 0.0 && self.beta <= 1.0,
+            "SwiftParams: beta {} outside (0, 1]",
+            self.beta
+        );
+        assert!(
+            self.min_rate <= self.line_rate,
+            "SwiftParams: min above line"
+        );
+    }
+}
+
+impl Default for SwiftParams {
+    fn default() -> SwiftParams {
+        SwiftParams::fabric_default()
+    }
+}
+
+/// The delay-based reaction point for one flow.
+#[derive(Debug, Clone)]
+pub struct SwiftRp {
+    params: SwiftParams,
+    rate: f64,
+    since_update: Dur,
+}
+
+impl SwiftRp {
+    /// A fresh flow at line rate.
+    pub fn new(params: SwiftParams) -> SwiftRp {
+        params.validate();
+        SwiftRp {
+            rate: params.line_rate.as_bps_f64(),
+            params,
+            since_update: Dur::ZERO,
+        }
+    }
+
+    /// The parameters this controller runs with.
+    pub fn params(&self) -> &SwiftParams {
+        &self.params
+    }
+
+    /// Current sending rate in bits/s.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Resets to line rate (new communication phase).
+    pub fn restart(&mut self) {
+        self.rate = self.params.line_rate.as_bps_f64();
+        self.since_update = Dur::ZERO;
+    }
+
+    /// Advances the controller by `dt` with the currently observed
+    /// queueing `delay`; applies one AIMD step per elapsed update
+    /// interval.
+    pub fn advance(&mut self, dt: Dur, delay: Dur) {
+        self.since_update += dt;
+        while self.since_update >= self.params.update_interval {
+            self.since_update -= self.params.update_interval;
+            self.update(delay);
+        }
+    }
+
+    fn update(&mut self, delay: Dur) {
+        let target = self.params.target_delay.as_secs_f64();
+        let d = delay.as_secs_f64();
+        let line = self.params.line_rate.as_bps_f64();
+        if d <= target {
+            self.rate = (self.rate + self.params.ai.as_bps_f64()).min(line);
+        } else {
+            // Decrease proportional to the relative excess, capped at β.
+            let excess = ((d - target) / d).min(1.0);
+            let factor = 1.0 - self.params.beta * excess;
+            self.rate = (self.rate * factor).max(self.params.min_rate.as_bps_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rp() -> SwiftRp {
+        SwiftRp::new(SwiftParams::fabric_default())
+    }
+
+    const LINE: f64 = 50e9;
+
+    #[test]
+    fn starts_at_line_and_holds_below_target() {
+        let mut r = rp();
+        assert_eq!(r.rate(), LINE);
+        // Below-target delay: stays at line (AI is capped there).
+        r.advance(Dur::from_micros(250), Dur::from_micros(10));
+        assert_eq!(r.rate(), LINE);
+    }
+
+    #[test]
+    fn backs_off_above_target_and_recovers() {
+        let mut r = rp();
+        // 90 µs delay against a 30 µs target: strong decrease.
+        r.advance(Dur::from_micros(25), Dur::from_micros(90));
+        let after_one = r.rate();
+        assert!(after_one < LINE);
+        let expected = LINE * (1.0 - 0.4 * (60.0 / 90.0));
+        assert!((after_one - expected).abs() < 1.0);
+        // Sustained congestion keeps cutting.
+        r.advance(Dur::from_micros(250), Dur::from_micros(90));
+        assert!(r.rate() < after_one);
+        // Relief: additive recovery, 200 Mbps per 25 µs.
+        let low = r.rate();
+        r.advance(Dur::from_micros(250), Dur::ZERO);
+        assert!((r.rate() - (low + 10.0 * 200e6)).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_floor_holds() {
+        let mut r = rp();
+        r.advance(Dur::from_millis(50), Dur::from_millis(10));
+        assert!(r.rate() >= 40e6);
+    }
+
+    /// The unfairness knob: at a shared queue depth, the flow with the
+    /// higher delay target keeps increasing while the lower-target flow
+    /// backs off — the delay-based analogue of DCQCN's `T`.
+    #[test]
+    fn higher_target_wins_at_shared_queue() {
+        let mut tolerant =
+            SwiftRp::new(SwiftParams::fabric_default().with_target(Dur::from_micros(60)));
+        let mut strict = rp(); // 30 µs target
+        let shared_delay = Dur::from_micros(45);
+        for _ in 0..40 {
+            tolerant.advance(Dur::from_micros(25), shared_delay);
+            strict.advance(Dur::from_micros(25), shared_delay);
+        }
+        assert!(
+            tolerant.rate() > strict.rate() * 2.0,
+            "tolerant {:.1}G vs strict {:.1}G",
+            tolerant.rate() / 1e9,
+            strict.rate() / 1e9
+        );
+    }
+
+    #[test]
+    fn restart_returns_to_line() {
+        let mut r = rp();
+        r.advance(Dur::from_millis(1), Dur::from_millis(1));
+        assert!(r.rate() < LINE);
+        r.restart();
+        assert_eq!(r.rate(), LINE);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn bad_beta_rejected() {
+        let mut p = SwiftParams::fabric_default();
+        p.beta = 1.5;
+        SwiftRp::new(p);
+    }
+}

@@ -1,0 +1,129 @@
+//! [`CcVariant`]: the three congestion-control flavours the paper compares.
+
+use crate::{DcqcnParams, DcqcnRp, SwiftParams, SwiftRp};
+use simtime::Dur;
+
+/// Which congestion-control behaviour a job's flows run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcVariant {
+    /// Default DCQCN: every job uses the same timer `T` (fair sharing —
+    /// the paper's scenario 1).
+    Fair,
+    /// Statically unfair DCQCN: this job's timer is overridden (the
+    /// paper's scenario 2 sets the aggressive job to 100 µs vs the 125 µs
+    /// default).
+    StaticUnfair {
+        /// The overridden rate-increase timer period.
+        timer: Dur,
+    },
+    /// Adaptively unfair DCQCN (§4.i): `R_AI` is scaled by
+    /// `1 + sent/total` of the current communication phase, so jobs closer
+    /// to finishing are more aggressive.
+    AdaptiveUnfair,
+    /// Delay-based (TIMELY/Swift-style) control instead of DCQCN, holding
+    /// the queue at the given per-flow delay target. Equal targets share
+    /// fairly; a higher target is the unfairness knob.
+    Swift {
+        /// Queueing-delay target.
+        target_delay: Dur,
+    },
+}
+
+impl CcVariant {
+    /// Builds the reaction point for a job running this variant on top of
+    /// `base` parameters.
+    ///
+    /// # Panics
+    /// Panics for [`CcVariant::Swift`] — build a [`SwiftRp`] via
+    /// [`CcVariant::build_swift`] instead (the engine dispatches on
+    /// [`CcVariant::is_delay_based`]).
+    pub fn build_rp(&self, base: DcqcnParams) -> DcqcnRp {
+        match *self {
+            CcVariant::Fair | CcVariant::AdaptiveUnfair => DcqcnRp::new(base),
+            CcVariant::StaticUnfair { timer } => DcqcnRp::new(base.with_timer(timer)),
+            CcVariant::Swift { .. } => {
+                panic!("Swift variant uses build_swift, not build_rp")
+            }
+        }
+    }
+
+    /// Builds the delay-based controller for [`CcVariant::Swift`].
+    ///
+    /// # Panics
+    /// Panics for the DCQCN variants.
+    pub fn build_swift(&self, line_rate: simtime::Bandwidth) -> SwiftRp {
+        match *self {
+            CcVariant::Swift { target_delay } => SwiftRp::new(
+                SwiftParams {
+                    line_rate,
+                    ..SwiftParams::fabric_default()
+                }
+                .with_target(target_delay),
+            ),
+            _ => panic!("build_swift on a DCQCN variant"),
+        }
+    }
+
+    /// `true` if the engine should feed communication-phase progress into
+    /// the RP each step.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, CcVariant::AdaptiveUnfair)
+    }
+
+    /// `true` for the delay-based controller.
+    pub fn is_delay_based(&self) -> bool {
+        matches!(self, CcVariant::Swift { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_uses_base_timer() {
+        let base = DcqcnParams::testbed_default();
+        let rp = CcVariant::Fair.build_rp(base);
+        assert_eq!(rp.params().timer, Dur::from_micros(125));
+        assert!(!CcVariant::Fair.is_adaptive());
+    }
+
+    #[test]
+    fn static_unfair_overrides_timer() {
+        let base = DcqcnParams::testbed_default();
+        let rp = CcVariant::StaticUnfair {
+            timer: Dur::from_micros(100),
+        }
+        .build_rp(base);
+        assert_eq!(rp.params().timer, Dur::from_micros(100));
+        assert_eq!(rp.params().line_rate, base.line_rate);
+    }
+
+    #[test]
+    fn swift_variant_builds_delay_controller() {
+        let v = CcVariant::Swift {
+            target_delay: Dur::from_micros(60),
+        };
+        assert!(v.is_delay_based());
+        assert!(!v.is_adaptive());
+        let rp = v.build_swift(simtime::Bandwidth::from_gbps(50));
+        assert_eq!(rp.params().target_delay, Dur::from_micros(60));
+        assert_eq!(rp.rate(), 50e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "build_swift, not build_rp")]
+    fn swift_rejects_dcqcn_builder() {
+        CcVariant::Swift {
+            target_delay: Dur::from_micros(30),
+        }
+        .build_rp(DcqcnParams::testbed_default());
+    }
+
+    #[test]
+    fn adaptive_flags_progress_feeding() {
+        assert!(CcVariant::AdaptiveUnfair.is_adaptive());
+        let rp = CcVariant::AdaptiveUnfair.build_rp(DcqcnParams::testbed_default());
+        assert_eq!(rp.boost(), 1.0); // engine raises it as the phase progresses
+    }
+}

@@ -1,0 +1,250 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+
+use simtime::{Dur, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event popped from an [`EventQueue`]: when it fires and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The instant the event fires.
+    pub at: Time,
+    /// The caller-defined payload.
+    pub event: E,
+}
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+// Order for a *max*-heap: we invert so the earliest time pops first, and
+// among equal times the lowest sequence number (scheduled first) pops first.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A priority queue of future events, keyed by simulation time.
+///
+/// Two guarantees make simulations reproducible:
+///
+/// 1. events pop in non-decreasing time order;
+/// 2. events scheduled for the *same* instant pop in the order they were
+///    scheduled (FIFO tie-break), independent of payload type or heap
+///    internals.
+///
+/// The queue also tracks the current simulation clock: [`EventQueue::now`]
+/// advances to each popped event's timestamp, and scheduling in the past
+/// panics (an event sourced from stale state is a logic bug, not a
+/// recoverable condition).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Time,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "EventQueue: scheduling into the past ({at:?} < now {:?})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: Dur, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "heap returned an out-of-order event");
+        self.now = entry.at;
+        Some(ScheduledEvent {
+            at: entry.at,
+            event: entry.event,
+        })
+    }
+
+    /// Pops the next event only if it fires at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: Time) -> Option<ScheduledEvent<E>> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drops all pending events, keeping the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_nanos(30), "c");
+        q.schedule_at(Time::from_nanos(10), "a");
+        q.schedule_at(Time::from_nanos(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Dur::from_micros(125), ());
+        assert_eq!(q.now(), Time::ZERO);
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, Time::from_nanos(125_000));
+        assert_eq!(q.now(), e.at);
+        // schedule_in is now relative to the advanced clock.
+        q.schedule_in(Dur::from_micros(125), ());
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(250_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_nanos(100), ());
+        q.pop();
+        q.schedule_at(Time::from_nanos(50), ());
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_nanos(10), 1);
+        q.schedule_at(Time::from_nanos(20), 2);
+        assert_eq!(q.pop_until(Time::from_nanos(15)).map(|e| e.event), Some(1));
+        assert_eq!(q.pop_until(Time::from_nanos(15)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(Time::from_nanos(20)).map(|e| e.event), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_nanos(10), ());
+        q.pop();
+        q.schedule_at(Time::from_nanos(99), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Time::from_nanos(10));
+    }
+
+    proptest! {
+        #[test]
+        fn never_pops_out_of_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.schedule_at(Time::from_nanos(t), t);
+            }
+            let mut last = 0;
+            while let Some(e) = q.pop() {
+                prop_assert!(e.at.as_nanos() >= last);
+                prop_assert_eq!(e.at.as_nanos(), e.event);
+                last = e.at.as_nanos();
+            }
+        }
+
+        #[test]
+        fn stable_among_equal_times(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            // Interleave two timestamps; within each, order must be FIFO.
+            for i in 0..n {
+                q.schedule_at(Time::from_nanos((i % 2) as u64), i);
+            }
+            let popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+            let evens: Vec<usize> = popped.iter().copied().filter(|i| i % 2 == 0).collect();
+            let odds: Vec<usize> = popped.iter().copied().filter(|i| i % 2 == 1).collect();
+            prop_assert!(evens.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(odds.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

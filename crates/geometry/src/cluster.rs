@@ -1,0 +1,682 @@
+//! Cluster-level compatibility (§5 of the paper).
+//!
+//! In a real cluster a job's flows traverse several links and meet
+//! *different* competitors on each. Because all of a job's workers move in
+//! lockstep, the job gets **one** rotation that must simultaneously
+//! de-overlap its communication phase on *every* link it shares. Following
+//! §5, the unified circle's perimeter becomes the LCM of the iteration
+//! times of every job that shares at least one link, and the constraint
+//! "≤ 1 job communicating per sector" is enforced **per link**.
+//!
+//! # GPU multi-tenancy
+//!
+//! §5 notes that "capturing GPU multi-tenancy is possible by adding more
+//! constraints in our optimization formulation, but we omit the details
+//! for brevity". This module implements those constraints: a shared
+//! resource can be a [`ResourceKind::Network`] link (jobs must not
+//! *communicate* simultaneously — the paper's constraint) or a
+//! [`ResourceKind::Compute`] device (jobs time-sharing a GPU must not
+//! *compute* simultaneously). Compute occupancy is the complement of the
+//! communication profile (see [`Profile::complement`]); one rotation per
+//! job must satisfy every resource of both kinds at once.
+
+use crate::solver::{SolverConfig, Verdict};
+use crate::unified::GeometryError;
+use crate::{Profile, SectorMask, UnifiedCircle};
+use eventsim::Rng;
+use simtime::Dur;
+
+/// What kind of shared resource a constraint applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// A network link: at most one job *communicating* per sector.
+    Network,
+    /// A time-shared accelerator: at most one job *computing* per sector.
+    Compute,
+}
+
+/// A multi-resource compatibility problem: jobs and, per shared resource,
+/// which jobs use it.
+#[derive(Debug, Clone)]
+pub struct ClusterInstance {
+    profiles: Vec<Profile>,
+    resources: Vec<(ResourceKind, Vec<usize>)>,
+    /// Explicit compute (GPU-busy) profiles; `None` defaults to the
+    /// communication profile's complement — exact for the paper's strict
+    /// two-phase jobs, which have no idle time.
+    compute_profiles: Vec<Option<Profile>>,
+}
+
+impl ClusterInstance {
+    /// Builds an instance where every resource is a network link (the
+    /// paper's base formulation).
+    ///
+    /// # Panics
+    /// Panics if a link references an unknown job index or lists the same
+    /// job twice.
+    pub fn new(profiles: Vec<Profile>, links: Vec<Vec<usize>>) -> ClusterInstance {
+        let n = profiles.len();
+        let mut inst = ClusterInstance {
+            profiles,
+            resources: Vec::new(),
+            compute_profiles: vec![None; n],
+        };
+        for jobs in links {
+            inst.push_resource(ResourceKind::Network, jobs);
+        }
+        inst
+    }
+
+    /// Adds a shared resource of the given kind.
+    ///
+    /// # Panics
+    /// Panics on unknown or duplicate job indices, or if a job in a
+    /// [`ResourceKind::Compute`] resource has no compute phase (a job that
+    /// communicates its entire iteration cannot time-share a GPU).
+    pub fn push_resource(&mut self, kind: ResourceKind, jobs: Vec<usize>) {
+        let l = self.resources.len();
+        let mut seen = vec![false; self.profiles.len()];
+        for &j in &jobs {
+            assert!(j < self.profiles.len(), "resource {l}: unknown job {j}");
+            assert!(!seen[j], "resource {l}: duplicate job {j}");
+            seen[j] = true;
+            if kind == ResourceKind::Compute {
+                assert!(
+                    self.profiles[j].comm_fraction() < 1.0,
+                    "resource {l}: job {j} has no compute phase to time-share"
+                );
+            }
+        }
+        self.resources.push((kind, jobs));
+    }
+
+    /// Overrides job `j`'s compute (GPU-busy) profile. Without an
+    /// override, the complement of the communication profile is used —
+    /// which over-approximates GPU occupancy for jobs with idle time in
+    /// their iteration (and is exact for strict two-phase jobs).
+    ///
+    /// Note a consequence of the strict two-phase default: a pair sharing
+    /// both a link *and* a GPU needs `comm_a + comm_b ≤ P` and
+    /// `(P − comm_a) + (P − comm_b) ≤ P` simultaneously, i.e. exact
+    /// complementarity — which conservative sector rounding always
+    /// rejects. Real pipelined jobs have idle gaps; model them here.
+    ///
+    /// # Panics
+    /// Panics on an unknown job or a period mismatch.
+    pub fn set_compute_profile(&mut self, j: usize, compute: Profile) {
+        assert!(j < self.profiles.len(), "unknown job {j}");
+        assert_eq!(
+            compute.period(),
+            self.profiles[j].period(),
+            "compute profile period must match the job's period"
+        );
+        self.compute_profiles[j] = Some(compute);
+    }
+
+    /// Convenience: network links followed by GPU-sharing groups.
+    pub fn with_gpu_sharing(
+        profiles: Vec<Profile>,
+        links: Vec<Vec<usize>>,
+        gpu_groups: Vec<Vec<usize>>,
+    ) -> ClusterInstance {
+        let mut inst = ClusterInstance::new(profiles, links);
+        for g in gpu_groups {
+            inst.push_resource(ResourceKind::Compute, g);
+        }
+        inst
+    }
+
+    /// The job profiles.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// All shared resources: `(kind, jobs)`.
+    pub fn resources(&self) -> &[(ResourceKind, Vec<usize>)] {
+        &self.resources
+    }
+
+    /// Job sets of the network links only (the paper's base constraint
+    /// set) — what link-level reporting wants.
+    pub fn links(&self) -> Vec<&Vec<usize>> {
+        self.resources
+            .iter()
+            .filter(|(k, _)| *k == ResourceKind::Network)
+            .map(|(_, jobs)| jobs)
+            .collect()
+    }
+
+    /// Resources used by job `j`.
+    fn resources_of(&self, j: usize) -> Vec<usize> {
+        self.resources
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, jobs))| jobs.contains(&j))
+            .map(|(l, _)| l)
+            .collect()
+    }
+}
+
+/// Per-job occupancy masks for both resource kinds, on one unified circle.
+struct Occupancy {
+    /// Communication masks (network constraints).
+    comm: Vec<SectorMask>,
+    /// Compute masks (GPU constraints); only built for jobs that appear in
+    /// a compute resource, `None` elsewhere.
+    compute: Vec<Option<SectorMask>>,
+    sectors: usize,
+}
+
+impl Occupancy {
+    fn build(
+        inst: &ClusterInstance,
+        uc: &UnifiedCircle,
+        cfg: &SolverConfig,
+    ) -> Result<Occupancy, GeometryError> {
+        let k = inst.profiles().len();
+        let needs_compute: Vec<bool> = (0..k)
+            .map(|j| {
+                inst.resources()
+                    .iter()
+                    .any(|(kind, jobs)| *kind == ResourceKind::Compute && jobs.contains(&j))
+            })
+            .collect();
+        let compute = if needs_compute.iter().any(|&b| b) {
+            // A second unified circle over the compute profiles (explicit
+            // overrides, else complements); the periods are identical, so
+            // the perimeter and sector grid align exactly with the
+            // communication circle.
+            let compute_profiles: Vec<Profile> = inst
+                .profiles()
+                .iter()
+                .enumerate()
+                .map(|(j, p)| {
+                    inst.compute_profiles[j]
+                        .clone()
+                        .unwrap_or_else(|| p.complement())
+                })
+                .collect();
+            let cc = UnifiedCircle::new(&compute_profiles, cfg.sectors)?;
+            debug_assert_eq!(cc.perimeter(), uc.perimeter());
+            (0..k)
+                .map(|j| needs_compute[j].then(|| cc.mask(j).clone()))
+                .collect()
+        } else {
+            vec![None; k]
+        };
+        Ok(Occupancy {
+            comm: (0..k).map(|j| uc.mask(j).clone()).collect(),
+            compute,
+            sectors: uc.sectors(),
+        })
+    }
+
+    fn mask(&self, kind: ResourceKind, j: usize) -> &SectorMask {
+        match kind {
+            ResourceKind::Network => &self.comm[j],
+            ResourceKind::Compute => self.compute[j]
+                .as_ref()
+                .expect("compute mask requested for job outside any GPU group"),
+        }
+    }
+}
+
+/// Solves the cluster-level rotation problem: one rotation per job such
+/// that every shared resource (network link or time-shared GPU) has at
+/// most one active job per sector.
+///
+/// Jobs that share no resource with anyone always receive rotation zero.
+pub fn solve_cluster(
+    inst: &ClusterInstance,
+    cfg: &SolverConfig,
+) -> Result<Verdict, GeometryError> {
+    let uc = UnifiedCircle::new(inst.profiles(), cfg.sectors)?;
+    let k = uc.job_count();
+    let s = uc.sectors();
+    let occ = Occupancy::build(inst, &uc, cfg)?;
+
+    // Per-resource quick necessary condition.
+    for (kind, jobs) in inst.resources() {
+        let busy: usize = jobs.iter().map(|&j| occ.mask(*kind, j).count()).sum();
+        if busy > s {
+            return Ok(Verdict::Incompatible {
+                best_overlap_fraction: (busy - s) as f64 / s as f64,
+            });
+        }
+    }
+
+    // Constrained jobs, hardest first (most busy sectors × most resources).
+    let mut order: Vec<usize> = (0..k)
+        .filter(|&j| !inst.resources_of(j).is_empty())
+        .collect();
+    order.sort_by_key(|&j| {
+        std::cmp::Reverse(occ.comm[j].count() * (1 + inst.resources_of(j).len()))
+    });
+
+    let mut rotations = vec![
+        crate::solver::Rotation {
+            sectors: 0,
+            shift: Dur::ZERO,
+            degrees: 0.0,
+        };
+        k
+    ];
+    if order.is_empty() {
+        return Ok(Verdict::Compatible {
+            rotations,
+            slack_fraction: 1.0,
+        });
+    }
+
+    let job_resources: Vec<Vec<usize>> = (0..k).map(|j| inst.resources_of(j)).collect();
+    let kinds: Vec<ResourceKind> = inst.resources().iter().map(|(k, _)| *k).collect();
+    let mut rng = Rng::new(cfg.seed ^ 0xC1u64);
+    let budget_per_restart = (cfg.max_steps / cfg.restarts.max(1) as u64).max(1);
+    let mut budget_was_hit = false;
+
+    for restart in 0..cfg.restarts.max(1) {
+        let mut acc: Vec<SectorMask> = (0..inst.resources().len())
+            .map(|_| SectorMask::empty(s))
+            .collect();
+        let mut offsets = vec![0usize; order.len()];
+        let mut steps = 0u64;
+        let mut cands: Vec<Vec<usize>> = order
+            .iter()
+            .map(|&j| (0..uc.offset_cap(j)).collect::<Vec<_>>())
+            .collect();
+        if restart > 0 {
+            for c in &mut cands {
+                rng.shuffle(c);
+            }
+        }
+
+        match rec(
+            &occ,
+            &kinds,
+            &order,
+            &job_resources,
+            &cands,
+            0,
+            &mut acc,
+            &mut offsets,
+            &mut steps,
+            budget_per_restart,
+        ) {
+            Outcome::Found => {
+                for (pos, &j) in order.iter().enumerate() {
+                    let o = offsets[pos];
+                    rotations[j] = crate::solver::Rotation {
+                        sectors: o,
+                        shift: uc.shift_of(o),
+                        degrees: uc.degrees_of(o),
+                    };
+                }
+                // Slack: tightest resource's free fraction.
+                let slack = inst
+                    .resources()
+                    .iter()
+                    .map(|(kind, jobs)| {
+                        let busy: usize =
+                            jobs.iter().map(|&j| occ.mask(*kind, j).count()).sum();
+                        1.0 - busy as f64 / s as f64
+                    })
+                    .fold(1.0f64, f64::min);
+                return Ok(Verdict::Compatible {
+                    rotations,
+                    slack_fraction: slack,
+                });
+            }
+            Outcome::ExhaustedSpace => {
+                return Ok(Verdict::Incompatible {
+                    best_overlap_fraction: estimate_overlap(inst, &occ),
+                });
+            }
+            Outcome::ExhaustedBudget => budget_was_hit = true,
+        }
+    }
+    debug_assert!(budget_was_hit);
+    Ok(Verdict::Inconclusive {
+        best_overlap_fraction: estimate_overlap(inst, &occ),
+    })
+}
+
+enum Outcome {
+    Found,
+    ExhaustedSpace,
+    ExhaustedBudget,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec(
+    occ: &Occupancy,
+    kinds: &[ResourceKind],
+    order: &[usize],
+    job_resources: &[Vec<usize>],
+    cands: &[Vec<usize>],
+    depth: usize,
+    acc: &mut [SectorMask],
+    offsets: &mut [usize],
+    steps: &mut u64,
+    budget: u64,
+) -> Outcome {
+    if depth == order.len() {
+        return Outcome::Found;
+    }
+    let j = order[depth];
+    let mut budget_hit = false;
+    'cand: for &o in &cands[depth] {
+        *steps += 1;
+        if *steps > budget {
+            return Outcome::ExhaustedBudget;
+        }
+        // Rotated masks per kind, computed lazily (a job rarely needs
+        // both).
+        let mut rm_comm: Option<SectorMask> = None;
+        let mut rm_compute: Option<SectorMask> = None;
+        for &l in &job_resources[j] {
+            let rm = match kinds[l] {
+                ResourceKind::Network => {
+                    rm_comm.get_or_insert_with(|| occ.comm[j].rotated(o))
+                }
+                ResourceKind::Compute => rm_compute.get_or_insert_with(|| {
+                    occ.mask(ResourceKind::Compute, j).rotated(o)
+                }),
+            };
+            if rm.intersects(&acc[l]) {
+                continue 'cand;
+            }
+        }
+        for &l in &job_resources[j] {
+            let rm = match kinds[l] {
+                ResourceKind::Network => rm_comm.as_ref().unwrap(),
+                ResourceKind::Compute => rm_compute.as_ref().unwrap(),
+            };
+            acc[l].or_assign(rm);
+        }
+        offsets[depth] = o;
+        match rec(
+            occ,
+            kinds,
+            order,
+            job_resources,
+            cands,
+            depth + 1,
+            acc,
+            offsets,
+            steps,
+            budget,
+        ) {
+            Outcome::Found => return Outcome::Found,
+            Outcome::ExhaustedBudget => budget_hit = true,
+            Outcome::ExhaustedSpace => {}
+        }
+        for &l in &job_resources[j] {
+            let rm = match kinds[l] {
+                ResourceKind::Network => rm_comm.as_ref().unwrap(),
+                ResourceKind::Compute => rm_compute.as_ref().unwrap(),
+            };
+            acc[l].and_not_assign(rm);
+        }
+        if budget_hit {
+            return Outcome::ExhaustedBudget;
+        }
+    }
+    Outcome::ExhaustedSpace
+}
+
+/// Over-subscription lower bound for reporting (worst resource).
+fn estimate_overlap(inst: &ClusterInstance, occ: &Occupancy) -> f64 {
+    let s = occ.sectors;
+    inst.resources()
+        .iter()
+        .map(|(kind, jobs)| {
+            let busy: usize = jobs.iter().map(|&j| occ.mask(*kind, j).count()).sum();
+            busy.saturating_sub(s) as f64 / s as f64
+        })
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverConfig;
+
+    fn ms(v: u64) -> Dur {
+        Dur::from_millis(v)
+    }
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::default()
+    }
+
+    /// Job 1 competes with job 0 on link A and job 2 on link B: one
+    /// rotation of job 1 must satisfy both.
+    #[test]
+    fn chain_of_three_jobs_two_links() {
+        let p = |c, m| Profile::compute_then_comm(ms(c), ms(m));
+        let inst = ClusterInstance::new(
+            vec![p(70, 30), p(60, 40), p(70, 30)],
+            vec![vec![0, 1], vec![1, 2]],
+        );
+        let v = solve_cluster(&inst, &cfg()).unwrap();
+        assert!(v.is_compatible(), "{v:?}");
+        let rots = v.rotations().unwrap();
+        // Verify continuously on both links.
+        let shifted: Vec<Profile> = inst
+            .profiles()
+            .iter()
+            .zip(rots)
+            .map(|(p, r)| p.rotated(r.shift))
+            .collect();
+        for t in 0..100 {
+            let c: Vec<bool> = shifted.iter().map(|p| p.communicating_at(ms(t))).collect();
+            assert!(!(c[0] && c[1]), "link A overlap at {t} ms");
+            assert!(!(c[1] && c[2]), "link B overlap at {t} ms");
+        }
+    }
+
+    /// Per-link infeasibility is caught.
+    #[test]
+    fn per_link_ok_globally_tight() {
+        let p = |c, m| Profile::compute_then_comm(ms(c), ms(m));
+        let inst = ClusterInstance::new(
+            vec![p(50, 50), p(40, 60), p(50, 50)],
+            vec![vec![0, 1], vec![1, 2]],
+        );
+        // Link A: 50 + 60 = 110% of the circle → infeasible already.
+        let v = solve_cluster(&inst, &cfg()).unwrap();
+        assert!(!v.is_compatible());
+    }
+
+    /// Unconstrained jobs are ignored and get rotation zero.
+    #[test]
+    fn lonely_jobs_trivially_compatible() {
+        let p = Profile::compute_then_comm(ms(10), ms(90));
+        let inst = ClusterInstance::new(vec![p.clone(), p], vec![]);
+        let v = solve_cluster(&inst, &cfg()).unwrap();
+        assert!(v.is_compatible());
+        let rots = v.rotations().unwrap();
+        assert!(rots.iter().all(|r| r.sectors == 0));
+    }
+
+    /// A job appearing on two links with different partners of different
+    /// periods exercises the unified-circle tiling.
+    #[test]
+    fn mixed_periods_across_links() {
+        let j0 = Profile::compute_then_comm(ms(32), ms(8)); // 40 ms period
+        let j1 = Profile::compute_then_comm(ms(50), ms(10)); // 60 ms period
+        let j2 = Profile::compute_then_comm(ms(90), ms(30)); // 120 ms period
+        let inst = ClusterInstance::new(
+            vec![j0, j1, j2],
+            vec![vec![0, 1], vec![1, 2]],
+        );
+        let v = solve_cluster(&inst, &cfg()).unwrap();
+        assert!(v.is_compatible(), "{v:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown job")]
+    fn bad_link_rejected() {
+        ClusterInstance::new(
+            vec![Profile::compute_then_comm(ms(1), ms(1))],
+            vec![vec![0, 5]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job")]
+    fn duplicate_job_on_link_rejected() {
+        ClusterInstance::new(
+            vec![Profile::compute_then_comm(ms(1), ms(1))],
+            vec![vec![0, 0]],
+        );
+    }
+
+    // ---- GPU multi-tenancy (§5 extension) ----
+
+    /// Two jobs with small compute phases can time-share a GPU: rotations
+    /// must separate their COMPUTE arcs, even though their comm arcs are
+    /// free to overlap (no shared link).
+    #[test]
+    fn gpu_sharing_separates_compute_phases() {
+        // Compute 30 of 100 each: complementary placement exists.
+        let a = Profile::compute_then_comm(ms(30), ms(70));
+        let b = Profile::compute_then_comm(ms(30), ms(70));
+        let inst =
+            ClusterInstance::with_gpu_sharing(vec![a.clone(), b.clone()], vec![], vec![vec![0, 1]]);
+        let v = solve_cluster(&inst, &cfg()).unwrap();
+        assert!(v.is_compatible(), "{v:?}");
+        let rots = v.rotations().unwrap();
+        let ra = a.rotated(rots[0].shift);
+        let rb = b.rotated(rots[1].shift);
+        for t in 0..100 {
+            let computing_a = !ra.communicating_at(ms(t));
+            let computing_b = !rb.communicating_at(ms(t));
+            assert!(
+                !(computing_a && computing_b),
+                "both computing at {t} ms on the shared GPU"
+            );
+        }
+    }
+
+    /// Compute phases too large to time-share → incompatible.
+    #[test]
+    fn gpu_oversubscription_incompatible() {
+        let a = Profile::compute_then_comm(ms(60), ms(40));
+        let b = Profile::compute_then_comm(ms(60), ms(40));
+        let inst = ClusterInstance::with_gpu_sharing(vec![a, b], vec![], vec![vec![0, 1]]);
+        let v = solve_cluster(&inst, &cfg()).unwrap();
+        assert!(!v.is_compatible());
+        assert!(v.overlap_fraction() > 0.0);
+    }
+
+    /// Strict two-phase jobs sharing both a link and a GPU need *exact*
+    /// complementarity (comm fractions summing to exactly 1 from both
+    /// sides) — conservative sector rounding rightly rejects it.
+    #[test]
+    fn strict_two_phase_jobs_cannot_share_link_and_gpu() {
+        let a = Profile::compute_then_comm(ms(40), ms(30));
+        let b = Profile::compute_then_comm(ms(40), ms(30));
+        let inst = ClusterInstance::with_gpu_sharing(
+            vec![a, b],
+            vec![vec![0, 1]],
+            vec![vec![0, 1]],
+        );
+        let v = solve_cluster(&inst, &cfg()).unwrap();
+        assert!(!v.is_compatible(), "{v:?}");
+    }
+
+    /// The hard feasible case: jobs with idle time (explicit compute
+    /// profiles) where one rotation must satisfy a network link AND a
+    /// shared GPU simultaneously.
+    #[test]
+    fn combined_network_and_gpu_constraints() {
+        // Period 100: GPU busy [0, 30), comm [40, 70), idle elsewhere.
+        let comm = |start: u64| {
+            Profile::new(
+                ms(100),
+                vec![crate::Arc { start: ms(start), end: ms(start + 30) }],
+                1.0,
+            )
+        };
+        let gpu = Profile::new(
+            ms(100),
+            vec![crate::Arc { start: ms(0), end: ms(30) }],
+            1.0,
+        );
+        let a = comm(40);
+        let b = comm(40);
+        let mut inst = ClusterInstance::with_gpu_sharing(
+            vec![a.clone(), b.clone()],
+            vec![vec![0, 1]],
+            vec![vec![0, 1]],
+        );
+        inst.set_compute_profile(0, gpu.clone());
+        inst.set_compute_profile(1, gpu.clone());
+        let v = solve_cluster(&inst, &cfg()).unwrap();
+        assert!(v.is_compatible(), "{v:?}");
+        let rots = v.rotations().unwrap();
+        let (ra, rb) = (a.rotated(rots[0].shift), b.rotated(rots[1].shift));
+        let (ga, gb) = (gpu.rotated(rots[0].shift), gpu.rotated(rots[1].shift));
+        for t in 0..100 {
+            assert!(
+                !(ra.communicating_at(ms(t)) && rb.communicating_at(ms(t))),
+                "link overlap at {t} ms"
+            );
+            assert!(
+                !(ga.communicating_at(ms(t)) && gb.communicating_at(ms(t))),
+                "GPU overlap at {t} ms"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must match")]
+    fn compute_profile_period_mismatch_rejected() {
+        let p = Profile::compute_then_comm(ms(50), ms(50));
+        let mut inst = ClusterInstance::new(vec![p], vec![]);
+        inst.set_compute_profile(0, Profile::compute_then_comm(ms(10), ms(10)));
+    }
+
+    /// The same pair WITHOUT the GPU constraint has more freedom — and
+    /// with an impossible combined requirement, the GPU constraint flips
+    /// the verdict.
+    #[test]
+    fn gpu_constraint_can_flip_verdict() {
+        // comm 30 + 30 fits a 100 circle easily (network-only: compatible),
+        // but compute 70 + 70 can never time-share one GPU.
+        let a = Profile::compute_then_comm(ms(70), ms(30));
+        let b = Profile::compute_then_comm(ms(70), ms(30));
+        let net_only =
+            ClusterInstance::new(vec![a.clone(), b.clone()], vec![vec![0, 1]]);
+        assert!(solve_cluster(&net_only, &cfg()).unwrap().is_compatible());
+        let with_gpu = ClusterInstance::with_gpu_sharing(
+            vec![a, b],
+            vec![vec![0, 1]],
+            vec![vec![0, 1]],
+        );
+        assert!(!solve_cluster(&with_gpu, &cfg()).unwrap().is_compatible());
+    }
+
+    #[test]
+    #[should_panic(expected = "no compute phase")]
+    fn full_comm_job_cannot_share_gpu() {
+        let all_comm = Profile::compute_then_comm(Dur::ZERO, ms(100));
+        let other = Profile::compute_then_comm(ms(50), ms(50));
+        ClusterInstance::with_gpu_sharing(vec![all_comm, other], vec![], vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn resource_accessors() {
+        let p = Profile::compute_then_comm(ms(50), ms(50));
+        let inst = ClusterInstance::with_gpu_sharing(
+            vec![p.clone(), p],
+            vec![vec![0, 1]],
+            vec![vec![0, 1]],
+        );
+        assert_eq!(inst.resources().len(), 2);
+        assert_eq!(inst.links().len(), 1);
+        assert_eq!(inst.resources()[0].0, ResourceKind::Network);
+        assert_eq!(inst.resources()[1].0, ResourceKind::Compute);
+    }
+}

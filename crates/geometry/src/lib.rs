@@ -1,0 +1,69 @@
+//! The paper's geometric abstraction (§3) and compatibility solver.
+//!
+//! A DNN training job in a dedicated network has a strictly periodic on/off
+//! network pattern. **Roll time around a circle** whose perimeter equals the
+//! job's iteration time and the communication phases of *all* iterations
+//! land on the same arc — a job is fully described by one circle with one
+//! (or more) colored arcs ([`Profile`]).
+//!
+//! Jobs sharing a link are **compatible** if the circles can be *rotated* so
+//! that no two colored arcs overlap: each job then claims the full link
+//! bandwidth during its own arc and nobody slows anyone down. Rotating a
+//! circle is exactly the "sliding" effect that unfair congestion control
+//! produces in the wild (§2), and the rotation angle is exactly the
+//! time-shift a flow scheduler would apply (§4.iii).
+//!
+//! Jobs with different iteration times are placed on a **unified circle**
+//! whose perimeter is the least common multiple of the iteration times; a
+//! job with iteration time `P` appears `LCM/P` times around it
+//! ([`UnifiedCircle`]).
+//!
+//! The compatibility decision is an optimization problem. Following the
+//! paper, we **discretize the circle into sectors** and cap the number of
+//! jobs communicating in each sector at one; a feasible assignment of
+//! rotation offsets proves compatibility ([`solve`], [`Verdict`]). A
+//! generalized mode caps the *sum of bandwidth demands* per sector at link
+//! capacity instead, admitting jobs that each need only part of the link
+//! ([`SolveMode::Capacity`]).
+//!
+//! Cluster-level compatibility (§5) — one rotation per job that
+//! simultaneously de-overlaps every shared link — lives in [`cluster`],
+//! together with the GPU multi-tenancy extension.
+//!
+//! # Example
+//!
+//! The paper's Fig. 5 setup: jobs with 40 ms and 60 ms iterations meet on
+//! one link; the solver finds rotations on the 120 ms unified circle.
+//!
+//! ```
+//! use geometry::{solve_pair, Profile, SolverConfig};
+//! use simtime::Dur;
+//!
+//! let j1 = Profile::compute_then_comm(Dur::from_millis(32), Dur::from_millis(8));
+//! let j2 = Profile::compute_then_comm(Dur::from_millis(50), Dur::from_millis(10));
+//! let verdict = solve_pair(&j1, &j2, &SolverConfig::default()).unwrap();
+//!
+//! let rotations = verdict.rotations().expect("this pair is compatible");
+//! // Rotating j2 by the returned shift separates the communication arcs:
+//! let j2_rotated = j2.rotated(rotations[1].shift);
+//! for t in 0..120 {
+//!     let t = Dur::from_millis(t);
+//!     assert!(!(j1.communicating_at(t % j1.period())
+//!         && j2_rotated.communicating_at(t % j2_rotated.period())));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+mod profile;
+mod sectors;
+mod solver;
+mod unified;
+
+pub use cluster::{solve_cluster, ClusterInstance, ResourceKind};
+pub use profile::{Arc, Profile};
+pub use sectors::SectorMask;
+pub use solver::{admit, solve, solve_max_margin, solve_on, solve_pair, Rotation, SolveMode, SolverConfig, Verdict};
+pub use unified::{quantize_period, GeometryError, UnifiedCircle};

@@ -1,0 +1,400 @@
+//! [`Profile`]: one job's circle — its period and communication arcs.
+
+use simtime::{Dur, Time};
+
+/// A half-open time interval `[start, end)` of communication within a
+/// job's period, measured as offsets from the start of the iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arc {
+    /// Offset of the arc's start within the period.
+    pub start: Dur,
+    /// Offset of the arc's end within the period (exclusive, ≤ period).
+    pub end: Dur,
+}
+
+impl Arc {
+    /// The arc's length.
+    pub fn len(&self) -> Dur {
+        self.end - self.start
+    }
+
+    /// `true` for a zero-length arc.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` if `offset` lies within the arc.
+    pub fn contains(&self, offset: Dur) -> bool {
+        self.start <= offset && offset < self.end
+    }
+}
+
+/// A job's periodic network pattern rolled onto a circle: the perimeter is
+/// the iteration time, the colored arcs are the communication phases.
+///
+/// Invariants (enforced at construction):
+/// * `period > 0`;
+/// * arcs are sorted, non-overlapping, non-empty and lie within
+///   `[0, period]`;
+/// * `demand` (fraction of link bandwidth needed while communicating) is in
+///   `(0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    period: Dur,
+    arcs: Vec<Arc>,
+    demand: f64,
+}
+
+impl Profile {
+    /// A profile with explicit arcs.
+    ///
+    /// # Panics
+    /// Panics if any invariant is violated.
+    pub fn new(period: Dur, arcs: Vec<Arc>, demand: f64) -> Profile {
+        assert!(!period.is_zero(), "Profile: zero period");
+        assert!(
+            demand > 0.0 && demand <= 1.0,
+            "Profile: demand {demand} outside (0, 1]"
+        );
+        let mut prev_end = Dur::ZERO;
+        for (i, a) in arcs.iter().enumerate() {
+            assert!(!a.is_empty(), "Profile: empty arc #{i}");
+            assert!(a.start < a.end, "Profile: inverted arc #{i}");
+            assert!(a.end <= period, "Profile: arc #{i} exceeds period");
+            assert!(
+                i == 0 || a.start >= prev_end,
+                "Profile: arcs #{} and #{i} overlap or are unsorted",
+                i - 1
+            );
+            prev_end = a.end;
+        }
+        Profile {
+            period,
+            arcs,
+            demand,
+        }
+    }
+
+    /// The paper's canonical job shape: compute for `compute`, then
+    /// communicate for `comm` at full link demand. Period is their sum.
+    ///
+    /// # Panics
+    /// Panics if `comm` is zero (a job that never communicates cannot
+    /// congest anything; model it as no profile at all).
+    pub fn compute_then_comm(compute: Dur, comm: Dur) -> Profile {
+        assert!(!comm.is_zero(), "Profile: zero communication phase");
+        Profile::new(
+            compute + comm,
+            vec![Arc {
+                start: compute,
+                end: compute + comm,
+            }],
+            1.0,
+        )
+    }
+
+    /// Same as [`Profile::compute_then_comm`] with a partial bandwidth
+    /// demand (for the capacity-mode solver).
+    pub fn compute_then_comm_with_demand(compute: Dur, comm: Dur, demand: f64) -> Profile {
+        assert!(!comm.is_zero(), "Profile: zero communication phase");
+        Profile::new(
+            compute + comm,
+            vec![Arc {
+                start: compute,
+                end: compute + comm,
+            }],
+            demand,
+        )
+    }
+
+    /// The circle's perimeter (iteration time).
+    pub fn period(&self) -> Dur {
+        self.period
+    }
+
+    /// The communication arcs.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Link-bandwidth fraction demanded while communicating.
+    pub fn demand(&self) -> f64 {
+        self.demand
+    }
+
+    /// Total communication time per period.
+    pub fn comm_time(&self) -> Dur {
+        self.arcs.iter().map(|a| a.len()).sum()
+    }
+
+    /// Fraction of the period spent communicating, in `[0, 1]`.
+    pub fn comm_fraction(&self) -> f64 {
+        self.comm_time().ratio(self.period)
+    }
+
+    /// `true` if the job is communicating at circle position `offset`
+    /// (offset taken modulo the period).
+    pub fn communicating_at(&self, offset: Dur) -> bool {
+        let pos = offset % self.period;
+        self.arcs.iter().any(|a| a.contains(pos))
+    }
+
+    /// `true` if the job is communicating at absolute instant `t`, given
+    /// that its pattern is phase-shifted by `shift` (the rotation angle
+    /// realized as a time shift).
+    pub fn communicating_at_time(&self, t: Time, shift: Dur) -> bool {
+        // The pattern shifted *later* by `shift`: position = (t - shift)
+        // mod period, computed without underflow by adding a period.
+        let t_ns = t.as_nanos() + self.period.as_nanos();
+        let pos = Dur::from_nanos(t_ns - (shift % self.period).as_nanos());
+        self.communicating_at(pos)
+    }
+
+    /// A copy with every arc widened by `margin` on both sides (clamped to
+    /// the period and merged where widened arcs touch). Solving on
+    /// inflated profiles yields rotations that stay conflict-free even if
+    /// every phase drifts by up to `margin` — the robustness knob behind
+    /// [`crate::solve_max_margin`].
+    pub fn inflated(&self, margin: Dur) -> Profile {
+        if margin.is_zero() {
+            return self.clone();
+        }
+        let p = self.period;
+        // Each widened arc wraps around the circle like a rotation does:
+        // drift is cyclic, so clamping at the seam would understate it.
+        let mut pieces: Vec<Arc> = Vec::with_capacity(self.arcs.len() + 1);
+        for a in &self.arcs {
+            let len = (a.len() + margin * 2).min(p);
+            if len == p {
+                // The widened arc covers the whole circle.
+                return Profile::new(p, vec![Arc { start: Dur::ZERO, end: p }], self.demand);
+            }
+            let start = (a.start + p - (margin % p)) % p;
+            let end_raw = start + len;
+            if end_raw <= p {
+                pieces.push(Arc { start, end: end_raw });
+            } else {
+                pieces.push(Arc { start, end: p });
+                pieces.push(Arc {
+                    start: Dur::ZERO,
+                    end: end_raw - p,
+                });
+            }
+        }
+        // Merge overlaps created by the widening.
+        pieces.sort_by_key(|a| a.start);
+        let mut merged: Vec<Arc> = Vec::with_capacity(pieces.len());
+        for a in pieces {
+            match merged.last_mut() {
+                Some(last) if a.start <= last.end => last.end = last.end.max(a.end),
+                _ => merged.push(a),
+            }
+        }
+        Profile::new(p, merged, self.demand)
+    }
+
+    /// The complementary profile: busy exactly where this one is idle.
+    ///
+    /// For a training job, the complement of the communication profile is
+    /// its **compute** profile — what GPU multi-tenancy constraints need
+    /// (§5: two jobs time-sharing a GPU must not compute simultaneously,
+    /// which is "one more constraint in the optimization formulation").
+    ///
+    /// # Panics
+    /// Panics if this profile covers the whole period (its complement
+    /// would be empty, which `Profile` does not represent).
+    pub fn complement(&self) -> Profile {
+        let mut gaps = Vec::with_capacity(self.arcs.len() + 1);
+        let mut cursor = Dur::ZERO;
+        for a in &self.arcs {
+            if a.start > cursor {
+                gaps.push(Arc {
+                    start: cursor,
+                    end: a.start,
+                });
+            }
+            cursor = a.end;
+        }
+        if cursor < self.period {
+            gaps.push(Arc {
+                start: cursor,
+                end: self.period,
+            });
+        }
+        assert!(
+            !gaps.is_empty(),
+            "Profile::complement: profile covers the entire period"
+        );
+        Profile::new(self.period, gaps, self.demand)
+    }
+
+    /// A copy of this profile rotated by `shift` (arcs move later by
+    /// `shift`, wrapping around the circle). The result may have an arc
+    /// split across the wrap point.
+    pub fn rotated(&self, shift: Dur) -> Profile {
+        let s = shift % self.period;
+        if s.is_zero() {
+            return self.clone();
+        }
+        let p = self.period;
+        let mut pieces: Vec<Arc> = Vec::with_capacity(self.arcs.len() + 1);
+        for a in &self.arcs {
+            // Shifted endpoints before wrapping: start < 2p, end ≤ 2p.
+            let start = a.start + s;
+            let end = a.end + s;
+            if end <= p {
+                // Entirely before the seam.
+                pieces.push(Arc { start, end });
+            } else if start >= p {
+                // Entirely past the seam: wrap the whole arc.
+                pieces.push(Arc { start: start - p, end: end - p });
+            } else {
+                // Crosses the seam: split into a tail and a head.
+                pieces.push(Arc { start, end: p });
+                pieces.push(Arc { start: Dur::ZERO, end: end - p });
+            }
+        }
+        pieces.sort_by_key(|a| a.start);
+        Profile::new(p, pieces, self.demand)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Dur {
+        Dur::from_millis(v)
+    }
+
+    /// Fig. 3's VGG16 circle: perimeter 255, compute arc [0, 141),
+    /// comm arc [141, 255).
+    #[test]
+    fn fig3_vgg16_profile() {
+        let p = Profile::compute_then_comm(ms(141), ms(114));
+        assert_eq!(p.period(), ms(255));
+        assert_eq!(p.arcs().len(), 1);
+        assert_eq!(p.comm_time(), ms(114));
+        assert!((p.comm_fraction() - 114.0 / 255.0).abs() < 1e-12);
+        assert!(!p.communicating_at(ms(0)));
+        assert!(!p.communicating_at(ms(140)));
+        assert!(p.communicating_at(ms(141)));
+        assert!(p.communicating_at(ms(254)));
+        // Offsets wrap around the circle.
+        assert!(!p.communicating_at(ms(255)));
+        assert!(p.communicating_at(ms(255 + 200)));
+    }
+
+    #[test]
+    fn invariants_enforced() {
+        // Overlapping arcs.
+        let bad = std::panic::catch_unwind(|| {
+            Profile::new(
+                ms(100),
+                vec![
+                    Arc { start: ms(0), end: ms(50) },
+                    Arc { start: ms(40), end: ms(60) },
+                ],
+                1.0,
+            )
+        });
+        assert!(bad.is_err());
+        // Arc past period.
+        let bad = std::panic::catch_unwind(|| {
+            Profile::new(ms(100), vec![Arc { start: ms(90), end: ms(110) }], 1.0)
+        });
+        assert!(bad.is_err());
+        // Demand outside (0,1].
+        let bad = std::panic::catch_unwind(|| {
+            Profile::new(ms(100), vec![Arc { start: ms(0), end: ms(10) }], 0.0)
+        });
+        assert!(bad.is_err());
+        let bad = std::panic::catch_unwind(|| {
+            Profile::new(ms(100), vec![Arc { start: ms(0), end: ms(10) }], 1.5)
+        });
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn rotation_moves_arcs_later() {
+        let p = Profile::compute_then_comm(ms(60), ms(40)); // comm [60,100)
+        let r = p.rotated(ms(10)); // comm [70,100) ∪ ... no wrap: [70, 110)→wraps
+        // [60,100) + 10 = [70, 110): wraps into [70,100) and [0,10).
+        assert!(r.communicating_at(ms(70)));
+        assert!(r.communicating_at(ms(99)));
+        assert!(r.communicating_at(ms(5)));
+        assert!(!r.communicating_at(ms(10)));
+        assert!(!r.communicating_at(ms(69)));
+        assert_eq!(r.comm_time(), ms(40), "rotation preserves comm time");
+    }
+
+    #[test]
+    fn rotation_by_period_is_identity() {
+        let p = Profile::compute_then_comm(ms(141), ms(114));
+        assert_eq!(p.rotated(ms(255)), p);
+        assert_eq!(p.rotated(Dur::ZERO), p);
+        assert_eq!(p.rotated(ms(255 * 3 + 17)), p.rotated(ms(17)));
+    }
+
+    #[test]
+    fn rotation_exact_to_seam() {
+        // Comm [60, 100) rotated by 40 → [100, 140) ≡ [0, 40): exactly
+        // lands on the seam, no empty tail arc.
+        let p = Profile::compute_then_comm(ms(60), ms(40));
+        let r = p.rotated(ms(40));
+        assert_eq!(r.arcs().len(), 1);
+        assert_eq!(r.arcs()[0], Arc { start: ms(0), end: ms(40) });
+    }
+
+    #[test]
+    fn communicating_at_time_with_shift() {
+        let p = Profile::compute_then_comm(ms(60), ms(40)); // comm [60,100)
+        let t = |v: u64| Time::from_nanos(ms(v).as_nanos());
+        // Unshifted: communicating at 60..100 of each period.
+        assert!(p.communicating_at_time(t(75), Dur::ZERO));
+        assert!(!p.communicating_at_time(t(30), Dur::ZERO));
+        // Shifted 30 later: communicating at 90..130 ≡ [90,100)∪[0,30).
+        assert!(p.communicating_at_time(t(95), ms(30)));
+        assert!(p.communicating_at_time(t(110), ms(30))); // = pos 10 of next period
+        assert!(!p.communicating_at_time(t(75), ms(30)));
+    }
+
+    #[test]
+    fn inflated_widens_and_merges() {
+        // Two arcs 10 ms apart merge when widened by 5 ms each side.
+        let p = Profile::new(
+            ms(100),
+            vec![
+                Arc { start: ms(20), end: ms(30) },
+                Arc { start: ms(40), end: ms(50) },
+            ],
+            1.0,
+        );
+        let inflated = p.inflated(ms(5));
+        assert_eq!(inflated.arcs().len(), 1);
+        assert_eq!(inflated.arcs()[0], Arc { start: ms(15), end: ms(55) });
+        // Widening wraps around the seam like cyclic drift does.
+        let edge = Profile::compute_then_comm(ms(20), ms(10)); // [20, 30) of 30
+        let e = edge.inflated(ms(5));
+        // [20, 30) ± 5 → [15, 35) ≡ [15, 30) ∪ [0, 5).
+        assert!(e.communicating_at(ms(16)));
+        assert!(e.communicating_at(ms(2)));
+        assert!(!e.communicating_at(ms(7)));
+        assert_eq!(e.comm_time(), ms(20));
+        // Widening past the full circle saturates to full coverage.
+        let full = edge.inflated(ms(15));
+        assert_eq!(full.comm_fraction(), 1.0);
+        // Zero margin is the identity.
+        assert_eq!(p.inflated(Dur::ZERO), p);
+    }
+
+    #[test]
+    fn arc_helpers() {
+        let a = Arc { start: ms(10), end: ms(30) };
+        assert_eq!(a.len(), ms(20));
+        assert!(!a.is_empty());
+        assert!(a.contains(ms(10)));
+        assert!(!a.contains(ms(30)));
+        assert!(!a.contains(ms(5)));
+    }
+}

@@ -1,0 +1,251 @@
+//! [`SectorMask`]: a job's occupancy of the discretized unified circle.
+//!
+//! The solver works on circles discretized into `S` equal sectors (the
+//! paper: "for scalability, we discretize the circle into small sectors").
+//! A mask is a bitset of length `S`: bit `i` is set iff the job is
+//! communicating anywhere within sector `i`. Rotation of the circle becomes
+//! cyclic rotation of the bitset, and "no two jobs communicate in the same
+//! sector" becomes bitwise disjointness — both cheap word-level operations.
+
+/// A cyclic bitset over the sectors of a discretized circle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectorMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SectorMask {
+    /// An empty mask over `len` sectors.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn empty(len: usize) -> SectorMask {
+        assert!(len > 0, "SectorMask: zero sectors");
+        SectorMask {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of sectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no sector is set (NB: not "zero length" — masks are never
+    /// zero-length).
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sets sector `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "SectorMask::set: sector {i} out of range");
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Sets the half-open sector range `[from, to)`, which may wrap.
+    pub fn set_range(&mut self, from: usize, to: usize) {
+        if from <= to {
+            for i in from..to {
+                self.set(i);
+            }
+        } else {
+            for i in from..self.len {
+                self.set(i);
+            }
+            for i in 0..to {
+                self.set(i);
+            }
+        }
+    }
+
+    /// Whether sector `i` is set.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "SectorMask::get: sector {i} out of range");
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set sectors.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if the two masks share any set sector.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn intersects(&self, other: &SectorMask) -> bool {
+        assert_eq!(self.len, other.len, "SectorMask: length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Number of sectors set in both masks.
+    pub fn overlap(&self, other: &SectorMask) -> usize {
+        assert_eq!(self.len, other.len, "SectorMask: length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Ors `other` into `self`.
+    pub fn or_assign(&mut self, other: &SectorMask) {
+        assert_eq!(self.len, other.len, "SectorMask: length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Removes `other`'s bits from `self` (used when the solver backtracks).
+    pub fn and_not_assign(&mut self, other: &SectorMask) {
+        assert_eq!(self.len, other.len, "SectorMask: length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The mask rotated forward by `by` sectors: output bit
+    /// `(i + by) mod len` = input bit `i`.
+    pub fn rotated(&self, by: usize) -> SectorMask {
+        let by = by % self.len;
+        let mut out = SectorMask::empty(self.len);
+        // Straightforward bit loop. Masks are at most tens of thousands of
+        // sectors; the solver's hot path dominates elsewhere (and this is
+        // branch-free per word in the common aligned case below).
+        if by == 0 {
+            out.words.copy_from_slice(&self.words);
+            return out;
+        }
+        for i in 0..self.len {
+            if self.get(i) {
+                out.set((i + by) % self.len);
+            }
+        }
+        out
+    }
+
+    /// Iterates over set sector indices.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut m = SectorMask::empty(130);
+        assert!(m.is_empty());
+        m.set(0);
+        m.set(64);
+        m.set(129);
+        assert!(m.get(0) && m.get(64) && m.get(129));
+        assert!(!m.get(1) && !m.get(65));
+        assert_eq!(m.count(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.iter_set().collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn set_range_plain_and_wrapping() {
+        let mut m = SectorMask::empty(10);
+        m.set_range(2, 5);
+        assert_eq!(m.iter_set().collect::<Vec<_>>(), vec![2, 3, 4]);
+        let mut w = SectorMask::empty(10);
+        w.set_range(8, 3); // wraps: 8, 9, 0, 1, 2
+        assert_eq!(w.iter_set().collect::<Vec<_>>(), vec![0, 1, 2, 8, 9]);
+    }
+
+    #[test]
+    fn intersects_and_overlap() {
+        let mut a = SectorMask::empty(100);
+        let mut b = SectorMask::empty(100);
+        a.set_range(10, 30);
+        b.set_range(25, 40);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap(&b), 5); // sectors 25..30
+        let mut c = SectorMask::empty(100);
+        c.set_range(30, 40);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.overlap(&c), 0);
+    }
+
+    #[test]
+    fn or_and_not_roundtrip() {
+        let mut acc = SectorMask::empty(64);
+        let mut x = SectorMask::empty(64);
+        x.set_range(5, 20);
+        acc.or_assign(&x);
+        assert_eq!(acc.count(), 15);
+        acc.and_not_assign(&x);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn rotation_wraps() {
+        let mut m = SectorMask::empty(10);
+        m.set_range(7, 10); // 7, 8, 9
+        let r = m.rotated(4); // → 1, 2, 3
+        assert_eq!(r.iter_set().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(m.rotated(0), m);
+        assert_eq!(m.rotated(10), m);
+        assert_eq!(m.rotated(24), m.rotated(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        SectorMask::empty(8).set(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let a = SectorMask::empty(8);
+        let b = SectorMask::empty(9);
+        let _ = a.intersects(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn rotation_preserves_count(
+            bits in proptest::collection::vec(0usize..200, 0..50),
+            by in 0usize..400,
+        ) {
+            let mut m = SectorMask::empty(200);
+            for b in bits { m.set(b); }
+            let r = m.rotated(by);
+            prop_assert_eq!(r.count(), m.count());
+            // Rotating back recovers the original.
+            let back = r.rotated(200 - by % 200);
+            prop_assert_eq!(back, m);
+        }
+
+        #[test]
+        fn overlap_is_symmetric(
+            xs in proptest::collection::vec(0usize..128, 0..40),
+            ys in proptest::collection::vec(0usize..128, 0..40),
+        ) {
+            let mut a = SectorMask::empty(128);
+            let mut b = SectorMask::empty(128);
+            for x in xs { a.set(x); }
+            for y in ys { b.set(y); }
+            prop_assert_eq!(a.overlap(&b), b.overlap(&a));
+            prop_assert_eq!(a.intersects(&b), a.overlap(&b) > 0);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Figs. 3–5: the geometric abstraction, demonstrated.
+//!
+//! * Fig. 3 — roll VGG16's time series around a circle: perimeter 255 ms,
+//!   compute arc `[0, 141)`, communication arc `[141, 255)`; every
+//!   iteration lands on the same arcs.
+//! * Fig. 4 — two same-perimeter circles: overlapping at rotation zero,
+//!   non-overlapping after rotating one of them.
+//! * Fig. 5 — jobs with 40 ms and 60 ms iterations on the unified circle
+//!   of perimeter `LCM(40, 60) = 120 ms`; a counterclockwise rotation of
+//!   J1 (30° in the paper's drawing) separates the arcs.
+
+use geometry::{solve_pair, Profile, SolverConfig, UnifiedCircle, Verdict};
+use scheduler::analytic_profile;
+use simtime::{Bandwidth, Dur, Time};
+use workload::{JobSpec, Model};
+
+/// Fig. 3 output: the circle of a profiled job, plus evidence that every
+/// iteration lands on the same arcs.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// The job's circle.
+    pub profile: Profile,
+    /// For the first `n` iterations: `true` iff the job is communicating
+    /// at mid-compute and mid-communication instants of that iteration
+    /// (should be `(false, true)` for every iteration).
+    pub per_iteration_checks: Vec<(bool, bool)>,
+}
+
+/// Rolls VGG16(1400)'s pattern around its circle and verifies arc
+/// stability across `iterations` iterations.
+pub fn fig3(iterations: usize) -> Fig3Result {
+    let spec = JobSpec::reference(Model::Vgg16, 1400);
+    let profile = analytic_profile(&spec, Bandwidth::from_gbps(50), Dur::from_millis(1));
+    let period = profile.period();
+    let compute = period - profile.comm_time();
+    let checks = (0..iterations)
+        .map(|k| {
+            let base = Time::ZERO + period * k as u64;
+            let mid_compute = base + compute / 2;
+            let mid_comm = base + compute + profile.comm_time() / 2;
+            (
+                profile.communicating_at_time(mid_compute, Dur::ZERO),
+                profile.communicating_at_time(mid_comm, Dur::ZERO),
+            )
+        })
+        .collect();
+    Fig3Result {
+        profile,
+        per_iteration_checks: checks,
+    }
+}
+
+/// Fig. 4 output.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Overlap (ms on the circle) at rotation zero — the congested layout.
+    pub overlap_at_zero_ms: f64,
+    /// The solver's verdict (compatible, with rotations).
+    pub verdict: Verdict,
+}
+
+/// Overlays two same-period circles and rotates them apart.
+pub fn fig4() -> Fig4Result {
+    // Same-period pair: VGG16(1400)-like and WRN(800)-like, both 255 ms.
+    let a = Profile::compute_then_comm(Dur::from_millis(141), Dur::from_millis(114));
+    let b = Profile::compute_then_comm(Dur::from_millis(200), Dur::from_millis(55));
+    // Overlap at rotation zero: b's comm [200, 255) vs a's [141, 255).
+    let overlap_ms = (0..255)
+        .filter(|&t| {
+            a.communicating_at(Dur::from_millis(t)) && b.communicating_at(Dur::from_millis(t))
+        })
+        .count() as f64;
+    let verdict = solve_pair(&a, &b, &SolverConfig::default()).expect("valid profiles");
+    Fig4Result {
+        overlap_at_zero_ms: overlap_ms,
+        verdict,
+    }
+}
+
+/// Fig. 5 output.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// The unified circle (perimeter = LCM of the periods).
+    pub perimeter: Dur,
+    /// Repetitions of each job around the unified circle.
+    pub repetitions: Vec<u64>,
+    /// The solver's verdict with rotation angles in degrees.
+    pub verdict: Verdict,
+}
+
+/// Places 40 ms and 60 ms jobs on the unified circle and finds the
+/// rotation that separates them.
+pub fn fig5() -> Fig5Result {
+    let j1 = Profile::compute_then_comm(Dur::from_millis(32), Dur::from_millis(8));
+    let j2 = Profile::compute_then_comm(Dur::from_millis(50), Dur::from_millis(10));
+    let uc = UnifiedCircle::new(&[j1.clone(), j2.clone()], 720).expect("valid profiles");
+    let verdict = solve_pair(&j1, &j2, &SolverConfig::default()).expect("valid profiles");
+    Fig5Result {
+        perimeter: uc.perimeter(),
+        repetitions: vec![
+            uc.perimeter() / j1.period(),
+            uc.perimeter() / j2.period(),
+        ],
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_arcs_are_stable_across_iterations() {
+        let r = fig3(10);
+        assert_eq!(r.profile.period(), Dur::from_millis(255));
+        let compute = r.profile.period() - r.profile.comm_time();
+        assert!((compute.as_millis_f64() - 141.0).abs() < 0.5);
+        for (i, &(at_compute, at_comm)) in r.per_iteration_checks.iter().enumerate() {
+            assert!(!at_compute, "iteration {i}: communicating mid-compute");
+            assert!(at_comm, "iteration {i}: idle mid-communication");
+        }
+    }
+
+    #[test]
+    fn fig4_rotation_removes_overlap() {
+        let r = fig4();
+        assert!(r.overlap_at_zero_ms > 50.0, "no initial congestion to fix");
+        assert!(r.verdict.is_compatible());
+        let rots = r.verdict.rotations().unwrap();
+        assert_eq!(rots[0].sectors, 0);
+        assert!(rots[1].sectors > 0, "a real rotation is needed");
+    }
+
+    #[test]
+    fn fig5_unified_circle_and_rotation() {
+        let r = fig5();
+        assert_eq!(r.perimeter, Dur::from_millis(120));
+        assert_eq!(r.repetitions, vec![3, 2]);
+        assert!(r.verdict.is_compatible(), "{:?}", r.verdict);
+        // The rotation is a true angle on the unified circle.
+        let rot = r.verdict.rotations().unwrap()[1];
+        assert!(rot.degrees >= 0.0 && rot.degrees < 360.0);
+    }
+}

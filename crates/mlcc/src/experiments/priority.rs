@@ -1,0 +1,174 @@
+//! §4.ii: priority queues on switches.
+//!
+//! Instead of changing congestion control, the end-hosts mark packets with
+//! a scheduler-assigned priority and the switch serves classes strictly —
+//! mimicking unfairness with zero NIC changes. For compatible jobs with
+//! unique priorities, the paper expects the same interleaving payoff as
+//! unfair congestion control. The cited caveat — switches have only a few
+//! queues — is exercised through [`scheduler::assign_priorities`].
+
+use crate::metrics::{JobStats, Speedup};
+use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator, SharingPolicy};
+use scheduler::assign_priorities;
+use simtime::{Bandwidth, Dur};
+use topology::builders::dumbbell;
+use workload::{JobSpec, Model};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct PriorityConfig {
+    /// Jobs sharing the bottleneck (compatible by default).
+    pub jobs: Vec<JobSpec>,
+    /// Switch priority queues available (8 on commodity switches).
+    pub queues: usize,
+    /// Iterations per scenario.
+    pub iterations: usize,
+    /// Warmup iterations excluded from statistics.
+    pub warmup: usize,
+}
+
+impl Default for PriorityConfig {
+    fn default() -> PriorityConfig {
+        PriorityConfig {
+            jobs: vec![
+                JobSpec::reference(Model::Vgg19, 1200),
+                JobSpec::reference(Model::Vgg19, 1200),
+            ],
+            queues: 8,
+            iterations: 20,
+            warmup: 5,
+        }
+    }
+}
+
+/// The §4.ii result.
+#[derive(Debug, Clone)]
+pub struct PriorityResult {
+    /// Per-job stats under max-min (fair) sharing.
+    pub fair: Vec<JobStats>,
+    /// Per-job stats under strict priorities.
+    pub prioritized: Vec<JobStats>,
+    /// The priority classes assigned.
+    pub classes: Vec<u8>,
+}
+
+impl PriorityResult {
+    /// Priority-over-fair speedups per job.
+    pub fn speedups(&self) -> Vec<Speedup> {
+        self.fair
+            .iter()
+            .zip(&self.prioritized)
+            .map(|(f, p)| p.speedup_vs(f))
+            .collect()
+    }
+
+    /// Renders a summary table.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "job".to_string(),
+            "priority".to_string(),
+            "fair".to_string(),
+            "prioritized".to_string(),
+            "speed-up".to_string(),
+        ]];
+        for (i, s) in self.speedups().iter().enumerate() {
+            rows.push(vec![
+                self.fair[i].label.clone(),
+                self.classes[i].to_string(),
+                format!("{:.0} ms", self.fair[i].median_ms()),
+                format!("{:.0} ms", self.prioritized[i].median_ms()),
+                s.to_string(),
+            ]);
+        }
+        crate::metrics::text_table(&rows)
+    }
+}
+
+fn run_policy(jobs: &[JobSpec], policy: SharingPolicy, cfg: &PriorityConfig) -> Vec<JobStats> {
+    let d = dumbbell(jobs.len(), Bandwidth::from_gbps(50), Bandwidth::from_gbps(50), Dur::ZERO);
+    let t = &d.topology;
+    let fjobs: Vec<FluidJob> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| {
+            let path = t
+                .route(topology::FlowKey {
+                    src: d.left_hosts[i],
+                    dst: d.right_hosts[i],
+                    tag: 0,
+                })
+                .expect("dumbbell connected");
+            FluidJob::single_path(spec, path.links().to_vec())
+        })
+        .collect();
+    let fluid_cfg = FluidConfig {
+        policy,
+        ..FluidConfig::fair()
+    };
+    let mut sim = FluidSimulator::new(t, fluid_cfg, &fjobs);
+    let cap = Bandwidth::from_gbps(50);
+    let per_iter = jobs.iter().map(|s| s.iteration_time_at(cap)).max().unwrap();
+    let ok = sim.run_until_iterations(
+        cfg.iterations,
+        per_iter * (cfg.iterations as u64 * (jobs.len() as u64 + 2) + 20),
+    );
+    assert!(ok, "priority: jobs did not finish");
+    (0..jobs.len())
+        .map(|i| JobStats::from_progress(sim.progress(i), cfg.warmup))
+        .collect()
+}
+
+/// Runs max-min vs strict-priority sharing.
+///
+/// # Panics
+/// Panics if more jobs than switch queues (surface the §4.ii caveat to the
+/// caller via [`assign_priorities`] first if unsure).
+pub fn run(cfg: &PriorityConfig) -> PriorityResult {
+    let classes = assign_priorities(cfg.jobs.len(), cfg.queues)
+        .expect("more jobs than switch priority queues");
+    let fair = run_policy(&cfg.jobs, SharingPolicy::MaxMin, cfg);
+    let prioritized = run_policy(&cfg.jobs, SharingPolicy::Priority(classes.clone()), cfg);
+    PriorityResult {
+        fair,
+        prioritized,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_interleave_compatible_jobs() {
+        let cfg = PriorityConfig {
+            iterations: 12,
+            warmup: 5,
+            ..PriorityConfig::default()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.classes.len(), 2);
+        assert_ne!(r.classes[0], r.classes[1], "classes must be unique");
+        for (i, s) in r.speedups().iter().enumerate() {
+            assert!(
+                s.0 > 1.2,
+                "job {i}: priority speedup only {s} (expected the full\
+                 fair→solo gain on this compatible pair)"
+            );
+        }
+        assert!(r.render().contains("priority"));
+    }
+
+    #[test]
+    #[should_panic(expected = "more jobs than switch priority queues")]
+    fn too_many_jobs_for_queues_panics() {
+        let cfg = PriorityConfig {
+            jobs: vec![JobSpec::reference(Model::ResNet50, 1600); 9],
+            queues: 8,
+            iterations: 2,
+            warmup: 0,
+            ..PriorityConfig::default()
+        };
+        let _ = run(&cfg);
+    }
+}

@@ -1,0 +1,311 @@
+//! Table 1: which job groups does unfairness help?
+//!
+//! Five groups of jobs share a 50 Gbps bottleneck. Each group runs twice:
+//! under default fair DCQCN, and under static unfairness with
+//! aggressiveness following the group's job order (each job's timer `T`
+//! strictly smaller — more aggressive — than the next job's). A group is
+//! **fully compatible** when unfairness speeds up *every* job in it.
+//!
+//! The paper's green rows are groups 2 (DLRM ×2), 4 (WideResNet + VGG16)
+//! and 5 (VGG19 + VGG16 + ResNet50); groups 1 and 3 (the BERT mixes) are
+//! incompatible: the aggressive BERT gains while a victim loses.
+//!
+//! We additionally run the geometry solver on each group's analytic
+//! profiles; its verdict must agree with the measured green/red outcome —
+//! that cross-check is the reproduction's central scientific claim.
+
+use crate::metrics::{text_table, JobStats, Speedup};
+use dcqcn::CcVariant;
+use geometry::{solve, SolverConfig, Verdict};
+use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
+use scheduler::analytic_profile;
+use simtime::{Bandwidth, Dur};
+use workload::{JobSpec, Model};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Table1Config {
+    /// Iterations measured per scenario.
+    pub iterations: usize,
+    /// Warmup iterations excluded from statistics.
+    pub warmup: usize,
+    /// Timers assigned in job order for the unfair scenario: job `k` of
+    /// `n` gets `min + k·(max−min)/(n−1)`.
+    pub timer_range: (Dur, Dur),
+    /// Geometry solver settings for the predicted-compatibility column.
+    pub solver: SolverConfig,
+    /// Profile quantization grid.
+    pub grid: Dur,
+}
+
+impl Default for Table1Config {
+    fn default() -> Table1Config {
+        Table1Config {
+            iterations: 30,
+            warmup: 5,
+            timer_range: (Dur::from_micros(100), Dur::from_micros(125)),
+            solver: SolverConfig::default(),
+            grid: Dur::from_micros(2_500),
+        }
+    }
+}
+
+/// The five job groups of Table 1, in paper order.
+pub fn paper_groups() -> Vec<Vec<JobSpec>> {
+    let j = JobSpec::reference;
+    vec![
+        vec![j(Model::BertLarge, 8), j(Model::Vgg19, 1200)],
+        vec![j(Model::Dlrm, 2000), j(Model::Dlrm, 2000)],
+        vec![
+            j(Model::BertLarge, 8),
+            j(Model::Vgg19, 1400),
+            j(Model::WideResNet50, 800),
+        ],
+        vec![j(Model::WideResNet50, 800), j(Model::Vgg16, 1400)],
+        vec![
+            j(Model::Vgg19, 1400),
+            j(Model::Vgg16, 1700),
+            j(Model::ResNet50, 1600),
+        ],
+    ]
+}
+
+/// One job's row within a group.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Job label.
+    pub label: String,
+    /// Mean iteration time under fair DCQCN.
+    pub fair: Dur,
+    /// Mean iteration time under ordered unfairness.
+    pub unfair: Dur,
+    /// `fair / unfair`.
+    pub speedup: Speedup,
+}
+
+/// One group's outcome.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// Per-job rows, in group order.
+    pub rows: Vec<Row>,
+    /// Measured: did unfairness speed up every job?
+    pub fully_compatible_measured: bool,
+    /// Predicted by the geometry solver on analytic profiles.
+    pub predicted: Verdict,
+}
+
+impl GroupResult {
+    /// `true` when the solver's verdict matches the measured outcome.
+    pub fn prediction_agrees(&self) -> bool {
+        self.predicted.is_compatible() == self.fully_compatible_measured
+    }
+}
+
+/// The full Table 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// One result per group, in paper order.
+    pub groups: Vec<GroupResult>,
+}
+
+impl Table1Result {
+    /// Renders the table in the paper's layout (plus the prediction
+    /// column).
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "jobs (batch)".to_string(),
+            "fair iter".to_string(),
+            "unfair iter".to_string(),
+            "speed-up".to_string(),
+            "fully compatible".to_string(),
+            "geometry predicts".to_string(),
+        ]];
+        for g in &self.groups {
+            for (i, r) in g.rows.iter().enumerate() {
+                let (m, p) = if i == 0 {
+                    (
+                        if g.fully_compatible_measured {
+                            "yes".to_string()
+                        } else {
+                            "no".to_string()
+                        },
+                        if g.predicted.is_compatible() {
+                            "compatible".to_string()
+                        } else {
+                            format!(
+                                "incompatible ({:.0}% overlap)",
+                                g.predicted.overlap_fraction() * 100.0
+                            )
+                        },
+                    )
+                } else {
+                    (String::new(), String::new())
+                };
+                rows.push(vec![
+                    r.label.clone(),
+                    format!("{:.0} ms", r.fair.as_millis_f64()),
+                    format!("{:.0} ms", r.unfair.as_millis_f64()),
+                    r.speedup.to_string(),
+                    m,
+                    p,
+                ]);
+            }
+        }
+        text_table(&rows)
+    }
+}
+
+/// Ordered unfairness: job `k` of `n` gets a timer linearly interpolated
+/// across `range` (first job most aggressive).
+pub fn ordered_timers(n: usize, range: (Dur, Dur)) -> Vec<Dur> {
+    assert!(n >= 1);
+    let (lo, hi) = range;
+    (0..n)
+        .map(|k| {
+            if n == 1 {
+                lo
+            } else {
+                let span = (hi - lo).as_nanos();
+                lo + Dur::from_nanos(span * k as u64 / (n as u64 - 1))
+            }
+        })
+        .collect()
+}
+
+fn mean_iteration_times(group: &[JobSpec], variants: &[CcVariant], cfg: &Table1Config) -> Vec<JobStats> {
+    let jobs: Vec<RateJob> = group
+        .iter()
+        .zip(variants)
+        .map(|(&spec, &v)| RateJob::new(spec, v))
+        .collect();
+    let mut sim = RateSimulator::new(RateSimConfig::default(), &jobs);
+    let cap = Bandwidth::from_gbps(50);
+    let per_iter = group
+        .iter()
+        .map(|s| s.iteration_time_at(cap))
+        .max()
+        .unwrap();
+    let ok = sim.run_until_iterations(
+        cfg.iterations,
+        per_iter * (cfg.iterations as u64 * (group.len() as u64 + 2) + 40),
+    );
+    assert!(ok, "table1: group did not finish");
+    (0..group.len())
+        .map(|i| JobStats::from_progress(sim.progress(i), cfg.warmup))
+        .collect()
+}
+
+/// Runs one group.
+pub fn run_group(group: &[JobSpec], cfg: &Table1Config) -> GroupResult {
+    let n = group.len();
+    let fair_variants = vec![CcVariant::Fair; n];
+    let timers = ordered_timers(n, cfg.timer_range);
+    let unfair_variants: Vec<CcVariant> = timers
+        .iter()
+        .map(|&t| CcVariant::StaticUnfair { timer: t })
+        .collect();
+
+    let fair = mean_iteration_times(group, &fair_variants, cfg);
+    let unfair = mean_iteration_times(group, &unfair_variants, cfg);
+
+    let rows: Vec<Row> = group
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| Row {
+            label: spec.label(),
+            fair: fair[i].mean(),
+            unfair: unfair[i].mean(),
+            speedup: unfair[i].speedup_vs(&fair[i]),
+        })
+        .collect();
+    let fully = rows.iter().all(|r| r.speedup.is_improvement());
+
+    let profiles: Vec<geometry::Profile> = group
+        .iter()
+        .map(|s| analytic_profile(s, Bandwidth::from_gbps(50), cfg.grid))
+        .collect();
+    let predicted = solve(&profiles, &cfg.solver).expect("profiles are valid");
+
+    GroupResult {
+        rows,
+        fully_compatible_measured: fully,
+        predicted,
+    }
+}
+
+/// Runs all five paper groups.
+pub fn run(cfg: &Table1Config) -> Table1Result {
+    Table1Result {
+        groups: paper_groups().iter().map(|g| run_group(g, cfg)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Table1Config {
+        Table1Config {
+            iterations: 8,
+            warmup: 3,
+            ..Table1Config::default()
+        }
+    }
+
+    #[test]
+    fn ordered_timers_interpolate() {
+        let t = ordered_timers(3, (Dur::from_micros(100), Dur::from_micros(125)));
+        assert_eq!(
+            t,
+            vec![
+                Dur::from_micros(100),
+                Dur::from_nanos(112_500),
+                Dur::from_micros(125)
+            ]
+        );
+        assert_eq!(ordered_timers(1, (Dur::from_micros(100), Dur::from_micros(125))).len(), 1);
+    }
+
+    /// Group 2 (DLRM ×2) is the paper's strongest green row: both jobs
+    /// speed up ≈1.3×, and geometry agrees.
+    #[test]
+    fn dlrm_pair_is_fully_compatible() {
+        let g = run_group(&paper_groups()[1], &quick());
+        assert!(g.fully_compatible_measured, "rows: {:?}", g.rows);
+        assert!(g.predicted.is_compatible());
+        assert!(g.prediction_agrees());
+        for r in &g.rows {
+            assert!(
+                r.speedup.0 > 1.15,
+                "{}: speedup {} below DLRM ballpark",
+                r.label,
+                r.speedup
+            );
+        }
+    }
+
+    /// Group 1 (BERT + VGG19) is red: the victim VGG19 slows down, and
+    /// geometry predicts incompatibility.
+    #[test]
+    fn bert_vgg_pair_is_incompatible() {
+        let g = run_group(&paper_groups()[0], &quick());
+        assert!(!g.fully_compatible_measured, "rows: {:?}", g.rows);
+        assert!(!g.predicted.is_compatible());
+        assert!(g.prediction_agrees());
+        // BERT (aggressive) gains; VGG19 (victim) loses.
+        assert!(g.rows[0].speedup.0 > 1.0, "BERT should gain: {:?}", g.rows);
+        assert!(
+            g.rows[1].speedup.0 < 1.0,
+            "VGG19 should lose: {:?}",
+            g.rows
+        );
+    }
+
+    /// Group 4 (WRN + VGG16, equal periods) is green.
+    #[test]
+    fn wrn_vgg16_pair_is_fully_compatible() {
+        let g = run_group(&paper_groups()[3], &quick());
+        assert!(g.fully_compatible_measured, "rows: {:?}", g.rows);
+        assert!(g.predicted.is_compatible());
+    }
+}

@@ -1,0 +1,193 @@
+//! Measurement plumbing shared by all experiments.
+
+use eventsim::Cdf;
+use simtime::Dur;
+use workload::JobProgress;
+
+/// Iteration-time statistics of one job in one scenario.
+#[derive(Debug, Clone)]
+pub struct JobStats {
+    /// Display label (e.g. `"VGG19(1200)"`).
+    pub label: String,
+    /// Iteration-time distribution (warmup excluded).
+    pub cdf: Cdf,
+}
+
+impl JobStats {
+    /// Builds stats from a finished job, discarding the first `warmup`
+    /// iterations (ramp-up transients — the paper reports steady-state
+    /// averages).
+    ///
+    /// # Panics
+    /// Panics if fewer than `warmup + 1` iterations completed.
+    pub fn from_progress(progress: &JobProgress, warmup: usize) -> JobStats {
+        let times: Vec<Dur> = progress
+            .iteration_times()
+            .into_iter()
+            .skip(warmup)
+            .collect();
+        assert!(
+            !times.is_empty(),
+            "JobStats: job {} completed only {} iterations (≤ warmup {})",
+            progress.spec().label(),
+            progress.completed(),
+            warmup
+        );
+        JobStats {
+            label: progress.spec().label(),
+            cdf: Cdf::from_samples(times),
+        }
+    }
+
+    /// Median iteration time.
+    pub fn median(&self) -> Dur {
+        self.cdf.median()
+    }
+
+    /// Mean iteration time.
+    pub fn mean(&self) -> Dur {
+        self.cdf.mean()
+    }
+
+    /// Median iteration time in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median().as_millis_f64()
+    }
+
+    /// Speedup of `self` (the new scheme) relative to `baseline`, by mean
+    /// iteration time — how Table 1 reports it (`>1` means faster).
+    pub fn speedup_vs(&self, baseline: &JobStats) -> Speedup {
+        Speedup(baseline.mean().as_secs_f64() / self.mean().as_secs_f64())
+    }
+}
+
+/// A speedup factor (baseline time / new time).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Speedup(pub f64);
+
+impl Speedup {
+    /// `true` if the scheme is at least as fast as the baseline, with a 2%
+    /// tolerance: steady states in the deterministic engine wobble by a
+    /// percent either way across warmup choices, and the paper's own
+    /// compatible rows include a 1.01× entry (Table 1, ResNet50).
+    pub fn is_improvement(&self) -> bool {
+        self.0 >= 0.98
+    }
+}
+
+impl std::fmt::Display for Speedup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}×", self.0)
+    }
+}
+
+/// Renders rows as a fixed-width text table (first row = header).
+///
+/// # Panics
+/// Panics if rows have inconsistent lengths.
+pub fn text_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows[0].len();
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        assert_eq!(row.len(), cols, "text_table: ragged rows");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(cell);
+            for _ in cell.chars().count()..widths[i] + 2 {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, &w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(w));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::Time;
+    use workload::{JobSpec, Model};
+
+    fn fake_progress(iters: &[u64]) -> JobProgress {
+        let spec = JobSpec::reference(Model::ResNet50, 1600);
+        let mut p = JobProgress::new(spec, Time::ZERO);
+        for &ms in iters {
+            let mut now = p.next_self_transition().unwrap();
+            p.poll(now);
+            // Finish the iteration exactly `ms` ms after it started.
+            let target = p.iterations().last().map(|r| r.completed).unwrap_or(Time::ZERO)
+                + Dur::from_millis(ms);
+            now = now.max(target);
+            p.deliver(p.remaining_bytes(), target.max(now));
+        }
+        p
+    }
+
+    #[test]
+    fn warmup_is_skipped() {
+        let p = fake_progress(&[500, 200, 200, 200]);
+        let s = JobStats::from_progress(&p, 1);
+        assert_eq!(s.cdf.len(), 3);
+        assert_eq!(s.median(), Dur::from_millis(200));
+        assert_eq!(s.label, "ResNet50(1600)");
+    }
+
+    #[test]
+    #[should_panic(expected = "completed only")]
+    fn all_warmup_panics() {
+        let p = fake_progress(&[200]);
+        let _ = JobStats::from_progress(&p, 1);
+    }
+
+    #[test]
+    fn speedup_math_and_display() {
+        let fast = JobStats {
+            label: "a".into(),
+            cdf: Cdf::from_samples(vec![Dur::from_millis(100)]),
+        };
+        let slow = JobStats {
+            label: "b".into(),
+            cdf: Cdf::from_samples(vec![Dur::from_millis(130)]),
+        };
+        let s = fast.speedup_vs(&slow);
+        assert!((s.0 - 1.3).abs() < 1e-9);
+        assert!(s.is_improvement());
+        assert_eq!(s.to_string(), "1.30×");
+        let worse = slow.speedup_vs(&fast);
+        assert!(!worse.is_improvement());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = text_table(&[
+            vec!["job".into(), "median".into()],
+            vec!["VGG19(1200)".into(), "297 ms".into()],
+            vec!["x".into(), "1 ms".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("job"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "median" and "297 ms" start at the same offset.
+        let h = lines[0].find("median").unwrap();
+        let v = lines[2].find("297").unwrap();
+        assert_eq!(h, v);
+    }
+}

@@ -1,0 +1,305 @@
+//! Bandwidth allocation: progressive-filling max-min, weighted max-min,
+//! and strict priorities.
+//!
+//! Pure functions over an abstract `(flows × links)` incidence structure so
+//! they can be tested exhaustively and reused by both engines. Rates are
+//! `f64` bits/s.
+
+/// A flow's demand for allocation purposes.
+#[derive(Debug, Clone)]
+pub struct FlowDemand {
+    /// Indices (into the caller's link table) of links the flow traverses.
+    pub links: Vec<usize>,
+    /// Max-min weight (1.0 = plain fair). Ignored under strict priority
+    /// *between* classes but still applied within a class.
+    pub weight: f64,
+    /// Priority class; higher allocates strictly first.
+    pub priority: u8,
+    /// Upper bound on the flow's rate (its NIC line rate), bits/s.
+    pub rate_cap: f64,
+}
+
+/// Computes weighted max-min rates for `flows` over links with the given
+/// residual `capacities` (bits/s), via progressive filling:
+///
+/// repeatedly find the bottleneck link — the one minimizing
+/// `residual / Σ weights of unfrozen flows` — freeze its flows at that fair
+/// share, subtract, and continue. Flows are also frozen early if they hit
+/// `rate_cap`.
+///
+/// Returns one rate per flow (0 for flows with no links — they are
+/// unconstrained by this fabric and get their cap).
+///
+/// # Panics
+/// Panics on non-positive weights or negative capacities.
+pub fn weighted_max_min(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
+    for f in flows {
+        assert!(f.weight > 0.0, "weighted_max_min: non-positive weight");
+        assert!(f.rate_cap >= 0.0, "weighted_max_min: negative rate cap");
+    }
+    for &c in capacities {
+        assert!(c >= 0.0, "weighted_max_min: negative capacity");
+    }
+    let n = flows.len();
+    let mut rate = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut residual: Vec<f64> = capacities.to_vec();
+
+    // Flows that traverse no link are only bound by their cap.
+    for (i, f) in flows.iter().enumerate() {
+        if f.links.is_empty() {
+            rate[i] = f.rate_cap;
+            frozen[i] = true;
+        }
+    }
+
+    loop {
+        // Per-link unfrozen weight totals.
+        let mut link_weight = vec![0.0f64; capacities.len()];
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                for &l in &f.links {
+                    link_weight[l] += f.weight;
+                }
+            }
+        }
+        // Candidate fair-share increments: bottleneck link level, and each
+        // unfrozen flow's cap.
+        let mut bottleneck_share = f64::INFINITY;
+        for (l, &w) in link_weight.iter().enumerate() {
+            if w > 0.0 {
+                bottleneck_share = bottleneck_share.min(residual[l] / w);
+            }
+        }
+        if bottleneck_share == f64::INFINITY {
+            break; // no unfrozen flow touches any link
+        }
+        // The binding constraint could be a flow cap below the bottleneck
+        // share.
+        let mut level = bottleneck_share;
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                level = level.min((f.rate_cap - rate[i]) / f.weight);
+            }
+        }
+        level = level.max(0.0);
+
+        // Raise all unfrozen flows by level·weight.
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                let inc = level * f.weight;
+                rate[i] += inc;
+                for &l in &f.links {
+                    residual[l] = (residual[l] - inc).max(0.0);
+                }
+            }
+        }
+        // Freeze flows at cap or on saturated links.
+        let mut any_frozen = false;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let capped = rate[i] >= f.rate_cap - 1e-6;
+            let saturated = f
+                .links
+                .iter()
+                .any(|&l| residual[l] <= 1e-6 * capacities[l].max(1.0));
+            if capped || saturated {
+                frozen[i] = true;
+                any_frozen = true;
+            }
+        }
+        if !any_frozen {
+            // Numerical safety: if nothing froze, freeze the flows on the
+            // bottleneck link to guarantee termination.
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] && !f.links.is_empty() {
+                    frozen[i] = true;
+                }
+            }
+        }
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+    }
+    rate
+}
+
+/// Allocates with strict priorities: all flows of the highest class share
+/// first (weighted max-min among themselves), then the next class gets the
+/// residual capacity, and so on — the switch-priority-queue mechanism of
+/// §4.ii.
+pub fn strict_priority(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
+    let mut rates = vec![0.0f64; flows.len()];
+    let mut residual: Vec<f64> = capacities.to_vec();
+    let mut classes: Vec<u8> = flows.iter().map(|f| f.priority).collect();
+    classes.sort_unstable_by(|a, b| b.cmp(a));
+    classes.dedup();
+    for class in classes {
+        let idx: Vec<usize> = flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.priority == class)
+            .map(|(i, _)| i)
+            .collect();
+        let class_flows: Vec<FlowDemand> = idx.iter().map(|&i| flows[i].clone()).collect();
+        let class_rates = weighted_max_min(&class_flows, &residual);
+        for (k, &i) in idx.iter().enumerate() {
+            rates[i] = class_rates[k];
+            for &l in &flows[i].links {
+                residual[l] = (residual[l] - class_rates[k]).max(0.0);
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS: f64 = 1e9;
+
+    fn flow(links: &[usize], weight: f64, priority: u8, cap: f64) -> FlowDemand {
+        FlowDemand {
+            links: links.to_vec(),
+            weight,
+            priority,
+            rate_cap: cap,
+        }
+    }
+
+    #[test]
+    fn equal_split_on_one_link() {
+        let flows = vec![
+            flow(&[0], 1.0, 0, 100.0 * GBPS),
+            flow(&[0], 1.0, 0, 100.0 * GBPS),
+        ];
+        let r = weighted_max_min(&flows, &[50.0 * GBPS]);
+        assert!((r[0] - 25.0 * GBPS).abs() < 1.0);
+        assert!((r[1] - 25.0 * GBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn weights_split_proportionally() {
+        // 2:1 weights → 2:1 rates — the fluid stand-in for the paper's
+        // 30/15 Gbps unfair split (Fig. 1c).
+        let flows = vec![
+            flow(&[0], 2.0, 0, 100.0 * GBPS),
+            flow(&[0], 1.0, 0, 100.0 * GBPS),
+        ];
+        let r = weighted_max_min(&flows, &[45.0 * GBPS]);
+        assert!((r[0] - 30.0 * GBPS).abs() < 1.0, "r0 {}", r[0]);
+        assert!((r[1] - 15.0 * GBPS).abs() < 1.0, "r1 {}", r[1]);
+    }
+
+    #[test]
+    fn rate_cap_redistribution() {
+        // One flow capped at 10; the other picks up the slack.
+        let flows = vec![
+            flow(&[0], 1.0, 0, 10.0 * GBPS),
+            flow(&[0], 1.0, 0, 100.0 * GBPS),
+        ];
+        let r = weighted_max_min(&flows, &[50.0 * GBPS]);
+        assert!((r[0] - 10.0 * GBPS).abs() < 1.0);
+        assert!((r[1] - 40.0 * GBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn classic_multi_link_max_min() {
+        // Textbook: flow A on links 0+1, B on 0, C on 1; caps 10 each.
+        // Max-min: A=5, B=5, C=5 (both links split evenly).
+        let flows = vec![
+            flow(&[0, 1], 1.0, 0, 1e12),
+            flow(&[0], 1.0, 0, 1e12),
+            flow(&[1], 1.0, 0, 1e12),
+        ];
+        let r = weighted_max_min(&flows, &[10.0 * GBPS, 10.0 * GBPS]);
+        for (i, &v) in r.iter().enumerate() {
+            assert!((v - 5.0 * GBPS).abs() < 1.0, "flow {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_multi_link() {
+        // Flow A crosses links 0 (cap 10) and 1 (cap 4); flow B only link 0.
+        // A is bottlenecked at 4 on link 1; B then gets 6 on link 0.
+        let flows = vec![flow(&[0, 1], 1.0, 0, 1e12), flow(&[0], 1.0, 0, 1e12)];
+        let r = weighted_max_min(&flows, &[10.0 * GBPS, 4.0 * GBPS]);
+        assert!((r[0] - 4.0 * GBPS).abs() < 1.0, "A {}", r[0]);
+        assert!((r[1] - 6.0 * GBPS).abs() < 1.0, "B {}", r[1]);
+    }
+
+    #[test]
+    fn linkless_flow_gets_cap() {
+        let flows = vec![flow(&[], 1.0, 0, 7.0 * GBPS)];
+        let r = weighted_max_min(&flows, &[]);
+        assert_eq!(r[0], 7.0 * GBPS);
+    }
+
+    #[test]
+    fn no_capacity_leaks() {
+        // Conservation: total allocated on a link never exceeds capacity.
+        let flows = vec![
+            flow(&[0], 1.3, 0, 40.0 * GBPS),
+            flow(&[0], 0.7, 0, 40.0 * GBPS),
+            flow(&[0], 2.0, 0, 5.0 * GBPS),
+        ];
+        let cap = 50.0 * GBPS;
+        let r = weighted_max_min(&flows, &[cap]);
+        let total: f64 = r.iter().sum();
+        assert!(total <= cap * (1.0 + 1e-9), "total {total}");
+        // And it is work-conserving here (demand exceeds capacity).
+        assert!(total >= cap * 0.999, "total {total}");
+    }
+
+    #[test]
+    fn strict_priority_preempts() {
+        // High class takes everything it can; low class starves (§4.ii).
+        let flows = vec![
+            flow(&[0], 1.0, 1, 100.0 * GBPS), // high
+            flow(&[0], 1.0, 0, 100.0 * GBPS), // low
+        ];
+        let r = strict_priority(&flows, &[50.0 * GBPS]);
+        assert!((r[0] - 50.0 * GBPS).abs() < 1.0);
+        assert!(r[1] < 1.0);
+    }
+
+    #[test]
+    fn strict_priority_residual_flows_down() {
+        // High class capped at 20 → low class gets the remaining 30.
+        let flows = vec![
+            flow(&[0], 1.0, 5, 20.0 * GBPS),
+            flow(&[0], 1.0, 2, 100.0 * GBPS),
+        ];
+        let r = strict_priority(&flows, &[50.0 * GBPS]);
+        assert!((r[0] - 20.0 * GBPS).abs() < 1.0);
+        assert!((r[1] - 30.0 * GBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn strict_priority_within_class_is_weighted() {
+        let flows = vec![
+            flow(&[0], 3.0, 1, 1e12),
+            flow(&[0], 1.0, 1, 1e12),
+            flow(&[0], 1.0, 0, 1e12),
+        ];
+        let r = strict_priority(&flows, &[40.0 * GBPS]);
+        assert!((r[0] - 30.0 * GBPS).abs() < 1.0);
+        assert!((r[1] - 10.0 * GBPS).abs() < 1.0);
+        assert!(r[2] < 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(weighted_max_min(&[], &[1.0 * GBPS]).is_empty());
+        assert!(strict_priority(&[], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive weight")]
+    fn zero_weight_rejected() {
+        weighted_max_min(&[flow(&[0], 0.0, 0, 1.0)], &[1.0]);
+    }
+}

@@ -1,0 +1,842 @@
+//! The event-driven fluid engine: idealized bandwidth sharing over an
+//! arbitrary topology.
+//!
+//! Where the [`crate::rate`] engine lets congestion control *emerge*, this
+//! engine imposes an instantaneous allocation policy and advances directly
+//! from flow event to flow event — no fixed time step, so a 1000-iteration
+//! cluster experiment costs thousands of allocation recomputes rather than
+//! tens of millions of micro-steps. It drives the paper's mechanism
+//! experiments:
+//!
+//! * [`SharingPolicy::MaxMin`] — the idealized fair baseline;
+//! * [`SharingPolicy::Weighted`] — static unfairness as a weight vector
+//!   (the fluid analogue of tuning DCQCN's `T`);
+//! * [`SharingPolicy::Priority`] — switch priority queues (§4.ii): higher
+//!   classes preempt lower ones entirely;
+//! * [`Gate`]s — precise flow scheduling (§4.iii): a job's communication
+//!   phase is released only at scheduled instants derived from the
+//!   geometry solver's rotation angles.
+
+use crate::alloc::{strict_priority, weighted_max_min, FlowDemand};
+use eventsim::{EventQueue, TimeSeries};
+use simtime::{Bandwidth, Dur, Time};
+use topology::{LinkId, Topology};
+use workload::{JobProgress, JobSpec};
+
+/// How link bandwidth is divided among contending flows.
+#[derive(Debug, Clone)]
+pub enum SharingPolicy {
+    /// Plain max-min fairness (what ideal fair congestion control gives).
+    MaxMin,
+    /// Weighted max-min with one weight per job.
+    Weighted(Vec<f64>),
+    /// Strict priorities with one class per job; higher class wins the
+    /// whole link while it communicates.
+    Priority(Vec<u8>),
+}
+
+/// A communication-phase release gate (§4.iii): the phase may start only at
+/// instants `t` with `(t − offset) ≡ 0 (mod period)`. A job whose forward
+/// pass finishes between slots waits for the next one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    /// Slot anchor.
+    pub offset: Dur,
+    /// Slot period (normally the job's iteration time).
+    pub period: Dur,
+}
+
+impl Gate {
+    /// The first release instant at or after `now`.
+    pub fn next_release(&self, now: Time) -> Time {
+        assert!(!self.period.is_zero(), "Gate: zero period");
+        let off = self.offset % self.period;
+        let pos = (now.elapsed() + self.period - off) % self.period;
+        if pos.is_zero() {
+            now
+        } else {
+            now + (self.period - pos)
+        }
+    }
+}
+
+/// One flow of a job: a path through the fabric and the share of the job's
+/// per-iteration bytes it carries.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Links traversed.
+    pub links: Vec<LinkId>,
+    /// Fraction of the job's communication bytes on this flow, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+/// A job participating in the fluid simulation.
+#[derive(Debug, Clone)]
+pub struct FluidJob {
+    /// The training job.
+    pub spec: JobSpec,
+    /// When its first compute phase starts.
+    pub start_offset: Dur,
+    /// Its flows. Fractions must sum to 1.
+    pub flows: Vec<FlowSpec>,
+    /// Total bytes injected per iteration across all flows. `None` uses
+    /// the spec's calibrated volume; placements that split the allreduce
+    /// into `k` concurrent inter-rack hops set `k ×` the calibrated bytes
+    /// (each hop carries the full ring volume).
+    pub total_bytes_override: Option<f64>,
+}
+
+impl FluidJob {
+    /// A job with one flow carrying all its bytes over `links`.
+    pub fn single_path(spec: JobSpec, links: Vec<LinkId>) -> FluidJob {
+        FluidJob {
+            spec,
+            start_offset: Dur::ZERO,
+            flows: vec![FlowSpec {
+                links,
+                fraction: 1.0,
+            }],
+            total_bytes_override: None,
+        }
+    }
+
+    /// Same, with a staggered start.
+    pub fn single_path_at(spec: JobSpec, links: Vec<LinkId>, start_offset: Dur) -> FluidJob {
+        FluidJob {
+            start_offset,
+            ..FluidJob::single_path(spec, links)
+        }
+    }
+}
+
+/// Configuration of the fluid engine.
+#[derive(Debug, Clone)]
+pub struct FluidConfig {
+    /// Allocation policy.
+    pub policy: SharingPolicy,
+    /// Optional per-job communication gates (§4.iii).
+    pub gates: Vec<Option<Gate>>,
+    /// Per-flow rate cap (NIC line rate).
+    pub nic_rate: Bandwidth,
+}
+
+impl FluidConfig {
+    /// Max-min sharing, no gates, 50 Gbps NICs.
+    pub fn fair() -> FluidConfig {
+        FluidConfig {
+            policy: SharingPolicy::MaxMin,
+            gates: Vec::new(),
+            nic_rate: Bandwidth::from_gbps(50),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlowState {
+    links: Vec<usize>,
+    fraction: f64,
+    /// Bytes left in the current phase (0 while idle).
+    remaining: f64,
+    /// Current allocated rate, bits/s.
+    rate: f64,
+}
+
+#[derive(Debug)]
+struct JState {
+    progress: JobProgress,
+    flows: Vec<FlowState>,
+    gate: Option<Gate>,
+    /// Whether the current communication phase has been released.
+    released: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Check a job's compute deadline.
+    Poll(usize),
+    /// A gate releases a job's pending communication phase.
+    GateOpen(usize),
+}
+
+/// Sub-byte residual below which a flow's phase share counts as finished.
+const FLOW_EPS: f64 = 0.5;
+
+/// The event-driven fluid simulator.
+pub struct FluidSimulator {
+    capacities: Vec<f64>,
+    jobs: Vec<JState>,
+    events: EventQueue<Ev>,
+    /// The fluid clock. Distinct from the event queue's internal clock,
+    /// which only advances when events pop: flows progress continuously
+    /// *between* events, and this field tracks that.
+    now: Time,
+    policy: SharingPolicy,
+    nic_rate: f64,
+    rates_dirty: bool,
+    throughput_traces: Vec<TimeSeries>,
+}
+
+impl FluidSimulator {
+    /// Builds a simulator over `topo` for the given jobs.
+    ///
+    /// # Panics
+    /// Panics if `jobs` is empty, a flow fraction is outside `(0, 1]`, a
+    /// job's fractions do not sum to 1, a policy vector's length mismatches
+    /// the job count, or a gate vector's length mismatches.
+    pub fn new(topo: &Topology, cfg: FluidConfig, jobs: &[FluidJob]) -> FluidSimulator {
+        assert!(!jobs.is_empty(), "FluidSimulator: no jobs");
+        match &cfg.policy {
+            SharingPolicy::MaxMin => {}
+            SharingPolicy::Weighted(w) => {
+                assert_eq!(w.len(), jobs.len(), "policy weights length mismatch")
+            }
+            SharingPolicy::Priority(p) => {
+                assert_eq!(p.len(), jobs.len(), "policy priorities length mismatch")
+            }
+        }
+        if !cfg.gates.is_empty() {
+            assert_eq!(cfg.gates.len(), jobs.len(), "gates length mismatch");
+            for (j, job) in jobs.iter().enumerate() {
+                assert!(
+                    cfg.gates[j].is_none() || job.spec.pipeline.chunks == 1,
+                    "job {j}: gates release whole communication phases; a \
+                     pipelined job's gap segments would each wait for the \
+                     next slot (unsupported combination)"
+                );
+            }
+        }
+        let capacities: Vec<f64> = topo
+            .links()
+            .iter()
+            .map(|l| l.capacity.as_bps_f64())
+            .collect();
+        let mut events = EventQueue::new();
+        let mut states = Vec::with_capacity(jobs.len());
+        for (j, job) in jobs.iter().enumerate() {
+            let total: f64 = job.flows.iter().map(|f| f.fraction).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "job {j}: flow fractions sum to {total}, expected 1"
+            );
+            let flows = job
+                .flows
+                .iter()
+                .map(|f| {
+                    assert!(
+                        f.fraction > 0.0 && f.fraction <= 1.0,
+                        "job {j}: flow fraction {} outside (0, 1]",
+                        f.fraction
+                    );
+                    FlowState {
+                        links: f.links.iter().map(|l| l.0 as usize).collect(),
+                        fraction: f.fraction,
+                        remaining: 0.0,
+                        rate: 0.0,
+                    }
+                })
+                .collect();
+            let progress = match job.total_bytes_override {
+                None => JobProgress::new(job.spec, Time::ZERO + job.start_offset),
+                Some(bytes) => {
+                    JobProgress::with_comm_bytes(job.spec, Time::ZERO + job.start_offset, bytes)
+                }
+            };
+            let poll_at = progress.next_self_transition().expect("job starts computing");
+            events.schedule_at(poll_at, Ev::Poll(j));
+            states.push(JState {
+                progress,
+                flows,
+                gate: cfg.gates.get(j).copied().flatten(),
+                released: false,
+            });
+        }
+        FluidSimulator {
+            capacities,
+            jobs: states,
+            events,
+            now: Time::ZERO,
+            policy: cfg.policy,
+            nic_rate: cfg.nic_rate.as_bps_f64(),
+            rates_dirty: true,
+            throughput_traces: (0..jobs.len()).map(|_| TimeSeries::new()).collect(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Iteration bookkeeping of job `j`.
+    pub fn progress(&self, j: usize) -> &JobProgress {
+        &self.jobs[j].progress
+    }
+
+    /// Per-job aggregate throughput trace (Gbps), sampled at every
+    /// allocation change.
+    pub fn throughput_trace(&self, j: usize) -> &TimeSeries {
+        &self.throughput_traces[j]
+    }
+
+    /// Instantaneous utilization of link `l` (allocated rate over
+    /// capacity, in `[0, 1]`) under the current allocation.
+    ///
+    /// # Panics
+    /// Panics if `l` is out of range or the link has zero capacity.
+    pub fn link_utilization(&self, l: topology::LinkId) -> f64 {
+        let idx = l.0 as usize;
+        assert!(idx < self.capacities.len(), "unknown link {l}");
+        let cap = self.capacities[idx];
+        assert!(cap > 0.0, "link {l} has zero capacity");
+        let allocated: f64 = self
+            .jobs
+            .iter()
+            .flat_map(|js| js.flows.iter())
+            .filter(|f| f.links.contains(&idx))
+            .map(|f| f.rate)
+            .sum();
+        allocated / cap
+    }
+
+    fn flow_is_active(js: &JState, f: &FlowState) -> bool {
+        js.progress.is_communicating() && js.released && f.remaining > 0.0
+    }
+
+    /// Recomputes the allocation for the currently active flows.
+    fn recompute_rates(&mut self) {
+        let mut demands = Vec::new();
+        let mut owners = Vec::new();
+        for (j, js) in self.jobs.iter().enumerate() {
+            for (fi, f) in js.flows.iter().enumerate() {
+                if Self::flow_is_active(js, f) {
+                    let (weight, priority) = match &self.policy {
+                        SharingPolicy::MaxMin => (1.0, 0),
+                        SharingPolicy::Weighted(w) => (w[j], 0),
+                        SharingPolicy::Priority(p) => (1.0, p[j]),
+                    };
+                    demands.push(FlowDemand {
+                        links: f.links.clone(),
+                        weight,
+                        priority,
+                        rate_cap: self.nic_rate,
+                    });
+                    owners.push((j, fi));
+                }
+            }
+        }
+        let rates = match &self.policy {
+            SharingPolicy::Priority(_) => strict_priority(&demands, &self.capacities),
+            _ => weighted_max_min(&demands, &self.capacities),
+        };
+        for js in &mut self.jobs {
+            for f in &mut js.flows {
+                f.rate = 0.0;
+            }
+        }
+        for (k, &(j, fi)) in owners.iter().enumerate() {
+            self.jobs[j].flows[fi].rate = rates[k];
+        }
+        // Trace each job's aggregate throughput.
+        let now = self.now;
+        for (j, js) in self.jobs.iter().enumerate() {
+            let total: f64 = js.flows.iter().map(|f| f.rate).sum();
+            self.throughput_traces[j].push_compressed(now, total / 1e9);
+        }
+        self.rates_dirty = false;
+    }
+
+    /// Earliest active-flow completion instant, if any flow is active.
+    fn next_completion(&self) -> Option<Time> {
+        let now = self.now;
+        let mut best: Option<Time> = None;
+        for js in &self.jobs {
+            for f in &js.flows {
+                if Self::flow_is_active(js, f) && f.rate > 0.0 {
+                    let secs = f.remaining * 8.0 / f.rate;
+                    // Round up so we never stall on sub-nanosecond slices.
+                    let d = Dur::from_secs_f64(secs).max(Dur::NANOSECOND);
+                    let t = now + d;
+                    best = Some(match best {
+                        None => t,
+                        Some(b) => b.min(t),
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Advances all active flows to `t`, delivering bytes to their jobs.
+    fn advance_to(&mut self, t: Time) {
+        if t <= self.now {
+            return;
+        }
+        let dt = (t - self.now).as_secs_f64();
+        self.now = t;
+        for j in 0..self.jobs.len() {
+            let js = &mut self.jobs[j];
+            if !(js.progress.is_communicating() && js.released) {
+                continue;
+            }
+            let mut delivered = 0.0;
+            let mut all_done = true;
+            let mut any_flow_finished = false;
+            for f in &mut js.flows {
+                if f.remaining > 0.0 {
+                    let mut d = (f.rate * dt / 8.0).min(f.remaining);
+                    if f.remaining - d <= FLOW_EPS {
+                        d = f.remaining; // flush sub-byte dust exactly
+                    }
+                    f.remaining -= d;
+                    delivered += d;
+                    if f.remaining > 0.0 {
+                        all_done = false;
+                    } else {
+                        any_flow_finished = true;
+                    }
+                }
+            }
+            if any_flow_finished {
+                // A finished flow frees capacity for its siblings and
+                // competitors: reallocate.
+                self.rates_dirty = true;
+            }
+            if delivered > 0.0 {
+                let mut finished_phase = js.progress.deliver(delivered, t).is_some();
+                if !finished_phase && all_done && js.progress.is_communicating() {
+                    // All flows delivered but the job believes bytes remain:
+                    // float dust mismatch. Flush it.
+                    let res = js.progress.remaining_bytes();
+                    if res > 0.0 {
+                        finished_phase = js.progress.deliver(res, t).is_some();
+                    }
+                }
+                // Whether the delivery ended the whole iteration
+                // (`finished_phase`) or just one pipelined segment, the job
+                // is now computing: park the flows and schedule its poll.
+                if !js.progress.is_communicating() {
+                    debug_assert!(
+                        all_done || !finished_phase,
+                        "job finished with flow bytes left"
+                    );
+                    js.released = false;
+                    let poll_at = js
+                        .progress
+                        .next_self_transition()
+                        .expect("job computes between communication segments");
+                    self.events.schedule_at(poll_at.max(t), Ev::Poll(j));
+                    self.rates_dirty = true;
+                }
+            }
+        }
+    }
+
+    fn handle_event(&mut self, ev: Ev) {
+        let now = self.now;
+        match ev {
+            Ev::Poll(j) => {
+                let js = &mut self.jobs[j];
+                if js.progress.poll(now) {
+                    // Phase bytes split across flows by fraction.
+                    let total = js.progress.remaining_bytes();
+                    for f in &mut js.flows {
+                        f.remaining = total * f.fraction;
+                    }
+                    match js.gate {
+                        None => {
+                            js.released = true;
+                            self.rates_dirty = true;
+                        }
+                        Some(g) => {
+                            let at = g.next_release(now);
+                            if at == now {
+                                js.released = true;
+                                self.rates_dirty = true;
+                            } else {
+                                self.events.schedule_at(at, Ev::GateOpen(j));
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::GateOpen(j) => {
+                let js = &mut self.jobs[j];
+                if js.progress.is_communicating() && !js.released {
+                    js.released = true;
+                    self.rates_dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Runs until `t_stop`.
+    pub fn run_until(&mut self, t_stop: Time) {
+        loop {
+            if self.rates_dirty {
+                self.recompute_rates();
+            }
+            if self.now >= t_stop {
+                return;
+            }
+            let completion = self.next_completion();
+            let next_ev = self.events.peek_time();
+            let t_next = [completion, next_ev, Some(t_stop)]
+                .into_iter()
+                .flatten()
+                .min()
+                .unwrap();
+            self.advance_to(t_next);
+            // Process all events due exactly now.
+            while let Some(e) = self.events.pop_until(t_next) {
+                self.handle_event(e.event);
+            }
+            if !self.rates_dirty && self.events.is_empty() && self.next_completion().is_none() {
+                // Nothing will ever happen again (all jobs somehow idle
+                // with no pending polls — impossible in normal operation,
+                // but guard against infinite loops).
+                return;
+            }
+            if t_next >= t_stop {
+                return;
+            }
+        }
+    }
+
+    /// Runs for a span of simulated time.
+    pub fn run_for(&mut self, span: Dur) {
+        let stop = self.now + span;
+        self.run_until(stop);
+    }
+
+    /// Runs until every job completed `n` iterations or `max_span` elapses;
+    /// returns `true` on success.
+    pub fn run_until_iterations(&mut self, n: usize, max_span: Dur) -> bool {
+        let stop = self.now + max_span;
+        while self.now < stop {
+            if self.jobs.iter().all(|j| j.progress.completed() >= n) {
+                return true;
+            }
+            // Run in slices so we can check the predicate.
+            let slice_end = (self.now + Dur::from_millis(10)).min(stop);
+            self.run_until(slice_end);
+        }
+        self.jobs.iter().all(|j| j.progress.completed() >= n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventsim::Cdf;
+    use topology::builders::dumbbell;
+    use workload::Model;
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(50);
+
+    /// A dumbbell with two left→right jobs, both crossing the bottleneck.
+    fn two_job_setup(
+        spec_a: JobSpec,
+        spec_b: JobSpec,
+        cfg: FluidConfig,
+    ) -> (FluidSimulator, Topology) {
+        let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+        let t = d.topology.clone();
+        let path = |i: usize| {
+            t.route(topology::FlowKey {
+                src: d.left_hosts[i],
+                dst: d.right_hosts[i],
+                tag: 0,
+            })
+            .unwrap()
+            .links()
+            .to_vec()
+        };
+        let jobs = [
+            FluidJob::single_path(spec_a, path(0)),
+            FluidJob::single_path(spec_b, path(1)),
+        ];
+        (FluidSimulator::new(&t, cfg, &jobs), t)
+    }
+
+    fn median_ms(sim: &FluidSimulator, j: usize, skip: usize) -> f64 {
+        let times: Vec<_> = sim
+            .progress(j)
+            .iteration_times()
+            .into_iter()
+            .skip(skip)
+            .collect();
+        Cdf::from_samples(times).median().as_millis_f64()
+    }
+
+    #[test]
+    fn solo_job_matches_analytic() {
+        let d = dumbbell(1, LINE, LINE, Dur::ZERO);
+        let path = d
+            .topology
+            .route(topology::FlowKey {
+                src: d.left_hosts[0],
+                dst: d.right_hosts[0],
+                tag: 0,
+            })
+            .unwrap();
+        let spec = JobSpec::reference(Model::Vgg16, 1400);
+        let job = FluidJob::single_path(spec, path.links().to_vec());
+        let mut sim = FluidSimulator::new(&d.topology, FluidConfig::fair(), &[job]);
+        assert!(sim.run_until_iterations(5, Dur::from_secs(3)));
+        let expected = spec.iteration_time_at(LINE).as_millis_f64();
+        let got = median_ms(&sim, 0, 0);
+        assert!(
+            (got - expected).abs() < 0.5,
+            "solo {got:.2} ms vs analytic {expected:.2} ms"
+        );
+    }
+
+    /// Fluid max-min locks two identical simultaneous jobs at K + 2C —
+    /// the same steady state the rate-based DCQCN engine converges to.
+    #[test]
+    fn fair_maxmin_locks_identical_jobs() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let (mut sim, _t) = two_job_setup(spec, spec, FluidConfig::fair());
+        assert!(sim.run_until_iterations(6, Dur::from_secs(5)));
+        let expected =
+            (spec.compute_time() + spec.comm_time_at(LINE) * 2).as_millis_f64();
+        for j in 0..2 {
+            let got = median_ms(&sim, j, 1);
+            assert!(
+                (got - expected).abs() < 1.0,
+                "job {j}: {got:.1} ms vs K+2C = {expected:.1} ms"
+            );
+        }
+    }
+
+    /// Weighted max-min (static unfairness) slides compatible jobs apart:
+    /// both converge to their solo iteration time.
+    #[test]
+    fn weighted_unfairness_interleaves_compatible_jobs() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let cfg = FluidConfig {
+            policy: SharingPolicy::Weighted(vec![2.0, 1.0]),
+            ..FluidConfig::fair()
+        };
+        let (mut sim, _t) = two_job_setup(spec, spec, cfg);
+        assert!(sim.run_until_iterations(10, Dur::from_secs(6)));
+        let solo = spec.iteration_time_at(LINE).as_millis_f64();
+        for j in 0..2 {
+            let got = median_ms(&sim, j, 5);
+            assert!(
+                (got - solo).abs() < 2.0,
+                "job {j}: median {got:.1} ms did not reach solo {solo:.1} ms"
+            );
+        }
+    }
+
+    /// Strict priorities (§4.ii) achieve the same interleaving without
+    /// touching congestion control.
+    #[test]
+    fn priority_queues_interleave_compatible_jobs() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let cfg = FluidConfig {
+            policy: SharingPolicy::Priority(vec![1, 0]),
+            ..FluidConfig::fair()
+        };
+        let (mut sim, _t) = two_job_setup(spec, spec, cfg);
+        assert!(sim.run_until_iterations(10, Dur::from_secs(6)));
+        let solo = spec.iteration_time_at(LINE).as_millis_f64();
+        for j in 0..2 {
+            let got = median_ms(&sim, j, 5);
+            assert!(
+                (got - solo).abs() < 2.0,
+                "job {j}: median {got:.1} ms did not reach solo {solo:.1} ms"
+            );
+        }
+    }
+
+    /// Gated flow scheduling (§4.iii): with slots from complementary
+    /// offsets, two jobs never contend from the very first iteration.
+    #[test]
+    fn gates_schedule_comm_phases_apart() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200); // 261.28 ms period
+        let period = spec.iteration_time_at(LINE);
+        let comm = spec.comm_time_at(LINE);
+        let compute = spec.compute_time();
+        // Job 0's comm naturally occupies [compute, period). Gate job 1's
+        // comm to start where job 0's ends: offset compute + comm.
+        let gates = vec![
+            Some(Gate {
+                offset: compute,
+                period,
+            }),
+            Some(Gate {
+                offset: compute + comm,
+                period,
+            }),
+        ];
+        let cfg = FluidConfig {
+            gates,
+            ..FluidConfig::fair()
+        };
+        let (mut sim, _t) = two_job_setup(spec, spec, cfg);
+        assert!(sim.run_until_iterations(6, Dur::from_secs(4)));
+        // Job 0 runs at exactly solo pace; job 1 pays its initial wait then
+        // also settles at solo pace (its slot repeats every period).
+        let solo = period.as_millis_f64();
+        for j in 0..2 {
+            let got = median_ms(&sim, j, 2);
+            assert!(
+                (got - solo).abs() < 1.0,
+                "job {j}: {got:.2} ms vs solo {solo:.2} ms under gating"
+            );
+        }
+    }
+
+    /// Multi-flow jobs: a job splitting bytes across two disjoint paths
+    /// finishes when the slower flow finishes.
+    #[test]
+    fn multi_flow_job_completes_on_slowest_flow() {
+        let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+        let t = d.topology.clone();
+        let path = |i: usize| {
+            t.route(topology::FlowKey {
+                src: d.left_hosts[i],
+                dst: d.right_hosts[i],
+                tag: 0,
+            })
+            .unwrap()
+            .links()
+            .to_vec()
+        };
+        let spec = JobSpec::reference(Model::Vgg16, 1400);
+        // 70% of bytes on path 0, 30% on path 1; both share the bottleneck,
+        // so total transfer time is governed by the aggregate anyway.
+        let job = FluidJob {
+            spec,
+            start_offset: Dur::ZERO,
+            flows: vec![
+                FlowSpec {
+                    links: path(0),
+                    fraction: 0.7,
+                },
+                FlowSpec {
+                    links: path(1),
+                    fraction: 0.3,
+                },
+            ],
+            total_bytes_override: None,
+        };
+        let mut sim = FluidSimulator::new(&t, FluidConfig::fair(), &[job]);
+        assert!(sim.run_until_iterations(3, Dur::from_secs(2)));
+        // Both flows cross the same bottleneck: max-min gives each 25G,
+        // the 70% flow takes 0.7·C/0.5 = 1.4× the solo comm time... but
+        // once the 30% flow finishes, the 70% flow gets the full link.
+        // Transfer time: 0.3 of bytes at 25+25 in parallel... compute the
+        // exact schedule: phase ends when the big flow is done.
+        // Stage 1: both at 25G until small flow (0.3·B) drains: t1 = 0.3B/25G.
+        // Big flow delivered 0.3B too; remaining 0.4B at 50G: t2 = 0.4B/50G.
+        let spec_bytes = spec.comm_bytes().as_bytes() as f64;
+        let t1 = 0.3 * spec_bytes * 8.0 / 25e9;
+        let t2 = 0.4 * spec_bytes * 8.0 / 50e9;
+        let expected_ms = spec.compute_time().as_millis_f64() + (t1 + t2) * 1e3;
+        let got = median_ms(&sim, 0, 0);
+        assert!(
+            (got - expected_ms).abs() < 1.0,
+            "multi-flow iteration {got:.2} ms vs {expected_ms:.2} ms"
+        );
+    }
+
+    /// Jobs on disjoint paths never affect each other.
+    #[test]
+    fn disjoint_jobs_do_not_interact() {
+        let d = dumbbell(2, LINE, Bandwidth::from_gbps(100), Dur::ZERO);
+        let t = d.topology.clone();
+        // Job 0 left→right, job 1 right→left: different link directions.
+        let fwd = t
+            .route(topology::FlowKey {
+                src: d.left_hosts[0],
+                dst: d.right_hosts[0],
+                tag: 0,
+            })
+            .unwrap();
+        let rev = t
+            .route(topology::FlowKey {
+                src: d.right_hosts[1],
+                dst: d.left_hosts[1],
+                tag: 0,
+            })
+            .unwrap();
+        let spec = JobSpec::reference(Model::Vgg16, 1400);
+        let jobs = [
+            FluidJob::single_path(spec, fwd.links().to_vec()),
+            FluidJob::single_path(spec, rev.links().to_vec()),
+        ];
+        let mut sim = FluidSimulator::new(&t, FluidConfig::fair(), &jobs);
+        assert!(sim.run_until_iterations(4, Dur::from_secs(3)));
+        let solo = spec.iteration_time_at(LINE).as_millis_f64();
+        for j in 0..2 {
+            let got = median_ms(&sim, j, 0);
+            assert!((got - solo).abs() < 0.5, "job {j}: {got:.2} vs {solo:.2}");
+        }
+    }
+
+    #[test]
+    fn link_utilization_reflects_allocation() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let (mut sim, t) = two_job_setup(spec, spec, FluidConfig::fair());
+        let bottleneck = t
+            .node_by_name("tor-left")
+            .and_then(|n| t.out_links(n).iter().copied().find(|&l| {
+                t.node(t.link(l).dst).name == "tor-right"
+            }))
+            .expect("dumbbell bottleneck");
+        // During compute: idle.
+        sim.run_for(Dur::from_millis(10));
+        assert_eq!(sim.link_utilization(bottleneck), 0.0);
+        // Mid-overlap: both jobs communicating → fully utilized.
+        sim.run_for(Dur::from_millis(150)); // compute ends at 142.6 ms
+        let u = sim.link_utilization(bottleneck);
+        assert!((u - 1.0).abs() < 1e-9, "contended utilization {u}");
+    }
+
+    #[test]
+    fn gate_next_release_math() {
+        let g = Gate {
+            offset: Dur::from_millis(30),
+            period: Dur::from_millis(100),
+        };
+        let t = |ms: u64| Time::from_nanos(ms * 1_000_000);
+        assert_eq!(g.next_release(t(0)), t(30));
+        assert_eq!(g.next_release(t(30)), t(30));
+        assert_eq!(g.next_release(t(31)), t(130));
+        assert_eq!(g.next_release(t(130)), t(130));
+        assert_eq!(g.next_release(t(999)), t(1030));
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions sum")]
+    fn bad_fractions_rejected() {
+        let d = dumbbell(1, LINE, LINE, Dur::ZERO);
+        let spec = JobSpec::reference(Model::Vgg16, 1400);
+        let job = FluidJob {
+            spec,
+            start_offset: Dur::ZERO,
+            flows: vec![FlowSpec {
+                links: vec![],
+                fraction: 0.4,
+            }],
+            total_bytes_override: None,
+        };
+        let _ = FluidSimulator::new(&d.topology, FluidConfig::fair(), &[job]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights length")]
+    fn bad_policy_length_rejected() {
+        let d = dumbbell(1, LINE, LINE, Dur::ZERO);
+        let spec = JobSpec::reference(Model::Vgg16, 1400);
+        let job = FluidJob::single_path(spec, vec![]);
+        let cfg = FluidConfig {
+            policy: SharingPolicy::Weighted(vec![1.0, 2.0]),
+            ..FluidConfig::fair()
+        };
+        let _ = FluidSimulator::new(&d.topology, cfg, &[job]);
+    }
+}

@@ -1,0 +1,586 @@
+//! The rate-based DCQCN engine: emergent congestion dynamics on a shared
+//! bottleneck.
+//!
+//! Reproduces the paper's testbed setup (Fig. 1a): a set of training jobs
+//! whose flows all funnel through one bottleneck link (`L1`). The engine
+//! advances in fixed microsecond-scale steps; in each step every
+//! communicating job injects at its DCQCN-controlled rate, the link drains
+//! at capacity into a shared FIFO queue, the queue's depth drives RED/ECN
+//! marking, marks become CNPs (paced per flow by the notification point),
+//! and CNPs cut rates. Nothing about sharing is hard-coded: fair 50/50
+//! splits, the 30/15 split under a smaller `T`, and the phase-sliding that
+//! makes compatible jobs interleave all *emerge* from the control loop —
+//! exactly the surprising behaviour §2 reports.
+//!
+//! Scope: one bottleneck link (the paper's experiments are all
+//! single-bottleneck; multi-link topologies are the fluid engine's job).
+
+use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker};
+use eventsim::{Rng, TimeSeries};
+use simtime::{Bandwidth, Dur, Time};
+use workload::{JobProgress, JobSpec};
+
+/// Configuration of the rate-based engine.
+#[derive(Debug, Clone)]
+pub struct RateSimConfig {
+    /// Bottleneck link capacity (also the default NIC line rate).
+    pub capacity: Bandwidth,
+    /// Simulation step. 5 µs resolves the 50–125 µs DCQCN time constants.
+    pub dt: Dur,
+    /// ECN marking curve of the bottleneck queue.
+    pub marker: RedMarker,
+    /// Base DCQCN parameters (variants override per job).
+    pub base_params: DcqcnParams,
+    /// Packet size used to convert fluid bytes into "packets" for the
+    /// marking-probability computation (RoCE default 1024 B).
+    pub mtu_bytes: f64,
+    /// Marking noise in `[0, 1)`. The fluid CP accumulates *expected*
+    /// marked packets per flow and fires deterministically when the
+    /// accumulator crosses 1 — this keeps two identical fair jobs exactly
+    /// locked in contention, as the paper's scenario 1 observes (Fig. 2a).
+    /// A positive value jitters the firing threshold in
+    /// `[1−noise, 1+noise]`, modelling packet-level randomness.
+    pub mark_noise: f64,
+    /// RNG seed for marking jitter (only consulted when `mark_noise > 0`).
+    pub seed: u64,
+    /// Whether a job's flow restarts at line rate when a new communication
+    /// phase begins (RDMA message semantics; see [`dcqcn::DcqcnRp::restart`]).
+    pub restart_on_phase: bool,
+    /// If set, per-job throughput and queue traces are recorded at this
+    /// granularity.
+    pub trace_interval: Option<Dur>,
+}
+
+impl Default for RateSimConfig {
+    fn default() -> RateSimConfig {
+        RateSimConfig {
+            capacity: Bandwidth::from_gbps(50),
+            dt: Dur::from_micros(5),
+            marker: RedMarker::default_50g(),
+            base_params: DcqcnParams::testbed_default(),
+            mtu_bytes: 1024.0,
+            mark_noise: 0.0,
+            seed: 1,
+            restart_on_phase: true,
+            trace_interval: None,
+        }
+    }
+}
+
+/// A job participating in the rate simulation.
+#[derive(Debug, Clone)]
+pub struct RateJob {
+    /// The training job.
+    pub spec: JobSpec,
+    /// Its congestion-control behaviour.
+    pub variant: CcVariant,
+    /// When the job's first compute phase starts.
+    pub start_offset: Dur,
+}
+
+impl RateJob {
+    /// A job starting at t = 0 with the given variant.
+    pub fn new(spec: JobSpec, variant: CcVariant) -> RateJob {
+        RateJob {
+            spec,
+            variant,
+            start_offset: Dur::ZERO,
+        }
+    }
+}
+
+/// A job's congestion controller: DCQCN (ECN/CNP-driven) or the
+/// delay-based Swift-style alternative.
+enum Controller {
+    Dcqcn(dcqcn::DcqcnRp),
+    Swift(dcqcn::SwiftRp),
+}
+
+impl Controller {
+    fn rate(&self) -> f64 {
+        match self {
+            Controller::Dcqcn(rp) => rp.rate(),
+            Controller::Swift(rp) => rp.rate(),
+        }
+    }
+
+    fn restart(&mut self) {
+        match self {
+            Controller::Dcqcn(rp) => rp.restart(),
+            Controller::Swift(rp) => rp.restart(),
+        }
+    }
+}
+
+struct JobState {
+    progress: JobProgress,
+    cc: Controller,
+    np: NotificationPoint,
+    adaptive: bool,
+    /// Bytes of the current phase not yet placed into the link queue.
+    to_inject: f64,
+    /// This job's bytes sitting in the link queue.
+    backlog: f64,
+    /// Bytes delivered since the last trace sample.
+    traced_bytes: f64,
+    /// Expected marked packets accumulated since the last CNP decision.
+    expected_marks: f64,
+    /// Accumulator level that triggers the next CNP (1.0 unless jittered).
+    mark_threshold: f64,
+}
+
+/// The rate-based simulator over one bottleneck link.
+pub struct RateSimulator {
+    cfg: RateSimConfig,
+    now: Time,
+    jobs: Vec<JobState>,
+    rng: Rng,
+    queue_trace: TimeSeries,
+    rate_traces: Vec<TimeSeries>,
+    next_trace_at: Time,
+}
+
+impl RateSimulator {
+    /// Builds a simulator for `jobs` sharing the bottleneck.
+    ///
+    /// # Panics
+    /// Panics if `jobs` is empty or `dt` is zero.
+    pub fn new(cfg: RateSimConfig, jobs: &[RateJob]) -> RateSimulator {
+        assert!(!jobs.is_empty(), "RateSimulator: no jobs");
+        assert!(!cfg.dt.is_zero(), "RateSimulator: zero dt");
+        let states = jobs
+            .iter()
+            .map(|j| {
+                let params = cfg.base_params.with_line_rate(cfg.capacity);
+                let cc = if j.variant.is_delay_based() {
+                    Controller::Swift(j.variant.build_swift(cfg.capacity))
+                } else {
+                    Controller::Dcqcn(j.variant.build_rp(params))
+                };
+                JobState {
+                    progress: JobProgress::new(j.spec, Time::ZERO + j.start_offset),
+                    cc,
+                    np: NotificationPoint::new(cfg.base_params.cnp_interval),
+                    adaptive: j.variant.is_adaptive(),
+                    to_inject: 0.0,
+                    backlog: 0.0,
+                    traced_bytes: 0.0,
+                    expected_marks: 0.0,
+                    mark_threshold: 1.0,
+                }
+            })
+            .collect();
+        let n = jobs.len();
+        let rng = Rng::new(cfg.seed);
+        RateSimulator {
+            cfg,
+            now: Time::ZERO,
+            jobs: states,
+            rng,
+            queue_trace: TimeSeries::new(),
+            rate_traces: (0..n).map(|_| TimeSeries::new()).collect(),
+            next_trace_at: Time::ZERO,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Iteration bookkeeping of job `i`.
+    pub fn progress(&self, i: usize) -> &JobProgress {
+        &self.jobs[i].progress
+    }
+
+    /// Per-job delivered-throughput trace (Gbps), if tracing is enabled.
+    pub fn rate_trace(&self, i: usize) -> &TimeSeries {
+        &self.rate_traces[i]
+    }
+
+    /// Bottleneck queue-depth trace (bytes), if tracing is enabled.
+    pub fn queue_trace(&self) -> &TimeSeries {
+        &self.queue_trace
+    }
+
+    /// Advances the simulation by one step.
+    pub fn step(&mut self) {
+        let dt = self.cfg.dt;
+        let dt_secs = dt.as_secs_f64();
+        let t_end = self.now + dt;
+
+        // 1. Compute→communicate transitions due at (or before) this step.
+        for js in &mut self.jobs {
+            if !js.progress.is_communicating() && js.progress.poll(self.now) {
+                js.to_inject = js.progress.remaining_bytes();
+                js.backlog = 0.0;
+                if self.cfg.restart_on_phase {
+                    js.cc.restart();
+                }
+                js.np.reset();
+            }
+        }
+
+        // 2. Injection at DCQCN rates (capped by phase residual).
+        for js in &mut self.jobs {
+            if js.progress.is_communicating() {
+                let offered = js.cc.rate() * dt_secs / 8.0; // bytes
+                let a = offered.min(js.to_inject);
+                js.backlog += a;
+                js.to_inject -= a;
+            }
+        }
+
+        // 3. FIFO service at link capacity, shared pro-rata by backlog.
+        let total_backlog: f64 = self.jobs.iter().map(|j| j.backlog).sum();
+        let service = self.cfg.capacity.as_bps_f64() * dt_secs / 8.0;
+        let served_total = total_backlog.min(service);
+        let mut delivered = vec![0.0f64; self.jobs.len()];
+        if total_backlog > 0.0 {
+            for (i, js) in self.jobs.iter_mut().enumerate() {
+                // Clamp against float dust: pro-rata shares can overshoot a
+                // job's backlog by an ulp, and a negative backlog would
+                // poison the next step's totals.
+                let d = (served_total * js.backlog / total_backlog).clamp(0.0, js.backlog);
+                js.backlog = (js.backlog - d).max(0.0);
+                delivered[i] = d;
+            }
+        }
+        let standing_queue = total_backlog - served_total;
+
+        // 4. ECN marking on the standing queue → CNPs (paced per flow;
+        // DCQCN controllers only — delay-based flows observe the queue
+        // directly in step 5).
+        // Fluid marking: accumulate the expected number of marked packets
+        // and fire when it crosses the threshold. Marks suppressed by CNP
+        // pacing are dropped, as NP hardware coalesces them.
+        for (i, js) in self.jobs.iter_mut().enumerate() {
+            let Controller::Dcqcn(rp) = &mut js.cc else {
+                continue;
+            };
+            if delivered[i] > 0.0 {
+                let packets = delivered[i] / self.cfg.mtu_bytes;
+                js.expected_marks += packets * self.cfg.marker.mark_probability(standing_queue);
+                if js.expected_marks >= js.mark_threshold {
+                    js.expected_marks = 0.0;
+                    js.mark_threshold = if self.cfg.mark_noise > 0.0 {
+                        1.0 + self.cfg.mark_noise * (self.rng.f64() * 2.0 - 1.0)
+                    } else {
+                        1.0
+                    };
+                    if js.np.on_marked_arrival(t_end) {
+                        rp.on_cnp();
+                    }
+                }
+            }
+        }
+
+        // 5. Controller clocks, adaptive progress, and delivery to jobs.
+        // The queueing delay a delay-based controller observes: the time
+        // the standing queue takes to drain at line rate.
+        let queue_delay = Dur::from_secs_f64(
+            standing_queue * 8.0 / self.cfg.capacity.as_bps_f64(),
+        );
+        for (i, js) in self.jobs.iter_mut().enumerate() {
+            match &mut js.cc {
+                Controller::Dcqcn(rp) => {
+                    if js.adaptive && js.progress.is_communicating() {
+                        let total = js.progress.comm_bytes_per_iteration();
+                        let sent = total - js.progress.remaining_bytes();
+                        rp.set_phase_progress(sent / total);
+                    }
+                    rp.advance(dt, delivered[i]);
+                }
+                Controller::Swift(rp) => rp.advance(dt, queue_delay),
+            }
+            if js.progress.is_communicating() && delivered[i] > 0.0 {
+                js.traced_bytes += delivered[i];
+                if js.progress.deliver(delivered[i], t_end).is_some() {
+                    // Iteration finished: residual float dust is discarded.
+                    js.to_inject = 0.0;
+                    js.backlog = 0.0;
+                    if js.adaptive {
+                        if let Controller::Dcqcn(rp) = &mut js.cc {
+                            rp.clear_boost();
+                        }
+                    }
+                }
+            }
+        }
+
+        // 6. Traces.
+        if let Some(interval) = self.cfg.trace_interval {
+            if t_end >= self.next_trace_at {
+                let span = interval.as_secs_f64();
+                for (i, js) in self.jobs.iter_mut().enumerate() {
+                    let gbps = js.traced_bytes * 8.0 / span / 1e9;
+                    self.rate_traces[i].push(t_end, gbps);
+                    js.traced_bytes = 0.0;
+                }
+                self.queue_trace.push(t_end, standing_queue);
+                self.next_trace_at = t_end + interval;
+            }
+        }
+
+        self.now = t_end;
+    }
+
+    /// Runs for a fixed span of simulated time.
+    pub fn run_for(&mut self, span: Dur) {
+        let end = self.now + span;
+        while self.now < end {
+            self.step();
+        }
+    }
+
+    /// Runs until every job has completed `n` iterations, or `max_span`
+    /// elapses. Returns `true` if all jobs reached `n`.
+    pub fn run_until_iterations(&mut self, n: usize, max_span: Dur) -> bool {
+        let end = self.now + max_span;
+        while self.now < end {
+            if self.jobs.iter().all(|j| j.progress.completed() >= n) {
+                return true;
+            }
+            self.step();
+        }
+        self.jobs.iter().all(|j| j.progress.completed() >= n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventsim::Cdf;
+    use workload::Model;
+
+    fn vgg19(batch: u32) -> JobSpec {
+        JobSpec::reference(Model::Vgg19, batch)
+    }
+
+    fn median_ms(sim: &RateSimulator, i: usize, skip: usize) -> f64 {
+        let times: Vec<_> = sim
+            .progress(i)
+            .iteration_times()
+            .into_iter()
+            .skip(skip)
+            .collect();
+        Cdf::from_samples(times).median().as_millis_f64()
+    }
+
+    /// A lone job on an empty link iterates at its solo time.
+    #[test]
+    fn solo_job_matches_analytic_iteration_time() {
+        let spec = vgg19(1200);
+        let mut sim = RateSimulator::new(
+            RateSimConfig::default(),
+            &[RateJob::new(spec, CcVariant::Fair)],
+        );
+        assert!(sim.run_until_iterations(5, Dur::from_secs(5)));
+        let expected = spec
+            .iteration_time_at(Bandwidth::from_gbps(50))
+            .as_millis_f64();
+        let measured = median_ms(&sim, 0, 1);
+        let err = (measured - expected).abs() / expected;
+        assert!(
+            err < 0.02,
+            "solo iteration {measured:.1} ms vs analytic {expected:.1} ms"
+        );
+    }
+
+    /// Two identical jobs under default DCQCN share fairly: equal medians.
+    #[test]
+    fn fair_sharing_is_symmetric() {
+        let mut sim = RateSimulator::new(
+            RateSimConfig::default(),
+            &[
+                RateJob::new(vgg19(1200), CcVariant::Fair),
+                RateJob::new(vgg19(1200), CcVariant::Fair),
+            ],
+        );
+        assert!(sim.run_until_iterations(8, Dur::from_secs(10)));
+        let a = median_ms(&sim, 0, 2);
+        let b = median_ms(&sim, 1, 2);
+        let rel = (a - b).abs() / a.max(b);
+        assert!(rel < 0.10, "medians {a:.1} vs {b:.1} ms");
+        // And both are slower than solo (they contend).
+        let solo = vgg19(1200)
+            .iteration_time_at(Bandwidth::from_gbps(50))
+            .as_millis_f64();
+        assert!(a > solo * 1.02, "contended {a:.1} ms vs solo {solo:.1} ms");
+    }
+
+    /// The headline §2 result: making one of two compatible jobs more
+    /// aggressive (T = 100 µs vs 125 µs) speeds up BOTH jobs.
+    #[test]
+    fn unfairness_speeds_up_compatible_pair() {
+        let jobs_fair = [
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+        ];
+        let jobs_unfair = [
+            RateJob::new(
+                vgg19(1200),
+                CcVariant::StaticUnfair {
+                    timer: Dur::from_micros(100),
+                },
+            ),
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+        ];
+        let mut fair = RateSimulator::new(RateSimConfig::default(), &jobs_fair);
+        let mut unfair = RateSimulator::new(RateSimConfig::default(), &jobs_unfair);
+        assert!(fair.run_until_iterations(12, Dur::from_secs(12)));
+        assert!(unfair.run_until_iterations(12, Dur::from_secs(12)));
+        for i in 0..2 {
+            let f = median_ms(&fair, i, 4);
+            let u = median_ms(&unfair, i, 4);
+            assert!(
+                u < f,
+                "job {i}: unfair median {u:.1} ms not faster than fair {f:.1} ms"
+            );
+        }
+    }
+
+    /// Determinism: identical seeds give byte-identical iteration times;
+    /// with zero marking noise the run is seed-independent entirely.
+    #[test]
+    fn same_seed_same_run() {
+        let jobs = [
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+            RateJob::new(vgg19(1400), CcVariant::Fair),
+        ];
+        let run = |seed, noise| {
+            let mut cfg = RateSimConfig::default();
+            cfg.seed = seed;
+            cfg.mark_noise = noise;
+            let mut sim = RateSimulator::new(cfg, &jobs);
+            sim.run_until_iterations(5, Dur::from_secs(10));
+            (
+                sim.progress(0).iteration_times(),
+                sim.progress(1).iteration_times(),
+            )
+        };
+        // Noise-free: fully deterministic, independent of seed.
+        assert_eq!(run(7, 0.0), run(7, 0.0));
+        assert_eq!(run(7, 0.0), run(8, 0.0));
+        // With noise: reproducible per seed, different across seeds.
+        assert_eq!(run(7, 0.3), run(7, 0.3));
+        assert_ne!(run(7, 0.3), run(8, 0.3), "noisy runs should differ by seed");
+    }
+
+    /// Traces are recorded when enabled and capture utilization ≤ capacity.
+    #[test]
+    fn traces_record_throughput() {
+        let mut cfg = RateSimConfig::default();
+        cfg.trace_interval = Some(Dur::from_millis(1));
+        let mut sim = RateSimulator::new(
+            cfg,
+            &[
+                RateJob::new(vgg19(1200), CcVariant::Fair),
+                RateJob::new(vgg19(1200), CcVariant::Fair),
+            ],
+        );
+        sim.run_for(Dur::from_millis(600));
+        let t0 = sim.rate_trace(0);
+        let t1 = sim.rate_trace(1);
+        assert!(t0.len() > 100);
+        // No sample exceeds line rate; at least one sample sees real traffic.
+        assert!(t0.iter().all(|(_, v)| v <= 50.5));
+        assert!(t0.max_value().unwrap() > 10.0);
+        assert!(t1.max_value().unwrap() > 10.0);
+        assert!(!sim.queue_trace().is_empty());
+    }
+
+    /// Staggered starts shift the first communication phase.
+    #[test]
+    fn start_offset_respected() {
+        let mut job = RateJob::new(vgg19(1200), CcVariant::Fair);
+        job.start_offset = Dur::from_millis(50);
+        let mut sim = RateSimulator::new(RateSimConfig::default(), &[job]);
+        assert!(sim.run_until_iterations(1, Dur::from_secs(2)));
+        let rec = sim.progress(0).iterations()[0];
+        assert_eq!(rec.started, Time::ZERO + Dur::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "no jobs")]
+    fn empty_jobs_rejected() {
+        let _ = RateSimulator::new(RateSimConfig::default(), &[]);
+    }
+}
+
+#[cfg(test)]
+mod swift_tests {
+    use super::*;
+    use eventsim::Cdf;
+    use workload::Model;
+
+    fn vgg19() -> JobSpec {
+        JobSpec::reference(Model::Vgg19, 1200)
+    }
+
+    fn median_ms(sim: &RateSimulator, i: usize, skip: usize) -> f64 {
+        let times: Vec<_> = sim
+            .progress(i)
+            .iteration_times()
+            .into_iter()
+            .skip(skip)
+            .collect();
+        Cdf::from_samples(times).median().as_millis_f64()
+    }
+
+    fn run_pair(targets_us: [u64; 2]) -> RateSimulator {
+        let jobs = [
+            RateJob::new(
+                vgg19(),
+                CcVariant::Swift {
+                    target_delay: Dur::from_micros(targets_us[0]),
+                },
+            ),
+            RateJob::new(
+                vgg19(),
+                CcVariant::Swift {
+                    target_delay: Dur::from_micros(targets_us[1]),
+                },
+            ),
+        ];
+        let mut sim = RateSimulator::new(RateSimConfig::default(), &jobs);
+        assert!(sim.run_until_iterations(12, Dur::from_secs(12)));
+        sim
+    }
+
+    /// Equal delay targets: the delay-based controller shares fairly and
+    /// two synchronized identical jobs stay locked in contention, like
+    /// fair DCQCN.
+    #[test]
+    fn swift_equal_targets_lock_like_fair_dcqcn() {
+        let sim = run_pair([30, 30]);
+        let locked = (vgg19().compute_time()
+            + vgg19().comm_time_at(Bandwidth::from_gbps(50)) * 2)
+            .as_millis_f64();
+        for i in 0..2 {
+            let m = median_ms(&sim, i, 4);
+            assert!(
+                (m - locked).abs() < locked * 0.03,
+                "job {i}: {m:.1} ms vs locked {locked:.1} ms"
+            );
+        }
+    }
+
+    /// Unequal delay targets: the paper's payoff is transport-agnostic —
+    /// the tolerant-target job wins overlaps, the phases slide apart, and
+    /// BOTH jobs converge to dedicated-network pace.
+    #[test]
+    fn swift_unequal_targets_interleave_both_jobs() {
+        let sim = run_pair([60, 30]);
+        let solo = vgg19()
+            .iteration_time_at(Bandwidth::from_gbps(50))
+            .as_millis_f64();
+        for i in 0..2 {
+            let m = median_ms(&sim, i, 6);
+            assert!(
+                (m - solo).abs() < solo * 0.03,
+                "job {i}: {m:.1} ms vs solo {solo:.1} ms"
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Compatibility-aware cluster scheduling (§4–§5 of the paper).
+//!
+//! The paper argues ML schedulers must treat **job compatibility on network
+//! links** as a first-class placement input, alongside free GPUs: profile
+//! each job in isolation, learn which links each candidate placement would
+//! share, run the geometric-abstraction solver, and prefer placements whose
+//! link-mates are fully compatible. Once placed, the operator engineers the
+//! "desirable side effect of unfairness" with one of three mechanisms:
+//! unfair congestion control, switch priority queues, or precise flow
+//! scheduling.
+//!
+//! This crate implements that pipeline:
+//!
+//! * [`profiler`] — turns a [`workload::JobSpec`] into the geometry
+//!   crate's [`geometry::Profile`], either analytically or by *measuring* a
+//!   solo run in the fluid simulator (how a real scheduler would profile);
+//! * [`placement`] — a two-tier-cluster scheduler with two policies:
+//!   `LocalityOnly` (Themis-style: pack into the fewest racks, ignore
+//!   compatibility) and `CompatibilityAware` (among feasible placements,
+//!   require/prefer geometric compatibility on every shared uplink);
+//! * [`mechanisms`] — priority assignment for §4.ii (unique classes under
+//!   a limited number of switch queues) and flow-schedule (gate)
+//!   extraction from solver rotations for §4.iii;
+//! * [`tuner`] — the §5 hyper-parameter opportunity: adjust a job's batch
+//!   size (within an operator-set tolerance) until its circle rotates
+//!   cleanly into its link-mates'.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mechanisms;
+pub mod placement;
+pub mod profiler;
+pub mod tuner;
+
+pub use mechanisms::{assign_priorities, gates_from_rotations, PriorityError};
+pub use placement::{
+    ClusterScheduler, PlacedJob, PlacementError, PlacementPolicy, SchedulerConfig,
+};
+pub use profiler::{analytic_profile, gating_profiles, gating_profiles_with_stretch, measured_profile};
+pub use tuner::{tune_batch_for_compatibility, TuneResult};

@@ -1,0 +1,145 @@
+//! §4 mechanisms: priority assignment and flow-schedule extraction.
+
+use geometry::{Profile, Rotation};
+use netsim::fluid::Gate;
+use simtime::Dur;
+
+/// Why priorities could not be assigned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PriorityError {
+    /// More jobs share a link than the switch has priority queues — the
+    /// §4.ii caveat: "today's switches support a few priority queues".
+    NotEnoughQueues {
+        /// Jobs needing distinct classes.
+        jobs: usize,
+        /// Queues the switch offers.
+        queues: usize,
+    },
+}
+
+impl std::fmt::Display for PriorityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PriorityError::NotEnoughQueues { jobs, queues } => write!(
+                f,
+                "{jobs} jobs share a link but the switch has only {queues} priority queues"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PriorityError {}
+
+/// Assigns a unique priority class to each of `jobs` jobs sharing a link
+/// (§4.ii). Per the paper, *which* job gets which priority is arbitrary as
+/// long as classes are unique — we hand out descending classes in job
+/// order. Fails if the switch has fewer queues than jobs.
+pub fn assign_priorities(jobs: usize, queues: usize) -> Result<Vec<u8>, PriorityError> {
+    if jobs > queues {
+        return Err(PriorityError::NotEnoughQueues { jobs, queues });
+    }
+    Ok((0..jobs).map(|j| (queues - 1 - j) as u8).collect())
+}
+
+/// Converts solver rotations into communication-phase release gates
+/// (§4.iii): "the output of our optimization formulation provides an angle
+/// of rotation for each job … this angle corresponds to a time-shift for
+/// the communication phase of a job."
+///
+/// For job `j` with profile period `P_j`, natural communication start
+/// `c_j` (its first arc's start), rotation shift `σ_j` and cluster start
+/// offset `o_j`, the gate releases communication at instants
+/// `t ≡ o_j + c_j + σ_j (mod P_j)`.
+///
+/// # Panics
+/// Panics if the slice lengths differ or a profile has no arcs.
+pub fn gates_from_rotations(
+    profiles: &[Profile],
+    rotations: &[Rotation],
+    start_offsets: &[Dur],
+) -> Vec<Option<Gate>> {
+    assert_eq!(profiles.len(), rotations.len(), "length mismatch");
+    assert_eq!(profiles.len(), start_offsets.len(), "length mismatch");
+    profiles
+        .iter()
+        .zip(rotations)
+        .zip(start_offsets)
+        .map(|((p, r), &o)| {
+            let first_arc = p
+                .arcs()
+                .first()
+                .expect("profile must have a communication arc");
+            let offset = (o + first_arc.start + r.shift) % p.period();
+            Some(Gate {
+                offset,
+                period: p.period(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::Time;
+
+    #[test]
+    fn priorities_are_unique_and_fit() {
+        let p = assign_priorities(3, 8).unwrap();
+        assert_eq!(p.len(), 3);
+        let set: std::collections::HashSet<u8> = p.iter().copied().collect();
+        assert_eq!(set.len(), 3, "classes must be unique");
+        assert_eq!(p[0], 7, "first job gets the top class");
+        assert!(p.iter().all(|&c| (c as usize) < 8));
+    }
+
+    #[test]
+    fn too_many_jobs_fail() {
+        let err = assign_priorities(9, 8).unwrap_err();
+        assert_eq!(
+            err,
+            PriorityError::NotEnoughQueues { jobs: 9, queues: 8 }
+        );
+        assert!(err.to_string().contains("9 jobs"));
+    }
+
+    #[test]
+    fn boundary_exactly_fits() {
+        let p = assign_priorities(8, 8).unwrap();
+        assert_eq!(p.len(), 8);
+        let set: std::collections::HashSet<u8> = p.iter().copied().collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn gates_realize_rotations() {
+        // Job: compute 60, comm 40 (period 100); rotated by 30.
+        let p = Profile::compute_then_comm(Dur::from_millis(60), Dur::from_millis(40));
+        let rot = Rotation {
+            sectors: 0, // not used here
+            shift: Dur::from_millis(30),
+            degrees: 108.0,
+        };
+        let gates = gates_from_rotations(&[p], &[rot], &[Dur::ZERO]);
+        let g = gates[0].unwrap();
+        assert_eq!(g.period, Dur::from_millis(100));
+        // Comm naturally starts at 60; shifted by 30 → released at 90 mod 100.
+        assert_eq!(g.offset, Dur::from_millis(90));
+        let t = |ms: u64| Time::from_nanos(ms * 1_000_000);
+        assert_eq!(g.next_release(t(0)), t(90));
+        assert_eq!(g.next_release(t(91)), t(190));
+    }
+
+    #[test]
+    fn gate_offsets_wrap_the_period() {
+        let p = Profile::compute_then_comm(Dur::from_millis(80), Dur::from_millis(20));
+        let rot = Rotation {
+            sectors: 0,
+            shift: Dur::from_millis(50),
+            degrees: 180.0,
+        };
+        // Start offset 10: 10 + 80 + 50 = 140 ≡ 40 (mod 100).
+        let gates = gates_from_rotations(&[p], &[rot], &[Dur::from_millis(10)]);
+        assert_eq!(gates[0].unwrap().offset, Dur::from_millis(40));
+    }
+}

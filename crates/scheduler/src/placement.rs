@@ -1,0 +1,735 @@
+//! Placement: locality-only baseline vs compatibility-aware scheduling.
+//!
+//! The cluster model is a two-tier Clos ([`topology::builders::TwoTier`])
+//! with whole-host workers (the paper assumes GPUs are not shared, §5).
+//! A job that fits in one rack touches no shared fabric link; a job split
+//! across racks runs an inter-rack ring over its racks' ToR uplinks, and
+//! every hop of that ring carries the job's full calibrated communication
+//! volume — those uplinks are where cross-job contention happens and where
+//! compatibility matters.
+//!
+//! Two policies:
+//!
+//! * [`PlacementPolicy::LocalityOnly`] — today's schedulers (Themis,
+//!   Gandiva…): prefer one rack, otherwise split over the fewest racks,
+//!   never looking at who else is on the uplinks.
+//! * [`PlacementPolicy::CompatibilityAware`] — the paper's proposal: among
+//!   feasible placements, prefer one rack; otherwise evaluate each split
+//!   with the geometric-abstraction solver over the *closure* of affected
+//!   links and jobs (§5: compatibility must hold across all links) and
+//!   pick a split whose link-mates are fully compatible, falling back to
+//!   the least-overlap split when none is.
+
+use crate::profiler::analytic_profile;
+use geometry::{cluster::ClusterInstance, solve_cluster, Profile, SolverConfig, Verdict};
+use netsim::fluid::{FlowSpec, FluidJob};
+use simtime::{Bandwidth, Dur};
+use std::collections::BTreeMap;
+use topology::builders::TwoTier;
+use topology::LinkId;
+use workload::JobSpec;
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Fewest racks, first fit; compatibility ignored (the baseline).
+    LocalityOnly,
+    /// Fewest racks, but cross-rack splits must be geometrically
+    /// compatible with their link-mates when possible.
+    CompatibilityAware,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Placement policy.
+    pub policy: PlacementPolicy,
+    /// Geometry solver settings for compatibility checks.
+    pub solver: SolverConfig,
+    /// Period quantization grid for profiles (see
+    /// [`geometry::quantize_period`]).
+    pub grid: Dur,
+    /// NIC / uplink line rate used for profiling.
+    pub nic: Bandwidth,
+    /// Batch-tuning tolerance (§5 "impact of hyper-parameters"): when no
+    /// candidate placement is compatible as-requested, the scheduler may
+    /// adjust the arriving job's batch size by up to this fraction to
+    /// harmonize its period with its link-mates. `None` disables tuning.
+    pub tune_tolerance: Option<f64>,
+}
+
+impl SchedulerConfig {
+    /// Compatibility-aware defaults: 720 sectors, 2.5 ms grid, 50 Gbps.
+    pub fn compatibility_aware() -> SchedulerConfig {
+        SchedulerConfig {
+            policy: PlacementPolicy::CompatibilityAware,
+            solver: SolverConfig::default(),
+            grid: Dur::from_micros(2_500),
+            nic: Bandwidth::from_gbps(50),
+            tune_tolerance: None,
+        }
+    }
+
+    /// Compatibility-aware placement with batch tuning enabled.
+    pub fn compatibility_aware_with_tuning(tolerance: f64) -> SchedulerConfig {
+        SchedulerConfig {
+            tune_tolerance: Some(tolerance),
+            ..SchedulerConfig::compatibility_aware()
+        }
+    }
+
+    /// The locality-only baseline with the same solver/grid settings.
+    pub fn locality_only() -> SchedulerConfig {
+        SchedulerConfig {
+            policy: PlacementPolicy::LocalityOnly,
+            ..SchedulerConfig::compatibility_aware()
+        }
+    }
+}
+
+/// Why a job could not be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The cluster does not have enough free hosts in total.
+    NotEnoughHosts {
+        /// Hosts the job needs.
+        needed: usize,
+        /// Hosts currently free.
+        free: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NotEnoughHosts { needed, free } => {
+                write!(f, "job needs {needed} hosts, only {free} free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A job the scheduler has placed.
+#[derive(Debug, Clone)]
+pub struct PlacedJob {
+    /// The job as placed (its batch may have been tuned).
+    pub spec: JobSpec,
+    /// The batch size the user requested (differs from `spec.batch` only
+    /// when the scheduler tuned it for compatibility).
+    pub requested_batch: u32,
+    /// Hosts per rack: `(rack index, host count)`.
+    pub racks: Vec<(usize, usize)>,
+    /// Directed fabric links (uplinks and downlinks) the job's inter-rack
+    /// ring traverses. Empty for single-rack jobs.
+    pub links: Vec<LinkId>,
+    /// Its quantized circle, used for compatibility checks.
+    pub profile: Profile,
+}
+
+impl PlacedJob {
+    /// `true` if the job fits in one rack (no fabric traffic).
+    pub fn is_single_rack(&self) -> bool {
+        self.racks.len() <= 1
+    }
+}
+
+struct Candidate {
+    racks: Vec<(usize, usize)>,
+    /// Per ring hop: the directed links it traverses.
+    hops: Vec<Vec<LinkId>>,
+}
+
+/// The cluster scheduler.
+pub struct ClusterScheduler {
+    fabric: TwoTier,
+    cfg: SchedulerConfig,
+    free: Vec<usize>,
+    placed: Vec<PlacedJob>,
+}
+
+impl ClusterScheduler {
+    /// A scheduler over `fabric` with the given configuration.
+    pub fn new(fabric: TwoTier, cfg: SchedulerConfig) -> ClusterScheduler {
+        let free = fabric.hosts.iter().map(|r| r.len()).collect();
+        ClusterScheduler {
+            fabric,
+            cfg,
+            free,
+            placed: Vec::new(),
+        }
+    }
+
+    /// Jobs placed so far, in submission order.
+    pub fn placed(&self) -> &[PlacedJob] {
+        &self.placed
+    }
+
+    /// Free hosts per rack.
+    pub fn free_hosts(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// The fabric this scheduler manages.
+    pub fn fabric(&self) -> &TwoTier {
+        &self.fabric
+    }
+
+    /// Which placed jobs use each contended fabric link (links with ≥ 2
+    /// jobs).
+    pub fn contended_links(&self) -> BTreeMap<LinkId, Vec<usize>> {
+        let mut map: BTreeMap<LinkId, Vec<usize>> = BTreeMap::new();
+        for (j, pj) in self.placed.iter().enumerate() {
+            for &l in &pj.links {
+                map.entry(l).or_default().push(j);
+            }
+        }
+        map.retain(|_, jobs| jobs.len() >= 2);
+        map
+    }
+
+    /// Removes a completed/cancelled job, returning its hosts to the free
+    /// pool. Later jobs keep their indices minus the shift (indices in
+    /// previously-returned values are invalidated — callers tracking jobs
+    /// across churn should re-read [`ClusterScheduler::placed`]).
+    ///
+    /// # Panics
+    /// Panics if `job` is out of range.
+    pub fn remove(&mut self, job: usize) -> PlacedJob {
+        assert!(job < self.placed.len(), "remove: unknown job {job}");
+        let pj = self.placed.remove(job);
+        for &(r, n) in &pj.racks {
+            self.free[r] += n;
+        }
+        pj
+    }
+
+    /// Places a job. Returns its index in [`ClusterScheduler::placed`].
+    pub fn submit(&mut self, spec: JobSpec) -> Result<usize, PlacementError> {
+        let needed = spec.workers as usize;
+        let free_total: usize = self.free.iter().sum();
+        if needed > free_total {
+            return Err(PlacementError::NotEnoughHosts {
+                needed,
+                free: free_total,
+            });
+        }
+        let requested_batch = spec.batch;
+        let mut spec = spec;
+        let mut profile = analytic_profile(&spec, self.cfg.nic, self.cfg.grid);
+        let candidates = self.candidates(needed);
+        debug_assert!(!candidates.is_empty(), "free-count check guarantees one");
+        let (chosen, compatible) = match self.cfg.policy {
+            PlacementPolicy::LocalityOnly => (0, true),
+            PlacementPolicy::CompatibilityAware => self.pick_compatible(&candidates, &profile),
+        };
+        // §5 tuning fallback: no candidate was compatible as-requested, so
+        // try to harmonize the job's batch with the chosen candidate's
+        // closure (conservatively treated as one shared link).
+        if !compatible {
+            if let Some(tolerance) = self.cfg.tune_tolerance {
+                let residents = self.closure_profiles(&candidates[chosen]);
+                if let Some(tuned) = crate::tuner::tune_batch_for_compatibility(
+                    &spec,
+                    &residents,
+                    self.cfg.nic,
+                    self.cfg.grid,
+                    &self.cfg.solver,
+                    tolerance,
+                ) {
+                    spec = tuned.spec;
+                    profile = analytic_profile(&spec, self.cfg.nic, self.cfg.grid);
+                }
+            }
+        }
+        let cand = &candidates[chosen];
+        for &(r, n) in &cand.racks {
+            self.free[r] -= n;
+        }
+        let links: Vec<LinkId> = cand.hops.iter().flatten().copied().collect();
+        self.placed.push(PlacedJob {
+            spec,
+            requested_batch,
+            racks: cand.racks.clone(),
+            links,
+            profile,
+        });
+        Ok(self.placed.len() - 1)
+    }
+
+    /// Profiles of every placed job in the closure of `cand`'s links.
+    fn closure_profiles(&self, cand: &Candidate) -> Vec<Profile> {
+        let links: Vec<LinkId> = cand.hops.iter().flatten().copied().collect();
+        self.placed
+            .iter()
+            .filter(|pj| pj.links.iter().any(|l| links.contains(l)))
+            .map(|pj| pj.profile.clone())
+            .collect()
+    }
+
+    /// Enumerates placement candidates, best-locality first: single racks
+    /// (tightest fit first), then two-rack splits, then a greedy many-rack
+    /// split as a last resort.
+    fn candidates(&self, needed: usize) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        // Single racks, tightest feasible first (best-fit).
+        let mut single: Vec<usize> = (0..self.free.len())
+            .filter(|&r| self.free[r] >= needed)
+            .collect();
+        single.sort_by_key(|&r| self.free[r]);
+        for r in single {
+            out.push(Candidate {
+                racks: vec![(r, needed)],
+                hops: Vec::new(),
+            });
+        }
+        // Two-rack splits (fill the first rack, remainder in the second),
+        // one candidate per spine choice so the compatibility policy can
+        // route around an incompatible link-mate.
+        for a in 0..self.free.len() {
+            for b in 0..self.free.len() {
+                if a == b || self.free[a] == 0 || self.free[a] >= needed {
+                    continue;
+                }
+                let rest = needed - self.free[a];
+                if self.free[b] >= rest {
+                    for spine in 0..self.fabric.spines.len() {
+                        let racks = vec![(a, self.free[a]), (b, rest)];
+                        let hops = self.ring_hops(&[a, b], spine);
+                        out.push(Candidate { racks, hops });
+                    }
+                }
+            }
+        }
+        // Greedy many-rack split.
+        if out.is_empty() {
+            let mut order: Vec<usize> = (0..self.free.len()).collect();
+            order.sort_by_key(|&r| std::cmp::Reverse(self.free[r]));
+            let mut racks = Vec::new();
+            let mut left = needed;
+            for r in order {
+                if left == 0 {
+                    break;
+                }
+                let take = self.free[r].min(left);
+                if take > 0 {
+                    racks.push((r, take));
+                    left -= take;
+                }
+            }
+            debug_assert_eq!(left, 0);
+            let rack_ids: Vec<usize> = racks.iter().map(|&(r, _)| r).collect();
+            for spine in 0..self.fabric.spines.len() {
+                let hops = self.ring_hops(&rack_ids, spine);
+                out.push(Candidate {
+                    racks: racks.clone(),
+                    hops,
+                });
+            }
+        }
+        out
+    }
+
+    /// The directed links of an inter-rack ring over `racks` through the
+    /// given spine.
+    fn ring_hops(&self, racks: &[usize], spine: usize) -> Vec<Vec<LinkId>> {
+        if racks.len() < 2 {
+            return Vec::new();
+        }
+        let t = &self.fabric.topology;
+        let mut hops = Vec::with_capacity(racks.len());
+        let ring: Vec<usize> = racks.to_vec();
+        for (i, &ra) in ring.iter().enumerate() {
+            let rb = ring[(i + 1) % ring.len()];
+            let up = self.fabric.uplinks[ra][spine];
+            // Find the spine→tor_b downlink: the link from spines[spine]
+            // to tors[rb].
+            let down = t
+                .out_links(self.fabric.spines[spine])
+                .iter()
+                .copied()
+                .find(|&l| t.link(l).dst == self.fabric.tors[rb])
+                .expect("two-tier fabric is fully connected");
+            hops.push(vec![up, down]);
+        }
+        hops
+    }
+
+    /// Index of the best candidate under compatibility-aware policy and
+    /// whether it is fully compatible.
+    fn pick_compatible(&self, candidates: &[Candidate], profile: &Profile) -> (usize, bool) {
+        let mut best_overlap = f64::INFINITY;
+        let mut best_idx = 0;
+        for (ci, cand) in candidates.iter().enumerate() {
+            if cand.hops.is_empty() {
+                return (ci, true); // single rack: no fabric contention
+            }
+            match self.check_candidate(cand, profile) {
+                Verdict::Compatible { .. } => return (ci, true),
+                v => {
+                    let o = v.overlap_fraction();
+                    if o < best_overlap {
+                        best_overlap = o;
+                        best_idx = ci;
+                    }
+                }
+            }
+        }
+        (best_idx, false)
+    }
+
+    /// Solves the cluster-compatibility instance induced by hypothetically
+    /// adding `cand` (with `profile`), over the closure of affected links
+    /// and jobs (§5).
+    fn check_candidate(&self, cand: &Candidate, profile: &Profile) -> Verdict {
+        // Closure: start from the candidate's links; pull in every placed
+        // job touching them; pull in every link those jobs touch; repeat.
+        let mut links: Vec<LinkId> = cand.hops.iter().flatten().copied().collect();
+        links.sort_unstable();
+        links.dedup();
+        let mut jobs: Vec<usize> = Vec::new();
+        loop {
+            let mut grew = false;
+            for (j, pj) in self.placed.iter().enumerate() {
+                if !jobs.contains(&j) && pj.links.iter().any(|l| links.contains(l)) {
+                    jobs.push(j);
+                    grew = true;
+                }
+            }
+            for &j in &jobs {
+                for &l in &self.placed[j].links {
+                    if !links.contains(&l) {
+                        links.push(l);
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        // Build the instance: closure jobs plus the new job (last index).
+        let mut profiles: Vec<Profile> =
+            jobs.iter().map(|&j| self.placed[j].profile.clone()).collect();
+        profiles.push(profile.clone());
+        let new_idx = profiles.len() - 1;
+        let cand_links: Vec<LinkId> = cand.hops.iter().flatten().copied().collect();
+        let link_jobs: Vec<Vec<usize>> = links
+            .iter()
+            .map(|&l| {
+                let mut on_link: Vec<usize> = jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &j)| self.placed[j].links.contains(&l))
+                    .map(|(local, _)| local)
+                    .collect();
+                if cand_links.contains(&l) {
+                    on_link.push(new_idx);
+                }
+                on_link
+            })
+            .filter(|on_link| on_link.len() >= 2)
+            .collect();
+        if link_jobs.is_empty() {
+            // Nobody to conflict with.
+            return Verdict::Compatible {
+                rotations: Vec::new(),
+                slack_fraction: 1.0,
+            };
+        }
+        let inst = ClusterInstance::new(profiles, link_jobs);
+        match solve_cluster(&inst, &self.cfg.solver) {
+            Ok(v) => v,
+            Err(_) => Verdict::Inconclusive {
+                best_overlap_fraction: 1.0,
+            },
+        }
+    }
+
+    /// Builds fluid-simulator jobs for the current placement. Single-rack
+    /// jobs have no fabric flows and run at solo pace by construction, so
+    /// they are modelled with an uncontended private path (no links).
+    pub fn fluid_jobs(&self) -> Vec<FluidJob> {
+        self.placed
+            .iter()
+            .map(|pj| {
+                if pj.links.is_empty() {
+                    FluidJob::single_path(pj.spec, Vec::new())
+                } else {
+                    let hops = pj.links.chunks(2); // [up, down] pairs
+                    let k = pj.links.len() / 2;
+                    let flows: Vec<FlowSpec> = hops
+                        .map(|pair| FlowSpec {
+                            links: pair.to_vec(),
+                            fraction: 1.0 / k as f64,
+                        })
+                        .collect();
+                    let total =
+                        pj.spec.comm_bytes().as_bytes() as f64 * k as f64;
+                    FluidJob {
+                        spec: pj.spec,
+                        start_offset: Dur::ZERO,
+                        flows,
+                        total_bytes_override: Some(total),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Solves the cluster instance for the *current* placement (all
+    /// contended links) — used to extract rotations for §4.iii gates.
+    pub fn cluster_verdict(&self) -> Verdict {
+        let contended = self.contended_links();
+        if contended.is_empty() {
+            return Verdict::Compatible {
+                rotations: vec![
+                    geometry::Rotation {
+                        sectors: 0,
+                        shift: Dur::ZERO,
+                        degrees: 0.0,
+                    };
+                    self.placed.len()
+                ],
+                slack_fraction: 1.0,
+            };
+        }
+        let profiles: Vec<Profile> = self.placed.iter().map(|p| p.profile.clone()).collect();
+        let links: Vec<Vec<usize>> = contended.values().cloned().collect();
+        let inst = ClusterInstance::new(profiles, links);
+        solve_cluster(&inst, &self.cfg.solver).unwrap_or(Verdict::Inconclusive {
+            best_overlap_fraction: 1.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::builders::two_tier;
+    use workload::Model;
+
+    fn fabric(racks: usize, hosts: usize) -> TwoTier {
+        two_tier(
+            racks,
+            hosts,
+            2,
+            Bandwidth::from_gbps(50),
+            Bandwidth::from_gbps(50),
+            Dur::ZERO,
+        )
+    }
+
+    fn sched(racks: usize, hosts: usize, policy: PlacementPolicy) -> ClusterScheduler {
+        let cfg = match policy {
+            PlacementPolicy::LocalityOnly => SchedulerConfig::locality_only(),
+            PlacementPolicy::CompatibilityAware => SchedulerConfig::compatibility_aware(),
+        };
+        ClusterScheduler::new(fabric(racks, hosts), cfg)
+    }
+
+    #[test]
+    fn single_rack_preferred_by_both_policies() {
+        for policy in [
+            PlacementPolicy::LocalityOnly,
+            PlacementPolicy::CompatibilityAware,
+        ] {
+            let mut s = sched(3, 4, policy);
+            let j = s
+                .submit(JobSpec::reference(Model::Vgg16, 1400))
+                .unwrap();
+            let pj = &s.placed()[j];
+            assert!(pj.is_single_rack(), "{policy:?} should pack one rack");
+            assert!(pj.links.is_empty());
+            assert_eq!(pj.racks[0].1, 2);
+        }
+    }
+
+    #[test]
+    fn best_fit_picks_tightest_rack() {
+        let mut s = sched(3, 4, PlacementPolicy::LocalityOnly);
+        // Occupy rack 0 partially so it has exactly 2 free.
+        let filler = JobSpec::reference(Model::ResNet50, 1600); // 2 workers
+        s.submit(filler).unwrap();
+        assert_eq!(s.free_hosts()[0], 2);
+        // A 2-worker job should slot into rack 0 (tightest), not rack 1.
+        let j = s.submit(JobSpec::reference(Model::Vgg16, 1400)).unwrap();
+        assert_eq!(s.placed()[j].racks, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn split_job_uses_uplinks() {
+        let mut s = sched(2, 2, PlacementPolicy::LocalityOnly);
+        let big = JobSpec {
+            workers: 3,
+            ..JobSpec::reference(Model::Vgg16, 1400)
+        };
+        let j = s.submit(big).unwrap();
+        let pj = &s.placed()[j];
+        assert_eq!(pj.racks.len(), 2);
+        assert_eq!(pj.links.len(), 4, "two hops × (up + down)");
+        // Fluid jobs carry 2× the calibrated bytes over 2 hops.
+        let fj = &s.fluid_jobs()[j];
+        assert_eq!(fj.flows.len(), 2);
+        let expect = big.comm_bytes().as_bytes() as f64 * 2.0;
+        assert_eq!(fj.total_bytes_override, Some(expect));
+    }
+
+    #[test]
+    fn not_enough_hosts_errors() {
+        let mut s = sched(2, 2, PlacementPolicy::LocalityOnly);
+        let huge = JobSpec {
+            workers: 5,
+            ..JobSpec::reference(Model::Vgg16, 1400)
+        };
+        assert_eq!(
+            s.submit(huge),
+            Err(PlacementError::NotEnoughHosts { needed: 5, free: 4 })
+        );
+    }
+
+    /// The paper's placement argument in miniature: a split job must share
+    /// uplinks with a resident split job. The compatibility-aware policy
+    /// picks a spine/rack combination whose resident is compatible; the
+    /// locality-only policy grabs the first split it sees.
+    #[test]
+    fn compatibility_aware_avoids_incompatible_linkmates() {
+        // 4 racks × 2 hosts. Pre-place an incompatible-heavy resident
+        // (BERT: 73% comm) split across racks 0-1 on spine 0, and a
+        // compatible resident (ResNet50: 13% comm) split across racks 2-3.
+        let mk = |policy| {
+            let mut s = sched(5, 2, policy);
+            let bert3 = JobSpec {
+                workers: 3,
+                ..JobSpec::reference(Model::BertLarge, 8)
+            };
+            s.submit(bert3).unwrap(); // racks 0+1 (first fill), spine 0
+            let rn3 = JobSpec {
+                workers: 3,
+                ..JobSpec::reference(Model::ResNet50, 1600)
+            };
+            s.submit(rn3).unwrap(); // racks 2+3, spine 1
+            // Now 4 racks have 2,0... recompute: rack0 had 2 → bert took
+            // 2 from rack0? workers=3: rack0 (2) + rack1 (1). rn3: rack1
+            // has 1 free → candidates differ; assert below on actual state.
+            s
+        };
+        let comp = mk(PlacementPolicy::CompatibilityAware);
+        let loc = mk(PlacementPolicy::LocalityOnly);
+        // Submit a VGG16 pair-filler that must split and share some uplink.
+        let vgg3 = JobSpec {
+            workers: 3,
+            ..JobSpec::reference(Model::Vgg16, 1400)
+        };
+        let mut comp = comp;
+        let mut loc = loc;
+        let jc = comp.submit(vgg3).unwrap();
+        let jl = loc.submit(vgg3).unwrap();
+        // Both must have split somewhere.
+        assert!(!comp.placed()[jc].is_single_rack());
+        assert!(!loc.placed()[jl].is_single_rack());
+        // The compatibility-aware cluster as a whole must be solvable.
+        let v = comp.cluster_verdict();
+        assert!(
+            v.is_compatible(),
+            "compatibility-aware placement left an unsolvable cluster: {v:?}"
+        );
+    }
+
+    /// Churn: departures free hosts, and the freed capacity is reused for
+    /// later arrivals without disturbing residents.
+    #[test]
+    fn churn_frees_and_reuses_hosts() {
+        let mut s = sched(3, 2, PlacementPolicy::CompatibilityAware);
+        let j2 = JobSpec::reference(Model::Vgg16, 1400); // 2 workers
+        let a = s.submit(j2).unwrap();
+        let _b = s.submit(j2).unwrap();
+        let _c = s.submit(j2).unwrap();
+        assert_eq!(s.free_hosts().iter().sum::<usize>(), 0);
+        // Cluster full: a fourth job is refused.
+        assert!(matches!(
+            s.submit(j2),
+            Err(PlacementError::NotEnoughHosts { .. })
+        ));
+        // Job `a` departs; its rack frees up and a new job lands there.
+        let gone = s.remove(a);
+        assert_eq!(gone.spec, j2);
+        assert_eq!(s.free_hosts().iter().sum::<usize>(), 2);
+        let d = s.submit(JobSpec::reference(Model::ResNet50, 1600)).unwrap();
+        assert!(s.placed()[d].is_single_rack());
+        assert_eq!(s.placed().len(), 3);
+    }
+
+    /// §5 tuning in the placement loop: an arriving job whose period is
+    /// incommensurate with its forced link-mate gets its batch adjusted
+    /// (within tolerance) so the cluster stays compatible.
+    ///
+    /// Setup: 3 racks × 2 hosts, ONE spine — a 3-worker resident
+    /// (WideResNet, period 272.5 ms at 3-worker ring volume) occupies
+    /// racks 0-1, and a 3-worker VGG16 must split across racks 1-2,
+    /// sharing the spine uplinks. At batch 1250 the VGG16 period is
+    /// 277.5 ms (incommensurate); the harmonizing batch is ≈1198
+    /// (−4%), within a 10% tolerance.
+    #[test]
+    fn tuning_fallback_harmonizes_batch() {
+        let run = |tolerance: Option<f64>| {
+            let fabric = two_tier(
+                3,
+                2,
+                1,
+                Bandwidth::from_gbps(50),
+                Bandwidth::from_gbps(50),
+                Dur::ZERO,
+            );
+            let mut cfg = SchedulerConfig::compatibility_aware();
+            cfg.tune_tolerance = tolerance;
+            let mut s = ClusterScheduler::new(fabric, cfg);
+            let wrn = JobSpec {
+                workers: 3,
+                ..JobSpec::reference(Model::WideResNet50, 800)
+            };
+            s.submit(wrn).unwrap(); // racks (0, 1), the only spine
+            let vgg = JobSpec {
+                workers: 3,
+                ..JobSpec::reference(Model::Vgg16, 1250)
+            };
+            let j = s.submit(vgg).unwrap(); // racks (1, 2): shares uplinks
+            (s.placed()[j].clone(), s.cluster_verdict())
+        };
+        let (untuned, v_untuned) = run(None);
+        assert_eq!(untuned.spec.batch, 1250, "no tuning without tolerance");
+        assert!(!untuned.is_single_rack());
+        assert!(!v_untuned.is_compatible(), "batch 1250 should clash");
+        let (tuned, v_tuned) = run(Some(0.1));
+        assert_ne!(tuned.spec.batch, 1250, "tuning should adjust the batch");
+        assert_eq!(tuned.requested_batch, 1250);
+        assert!(
+            (tuned.spec.batch as i64 - 1250).unsigned_abs() as f64 <= 125.0,
+            "change within tolerance: {}",
+            tuned.spec.batch
+        );
+        assert!(
+            v_tuned.is_compatible(),
+            "tuned cluster should be compatible: {v_tuned:?}"
+        );
+    }
+
+    #[test]
+    fn contended_links_report() {
+        let mut s = sched(2, 3, PlacementPolicy::LocalityOnly);
+        let split = JobSpec {
+            workers: 4,
+            ..JobSpec::reference(Model::Vgg16, 1400)
+        };
+        s.submit(split).unwrap(); // racks (3, 1): uses uplinks
+        // One split job alone: no *contended* links.
+        assert!(s.contended_links().is_empty());
+        let small = JobSpec::reference(Model::ResNet50, 1600); // 2 workers
+        let j = s.submit(small).unwrap();
+        assert!(s.placed()[j].is_single_rack()); // fits in rack 1's 2 free
+        assert!(s.contended_links().is_empty());
+        // cluster_verdict with no contention: trivially compatible.
+        assert!(s.cluster_verdict().is_compatible());
+    }
+}

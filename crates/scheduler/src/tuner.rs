@@ -1,0 +1,221 @@
+//! Hyper-parameter tuning for compatibility (§5, "Impact of
+//! hyper-parameters").
+//!
+//! The paper observes that batch size shapes a job's circle — compute time
+//! scales with batch while communication volume does not — and that this
+//! "provides an opportunity for the scheduler to adjust the
+//! hyper-parameters to improve the compatibility of jobs sharing links".
+//! This module implements that opportunity: given a job about to be placed
+//! and the profiles already resident on its links, search nearby batch
+//! sizes for one whose circle rotates cleanly into the residents'.
+//!
+//! The search prefers batches closest to the requested one (smallest
+//! change to the training recipe) and is bounded by a tolerance fraction —
+//! an operator would not let the scheduler halve a user's batch size.
+
+use crate::profiler::analytic_profile;
+use geometry::{solve_on, Profile, SolverConfig, UnifiedCircle, Verdict};
+use simtime::{Bandwidth, Dur};
+use workload::JobSpec;
+
+/// A successful tuning outcome.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The adjusted batch size.
+    pub batch: u32,
+    /// The adjusted job spec (same model/workers, new batch).
+    pub spec: JobSpec,
+    /// Relative change from the requested batch, signed.
+    pub batch_change: f64,
+    /// The compatible verdict (rotations include the residents, with the
+    /// tuned job last).
+    pub verdict: Verdict,
+}
+
+/// Searches batch sizes within `±tolerance` (fraction of the requested
+/// batch) for one that makes `job` fully compatible with `residents` on a
+/// shared link. Candidates are tried nearest-first; returns `None` if no
+/// batch in range works (including the requested one).
+///
+/// `grid` is the period-quantization grid used for profiling — tuning
+/// works *because* nearby batches can snap two jobs onto harmonically
+/// related quantized periods.
+///
+/// # Panics
+/// Panics if `tolerance` is not in `(0, 1)`.
+pub fn tune_batch_for_compatibility(
+    job: &JobSpec,
+    residents: &[Profile],
+    nic: Bandwidth,
+    grid: Dur,
+    solver: &SolverConfig,
+    tolerance: f64,
+) -> Option<TuneResult> {
+    assert!(
+        tolerance > 0.0 && tolerance < 1.0,
+        "tune_batch: tolerance {tolerance} outside (0, 1)"
+    );
+    let requested = job.batch;
+    let max_delta = ((requested as f64 * tolerance) as u32).max(1);
+    // Step so the compute phase moves by roughly half a grid cell per
+    // candidate — finer steps only re-test the same quantized period.
+    let fwd_ns = job.model.params().fwd_ns_per_sample;
+    let step = ((grid.as_nanos() / 2) / fwd_ns.max(1)).max(1) as u32;
+
+    let mut deltas: Vec<i64> = vec![0];
+    let mut d = step as i64;
+    while d <= max_delta as i64 {
+        deltas.push(d);
+        deltas.push(-d);
+        d += step as i64;
+    }
+
+    for delta in deltas {
+        let batch = requested as i64 + delta;
+        if batch < 1 {
+            continue;
+        }
+        let candidate = JobSpec {
+            batch: batch as u32,
+            ..*job
+        };
+        let profile = analytic_profile(&candidate, nic, grid);
+        let mut profiles: Vec<Profile> = residents.to_vec();
+        profiles.push(profile);
+        let Ok(uc) = UnifiedCircle::new(&profiles, solver.sectors) else {
+            continue; // LCM overflow at this batch: not a usable period
+        };
+        let verdict = solve_on(&uc, solver);
+        if verdict.is_compatible() {
+            return Some(TuneResult {
+                batch: batch as u32,
+                spec: candidate,
+                batch_change: delta as f64 / requested as f64,
+                verdict,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::Model;
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(50);
+    const GRID: Dur = Dur::from_micros(2_500);
+
+    #[test]
+    fn already_compatible_batch_is_kept() {
+        // WRN(800) + VGG16(1400) share a 255 ms period: compatible as-is.
+        let resident = analytic_profile(
+            &JobSpec::reference(Model::WideResNet50, 800),
+            LINE,
+            GRID,
+        );
+        let job = JobSpec::reference(Model::Vgg16, 1400);
+        let r = tune_batch_for_compatibility(
+            &job,
+            &[resident],
+            LINE,
+            GRID,
+            &SolverConfig::default(),
+            0.1,
+        )
+        .expect("already compatible");
+        assert_eq!(r.batch, 1400, "no change needed");
+        assert_eq!(r.batch_change, 0.0);
+        assert!(r.verdict.is_compatible());
+    }
+
+    /// The paper's tuning opportunity: VGG16 at batch 1480 has a period
+    /// incommensurate with WRN(800)'s — incompatible. A ≲6% batch
+    /// reduction re-harmonizes the periods.
+    #[test]
+    fn tuning_recovers_compatibility() {
+        let resident = analytic_profile(
+            &JobSpec::reference(Model::WideResNet50, 800),
+            LINE,
+            GRID,
+        );
+        let job = JobSpec::reference(Model::Vgg16, 1480);
+        // Untuned: incompatible.
+        let untuned = tune_batch_for_compatibility(
+            &job,
+            &[resident.clone()],
+            LINE,
+            GRID,
+            &SolverConfig::default(),
+            0.001, // tolerance too small to change anything but 0
+        );
+        assert!(untuned.is_none(), "batch 1480 should not fit as-is");
+        // Tuned within 10%: finds a compatible batch below 1480.
+        let tuned = tune_batch_for_compatibility(
+            &job,
+            &[resident],
+            LINE,
+            GRID,
+            &SolverConfig::default(),
+            0.1,
+        )
+        .expect("a compatible batch exists within 10%");
+        assert!(tuned.batch < 1480, "expected a reduction, got {}", tuned.batch);
+        assert!(tuned.batch_change.abs() <= 0.1);
+        assert!(tuned.verdict.is_compatible());
+        // The tuned period must match WRN's quantized 255 ms (give or take
+        // one grid step of harmonic alternatives).
+        let period = analytic_profile(&tuned.spec, LINE, GRID).period();
+        assert_eq!(period, Dur::from_micros(255_000), "period {period}");
+    }
+
+    #[test]
+    fn hopeless_jobs_stay_incompatible() {
+        // BERT(8) (73% comm) + VGG19(1200) (45% comm): no batch within
+        // ±20% makes the fractions fit.
+        let resident =
+            analytic_profile(&JobSpec::reference(Model::Vgg19, 1200), LINE, GRID);
+        let job = JobSpec::reference(Model::BertLarge, 8);
+        let r = tune_batch_for_compatibility(
+            &job,
+            &[resident],
+            LINE,
+            GRID,
+            &SolverConfig::default(),
+            0.2,
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn candidates_prefer_smallest_change() {
+        // With no residents, every batch is compatible: the requested one
+        // must win.
+        let job = JobSpec::reference(Model::ResNet50, 1600);
+        let r = tune_batch_for_compatibility(
+            &job,
+            &[],
+            LINE,
+            GRID,
+            &SolverConfig::default(),
+            0.5,
+        );
+        // No residents means the solver sees a single job: compatible.
+        let r = r.expect("single job is always compatible");
+        assert_eq!(r.batch, 1600);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn bad_tolerance_rejected() {
+        let job = JobSpec::reference(Model::ResNet50, 1600);
+        let _ = tune_batch_for_compatibility(
+            &job,
+            &[],
+            LINE,
+            GRID,
+            &SolverConfig::default(),
+            1.5,
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Integer-nanosecond time, bandwidth and byte-size units for deterministic
+//! network simulation.
+//!
+//! Everything in the `mlcc` workspace measures time as an integer number of
+//! nanoseconds. This is a deliberate foundation decision (see `DESIGN.md`):
+//!
+//! * the geometric abstraction of the paper needs an **exact** least common
+//!   multiple of job iteration times to build the unified circle — floats
+//!   cannot provide one;
+//! * discrete-event simulation needs a total order on timestamps that is
+//!   stable across platforms and optimization levels;
+//! * iteration times of real DNN jobs span 5 orders of magnitude
+//!   (microsecond timers to multi-second iterations), which `u64`
+//!   nanoseconds cover with room to spare (≈ 584 years).
+//!
+//! The two core types are [`Time`] (an absolute instant on the simulation
+//! clock) and [`Dur`] (a span between instants). They are deliberately *not*
+//! interchangeable: adding two `Time`s is meaningless and does not compile.
+//!
+//! [`Bandwidth`] (bits per second) and [`ByteSize`] (bytes) round out the
+//! unit system, with the conversions a flow-level simulator needs:
+//! "how long does it take to move `B` bytes at rate `R`" and
+//! "how many bytes move in `dt` at rate `R`".
+//!
+//! # Example
+//!
+//! ```
+//! use simtime::{Bandwidth, ByteSize, Dur, Time, lcm_many};
+//!
+//! // Time vs duration: distinct types, checked arithmetic.
+//! let t0 = Time::ZERO + Dur::from_millis(141);
+//! assert_eq!((t0 + Dur::from_millis(114)) - t0, Dur::from_millis(114));
+//!
+//! // Rate × time ↔ bytes, exactly.
+//! let line = Bandwidth::from_gbps(50);
+//! assert_eq!(line.time_to_send(ByteSize::from_mb(712)), Dur::from_micros(113_920));
+//!
+//! // The unified-circle perimeter of the paper's Fig. 5.
+//! let perimeter = lcm_many(&[Dur::from_millis(40), Dur::from_millis(60)]).unwrap();
+//! assert_eq!(perimeter, Dur::from_millis(120));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod duration;
+mod numeric;
+mod time;
+
+pub use bandwidth::{Bandwidth, ByteSize};
+pub use duration::Dur;
+pub use numeric::{gcd_u64, lcm_u64, lcm_u64_checked, lcm_many};
+pub use time::Time;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_compose_across_modules() {
+        // 1 MB at 8 Mbit/s takes exactly one second.
+        let t = Bandwidth::from_mbps(8).time_to_send(ByteSize::from_mb(1));
+        assert_eq!(t, Dur::from_secs(1));
+        // And the round trip recovers the byte count.
+        assert_eq!(
+            Bandwidth::from_mbps(8).bytes_in(Dur::from_secs(1)),
+            ByteSize::from_mb(1)
+        );
+    }
+}

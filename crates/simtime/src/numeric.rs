@@ -1,0 +1,131 @@
+//! Integer GCD/LCM helpers used by the unified-circle construction.
+//!
+//! The paper generalizes its circular abstraction to jobs with different
+//! iteration times by building a **unified circle** whose perimeter is the
+//! least common multiple of all iteration times (§3). These helpers provide
+//! exact LCMs over [`Dur`]-style nanosecond integers, with checked variants
+//! for user-supplied inputs where the LCM might genuinely overflow.
+
+use crate::Dur;
+
+/// Greatest common divisor (binary-free Euclid; `gcd(0, b) = b`).
+#[inline]
+pub const fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple.
+///
+/// # Panics
+/// Panics on overflow; use [`lcm_u64_checked`] for untrusted inputs.
+/// `lcm(0, x) = 0` by convention.
+#[inline]
+pub fn lcm_u64(a: u64, b: u64) -> u64 {
+    lcm_u64_checked(a, b).expect("lcm_u64: overflow")
+}
+
+/// Least common multiple, `None` on overflow. `lcm(0, x) = 0`.
+#[inline]
+pub const fn lcm_u64_checked(a: u64, b: u64) -> Option<u64> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd_u64(a, b);
+    // (a / g) * b never loses precision since g divides a.
+    (a / g).checked_mul(b)
+}
+
+/// Least common multiple of a slice of durations — the unified-circle
+/// perimeter for a set of job iteration times.
+///
+/// Returns `None` if the slice is empty, contains a zero duration, or the
+/// LCM overflows `u64` nanoseconds. Callers quantize iteration times to a
+/// coarser grid (see `geometry`) before calling this when overflow is a
+/// realistic concern.
+pub fn lcm_many(durs: &[Dur]) -> Option<Dur> {
+    let mut acc: u64 = 1;
+    if durs.is_empty() {
+        return None;
+    }
+    for d in durs {
+        if d.is_zero() {
+            return None;
+        }
+        acc = lcm_u64_checked(acc, d.as_nanos())?;
+    }
+    Some(Dur::from_nanos(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd_u64(12, 18), 6);
+        assert_eq!(gcd_u64(17, 5), 1);
+        assert_eq!(gcd_u64(0, 9), 9);
+        assert_eq!(gcd_u64(9, 0), 9);
+        assert_eq!(gcd_u64(0, 0), 0);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm_u64(40, 60), 120); // the paper's Fig. 5 example
+        assert_eq!(lcm_u64(7, 3), 21);
+        assert_eq!(lcm_u64(0, 5), 0);
+        assert_eq!(lcm_u64_checked(u64::MAX, u64::MAX - 1), None);
+    }
+
+    #[test]
+    fn lcm_many_paper_example() {
+        // Fig. 5: iteration times 40 ms and 60 ms → 120 ms unified circle.
+        let p = lcm_many(&[Dur::from_millis(40), Dur::from_millis(60)]).unwrap();
+        assert_eq!(p, Dur::from_millis(120));
+    }
+
+    #[test]
+    fn lcm_many_edge_cases() {
+        assert_eq!(lcm_many(&[]), None);
+        assert_eq!(lcm_many(&[Dur::ZERO, Dur::SECOND]), None);
+        assert_eq!(lcm_many(&[Dur::from_millis(255)]), Some(Dur::from_millis(255)));
+        // Overflow: two large coprime ns counts.
+        let big = Dur::from_nanos((1 << 62) - 1);
+        let big2 = Dur::from_nanos(1 << 62);
+        assert_eq!(lcm_many(&[big, big2]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn gcd_divides_both(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+            let g = gcd_u64(a, b);
+            prop_assert!(g > 0);
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        }
+
+        #[test]
+        fn lcm_is_common_multiple(a in 1u64..100_000, b in 1u64..100_000) {
+            let l = lcm_u64(a, b);
+            prop_assert_eq!(l % a, 0);
+            prop_assert_eq!(l % b, 0);
+            // Minimality: lcm * gcd == a * b.
+            prop_assert_eq!(l as u128 * gcd_u64(a, b) as u128, a as u128 * b as u128);
+        }
+
+        #[test]
+        fn lcm_many_divides(xs in proptest::collection::vec(1u64..10_000, 1..6)) {
+            let durs: Vec<Dur> = xs.iter().map(|&x| Dur::from_nanos(x)).collect();
+            let l = lcm_many(&durs).unwrap();
+            for d in &durs {
+                prop_assert_eq!(l.as_nanos() % d.as_nanos(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The topology graph: nodes, directed links, adjacency.
+
+use simtime::{Bandwidth, Dur};
+use std::fmt;
+
+/// Identifier of a node in a [`Topology`] (index into its node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed link in a [`Topology`] (index into its link
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// What a node is: an end-host with accelerators, or a switch at some tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end-host (server) carrying `gpus` accelerators.
+    Host {
+        /// Number of GPUs installed in the server.
+        gpus: u8,
+    },
+    /// A top-of-rack switch.
+    TorSwitch,
+    /// An aggregation / spine switch.
+    SpineSwitch,
+}
+
+/// A node in the topology.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// Host or switch role.
+    pub kind: NodeKind,
+    /// Human-readable name (e.g. `"host-3"`, `"tor-0"`).
+    pub name: String,
+}
+
+impl Node {
+    /// `true` if this node is an end-host.
+    pub fn is_host(&self) -> bool {
+        matches!(self.kind, NodeKind::Host { .. })
+    }
+}
+
+/// A directed, capacity-labelled link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// The link's identifier.
+    pub id: LinkId,
+    /// Transmitting endpoint.
+    pub src: NodeId,
+    /// Receiving endpoint.
+    pub dst: NodeId,
+    /// Line rate.
+    pub capacity: Bandwidth,
+    /// One-way propagation delay.
+    pub delay: Dur,
+}
+
+/// A directed multigraph of hosts, switches and links.
+///
+/// Construction is additive only (no removal): experiments build a fabric
+/// once and route over it. Node and link ids are dense indices, so lookups
+/// are O(1) and per-link state elsewhere in the workspace can live in plain
+/// vectors indexed by `LinkId`.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// Outgoing link ids per node.
+    out_links: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            kind,
+            name: name.into(),
+        });
+        self.out_links.push(Vec::new());
+        id
+    }
+
+    /// Adds a host with `gpus` GPUs.
+    pub fn add_host(&mut self, name: impl Into<String>, gpus: u8) -> NodeId {
+        self.add_node(NodeKind::Host { gpus }, name)
+    }
+
+    /// Adds a single directed link and returns its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint does not exist, the endpoints coincide, or
+    /// the capacity is zero.
+    pub fn add_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: Bandwidth,
+        delay: Dur,
+    ) -> LinkId {
+        assert!(
+            (src.0 as usize) < self.nodes.len() && (dst.0 as usize) < self.nodes.len(),
+            "add_link: unknown endpoint"
+        );
+        assert_ne!(src, dst, "add_link: self-loop");
+        assert!(!capacity.is_zero(), "add_link: zero capacity");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            src,
+            dst,
+            capacity,
+            delay,
+        });
+        self.out_links[src.0 as usize].push(id);
+        id
+    }
+
+    /// Adds a full-duplex cable as two directed links; returns
+    /// `(a→b, b→a)`.
+    pub fn add_duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: Bandwidth,
+        delay: Dur,
+    ) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, capacity, delay);
+        let ba = self.add_link(b, a, capacity, delay);
+        (ab, ba)
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Outgoing links of `node`.
+    pub fn out_links(&self, node: NodeId) -> &[LinkId] {
+        &self.out_links[node.0 as usize]
+    }
+
+    /// Ids of all end-hosts.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_host())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Looks a node up by name (O(n); intended for tests and examples).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.name == name).map(|n| n.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps(g: u64) -> Bandwidth {
+        Bandwidth::from_gbps(g)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 8);
+        let b = t.add_host("b", 8);
+        let sw = t.add_node(NodeKind::TorSwitch, "tor");
+        let l1 = t.add_link(a, sw, gbps(50), Dur::from_micros(1));
+        let l2 = t.add_link(sw, b, gbps(50), Dur::from_micros(1));
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.link(l1).src, a);
+        assert_eq!(t.link(l2).dst, b);
+        assert_eq!(t.out_links(a), &[l1]);
+        assert_eq!(t.out_links(b), &[] as &[LinkId]);
+        assert_eq!(t.hosts(), vec![a, b]);
+        assert_eq!(t.node_by_name("tor"), Some(sw));
+        assert_eq!(t.node_by_name("nope"), None);
+        assert!(t.node(a).is_host());
+        assert!(!t.node(sw).is_host());
+    }
+
+    #[test]
+    fn duplex_adds_both_directions() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 1);
+        let b = t.add_host("b", 1);
+        let (ab, ba) = t.add_duplex(a, b, gbps(10), Dur::ZERO);
+        assert_eq!(t.link(ab).src, a);
+        assert_eq!(t.link(ab).dst, b);
+        assert_eq!(t.link(ba).src, b);
+        assert_eq!(t.link(ba).dst, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 1);
+        t.add_link(a, a, gbps(1), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn zero_capacity_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 1);
+        let b = t.add_host("b", 1);
+        t.add_link(a, b, Bandwidth::ZERO, Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown endpoint")]
+    fn dangling_endpoint_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 1);
+        t.add_link(a, NodeId(99), gbps(1), Dur::ZERO);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(1).to_string(), "L1");
+    }
+}

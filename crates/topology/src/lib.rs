@@ -1,0 +1,34 @@
+//! Cluster network topology: hosts, switches, links, and routing.
+//!
+//! A [`Topology`] is a directed multigraph of [`Node`]s (hosts carrying
+//! GPUs, and switches) connected by capacity-labelled [`Link`]s. Full-duplex
+//! cables are modelled as two independent directed links, because congestion
+//! in ML clusters is directional: an allreduce saturates a host's uplink
+//! while its downlink stays loose (or vice versa).
+//!
+//! Routing is shortest-path with ECMP: [`Topology::ecmp_paths`] enumerates
+//! all shortest paths and [`Topology::route`] picks one deterministically by
+//! flow hash, mirroring how a real fabric's 5-tuple hash pins a flow to one
+//! path — which is why the paper's scheduler must learn routes before it can
+//! reason about which jobs share a link (§4).
+//!
+//! Pre-built fabrics used throughout the workspace:
+//!
+//! * [`builders::dumbbell`] — the paper's Fig. 1a testbed: sender hosts
+//!   whose traffic funnels through one bottleneck link `L1`;
+//! * [`builders::two_tier`] — a ToR/spine Clos used for the cluster-level
+//!   compatibility experiments (§5);
+//! * [`builders::fat_tree`] — a three-tier k-ary fat-tree with full ECMP
+//!   spreading across core switches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod routing;
+
+/// Pre-built cluster fabrics.
+pub mod builders;
+
+pub use graph::{Link, LinkId, Node, NodeId, NodeKind, Topology};
+pub use routing::{FlowKey, Path};

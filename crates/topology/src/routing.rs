@@ -1,0 +1,308 @@
+//! Shortest-path enumeration and ECMP route selection.
+
+use crate::{LinkId, NodeId, Topology};
+use std::collections::VecDeque;
+
+/// A loop-free path through the fabric, as the sequence of directed links
+/// traversed from source host to destination host.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    links: Vec<LinkId>,
+}
+
+impl Path {
+    /// A path over the given links (assumed contiguous; verified by the
+    /// routing code that constructs them).
+    pub fn new(links: Vec<LinkId>) -> Path {
+        Path { links }
+    }
+
+    /// The links traversed, in order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` for a zero-hop path (source == destination).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// `true` if the path traverses `link`.
+    pub fn uses(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+}
+
+/// Identity of a flow for ECMP hashing — the simulator's stand-in for the
+/// 5-tuple a real switch hashes. Flows with the same key always take the
+/// same path; distinct keys spread across equal-cost paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Disambiguator standing in for ports (e.g. the flow's queue-pair id).
+    pub tag: u64,
+}
+
+impl FlowKey {
+    /// FNV-1a over the key fields: cheap, deterministic, well-spread.
+    pub fn hash64(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in [self.src.0 as u64, self.dst.0 as u64, self.tag] {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+}
+
+impl Topology {
+    /// All shortest paths (by hop count) from `src` to `dst`, in a
+    /// deterministic order.
+    ///
+    /// Returns an empty vector if `dst` is unreachable; returns one empty
+    /// path if `src == dst`.
+    pub fn ecmp_paths(&self, src: NodeId, dst: NodeId) -> Vec<Path> {
+        if src == dst {
+            return vec![Path::new(Vec::new())];
+        }
+        // BFS layering from src.
+        let n = self.node_count();
+        let mut dist = vec![u32::MAX; n];
+        dist[src.0 as usize] = 0;
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            for &lid in self.out_links(u) {
+                let v = self.link(lid).dst;
+                if dist[v.0 as usize] == u32::MAX {
+                    dist[v.0 as usize] = dist[u.0 as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        if dist[dst.0 as usize] == u32::MAX {
+            return Vec::new();
+        }
+        // DFS forward along strictly-increasing BFS layers enumerates all
+        // shortest paths. Out-link order makes the enumeration deterministic.
+        let mut paths = Vec::new();
+        let mut stack: Vec<LinkId> = Vec::new();
+        self.enumerate(src, dst, &dist, &mut stack, &mut paths);
+        paths
+    }
+
+    fn enumerate(
+        &self,
+        u: NodeId,
+        dst: NodeId,
+        dist: &[u32],
+        stack: &mut Vec<LinkId>,
+        out: &mut Vec<Path>,
+    ) {
+        if u == dst {
+            out.push(Path::new(stack.clone()));
+            return;
+        }
+        for &lid in self.out_links(u) {
+            let v = self.link(lid).dst;
+            if dist[v.0 as usize] == dist[u.0 as usize] + 1 {
+                stack.push(lid);
+                self.enumerate(v, dst, dist, stack, out);
+                stack.pop();
+            }
+        }
+    }
+
+    /// The ECMP-selected path for `flow`: hash the flow key over the set of
+    /// shortest paths. Returns `None` if the destination is unreachable.
+    pub fn route(&self, flow: FlowKey) -> Option<Path> {
+        let paths = self.ecmp_paths(flow.src, flow.dst);
+        if paths.is_empty() {
+            return None;
+        }
+        let idx = (flow.hash64() % paths.len() as u64) as usize;
+        Some(paths[idx].clone())
+    }
+
+    /// Hop-count distance from `src` to `dst`, or `None` if unreachable.
+    pub fn hop_distance(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        self.ecmp_paths(src, dst).first().map(|p| p.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+    use simtime::{Bandwidth, Dur};
+
+    fn gbps(g: u64) -> Bandwidth {
+        Bandwidth::from_gbps(g)
+    }
+
+    /// host0 → tor0 → {spine0, spine1} → tor1 → host1 : two equal-cost paths.
+    fn diamond() -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let h0 = t.add_host("h0", 8);
+        let h1 = t.add_host("h1", 8);
+        let tor0 = t.add_node(NodeKind::TorSwitch, "tor0");
+        let tor1 = t.add_node(NodeKind::TorSwitch, "tor1");
+        let s0 = t.add_node(NodeKind::SpineSwitch, "s0");
+        let s1 = t.add_node(NodeKind::SpineSwitch, "s1");
+        for (a, b) in [(h0, tor0), (tor0, s0), (tor0, s1), (s0, tor1), (s1, tor1), (tor1, h1)] {
+            t.add_duplex(a, b, gbps(50), Dur::from_micros(1));
+        }
+        (t, h0, h1)
+    }
+
+    #[test]
+    fn enumerates_all_shortest_paths() {
+        let (t, h0, h1) = diamond();
+        let paths = t.ecmp_paths(h0, h1);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.len(), 4);
+            // Contiguity: each link starts where the previous ended.
+            let mut at = h0;
+            for &lid in p.links() {
+                assert_eq!(t.link(lid).src, at);
+                at = t.link(lid).dst;
+            }
+            assert_eq!(at, h1);
+        }
+        assert_ne!(paths[0], paths[1]);
+        assert_eq!(t.hop_distance(h0, h1), Some(4));
+    }
+
+    #[test]
+    fn route_is_deterministic_and_spreads() {
+        let (t, h0, h1) = diamond();
+        let key = |tag| FlowKey { src: h0, dst: h1, tag };
+        let p1 = t.route(key(0)).unwrap();
+        let p2 = t.route(key(0)).unwrap();
+        assert_eq!(p1, p2, "same key must pin the same path");
+        // Across many tags, both equal-cost paths get used.
+        let distinct: std::collections::HashSet<Path> =
+            (0..64).map(|tag| t.route(key(tag)).unwrap()).collect();
+        assert_eq!(distinct.len(), 2, "ECMP should spread over both paths");
+    }
+
+    #[test]
+    fn unreachable_and_trivial() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 1);
+        let b = t.add_host("b", 1);
+        // No links: unreachable.
+        assert!(t.ecmp_paths(a, b).is_empty());
+        assert_eq!(t.route(FlowKey { src: a, dst: b, tag: 0 }), None);
+        assert_eq!(t.hop_distance(a, b), None);
+        // Self-route: one empty path.
+        let self_paths = t.ecmp_paths(a, a);
+        assert_eq!(self_paths.len(), 1);
+        assert!(self_paths[0].is_empty());
+    }
+
+    #[test]
+    fn one_way_links_are_directional() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 1);
+        let b = t.add_host("b", 1);
+        t.add_link(a, b, gbps(10), Dur::ZERO);
+        assert_eq!(t.ecmp_paths(a, b).len(), 1);
+        assert!(t.ecmp_paths(b, a).is_empty());
+    }
+
+    #[test]
+    fn path_uses() {
+        let (t, h0, h1) = diamond();
+        let p = t.route(FlowKey { src: h0, dst: h1, tag: 3 }).unwrap();
+        let first = p.links()[0];
+        assert!(p.uses(first));
+        // The host uplink must be the first hop for every path.
+        assert_eq!(t.link(first).src, h0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::NodeKind;
+    use proptest::prelude::*;
+    use simtime::{Bandwidth, Dur};
+
+    /// Random two-tier-ish fabric: `racks` ToRs with `hosts` hosts each,
+    /// `spines` spines, full ToR↔spine mesh.
+    fn build(racks: usize, hosts: usize, spines: usize) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let spine_ids: Vec<NodeId> = (0..spines)
+            .map(|s| t.add_node(NodeKind::SpineSwitch, format!("s{s}")))
+            .collect();
+        let mut all_hosts = Vec::new();
+        for r in 0..racks {
+            let tor = t.add_node(NodeKind::TorSwitch, format!("t{r}"));
+            for &sp in &spine_ids {
+                t.add_duplex(tor, sp, Bandwidth::from_gbps(50), Dur::ZERO);
+            }
+            for h in 0..hosts {
+                let host = t.add_host(format!("h{r}-{h}"), 8);
+                t.add_duplex(host, tor, Bandwidth::from_gbps(50), Dur::ZERO);
+                all_hosts.push(host);
+            }
+        }
+        (t, all_hosts)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every ECMP path between two hosts is contiguous, loop-free, and
+        /// of the common shortest length; the hashed route is one of them.
+        #[test]
+        fn ecmp_paths_are_valid(
+            racks in 1usize..4,
+            hosts in 1usize..3,
+            spines in 1usize..4,
+            tag in 0u64..1000,
+        ) {
+            let (t, all_hosts) = build(racks, hosts, spines);
+            prop_assume!(all_hosts.len() >= 2);
+            let src = all_hosts[0];
+            let dst = *all_hosts.last().unwrap();
+            let paths = t.ecmp_paths(src, dst);
+            prop_assert!(!paths.is_empty(), "mesh fabric must connect hosts");
+            let len = paths[0].len();
+            for p in &paths {
+                prop_assert_eq!(p.len(), len, "all ECMP paths equal length");
+                // Contiguity and loop-freedom.
+                let mut at = src;
+                let mut seen = std::collections::HashSet::new();
+                prop_assert!(seen.insert(at));
+                for &lid in p.links() {
+                    prop_assert_eq!(t.link(lid).src, at);
+                    at = t.link(lid).dst;
+                    prop_assert!(seen.insert(at), "loop through {at}");
+                }
+                prop_assert_eq!(at, dst);
+            }
+            // Hashed route is deterministic and a member of the set.
+            let key = FlowKey { src, dst, tag };
+            let r1 = t.route(key).unwrap();
+            let r2 = t.route(key).unwrap();
+            prop_assert_eq!(&r1, &r2);
+            prop_assert!(paths.contains(&r1));
+            // Cross-rack traffic uses exactly the expected hop count:
+            // 2 hops intra-rack, 4 cross-rack.
+            let same_rack = racks == 1;
+            prop_assert_eq!(len, if same_rack { 2 } else { 4 });
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Allreduce algorithm cost models.
+//!
+//! The model zoo's `wire_mb` is calibrated at the reference configuration
+//! (2 workers, ring allreduce). This module scales that quantity to other
+//! worker counts and algorithms, using each algorithm's well-known
+//! bottleneck-link byte count:
+//!
+//! * **Ring** (Baidu allreduce, ref [1, 22, 44]): every worker sends
+//!   `2(n−1)/n · S` bytes per iteration, so relative to `n = 2` (factor 1)
+//!   the multiplier is `2(n−1)/n`.
+//! * **Tree** (reduce + broadcast, ref [35]): a leaf's link carries `S` up
+//!   and `S` down regardless of `n` — factor 1, but latency grows with
+//!   depth (not modelled; the paper's abstraction is byte-volume only).
+//! * **Hierarchical** (ring of rings, ref [45, 46]): intra-group ring over
+//!   `g`-sized groups, then an inter-group ring over leaders. A member
+//!   link carries the intra-group factor; a *leader uplink* additionally
+//!   carries the inter-group ring bytes — the quantity that matters on ToR
+//!   uplinks in the cluster experiments.
+
+use crate::Model;
+use simtime::ByteSize;
+
+/// The collective algorithm a job uses to synchronize gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Allreduce {
+    /// Ring allreduce (the reference algorithm).
+    #[default]
+    Ring,
+    /// Binary-tree reduce + broadcast.
+    Tree,
+    /// Two-level hierarchical ring with the given group size.
+    Hierarchical {
+        /// Workers per intra-level group (e.g. hosts per rack).
+        group: u8,
+    },
+}
+
+impl Allreduce {
+    /// Byte multiplier on a worker's bottleneck link, relative to the
+    /// reference configuration (ring, `n = 2`).
+    ///
+    /// # Panics
+    /// Panics if `workers < 2` (a 1-worker job does no allreduce) or a
+    /// hierarchical group size is 0 or exceeds the worker count.
+    pub fn wire_factor(self, workers: u32) -> f64 {
+        assert!(workers >= 2, "allreduce needs at least 2 workers");
+        match self {
+            Allreduce::Ring => 2.0 * (workers as f64 - 1.0) / workers as f64,
+            Allreduce::Tree => 1.0,
+            Allreduce::Hierarchical { group } => {
+                let g = group as u32;
+                assert!(
+                    g >= 1 && g <= workers,
+                    "hierarchical group {g} invalid for {workers} workers"
+                );
+                if g <= 1 {
+                    // Degenerate: every worker is a leader; pure inter ring.
+                    return Allreduce::Ring.wire_factor(workers);
+                }
+                // Intra-group ring over g members.
+                2.0 * (g as f64 - 1.0) / g as f64
+            }
+        }
+    }
+
+    /// Additional byte multiplier carried by a *leader's uplink* (the
+    /// inter-group stage). Zero for flat algorithms.
+    pub fn leader_uplink_factor(self, workers: u32) -> f64 {
+        match self {
+            Allreduce::Ring | Allreduce::Tree => 0.0,
+            Allreduce::Hierarchical { group } => {
+                let g = (group as u32).max(1);
+                let groups = workers.div_ceil(g);
+                if groups <= 1 {
+                    0.0
+                } else {
+                    2.0 * (groups as f64 - 1.0) / groups as f64
+                }
+            }
+        }
+    }
+
+    /// Effective wire bytes for `model` at `workers` workers: the calibrated
+    /// reference volume scaled by [`Allreduce::wire_factor`].
+    pub fn wire_bytes(self, model: Model, workers: u32) -> ByteSize {
+        // Reference is ring at n=2, whose factor is 1.0.
+        model.wire_bytes().mul_f64(self.wire_factor(workers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_factor_reference_is_identity() {
+        assert_eq!(Allreduce::Ring.wire_factor(2), 1.0);
+    }
+
+    #[test]
+    fn ring_factor_grows_toward_two() {
+        let f4 = Allreduce::Ring.wire_factor(4);
+        let f8 = Allreduce::Ring.wire_factor(8);
+        let f64w = Allreduce::Ring.wire_factor(64);
+        assert!((f4 - 1.5).abs() < 1e-12);
+        assert!((f8 - 1.75).abs() < 1e-12);
+        assert!(f4 < f8 && f8 < f64w && f64w < 2.0);
+    }
+
+    #[test]
+    fn tree_factor_is_constant() {
+        for n in [2, 4, 16, 128] {
+            assert_eq!(Allreduce::Tree.wire_factor(n), 1.0);
+        }
+    }
+
+    #[test]
+    fn hierarchical_member_and_leader() {
+        let h = Allreduce::Hierarchical { group: 4 };
+        // Member link: intra-group ring of 4 → 1.5.
+        assert!((h.wire_factor(16) - 1.5).abs() < 1e-12);
+        // Leader uplink: inter ring over 4 groups → 1.5 extra.
+        assert!((h.leader_uplink_factor(16) - 1.5).abs() < 1e-12);
+        // Single group: no inter stage.
+        assert_eq!(h.leader_uplink_factor(4), 0.0);
+        // Flat algorithms have no leader stage.
+        assert_eq!(Allreduce::Ring.leader_uplink_factor(8), 0.0);
+        assert_eq!(Allreduce::Tree.leader_uplink_factor(8), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_group_of_one_degenerates_to_ring() {
+        let h = Allreduce::Hierarchical { group: 1 };
+        assert_eq!(h.wire_factor(8), Allreduce::Ring.wire_factor(8));
+    }
+
+    #[test]
+    fn wire_bytes_scale() {
+        let base = Model::Vgg16.wire_bytes();
+        assert_eq!(Allreduce::Ring.wire_bytes(Model::Vgg16, 2), base);
+        let scaled = Allreduce::Ring.wire_bytes(Model::Vgg16, 4);
+        assert_eq!(scaled, base.mul_f64(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 workers")]
+    fn single_worker_rejected() {
+        Allreduce::Ring.wire_factor(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn oversized_group_rejected() {
+        Allreduce::Hierarchical { group: 9 }.wire_factor(8);
+    }
+}

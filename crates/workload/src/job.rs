@@ -1,0 +1,218 @@
+//! [`JobSpec`]: a concrete training job and its derived phase quantities.
+
+use crate::{Allreduce, Model};
+use simtime::{Bandwidth, ByteSize, Dur};
+use std::fmt;
+
+/// How a job's per-iteration communication is emitted onto the wire.
+///
+/// Many training platforms pipeline backpropagation with the allreduce —
+/// gradients are bucketized and each bucket's transfer starts as soon as
+/// its layer finishes — turning the single communication burst into a
+/// train of smaller bursts separated by compute gaps. Finer bursts pack
+/// better on the circle: a pipelined job can be compatible with partners
+/// a monolithic job of the same volume is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pipeline {
+    /// Number of equal communication bursts per iteration (≥ 1).
+    pub chunks: u8,
+    /// Compute gap between consecutive bursts (backprop time per bucket).
+    pub gap: Dur,
+}
+
+impl Pipeline {
+    /// The paper's base abstraction: one monolithic communication phase.
+    pub const fn single() -> Pipeline {
+        Pipeline {
+            chunks: 1,
+            gap: Dur::ZERO,
+        }
+    }
+
+    /// A pipelined emission with `chunks` bursts separated by `gap`.
+    ///
+    /// # Panics
+    /// Panics if `chunks == 0`.
+    pub fn chunked(chunks: u8, gap: Dur) -> Pipeline {
+        assert!(chunks >= 1, "Pipeline: zero chunks");
+        Pipeline { chunks, gap }
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Pipeline {
+        Pipeline::single()
+    }
+}
+
+/// Identifier of a job within an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// A concrete data-parallel training job: model, per-GPU batch size, worker
+/// count and collective algorithm.
+///
+/// From these the job's periodic on/off pattern follows:
+/// * compute phase = [`JobSpec::compute_time`] (forward pass, off);
+/// * communication phase = injecting [`JobSpec::comm_bytes`] into the
+///   network (backprop + allreduce, on), which takes
+///   [`JobSpec::comm_time_at`] when uncontended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// The DNN being trained.
+    pub model: Model,
+    /// Global batch size (the quantity Table 1 reports).
+    pub batch: u32,
+    /// Number of data-parallel workers.
+    pub workers: u32,
+    /// Gradient synchronization algorithm.
+    pub allreduce: Allreduce,
+    /// Communication emission shape (monolithic or pipelined bursts).
+    pub pipeline: Pipeline,
+}
+
+impl JobSpec {
+    /// A job at the paper's reference configuration: 2 workers, ring
+    /// allreduce — the testbed setup behind Fig. 1 and Table 1.
+    pub fn reference(model: Model, batch: u32) -> JobSpec {
+        JobSpec {
+            model,
+            batch,
+            workers: 2,
+            allreduce: Allreduce::Ring,
+            pipeline: Pipeline::single(),
+        }
+    }
+
+    /// The same job with its communication split into `chunks` bursts
+    /// separated by `gap` of backprop compute.
+    pub fn pipelined(self, chunks: u8, gap: Dur) -> JobSpec {
+        JobSpec {
+            pipeline: Pipeline::chunked(chunks, gap),
+            ..self
+        }
+    }
+
+    /// A short label like `"VGG19(1200)"`, as rows appear in Table 1.
+    pub fn label(&self) -> String {
+        format!("{}({})", self.model.name(), self.batch)
+    }
+
+    /// Compute-phase (forward pass) duration.
+    pub fn compute_time(&self) -> Dur {
+        self.model.compute_time(self.batch)
+    }
+
+    /// Bytes injected through a worker's bottleneck link direction per
+    /// iteration.
+    pub fn comm_bytes(&self) -> ByteSize {
+        self.allreduce.wire_bytes(self.model, self.workers)
+    }
+
+    /// Communication-phase duration when the job is alone on a link of the
+    /// given rate.
+    pub fn comm_time_at(&self, rate: Bandwidth) -> Dur {
+        rate.time_to_send(self.comm_bytes())
+    }
+
+    /// Solo iteration time on a dedicated link of the given rate — the
+    /// perimeter of the job's circle in the geometric abstraction.
+    /// Pipelined jobs additionally pay their inter-burst compute gaps.
+    pub fn iteration_time_at(&self, rate: Bandwidth) -> Dur {
+        self.compute_time()
+            + self.comm_time_at(rate)
+            + self.pipeline.gap * (self.pipeline.chunks as u64 - 1)
+    }
+
+    /// The iteration's phase plan: `(compute, comm_bytes)` segments
+    /// executed in order. Monolithic jobs have one segment; pipelined jobs
+    /// have one per burst, with the forward pass ahead of the first and
+    /// the gap ahead of each subsequent burst.
+    pub fn phase_plan(&self) -> Vec<(Dur, f64)> {
+        let total = self.comm_bytes().as_bytes() as f64;
+        let c = self.pipeline.chunks as usize;
+        let per_burst = total / c as f64;
+        (0..c)
+            .map(|i| {
+                let compute = if i == 0 {
+                    self.compute_time()
+                } else {
+                    self.pipeline.gap
+                };
+                (compute, per_burst)
+            })
+            .collect()
+    }
+
+    /// Fraction of the solo iteration spent communicating, in `(0, 1)`.
+    /// The single most important compatibility statistic: a set of jobs can
+    /// only be fully compatible if their comm fractions sum to ≤ 1 (after
+    /// aligning periods on the unified circle).
+    pub fn comm_fraction_at(&self, rate: Bandwidth) -> f64 {
+        self.comm_time_at(rate)
+            .ratio(self.iteration_time_at(rate))
+    }
+}
+
+impl fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(50);
+
+    #[test]
+    fn label_matches_table1_style() {
+        let j = JobSpec::reference(Model::Vgg19, 1200);
+        assert_eq!(j.label(), "VGG19(1200)");
+        assert_eq!(j.to_string(), "VGG19(1200)");
+        assert_eq!(JobId(2).to_string(), "J2");
+    }
+
+    #[test]
+    fn reference_configuration() {
+        let j = JobSpec::reference(Model::Dlrm, 2000);
+        assert_eq!(j.workers, 2);
+        assert_eq!(j.allreduce, Allreduce::Ring);
+        // DLRM(2000): 700 ms compute + 300 ms comm = 1000 ms solo.
+        assert_eq!(j.compute_time(), Dur::from_millis(700));
+        let solo = j.iteration_time_at(LINE).as_millis_f64();
+        assert!((solo - 1000.0).abs() < 0.5, "solo {solo} ms");
+        let frac = j.comm_fraction_at(LINE);
+        assert!((frac - 0.3).abs() < 0.001, "comm fraction {frac}");
+    }
+
+    #[test]
+    fn more_workers_means_more_wire_bytes() {
+        let two = JobSpec::reference(Model::Vgg16, 1400);
+        let four = JobSpec { workers: 4, ..two };
+        assert!(four.comm_bytes() > two.comm_bytes());
+        assert!(four.iteration_time_at(LINE) > two.iteration_time_at(LINE));
+        // Compute phase is unaffected by worker count in this model
+        // (global batch fixed per GPU).
+        assert_eq!(four.compute_time(), two.compute_time());
+    }
+
+    #[test]
+    fn comm_fraction_bounds() {
+        for m in Model::ALL {
+            let j = JobSpec::reference(m, 1000);
+            let f = j.comm_fraction_at(LINE);
+            assert!(f > 0.0 && f < 1.0, "{}: fraction {f}", j.label());
+        }
+        // BERT(8) is the most communication-bound job in Table 1.
+        let bert = JobSpec::reference(Model::BertLarge, 8);
+        assert!(bert.comm_fraction_at(LINE) > 0.7);
+    }
+}

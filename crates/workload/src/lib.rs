@@ -1,0 +1,53 @@
+//! Distributed DNN training job models.
+//!
+//! The paper abstracts a data-parallel training job as a strictly periodic
+//! **on/off** network pattern: the *off* period is the forward pass
+//! ("compute phase") and the *on* period is backpropagation + allreduce
+//! ("communication phase"), because congestion matters whenever data is
+//! being injected (§2). This crate provides that abstraction as executable
+//! models:
+//!
+//! * [`Model`] / [`models`] — a zoo of the paper's six DNNs (VGG16, VGG19,
+//!   ResNet-50, WideResNet-50-2, BERT-large, DLRM) with per-sample compute
+//!   costs and **effective wire bytes** calibrated against the numbers the
+//!   paper reports (see `DESIGN.md` §4 for the derivation);
+//! * [`JobSpec`] — a concrete job: model + batch size + worker count +
+//!   allreduce algorithm, yielding its compute-phase duration and
+//!   per-iteration communication bytes;
+//! * [`JobProgress`] — the iteration state machine the network engines
+//!   drive: compute until the forward pass ends, then inject bytes until the
+//!   allreduce completes, record the iteration time, repeat;
+//! * [`allreduce`] — bottleneck-byte factors for ring, tree and
+//!   hierarchical allreduce as worker count scales;
+//! * [`trace`] — dedicated-network demand traces (the paper's Fig. 3a
+//!   time-series view) and burst detection, so a profiler can recover the
+//!   on/off structure from measured NIC counters.
+//!
+//! # Example
+//!
+//! ```
+//! use workload::{JobSpec, Model};
+//! use simtime::Bandwidth;
+//!
+//! let line = Bandwidth::from_gbps(50);
+//! let job = JobSpec::reference(Model::Dlrm, 2000);
+//! // The Table 1 anchor: 700 ms compute + 300 ms communication.
+//! assert_eq!(job.compute_time().as_millis(), 700);
+//! assert_eq!(job.comm_time_at(line).as_millis(), 300);
+//! assert!((job.comm_fraction_at(line) - 0.3).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allreduce;
+mod job;
+mod models;
+mod progress;
+pub mod trace;
+
+pub use allreduce::Allreduce;
+pub use job::{JobId, JobSpec, Pipeline};
+pub use models::{Model, ModelParams};
+pub use progress::{IterationRecord, JobPhase, JobProgress};
+pub use trace::{burst_stats, demand_trace, detect_bursts, Burst, BurstStats};

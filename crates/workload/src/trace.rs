@@ -1,0 +1,206 @@
+//! Network-demand traces: the Fig. 3a view of a job.
+//!
+//! The paper's geometric abstraction starts from "the time-series
+//! representation of the network demand for a job running in a dedicated
+//! cluster" (§3, Fig. 3a). This module generates that representation for a
+//! [`JobSpec`] — the strictly periodic on/off rectangle wave — and, in the
+//! other direction, recovers the on/off structure from an arbitrary
+//! measured rate trace (what a production profiler would do with NIC
+//! counters).
+
+use crate::JobSpec;
+use eventsim::TimeSeries;
+use simtime::{Bandwidth, Dur, Time};
+
+/// Generates the dedicated-network demand trace of a job over `span`:
+/// 0 during compute phases, the full `rate` during communication phases.
+pub fn demand_trace(spec: &JobSpec, rate: Bandwidth, span: Dur) -> TimeSeries {
+    let mut ts = TimeSeries::new();
+    let compute = spec.compute_time();
+    let comm = spec.comm_time_at(rate);
+    let period = compute + comm;
+    let gbps = rate.as_gbps_f64();
+    let mut t = Time::ZERO;
+    ts.push(t, 0.0);
+    while t < Time::ZERO + span {
+        let comm_start = t + compute;
+        let comm_end = t + period;
+        if comm_start < Time::ZERO + span {
+            ts.push(comm_start, gbps);
+        }
+        if comm_end < Time::ZERO + span {
+            ts.push(comm_end, 0.0);
+        }
+        t = comm_end;
+    }
+    ts
+}
+
+/// One on-period detected in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// When the trace rose above the threshold.
+    pub start: Time,
+    /// When it fell back below (exclusive).
+    pub end: Time,
+}
+
+impl Burst {
+    /// The burst's duration.
+    pub fn len(&self) -> Dur {
+        self.end - self.start
+    }
+
+    /// `true` for a zero-length burst (cannot be produced by detection).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Extracts the on-periods (communication bursts) of a rate trace: maximal
+/// intervals where the value is ≥ `threshold_gbps`.
+///
+/// Bursts still open at the end of the trace are dropped — their true
+/// length is unknown, and a profiler only uses complete periods.
+pub fn detect_bursts(trace: &TimeSeries, threshold_gbps: f64) -> Vec<Burst> {
+    let mut bursts = Vec::new();
+    let mut open: Option<Time> = None;
+    for (t, v) in trace.iter() {
+        match (open, v >= threshold_gbps) {
+            (None, true) => open = Some(t),
+            (Some(start), false) => {
+                bursts.push(Burst { start, end: t });
+                open = None;
+            }
+            _ => {}
+        }
+    }
+    bursts
+}
+
+/// Statistics a profiler derives from detected bursts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstStats {
+    /// Median burst (communication-phase) duration.
+    pub comm: Dur,
+    /// Median gap between consecutive burst starts (the iteration time).
+    pub period: Dur,
+}
+
+/// Derives the on/off statistics from a trace's bursts.
+///
+/// Returns `None` with fewer than two complete bursts (no period can be
+/// measured from one).
+pub fn burst_stats(bursts: &[Burst]) -> Option<BurstStats> {
+    if bursts.len() < 2 {
+        return None;
+    }
+    let mut comms: Vec<Dur> = bursts.iter().map(|b| b.len()).collect();
+    comms.sort_unstable();
+    let comm = comms[comms.len() / 2];
+    let mut periods: Vec<Dur> = bursts
+        .windows(2)
+        .map(|w| w[1].start - w[0].start)
+        .collect();
+    periods.sort_unstable();
+    let period = periods[periods.len() / 2];
+    Some(BurstStats { comm, period })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    const LINE: Bandwidth = Bandwidth::from_gbps(50);
+
+    #[test]
+    fn demand_trace_is_periodic_rectangle_wave() {
+        let spec = JobSpec::reference(Model::Vgg16, 1400);
+        let span = Dur::from_millis(1_000);
+        let ts = demand_trace(&spec, LINE, span);
+        // Off during compute, on during comm, for several periods.
+        let compute = spec.compute_time();
+        let period = spec.iteration_time_at(LINE);
+        for k in 0..3u64 {
+            let mid_compute = Time::ZERO + period * k + compute / 2;
+            let mid_comm = Time::ZERO + period * k + compute + spec.comm_time_at(LINE) / 2;
+            assert_eq!(ts.value_at(mid_compute), Some(0.0), "iteration {k}");
+            assert_eq!(ts.value_at(mid_comm), Some(50.0), "iteration {k}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_trace_to_profile_stats() {
+        // Generate a trace, detect bursts, and recover the job's phases.
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let ts = demand_trace(&spec, LINE, Dur::from_secs(2));
+        let bursts = detect_bursts(&ts, 1.0);
+        assert!(bursts.len() >= 5, "got {} bursts", bursts.len());
+        let stats = burst_stats(&bursts).unwrap();
+        let expect_comm = spec.comm_time_at(LINE);
+        let expect_period = spec.iteration_time_at(LINE);
+        assert_eq!(stats.comm, expect_comm);
+        assert_eq!(stats.period, expect_period);
+    }
+
+    #[test]
+    fn detect_bursts_edge_cases() {
+        // Empty trace.
+        assert!(detect_bursts(&TimeSeries::new(), 1.0).is_empty());
+        // Trace that never exceeds the threshold.
+        let mut low = TimeSeries::new();
+        low.push(Time::ZERO, 0.5);
+        low.push(Time::from_nanos(100), 0.9);
+        assert!(detect_bursts(&low, 1.0).is_empty());
+        // Burst still open at the end is dropped.
+        let mut open = TimeSeries::new();
+        open.push(Time::ZERO, 0.0);
+        open.push(Time::from_nanos(100), 5.0);
+        assert!(detect_bursts(&open, 1.0).is_empty());
+        // A complete burst is detected with exact bounds.
+        let mut one = TimeSeries::new();
+        one.push(Time::ZERO, 0.0);
+        one.push(Time::from_nanos(100), 5.0);
+        one.push(Time::from_nanos(300), 0.0);
+        let bursts = detect_bursts(&one, 1.0);
+        assert_eq!(
+            bursts,
+            vec![Burst {
+                start: Time::from_nanos(100),
+                end: Time::from_nanos(300)
+            }]
+        );
+        assert_eq!(bursts[0].len(), Dur::from_nanos(200));
+        assert!(!bursts[0].is_empty());
+    }
+
+    #[test]
+    fn burst_stats_need_two_bursts() {
+        let b = Burst {
+            start: Time::ZERO,
+            end: Time::from_nanos(10),
+        };
+        assert_eq!(burst_stats(&[]), None);
+        assert_eq!(burst_stats(&[b]), None);
+    }
+
+    #[test]
+    fn burst_stats_use_medians() {
+        // One outlier burst must not skew the stats.
+        let mk = |s: u64, e: u64| Burst {
+            start: Time::from_nanos(s),
+            end: Time::from_nanos(e),
+        };
+        let bursts = vec![
+            mk(0, 10),
+            mk(100, 110),
+            mk(200, 290), // outlier length
+            mk(300, 310),
+            mk(400, 410),
+        ];
+        let stats = burst_stats(&bursts).unwrap();
+        assert_eq!(stats.comm, Dur::from_nanos(10));
+        assert_eq!(stats.period, Dur::from_nanos(100));
+    }
+}

@@ -1,0 +1,47 @@
+//! §5 — cluster-level compatibility and compatibility-aware placement.
+//!
+//! ```sh
+//! cargo run --release --example cluster_sched
+//! ```
+//!
+//! A stream of jobs arrives at a two-tier cluster whose racks force
+//! cross-rack splits. The locality-only baseline lands an incompatible
+//! BERT + VGG19 pairing on shared ToR uplinks; the compatibility-aware
+//! scheduler consults the geometry solver and routes around it.
+
+use mlcc::experiments::cluster::{run, ClusterConfig};
+
+fn main() {
+    let cfg = ClusterConfig::default();
+    println!(
+        "§5 — {} racks × {} hosts, {} spines; arriving jobs:",
+        cfg.racks, cfg.hosts_per_rack, cfg.spines
+    );
+    for j in &cfg.jobs {
+        println!("  {} ({} workers)", j.label(), j.workers);
+    }
+    println!();
+    let r = run(&cfg);
+    println!("{}", r.render());
+    println!(
+        "locality-only: {} contended fabric link(s), cluster verdict {}",
+        r.locality.contended_links,
+        if r.locality.verdict.is_compatible() {
+            "compatible".to_string()
+        } else {
+            format!(
+                "incompatible ({:.0}% unavoidable overlap)",
+                r.locality.verdict.overlap_fraction() * 100.0
+            )
+        }
+    );
+    println!(
+        "compatibility-aware: {} contended fabric link(s), cluster verdict {}",
+        r.compatibility.contended_links,
+        if r.compatibility.verdict.is_compatible() {
+            "compatible"
+        } else {
+            "incompatible"
+        }
+    );
+}

@@ -1,0 +1,51 @@
+//! Reproduces Fig. 2: the sliding effect. Prints per-iteration contended
+//! time and an ASCII rendering of both jobs' link usage, fair vs unfair.
+//!
+//! ```sh
+//! cargo run --release --example fig2_sliding
+//! ```
+
+use mlcc::experiments::fig2::{run, Fig2Config};
+use simtime::{Dur, Time};
+
+fn main() {
+    let cfg = Fig2Config::default();
+    println!(
+        "Fig. 2 — two {} jobs; J1 aggressive (T=100µs) in the unfair scenario\n",
+        cfg.jobs[0].label()
+    );
+    let r = run(&cfg);
+    println!("{}", r.render());
+    match r.interleaved_at() {
+        Some(i) => println!(
+            "unfair scenario: communication phases fully interleaved by iteration {} \
+             (paper: by the fourth iteration)\n",
+            i + 1
+        ),
+        None => println!("unfair scenario: phases never fully interleaved\n"),
+    }
+
+    // ASCII usage strips: one row per job per scenario, 20 ms per column.
+    let horizon = Time::ZERO + Dur::from_millis(1_600);
+    let col = Dur::from_millis(20);
+    for (name, sc) in [("fair", &r.fair), ("unfair", &r.unfair)] {
+        println!("{name}: link usage, one column per {col} ('█' ≥ 25 Gbps, '▒' ≥ 1 Gbps)");
+        for (j, trace) in sc.traces.iter().enumerate() {
+            let cells: String = trace
+                .resample(Time::ZERO, horizon, col)
+                .iter()
+                .map(|&gbps| {
+                    if gbps >= 25.0 {
+                        '█'
+                    } else if gbps >= 1.0 {
+                        '▒'
+                    } else {
+                        '·'
+                    }
+                })
+                .collect();
+            println!("  J{j} {cells}");
+        }
+        println!();
+    }
+}

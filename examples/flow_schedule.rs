@@ -1,0 +1,29 @@
+//! §4.iii — precise flow scheduling from rotation angles.
+//!
+//! ```sh
+//! cargo run --release --example flow_schedule
+//! ```
+//!
+//! Profiles two compatible jobs, solves for rotation angles on the unified
+//! circle, converts the angles into communication-release gates, and shows
+//! that the gated cluster runs at dedicated-network pace with zero
+//! transport changes.
+
+use mlcc::experiments::flowsched::{run, FlowschedConfig};
+
+fn main() {
+    let cfg = FlowschedConfig::default();
+    println!(
+        "§4.iii — flow scheduling for {} + {}: rotation angles become \
+         communication time-shifts\n",
+        cfg.jobs[0].label(),
+        cfg.jobs[1].label()
+    );
+    let r = run(&cfg);
+    println!("{}", r.render());
+    println!(
+        "Under gating each job communicates only in its assigned slot, so the link\n\
+         is handed over without any unfairness in the congestion control. The cost\n\
+         the paper flags — tight cluster-wide clock sync — is free in simulation."
+    );
+}

@@ -1,0 +1,76 @@
+//! Reproduces Figs. 3–5: the geometric abstraction, with ASCII circles.
+//!
+//! ```sh
+//! cargo run --release --example geometry_demo
+//! ```
+
+use geometry::Profile;
+use mlcc::experiments::geometry_demo::{fig3, fig4, fig5};
+use simtime::Dur;
+
+/// Draws a profile as a linearized circle: 72 cells, '#' = communication.
+fn strip(p: &Profile, shift: Dur) -> String {
+    let cells = 72;
+    (0..cells)
+        .map(|i| {
+            let offset = Dur::from_nanos(
+                (p.period().as_nanos() as u128 * i as u128 / cells as u128) as u64,
+            );
+            let pos =
+                (offset + p.period() - (shift % p.period())) % p.period();
+            if p.communicating_at(pos) {
+                '#'
+            } else {
+                '·'
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    // Fig. 3: VGG16 rolled around its circle.
+    let f3 = fig3(6);
+    println!(
+        "Fig. 3 — VGG16(1400): iteration {} (compute {}, comm {})",
+        f3.profile.period(),
+        f3.profile.period() - f3.profile.comm_time(),
+        f3.profile.comm_time()
+    );
+    println!("  circle: {}", strip(&f3.profile, Dur::ZERO));
+    println!(
+        "  all {} checked iterations land on the same arcs: {}\n",
+        f3.per_iteration_checks.len(),
+        f3.per_iteration_checks
+            .iter()
+            .all(|&(c, m)| !c && m)
+    );
+
+    // Fig. 4: same-period pair, rotate to de-overlap.
+    let f4 = fig4();
+    let a = Profile::compute_then_comm(Dur::from_millis(141), Dur::from_millis(114));
+    let b = Profile::compute_then_comm(Dur::from_millis(200), Dur::from_millis(55));
+    println!(
+        "Fig. 4 — same-period pair, {} ms of comm overlap before rotation:",
+        f4.overlap_at_zero_ms
+    );
+    println!("  J1 unrotated: {}", strip(&a, Dur::ZERO));
+    println!("  J2 unrotated: {}", strip(&b, Dur::ZERO));
+    let rot = f4.verdict.rotations().expect("fig4 pair is compatible")[1];
+    println!(
+        "  J2 rotated {:.0}° ({}):",
+        rot.degrees, rot.shift
+    );
+    println!("  J2 rotated:   {}\n", strip(&b, rot.shift));
+
+    // Fig. 5: unified circle for 40 ms and 60 ms jobs.
+    let f5 = fig5();
+    println!(
+        "Fig. 5 — unified circle: perimeter LCM = {}, J1 appears {}×, J2 {}×",
+        f5.perimeter, f5.repetitions[0], f5.repetitions[1]
+    );
+    let rots = f5.verdict.rotations().expect("fig5 pair is compatible");
+    println!(
+        "  compatible with J1 rotated {:.1}° and J2 rotated {:.1}° on the unified circle",
+        rots[0].degrees, rots[1].degrees
+    );
+}

@@ -1,0 +1,263 @@
+//! `mlcc-repro` — command-line driver for every reproduction experiment.
+//!
+//! ```text
+//! mlcc-repro <command> [--iterations N] [--csv DIR]
+//!
+//! commands:
+//!   fig1       Fig. 1: bandwidth shares + iteration-time CDFs
+//!   fig2       Fig. 2: the sliding effect
+//!   table1     Table 1: five job groups, measured + predicted
+//!   geometry   Figs. 3–5: circles, rotations, unified circle
+//!   adaptive   §4.i  adaptively unfair congestion control
+//!   priority   §4.ii switch priority queues
+//!   flowsched  §4.iii flow scheduling from rotation angles
+//!   cluster    §5    compatibility-aware placement
+//!   pipelining extension: bucketized emission widens compatibility
+//!   all        everything above, in order
+//! ```
+//!
+//! `--csv DIR` additionally writes the raw data series (traces, CDFs,
+//! tables) as CSV files for plotting.
+
+use mlcc::experiments as exp;
+use mlcc::export;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    iterations: Option<usize>,
+    csv: Option<PathBuf>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        iterations: None,
+        csv: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iterations" => {
+                let v = it.next().ok_or("--iterations needs a value")?;
+                opts.iterations =
+                    Some(v.parse().map_err(|_| format!("bad iteration count {v}"))?);
+            }
+            "--csv" => {
+                let v = it.next().ok_or("--csv needs a directory")?;
+                opts.csv = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_fig1(o: &Opts) {
+    let cfg = exp::fig1::Fig1Config {
+        iterations: o.iterations.unwrap_or(100),
+        ..Default::default()
+    };
+    println!("== Fig. 1 ({} iterations) ==", cfg.iterations);
+    let r = exp::fig1::run(&cfg);
+    println!("{}", r.render());
+    if let Some(dir) = &o.csv {
+        for (name, sc) in [("fair", &r.fair), ("unfair", &r.unfair)] {
+            for (i, s) in sc.stats.iter().enumerate() {
+                let p = export::write_csv(
+                    dir,
+                    &format!("fig1d_{name}_j{i}.csv"),
+                    &export::cdf_csv(&s.cdf),
+                )
+                .expect("write CSV");
+                println!("wrote {}", p.display());
+            }
+            let p = export::write_csv(
+                dir,
+                &format!("fig1bc_{name}_rates.csv"),
+                &export::multi_series_csv(
+                    &[&sc.traces[0], &sc.traces[1]],
+                    &["j1_gbps", "j2_gbps"],
+                ),
+            )
+            .expect("write CSV");
+            println!("wrote {}", p.display());
+        }
+    }
+}
+
+fn run_fig2(o: &Opts) {
+    let cfg = exp::fig2::Fig2Config {
+        iterations: o.iterations.unwrap_or(6),
+        ..Default::default()
+    };
+    println!("== Fig. 2 ({} iterations) ==", cfg.iterations);
+    let r = exp::fig2::run(&cfg);
+    println!("{}", r.render());
+    if let Some(dir) = &o.csv {
+        for (name, sc) in [("fair", &r.fair), ("unfair", &r.unfair)] {
+            let p = export::write_csv(
+                dir,
+                &format!("fig2_{name}_rates.csv"),
+                &export::multi_series_csv(
+                    &[&sc.traces[0], &sc.traces[1]],
+                    &["j1_gbps", "j2_gbps"],
+                ),
+            )
+            .expect("write CSV");
+            println!("wrote {}", p.display());
+        }
+    }
+}
+
+fn run_table1(o: &Opts) {
+    let cfg = exp::table1::Table1Config {
+        iterations: o.iterations.unwrap_or(30),
+        ..Default::default()
+    };
+    println!("== Table 1 ({} iterations per scenario) ==", cfg.iterations);
+    let r = exp::table1::run(&cfg);
+    println!("{}", r.render());
+    if let Some(dir) = &o.csv {
+        let mut rows = vec![vec![
+            "job".to_string(),
+            "fair_ms".to_string(),
+            "unfair_ms".to_string(),
+            "speedup".to_string(),
+            "group_compatible".to_string(),
+        ]];
+        for g in &r.groups {
+            for row in &g.rows {
+                rows.push(vec![
+                    row.label.clone(),
+                    format!("{:.1}", row.fair.as_millis_f64()),
+                    format!("{:.1}", row.unfair.as_millis_f64()),
+                    format!("{:.3}", row.speedup.0),
+                    g.fully_compatible_measured.to_string(),
+                ]);
+            }
+        }
+        let p = export::write_csv(dir, "table1.csv", &export::rows_csv(&rows))
+            .expect("write CSV");
+        println!("wrote {}", p.display());
+    }
+}
+
+fn run_geometry(_o: &Opts) {
+    println!("== Figs. 3–5 ==");
+    let f3 = exp::geometry_demo::fig3(6);
+    println!(
+        "Fig. 3: VGG16 circle perimeter {} (comm {}), arcs stable: {}",
+        f3.profile.period(),
+        f3.profile.comm_time(),
+        f3.per_iteration_checks.iter().all(|&(c, m)| !c && m)
+    );
+    let f4 = exp::geometry_demo::fig4();
+    println!(
+        "Fig. 4: {} ms overlap at rotation zero; solver: {}",
+        f4.overlap_at_zero_ms,
+        if f4.verdict.is_compatible() { "compatible" } else { "incompatible" }
+    );
+    let f5 = exp::geometry_demo::fig5();
+    println!(
+        "Fig. 5: unified circle {}, reps {:?}, J2 rotation {:.1}°",
+        f5.perimeter,
+        f5.repetitions,
+        f5.verdict.rotations().expect("compatible")[1].degrees
+    );
+}
+
+fn run_adaptive(o: &Opts) {
+    let cfg = exp::adaptive::AdaptiveConfig {
+        iterations: o.iterations.unwrap_or(24),
+        ..Default::default()
+    };
+    println!("== §4.i adaptive unfairness ==");
+    let r = exp::adaptive::run(&cfg);
+    println!("{}", r.render());
+}
+
+fn run_priority(o: &Opts) {
+    let cfg = exp::priority::PriorityConfig {
+        iterations: o.iterations.unwrap_or(20),
+        ..Default::default()
+    };
+    println!("== §4.ii priority queues ==");
+    let r = exp::priority::run(&cfg);
+    println!("{}", r.render());
+}
+
+fn run_flowsched(o: &Opts) {
+    let cfg = exp::flowsched::FlowschedConfig {
+        iterations: o.iterations.unwrap_or(20),
+        ..Default::default()
+    };
+    println!("== §4.iii flow scheduling ==");
+    let r = exp::flowsched::run(&cfg);
+    println!("{}", r.render());
+}
+
+fn run_pipelining(o: &Opts) {
+    let cfg = exp::pipelining::PipeliningConfig {
+        iterations: o.iterations.unwrap_or(16),
+        ..Default::default()
+    };
+    println!("== pipelining extension ==");
+    let r = exp::pipelining::run(&cfg);
+    println!("{}", r.render());
+}
+
+fn run_cluster(o: &Opts) {
+    let cfg = exp::cluster::ClusterConfig {
+        iterations: o.iterations.unwrap_or(16),
+        ..Default::default()
+    };
+    println!("== §5 cluster placement ==");
+    let r = exp::cluster::run(&cfg);
+    println!("{}", r.render());
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mlcc-repro <fig1|fig2|table1|geometry|adaptive|priority|flowsched|cluster|\
+         pipelining|all> [--iterations N] [--csv DIR]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match cmd.as_str() {
+        "fig1" => run_fig1(&opts),
+        "fig2" => run_fig2(&opts),
+        "table1" => run_table1(&opts),
+        "geometry" => run_geometry(&opts),
+        "adaptive" => run_adaptive(&opts),
+        "priority" => run_priority(&opts),
+        "flowsched" => run_flowsched(&opts),
+        "cluster" => run_cluster(&opts),
+        "pipelining" => run_pipelining(&opts),
+        "all" => {
+            run_fig1(&opts);
+            run_fig2(&opts);
+            run_table1(&opts);
+            run_geometry(&opts);
+            run_adaptive(&opts);
+            run_priority(&opts);
+            run_flowsched(&opts);
+            run_cluster(&opts);
+            run_pipelining(&opts);
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

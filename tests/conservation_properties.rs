@@ -1,0 +1,129 @@
+//! Physical-plausibility properties of both network engines, checked over
+//! randomized job mixes: no job ever beats dedicated-network pace, and no
+//! link ever carries more than its capacity.
+
+use dcqcn::CcVariant;
+use mlcc_repro::*;
+use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator, SharingPolicy};
+use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
+use proptest::prelude::*;
+use simtime::{Bandwidth, Dur};
+use topology::builders::dumbbell;
+use workload::{JobSpec, Model};
+
+const LINE: Bandwidth = Bandwidth::from_gbps(50);
+
+fn spec_strategy() -> impl Strategy<Value = JobSpec> {
+    (0usize..6, 1u32..4).prop_map(|(m, scale)| {
+        let model = Model::ALL[m];
+        // Batches scaled per model so iteration times stay in the
+        // hundreds-of-ms band (BERT takes small batches).
+        let base = match model {
+            Model::BertLarge => 8,
+            Model::Dlrm => 600,
+            _ => 500,
+        };
+        JobSpec::reference(model, base * scale)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Rate engine: with any two jobs and any variant mix, iteration
+    /// times never beat solo pace, and throughput traces never exceed
+    /// capacity.
+    #[test]
+    fn rate_engine_no_free_lunch(
+        a in spec_strategy(),
+        b in spec_strategy(),
+        aggressive in proptest::bool::ANY,
+    ) {
+        let variant = if aggressive {
+            CcVariant::StaticUnfair { timer: Dur::from_micros(100) }
+        } else {
+            CcVariant::Fair
+        };
+        let mut cfg = RateSimConfig::default();
+        cfg.trace_interval = Some(Dur::from_millis(1));
+        let jobs = [RateJob::new(a, variant), RateJob::new(b, CcVariant::Fair)];
+        let mut sim = RateSimulator::new(cfg, &jobs);
+        let per = a.iteration_time_at(LINE).max(b.iteration_time_at(LINE));
+        prop_assert!(sim.run_until_iterations(4, per * 40));
+        for (k, spec) in [a, b].iter().enumerate() {
+            let solo = spec.iteration_time_at(LINE).as_secs_f64();
+            for d in sim.progress(k).iteration_times() {
+                prop_assert!(
+                    d.as_secs_f64() >= solo * 0.999,
+                    "job {k} iteration {:.4}s beat solo {:.4}s",
+                    d.as_secs_f64(),
+                    solo
+                );
+            }
+            // Per-job throughput ≤ line rate (small slack for sampling).
+            prop_assert!(sim
+                .rate_trace(k)
+                .iter()
+                .all(|(_, gbps)| gbps <= 50.5));
+        }
+        // Aggregate delivered bytes ≤ capacity × time.
+        let elapsed = sim.now().as_secs_f64();
+        let delivered: f64 = (0..2)
+            .map(|k| {
+                let done: u64 = sim.progress(k).completed() as u64;
+                done as f64 * [a, b][k].comm_bytes().as_bytes() as f64
+            })
+            .sum();
+        prop_assert!(delivered * 8.0 <= 50e9 * elapsed * 1.001);
+    }
+
+    /// Fluid engine: same invariants under any sharing policy.
+    #[test]
+    fn fluid_engine_no_free_lunch(
+        a in spec_strategy(),
+        b in spec_strategy(),
+        policy_pick in 0u8..3,
+    ) {
+        let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+        let t = d.topology.clone();
+        let path = |i: usize| {
+            t.route(topology::FlowKey {
+                src: d.left_hosts[i],
+                dst: d.right_hosts[i],
+                tag: 0,
+            })
+            .unwrap()
+            .links()
+            .to_vec()
+        };
+        let policy = match policy_pick {
+            0 => SharingPolicy::MaxMin,
+            1 => SharingPolicy::Weighted(vec![2.0, 1.0]),
+            _ => SharingPolicy::Priority(vec![1, 0]),
+        };
+        let jobs = [
+            FluidJob::single_path(a, path(0)),
+            FluidJob::single_path(b, path(1)),
+        ];
+        let cfg = FluidConfig { policy, ..FluidConfig::fair() };
+        let mut sim = FluidSimulator::new(&t, cfg, &jobs);
+        let per = a.iteration_time_at(LINE).max(b.iteration_time_at(LINE));
+        prop_assert!(sim.run_until_iterations(4, per * 40));
+        for (k, spec) in [a, b].iter().enumerate() {
+            let solo = spec.iteration_time_at(LINE).as_secs_f64();
+            for dur in sim.progress(k).iteration_times() {
+                prop_assert!(
+                    dur.as_secs_f64() >= solo * 0.999,
+                    "job {k} iteration {:.4}s beat solo {:.4}s",
+                    dur.as_secs_f64(),
+                    solo
+                );
+            }
+            // Allocated throughput never exceeds the link.
+            prop_assert!(sim
+                .throughput_trace(k)
+                .iter()
+                .all(|(_, gbps)| gbps <= 50.0 + 1e-6));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-engine consistency: the idealized fluid engine and the emergent
+//! rate-based DCQCN engine must agree on the physics they share.
+
+use dcqcn::CcVariant;
+use eventsim::Cdf;
+use mlcc_repro::*;
+use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator, SharingPolicy};
+use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
+use simtime::{Bandwidth, Dur};
+use topology::builders::dumbbell;
+use workload::{JobProgress, JobSpec, Model};
+
+const LINE: Bandwidth = Bandwidth::from_gbps(50);
+
+fn median_ms(progress: &JobProgress, skip: usize) -> f64 {
+    let t: Vec<_> = progress.iteration_times().into_iter().skip(skip).collect();
+    Cdf::from_samples(t).median().as_millis_f64()
+}
+
+fn fluid_pair(spec: JobSpec, policy: SharingPolicy, iters: usize) -> Vec<f64> {
+    let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+    let t = &d.topology;
+    let jobs: Vec<FluidJob> = (0..2)
+        .map(|i| {
+            let path = t
+                .route(topology::FlowKey {
+                    src: d.left_hosts[i],
+                    dst: d.right_hosts[i],
+                    tag: 0,
+                })
+                .unwrap();
+            FluidJob::single_path(spec, path.links().to_vec())
+        })
+        .collect();
+    let cfg = FluidConfig {
+        policy,
+        ..FluidConfig::fair()
+    };
+    let mut sim = FluidSimulator::new(t, cfg, &jobs);
+    assert!(sim.run_until_iterations(iters, Dur::from_secs(30)));
+    (0..2).map(|i| median_ms(sim.progress(i), iters / 3)).collect()
+}
+
+fn rate_pair(spec: JobSpec, variants: [CcVariant; 2], iters: usize) -> Vec<f64> {
+    let jobs = [RateJob::new(spec, variants[0]), RateJob::new(spec, variants[1])];
+    let mut sim = RateSimulator::new(RateSimConfig::default(), &jobs);
+    assert!(sim.run_until_iterations(iters, Dur::from_secs(30)));
+    (0..2).map(|i| median_ms(sim.progress(i), iters / 3)).collect()
+}
+
+/// Two identical synchronized jobs under fair sharing: both engines lock
+/// them at K + 2C.
+#[test]
+fn fair_locked_state_agrees_across_engines() {
+    let spec = JobSpec::reference(Model::Vgg19, 1200);
+    let expected = (spec.compute_time() + spec.comm_time_at(LINE) * 2).as_millis_f64();
+    let fluid = fluid_pair(spec, SharingPolicy::MaxMin, 8);
+    let rate = rate_pair(spec, [CcVariant::Fair, CcVariant::Fair], 8);
+    for k in 0..2 {
+        assert!(
+            (fluid[k] - expected).abs() < 1.0,
+            "fluid job {k}: {:.1} vs {expected:.1}",
+            fluid[k]
+        );
+        assert!(
+            (rate[k] - expected).abs() < expected * 0.01,
+            "rate job {k}: {:.1} vs {expected:.1}",
+            rate[k]
+        );
+    }
+}
+
+/// Unfairness realized two ways — DCQCN timer asymmetry (emergent) and
+/// weighted max-min (imposed) — both converge compatible jobs to solo pace.
+#[test]
+fn unfair_interleave_agrees_across_engines() {
+    let spec = JobSpec::reference(Model::Vgg19, 1200);
+    let solo = spec.iteration_time_at(LINE).as_millis_f64();
+    let fluid = fluid_pair(spec, SharingPolicy::Weighted(vec![2.0, 1.0]), 12);
+    let rate = rate_pair(
+        spec,
+        [
+            CcVariant::StaticUnfair {
+                timer: Dur::from_micros(100),
+            },
+            CcVariant::Fair,
+        ],
+        12,
+    );
+    for k in 0..2 {
+        assert!(
+            (fluid[k] - solo).abs() < 2.0,
+            "fluid job {k}: {:.1} vs solo {solo:.1}",
+            fluid[k]
+        );
+        assert!(
+            (rate[k] - solo).abs() < solo * 0.02,
+            "rate job {k}: {:.1} vs solo {solo:.1}",
+            rate[k]
+        );
+    }
+}
+
+/// A lone job runs at its analytic solo pace in both engines.
+#[test]
+fn solo_pace_agrees_across_engines() {
+    for model in [Model::Vgg16, Model::Dlrm, Model::ResNet50] {
+        let spec = JobSpec::reference(model, 1400);
+        let solo = spec.iteration_time_at(LINE).as_millis_f64();
+
+        let d = dumbbell(1, LINE, LINE, Dur::ZERO);
+        let path = d
+            .topology
+            .route(topology::FlowKey {
+                src: d.left_hosts[0],
+                dst: d.right_hosts[0],
+                tag: 0,
+            })
+            .unwrap();
+        let mut fluid = FluidSimulator::new(
+            &d.topology,
+            FluidConfig::fair(),
+            &[FluidJob::single_path(spec, path.links().to_vec())],
+        );
+        assert!(fluid.run_until_iterations(4, Dur::from_secs(30)));
+        let f = median_ms(fluid.progress(0), 0);
+
+        let mut rate = RateSimulator::new(
+            RateSimConfig::default(),
+            &[RateJob::new(spec, CcVariant::Fair)],
+        );
+        assert!(rate.run_until_iterations(4, Dur::from_secs(30)));
+        let r = median_ms(rate.progress(0), 1);
+
+        assert!((f - solo).abs() < 0.5, "{model:?} fluid {f:.2} vs {solo:.2}");
+        assert!(
+            (r - solo).abs() < solo * 0.02,
+            "{model:?} rate {r:.2} vs {solo:.2}"
+        );
+    }
+}

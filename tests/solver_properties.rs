@@ -1,0 +1,138 @@
+//! Property-based tests on the geometry solver's invariants, driven
+//! through the public API of the `geometry` crate.
+
+use geometry::{solve, Profile, SolveMode, SolverConfig};
+use mlcc_repro::*;
+use proptest::prelude::*;
+use simtime::Dur;
+
+fn ms(v: u64) -> Dur {
+    Dur::from_millis(v)
+}
+
+/// Strategy: a random single-arc profile with period ≤ 200 ms.
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    (10u64..150, 5u64..100).prop_map(|(compute, comm)| {
+        Profile::compute_then_comm(ms(compute), ms(comm))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: whenever the solver says Compatible, the returned
+    /// rotations really produce zero overlap of the continuous arcs at
+    /// 1 ms granularity over the full unified circle.
+    #[test]
+    fn compatible_verdicts_are_sound(
+        a in profile_strategy(),
+        b in profile_strategy(),
+    ) {
+        let cfg = SolverConfig::default();
+        let verdict = solve(&[a.clone(), b.clone()], &cfg).unwrap();
+        if let Some(rots) = verdict.rotations() {
+            let ra = a.rotated(rots[0].shift);
+            let rb = b.rotated(rots[1].shift);
+            let perimeter = simtime::lcm_many(&[a.period(), b.period()]).unwrap();
+            let mut t = Dur::ZERO;
+            while t < perimeter {
+                let ca = ra.communicating_at(t % ra.period());
+                let cb = rb.communicating_at(t % rb.period());
+                prop_assert!(
+                    !(ca && cb),
+                    "overlap at {t} under rotations {:?}",
+                    rots
+                );
+                t += ms(1);
+            }
+        }
+    }
+
+    /// Necessity: if comm fractions sum above 1 (same-period jobs), the
+    /// solver must refuse.
+    #[test]
+    fn oversubscription_is_always_incompatible(
+        period in 50u64..200,
+        frac_a in 0.55f64..0.95,
+        frac_b in 0.55f64..0.95,
+    ) {
+        let p = ms(period);
+        let comm_a = p.mul_f64(frac_a);
+        let comm_b = p.mul_f64(frac_b);
+        let a = Profile::compute_then_comm(p - comm_a, comm_a);
+        let b = Profile::compute_then_comm(p - comm_b, comm_b);
+        let verdict = solve(&[a, b], &SolverConfig::default()).unwrap();
+        prop_assert!(!verdict.is_compatible());
+        prop_assert!(verdict.overlap_fraction() > 0.0);
+    }
+
+    /// Sufficiency for same-period pairs: fractions summing comfortably
+    /// below 1 are always compatible (with slack for sector rounding).
+    #[test]
+    fn undersubscribed_same_period_pairs_are_compatible(
+        period in 50u64..200,
+        frac_a in 0.05f64..0.45,
+        frac_b in 0.05f64..0.45,
+    ) {
+        let p = ms(period);
+        let comm_a = p.mul_f64(frac_a).max(ms(1));
+        let comm_b = p.mul_f64(frac_b).max(ms(1));
+        let a = Profile::compute_then_comm(p - comm_a, comm_a);
+        let b = Profile::compute_then_comm(p - comm_b, comm_b);
+        let verdict = solve(&[a, b], &SolverConfig::default()).unwrap();
+        prop_assert!(
+            verdict.is_compatible(),
+            "fractions {frac_a:.2}+{frac_b:.2} on equal periods must fit: {verdict:?}"
+        );
+    }
+
+    /// Verdicts are invariant under pre-rotation of the inputs: rotating a
+    /// job's profile before solving cannot change compatibility (only the
+    /// reported angles).
+    #[test]
+    fn verdict_invariant_under_input_rotation(
+        a in profile_strategy(),
+        b in profile_strategy(),
+        pre in 0u64..200,
+    ) {
+        let cfg = SolverConfig::default();
+        let v1 = solve(&[a.clone(), b.clone()], &cfg).unwrap();
+        let b_rot = b.rotated(ms(pre));
+        let v2 = solve(&[a, b_rot], &cfg).unwrap();
+        prop_assert_eq!(v1.is_compatible(), v2.is_compatible());
+    }
+
+    /// Exclusive and capacity modes agree whenever all demands are 1.
+    #[test]
+    fn modes_agree_on_full_demand(
+        a in profile_strategy(),
+        b in profile_strategy(),
+    ) {
+        let ex = solve(&[a.clone(), b.clone()], &SolverConfig::default()).unwrap();
+        let mut cap_cfg = SolverConfig::default();
+        cap_cfg.mode = SolveMode::Capacity;
+        let cap = solve(&[a, b], &cap_cfg).unwrap();
+        prop_assert_eq!(ex.is_compatible(), cap.is_compatible());
+    }
+
+    /// More sectors never turn a compatible pair incompatible by a large
+    /// margin: a pair compatible at 1440 sectors is compatible at 720 too
+    /// (coarser = more conservative is allowed the other way around).
+    #[test]
+    fn finer_resolution_is_less_conservative(
+        a in profile_strategy(),
+        b in profile_strategy(),
+    ) {
+        let coarse = SolverConfig { sectors: 720, ..SolverConfig::default() };
+        let fine = SolverConfig { sectors: 1440, ..SolverConfig::default() };
+        let vc = solve(&[a.clone(), b.clone()], &coarse).unwrap();
+        let vf = solve(&[a, b], &fine).unwrap();
+        // Coarse-compatible ⇒ fine-compatible (soundness is one-sided).
+        if vc.is_compatible() {
+            prop_assert!(
+                vf.is_compatible(),
+                "coarse said compatible but fine disagreed"
+            );
+        }
+    }
+}
