@@ -32,7 +32,11 @@ fn reproduce() {
         let v = solve_pair(&a, &b, &cfg).unwrap();
         println!(
             "{sectors:<10} {:>12} {:>13.2}%",
-            if v.is_compatible() { "compatible" } else { "INCOMPATIBLE" },
+            if v.is_compatible() {
+                "compatible"
+            } else {
+                "INCOMPATIBLE"
+            },
             v.overlap_fraction() * 100.0
         );
     }

@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
         warmup: 3,
         ..AdaptiveConfig::default()
     };
-    c.bench_function("adaptive/five_scenarios_8_iters", |b| b.iter(|| run(&quick)));
+    c.bench_function("adaptive/five_scenarios_8_iters", |b| {
+        b.iter(|| run(&quick))
+    });
 }
 
 criterion_group! {

@@ -34,7 +34,12 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("engines/fluid_200ms_2jobs", |b| {
         b.iter(|| {
-            let d = dumbbell(2, Bandwidth::from_gbps(50), Bandwidth::from_gbps(50), Dur::ZERO);
+            let d = dumbbell(
+                2,
+                Bandwidth::from_gbps(50),
+                Bandwidth::from_gbps(50),
+                Dur::ZERO,
+            );
             let t = &d.topology;
             let jobs: Vec<FluidJob> = (0..2)
                 .map(|i| {

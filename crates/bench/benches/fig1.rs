@@ -27,9 +27,7 @@ fn bench(c: &mut Criterion) {
         warmup: 2,
         ..Fig1Config::default()
     };
-    c.bench_function("fig1/both_scenarios_8_iters", |b| {
-        b.iter(|| run(&quick))
-    });
+    c.bench_function("fig1/both_scenarios_8_iters", |b| b.iter(|| run(&quick)));
 }
 
 criterion_group! {

@@ -18,7 +18,9 @@ fn bench(c: &mut Criterion) {
         warmup: 3,
         ..FlowschedConfig::default()
     };
-    c.bench_function("flowsched/solve_gate_run_8_iters", |b| b.iter(|| run(&quick)));
+    c.bench_function("flowsched/solve_gate_run_8_iters", |b| {
+        b.iter(|| run(&quick))
+    });
 }
 
 criterion_group! {

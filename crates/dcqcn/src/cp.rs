@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn burst_probability_compounds() {
         let m = RedMarker::new(0.0, 100.0, 1.0); // p = q/100
-        // p = 0.1 per packet; 10 packets → 1 − 0.9^10 ≈ 0.651.
+                                                 // p = 0.1 per packet; 10 packets → 1 − 0.9^10 ≈ 0.651.
         let p = m.burst_mark_probability(10.0, 10.0);
         assert!((p - (1.0 - 0.9f64.powi(10))).abs() < 1e-12);
         // Zero packets → never marked.

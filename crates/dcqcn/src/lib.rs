@@ -57,6 +57,6 @@ mod variant;
 pub use cp::RedMarker;
 pub use np::NotificationPoint;
 pub use params::DcqcnParams;
-pub use rp::DcqcnRp;
+pub use rp::{DcqcnRp, RpStage};
 pub use swift::{SwiftParams, SwiftRp};
 pub use variant::CcVariant;

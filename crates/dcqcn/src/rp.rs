@@ -3,6 +3,19 @@
 use crate::DcqcnParams;
 use simtime::Dur;
 
+/// The increase regime a reaction point is in, derived from its timer and
+/// byte-counter stages (SIGCOMM '15 §5): both stages ≤ F → fast recovery,
+/// exactly one > F → additive increase, both > F → hyper increase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RpStage {
+    /// Both stages ≤ F: binary-search back toward the target rate.
+    FastRecovery,
+    /// Exactly one stage > F: linear probing above the target.
+    AdditiveIncrease,
+    /// Both stages > F: exponential probing after a long quiet period.
+    HyperIncrease,
+}
+
 /// DCQCN reaction point for one flow.
 ///
 /// State per the SIGCOMM '15 algorithm:
@@ -82,6 +95,20 @@ impl DcqcnRp {
     /// Current congestion estimate `alpha`.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// The increase regime the next increase event lands in, mirroring the
+    /// stage comparison in `increase_event`. Telemetry tags rate samples
+    /// with this.
+    pub fn stage(&self) -> RpStage {
+        let f = self.params.fast_recovery;
+        if self.time_stage > f && self.byte_stage > f {
+            RpStage::HyperIncrease
+        } else if self.time_stage > f || self.byte_stage > f {
+            RpStage::AdditiveIncrease
+        } else {
+            RpStage::FastRecovery
+        }
     }
 
     /// Current additive-increase boost (1 unless adaptive unfairness is
@@ -337,10 +364,7 @@ mod tests {
         };
         let fresh = mk(0.0);
         let finishing = mk(1.0);
-        assert!(
-            finishing > fresh,
-            "boosted {finishing} ≤ unboosted {fresh}"
-        );
+        assert!(finishing > fresh, "boosted {finishing} ≤ unboosted {fresh}");
     }
 
     #[test]
@@ -425,5 +449,33 @@ mod tests {
         let p = DcqcnParams::testbed_default().with_line_rate(Bandwidth::from_gbps(100));
         let r = DcqcnRp::new(p);
         assert_eq!(r.rate(), 100e9);
+    }
+}
+
+#[cfg(test)]
+mod stage_tests {
+    use super::*;
+    use simtime::Bandwidth;
+
+    #[test]
+    fn stage_tracks_increase_regimes() {
+        let p = DcqcnParams::testbed_default().with_line_rate(Bandwidth::from_gbps(50));
+        let f = p.fast_recovery;
+        let timer = p.timer;
+        let mut rp = DcqcnRp::new(p);
+        rp.on_cnp();
+        assert_eq!(rp.stage(), RpStage::FastRecovery);
+        // Timer events alone push only the time stage past F.
+        for _ in 0..=f {
+            rp.advance(timer, 0.0);
+        }
+        assert_eq!(rp.stage(), RpStage::AdditiveIncrease);
+        // Byte-counter events push the byte stage past F too.
+        let b = rp.params().byte_counter.as_bytes() as f64;
+        rp.advance(Dur::ZERO, b * (f as f64 + 1.0));
+        assert_eq!(rp.stage(), RpStage::HyperIncrease);
+        // A CNP resets both stages.
+        rp.on_cnp();
+        assert_eq!(rp.stage(), RpStage::FastRecovery);
     }
 }

@@ -268,7 +268,7 @@ mod tests {
         let mut ts = TimeSeries::new();
         ts.push(ms(0), 10.0); // 10 for [0, 100) ms
         ts.push(ms(100), 20.0); // 20 for [100, ...) ms
-        // ∫ over [0, 200 ms) = 10*0.1 + 20*0.1 = 3.0
+                                // ∫ over [0, 200 ms) = 10*0.1 + 20*0.1 = 3.0
         let integral = ts.integrate(ms(0), ms(200));
         assert!((integral - 3.0).abs() < 1e-12);
         // Partial window [50, 150) = 10*0.05 + 20*0.05 = 1.5
@@ -334,7 +334,9 @@ mod tests {
         ]);
         let curve = cdf.curve();
         assert_eq!(curve.len(), 3);
-        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!(curve
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
         assert_eq!(curve.last().unwrap().1, 1.0);
     }
 

@@ -226,10 +226,7 @@ impl Occupancy {
 /// most one active job per sector.
 ///
 /// Jobs that share no resource with anyone always receive rotation zero.
-pub fn solve_cluster(
-    inst: &ClusterInstance,
-    cfg: &SolverConfig,
-) -> Result<Verdict, GeometryError> {
+pub fn solve_cluster(inst: &ClusterInstance, cfg: &SolverConfig) -> Result<Verdict, GeometryError> {
     let uc = UnifiedCircle::new(inst.profiles(), cfg.sectors)?;
     let k = uc.job_count();
     let s = uc.sectors();
@@ -316,8 +313,7 @@ pub fn solve_cluster(
                     .resources()
                     .iter()
                     .map(|(kind, jobs)| {
-                        let busy: usize =
-                            jobs.iter().map(|&j| occ.mask(*kind, j).count()).sum();
+                        let busy: usize = jobs.iter().map(|&j| occ.mask(*kind, j).count()).sum();
                         1.0 - busy as f64 / s as f64
                     })
                     .fold(1.0f64, f64::min);
@@ -375,12 +371,10 @@ fn rec(
         let mut rm_compute: Option<SectorMask> = None;
         for &l in &job_resources[j] {
             let rm = match kinds[l] {
-                ResourceKind::Network => {
-                    rm_comm.get_or_insert_with(|| occ.comm[j].rotated(o))
+                ResourceKind::Network => rm_comm.get_or_insert_with(|| occ.comm[j].rotated(o)),
+                ResourceKind::Compute => {
+                    rm_compute.get_or_insert_with(|| occ.mask(ResourceKind::Compute, j).rotated(o))
                 }
-                ResourceKind::Compute => rm_compute.get_or_insert_with(|| {
-                    occ.mask(ResourceKind::Compute, j).rotated(o)
-                }),
             };
             if rm.intersects(&acc[l]) {
                 continue 'cand;
@@ -506,10 +500,7 @@ mod tests {
         let j0 = Profile::compute_then_comm(ms(32), ms(8)); // 40 ms period
         let j1 = Profile::compute_then_comm(ms(50), ms(10)); // 60 ms period
         let j2 = Profile::compute_then_comm(ms(90), ms(30)); // 120 ms period
-        let inst = ClusterInstance::new(
-            vec![j0, j1, j2],
-            vec![vec![0, 1], vec![1, 2]],
-        );
+        let inst = ClusterInstance::new(vec![j0, j1, j2], vec![vec![0, 1], vec![1, 2]]);
         let v = solve_cluster(&inst, &cfg()).unwrap();
         assert!(v.is_compatible(), "{v:?}");
     }
@@ -577,11 +568,8 @@ mod tests {
     fn strict_two_phase_jobs_cannot_share_link_and_gpu() {
         let a = Profile::compute_then_comm(ms(40), ms(30));
         let b = Profile::compute_then_comm(ms(40), ms(30));
-        let inst = ClusterInstance::with_gpu_sharing(
-            vec![a, b],
-            vec![vec![0, 1]],
-            vec![vec![0, 1]],
-        );
+        let inst =
+            ClusterInstance::with_gpu_sharing(vec![a, b], vec![vec![0, 1]], vec![vec![0, 1]]);
         let v = solve_cluster(&inst, &cfg()).unwrap();
         assert!(!v.is_compatible(), "{v:?}");
     }
@@ -595,13 +583,19 @@ mod tests {
         let comm = |start: u64| {
             Profile::new(
                 ms(100),
-                vec![crate::Arc { start: ms(start), end: ms(start + 30) }],
+                vec![crate::Arc {
+                    start: ms(start),
+                    end: ms(start + 30),
+                }],
                 1.0,
             )
         };
         let gpu = Profile::new(
             ms(100),
-            vec![crate::Arc { start: ms(0), end: ms(30) }],
+            vec![crate::Arc {
+                start: ms(0),
+                end: ms(30),
+            }],
             1.0,
         );
         let a = comm(40);
@@ -647,14 +641,10 @@ mod tests {
         // but compute 70 + 70 can never time-share one GPU.
         let a = Profile::compute_then_comm(ms(70), ms(30));
         let b = Profile::compute_then_comm(ms(70), ms(30));
-        let net_only =
-            ClusterInstance::new(vec![a.clone(), b.clone()], vec![vec![0, 1]]);
+        let net_only = ClusterInstance::new(vec![a.clone(), b.clone()], vec![vec![0, 1]]);
         assert!(solve_cluster(&net_only, &cfg()).unwrap().is_compatible());
-        let with_gpu = ClusterInstance::with_gpu_sharing(
-            vec![a, b],
-            vec![vec![0, 1]],
-            vec![vec![0, 1]],
-        );
+        let with_gpu =
+            ClusterInstance::with_gpu_sharing(vec![a, b], vec![vec![0, 1]], vec![vec![0, 1]]);
         assert!(!solve_cluster(&with_gpu, &cfg()).unwrap().is_compatible());
     }
 

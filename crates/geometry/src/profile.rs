@@ -167,12 +167,22 @@ impl Profile {
             let len = (a.len() + margin * 2).min(p);
             if len == p {
                 // The widened arc covers the whole circle.
-                return Profile::new(p, vec![Arc { start: Dur::ZERO, end: p }], self.demand);
+                return Profile::new(
+                    p,
+                    vec![Arc {
+                        start: Dur::ZERO,
+                        end: p,
+                    }],
+                    self.demand,
+                );
             }
             let start = (a.start + p - (margin % p)) % p;
             let end_raw = start + len;
             if end_raw <= p {
-                pieces.push(Arc { start, end: end_raw });
+                pieces.push(Arc {
+                    start,
+                    end: end_raw,
+                });
             } else {
                 pieces.push(Arc { start, end: p });
                 pieces.push(Arc {
@@ -247,11 +257,17 @@ impl Profile {
                 pieces.push(Arc { start, end });
             } else if start >= p {
                 // Entirely past the seam: wrap the whole arc.
-                pieces.push(Arc { start: start - p, end: end - p });
+                pieces.push(Arc {
+                    start: start - p,
+                    end: end - p,
+                });
             } else {
                 // Crosses the seam: split into a tail and a head.
                 pieces.push(Arc { start, end: p });
-                pieces.push(Arc { start: Dur::ZERO, end: end - p });
+                pieces.push(Arc {
+                    start: Dur::ZERO,
+                    end: end - p,
+                });
             }
         }
         pieces.sort_by_key(|a| a.start);
@@ -292,8 +308,14 @@ mod tests {
             Profile::new(
                 ms(100),
                 vec![
-                    Arc { start: ms(0), end: ms(50) },
-                    Arc { start: ms(40), end: ms(60) },
+                    Arc {
+                        start: ms(0),
+                        end: ms(50),
+                    },
+                    Arc {
+                        start: ms(40),
+                        end: ms(60),
+                    },
                 ],
                 1.0,
             )
@@ -301,16 +323,37 @@ mod tests {
         assert!(bad.is_err());
         // Arc past period.
         let bad = std::panic::catch_unwind(|| {
-            Profile::new(ms(100), vec![Arc { start: ms(90), end: ms(110) }], 1.0)
+            Profile::new(
+                ms(100),
+                vec![Arc {
+                    start: ms(90),
+                    end: ms(110),
+                }],
+                1.0,
+            )
         });
         assert!(bad.is_err());
         // Demand outside (0,1].
         let bad = std::panic::catch_unwind(|| {
-            Profile::new(ms(100), vec![Arc { start: ms(0), end: ms(10) }], 0.0)
+            Profile::new(
+                ms(100),
+                vec![Arc {
+                    start: ms(0),
+                    end: ms(10),
+                }],
+                0.0,
+            )
         });
         assert!(bad.is_err());
         let bad = std::panic::catch_unwind(|| {
-            Profile::new(ms(100), vec![Arc { start: ms(0), end: ms(10) }], 1.5)
+            Profile::new(
+                ms(100),
+                vec![Arc {
+                    start: ms(0),
+                    end: ms(10),
+                }],
+                1.5,
+            )
         });
         assert!(bad.is_err());
     }
@@ -319,7 +362,7 @@ mod tests {
     fn rotation_moves_arcs_later() {
         let p = Profile::compute_then_comm(ms(60), ms(40)); // comm [60,100)
         let r = p.rotated(ms(10)); // comm [70,100) ∪ ... no wrap: [70, 110)→wraps
-        // [60,100) + 10 = [70, 110): wraps into [70,100) and [0,10).
+                                   // [60,100) + 10 = [70, 110): wraps into [70,100) and [0,10).
         assert!(r.communicating_at(ms(70)));
         assert!(r.communicating_at(ms(99)));
         assert!(r.communicating_at(ms(5)));
@@ -343,7 +386,13 @@ mod tests {
         let p = Profile::compute_then_comm(ms(60), ms(40));
         let r = p.rotated(ms(40));
         assert_eq!(r.arcs().len(), 1);
-        assert_eq!(r.arcs()[0], Arc { start: ms(0), end: ms(40) });
+        assert_eq!(
+            r.arcs()[0],
+            Arc {
+                start: ms(0),
+                end: ms(40)
+            }
+        );
     }
 
     #[test]
@@ -365,14 +414,26 @@ mod tests {
         let p = Profile::new(
             ms(100),
             vec![
-                Arc { start: ms(20), end: ms(30) },
-                Arc { start: ms(40), end: ms(50) },
+                Arc {
+                    start: ms(20),
+                    end: ms(30),
+                },
+                Arc {
+                    start: ms(40),
+                    end: ms(50),
+                },
             ],
             1.0,
         );
         let inflated = p.inflated(ms(5));
         assert_eq!(inflated.arcs().len(), 1);
-        assert_eq!(inflated.arcs()[0], Arc { start: ms(15), end: ms(55) });
+        assert_eq!(
+            inflated.arcs()[0],
+            Arc {
+                start: ms(15),
+                end: ms(55)
+            }
+        );
         // Widening wraps around the seam like cyclic drift does.
         let edge = Profile::compute_then_comm(ms(20), ms(10)); // [20, 30) of 30
         let e = edge.inflated(ms(5));
@@ -390,7 +451,10 @@ mod tests {
 
     #[test]
     fn arc_helpers() {
-        let a = Arc { start: ms(10), end: ms(30) };
+        let a = Arc {
+            start: ms(10),
+            end: ms(30),
+        };
         assert_eq!(a.len(), ms(20));
         assert!(!a.is_empty());
         assert!(a.contains(ms(10)));

@@ -201,10 +201,7 @@ pub fn admit(
     newcomer: &Profile,
     cfg: &SolverConfig,
 ) -> Result<Option<Rotation>, GeometryError> {
-    let mut profiles: Vec<Profile> = residents
-        .iter()
-        .map(|(p, r)| p.rotated(r.shift))
-        .collect();
+    let mut profiles: Vec<Profile> = residents.iter().map(|(p, r)| p.rotated(r.shift)).collect();
     profiles.push(newcomer.clone());
     let uc = UnifiedCircle::new(&profiles, cfg.sectors)?;
     let new_idx = profiles.len() - 1;
@@ -439,6 +436,7 @@ fn dfs_capacity(uc: &UnifiedCircle, cfg: &SolverConfig) -> Verdict {
             candidate_orders.push(cands);
         }
 
+        #[allow(clippy::too_many_arguments)] // recursion state, not an API
         fn rec(
             uc: &UnifiedCircle,
             order: &[usize],
@@ -656,10 +654,7 @@ mod tests {
     fn three_job_harmonic_group() {
         let grid = Dur::from_micros(2_500);
         let q = |compute_us: u64, comm_us: u64| {
-            let period = crate::quantize_period(
-                Dur::from_micros(compute_us + comm_us),
-                grid,
-            );
+            let period = crate::quantize_period(Dur::from_micros(compute_us + comm_us), grid);
             let comm = Dur::from_micros(comm_us);
             Profile::compute_then_comm(period - comm, comm)
         };
@@ -769,13 +764,8 @@ mod tests {
     fn max_margin_finds_the_slack() {
         let a = Profile::compute_then_comm(ms(75), ms(25));
         let b = Profile::compute_then_comm(ms(75), ms(25));
-        let (v, margin) = crate::solve_max_margin(
-            &[a, b],
-            &cfg(),
-            ms(40),
-            Dur::from_micros(500),
-        )
-        .unwrap();
+        let (v, margin) =
+            crate::solve_max_margin(&[a, b], &cfg(), ms(40), Dur::from_micros(500)).unwrap();
         assert!(v.is_compatible());
         // Free space: 100 − 50 = 50 ms over 4 inflated arc sides → 12.5 ms
         // per side, minus sector-rounding slack.
@@ -847,13 +837,33 @@ mod tests {
         let cfg = cfg();
         // Residents: 30 ms arcs pinned at [0,30) and [50,80) — the free
         // gaps are 20 ms each, too small for a 35 ms newcomer.
-        let a = Profile::new(ms(100), vec![crate::Arc { start: ms(0), end: ms(30) }], 1.0);
-        let b = Profile::new(ms(100), vec![crate::Arc { start: ms(50), end: ms(80) }], 1.0);
-        let zero = Rotation { sectors: 0, shift: Dur::ZERO, degrees: 0.0 };
+        let a = Profile::new(
+            ms(100),
+            vec![crate::Arc {
+                start: ms(0),
+                end: ms(30),
+            }],
+            1.0,
+        );
+        let b = Profile::new(
+            ms(100),
+            vec![crate::Arc {
+                start: ms(50),
+                end: ms(80),
+            }],
+            1.0,
+        );
+        let zero = Rotation {
+            sectors: 0,
+            shift: Dur::ZERO,
+            degrees: 0.0,
+        };
         let newcomer = Profile::compute_then_comm(ms(65), ms(35));
-        assert!(admit(&[(a.clone(), zero), (b.clone(), zero)], &newcomer, &cfg)
-            .unwrap()
-            .is_none());
+        assert!(
+            admit(&[(a.clone(), zero), (b.clone(), zero)], &newcomer, &cfg)
+                .unwrap()
+                .is_none()
+        );
         // But globally, 30 + 30 + 35 = 95 ≤ 100: a full re-solve fits it.
         let v = solve(&[a, b, newcomer], &cfg).unwrap();
         assert!(v.is_compatible(), "{v:?}");

@@ -104,8 +104,8 @@ impl UnifiedCircle {
             for arc in p.arcs() {
                 let a = base + arc.start.as_nanos() as u128;
                 let b = base + arc.end.as_nanos() as u128; // exclusive
-                // First sector touched: floor(a·S/P). Last: the sector
-                // containing the final nanosecond, floor((b-1)·S/P).
+                                                           // First sector touched: floor(a·S/P). Last: the sector
+                                                           // containing the final nanosecond, floor((b-1)·S/P).
                 let first = (a * s / per) as usize;
                 let last = ((b - 1) * s / per) as usize;
                 for sector in first..=last.min(sectors - 1) {

@@ -28,7 +28,8 @@
 use crate::metrics::{JobStats, Speedup};
 use dcqcn::CcVariant;
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
-use simtime::{Bandwidth, Dur};
+use simtime::{Bandwidth, Dur, Time};
+use telemetry::{Event, NoopRecorder, Recorder};
 use workload::{JobSpec, Model};
 
 /// Experiment parameters.
@@ -121,7 +122,11 @@ impl AdaptiveResult {
         let compat_sp = self.compatible_speedups();
         for (i, s) in self.compatible_fair_sync.iter().enumerate() {
             rows.push(vec![
-                if i == 0 { "compatible/fair(sync)".into() } else { String::new() },
+                if i == 0 {
+                    "compatible/fair(sync)".into()
+                } else {
+                    String::new()
+                },
                 s.label.clone(),
                 format!("{:.0} ms", s.median_ms()),
                 "1.00×".to_string(),
@@ -129,7 +134,11 @@ impl AdaptiveResult {
         }
         for (i, s) in self.compatible_adaptive.iter().enumerate() {
             rows.push(vec![
-                if i == 0 { "compatible/adaptive".into() } else { String::new() },
+                if i == 0 {
+                    "compatible/adaptive".into()
+                } else {
+                    String::new()
+                },
                 s.label.clone(),
                 format!("{:.0} ms", s.median_ms()),
                 compat_sp[i].to_string(),
@@ -143,7 +152,11 @@ impl AdaptiveResult {
             for (i, s) in stats.iter().enumerate() {
                 let sp = s.speedup_vs(&self.incompatible_fair[i]);
                 rows.push(vec![
-                    if i == 0 { name.to_string() } else { String::new() },
+                    if i == 0 {
+                        name.to_string()
+                    } else {
+                        String::new()
+                    },
                     s.label.clone(),
                     format!("{:.0} ms", s.median_ms()),
                     sp.to_string(),
@@ -154,24 +167,22 @@ impl AdaptiveResult {
     }
 }
 
-fn run_pair(
+fn run_pair<R: Recorder>(
     jobs: [JobSpec; 2],
     variants: [CcVariant; 2],
     offset: Dur,
     cfg: &AdaptiveConfig,
+    rec: R,
 ) -> Vec<JobStats> {
     let mut second = RateJob::new(jobs[1], variants[1]);
     second.start_offset = offset;
     let rj = [RateJob::new(jobs[0], variants[0]), second];
-    let mut sim = RateSimulator::new(RateSimConfig::default(), &rj);
+    let mut sim = RateSimulator::with_recorder(RateSimConfig::default(), &rj, rec);
     let cap = Bandwidth::from_gbps(50);
     let per_iter = jobs[0]
         .iteration_time_at(cap)
         .max(jobs[1].iteration_time_at(cap));
-    let ok = sim.run_until_iterations(
-        cfg.iterations,
-        per_iter * (cfg.iterations as u64 * 4 + 40),
-    );
+    let ok = sim.run_until_iterations(cfg.iterations, per_iter * (cfg.iterations as u64 * 4 + 40));
     assert!(ok, "adaptive: pair did not finish");
     (0..2)
         .map(|i| JobStats::from_progress(sim.progress(i), cfg.warmup))
@@ -180,6 +191,12 @@ fn run_pair(
 
 /// Runs all five scenarios.
 pub fn run(cfg: &AdaptiveConfig) -> AdaptiveResult {
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs all five scenarios, streaming telemetry into `rec` with a marker
+/// per scenario.
+pub fn run_traced<R: Recorder>(cfg: &AdaptiveConfig, mut rec: R) -> AdaptiveResult {
     let fair = [CcVariant::Fair, CcVariant::Fair];
     let adaptive = [CcVariant::AdaptiveUnfair, CcVariant::AdaptiveUnfair];
     let stat = [
@@ -188,12 +205,39 @@ pub fn run(cfg: &AdaptiveConfig) -> AdaptiveResult {
         },
         CcVariant::Fair,
     ];
+    let mark = |rec: &mut R, name: &str| {
+        if R::ENABLED {
+            rec.record(
+                Time::ZERO,
+                Event::Scenario {
+                    name: format!("adaptive/{name}"),
+                },
+            );
+        }
+    };
+    mark(&mut rec, "compatible-fair-sync");
+    let compatible_fair_sync = run_pair(cfg.compatible, fair, Dur::ZERO, cfg, &mut rec);
+    mark(&mut rec, "compatible-adaptive");
+    let compatible_adaptive = run_pair(
+        cfg.compatible,
+        adaptive,
+        Dur::from_millis(15),
+        cfg,
+        &mut rec,
+    );
+    mark(&mut rec, "incompatible-fair");
+    let incompatible_fair = run_pair(cfg.incompatible, fair, cfg.seed_offset, cfg, &mut rec);
+    mark(&mut rec, "incompatible-static");
+    let incompatible_static = run_pair(cfg.incompatible, stat, cfg.seed_offset, cfg, &mut rec);
+    mark(&mut rec, "incompatible-adaptive");
+    let incompatible_adaptive =
+        run_pair(cfg.incompatible, adaptive, cfg.seed_offset, cfg, &mut rec);
     AdaptiveResult {
-        compatible_fair_sync: run_pair(cfg.compatible, fair, Dur::ZERO, cfg),
-        compatible_adaptive: run_pair(cfg.compatible, adaptive, Dur::from_millis(15), cfg),
-        incompatible_fair: run_pair(cfg.incompatible, fair, cfg.seed_offset, cfg),
-        incompatible_static: run_pair(cfg.incompatible, stat, cfg.seed_offset, cfg),
-        incompatible_adaptive: run_pair(cfg.incompatible, adaptive, cfg.seed_offset, cfg),
+        compatible_fair_sync,
+        compatible_adaptive,
+        incompatible_fair,
+        incompatible_static,
+        incompatible_adaptive,
     }
 }
 

@@ -13,11 +13,14 @@
 //! When a compatible placement still shares links, the §4.iii mechanism
 //! kicks in: rotations from the cluster solver become communication gates.
 
-use crate::metrics::JobStats;
+use crate::metrics::{JobStats, StatsError};
 use geometry::Verdict;
 use netsim::fluid::{FluidConfig, FluidSimulator, Gate};
-use scheduler::{gates_from_rotations, ClusterScheduler, PlacementPolicy, SchedulerConfig};
-use simtime::{Bandwidth, Dur};
+use scheduler::{
+    gates_from_rotations, ClusterScheduler, PlacementError, PlacementPolicy, SchedulerConfig,
+};
+use simtime::{Bandwidth, Dur, Time};
+use telemetry::{Event, NoopRecorder, Recorder};
 use topology::builders::{two_tier, TwoTier};
 use workload::{JobSpec, Model};
 
@@ -74,6 +77,48 @@ impl PolicyOutcome {
     /// Mean slowdown across jobs.
     pub fn mean_slowdown(&self) -> f64 {
         self.slowdowns.iter().sum::<f64>() / self.slowdowns.len() as f64
+    }
+}
+
+/// Why a cluster-scale evaluation could not produce a result. Cluster
+/// streams are often externally supplied (e.g. [`random_stream`]), so
+/// misconfigurations surface as errors instead of panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The scheduler could not place a job of the stream.
+    Placement(PlacementError),
+    /// Jobs did not finish the requested iterations within the time
+    /// budget under the named policy.
+    Incomplete {
+        /// `"locality"` or `"compatibility"`.
+        policy: &'static str,
+        /// Iterations that were requested.
+        iterations: usize,
+    },
+    /// A job completed too few iterations for the warmup cut.
+    Stats(StatsError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Placement(e) => write!(f, "cluster: placement failed: {e}"),
+            ClusterError::Incomplete { policy, iterations } => {
+                write!(
+                    f,
+                    "cluster: {policy} run did not finish {iterations} iterations"
+                )
+            }
+            ClusterError::Stats(e) => write!(f, "cluster: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<StatsError> for ClusterError {
+    fn from(e: StatsError) -> ClusterError {
+        ClusterError::Stats(e)
     }
 }
 
@@ -154,14 +199,20 @@ fn fabric(cfg: &ClusterConfig) -> TwoTier {
     )
 }
 
-fn evaluate(policy: PlacementPolicy, cfg: &ClusterConfig) -> PolicyOutcome {
-    let sched_cfg = match policy {
-        PlacementPolicy::LocalityOnly => SchedulerConfig::locality_only(),
-        PlacementPolicy::CompatibilityAware => SchedulerConfig::compatibility_aware(),
+fn try_evaluate<R: Recorder>(
+    policy: PlacementPolicy,
+    cfg: &ClusterConfig,
+    rec: R,
+) -> Result<PolicyOutcome, ClusterError> {
+    let (sched_cfg, policy_name) = match policy {
+        PlacementPolicy::LocalityOnly => (SchedulerConfig::locality_only(), "locality"),
+        PlacementPolicy::CompatibilityAware => {
+            (SchedulerConfig::compatibility_aware(), "compatibility")
+        }
     };
     let mut sched = ClusterScheduler::new(fabric(cfg), sched_cfg);
     for &spec in &cfg.jobs {
-        sched.submit(spec).expect("cluster sized for the stream");
+        sched.submit(spec).map_err(ClusterError::Placement)?;
     }
     let verdict = sched.cluster_verdict();
     let contended = sched.contended_links().len();
@@ -187,7 +238,7 @@ fn evaluate(policy: PlacementPolicy, cfg: &ClusterConfig) -> PolicyOutcome {
         gates,
         ..FluidConfig::fair()
     };
-    let mut sim = FluidSimulator::new(&sched.fabric().topology, fluid_cfg, &fjobs);
+    let mut sim = FluidSimulator::with_recorder(&sched.fabric().topology, fluid_cfg, &fjobs, rec);
     let cap = Bandwidth::from_gbps(50);
     let per_iter = cfg
         .jobs
@@ -199,32 +250,71 @@ fn evaluate(policy: PlacementPolicy, cfg: &ClusterConfig) -> PolicyOutcome {
         cfg.iterations,
         per_iter * (cfg.iterations as u64 * (cfg.jobs.len() as u64 + 2) + 20),
     );
-    assert!(ok, "cluster: jobs did not finish");
+    if !ok {
+        return Err(ClusterError::Incomplete {
+            policy: policy_name,
+            iterations: cfg.iterations,
+        });
+    }
 
     let stats: Vec<JobStats> = (0..cfg.jobs.len())
-        .map(|i| JobStats::from_progress(sim.progress(i), cfg.warmup))
-        .collect();
+        .map(|i| JobStats::try_from_progress(sim.progress(i), cfg.warmup))
+        .collect::<Result<_, _>>()?;
     let slowdowns = stats
         .iter()
         .zip(&cfg.jobs)
-        .map(|(s, spec)| {
-            s.median().as_secs_f64() / spec.iteration_time_at(cap).as_secs_f64()
-        })
+        .map(|(s, spec)| s.median().as_secs_f64() / spec.iteration_time_at(cap).as_secs_f64())
         .collect();
-    PolicyOutcome {
+    Ok(PolicyOutcome {
         stats,
         slowdowns,
         contended_links: contended,
         verdict,
-    }
+    })
 }
 
 /// Runs the job stream under both placement policies.
+///
+/// # Panics
+/// Panics on any [`ClusterError`]; use [`try_run`] to handle failures.
 pub fn run(cfg: &ClusterConfig) -> ClusterResult {
-    ClusterResult {
-        locality: evaluate(PlacementPolicy::LocalityOnly, cfg),
-        compatibility: evaluate(PlacementPolicy::CompatibilityAware, cfg),
+    try_run_traced(cfg, NoopRecorder).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs the job stream under both placement policies, surfacing
+/// misconfigured streams as [`ClusterError`] instead of panicking.
+pub fn try_run(cfg: &ClusterConfig) -> Result<ClusterResult, ClusterError> {
+    try_run_traced(cfg, NoopRecorder)
+}
+
+/// [`try_run`] with telemetry streamed into `rec`, one [`Event::Scenario`]
+/// marker per placement policy.
+pub fn try_run_traced<R: Recorder>(
+    cfg: &ClusterConfig,
+    mut rec: R,
+) -> Result<ClusterResult, ClusterError> {
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "cluster/locality".into(),
+            },
+        );
     }
+    let locality = try_evaluate(PlacementPolicy::LocalityOnly, cfg, &mut rec)?;
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "cluster/compatibility".into(),
+            },
+        );
+    }
+    let compatibility = try_evaluate(PlacementPolicy::CompatibilityAware, cfg, &mut rec)?;
+    Ok(ClusterResult {
+        locality,
+        compatibility,
+    })
 }
 
 #[cfg(test)]
@@ -254,6 +344,31 @@ mod tests {
         // And it strictly beats the baseline.
         assert!(r.compatibility.mean_slowdown() < r.locality.mean_slowdown());
         assert!(r.render().contains("mean"));
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    #[test]
+    fn try_run_surfaces_placement_failure() {
+        // One job needing more hosts than the whole cluster has: the
+        // panicking `run` would die inside the scheduler; `try_run`
+        // returns the error.
+        let cfg = ClusterConfig {
+            racks: 1,
+            hosts_per_rack: 2,
+            jobs: vec![JobSpec {
+                workers: 5,
+                ..JobSpec::reference(Model::ResNet50, 1600)
+            }],
+            ..ClusterConfig::default()
+        };
+        match try_run(&cfg) {
+            Err(ClusterError::Placement(_)) => {}
+            other => panic!("expected a placement error, got {other:?}"),
+        }
     }
 }
 

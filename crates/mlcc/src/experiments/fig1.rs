@@ -15,6 +15,7 @@ use dcqcn::CcVariant;
 use eventsim::TimeSeries;
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use simtime::{Dur, Time};
+use telemetry::{Event, NoopRecorder, Recorder};
 use workload::{JobSpec, Model};
 
 /// Experiment parameters.
@@ -36,8 +37,10 @@ pub struct Fig1Config {
 
 impl Default for Fig1Config {
     fn default() -> Fig1Config {
-        let mut sim = RateSimConfig::default();
-        sim.trace_interval = Some(Dur::from_millis(1));
+        let sim = RateSimConfig {
+            trace_interval: Some(Dur::from_millis(1)),
+            ..RateSimConfig::default()
+        };
         Fig1Config {
             jobs: [
                 JobSpec::reference(Model::Vgg19, 1200),
@@ -107,25 +110,26 @@ impl Fig1Result {
     }
 }
 
-fn run_scenario(cfg: &Fig1Config, variants: [CcVariant; 2]) -> Scenario {
+fn run_scenario<R: Recorder>(cfg: &Fig1Config, variants: [CcVariant; 2], rec: R) -> Scenario {
     let jobs = [
         RateJob::new(cfg.jobs[0], variants[0]),
         RateJob::new(cfg.jobs[1], variants[1]),
     ];
-    let mut sim = RateSimulator::new(cfg.sim.clone(), &jobs);
+    let mut sim = RateSimulator::with_recorder(cfg.sim.clone(), &jobs, rec);
     let budget_per_iter = cfg.jobs[0]
         .iteration_time_at(cfg.sim.capacity)
         .max(cfg.jobs[1].iteration_time_at(cfg.sim.capacity));
     let budget = budget_per_iter * (cfg.iterations as u64 * 4 + 40);
     let done = sim.run_until_iterations(cfg.iterations, budget);
-    assert!(done, "fig1: jobs did not finish {} iterations", cfg.iterations);
+    assert!(
+        done,
+        "fig1: jobs did not finish {} iterations",
+        cfg.iterations
+    );
 
     // First-iteration bandwidth: mean rate over the overlapped window of
     // the first communication phases, [max compute end, first completion).
-    let comm_start = Time::ZERO
-        + cfg.jobs[0]
-            .compute_time()
-            .max(cfg.jobs[1].compute_time());
+    let comm_start = Time::ZERO + cfg.jobs[0].compute_time().max(cfg.jobs[1].compute_time());
     let first_done = (0..2)
         .map(|i| sim.progress(i).iterations()[0].completed)
         .min()
@@ -145,7 +149,30 @@ fn run_scenario(cfg: &Fig1Config, variants: [CcVariant; 2]) -> Scenario {
 
 /// Runs both scenarios.
 pub fn run(cfg: &Fig1Config) -> Fig1Result {
-    let fair = run_scenario(cfg, [CcVariant::Fair, CcVariant::Fair]);
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs both scenarios, streaming telemetry into `rec`. Each scenario is
+/// announced with an [`Event::Scenario`] marker so exporters can attribute
+/// the events that follow.
+pub fn run_traced<R: Recorder>(cfg: &Fig1Config, mut rec: R) -> Fig1Result {
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "fig1/fair".into(),
+            },
+        );
+    }
+    let fair = run_scenario(cfg, [CcVariant::Fair, CcVariant::Fair], &mut rec);
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "fig1/unfair".into(),
+            },
+        );
+    }
     let unfair = run_scenario(
         cfg,
         [
@@ -154,6 +181,7 @@ pub fn run(cfg: &Fig1Config) -> Fig1Result {
             },
             CcVariant::Fair,
         ],
+        &mut rec,
     );
     Fig1Result { fair, unfair }
 }
@@ -189,10 +217,7 @@ mod tests {
         );
         // Fig. 1d: both jobs' medians improve under unfairness.
         for (i, s) in r.speedups().iter().enumerate() {
-            assert!(
-                s.0 > 1.1,
-                "job {i}: speedup {s} below the paper's ballpark"
-            );
+            assert!(s.0 > 1.1, "job {i}: speedup {s} below the paper's ballpark");
         }
         // Render has a row per job plus header/rule.
         assert_eq!(r.render().lines().count(), 4);

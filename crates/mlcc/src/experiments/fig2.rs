@@ -12,6 +12,7 @@ use dcqcn::CcVariant;
 use eventsim::TimeSeries;
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use simtime::{Dur, Time};
+use telemetry::{Event, NoopRecorder, Recorder};
 use workload::{JobSpec, Model};
 
 /// Experiment parameters.
@@ -97,14 +98,16 @@ impl Fig2Result {
     }
 }
 
-fn run_scenario(cfg: &Fig2Config, variants: [CcVariant; 2]) -> Fig2Scenario {
-    let mut sim_cfg = RateSimConfig::default();
-    sim_cfg.trace_interval = Some(Dur::from_millis(1));
+fn run_scenario<R: Recorder>(cfg: &Fig2Config, variants: [CcVariant; 2], rec: R) -> Fig2Scenario {
+    let sim_cfg = RateSimConfig {
+        trace_interval: Some(Dur::from_millis(1)),
+        ..RateSimConfig::default()
+    };
     let jobs = [
         RateJob::new(cfg.jobs[0], variants[0]),
         RateJob::new(cfg.jobs[1], variants[1]),
     ];
-    let mut sim = RateSimulator::new(sim_cfg, &jobs);
+    let mut sim = RateSimulator::with_recorder(sim_cfg, &jobs, rec);
     let per_iter = cfg.jobs[0]
         .iteration_time_at(simtime::Bandwidth::from_gbps(50))
         .max(cfg.jobs[1].iteration_time_at(simtime::Bandwidth::from_gbps(50)));
@@ -128,9 +131,7 @@ fn run_scenario(cfg: &Fig2Config, variants: [CcVariant; 2]) -> Fig2Scenario {
             let b = traces[1].resample(rec.started, rec.completed, step);
             a.iter()
                 .zip(&b)
-                .filter(|(&x, &y)| {
-                    x >= cfg.busy_threshold_gbps && y >= cfg.busy_threshold_gbps
-                })
+                .filter(|(&x, &y)| x >= cfg.busy_threshold_gbps && y >= cfg.busy_threshold_gbps)
                 .count() as f64
         })
         .collect();
@@ -142,7 +143,29 @@ fn run_scenario(cfg: &Fig2Config, variants: [CcVariant; 2]) -> Fig2Scenario {
 
 /// Runs both scenarios.
 pub fn run(cfg: &Fig2Config) -> Fig2Result {
-    let fair = run_scenario(cfg, [CcVariant::Fair, CcVariant::Fair]);
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs both scenarios, streaming telemetry into `rec` with per-scenario
+/// [`Event::Scenario`] markers.
+pub fn run_traced<R: Recorder>(cfg: &Fig2Config, mut rec: R) -> Fig2Result {
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "fig2/fair".into(),
+            },
+        );
+    }
+    let fair = run_scenario(cfg, [CcVariant::Fair, CcVariant::Fair], &mut rec);
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "fig2/unfair".into(),
+            },
+        );
+    }
     let unfair = run_scenario(
         cfg,
         [
@@ -151,6 +174,7 @@ pub fn run(cfg: &Fig2Config) -> Fig2Result {
             },
             CcVariant::Fair,
         ],
+        &mut rec,
     );
     Fig2Result { fair, unfair }
 }

@@ -12,7 +12,8 @@ use crate::metrics::{JobStats, Speedup};
 use geometry::{solve, Profile, SolverConfig};
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator};
 use scheduler::{gates_from_rotations, gating_profiles};
-use simtime::{Bandwidth, Dur};
+use simtime::{Bandwidth, Dur, Time};
+use telemetry::{Event, NoopRecorder, Recorder};
 use topology::builders::dumbbell;
 use workload::{JobSpec, Model};
 
@@ -89,10 +90,11 @@ impl FlowschedResult {
     }
 }
 
-fn run_with_gates(
+fn run_with_gates<R: Recorder>(
     jobs: &[JobSpec],
     gates: Vec<Option<netsim::fluid::Gate>>,
     cfg: &FlowschedConfig,
+    rec: R,
 ) -> Vec<JobStats> {
     let d = dumbbell(
         jobs.len(),
@@ -119,7 +121,7 @@ fn run_with_gates(
         gates,
         ..FluidConfig::fair()
     };
-    let mut sim = FluidSimulator::new(t, fluid_cfg, &fjobs);
+    let mut sim = FluidSimulator::with_recorder(t, fluid_cfg, &fjobs, rec);
     let cap = Bandwidth::from_gbps(50);
     let per_iter = jobs.iter().map(|s| s.iteration_time_at(cap)).max().unwrap();
     let ok = sim.run_until_iterations(
@@ -138,8 +140,16 @@ fn run_with_gates(
 /// Panics if the solver deems the jobs incompatible — flow scheduling
 /// presupposes a feasible schedule (check compatibility first).
 pub fn run(cfg: &FlowschedConfig) -> FlowschedResult {
-    let profiles: Vec<Profile> =
-        gating_profiles(&cfg.jobs, Bandwidth::from_gbps(50), cfg.grid);
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs ungated max-min vs solver-scheduled gating, streaming telemetry
+/// into `rec` with a marker per scenario.
+///
+/// # Panics
+/// Panics if the solver deems the jobs incompatible.
+pub fn run_traced<R: Recorder>(cfg: &FlowschedConfig, mut rec: R) -> FlowschedResult {
+    let profiles: Vec<Profile> = gating_profiles(&cfg.jobs, Bandwidth::from_gbps(50), cfg.grid);
     let verdict = solve(&profiles, &cfg.solver).expect("valid profiles");
     let rotations = verdict
         .rotations()
@@ -149,9 +159,27 @@ pub fn run(cfg: &FlowschedConfig) -> FlowschedResult {
     let gates = gates_from_rotations(&profiles, &rotations, &offsets);
     let shifts = rotations.iter().map(|r| r.shift).collect();
 
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "flowsched/fair".into(),
+            },
+        );
+    }
+    let fair = run_with_gates(&cfg.jobs, Vec::new(), cfg, &mut rec);
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "flowsched/scheduled".into(),
+            },
+        );
+    }
+    let scheduled = run_with_gates(&cfg.jobs, gates, cfg, &mut rec);
     FlowschedResult {
-        fair: run_with_gates(&cfg.jobs, Vec::new(), cfg),
-        scheduled: run_with_gates(&cfg.jobs, gates, cfg),
+        fair,
+        scheduled,
         shifts,
     }
 }
@@ -170,10 +198,7 @@ mod tests {
         let r = run(&cfg);
         let cap = Bandwidth::from_gbps(50);
         for (i, s) in r.speedups().iter().enumerate() {
-            assert!(
-                s.is_improvement(),
-                "job {i}: gating slowed it down ({s})"
-            );
+            assert!(s.is_improvement(), "job {i}: gating slowed it down ({s})");
             // Under gating each job runs within a grid-step of solo pace.
             let solo = cfg.jobs[i].iteration_time_at(cap).as_millis_f64();
             let got = r.scheduled[i].median_ms();

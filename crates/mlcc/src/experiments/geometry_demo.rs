@@ -97,10 +97,7 @@ pub fn fig5() -> Fig5Result {
     let verdict = solve_pair(&j1, &j2, &SolverConfig::default()).expect("valid profiles");
     Fig5Result {
         perimeter: uc.perimeter(),
-        repetitions: vec![
-            uc.perimeter() / j1.period(),
-            uc.perimeter() / j2.period(),
-        ],
+        repetitions: vec![uc.perimeter() / j1.period(), uc.perimeter() / j2.period()],
         verdict,
     }
 }

@@ -22,7 +22,8 @@ use crate::metrics::{text_table, JobStats};
 use geometry::{solve_pair, SolverConfig, Verdict};
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator, SharingPolicy};
 use scheduler::analytic_profile;
-use simtime::{Bandwidth, Dur};
+use simtime::{Bandwidth, Dur, Time};
+use telemetry::{Event, NoopRecorder, Recorder};
 use topology::builders::dumbbell;
 use workload::{JobSpec, Model};
 
@@ -105,7 +106,11 @@ impl PipeliningResult {
             for (i, s) in o.stats.iter().enumerate() {
                 let tax = s.median().as_secs_f64() / o.solo.as_secs_f64() - 1.0;
                 rows.push(vec![
-                    if i == 0 { name.to_string() } else { String::new() },
+                    if i == 0 {
+                        name.to_string()
+                    } else {
+                        String::new()
+                    },
                     if i == 0 {
                         if o.verdict.is_compatible() {
                             "compatible".to_string()
@@ -126,11 +131,10 @@ impl PipeliningResult {
     }
 }
 
-fn run_shape(spec: JobSpec, cfg: &PipeliningConfig) -> ShapeOutcome {
+fn run_shape<R: Recorder>(spec: JobSpec, cfg: &PipeliningConfig, rec: R) -> ShapeOutcome {
     let line = Bandwidth::from_gbps(50);
     let profile = analytic_profile(&spec, line, Dur::from_micros(2_500));
-    let verdict = solve_pair(&profile, &profile, &SolverConfig::default())
-        .expect("valid profiles");
+    let verdict = solve_pair(&profile, &profile, &SolverConfig::default()).expect("valid profiles");
 
     let d = dumbbell(2, line, line, Dur::ZERO);
     let t = d.topology.clone();
@@ -150,7 +154,7 @@ fn run_shape(spec: JobSpec, cfg: &PipeliningConfig) -> ShapeOutcome {
         policy: SharingPolicy::Weighted(cfg.weights.to_vec()),
         ..FluidConfig::fair()
     };
-    let mut sim = FluidSimulator::new(&t, fluid_cfg, &jobs);
+    let mut sim = FluidSimulator::with_recorder(&t, fluid_cfg, &jobs, rec);
     let per_iter = spec.iteration_time_at(line);
     assert!(
         sim.run_until_iterations(cfg.iterations, per_iter * (cfg.iterations as u64 * 4 + 20)),
@@ -167,9 +171,33 @@ fn run_shape(spec: JobSpec, cfg: &PipeliningConfig) -> ShapeOutcome {
 
 /// Runs both emission shapes.
 pub fn run(cfg: &PipeliningConfig) -> PipeliningResult {
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs both emission shapes, streaming telemetry into `rec` with a
+/// marker per shape.
+pub fn run_traced<R: Recorder>(cfg: &PipeliningConfig, mut rec: R) -> PipeliningResult {
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "pipelining/monolithic".into(),
+            },
+        );
+    }
+    let monolithic = run_shape(cfg.base, cfg, &mut rec);
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "pipelining/pipelined".into(),
+            },
+        );
+    }
+    let pipelined = run_shape(cfg.base.pipelined(cfg.chunks, cfg.gap), cfg, &mut rec);
     PipeliningResult {
-        monolithic: run_shape(cfg.base, cfg),
-        pipelined: run_shape(cfg.base.pipelined(cfg.chunks, cfg.gap), cfg),
+        monolithic,
+        pipelined,
     }
 }
 

@@ -10,7 +10,8 @@
 use crate::metrics::{JobStats, Speedup};
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator, SharingPolicy};
 use scheduler::assign_priorities;
-use simtime::{Bandwidth, Dur};
+use simtime::{Bandwidth, Dur, Time};
+use telemetry::{Event, NoopRecorder, Recorder};
 use topology::builders::dumbbell;
 use workload::{JobSpec, Model};
 
@@ -84,8 +85,18 @@ impl PriorityResult {
     }
 }
 
-fn run_policy(jobs: &[JobSpec], policy: SharingPolicy, cfg: &PriorityConfig) -> Vec<JobStats> {
-    let d = dumbbell(jobs.len(), Bandwidth::from_gbps(50), Bandwidth::from_gbps(50), Dur::ZERO);
+fn run_policy<R: Recorder>(
+    jobs: &[JobSpec],
+    policy: SharingPolicy,
+    cfg: &PriorityConfig,
+    rec: R,
+) -> Vec<JobStats> {
+    let d = dumbbell(
+        jobs.len(),
+        Bandwidth::from_gbps(50),
+        Bandwidth::from_gbps(50),
+        Dur::ZERO,
+    );
     let t = &d.topology;
     let fjobs: Vec<FluidJob> = jobs
         .iter()
@@ -105,7 +116,7 @@ fn run_policy(jobs: &[JobSpec], policy: SharingPolicy, cfg: &PriorityConfig) -> 
         policy,
         ..FluidConfig::fair()
     };
-    let mut sim = FluidSimulator::new(t, fluid_cfg, &fjobs);
+    let mut sim = FluidSimulator::with_recorder(t, fluid_cfg, &fjobs, rec);
     let cap = Bandwidth::from_gbps(50);
     let per_iter = jobs.iter().map(|s| s.iteration_time_at(cap)).max().unwrap();
     let ok = sim.run_until_iterations(
@@ -124,10 +135,40 @@ fn run_policy(jobs: &[JobSpec], policy: SharingPolicy, cfg: &PriorityConfig) -> 
 /// Panics if more jobs than switch queues (surface the §4.ii caveat to the
 /// caller via [`assign_priorities`] first if unsure).
 pub fn run(cfg: &PriorityConfig) -> PriorityResult {
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs max-min vs strict-priority sharing, streaming telemetry into
+/// `rec` with a marker per scenario.
+///
+/// # Panics
+/// Panics if more jobs than switch queues.
+pub fn run_traced<R: Recorder>(cfg: &PriorityConfig, mut rec: R) -> PriorityResult {
     let classes = assign_priorities(cfg.jobs.len(), cfg.queues)
         .expect("more jobs than switch priority queues");
-    let fair = run_policy(&cfg.jobs, SharingPolicy::MaxMin, cfg);
-    let prioritized = run_policy(&cfg.jobs, SharingPolicy::Priority(classes.clone()), cfg);
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "priority/fair".into(),
+            },
+        );
+    }
+    let fair = run_policy(&cfg.jobs, SharingPolicy::MaxMin, cfg, &mut rec);
+    if R::ENABLED {
+        rec.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: "priority/prioritized".into(),
+            },
+        );
+    }
+    let prioritized = run_policy(
+        &cfg.jobs,
+        SharingPolicy::Priority(classes.clone()),
+        cfg,
+        &mut rec,
+    );
     PriorityResult {
         fair,
         prioritized,
@@ -167,7 +208,6 @@ mod tests {
             queues: 8,
             iterations: 2,
             warmup: 0,
-            ..PriorityConfig::default()
         };
         let _ = run(&cfg);
     }

@@ -19,7 +19,8 @@ use dcqcn::CcVariant;
 use geometry::{solve, SolverConfig, Verdict};
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use scheduler::analytic_profile;
-use simtime::{Bandwidth, Dur};
+use simtime::{Bandwidth, Dur, Time};
+use telemetry::{Event, NoopRecorder, Recorder};
 use workload::{JobSpec, Model};
 
 /// Experiment parameters.
@@ -172,13 +173,18 @@ pub fn ordered_timers(n: usize, range: (Dur, Dur)) -> Vec<Dur> {
         .collect()
 }
 
-fn mean_iteration_times(group: &[JobSpec], variants: &[CcVariant], cfg: &Table1Config) -> Vec<JobStats> {
+fn mean_iteration_times<R: Recorder>(
+    group: &[JobSpec],
+    variants: &[CcVariant],
+    cfg: &Table1Config,
+    rec: R,
+) -> Vec<JobStats> {
     let jobs: Vec<RateJob> = group
         .iter()
         .zip(variants)
         .map(|(&spec, &v)| RateJob::new(spec, v))
         .collect();
-    let mut sim = RateSimulator::new(RateSimConfig::default(), &jobs);
+    let mut sim = RateSimulator::with_recorder(RateSimConfig::default(), &jobs, rec);
     let cap = Bandwidth::from_gbps(50);
     let per_iter = group
         .iter()
@@ -197,6 +203,15 @@ fn mean_iteration_times(group: &[JobSpec], variants: &[CcVariant], cfg: &Table1C
 
 /// Runs one group.
 pub fn run_group(group: &[JobSpec], cfg: &Table1Config) -> GroupResult {
+    run_group_traced(group, cfg, NoopRecorder)
+}
+
+/// Runs one group, streaming telemetry into `rec`.
+pub fn run_group_traced<R: Recorder>(
+    group: &[JobSpec],
+    cfg: &Table1Config,
+    mut rec: R,
+) -> GroupResult {
     let n = group.len();
     let fair_variants = vec![CcVariant::Fair; n];
     let timers = ordered_timers(n, cfg.timer_range);
@@ -205,8 +220,8 @@ pub fn run_group(group: &[JobSpec], cfg: &Table1Config) -> GroupResult {
         .map(|&t| CcVariant::StaticUnfair { timer: t })
         .collect();
 
-    let fair = mean_iteration_times(group, &fair_variants, cfg);
-    let unfair = mean_iteration_times(group, &unfair_variants, cfg);
+    let fair = mean_iteration_times(group, &fair_variants, cfg, &mut rec);
+    let unfair = mean_iteration_times(group, &unfair_variants, cfg, &mut rec);
 
     let rows: Vec<Row> = group
         .iter()
@@ -235,8 +250,28 @@ pub fn run_group(group: &[JobSpec], cfg: &Table1Config) -> GroupResult {
 
 /// Runs all five paper groups.
 pub fn run(cfg: &Table1Config) -> Table1Result {
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs all five paper groups, streaming telemetry into `rec` with a
+/// per-group [`Event::Scenario`] marker.
+pub fn run_traced<R: Recorder>(cfg: &Table1Config, mut rec: R) -> Table1Result {
     Table1Result {
-        groups: paper_groups().iter().map(|g| run_group(g, cfg)).collect(),
+        groups: paper_groups()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                if R::ENABLED {
+                    rec.record(
+                        Time::ZERO,
+                        Event::Scenario {
+                            name: format!("table1/group{}", i + 1),
+                        },
+                    );
+                }
+                run_group_traced(g, cfg, &mut rec)
+            })
+            .collect(),
     }
 }
 
@@ -263,7 +298,10 @@ mod tests {
                 Dur::from_micros(125)
             ]
         );
-        assert_eq!(ordered_timers(1, (Dur::from_micros(100), Dur::from_micros(125))).len(), 1);
+        assert_eq!(
+            ordered_timers(1, (Dur::from_micros(100), Dur::from_micros(125))).len(),
+            1
+        );
     }
 
     /// Group 2 (DLRM ×2) is the paper's strongest green row: both jobs
@@ -294,11 +332,7 @@ mod tests {
         assert!(g.prediction_agrees());
         // BERT (aggressive) gains; VGG19 (victim) loses.
         assert!(g.rows[0].speedup.0 > 1.0, "BERT should gain: {:?}", g.rows);
-        assert!(
-            g.rows[1].speedup.0 < 1.0,
-            "VGG19 should lose: {:?}",
-            g.rows
-        );
+        assert!(g.rows[1].speedup.0 < 1.0, "VGG19 should lose: {:?}", g.rows);
     }
 
     /// Group 4 (WRN + VGG16, equal periods) is green.

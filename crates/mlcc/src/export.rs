@@ -19,14 +19,25 @@ pub fn time_series_csv(ts: &TimeSeries, value_name: &str) -> String {
     out
 }
 
+/// Value a series contributes at union timestamps before its own first
+/// sample: a job that has not started transmitting has zero throughput,
+/// so the step function is extended left with an explicit `0` rather than
+/// dropping or blanking the row.
+const VALUE_BEFORE_FIRST_SAMPLE: f64 = 0.0;
+
 /// Renders several aligned time series as
 /// `time_s,<name0>,<name1>,…` rows on the union of their sample times
-/// (step-function semantics; missing leading values are 0).
+/// (step-function semantics; before a series' first sample it contributes
+/// [`VALUE_BEFORE_FIRST_SAMPLE`]).
 ///
 /// # Panics
 /// Panics if `series` and `names` lengths differ or `series` is empty.
 pub fn multi_series_csv(series: &[&TimeSeries], names: &[&str]) -> String {
-    assert_eq!(series.len(), names.len(), "multi_series_csv: length mismatch");
+    assert_eq!(
+        series.len(),
+        names.len(),
+        "multi_series_csv: length mismatch"
+    );
     assert!(!series.is_empty(), "multi_series_csv: no series");
     let mut times: Vec<simtime::Time> = series
         .iter()
@@ -39,7 +50,11 @@ pub fn multi_series_csv(series: &[&TimeSeries], names: &[&str]) -> String {
     for t in times {
         let _ = write!(out, "{:.9}", t.as_secs_f64());
         for ts in series {
-            let _ = write!(out, ",{}", ts.value_at(t).unwrap_or(0.0));
+            let v = match ts.value_at(t) {
+                Some(v) => v,
+                None => VALUE_BEFORE_FIRST_SAMPLE,
+            };
+            let _ = write!(out, ",{v}");
         }
         out.push('\n');
     }
@@ -114,11 +129,35 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time_s,j1,j2");
         assert_eq!(lines.len(), 4); // 3 distinct timestamps
-        // At t=0, b has no value yet → 0.
+                                    // At t=0, b has no value yet → 0.
         assert_eq!(lines[1], "0.000000000,1,0");
         // At t=5ms, a holds 1, b jumps to 7.
         assert_eq!(lines[2], "0.005000000,1,7");
         assert_eq!(lines[3], "0.010000000,2,7");
+    }
+
+    #[test]
+    fn multi_series_union_and_leading_zero_semantics() {
+        // Three series with disjoint start times: the output must contain
+        // one row per *distinct* timestamp across all series (the union),
+        // and a series must read exactly `0` on every row before its own
+        // first sample, then hold its last value (step semantics) after.
+        let mut a = TimeSeries::new();
+        a.push(Time::ZERO, 4.0);
+        let mut b = TimeSeries::new();
+        b.push(Time::ZERO + Dur::from_millis(3), 5.0);
+        let mut c = TimeSeries::new();
+        c.push(Time::ZERO + Dur::from_millis(3), 6.0); // shares b's timestamp
+        c.push(Time::ZERO + Dur::from_millis(9), 7.0);
+        let csv = multi_series_csv(&[&a, &b, &c], &["a", "b", "c"]);
+        let lines: Vec<&str> = csv.lines().collect();
+        // Union of {0}, {3}, {3, 9} = {0, 3, 9}: header + 3 rows.
+        assert_eq!(lines.len(), 4);
+        // Before b's and c's first samples, both read an explicit 0.
+        assert_eq!(lines[1], "0.000000000,4,0,0");
+        assert_eq!(lines[2], "0.003000000,4,5,6");
+        // After their last samples, a and b hold their values.
+        assert_eq!(lines[3], "0.009000000,4,5,7");
     }
 
     #[test]

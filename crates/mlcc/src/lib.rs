@@ -28,4 +28,4 @@ pub mod experiments;
 pub mod export;
 pub mod metrics;
 
-pub use metrics::{JobStats, Speedup};
+pub use metrics::{JobStats, Speedup, StatsError};

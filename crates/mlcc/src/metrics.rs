@@ -13,30 +13,68 @@ pub struct JobStats {
     pub cdf: Cdf,
 }
 
+/// Why [`JobStats::try_from_progress`] could not build statistics: the job
+/// finished too few iterations for the requested warmup cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsError {
+    /// Display label of the offending job.
+    pub label: String,
+    /// Iterations the job actually completed.
+    pub completed: usize,
+    /// Warmup iterations the caller asked to discard.
+    pub warmup: usize,
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JobStats: job {} completed only {} iterations (≤ warmup {})",
+            self.label, self.completed, self.warmup
+        )
+    }
+}
+
+impl std::error::Error for StatsError {}
+
 impl JobStats {
     /// Builds stats from a finished job, discarding the first `warmup`
     /// iterations (ramp-up transients — the paper reports steady-state
     /// averages).
     ///
-    /// # Panics
-    /// Panics if fewer than `warmup + 1` iterations completed.
-    pub fn from_progress(progress: &JobProgress, warmup: usize) -> JobStats {
+    /// Returns [`StatsError`] if fewer than `warmup + 1` iterations
+    /// completed — cluster-scale experiments use this to surface a
+    /// misconfigured run as an error instead of a panic.
+    pub fn try_from_progress(
+        progress: &JobProgress,
+        warmup: usize,
+    ) -> Result<JobStats, StatsError> {
         let times: Vec<Dur> = progress
             .iteration_times()
             .into_iter()
             .skip(warmup)
             .collect();
-        assert!(
-            !times.is_empty(),
-            "JobStats: job {} completed only {} iterations (≤ warmup {})",
-            progress.spec().label(),
-            progress.completed(),
-            warmup
-        );
-        JobStats {
+        if times.is_empty() {
+            return Err(StatsError {
+                label: progress.spec().label(),
+                completed: progress.completed(),
+                warmup,
+            });
+        }
+        Ok(JobStats {
             label: progress.spec().label(),
             cdf: Cdf::from_samples(times),
-        }
+        })
+    }
+
+    /// Builds stats from a finished job, discarding the first `warmup`
+    /// iterations. Panicking wrapper around [`JobStats::try_from_progress`]
+    /// for tests and small experiments where too few iterations is a bug.
+    ///
+    /// # Panics
+    /// Panics if fewer than `warmup + 1` iterations completed.
+    pub fn from_progress(progress: &JobProgress, warmup: usize) -> JobStats {
+        JobStats::try_from_progress(progress, warmup).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Median iteration time.
@@ -83,41 +121,10 @@ impl std::fmt::Display for Speedup {
 
 /// Renders rows as a fixed-width text table (first row = header).
 ///
-/// # Panics
-/// Panics if rows have inconsistent lengths.
-pub fn text_table(rows: &[Vec<String>]) -> String {
-    if rows.is_empty() {
-        return String::new();
-    }
-    let cols = rows[0].len();
-    let mut widths = vec![0usize; cols];
-    for row in rows {
-        assert_eq!(row.len(), cols, "text_table: ragged rows");
-        for (i, cell) in row.iter().enumerate() {
-            widths[i] = widths[i].max(cell.chars().count());
-        }
-    }
-    let mut out = String::new();
-    for (ri, row) in rows.iter().enumerate() {
-        for (i, cell) in row.iter().enumerate() {
-            out.push_str(cell);
-            for _ in cell.chars().count()..widths[i] + 2 {
-                out.push(' ');
-            }
-        }
-        out.push('\n');
-        if ri == 0 {
-            for (i, &w) in widths.iter().enumerate() {
-                out.push_str(&"-".repeat(w));
-                if i + 1 < cols {
-                    out.push_str("  ");
-                }
-            }
-            out.push('\n');
-        }
-    }
-    out
-}
+/// The implementation lives in the `telemetry` crate (which also renders
+/// its metrics registry through it); this re-export keeps the historical
+/// `mlcc::metrics::text_table` path working.
+pub use telemetry::text_table;
 
 #[cfg(test)]
 mod tests {
@@ -132,7 +139,11 @@ mod tests {
             let mut now = p.next_self_transition().unwrap();
             p.poll(now);
             // Finish the iteration exactly `ms` ms after it started.
-            let target = p.iterations().last().map(|r| r.completed).unwrap_or(Time::ZERO)
+            let target = p
+                .iterations()
+                .last()
+                .map(|r| r.completed)
+                .unwrap_or(Time::ZERO)
                 + Dur::from_millis(ms);
             now = now.max(target);
             p.deliver(p.remaining_bytes(), target.max(now));
@@ -154,6 +165,19 @@ mod tests {
     fn all_warmup_panics() {
         let p = fake_progress(&[200]);
         let _ = JobStats::from_progress(&p, 1);
+    }
+
+    #[test]
+    fn try_from_progress_reports_error_instead_of_panicking() {
+        let p = fake_progress(&[200]);
+        let err = JobStats::try_from_progress(&p, 1).unwrap_err();
+        assert_eq!(err.completed, 1);
+        assert_eq!(err.warmup, 1);
+        assert!(err.to_string().contains("completed only"));
+        // With enough iterations the same call succeeds.
+        let p = fake_progress(&[500, 200]);
+        let s = JobStats::try_from_progress(&p, 1).unwrap();
+        assert_eq!(s.cdf.len(), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::alloc::{strict_priority, weighted_max_min, FlowDemand};
 use eventsim::{EventQueue, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
+use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
 use topology::{LinkId, Topology};
 use workload::{JobProgress, JobSpec};
 
@@ -162,7 +163,11 @@ enum Ev {
 const FLOW_EPS: f64 = 0.5;
 
 /// The event-driven fluid simulator.
-pub struct FluidSimulator {
+///
+/// Generic over a [`Recorder`]; the default [`NoopRecorder`] compiles all
+/// instrumentation away. Observed runs use
+/// [`FluidSimulator::with_recorder`].
+pub struct FluidSimulator<R: Recorder = NoopRecorder> {
     capacities: Vec<f64>,
     jobs: Vec<JState>,
     events: EventQueue<Ev>,
@@ -174,17 +179,51 @@ pub struct FluidSimulator {
     nic_rate: f64,
     rates_dirty: bool,
     throughput_traces: Vec<TimeSeries>,
+    rec: R,
+    /// Allocation-solver passes so far (also the solver-iteration index).
+    allocs: u64,
+    /// Events popped from the queue so far.
+    events_popped: u64,
+    /// Last aggregate rate recorded per job, to compress telemetry.
+    last_rates: Vec<f64>,
 }
 
 impl FluidSimulator {
-    /// Builds a simulator over `topo` for the given jobs.
+    /// Builds an unobserved simulator over `topo` for the given jobs.
     ///
     /// # Panics
     /// Panics if `jobs` is empty, a flow fraction is outside `(0, 1]`, a
     /// job's fractions do not sum to 1, a policy vector's length mismatches
     /// the job count, or a gate vector's length mismatches.
     pub fn new(topo: &Topology, cfg: FluidConfig, jobs: &[FluidJob]) -> FluidSimulator {
+        FluidSimulator::with_recorder(topo, cfg, jobs, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> FluidSimulator<R> {
+    /// Builds a simulator whose instrumentation feeds `rec`.
+    ///
+    /// # Panics
+    /// Same conditions as [`FluidSimulator::new`].
+    pub fn with_recorder(
+        topo: &Topology,
+        cfg: FluidConfig,
+        jobs: &[FluidJob],
+        mut rec: R,
+    ) -> FluidSimulator<R> {
         assert!(!jobs.is_empty(), "FluidSimulator: no jobs");
+        if R::ENABLED {
+            for (j, job) in jobs.iter().enumerate() {
+                rec.record(
+                    Time::ZERO + job.start_offset,
+                    Event::PhaseEnter {
+                        job: j as u32,
+                        phase: Phase::Compute,
+                        iteration: 0,
+                    },
+                );
+            }
+        }
         match &cfg.policy {
             SharingPolicy::MaxMin => {}
             SharingPolicy::Weighted(w) => {
@@ -241,7 +280,9 @@ impl FluidSimulator {
                     JobProgress::with_comm_bytes(job.spec, Time::ZERO + job.start_offset, bytes)
                 }
             };
-            let poll_at = progress.next_self_transition().expect("job starts computing");
+            let poll_at = progress
+                .next_self_transition()
+                .expect("job starts computing");
             events.schedule_at(poll_at, Ev::Poll(j));
             states.push(JState {
                 progress,
@@ -259,7 +300,16 @@ impl FluidSimulator {
             nic_rate: cfg.nic_rate.as_bps_f64(),
             rates_dirty: true,
             throughput_traces: (0..jobs.len()).map(|_| TimeSeries::new()).collect(),
+            rec,
+            allocs: 0,
+            events_popped: 0,
+            last_rates: vec![0.0; jobs.len()],
         }
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &R {
+        &self.rec
     }
 
     /// Current simulation time.
@@ -336,11 +386,32 @@ impl FluidSimulator {
         for (k, &(j, fi)) in owners.iter().enumerate() {
             self.jobs[j].flows[fi].rate = rates[k];
         }
+        self.allocs += 1;
+        if R::ENABLED {
+            self.rec.record(
+                self.now,
+                Event::SolverIteration {
+                    component: "fluid.alloc",
+                    index: self.allocs,
+                },
+            );
+        }
         // Trace each job's aggregate throughput.
         let now = self.now;
         for (j, js) in self.jobs.iter().enumerate() {
             let total: f64 = js.flows.iter().map(|f| f.rate).sum();
             self.throughput_traces[j].push_compressed(now, total / 1e9);
+            if R::ENABLED && total != self.last_rates[j] {
+                self.last_rates[j] = total;
+                self.rec.record(
+                    now,
+                    Event::RateChange {
+                        flow: j as u32,
+                        bps: total,
+                        state: CcState::Alloc,
+                    },
+                );
+            }
         }
         self.rates_dirty = false;
     }
@@ -426,6 +497,30 @@ impl FluidSimulator {
                         .expect("job computes between communication segments");
                     self.events.schedule_at(poll_at.max(t), Ev::Poll(j));
                     self.rates_dirty = true;
+                    if R::ENABLED {
+                        let done = js.progress.completed() as u64;
+                        let exited = if finished_phase {
+                            done.saturating_sub(1)
+                        } else {
+                            done
+                        };
+                        self.rec.record(
+                            t,
+                            Event::PhaseExit {
+                                job: j as u32,
+                                phase: Phase::Communicate,
+                                iteration: exited,
+                            },
+                        );
+                        self.rec.record(
+                            t,
+                            Event::PhaseEnter {
+                                job: j as u32,
+                                phase: Phase::Compute,
+                                iteration: done,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -437,6 +532,25 @@ impl FluidSimulator {
             Ev::Poll(j) => {
                 let js = &mut self.jobs[j];
                 if js.progress.poll(now) {
+                    if R::ENABLED {
+                        let iteration = js.progress.completed() as u64;
+                        self.rec.record(
+                            now,
+                            Event::PhaseExit {
+                                job: j as u32,
+                                phase: Phase::Compute,
+                                iteration,
+                            },
+                        );
+                        self.rec.record(
+                            now,
+                            Event::PhaseEnter {
+                                job: j as u32,
+                                phase: Phase::Communicate,
+                                iteration,
+                            },
+                        );
+                    }
                     // Phase bytes split across flows by fraction.
                     let total = js.progress.remaining_bytes();
                     for f in &mut js.flows {
@@ -464,6 +578,9 @@ impl FluidSimulator {
                 if js.progress.is_communicating() && !js.released {
                     js.released = true;
                     self.rates_dirty = true;
+                    if R::ENABLED {
+                        self.rec.record(now, Event::GateRelease { job: j as u32 });
+                    }
                 }
             }
         }
@@ -471,6 +588,22 @@ impl FluidSimulator {
 
     /// Runs until `t_stop`.
     pub fn run_until(&mut self, t_stop: Time) {
+        let wall = if R::ENABLED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let (allocs0, popped0) = (self.allocs, self.events_popped);
+        self.run_until_inner(t_stop);
+        if let Some(t0) = wall {
+            self.rec
+                .span("netsim.fluid", t0.elapsed(), self.events_popped - popped0);
+            self.rec
+                .count("fluid_allocations_total", self.allocs - allocs0);
+        }
+    }
+
+    fn run_until_inner(&mut self, t_stop: Time) {
         loop {
             if self.rates_dirty {
                 self.recompute_rates();
@@ -488,6 +621,7 @@ impl FluidSimulator {
             self.advance_to(t_next);
             // Process all events due exactly now.
             while let Some(e) = self.events.pop_until(t_next) {
+                self.events_popped += 1;
                 self.handle_event(e.event);
             }
             if !self.rates_dirty && self.events.is_empty() && self.next_completion().is_none() {
@@ -598,8 +732,7 @@ mod tests {
         let spec = JobSpec::reference(Model::Vgg19, 1200);
         let (mut sim, _t) = two_job_setup(spec, spec, FluidConfig::fair());
         assert!(sim.run_until_iterations(6, Dur::from_secs(5)));
-        let expected =
-            (spec.compute_time() + spec.comm_time_at(LINE) * 2).as_millis_f64();
+        let expected = (spec.compute_time() + spec.comm_time_at(LINE) * 2).as_millis_f64();
         for j in 0..2 {
             let got = median_ms(&sim, j, 1);
             assert!(
@@ -783,9 +916,12 @@ mod tests {
         let (mut sim, t) = two_job_setup(spec, spec, FluidConfig::fair());
         let bottleneck = t
             .node_by_name("tor-left")
-            .and_then(|n| t.out_links(n).iter().copied().find(|&l| {
-                t.node(t.link(l).dst).name == "tor-right"
-            }))
+            .and_then(|n| {
+                t.out_links(n)
+                    .iter()
+                    .copied()
+                    .find(|&l| t.node(t.link(l).dst).name == "tor-right")
+            })
             .expect("dumbbell bottleneck");
         // During compute: idle.
         sim.run_for(Dur::from_millis(10));
@@ -808,6 +944,65 @@ mod tests {
         assert_eq!(g.next_release(t(31)), t(130));
         assert_eq!(g.next_release(t(130)), t(130));
         assert_eq!(g.next_release(t(999)), t(1030));
+    }
+
+    /// An observed gated run records phase transitions, solver passes,
+    /// alloc-tagged rate changes, and gate releases.
+    #[test]
+    fn recorder_captures_fluid_events() {
+        use telemetry::BufferRecorder;
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let period = spec.iteration_time_at(LINE);
+        let comm = spec.comm_time_at(LINE);
+        let compute = spec.compute_time();
+        let gates = vec![
+            None,
+            Some(Gate {
+                offset: compute + comm,
+                period,
+            }),
+        ];
+        let cfg = FluidConfig {
+            gates,
+            ..FluidConfig::fair()
+        };
+        let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+        let t = d.topology.clone();
+        let path = |i: usize| {
+            t.route(topology::FlowKey {
+                src: d.left_hosts[i],
+                dst: d.right_hosts[i],
+                tag: 0,
+            })
+            .unwrap()
+            .links()
+            .to_vec()
+        };
+        let jobs = [
+            FluidJob::single_path(spec, path(0)),
+            FluidJob::single_path(spec, path(1)),
+        ];
+        let mut rec = BufferRecorder::new();
+        let mut sim = FluidSimulator::with_recorder(&t, cfg, &jobs, &mut rec);
+        assert!(sim.run_until_iterations(4, Dur::from_secs(3)));
+        drop(sim);
+        let kinds: std::collections::BTreeSet<&str> =
+            rec.events().iter().map(|e| e.event.kind()).collect();
+        for k in [
+            "phase_enter",
+            "phase_exit",
+            "solver_iteration",
+            "rate_change",
+            "gate_release",
+        ] {
+            assert!(kinds.contains(k), "missing {k} in {kinds:?}");
+        }
+        let m = rec.metrics();
+        assert!(m.counter_total("solver_iterations_total") > 0);
+        assert!(m.counter("gate_releases_total", "job=1") > 0);
+        assert!(m.counter("rate_changes_total", "flow=0,state=alloc") > 0);
+        assert!(rec.counts()["fluid_allocations_total"] > 0);
+        assert!(rec.spans().contains_key("netsim.fluid"));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker};
 use eventsim::{EventQueue, Rng};
 use simtime::{Bandwidth, Dur, Time};
+use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
 use workload::{JobProgress, JobSpec};
 
 /// Configuration of the packet engine.
@@ -96,7 +97,7 @@ struct FlowState {
 }
 
 /// The per-packet simulator over one bottleneck link.
-pub struct PacketSimulator {
+pub struct PacketSimulator<R: Recorder = NoopRecorder> {
     cfg: PacketSimConfig,
     events: EventQueue<Ev>,
     flows: Vec<FlowState>,
@@ -109,18 +110,35 @@ pub struct PacketSimulator {
     busy: bool,
     packets_sent: u64,
     packets_marked: u64,
+    rec: R,
+    events_processed: u64,
 }
 
 impl PacketSimulator {
-    /// Builds the simulator.
+    /// Builds the simulator without telemetry.
     ///
     /// # Panics
     /// Panics if `jobs` is empty or a job uses the delay-based variant
     /// (the packet engine models DCQCN's ECN/CNP path).
     pub fn new(cfg: PacketSimConfig, jobs: &[PacketJob]) -> PacketSimulator {
+        PacketSimulator::with_recorder(cfg, jobs, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> PacketSimulator<R> {
+    /// Builds the simulator with a telemetry recorder.
+    ///
+    /// # Panics
+    /// Panics if `jobs` is empty or a job uses the delay-based variant
+    /// (the packet engine models DCQCN's ECN/CNP path).
+    pub fn with_recorder(
+        cfg: PacketSimConfig,
+        jobs: &[PacketJob],
+        mut rec: R,
+    ) -> PacketSimulator<R> {
         assert!(!jobs.is_empty(), "PacketSimulator: no jobs");
         let mut events = EventQueue::new();
-        let flows = jobs
+        let flows: Vec<FlowState> = jobs
             .iter()
             .enumerate()
             .map(|(i, j)| {
@@ -146,6 +164,18 @@ impl PacketSimulator {
                 }
             })
             .collect();
+        if R::ENABLED {
+            for i in 0..flows.len() {
+                rec.record(
+                    Time::ZERO,
+                    Event::PhaseEnter {
+                        job: i as u32,
+                        phase: Phase::Compute,
+                        iteration: 0,
+                    },
+                );
+            }
+        }
         let rng = Rng::new(cfg.seed);
         PacketSimulator {
             cfg,
@@ -157,7 +187,14 @@ impl PacketSimulator {
             busy: false,
             packets_sent: 0,
             packets_marked: 0,
+            rec,
+            events_processed: 0,
         }
+    }
+
+    /// The telemetry recorder, for post-run inspection.
+    pub fn recorder(&mut self) -> &mut R {
+        &mut self.rec
     }
 
     /// Current simulation time.
@@ -224,6 +261,36 @@ impl PacketSimulator {
                         f.rp.restart();
                         f.np.reset();
                     }
+                    if R::ENABLED {
+                        let f = &self.flows[i];
+                        let iter = f.progress.completed() as u64;
+                        self.rec.record(
+                            now,
+                            Event::PhaseExit {
+                                job: i as u32,
+                                phase: Phase::Compute,
+                                iteration: iter,
+                            },
+                        );
+                        self.rec.record(
+                            now,
+                            Event::PhaseEnter {
+                                job: i as u32,
+                                phase: Phase::Communicate,
+                                iteration: iter,
+                            },
+                        );
+                        if self.cfg.restart_on_phase {
+                            self.rec.record(
+                                now,
+                                Event::RateChange {
+                                    flow: i as u32,
+                                    bps: f.rp.rate(),
+                                    state: CcState::Restart,
+                                },
+                            );
+                        }
+                    }
                     self.arm_sender(i, now);
                 }
             }
@@ -243,6 +310,16 @@ impl PacketSimulator {
                 self.packets_sent += 1;
                 if marked {
                     self.packets_marked += 1;
+                    if R::ENABLED {
+                        self.rec.record(now, Event::EcnMark { flow: i as u32 });
+                        self.rec.record(
+                            now,
+                            Event::QueueDepth {
+                                link: 0,
+                                bytes: self.queue_bytes as f64,
+                            },
+                        );
+                    }
                 }
                 self.queue_bytes += payload as u64;
                 self.fifo.push_back((i, marked));
@@ -264,8 +341,12 @@ impl PacketSimulator {
                     // CNP travels back one hop.
                     self.events
                         .schedule_at(deliver_at + self.cfg.prop_delay, Ev::Cnp(i));
+                    if R::ENABLED {
+                        self.rec.record(now, Event::CnpSent { flow: i as u32 });
+                    }
                 }
-                if let Some(_rec) = f.progress.deliver(mtu, deliver_at.max(now)) {
+                let finished = f.progress.deliver(mtu, deliver_at.max(now)).is_some();
+                if finished {
                     f.to_send = 0.0;
                     let poll_at = f
                         .progress
@@ -280,10 +361,41 @@ impl PacketSimulator {
                         .expect("job computes between segments");
                     self.events.schedule_at(poll_at.max(now), Ev::Poll(i));
                 }
+                if R::ENABLED && (finished || !self.flows[i].progress.is_communicating()) {
+                    let done = self.flows[i].progress.completed() as u64;
+                    let exited = if finished { done - 1 } else { done };
+                    self.rec.record(
+                        now,
+                        Event::PhaseExit {
+                            job: i as u32,
+                            phase: Phase::Communicate,
+                            iteration: exited,
+                        },
+                    );
+                    self.rec.record(
+                        now,
+                        Event::PhaseEnter {
+                            job: i as u32,
+                            phase: Phase::Compute,
+                            iteration: done,
+                        },
+                    );
+                }
             }
             Ev::Cnp(i) => {
                 self.advance_rp(i, now);
                 self.flows[i].rp.on_cnp();
+                if R::ENABLED {
+                    self.rec.record(now, Event::CnpReceived { flow: i as u32 });
+                    self.rec.record(
+                        now,
+                        Event::RateChange {
+                            flow: i as u32,
+                            bps: self.flows[i].rp.rate(),
+                            state: CcState::Cut,
+                        },
+                    );
+                }
                 // Rate changed: the pending wake keeps its schedule (pacing
                 // error of one packet), new wakes use the new rate.
             }
@@ -292,26 +404,51 @@ impl PacketSimulator {
 
     /// Runs until `t_stop`.
     pub fn run_until(&mut self, t_stop: Time) {
+        let wall = if R::ENABLED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let before = self.events_processed;
         while let Some(e) = self.events.pop_until(t_stop) {
             let now = e.at;
+            self.events_processed += 1;
             self.handle(e.event, now);
+        }
+        if let Some(start) = wall {
+            let delta = self.events_processed - before;
+            self.rec.span("netsim.packet", start.elapsed(), delta);
+            self.rec.count("packet_events_total", delta);
         }
     }
 
     /// Runs until every job completed `n` iterations or `max_span`
     /// elapses; returns `true` on success.
     pub fn run_until_iterations(&mut self, n: usize, max_span: Dur) -> bool {
+        let wall = if R::ENABLED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let before = self.events_processed;
         let stop = self.now() + max_span;
-        loop {
+        let done = loop {
             if self.flows.iter().all(|f| f.progress.completed() >= n) {
-                return true;
+                break true;
             }
             let Some(e) = self.events.pop_until(stop) else {
-                return self.flows.iter().all(|f| f.progress.completed() >= n);
+                break self.flows.iter().all(|f| f.progress.completed() >= n);
             };
             let now = e.at;
+            self.events_processed += 1;
             self.handle(e.event, now);
+        };
+        if let Some(start) = wall {
+            let delta = self.events_processed - before;
+            self.rec.span("netsim.packet", start.elapsed(), delta);
+            self.rec.count("packet_events_total", delta);
         }
+        done
     }
 }
 
@@ -404,6 +541,73 @@ mod tests {
             d0 > d1 * 1.05,
             "aggressive flow should lead: {d0:.0} vs {d1:.0} bytes"
         );
+    }
+
+    #[test]
+    fn recorder_captures_packet_events() {
+        use std::collections::BTreeSet;
+        use telemetry::BufferRecorder;
+
+        let jobs = [
+            PacketJob {
+                spec: small_job(),
+                variant: CcVariant::Fair,
+            },
+            PacketJob {
+                spec: small_job(),
+                variant: CcVariant::Fair,
+            },
+        ];
+        let mut rec = BufferRecorder::new();
+        let mut sim = PacketSimulator::with_recorder(PacketSimConfig::default(), &jobs, &mut rec);
+        sim.run_until(Time::ZERO + Dur::from_millis(60));
+        let kinds: BTreeSet<&str> = rec.events().iter().map(|e| e.event.kind()).collect();
+        for want in [
+            "phase_enter",
+            "phase_exit",
+            "ecn_mark",
+            "cnp_sent",
+            "cnp_received",
+            "rate_change",
+            "queue_depth",
+        ] {
+            assert!(kinds.contains(want), "missing event kind {want:?}");
+        }
+        let metrics = rec.metrics();
+        assert!(
+            metrics.counter_total("ecn_marks_total") > 0,
+            "no ECN marks recorded"
+        );
+        assert!(metrics.counter_total("cnp_total") > 0, "no CNPs recorded");
+        assert!(
+            metrics.counter_total("rate_changes_total") > 0,
+            "no rate changes recorded"
+        );
+        assert!(rec.spans().contains_key("netsim.packet"));
+        assert!(rec.counts()["packet_events_total"] > 0);
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_packet_dynamics() {
+        let jobs = [
+            PacketJob {
+                spec: small_job(),
+                variant: CcVariant::Fair,
+            },
+            PacketJob {
+                spec: small_job(),
+                variant: CcVariant::Fair,
+            },
+        ];
+        let mut plain = PacketSimulator::new(PacketSimConfig::default(), &jobs);
+        plain.run_until(Time::ZERO + Dur::from_millis(60));
+        let mut rec = telemetry::BufferRecorder::new();
+        let mut observed =
+            PacketSimulator::with_recorder(PacketSimConfig::default(), &jobs, &mut rec);
+        observed.run_until(Time::ZERO + Dur::from_millis(60));
+        assert_eq!(plain.packet_counts(), observed.packet_counts());
+        assert_eq!(plain.delivered(0), observed.delivered(0));
+        assert_eq!(plain.delivered(1), observed.delivered(1));
     }
 
     #[test]

@@ -15,10 +15,15 @@
 //! Scope: one bottleneck link (the paper's experiments are all
 //! single-bottleneck; multi-link topologies are the fluid engine's job).
 
-use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker};
+use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, RpStage};
 use eventsim::{Rng, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
+use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
 use workload::{JobProgress, JobSpec};
+
+/// Telemetry sampling cadence (queue depth + per-flow rate) used when the
+/// run is observed but no trace interval is configured.
+const DEFAULT_SAMPLE_INTERVAL: Dur = Dur::from_micros(500);
 
 /// Configuration of the rate-based engine.
 #[derive(Debug, Clone)]
@@ -104,6 +109,18 @@ impl Controller {
         }
     }
 
+    /// Telemetry tag for the controller's current increase regime.
+    fn cc_state(&self) -> CcState {
+        match self {
+            Controller::Dcqcn(rp) => match rp.stage() {
+                RpStage::FastRecovery => CcState::FastRecovery,
+                RpStage::AdditiveIncrease => CcState::AdditiveIncrease,
+                RpStage::HyperIncrease => CcState::HyperIncrease,
+            },
+            Controller::Swift(_) => CcState::Delay,
+        }
+    }
+
     fn restart(&mut self) {
         match self {
             Controller::Dcqcn(rp) => rp.restart(),
@@ -130,7 +147,12 @@ struct JobState {
 }
 
 /// The rate-based simulator over one bottleneck link.
-pub struct RateSimulator {
+///
+/// Generic over a [`Recorder`]; the default [`NoopRecorder`] compiles all
+/// instrumentation away, so `RateSimulator::new` is exactly as fast as the
+/// uninstrumented engine. Observed runs use
+/// [`RateSimulator::with_recorder`].
+pub struct RateSimulator<R: Recorder = NoopRecorder> {
     cfg: RateSimConfig,
     now: Time,
     jobs: Vec<JobState>,
@@ -138,16 +160,41 @@ pub struct RateSimulator {
     queue_trace: TimeSeries,
     rate_traces: Vec<TimeSeries>,
     next_trace_at: Time,
+    rec: R,
+    next_sample_at: Time,
+    steps: u64,
 }
 
 impl RateSimulator {
-    /// Builds a simulator for `jobs` sharing the bottleneck.
+    /// Builds an unobserved simulator for `jobs` sharing the bottleneck.
     ///
     /// # Panics
     /// Panics if `jobs` is empty or `dt` is zero.
     pub fn new(cfg: RateSimConfig, jobs: &[RateJob]) -> RateSimulator {
+        RateSimulator::with_recorder(cfg, jobs, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> RateSimulator<R> {
+    /// Builds a simulator whose instrumentation feeds `rec`.
+    ///
+    /// # Panics
+    /// Panics if `jobs` is empty or `dt` is zero.
+    pub fn with_recorder(cfg: RateSimConfig, jobs: &[RateJob], mut rec: R) -> RateSimulator<R> {
         assert!(!jobs.is_empty(), "RateSimulator: no jobs");
         assert!(!cfg.dt.is_zero(), "RateSimulator: zero dt");
+        if R::ENABLED {
+            for (i, j) in jobs.iter().enumerate() {
+                rec.record(
+                    Time::ZERO + j.start_offset,
+                    Event::PhaseEnter {
+                        job: i as u32,
+                        phase: Phase::Compute,
+                        iteration: 0,
+                    },
+                );
+            }
+        }
         let states = jobs
             .iter()
             .map(|j| {
@@ -180,7 +227,15 @@ impl RateSimulator {
             queue_trace: TimeSeries::new(),
             rate_traces: (0..n).map(|_| TimeSeries::new()).collect(),
             next_trace_at: Time::ZERO,
+            rec,
+            next_sample_at: Time::ZERO,
+            steps: 0,
         }
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &R {
+        &self.rec
     }
 
     /// Current simulation time.
@@ -210,7 +265,7 @@ impl RateSimulator {
         let t_end = self.now + dt;
 
         // 1. Compute→communicate transitions due at (or before) this step.
-        for js in &mut self.jobs {
+        for (i, js) in self.jobs.iter_mut().enumerate() {
             if !js.progress.is_communicating() && js.progress.poll(self.now) {
                 js.to_inject = js.progress.remaining_bytes();
                 js.backlog = 0.0;
@@ -218,6 +273,35 @@ impl RateSimulator {
                     js.cc.restart();
                 }
                 js.np.reset();
+                if R::ENABLED {
+                    let iteration = js.progress.completed() as u64;
+                    self.rec.record(
+                        self.now,
+                        Event::PhaseExit {
+                            job: i as u32,
+                            phase: Phase::Compute,
+                            iteration,
+                        },
+                    );
+                    self.rec.record(
+                        self.now,
+                        Event::PhaseEnter {
+                            job: i as u32,
+                            phase: Phase::Communicate,
+                            iteration,
+                        },
+                    );
+                    if self.cfg.restart_on_phase {
+                        self.rec.record(
+                            self.now,
+                            Event::RateChange {
+                                flow: i as u32,
+                                bps: js.cc.rate(),
+                                state: CcState::Restart,
+                            },
+                        );
+                    }
+                }
             }
         }
 
@@ -268,8 +352,23 @@ impl RateSimulator {
                     } else {
                         1.0
                     };
+                    if R::ENABLED {
+                        self.rec.record(t_end, Event::EcnMark { flow: i as u32 });
+                    }
                     if js.np.on_marked_arrival(t_end) {
                         rp.on_cnp();
+                        if R::ENABLED {
+                            self.rec
+                                .record(t_end, Event::CnpReceived { flow: i as u32 });
+                            self.rec.record(
+                                t_end,
+                                Event::RateChange {
+                                    flow: i as u32,
+                                    bps: rp.rate(),
+                                    state: CcState::Cut,
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -278,9 +377,7 @@ impl RateSimulator {
         // 5. Controller clocks, adaptive progress, and delivery to jobs.
         // The queueing delay a delay-based controller observes: the time
         // the standing queue takes to drain at line rate.
-        let queue_delay = Dur::from_secs_f64(
-            standing_queue * 8.0 / self.cfg.capacity.as_bps_f64(),
-        );
+        let queue_delay = Dur::from_secs_f64(standing_queue * 8.0 / self.cfg.capacity.as_bps_f64());
         for (i, js) in self.jobs.iter_mut().enumerate() {
             match &mut js.cc {
                 Controller::Dcqcn(rp) => {
@@ -295,7 +392,8 @@ impl RateSimulator {
             }
             if js.progress.is_communicating() && delivered[i] > 0.0 {
                 js.traced_bytes += delivered[i];
-                if js.progress.deliver(delivered[i], t_end).is_some() {
+                let finished = js.progress.deliver(delivered[i], t_end).is_some();
+                if finished {
                     // Iteration finished: residual float dust is discarded.
                     js.to_inject = 0.0;
                     js.backlog = 0.0;
@@ -304,6 +402,33 @@ impl RateSimulator {
                             rp.clear_boost();
                         }
                     }
+                }
+                // Iteration end — or, for pipelined jobs, a mid-iteration
+                // gap between communication segments — returns the job to
+                // computing.
+                if R::ENABLED && !js.progress.is_communicating() {
+                    let done = js.progress.completed() as u64;
+                    let exited = if finished {
+                        done.saturating_sub(1)
+                    } else {
+                        done
+                    };
+                    self.rec.record(
+                        t_end,
+                        Event::PhaseExit {
+                            job: i as u32,
+                            phase: Phase::Communicate,
+                            iteration: exited,
+                        },
+                    );
+                    self.rec.record(
+                        t_end,
+                        Event::PhaseEnter {
+                            job: i as u32,
+                            phase: Phase::Compute,
+                            iteration: done,
+                        },
+                    );
                 }
             }
         }
@@ -322,28 +447,79 @@ impl RateSimulator {
             }
         }
 
+        // 7. Telemetry sampling (observed runs only): queue depth plus each
+        // communicating flow's rate, tagged with its DCQCN increase stage.
+        if R::ENABLED && t_end >= self.next_sample_at {
+            self.rec.record(
+                t_end,
+                Event::QueueDepth {
+                    link: 0,
+                    bytes: standing_queue,
+                },
+            );
+            for (i, js) in self.jobs.iter().enumerate() {
+                if js.progress.is_communicating() {
+                    self.rec.record(
+                        t_end,
+                        Event::RateChange {
+                            flow: i as u32,
+                            bps: js.cc.rate(),
+                            state: js.cc.cc_state(),
+                        },
+                    );
+                }
+            }
+            let interval = self.cfg.trace_interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL);
+            self.next_sample_at = t_end + interval;
+        }
+
+        self.steps += 1;
         self.now = t_end;
     }
 
     /// Runs for a fixed span of simulated time.
     pub fn run_for(&mut self, span: Dur) {
+        let wall = if R::ENABLED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let steps0 = self.steps;
         let end = self.now + span;
         while self.now < end {
             self.step();
+        }
+        if let Some(t0) = wall {
+            self.rec
+                .span("netsim.rate", t0.elapsed(), self.steps - steps0);
+            self.rec.count("rate_steps_total", self.steps - steps0);
         }
     }
 
     /// Runs until every job has completed `n` iterations, or `max_span`
     /// elapses. Returns `true` if all jobs reached `n`.
     pub fn run_until_iterations(&mut self, n: usize, max_span: Dur) -> bool {
+        let wall = if R::ENABLED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let steps0 = self.steps;
         let end = self.now + max_span;
+        let mut done = false;
         while self.now < end {
             if self.jobs.iter().all(|j| j.progress.completed() >= n) {
-                return true;
+                done = true;
+                break;
             }
             self.step();
         }
-        self.jobs.iter().all(|j| j.progress.completed() >= n)
+        if let Some(t0) = wall {
+            self.rec
+                .span("netsim.rate", t0.elapsed(), self.steps - steps0);
+            self.rec.count("rate_steps_total", self.steps - steps0);
+        }
+        done || self.jobs.iter().all(|j| j.progress.completed() >= n)
     }
 }
 
@@ -449,9 +625,11 @@ mod tests {
             RateJob::new(vgg19(1400), CcVariant::Fair),
         ];
         let run = |seed, noise| {
-            let mut cfg = RateSimConfig::default();
-            cfg.seed = seed;
-            cfg.mark_noise = noise;
+            let cfg = RateSimConfig {
+                seed,
+                mark_noise: noise,
+                ..RateSimConfig::default()
+            };
             let mut sim = RateSimulator::new(cfg, &jobs);
             sim.run_until_iterations(5, Dur::from_secs(10));
             (
@@ -470,8 +648,10 @@ mod tests {
     /// Traces are recorded when enabled and capture utilization ≤ capacity.
     #[test]
     fn traces_record_throughput() {
-        let mut cfg = RateSimConfig::default();
-        cfg.trace_interval = Some(Dur::from_millis(1));
+        let cfg = RateSimConfig {
+            trace_interval: Some(Dur::from_millis(1)),
+            ..RateSimConfig::default()
+        };
         let mut sim = RateSimulator::new(
             cfg,
             &[
@@ -505,6 +685,96 @@ mod tests {
     #[should_panic(expected = "no jobs")]
     fn empty_jobs_rejected() {
         let _ = RateSimulator::new(RateSimConfig::default(), &[]);
+    }
+
+    /// An observed contended run records the full event vocabulary: phase
+    /// transitions, ECN marks, CNPs, rate changes, and queue samples.
+    #[test]
+    fn recorder_captures_congestion_events() {
+        use telemetry::BufferRecorder;
+        let mut rec = BufferRecorder::new();
+        let jobs = [
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+        ];
+        let mut sim = RateSimulator::with_recorder(RateSimConfig::default(), &jobs, &mut rec);
+        assert!(sim.run_until_iterations(3, Dur::from_secs(5)));
+        drop(sim);
+        let kinds: std::collections::BTreeSet<&str> =
+            rec.events().iter().map(|e| e.event.kind()).collect();
+        for k in [
+            "phase_enter",
+            "phase_exit",
+            "ecn_mark",
+            "cnp_received",
+            "rate_change",
+            "queue_depth",
+        ] {
+            assert!(kinds.contains(k), "missing {k} in {kinds:?}");
+        }
+        let m = rec.metrics();
+        assert!(m.counter("ecn_marks_total", "flow=0") > 0);
+        assert!(m.counter("cnp_total", "flow=0") > 0);
+        assert!(m.counter("cnp_total", "flow=1") > 0);
+        // The engine reported a profiling span with its step count.
+        assert!(rec.spans()["netsim.rate"].events > 0);
+        assert!(rec.counts()["rate_steps_total"] > 0);
+        // Phase events alternate consistently per job: enters and exits of
+        // the communicate phase pair up (±1 for the trailing phase).
+        let enters = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    telemetry::Event::PhaseEnter {
+                        job: 0,
+                        phase: telemetry::Phase::Communicate,
+                        ..
+                    }
+                )
+            })
+            .count() as i64;
+        let exits = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    telemetry::Event::PhaseExit {
+                        job: 0,
+                        phase: telemetry::Phase::Communicate,
+                        ..
+                    }
+                )
+            })
+            .count() as i64;
+        assert!((enters - exits).abs() <= 1, "enters {enters} exits {exits}");
+    }
+
+    /// The same run, observed or not, produces identical simulation
+    /// results: recording must never perturb dynamics.
+    #[test]
+    fn recorder_does_not_perturb_dynamics() {
+        let jobs = [
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+            RateJob::new(vgg19(1400), CcVariant::Fair),
+        ];
+        let cfg = RateSimConfig {
+            mark_noise: 0.3,
+            ..RateSimConfig::default()
+        };
+        let mut plain = RateSimulator::new(cfg.clone(), &jobs);
+        let mut rec = telemetry::BufferRecorder::new();
+        let mut observed = RateSimulator::with_recorder(cfg, &jobs, &mut rec);
+        plain.run_until_iterations(4, Dur::from_secs(8));
+        observed.run_until_iterations(4, Dur::from_secs(8));
+        for i in 0..2 {
+            assert_eq!(
+                plain.progress(i).iteration_times(),
+                observed.progress(i).iteration_times()
+            );
+        }
     }
 }
 
@@ -554,8 +824,7 @@ mod swift_tests {
     #[test]
     fn swift_equal_targets_lock_like_fair_dcqcn() {
         let sim = run_pair([30, 30]);
-        let locked = (vgg19().compute_time()
-            + vgg19().comm_time_at(Bandwidth::from_gbps(50)) * 2)
+        let locked = (vgg19().compute_time() + vgg19().comm_time_at(Bandwidth::from_gbps(50)) * 2)
             .as_millis_f64();
         for i in 0..2 {
             let m = median_ms(&sim, i, 4);

@@ -37,5 +37,8 @@ pub use mechanisms::{assign_priorities, gates_from_rotations, PriorityError};
 pub use placement::{
     ClusterScheduler, PlacedJob, PlacementError, PlacementPolicy, SchedulerConfig,
 };
-pub use profiler::{analytic_profile, gating_profiles, gating_profiles_with_stretch, measured_profile};
+pub use profiler::{
+    analytic_profile, gating_profiles, gating_profiles_with_stretch, measured_profile,
+    measured_profile_traced,
+};
 pub use tuner::{tune_batch_for_compatibility, TuneResult};

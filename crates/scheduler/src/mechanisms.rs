@@ -96,10 +96,7 @@ mod tests {
     #[test]
     fn too_many_jobs_fail() {
         let err = assign_priorities(9, 8).unwrap_err();
-        assert_eq!(
-            err,
-            PriorityError::NotEnoughQueues { jobs: 9, queues: 8 }
-        );
+        assert_eq!(err, PriorityError::NotEnoughQueues { jobs: 9, queues: 8 });
         assert!(err.to_string().contains("9 jobs"));
     }
 

@@ -410,8 +410,10 @@ impl ClusterScheduler {
             }
         }
         // Build the instance: closure jobs plus the new job (last index).
-        let mut profiles: Vec<Profile> =
-            jobs.iter().map(|&j| self.placed[j].profile.clone()).collect();
+        let mut profiles: Vec<Profile> = jobs
+            .iter()
+            .map(|&j| self.placed[j].profile.clone())
+            .collect();
         profiles.push(profile.clone());
         let new_idx = profiles.len() - 1;
         let cand_links: Vec<LinkId> = cand.hops.iter().flatten().copied().collect();
@@ -465,8 +467,7 @@ impl ClusterScheduler {
                             fraction: 1.0 / k as f64,
                         })
                         .collect();
-                    let total =
-                        pj.spec.comm_bytes().as_bytes() as f64 * k as f64;
+                    let total = pj.spec.comm_bytes().as_bytes() as f64 * k as f64;
                     FluidJob {
                         spec: pj.spec,
                         start_offset: Dur::ZERO,
@@ -536,9 +537,7 @@ mod tests {
             PlacementPolicy::CompatibilityAware,
         ] {
             let mut s = sched(3, 4, policy);
-            let j = s
-                .submit(JobSpec::reference(Model::Vgg16, 1400))
-                .unwrap();
+            let j = s.submit(JobSpec::reference(Model::Vgg16, 1400)).unwrap();
             let pj = &s.placed()[j];
             assert!(pj.is_single_rack(), "{policy:?} should pack one rack");
             assert!(pj.links.is_empty());
@@ -610,9 +609,9 @@ mod tests {
                 ..JobSpec::reference(Model::ResNet50, 1600)
             };
             s.submit(rn3).unwrap(); // racks 2+3, spine 1
-            // Now 4 racks have 2,0... recompute: rack0 had 2 → bert took
-            // 2 from rack0? workers=3: rack0 (2) + rack1 (1). rn3: rack1
-            // has 1 free → candidates differ; assert below on actual state.
+                                    // Now 4 racks have 2,0... recompute: rack0 had 2 → bert took
+                                    // 2 from rack0? workers=3: rack0 (2) + rack1 (1). rn3: rack1
+                                    // has 1 free → candidates differ; assert below on actual state.
             s
         };
         let comp = mk(PlacementPolicy::CompatibilityAware);
@@ -723,7 +722,7 @@ mod tests {
             ..JobSpec::reference(Model::Vgg16, 1400)
         };
         s.submit(split).unwrap(); // racks (3, 1): uses uplinks
-        // One split job alone: no *contended* links.
+                                  // One split job alone: no *contended* links.
         assert!(s.contended_links().is_empty());
         let small = JobSpec::reference(Model::ResNet50, 1600); // 2 workers
         let j = s.submit(small).unwrap();

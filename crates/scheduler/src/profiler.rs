@@ -119,7 +119,11 @@ pub fn gating_profiles_with_stretch(
             debug_assert!(harmonic >= natural);
             let own = ceil_grid(natural);
             let stretch = harmonic.ratio(natural) - 1.0;
-            let period = if stretch <= max_stretch { harmonic } else { own };
+            let period = if stretch <= max_stretch {
+                harmonic
+            } else {
+                own
+            };
             let comm = s.comm_time_at(nic);
             Profile::compute_then_comm(period - comm, comm)
         })
@@ -134,6 +138,22 @@ pub fn gating_profiles_with_stretch(
 /// Panics if `iters == 0` or the job fails to complete within a generous
 /// time budget (100 iterations' worth of analytic time).
 pub fn measured_profile(spec: &JobSpec, nic: Bandwidth, grid: Dur, iters: usize) -> Profile {
+    measured_profile_traced(spec, nic, grid, iters, telemetry::NoopRecorder)
+}
+
+/// [`measured_profile`] with the profiling run's telemetry streamed into
+/// `rec` — the phase transitions and solver passes of the isolated run
+/// become inspectable alongside the experiment that requested the profile.
+///
+/// # Panics
+/// Panics under the same conditions as [`measured_profile`].
+pub fn measured_profile_traced<R: telemetry::Recorder>(
+    spec: &JobSpec,
+    nic: Bandwidth,
+    grid: Dur,
+    iters: usize,
+    rec: R,
+) -> Profile {
     assert!(iters > 0, "measured_profile: zero iterations");
     let d = dumbbell(1, nic, nic, Dur::ZERO);
     let path = d
@@ -149,10 +169,13 @@ pub fn measured_profile(spec: &JobSpec, nic: Bandwidth, grid: Dur, iters: usize)
         nic_rate: nic,
         ..FluidConfig::fair()
     };
-    let mut sim = FluidSimulator::new(&d.topology, cfg, &[job]);
+    let mut sim = FluidSimulator::with_recorder(&d.topology, cfg, &[job], rec);
     let budget = spec.iteration_time_at(nic) * (iters as u64 * 4 + 16);
     let ok = sim.run_until_iterations(iters, budget);
-    assert!(ok, "measured_profile: job did not complete {iters} iterations");
+    assert!(
+        ok,
+        "measured_profile: job did not complete {iters} iterations"
+    );
     // Median iteration time from the run; comm = iteration − compute
     // (compute is an input, not something the network run changes).
     let times = sim.progress(0).iteration_times();
@@ -200,6 +223,24 @@ mod tests {
                 "{model:?}: comm {da:.2} vs measured {dm:.2} ms"
             );
         }
+    }
+
+    #[test]
+    fn traced_profiling_run_is_observable() {
+        let spec = JobSpec::reference(Model::Vgg19, 1000);
+        let mut rec = telemetry::BufferRecorder::new();
+        let traced = measured_profile_traced(&spec, LINE, GRID, 3, &mut rec);
+        // Tracing never changes the measurement.
+        let plain = measured_profile(&spec, LINE, GRID, 3);
+        assert_eq!(traced.period(), plain.period());
+        assert_eq!(traced.comm_time(), plain.comm_time());
+        // The isolated run's phase transitions and solver passes landed in
+        // the buffer.
+        let kinds: std::collections::BTreeSet<&str> =
+            rec.events().iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains("phase_enter"), "kinds: {kinds:?}");
+        assert!(kinds.contains("phase_exit"));
+        assert!(kinds.contains("solver_iteration"));
     }
 
     #[test]

@@ -109,11 +109,7 @@ mod tests {
     #[test]
     fn already_compatible_batch_is_kept() {
         // WRN(800) + VGG16(1400) share a 255 ms period: compatible as-is.
-        let resident = analytic_profile(
-            &JobSpec::reference(Model::WideResNet50, 800),
-            LINE,
-            GRID,
-        );
+        let resident = analytic_profile(&JobSpec::reference(Model::WideResNet50, 800), LINE, GRID);
         let job = JobSpec::reference(Model::Vgg16, 1400);
         let r = tune_batch_for_compatibility(
             &job,
@@ -134,16 +130,12 @@ mod tests {
     /// reduction re-harmonizes the periods.
     #[test]
     fn tuning_recovers_compatibility() {
-        let resident = analytic_profile(
-            &JobSpec::reference(Model::WideResNet50, 800),
-            LINE,
-            GRID,
-        );
+        let resident = analytic_profile(&JobSpec::reference(Model::WideResNet50, 800), LINE, GRID);
         let job = JobSpec::reference(Model::Vgg16, 1480);
         // Untuned: incompatible.
         let untuned = tune_batch_for_compatibility(
             &job,
-            &[resident.clone()],
+            std::slice::from_ref(&resident),
             LINE,
             GRID,
             &SolverConfig::default(),
@@ -160,7 +152,11 @@ mod tests {
             0.1,
         )
         .expect("a compatible batch exists within 10%");
-        assert!(tuned.batch < 1480, "expected a reduction, got {}", tuned.batch);
+        assert!(
+            tuned.batch < 1480,
+            "expected a reduction, got {}",
+            tuned.batch
+        );
         assert!(tuned.batch_change.abs() <= 0.1);
         assert!(tuned.verdict.is_compatible());
         // The tuned period must match WRN's quantized 255 ms (give or take
@@ -173,8 +169,7 @@ mod tests {
     fn hopeless_jobs_stay_incompatible() {
         // BERT(8) (73% comm) + VGG19(1200) (45% comm): no batch within
         // ±20% makes the fractions fit.
-        let resident =
-            analytic_profile(&JobSpec::reference(Model::Vgg19, 1200), LINE, GRID);
+        let resident = analytic_profile(&JobSpec::reference(Model::Vgg19, 1200), LINE, GRID);
         let job = JobSpec::reference(Model::BertLarge, 8);
         let r = tune_batch_for_compatibility(
             &job,
@@ -192,14 +187,7 @@ mod tests {
         // With no residents, every batch is compatible: the requested one
         // must win.
         let job = JobSpec::reference(Model::ResNet50, 1600);
-        let r = tune_batch_for_compatibility(
-            &job,
-            &[],
-            LINE,
-            GRID,
-            &SolverConfig::default(),
-            0.5,
-        );
+        let r = tune_batch_for_compatibility(&job, &[], LINE, GRID, &SolverConfig::default(), 0.5);
         // No residents means the solver sees a single job: compatible.
         let r = r.expect("single job is always compatible");
         assert_eq!(r.batch, 1600);
@@ -209,13 +197,6 @@ mod tests {
     #[should_panic(expected = "outside (0, 1)")]
     fn bad_tolerance_rejected() {
         let job = JobSpec::reference(Model::ResNet50, 1600);
-        let _ = tune_batch_for_compatibility(
-            &job,
-            &[],
-            LINE,
-            GRID,
-            &SolverConfig::default(),
-            1.5,
-        );
+        let _ = tune_batch_for_compatibility(&job, &[], LINE, GRID, &SolverConfig::default(), 1.5);
     }
 }

@@ -65,7 +65,10 @@ impl Dur {
             "Dur::from_secs_f64: invalid seconds {s}"
         );
         let ns = s * 1e9;
-        assert!(ns <= u64::MAX as f64, "Dur::from_secs_f64: overflow ({s} s)");
+        assert!(
+            ns <= u64::MAX as f64,
+            "Dur::from_secs_f64: overflow ({s} s)"
+        );
         Dur(ns.round() as u64)
     }
 
@@ -176,7 +179,10 @@ impl Dur {
     /// is not required.
     #[inline]
     pub fn mul_f64(self, k: f64) -> Dur {
-        assert!(k >= 0.0 && k.is_finite(), "Dur::mul_f64: invalid factor {k}");
+        assert!(
+            k >= 0.0 && k.is_finite(),
+            "Dur::mul_f64: invalid factor {k}"
+        );
         Dur((self.0 as f64 * k).round() as u64)
     }
 
@@ -341,15 +347,15 @@ mod tests {
         assert_eq!(Dur::MAX.checked_add(Dur::NANOSECOND), None);
         assert_eq!(Dur::SECOND.checked_sub(Dur::MILLISECOND * 1001), None);
         assert_eq!(Dur::MAX.checked_mul(2), None);
-        assert_eq!(
-            Dur::SECOND.checked_mul(3),
-            Some(Dur::from_secs(3))
-        );
+        assert_eq!(Dur::SECOND.checked_mul(3), Some(Dur::from_secs(3)));
     }
 
     #[test]
     fn ratio_and_mul_f64() {
-        assert_eq!(Dur::from_millis(141).ratio(Dur::from_millis(255)), 141.0 / 255.0);
+        assert_eq!(
+            Dur::from_millis(141).ratio(Dur::from_millis(255)),
+            141.0 / 255.0
+        );
         assert_eq!(Dur::from_millis(100).mul_f64(0.5), Dur::from_millis(50));
         assert_eq!(Dur::from_nanos(3).mul_f64(0.5), Dur::from_nanos(2)); // rounds
     }

@@ -50,7 +50,7 @@ mod time;
 
 pub use bandwidth::{Bandwidth, ByteSize};
 pub use duration::Dur;
-pub use numeric::{gcd_u64, lcm_u64, lcm_u64_checked, lcm_many};
+pub use numeric::{gcd_u64, lcm_many, lcm_u64, lcm_u64_checked};
 pub use time::Time;
 
 #[cfg(test)]

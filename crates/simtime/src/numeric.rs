@@ -94,7 +94,10 @@ mod tests {
     fn lcm_many_edge_cases() {
         assert_eq!(lcm_many(&[]), None);
         assert_eq!(lcm_many(&[Dur::ZERO, Dur::SECOND]), None);
-        assert_eq!(lcm_many(&[Dur::from_millis(255)]), Some(Dur::from_millis(255)));
+        assert_eq!(
+            lcm_many(&[Dur::from_millis(255)]),
+            Some(Dur::from_millis(255))
+        );
         // Overflow: two large coprime ns counts.
         let big = Dur::from_nanos((1 << 62) - 1);
         let big2 = Dur::from_nanos(1 << 62);

@@ -1,0 +1,135 @@
+//! Typed events emitted by the instrumented simulators.
+
+use simtime::Time;
+
+/// Which side of the compute ↔ communicate cycle a job is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Compute,
+    Communicate,
+}
+
+impl Phase {
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::Communicate => "communicate",
+        }
+    }
+}
+
+/// Congestion-control state attached to a rate-change event.
+///
+/// The DCQCN stages mirror the reaction-point increase machinery
+/// (SIGCOMM '15 §5): cuts happen on CNP arrival, and between cuts the rate
+/// climbs through fast recovery, additive increase, and hyper increase.
+/// `Alloc` tags rates assigned by the fluid engine's max-min solver, which
+/// bypasses the DCQCN state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcState {
+    /// Jumped back to line rate at a phase restart.
+    Restart,
+    /// Multiplicative cut in response to a CNP.
+    Cut,
+    /// Binary-search climb back toward the target rate.
+    FastRecovery,
+    /// Linear probing above the last known-good rate.
+    AdditiveIncrease,
+    /// Exponential probing after a long quiet period.
+    HyperIncrease,
+    /// Rate set by a fluid-model allocation, not a DCQCN transition.
+    Alloc,
+    /// Rate governed by a delay-based controller (Swift), which has no
+    /// DCQCN stages.
+    Delay,
+}
+
+impl CcState {
+    pub fn label(self) -> &'static str {
+        match self {
+            CcState::Restart => "restart",
+            CcState::Cut => "cut",
+            CcState::FastRecovery => "fast_recovery",
+            CcState::AdditiveIncrease => "additive_increase",
+            CcState::HyperIncrease => "hyper_increase",
+            CcState::Alloc => "alloc",
+            CcState::Delay => "delay",
+        }
+    }
+}
+
+/// One structured observation from a simulation.
+///
+/// `flow`/`job` indices refer to the engine's job order (the order jobs were
+/// passed at construction), which experiments also use for stats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Bottleneck queue occupancy, in bytes.
+    QueueDepth { link: u32, bytes: f64 },
+    /// The congestion point ECN-marked traffic of `flow`.
+    EcnMark { flow: u32 },
+    /// The notification point emitted a CNP toward `flow`'s sender.
+    CnpSent { flow: u32 },
+    /// A CNP reached `flow`'s reaction point (rate cut follows).
+    CnpReceived { flow: u32 },
+    /// `flow`'s sending rate changed to `bps`, tagged with the CC state
+    /// that produced it.
+    RateChange { flow: u32, bps: f64, state: CcState },
+    /// `job` entered `phase` of iteration `iteration`.
+    PhaseEnter {
+        job: u32,
+        phase: Phase,
+        iteration: u64,
+    },
+    /// `job` left `phase` of iteration `iteration`.
+    PhaseExit {
+        job: u32,
+        phase: Phase,
+        iteration: u64,
+    },
+    /// A solver pass ran (e.g. one fluid-engine rate allocation).
+    SolverIteration { component: &'static str, index: u64 },
+    /// A scheduler gate released `job`'s communication phase.
+    GateRelease { job: u32 },
+    /// Marks the start of a named scenario; later events belong to it.
+    Scenario { name: String },
+}
+
+impl Event {
+    /// Short machine-readable tag, used as the JSONL `type` field and for
+    /// counting events by kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::QueueDepth { .. } => "queue_depth",
+            Event::EcnMark { .. } => "ecn_mark",
+            Event::CnpSent { .. } => "cnp_sent",
+            Event::CnpReceived { .. } => "cnp_received",
+            Event::RateChange { .. } => "rate_change",
+            Event::PhaseEnter { .. } => "phase_enter",
+            Event::PhaseExit { .. } => "phase_exit",
+            Event::SolverIteration { .. } => "solver_iteration",
+            Event::GateRelease { .. } => "gate_release",
+            Event::Scenario { .. } => "scenario",
+        }
+    }
+}
+
+/// An [`Event`] stamped with simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    pub at: Time,
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_labels_are_stable() {
+        assert_eq!(Event::EcnMark { flow: 0 }.kind(), "ecn_mark");
+        assert_eq!(Event::CnpReceived { flow: 1 }.kind(), "cnp_received");
+        assert_eq!(Phase::Communicate.label(), "communicate");
+        assert_eq!(CcState::HyperIncrease.label(), "hyper_increase");
+    }
+}

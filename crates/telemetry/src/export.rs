@@ -1,0 +1,285 @@
+//! Exporters: JSONL event logs and Chrome-trace JSON timelines.
+//!
+//! Both formats are hand-rolled (no serde in this workspace) and fully
+//! deterministic: same event buffer in, byte-identical text out. The Chrome
+//! trace loads in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`;
+//! each `Scenario` marker starts a new "process" so multi-scenario runs (fair
+//! vs. unfair, sweep points) appear side by side.
+
+use crate::event::{Event, TimedEvent};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSON object per line, one line per event. `t_ns` is simulation time.
+pub fn jsonl(events: &[TimedEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for te in events {
+        let t = te.at.as_nanos();
+        let kind = te.event.kind();
+        match &te.event {
+            Event::QueueDepth { link, bytes } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"link\":{link},\"bytes\":{bytes}}}"
+                );
+            }
+            Event::EcnMark { flow } | Event::CnpSent { flow } | Event::CnpReceived { flow } => {
+                let _ = writeln!(out, "{{\"t_ns\":{t},\"type\":\"{kind}\",\"flow\":{flow}}}");
+            }
+            Event::RateChange { flow, bps, state } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"flow\":{flow},\"bps\":{bps},\"state\":\"{}\"}}",
+                    state.label()
+                );
+            }
+            Event::PhaseEnter {
+                job,
+                phase,
+                iteration,
+            }
+            | Event::PhaseExit {
+                job,
+                phase,
+                iteration,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"job\":{job},\"phase\":\"{}\",\"iteration\":{iteration}}}",
+                    phase.label()
+                );
+            }
+            Event::SolverIteration { component, index } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"component\":\"{}\",\"index\":{index}}}",
+                    esc(component)
+                );
+            }
+            Event::GateRelease { job } => {
+                let _ = writeln!(out, "{{\"t_ns\":{t},\"type\":\"{kind}\",\"job\":{job}}}");
+            }
+            Event::Scenario { name } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"name\":\"{}\"}}",
+                    esc(name)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Chrome-trace JSON (the `{"traceEvents": [...]}` envelope).
+///
+/// Mapping: phase enter/exit become `B`/`E` duration slices on a per-job
+/// track; ECN/CNP/solver/gate events become instants (`i`); queue depth and
+/// rates become counter tracks (`C`). Every `Scenario` marker opens a fresh
+/// pid with a `process_name` metadata record so scenarios stack vertically
+/// in the viewer. Timestamps are microseconds of simulation time.
+pub fn chrome_trace(events: &[TimedEvent]) -> String {
+    let mut records: Vec<String> = Vec::with_capacity(events.len() + 8);
+    let mut pid: u32 = 1;
+    let mut named_current_pid = false;
+    let mut seen_tids: Vec<(u32, u32)> = Vec::new();
+
+    let us = |te: &TimedEvent| format!("{:.3}", te.at.as_nanos() as f64 / 1_000.0);
+
+    for te in events {
+        let ts = us(te);
+        if !named_current_pid && !matches!(te.event, Event::Scenario { .. }) {
+            records.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"simulation\"}}}}"
+            ));
+            named_current_pid = true;
+        }
+        let mut thread = |records: &mut Vec<String>, pid: u32, tid: u32| {
+            if !seen_tids.contains(&(pid, tid)) {
+                seen_tids.push((pid, tid));
+                records.push(format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"job/flow {tid}\"}}}}"
+                ));
+            }
+        };
+        match &te.event {
+            Event::Scenario { name } => {
+                pid += 1;
+                named_current_pid = true;
+                records.push(format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                    esc(name)
+                ));
+            }
+            Event::PhaseEnter {
+                job,
+                phase,
+                iteration,
+            } => {
+                thread(&mut records, pid, *job);
+                records.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job},\"args\":{{\"iteration\":{iteration}}}}}",
+                    phase.label()
+                ));
+            }
+            Event::PhaseExit { job, phase, .. } => {
+                thread(&mut records, pid, *job);
+                records.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job}}}",
+                    phase.label()
+                ));
+            }
+            Event::EcnMark { flow } | Event::CnpSent { flow } | Event::CnpReceived { flow } => {
+                thread(&mut records, pid, *flow);
+                records.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"cc\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{flow},\"s\":\"t\"}}",
+                    te.event.kind()
+                ));
+            }
+            Event::RateChange { flow, bps, state } => {
+                records.push(format!(
+                    "{{\"name\":\"rate_gbps flow{flow}\",\"cat\":\"cc\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":{flow},\"args\":{{\"{}\":{:.6}}}}}",
+                    state.label(),
+                    bps / 1e9
+                ));
+            }
+            Event::QueueDepth { link, bytes } => {
+                records.push(format!(
+                    "{{\"name\":\"queue_depth_bytes link{link}\",\"cat\":\"queue\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\"args\":{{\"bytes\":{bytes:.1}}}}}"
+                ));
+            }
+            Event::SolverIteration { component, index } => {
+                records.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"solver\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\"s\":\"p\",\"args\":{{\"index\":{index}}}}}",
+                    esc(component)
+                ));
+            }
+            Event::GateRelease { job } => {
+                thread(&mut records, pid, *job);
+                records.push(format!(
+                    "{{\"name\":\"gate_release\",\"cat\":\"gate\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job},\"s\":\"t\"}}"
+                ));
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(records.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(r);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CcState, Phase};
+    use simtime::Time;
+
+    fn sample_events() -> Vec<TimedEvent> {
+        let t = Time::from_nanos;
+        vec![
+            TimedEvent {
+                at: Time::ZERO,
+                event: Event::Scenario {
+                    name: "fig1/fair".into(),
+                },
+            },
+            TimedEvent {
+                at: t(0),
+                event: Event::PhaseEnter {
+                    job: 0,
+                    phase: Phase::Compute,
+                    iteration: 0,
+                },
+            },
+            TimedEvent {
+                at: t(1_500),
+                event: Event::EcnMark { flow: 0 },
+            },
+            TimedEvent {
+                at: t(2_000),
+                event: Event::CnpReceived { flow: 0 },
+            },
+            TimedEvent {
+                at: t(2_000),
+                event: Event::RateChange {
+                    flow: 0,
+                    bps: 25e9,
+                    state: CcState::Cut,
+                },
+            },
+            TimedEvent {
+                at: t(3_000),
+                event: Event::PhaseExit {
+                    job: 0,
+                    phase: Phase::Compute,
+                    iteration: 0,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event_with_types() {
+        let out = jsonl(&sample_events());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].contains("\"type\":\"scenario\""));
+        assert!(lines[2].contains("\"type\":\"ecn_mark\""));
+        assert!(lines[4].contains("\"state\":\"cut\""));
+        // Every line is a self-contained JSON object.
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_slices_counters_and_process_names() {
+        let out = chrome_trace(&sample_events());
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.contains("\"ph\":\"B\""));
+        assert!(out.contains("\"ph\":\"E\""));
+        assert!(out.contains("\"ph\":\"C\""));
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("fig1/fair"));
+        // ts is microseconds: the 1500 ns mark lands at 1.500.
+        assert!(out.contains("\"ts\":1.500"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_newlines() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let ev = sample_events();
+        assert_eq!(jsonl(&ev), jsonl(&ev));
+        assert_eq!(chrome_trace(&ev), chrome_trace(&ev));
+    }
+}

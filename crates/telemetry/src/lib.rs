@@ -1,0 +1,32 @@
+//! Structured instrumentation for the simulation stack.
+//!
+//! The engines in `netsim` are generic over a [`Recorder`]; the default
+//! [`NoopRecorder`] monomorphizes every instrumentation site to nothing, so
+//! unobserved simulations pay no cost. An observed run plugs in a
+//! [`BufferRecorder`], which buffers typed [`Event`]s with simulation
+//! timestamps and can then be:
+//!
+//! - aggregated into a [`MetricsRegistry`] of labeled counters / gauges /
+//!   histograms (`ecn_marks_total{flow=0}`, `queue_depth_bytes`, …) and
+//!   rendered as a text table;
+//! - exported as a JSONL event log ([`export::jsonl`]) or a Chrome-trace
+//!   JSON timeline ([`export::chrome_trace`]) viewable in Perfetto or
+//!   `chrome://tracing`;
+//! - folded into a [`Profiler`] that reports wall-clock and events/sec per
+//!   engine/component.
+//!
+//! Only simulation time ever enters the event stream; wall-clock readings
+//! stay in profiler spans, so recorded runs remain bit-deterministic.
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod profiler;
+pub mod recorder;
+pub mod table;
+
+pub use event::{CcState, Event, Phase, TimedEvent};
+pub use metrics::MetricsRegistry;
+pub use profiler::Profiler;
+pub use recorder::{BufferRecorder, NoopRecorder, Recorder};
+pub use table::text_table;

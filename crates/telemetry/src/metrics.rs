@@ -1,0 +1,202 @@
+//! A small registry of labeled counters, gauges, and histograms, with a
+//! text-table summary renderer.
+//!
+//! Keys are `(metric name, label string)` pairs stored in `BTreeMap`s, so
+//! iteration — and therefore rendered output — is deterministic. Labels are
+//! free-form `key=value[,key=value]` strings ("" for unlabeled).
+
+use crate::table::text_table;
+use std::collections::BTreeMap;
+
+/// Sampled distribution; statistics are computed at render time.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    pub fn observe(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Nearest-rank percentile; `p` in [0, 100].
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// Labeled counters, gauges, and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<(String, String), f64>,
+    histograms: BTreeMap<(String, String), Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    pub fn inc_counter(&mut self, name: &str, label: &str, by: u64) {
+        *self
+            .counters
+            .entry((name.to_string(), label.to_string()))
+            .or_insert(0) += by;
+    }
+
+    pub fn set_gauge(&mut self, name: &str, label: &str, value: f64) {
+        self.gauges
+            .insert((name.to_string(), label.to_string()), value);
+    }
+
+    pub fn observe(&mut self, name: &str, label: &str, value: f64) {
+        self.histograms
+            .entry((name.to_string(), label.to_string()))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.counters
+            .get(&(name.to_string(), label.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter across all label values.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    pub fn gauge(&self, name: &str, label: &str) -> Option<f64> {
+        self.gauges
+            .get(&(name.to_string(), label.to_string()))
+            .copied()
+    }
+
+    pub fn histogram(&self, name: &str, label: &str) -> Option<&Histogram> {
+        self.histograms.get(&(name.to_string(), label.to_string()))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders every metric as a fixed-width table, counters first, then
+    /// gauges, then histograms (count/mean/p50/p99/max).
+    pub fn render(&self) -> String {
+        fn series(name: &str, label: &str) -> String {
+            if label.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}{{{label}}}")
+            }
+        }
+        let mut rows = vec![vec![
+            "metric".to_string(),
+            "type".to_string(),
+            "value".to_string(),
+        ]];
+        for ((name, label), v) in &self.counters {
+            rows.push(vec![
+                series(name, label),
+                "counter".to_string(),
+                v.to_string(),
+            ]);
+        }
+        for ((name, label), v) in &self.gauges {
+            rows.push(vec![
+                series(name, label),
+                "gauge".to_string(),
+                format!("{v:.3}"),
+            ]);
+        }
+        for ((name, label), h) in &self.histograms {
+            rows.push(vec![
+                series(name, label),
+                "histogram".to_string(),
+                format!(
+                    "n={} mean={:.3} p50={:.3} p99={:.3} max={:.3}",
+                    h.count(),
+                    h.mean(),
+                    h.percentile(50.0),
+                    h.percentile(99.0),
+                    h.max()
+                ),
+            ]);
+        }
+        text_table(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let mut m = MetricsRegistry::new();
+        m.inc_counter("ecn_marks_total", "flow=0", 2);
+        m.inc_counter("ecn_marks_total", "flow=0", 3);
+        m.inc_counter("ecn_marks_total", "flow=1", 1);
+        assert_eq!(m.counter("ecn_marks_total", "flow=0"), 5);
+        assert_eq!(m.counter_total("ecn_marks_total"), 6);
+        assert_eq!(m.counter("missing", ""), 0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100.0);
+        assert_eq!(h.percentile(50.0), 3.0);
+        assert!(h.mean() > 3.0);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_labeled() {
+        let mut m = MetricsRegistry::new();
+        m.inc_counter("cnp_total", "flow=1", 4);
+        m.set_gauge("queue_depth_bytes", "link=0", 1234.5);
+        m.observe("rate_gbps_hist", "flow=0", 25.0);
+        let a = m.render();
+        let b = m.render();
+        assert_eq!(a, b);
+        assert!(a.contains("cnp_total{flow=1}"));
+        assert!(a.contains("queue_depth_bytes{link=0}"));
+        assert!(a.contains("histogram"));
+    }
+}

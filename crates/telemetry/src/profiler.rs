@@ -1,0 +1,142 @@
+//! Wall-clock profiler: where does simulation time actually go?
+//!
+//! Sections come from two sources: explicit [`Profiler::time`] scopes around
+//! CLI-level stages, and engine spans absorbed from a [`BufferRecorder`]
+//! (each engine reports wall-clock plus how many steps/events it processed,
+//! which yields an events-per-second figure per component).
+
+use crate::recorder::BufferRecorder;
+use crate::table::text_table;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Section {
+    wall: Duration,
+    events: u64,
+    calls: u64,
+}
+
+/// Accumulates named wall-clock sections and renders a hot-path breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    sections: BTreeMap<String, Section>,
+}
+
+impl Profiler {
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Times `f` and charges it to `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(name, t0.elapsed(), 0, 1);
+        out
+    }
+
+    /// Adds an externally measured span.
+    pub fn add_span(&mut self, name: &str, wall: Duration, events: u64) {
+        self.add(name, wall, events, 1);
+    }
+
+    /// Pulls every engine span out of a recorder's buffer.
+    pub fn absorb(&mut self, rec: &BufferRecorder) {
+        for (component, s) in rec.spans() {
+            self.add(component, s.wall, s.events, s.calls);
+        }
+    }
+
+    fn add(&mut self, name: &str, wall: Duration, events: u64, calls: u64) {
+        let s = self.sections.entry(name.to_string()).or_default();
+        s.wall += wall;
+        s.events += events;
+        s.calls += calls;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Total wall-clock across all sections.
+    pub fn total_wall(&self) -> Duration {
+        self.sections.values().map(|s| s.wall).sum()
+    }
+
+    /// Renders sections sorted by wall-clock, hottest first, with
+    /// events/sec where a section reported event counts.
+    pub fn render(&self) -> String {
+        let total = self.total_wall().as_secs_f64().max(1e-12);
+        let mut entries: Vec<(&String, &Section)> = self.sections.iter().collect();
+        entries.sort_by(|a, b| b.1.wall.cmp(&a.1.wall).then_with(|| a.0.cmp(b.0)));
+        let mut rows = vec![vec![
+            "section".to_string(),
+            "wall".to_string(),
+            "share".to_string(),
+            "calls".to_string(),
+            "events".to_string(),
+            "events/sec".to_string(),
+        ]];
+        for (name, s) in entries {
+            let secs = s.wall.as_secs_f64();
+            let rate = if s.events > 0 && secs > 0.0 {
+                format!("{:.0}", s.events as f64 / secs)
+            } else {
+                "-".to_string()
+            };
+            rows.push(vec![
+                name.clone(),
+                format!("{:.3?}", s.wall),
+                format!("{:.1}%", 100.0 * secs / total),
+                s.calls.to_string(),
+                if s.events > 0 {
+                    s.events.to_string()
+                } else {
+                    "-".to_string()
+                },
+                rate,
+            ]);
+        }
+        text_table(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn time_charges_a_section() {
+        let mut p = Profiler::new();
+        let v = p.time("stage", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(!p.is_empty());
+        assert!(p.render().contains("stage"));
+    }
+
+    #[test]
+    fn absorb_pulls_engine_spans() {
+        let mut rec = BufferRecorder::new();
+        rec.span("netsim.rate", Duration::from_millis(10), 2000);
+        let mut p = Profiler::new();
+        p.absorb(&rec);
+        let out = p.render();
+        assert!(out.contains("netsim.rate"));
+        assert!(out.contains("2000"));
+        // 2000 events over 10 ms → 200k events/sec.
+        assert!(out.contains("200000"));
+    }
+
+    #[test]
+    fn render_sorts_hottest_first() {
+        let mut p = Profiler::new();
+        p.add_span("cold", Duration::from_millis(1), 0);
+        p.add_span("hot", Duration::from_millis(100), 0);
+        let out = p.render();
+        let hot = out.find("hot").unwrap();
+        let cold = out.find("cold").unwrap();
+        assert!(hot < cold);
+    }
+}

@@ -1,0 +1,71 @@
+//! Fixed-width text table rendering, shared by metrics/profiler summaries
+//! and the experiment reports in `mlcc` (which re-exports it as
+//! `mlcc::metrics::text_table`).
+
+/// Renders rows as a fixed-width text table. The first row is treated as a
+/// header and underlined. All rows must have the same number of columns.
+pub fn text_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows[0].len();
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        assert_eq!(row.len(), cols, "text_table: ragged rows");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(cell);
+            for _ in cell.chars().count()..widths[i] + 2 {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, &w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(w));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_underlined_and_columns_align() {
+        let t = text_table(&[
+            vec!["metric".into(), "value".into()],
+            vec!["ecn_marks_total".into(), "12".into()],
+            vec!["x".into(), "3".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("metric"));
+        assert!(lines[1].starts_with("---"));
+        let h = lines[0].find("value").unwrap();
+        let v = lines[2].find("12").unwrap();
+        assert_eq!(h, v);
+    }
+
+    #[test]
+    fn empty_input_renders_empty() {
+        assert_eq!(text_table(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_panic() {
+        text_table(&[vec!["a".into(), "b".into()], vec!["c".into()]]);
+    }
+}

@@ -150,7 +150,10 @@ pub struct FatTree {
 /// # Panics
 /// Panics unless `k` is even and ≥ 2.
 pub fn fat_tree(k: usize, rate: Bandwidth, delay: Dur) -> FatTree {
-    assert!(k >= 2 && k % 2 == 0, "fat_tree: k must be even and ≥ 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat_tree: k must be even and ≥ 2"
+    );
     let half = k / 2;
     let mut t = Topology::new();
     let cores: Vec<NodeId> = (0..half * half)
@@ -223,7 +226,11 @@ mod tests {
         }
         // Reverse traffic uses the reverse direction only.
         let back = t
-            .route(FlowKey { src: d.right_hosts[0], dst: d.left_hosts[0], tag: 0 })
+            .route(FlowKey {
+                src: d.right_hosts[0],
+                dst: d.left_hosts[0],
+                tag: 0,
+            })
             .unwrap();
         assert!(back.uses(d.bottleneck_reverse));
         assert!(!back.uses(d.bottleneck));
@@ -251,12 +258,20 @@ mod tests {
         assert_eq!(t.link_count(), (6 + 12) * 2);
         // Intra-rack traffic: 2 hops, never touches a spine uplink.
         let p = t
-            .route(FlowKey { src: f.hosts[0][0], dst: f.hosts[0][1], tag: 0 })
+            .route(FlowKey {
+                src: f.hosts[0][0],
+                dst: f.hosts[0][1],
+                tag: 0,
+            })
             .unwrap();
         assert_eq!(p.len(), 2);
         // Cross-rack traffic: 4 hops, crosses some rack-0 uplink.
         let p = t
-            .route(FlowKey { src: f.hosts[0][0], dst: f.hosts[2][1], tag: 0 })
+            .route(FlowKey {
+                src: f.hosts[0][0],
+                dst: f.hosts[2][1],
+                tag: 0,
+            })
             .unwrap();
         assert_eq!(p.len(), 4);
         assert!(f.uplinks[0].iter().any(|&u| p.uses(u)));
@@ -264,7 +279,11 @@ mod tests {
         let used: std::collections::HashSet<LinkId> = (0..64)
             .map(|tag| {
                 let p = t
-                    .route(FlowKey { src: f.hosts[0][0], dst: f.hosts[2][1], tag })
+                    .route(FlowKey {
+                        src: f.hosts[0][0],
+                        dst: f.hosts[2][1],
+                        tag,
+                    })
                     .unwrap();
                 *f.uplinks[0].iter().find(|&&u| p.uses(u)).unwrap()
             })
@@ -302,7 +321,14 @@ mod tests {
         assert_eq!(t.ecmp_paths(a, d).len(), (k / 2) * (k / 2));
         // Hashed routing spreads across multiple core paths.
         let distinct: std::collections::HashSet<_> = (0..128)
-            .map(|tag| t.route(FlowKey { src: a, dst: d, tag }).unwrap())
+            .map(|tag| {
+                t.route(FlowKey {
+                    src: a,
+                    dst: d,
+                    tag,
+                })
+                .unwrap()
+            })
             .collect();
         assert!(distinct.len() >= 3, "ECMP spread {}", distinct.len());
     }

@@ -158,7 +158,14 @@ mod tests {
         let tor1 = t.add_node(NodeKind::TorSwitch, "tor1");
         let s0 = t.add_node(NodeKind::SpineSwitch, "s0");
         let s1 = t.add_node(NodeKind::SpineSwitch, "s1");
-        for (a, b) in [(h0, tor0), (tor0, s0), (tor0, s1), (s0, tor1), (s1, tor1), (tor1, h1)] {
+        for (a, b) in [
+            (h0, tor0),
+            (tor0, s0),
+            (tor0, s1),
+            (s0, tor1),
+            (s1, tor1),
+            (tor1, h1),
+        ] {
             t.add_duplex(a, b, gbps(50), Dur::from_micros(1));
         }
         (t, h0, h1)
@@ -186,7 +193,11 @@ mod tests {
     #[test]
     fn route_is_deterministic_and_spreads() {
         let (t, h0, h1) = diamond();
-        let key = |tag| FlowKey { src: h0, dst: h1, tag };
+        let key = |tag| FlowKey {
+            src: h0,
+            dst: h1,
+            tag,
+        };
         let p1 = t.route(key(0)).unwrap();
         let p2 = t.route(key(0)).unwrap();
         assert_eq!(p1, p2, "same key must pin the same path");
@@ -203,7 +214,14 @@ mod tests {
         let b = t.add_host("b", 1);
         // No links: unreachable.
         assert!(t.ecmp_paths(a, b).is_empty());
-        assert_eq!(t.route(FlowKey { src: a, dst: b, tag: 0 }), None);
+        assert_eq!(
+            t.route(FlowKey {
+                src: a,
+                dst: b,
+                tag: 0
+            }),
+            None
+        );
         assert_eq!(t.hop_distance(a, b), None);
         // Self-route: one empty path.
         let self_paths = t.ecmp_paths(a, a);
@@ -224,7 +242,13 @@ mod tests {
     #[test]
     fn path_uses() {
         let (t, h0, h1) = diamond();
-        let p = t.route(FlowKey { src: h0, dst: h1, tag: 3 }).unwrap();
+        let p = t
+            .route(FlowKey {
+                src: h0,
+                dst: h1,
+                tag: 3,
+            })
+            .unwrap();
         let first = p.links()[0];
         assert!(p.uses(first));
         // The host uplink must be the first hop for every path.

@@ -155,8 +155,7 @@ impl JobSpec {
     /// only be fully compatible if their comm fractions sum to ≤ 1 (after
     /// aligning periods on the unified circle).
     pub fn comm_fraction_at(&self, rate: Bandwidth) -> f64 {
-        self.comm_time_at(rate)
-            .ratio(self.iteration_time_at(rate))
+        self.comm_time_at(rate).ratio(self.iteration_time_at(rate))
     }
 }
 

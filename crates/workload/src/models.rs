@@ -150,8 +150,7 @@ impl Model {
         let comm = self.comm_time(rate);
         let compute_budget = target.checked_sub(comm)?;
         let per_sample = self.params().fwd_ns_per_sample;
-        let batch =
-            ((compute_budget.as_nanos() + per_sample / 2) / per_sample).max(1);
+        let batch = ((compute_budget.as_nanos() + per_sample / 2) / per_sample).max(1);
         u32::try_from(batch).ok()
     }
 }
@@ -217,8 +216,7 @@ mod tests {
     #[test]
     fn zoo_is_complete_and_distinct() {
         assert_eq!(Model::ALL.len(), 6);
-        let names: std::collections::HashSet<&str> =
-            Model::ALL.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<&str> = Model::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 6);
         for m in Model::ALL {
             let p = m.params();

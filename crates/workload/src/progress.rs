@@ -109,10 +109,7 @@ impl JobProgress {
         let base = spec.phase_plan();
         let natural: f64 = base.iter().map(|&(_, b)| b).sum();
         let scale = comm_bytes / natural;
-        let plan: Vec<(Dur, f64)> = base
-            .into_iter()
-            .map(|(d, b)| (d, b * scale))
-            .collect();
+        let plan: Vec<(Dur, f64)> = base.into_iter().map(|(d, b)| (d, b * scale)).collect();
         JobProgress {
             spec,
             phase: JobPhase::Computing {
@@ -303,7 +300,10 @@ mod tests {
             Time::ZERO + offset,
         );
         let compute = j.spec().compute_time();
-        assert_eq!(j.next_self_transition(), Some(Time::ZERO + offset + compute));
+        assert_eq!(
+            j.next_self_transition(),
+            Some(Time::ZERO + offset + compute)
+        );
         j.poll(Time::ZERO + offset + compute);
         let total = j.remaining_bytes();
         let end = Time::ZERO + offset + compute + Dur::from_millis(21);
@@ -316,8 +316,7 @@ mod tests {
     fn pipelined_job_walks_its_segments() {
         // VGG19(600) in 3 bursts with 40 ms gaps: segments are
         // (71.28 ms, B/3), (40 ms, B/3), (40 ms, B/3).
-        let spec = JobSpec::reference(crate::Model::Vgg19, 600)
-            .pipelined(3, Dur::from_millis(40));
+        let spec = JobSpec::reference(crate::Model::Vgg19, 600).pipelined(3, Dur::from_millis(40));
         let mut j = JobProgress::new(spec, Time::ZERO);
         let burst = spec.comm_bytes().as_bytes() as f64 / 3.0;
         let mut now = Time::ZERO;
@@ -334,24 +333,18 @@ mod tests {
                 let rec = rec.expect("last segment completes the iteration");
                 assert_eq!(rec.index, 0);
                 // Iteration = 71.28 + 3×10 (delivery) + 2×40 (gaps).
-                let expect = spec.compute_time()
-                    + Dur::from_millis(30)
-                    + Dur::from_millis(80);
+                let expect = spec.compute_time() + Dur::from_millis(30) + Dur::from_millis(80);
                 assert_eq!(rec.duration(), expect);
             }
         }
         assert_eq!(j.completed(), 1);
         // The second iteration starts from segment 0 again.
-        assert_eq!(
-            j.next_self_transition(),
-            Some(now + spec.compute_time())
-        );
+        assert_eq!(j.next_self_transition(), Some(now + spec.compute_time()));
     }
 
     #[test]
     fn pipelined_comm_bytes_scale_with_override() {
-        let spec = JobSpec::reference(crate::Model::Vgg19, 600)
-            .pipelined(2, Dur::from_millis(5));
+        let spec = JobSpec::reference(crate::Model::Vgg19, 600).pipelined(2, Dur::from_millis(5));
         let total = 1_000_000.0;
         let mut j = JobProgress::with_comm_bytes(spec, Time::ZERO, total);
         assert!((j.comm_bytes_per_iteration() - total).abs() < 1.0);

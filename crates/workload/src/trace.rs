@@ -98,10 +98,7 @@ pub fn burst_stats(bursts: &[Burst]) -> Option<BurstStats> {
     let mut comms: Vec<Dur> = bursts.iter().map(|b| b.len()).collect();
     comms.sort_unstable();
     let comm = comms[comms.len() / 2];
-    let mut periods: Vec<Dur> = bursts
-        .windows(2)
-        .map(|w| w[1].start - w[0].start)
-        .collect();
+    let mut periods: Vec<Dur> = bursts.windows(2).map(|w| w[1].start - w[0].start).collect();
     periods.sort_unstable();
     let period = periods[periods.len() / 2];
     Some(BurstStats { comm, period })

@@ -13,11 +13,9 @@ fn strip(p: &Profile, shift: Dur) -> String {
     let cells = 72;
     (0..cells)
         .map(|i| {
-            let offset = Dur::from_nanos(
-                (p.period().as_nanos() as u128 * i as u128 / cells as u128) as u64,
-            );
-            let pos =
-                (offset + p.period() - (shift % p.period())) % p.period();
+            let offset =
+                Dur::from_nanos((p.period().as_nanos() as u128 * i as u128 / cells as u128) as u64);
+            let pos = (offset + p.period() - (shift % p.period())) % p.period();
             if p.communicating_at(pos) {
                 '#'
             } else {
@@ -40,9 +38,7 @@ fn main() {
     println!(
         "  all {} checked iterations land on the same arcs: {}\n",
         f3.per_iteration_checks.len(),
-        f3.per_iteration_checks
-            .iter()
-            .all(|&(c, m)| !c && m)
+        f3.per_iteration_checks.iter().all(|&(c, m)| !c && m)
     );
 
     // Fig. 4: same-period pair, rotate to de-overlap.
@@ -56,10 +52,7 @@ fn main() {
     println!("  J1 unrotated: {}", strip(&a, Dur::ZERO));
     println!("  J2 unrotated: {}", strip(&b, Dur::ZERO));
     let rot = f4.verdict.rotations().expect("fig4 pair is compatible")[1];
-    println!(
-        "  J2 rotated {:.0}° ({}):",
-        rot.degrees, rot.shift
-    );
+    println!("  J2 rotated {:.0}° ({}):", rot.degrees, rot.shift);
     println!("  J2 rotated:   {}\n", strip(&b, rot.shift));
 
     // Fig. 5: unified circle for 40 ms and 60 ms jobs.

@@ -62,8 +62,12 @@ fn main() {
         assert!(sim.run_until_iterations(20, Dur::from_secs(120)));
         (0..2)
             .map(|i| {
-                let times: Vec<_> =
-                    sim.progress(i).iteration_times().into_iter().skip(4).collect();
+                let times: Vec<_> = sim
+                    .progress(i)
+                    .iteration_times()
+                    .into_iter()
+                    .skip(4)
+                    .collect();
                 Cdf::from_samples(times).median().as_millis_f64()
             })
             .collect()
@@ -75,7 +79,10 @@ fn main() {
         },
         CcVariant::Fair,
     ]);
-    println!("\n{:<12} {:>12} {:>12} {:>9}", "job", "fair", "unfair", "speedup");
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>9}",
+        "job", "fair", "unfair", "speedup"
+    );
     for i in 0..2 {
         println!(
             "{:<12} {:>9.0} ms {:>9.0} ms {:>8.2}×",

@@ -1,7 +1,8 @@
 //! `mlcc-repro` — command-line driver for every reproduction experiment.
 //!
 //! ```text
-//! mlcc-repro <command> [--iterations N] [--csv DIR]
+//! mlcc-repro <command> [--iterations N] [--csv DIR] [--trace FILE]
+//!                      [--metrics] [--profile]
 //!
 //! commands:
 //!   fig1       Fig. 1: bandwidth shares + iteration-time CDFs
@@ -18,47 +19,112 @@
 //!
 //! `--csv DIR` additionally writes the raw data series (traces, CDFs,
 //! tables) as CSV files for plotting.
+//!
+//! `--trace FILE` records the run's telemetry events (ECN marks, CNPs,
+//! rate changes, phase transitions, solver passes) to `FILE`: a `.jsonl`
+//! extension selects line-delimited JSON, anything else a Chrome trace
+//! viewable in Perfetto / `chrome://tracing`. `--metrics` prints the
+//! aggregated metrics table; `--profile` prints the per-engine wall-clock
+//! breakdown. All three imply event recording.
 
 use mlcc::experiments as exp;
 use mlcc::export;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use telemetry::{BufferRecorder, Profiler};
 
 struct Opts {
     iterations: Option<usize>,
     csv: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    metrics: bool,
+    profile: bool,
+}
+
+impl Opts {
+    /// A recorder when any observability flag asked for one.
+    fn recorder(&self) -> Option<BufferRecorder> {
+        (self.trace.is_some() || self.metrics || self.profile).then(BufferRecorder::new)
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         iterations: None,
         csv: None,
+        trace: None,
+        metrics: false,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--iterations" => {
                 let v = it.next().ok_or("--iterations needs a value")?;
-                opts.iterations =
-                    Some(v.parse().map_err(|_| format!("bad iteration count {v}"))?);
+                opts.iterations = Some(v.parse().map_err(|_| format!("bad iteration count {v}"))?);
             }
             "--csv" => {
                 let v = it.next().ok_or("--csv needs a directory")?;
                 opts.csv = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file path")?;
+                opts.trace = Some(PathBuf::from(v));
+            }
+            "--metrics" => opts.metrics = true,
+            "--profile" => opts.profile = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
     Ok(opts)
 }
 
-fn run_fig1(o: &Opts) {
+/// Writes the trace file and prints the metrics / profiler reports the
+/// flags asked for. Returns an error message on I/O failure.
+fn report(opts: &Opts, rec: &BufferRecorder) -> Result<(), String> {
+    if let Some(path) = &opts.trace {
+        let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+        let content = if jsonl {
+            telemetry::export::jsonl(rec.events())
+        } else {
+            telemetry::export::chrome_trace(rec.events())
+        };
+        std::fs::write(path, content)
+            .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+        println!(
+            "wrote {} ({} events, {})",
+            path.display(),
+            rec.len(),
+            if jsonl {
+                "JSONL"
+            } else {
+                "Chrome trace — open in Perfetto or chrome://tracing"
+            }
+        );
+    }
+    if opts.metrics {
+        println!("== metrics ==");
+        println!("{}", rec.metrics().render());
+    }
+    if opts.profile {
+        let mut prof = Profiler::new();
+        prof.absorb(rec);
+        println!("== profile ==");
+        println!("{}", prof.render());
+    }
+    Ok(())
+}
+
+fn run_fig1(o: &Opts, rec: Option<&mut BufferRecorder>) {
     let cfg = exp::fig1::Fig1Config {
         iterations: o.iterations.unwrap_or(100),
         ..Default::default()
     };
     println!("== Fig. 1 ({} iterations) ==", cfg.iterations);
-    let r = exp::fig1::run(&cfg);
+    let r = match rec {
+        Some(rec) => exp::fig1::run_traced(&cfg, rec),
+        None => exp::fig1::run(&cfg),
+    };
     println!("{}", r.render());
     if let Some(dir) = &o.csv {
         for (name, sc) in [("fair", &r.fair), ("unfair", &r.unfair)] {
@@ -74,10 +140,7 @@ fn run_fig1(o: &Opts) {
             let p = export::write_csv(
                 dir,
                 &format!("fig1bc_{name}_rates.csv"),
-                &export::multi_series_csv(
-                    &[&sc.traces[0], &sc.traces[1]],
-                    &["j1_gbps", "j2_gbps"],
-                ),
+                &export::multi_series_csv(&[&sc.traces[0], &sc.traces[1]], &["j1_gbps", "j2_gbps"]),
             )
             .expect("write CSV");
             println!("wrote {}", p.display());
@@ -85,23 +148,23 @@ fn run_fig1(o: &Opts) {
     }
 }
 
-fn run_fig2(o: &Opts) {
+fn run_fig2(o: &Opts, rec: Option<&mut BufferRecorder>) {
     let cfg = exp::fig2::Fig2Config {
         iterations: o.iterations.unwrap_or(6),
         ..Default::default()
     };
     println!("== Fig. 2 ({} iterations) ==", cfg.iterations);
-    let r = exp::fig2::run(&cfg);
+    let r = match rec {
+        Some(rec) => exp::fig2::run_traced(&cfg, rec),
+        None => exp::fig2::run(&cfg),
+    };
     println!("{}", r.render());
     if let Some(dir) = &o.csv {
         for (name, sc) in [("fair", &r.fair), ("unfair", &r.unfair)] {
             let p = export::write_csv(
                 dir,
                 &format!("fig2_{name}_rates.csv"),
-                &export::multi_series_csv(
-                    &[&sc.traces[0], &sc.traces[1]],
-                    &["j1_gbps", "j2_gbps"],
-                ),
+                &export::multi_series_csv(&[&sc.traces[0], &sc.traces[1]], &["j1_gbps", "j2_gbps"]),
             )
             .expect("write CSV");
             println!("wrote {}", p.display());
@@ -109,13 +172,16 @@ fn run_fig2(o: &Opts) {
     }
 }
 
-fn run_table1(o: &Opts) {
+fn run_table1(o: &Opts, rec: Option<&mut BufferRecorder>) {
     let cfg = exp::table1::Table1Config {
         iterations: o.iterations.unwrap_or(30),
         ..Default::default()
     };
     println!("== Table 1 ({} iterations per scenario) ==", cfg.iterations);
-    let r = exp::table1::run(&cfg);
+    let r = match rec {
+        Some(rec) => exp::table1::run_traced(&cfg, rec),
+        None => exp::table1::run(&cfg),
+    };
     println!("{}", r.render());
     if let Some(dir) = &o.csv {
         let mut rows = vec![vec![
@@ -136,8 +202,7 @@ fn run_table1(o: &Opts) {
                 ]);
             }
         }
-        let p = export::write_csv(dir, "table1.csv", &export::rows_csv(&rows))
-            .expect("write CSV");
+        let p = export::write_csv(dir, "table1.csv", &export::rows_csv(&rows)).expect("write CSV");
         println!("wrote {}", p.display());
     }
 }
@@ -155,7 +220,11 @@ fn run_geometry(_o: &Opts) {
     println!(
         "Fig. 4: {} ms overlap at rotation zero; solver: {}",
         f4.overlap_at_zero_ms,
-        if f4.verdict.is_compatible() { "compatible" } else { "incompatible" }
+        if f4.verdict.is_compatible() {
+            "compatible"
+        } else {
+            "incompatible"
+        }
     );
     let f5 = exp::geometry_demo::fig5();
     println!(
@@ -166,60 +235,75 @@ fn run_geometry(_o: &Opts) {
     );
 }
 
-fn run_adaptive(o: &Opts) {
+fn run_adaptive(o: &Opts, rec: Option<&mut BufferRecorder>) {
     let cfg = exp::adaptive::AdaptiveConfig {
         iterations: o.iterations.unwrap_or(24),
         ..Default::default()
     };
     println!("== §4.i adaptive unfairness ==");
-    let r = exp::adaptive::run(&cfg);
+    let r = match rec {
+        Some(rec) => exp::adaptive::run_traced(&cfg, rec),
+        None => exp::adaptive::run(&cfg),
+    };
     println!("{}", r.render());
 }
 
-fn run_priority(o: &Opts) {
+fn run_priority(o: &Opts, rec: Option<&mut BufferRecorder>) {
     let cfg = exp::priority::PriorityConfig {
         iterations: o.iterations.unwrap_or(20),
         ..Default::default()
     };
     println!("== §4.ii priority queues ==");
-    let r = exp::priority::run(&cfg);
+    let r = match rec {
+        Some(rec) => exp::priority::run_traced(&cfg, rec),
+        None => exp::priority::run(&cfg),
+    };
     println!("{}", r.render());
 }
 
-fn run_flowsched(o: &Opts) {
+fn run_flowsched(o: &Opts, rec: Option<&mut BufferRecorder>) {
     let cfg = exp::flowsched::FlowschedConfig {
         iterations: o.iterations.unwrap_or(20),
         ..Default::default()
     };
     println!("== §4.iii flow scheduling ==");
-    let r = exp::flowsched::run(&cfg);
+    let r = match rec {
+        Some(rec) => exp::flowsched::run_traced(&cfg, rec),
+        None => exp::flowsched::run(&cfg),
+    };
     println!("{}", r.render());
 }
 
-fn run_pipelining(o: &Opts) {
+fn run_pipelining(o: &Opts, rec: Option<&mut BufferRecorder>) {
     let cfg = exp::pipelining::PipeliningConfig {
         iterations: o.iterations.unwrap_or(16),
         ..Default::default()
     };
     println!("== pipelining extension ==");
-    let r = exp::pipelining::run(&cfg);
+    let r = match rec {
+        Some(rec) => exp::pipelining::run_traced(&cfg, rec),
+        None => exp::pipelining::run(&cfg),
+    };
     println!("{}", r.render());
 }
 
-fn run_cluster(o: &Opts) {
+fn run_cluster(o: &Opts, rec: Option<&mut BufferRecorder>) {
     let cfg = exp::cluster::ClusterConfig {
         iterations: o.iterations.unwrap_or(16),
         ..Default::default()
     };
     println!("== §5 cluster placement ==");
-    let r = exp::cluster::run(&cfg);
+    let r = match rec {
+        Some(rec) => exp::cluster::try_run_traced(&cfg, rec).unwrap_or_else(|e| panic!("{e}")),
+        None => exp::cluster::run(&cfg),
+    };
     println!("{}", r.render());
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mlcc-repro <fig1|fig2|table1|geometry|adaptive|priority|flowsched|cluster|\
-         pipelining|all> [--iterations N] [--csv DIR]"
+         pipelining|all> [--iterations N] [--csv DIR] [--trace FILE] [--metrics] [--profile]"
     );
     ExitCode::FAILURE
 }
@@ -236,28 +320,35 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    let mut rec = opts.recorder();
     match cmd.as_str() {
-        "fig1" => run_fig1(&opts),
-        "fig2" => run_fig2(&opts),
-        "table1" => run_table1(&opts),
+        "fig1" => run_fig1(&opts, rec.as_mut()),
+        "fig2" => run_fig2(&opts, rec.as_mut()),
+        "table1" => run_table1(&opts, rec.as_mut()),
         "geometry" => run_geometry(&opts),
-        "adaptive" => run_adaptive(&opts),
-        "priority" => run_priority(&opts),
-        "flowsched" => run_flowsched(&opts),
-        "cluster" => run_cluster(&opts),
-        "pipelining" => run_pipelining(&opts),
+        "adaptive" => run_adaptive(&opts, rec.as_mut()),
+        "priority" => run_priority(&opts, rec.as_mut()),
+        "flowsched" => run_flowsched(&opts, rec.as_mut()),
+        "cluster" => run_cluster(&opts, rec.as_mut()),
+        "pipelining" => run_pipelining(&opts, rec.as_mut()),
         "all" => {
-            run_fig1(&opts);
-            run_fig2(&opts);
-            run_table1(&opts);
+            run_fig1(&opts, rec.as_mut());
+            run_fig2(&opts, rec.as_mut());
+            run_table1(&opts, rec.as_mut());
             run_geometry(&opts);
-            run_adaptive(&opts);
-            run_priority(&opts);
-            run_flowsched(&opts);
-            run_cluster(&opts);
-            run_pipelining(&opts);
+            run_adaptive(&opts, rec.as_mut());
+            run_priority(&opts, rec.as_mut());
+            run_flowsched(&opts, rec.as_mut());
+            run_cluster(&opts, rec.as_mut());
+            run_pipelining(&opts, rec.as_mut());
         }
         _ => return usage(),
+    }
+    if let Some(rec) = &rec {
+        if let Err(e) = report(&opts, rec) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this environment, and the only workspace
+//! reference to serde is `simtime`'s optional `serde` feature, which no crate
+//! enables. This stub exists purely so dependency resolution succeeds. The
+//! `derive` feature is accepted but provides no macros; enabling `simtime`'s
+//! `serde` feature therefore will not compile until a real serde is restored.
+
+/// Marker trait mirroring `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}

@@ -44,8 +44,10 @@ proptest! {
         } else {
             CcVariant::Fair
         };
-        let mut cfg = RateSimConfig::default();
-        cfg.trace_interval = Some(Dur::from_millis(1));
+        let cfg = RateSimConfig {
+            trace_interval: Some(Dur::from_millis(1)),
+            ..RateSimConfig::default()
+        };
         let jobs = [RateJob::new(a, variant), RateJob::new(b, CcVariant::Fair)];
         let mut sim = RateSimulator::new(cfg, &jobs);
         let per = a.iteration_time_at(LINE).max(b.iteration_time_at(LINE));

@@ -38,14 +38,21 @@ fn fluid_pair(spec: JobSpec, policy: SharingPolicy, iters: usize) -> Vec<f64> {
     };
     let mut sim = FluidSimulator::new(t, cfg, &jobs);
     assert!(sim.run_until_iterations(iters, Dur::from_secs(30)));
-    (0..2).map(|i| median_ms(sim.progress(i), iters / 3)).collect()
+    (0..2)
+        .map(|i| median_ms(sim.progress(i), iters / 3))
+        .collect()
 }
 
 fn rate_pair(spec: JobSpec, variants: [CcVariant; 2], iters: usize) -> Vec<f64> {
-    let jobs = [RateJob::new(spec, variants[0]), RateJob::new(spec, variants[1])];
+    let jobs = [
+        RateJob::new(spec, variants[0]),
+        RateJob::new(spec, variants[1]),
+    ];
     let mut sim = RateSimulator::new(RateSimConfig::default(), &jobs);
     assert!(sim.run_until_iterations(iters, Dur::from_secs(30)));
-    (0..2).map(|i| median_ms(sim.progress(i), iters / 3)).collect()
+    (0..2)
+        .map(|i| median_ms(sim.progress(i), iters / 3))
+        .collect()
 }
 
 /// Two identical synchronized jobs under fair sharing: both engines lock
@@ -132,7 +139,10 @@ fn solo_pace_agrees_across_engines() {
         assert!(rate.run_until_iterations(4, Dur::from_secs(30)));
         let r = median_ms(rate.progress(0), 1);
 
-        assert!((f - solo).abs() < 0.5, "{model:?} fluid {f:.2} vs {solo:.2}");
+        assert!(
+            (f - solo).abs() < 0.5,
+            "{model:?} fluid {f:.2} vs {solo:.2}"
+        );
         assert!(
             (r - solo).abs() < solo * 0.02,
             "{model:?} rate {r:.2} vs {solo:.2}"

@@ -79,7 +79,11 @@ fn dlrm_pair_long_run() {
     ]);
     // Paper: 1301/1300 ms fair → 1001/1019 ms unfair.
     for k in 0..2 {
-        assert!((fair[k] - 1300.0).abs() < 15.0, "fair[{k}] = {:.1}", fair[k]);
+        assert!(
+            (fair[k] - 1300.0).abs() < 15.0,
+            "fair[{k}] = {:.1}",
+            fair[k]
+        );
         assert!(
             (unfair[k] - 1000.0).abs() < 15.0,
             "unfair[{k}] = {:.1}",

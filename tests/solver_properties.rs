@@ -12,9 +12,8 @@ fn ms(v: u64) -> Dur {
 
 /// Strategy: a random single-arc profile with period ≤ 200 ms.
 fn profile_strategy() -> impl Strategy<Value = Profile> {
-    (10u64..150, 5u64..100).prop_map(|(compute, comm)| {
-        Profile::compute_then_comm(ms(compute), ms(comm))
-    })
+    (10u64..150, 5u64..100)
+        .prop_map(|(compute, comm)| Profile::compute_then_comm(ms(compute), ms(comm)))
 }
 
 proptest! {
@@ -109,8 +108,7 @@ proptest! {
         b in profile_strategy(),
     ) {
         let ex = solve(&[a.clone(), b.clone()], &SolverConfig::default()).unwrap();
-        let mut cap_cfg = SolverConfig::default();
-        cap_cfg.mode = SolveMode::Capacity;
+        let cap_cfg = SolverConfig { mode: SolveMode::Capacity, ..SolverConfig::default() };
         let cap = solve(&[a, b], &cap_cfg).unwrap();
         prop_assert_eq!(ex.is_compatible(), cap.is_compatible());
     }
