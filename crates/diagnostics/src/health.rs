@@ -1,0 +1,308 @@
+//! DCQCN health analyzer: convergence vs. oscillation, congestion-signal
+//! rates, reaction-point stage residency, and queue pathology.
+//!
+//! Convergence is judged on windowed rate statistics: the flow's rate
+//! samples are split into equal time windows and each window's coefficient
+//! of variation (CV = stddev/mean) is computed. A converged flow's CV
+//! shrinks toward ~0 in late windows; a persistently high late-window CV is
+//! oscillation — the DCQCN failure mode the paper's Fig. 2 demonstrates
+//! (rate cuts every CNP interval that never settle).
+
+use crate::events::ScenarioTracks;
+use simtime::{Dur, Time};
+use std::collections::BTreeMap;
+
+/// Analyzer knobs with sensible defaults for millisecond-scale runs.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Number of equal time windows for rate-variance analysis.
+    pub windows: usize,
+    /// A window with CV below this counts as steady.
+    pub cv_steady: f64,
+    /// A late window with CV above this counts as oscillating.
+    pub cv_oscillating: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            windows: 8,
+            cv_steady: 0.05,
+            cv_oscillating: 0.25,
+        }
+    }
+}
+
+/// Convergence verdict for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Convergence {
+    /// Late-window rate variation fell below the steady threshold.
+    Converged,
+    /// Late-window variation stayed above the oscillation threshold.
+    Oscillating,
+    /// In between, or too few samples to say.
+    Indeterminate,
+}
+
+impl Convergence {
+    pub fn label(self) -> &'static str {
+        match self {
+            Convergence::Converged => "converged",
+            Convergence::Oscillating => "oscillating",
+            Convergence::Indeterminate => "indeterminate",
+        }
+    }
+}
+
+/// Health report for one flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowHealth {
+    pub flow: u32,
+    /// Mean of all rate samples, Gbps.
+    pub mean_rate_gbps: f64,
+    /// Coefficient of variation per window (empty windows are skipped).
+    pub window_cv: Vec<f64>,
+    /// CV of the last non-empty window; `f64::NAN`-free: 0 when unsampled.
+    pub final_cv: f64,
+    pub verdict: Convergence,
+    /// ECN marks per second of scenario span.
+    pub ecn_marks_per_sec: f64,
+    /// CNPs received per second of scenario span.
+    pub cnps_per_sec: f64,
+    /// Fraction of rate-change samples per RP stage label
+    /// (`cut`, `fast_recovery`, `additive_increase`, …).
+    pub stage_fractions: BTreeMap<&'static str, f64>,
+}
+
+/// Queue-occupancy verdict for one link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueHealth {
+    pub link: u32,
+    pub max_bytes: f64,
+    pub mean_bytes: f64,
+    /// Mean of the final quarter of samples.
+    pub final_mean_bytes: f64,
+    /// A standing queue persisted: the final-quarter mean exceeded half
+    /// the observed maximum (the queue built up and never drained).
+    pub standing_queue: bool,
+}
+
+/// The analyzer's verdict over one scenario.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthReport {
+    pub flows: Vec<FlowHealth>,
+    pub queues: Vec<QueueHealth>,
+}
+
+impl HealthReport {
+    /// True when every sampled flow converged and no queue stood.
+    pub fn is_healthy(&self) -> bool {
+        self.flows
+            .iter()
+            .all(|f| f.verdict != Convergence::Oscillating)
+            && self.queues.iter().all(|q| !q.standing_queue)
+    }
+}
+
+/// Runs the health analysis over one scenario's tracks.
+pub fn analyze(tracks: &ScenarioTracks, cfg: &HealthConfig) -> HealthReport {
+    let span = tracks.span();
+    let span_secs = span.as_secs_f64();
+    let mut flows = Vec::new();
+    for (flow, track) in &tracks.jobs {
+        if track.rates.is_empty() && track.cnps == 0 && track.ecn_marks == 0 {
+            continue;
+        }
+        let window_cv = windowed_cv(&track.rates, tracks.start, span, cfg.windows);
+        let final_cv = window_cv.last().copied().unwrap_or(0.0);
+        let verdict = if window_cv.is_empty() {
+            Convergence::Indeterminate
+        } else if final_cv <= cfg.cv_steady {
+            Convergence::Converged
+        } else if final_cv >= cfg.cv_oscillating {
+            Convergence::Oscillating
+        } else {
+            Convergence::Indeterminate
+        };
+        let n = track.rates.len() as f64;
+        let mean_rate_gbps = if track.rates.is_empty() {
+            0.0
+        } else {
+            track.rates.iter().map(|&(_, bps)| bps).sum::<f64>() / n / 1e9
+        };
+        let samples: u64 = track.cc_states.values().sum();
+        let stage_fractions = track
+            .cc_states
+            .iter()
+            .map(|(&k, &v)| (k, v as f64 / samples.max(1) as f64))
+            .collect();
+        flows.push(FlowHealth {
+            flow: *flow,
+            mean_rate_gbps,
+            window_cv,
+            final_cv,
+            verdict,
+            ecn_marks_per_sec: per_sec(track.ecn_marks, span_secs),
+            cnps_per_sec: per_sec(track.cnps, span_secs),
+            stage_fractions,
+        });
+    }
+
+    let queues = tracks
+        .queues
+        .iter()
+        .filter(|(_, samples)| !samples.is_empty())
+        .map(|(&link, samples)| queue_health(link, samples))
+        .collect();
+
+    HealthReport { flows, queues }
+}
+
+fn per_sec(count: u64, span_secs: f64) -> f64 {
+    if span_secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / span_secs
+    }
+}
+
+/// CV (stddev/mean) of the rate samples in each of `n` equal windows over
+/// `[start, start+span)`. Windows without samples are skipped.
+fn windowed_cv(rates: &[(Time, f64)], start: Time, span: Dur, n: usize) -> Vec<f64> {
+    if rates.is_empty() || span.is_zero() || n == 0 {
+        return Vec::new();
+    }
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for &(at, bps) in rates {
+        let frac = at.saturating_since(start).ratio(span);
+        let idx = ((frac * n as f64) as usize).min(n - 1);
+        buckets[idx].push(bps);
+    }
+    buckets
+        .iter()
+        .filter(|b| !b.is_empty())
+        .map(|b| {
+            let mean = b.iter().sum::<f64>() / b.len() as f64;
+            if mean <= 0.0 {
+                return 0.0;
+            }
+            let var = b.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / b.len() as f64;
+            var.sqrt() / mean
+        })
+        .collect()
+}
+
+fn queue_health(link: u32, samples: &[(Time, f64)]) -> QueueHealth {
+    let n = samples.len();
+    let max_bytes = samples.iter().map(|&(_, b)| b).fold(0.0, f64::max);
+    let mean_bytes = samples.iter().map(|&(_, b)| b).sum::<f64>() / n as f64;
+    let tail = &samples[n - (n / 4).max(1)..];
+    let final_mean_bytes = tail.iter().map(|&(_, b)| b).sum::<f64>() / tail.len() as f64;
+    QueueHealth {
+        link,
+        max_bytes,
+        mean_bytes,
+        final_mean_bytes,
+        standing_queue: max_bytes > 0.0 && final_mean_bytes > 0.5 * max_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::JobTrack;
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    fn tracks_with_rates(rates: Vec<(Time, f64)>, end: u64) -> ScenarioTracks {
+        let mut tr = ScenarioTracks {
+            start: Time::ZERO,
+            end: t(end),
+            ..ScenarioTracks::default()
+        };
+        tr.jobs.insert(
+            0,
+            JobTrack {
+                rates,
+                ..JobTrack::default()
+            },
+        );
+        tr
+    }
+
+    #[test]
+    fn settling_rate_converges() {
+        // Noisy early, flat late.
+        let mut rates = Vec::new();
+        for i in 0..50u64 {
+            let bps = if i < 25 {
+                10e9 + (i % 5) as f64 * 4e9
+            } else {
+                20e9
+            };
+            rates.push((t(i * 100), bps));
+        }
+        let r = analyze(&tracks_with_rates(rates, 5_000), &HealthConfig::default());
+        assert_eq!(r.flows[0].verdict, Convergence::Converged);
+        assert!(r.is_healthy());
+    }
+
+    #[test]
+    fn sawtooth_rate_oscillates() {
+        // Alternating hard cuts and recoveries to the very end.
+        let rates = (0..64u64)
+            .map(|i| (t(i * 100), if i % 2 == 0 { 40e9 } else { 10e9 }))
+            .collect();
+        let r = analyze(&tracks_with_rates(rates, 6_400), &HealthConfig::default());
+        assert_eq!(r.flows[0].verdict, Convergence::Oscillating);
+        assert!(!r.is_healthy());
+    }
+
+    #[test]
+    fn signal_rates_are_per_second_of_span() {
+        let mut tr = tracks_with_rates(vec![(t(0), 1e9)], 2_000_000_000);
+        let track = tr.jobs.get_mut(&0).unwrap();
+        track.ecn_marks = 10;
+        track.cnps = 4;
+        let r = analyze(&tr, &HealthConfig::default());
+        assert!((r.flows[0].ecn_marks_per_sec - 5.0).abs() < 1e-12);
+        assert!((r.flows[0].cnps_per_sec - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standing_queue_is_flagged() {
+        let mut tr = ScenarioTracks {
+            start: Time::ZERO,
+            end: t(1_000),
+            ..ScenarioTracks::default()
+        };
+        // Ramp up and stay up.
+        tr.queues
+            .insert(0, (0..20).map(|i| (t(i * 50), (i * 1000) as f64)).collect());
+        let r = analyze(&tr, &HealthConfig::default());
+        assert!(r.queues[0].standing_queue);
+        // Spike then drain back to zero.
+        tr.queues.insert(
+            0,
+            (0..20)
+                .map(|i| (t(i * 50), if i < 4 { 20_000.0 } else { 0.0 }))
+                .collect(),
+        );
+        let r = analyze(&tr, &HealthConfig::default());
+        assert!(!r.queues[0].standing_queue);
+    }
+
+    #[test]
+    fn stage_fractions_sum_to_one() {
+        let mut tr = tracks_with_rates(vec![(t(0), 1e9)], 1_000);
+        let track = tr.jobs.get_mut(&0).unwrap();
+        track.cc_states.insert("cut", 3);
+        track.cc_states.insert("fast_recovery", 1);
+        let r = analyze(&tr, &HealthConfig::default());
+        let sum: f64 = r.flows[0].stage_fractions.values().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((r.flows[0].stage_fractions["cut"] - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,290 @@
+//! Interleaving auditor: did communication phases actually take turns?
+//!
+//! Reconstructs per-link communication-arc occupancy from the jobs' phase
+//! intervals and measures how much of the busy time was double-booked.
+//! The paper's thesis is that compatible jobs can interleave perfectly —
+//! overlap fraction near 0 — while incompatible or unmanaged jobs collide;
+//! this module turns a trace into that number, and (when the `geometry`
+//! solver's prediction is supplied) reports the gap between promised and
+//! measured interleaving.
+
+use crate::events::{Interval, ScenarioTracks};
+use simtime::Dur;
+use std::collections::BTreeMap;
+
+/// Occupancy audit of one link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkAudit {
+    pub link: u32,
+    /// Jobs whose traffic traverses this link.
+    pub jobs: Vec<u32>,
+    /// Time at least one job was communicating on the link.
+    pub busy: Dur,
+    /// Time two or more jobs were communicating simultaneously.
+    pub contended: Dur,
+    /// `contended / busy` ∈ [0, 1]; 0 when never busy.
+    pub overlap_fraction: f64,
+    /// Per-job exclusive share: fraction of the job's own communication
+    /// time during which it had the link to itself.
+    pub exclusive_share: BTreeMap<u32, f64>,
+}
+
+/// The auditor's verdict over every link of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterleaveReport {
+    pub links: Vec<LinkAudit>,
+    /// Busy-time-weighted mean overlap fraction across links.
+    pub overlap_fraction: f64,
+    /// The `geometry` solver's predicted overlap for this job set, when
+    /// the caller has one (e.g. from [`geometry::overlap_fraction_of`]).
+    pub predicted_overlap: Option<f64>,
+}
+
+impl InterleaveReport {
+    /// Measured minus predicted overlap; `None` without a prediction.
+    /// Positive means the run interleaved worse than the solver promised.
+    pub fn prediction_gap(&self) -> Option<f64> {
+        self.predicted_overlap.map(|p| self.overlap_fraction - p)
+    }
+}
+
+/// Audits per-link occupancy for one scenario's tracks.
+///
+/// Jobs that never announced a path (`JobPath` absent) are attributed to
+/// link 0, the single-bottleneck default, so traces from engines predating
+/// the event still audit correctly.
+pub fn audit(tracks: &ScenarioTracks, predicted_overlap: Option<f64>) -> InterleaveReport {
+    // Link → members (job, comm intervals).
+    let mut by_link: BTreeMap<u32, Vec<(u32, &[Interval])>> = BTreeMap::new();
+    for (job, track) in &tracks.jobs {
+        if track.comm.is_empty() {
+            continue;
+        }
+        let links: &[u32] = if track.links.is_empty() {
+            &[0]
+        } else {
+            &track.links
+        };
+        for &link in links {
+            by_link
+                .entry(link)
+                .or_default()
+                .push((*job, track.comm.as_slice()));
+        }
+    }
+
+    let mut links = Vec::with_capacity(by_link.len());
+    let mut busy_sum = Dur::ZERO;
+    let mut contended_sum = Dur::ZERO;
+    for (link, members) in by_link {
+        let audit = audit_link(link, &members);
+        busy_sum += audit.busy;
+        contended_sum += audit.contended;
+        links.push(audit);
+    }
+    let overlap_fraction = if busy_sum.is_zero() {
+        0.0
+    } else {
+        contended_sum.ratio(busy_sum)
+    };
+    InterleaveReport {
+        links,
+        overlap_fraction,
+        predicted_overlap,
+    }
+}
+
+/// Sweep-line occupancy audit of one link's members.
+fn audit_link(link: u32, members: &[(u32, &[Interval])]) -> LinkAudit {
+    // Edge list: (time_ns, +1/-1, job). Exits sort before entries at the
+    // same instant so touching intervals don't count as overlap.
+    let mut edges: Vec<(u64, i32, u32)> = Vec::new();
+    for (job, intervals) in members {
+        for iv in *intervals {
+            if iv.is_empty() {
+                continue;
+            }
+            edges.push((iv.start.as_nanos(), 1, *job));
+            edges.push((iv.end.as_nanos(), -1, *job));
+        }
+    }
+    edges.sort_by_key(|&(t, delta, _)| (t, delta));
+
+    let mut active = 0i32;
+    let mut last_t = 0u64;
+    let mut busy_ns = 0u64;
+    let mut contended_ns = 0u64;
+    // Exclusive time per job: accumulated while exactly that job is active.
+    let mut sole_job: Option<u32> = None;
+    let mut exclusive_ns: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut total_ns: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut active_jobs: BTreeMap<u32, u32> = BTreeMap::new();
+
+    for (t, delta, job) in edges {
+        let span = t - last_t;
+        if span > 0 {
+            if active >= 1 {
+                busy_ns += span;
+            }
+            if active >= 2 {
+                contended_ns += span;
+            }
+            if let Some(j) = sole_job {
+                *exclusive_ns.entry(j).or_insert(0) += span;
+            }
+            for &j in active_jobs.keys() {
+                *total_ns.entry(j).or_insert(0) += span;
+            }
+        }
+        last_t = t;
+        active += delta;
+        if delta > 0 {
+            *active_jobs.entry(job).or_insert(0) += 1;
+        } else if let Some(n) = active_jobs.get_mut(&job) {
+            *n -= 1;
+            if *n == 0 {
+                active_jobs.remove(&job);
+            }
+        }
+        sole_job = if active_jobs.len() == 1 {
+            active_jobs.keys().next().copied()
+        } else {
+            None
+        };
+    }
+
+    let exclusive_share = members
+        .iter()
+        .map(|(job, _)| {
+            let total = *total_ns.get(job).unwrap_or(&0);
+            let excl = *exclusive_ns.get(job).unwrap_or(&0);
+            let share = if total == 0 {
+                0.0
+            } else {
+                excl as f64 / total as f64
+            };
+            (*job, share)
+        })
+        .collect();
+
+    LinkAudit {
+        link,
+        jobs: members.iter().map(|(j, _)| *j).collect(),
+        busy: Dur::from_nanos(busy_ns),
+        contended: Dur::from_nanos(contended_ns),
+        overlap_fraction: if busy_ns == 0 {
+            0.0
+        } else {
+            contended_ns as f64 / busy_ns as f64
+        },
+        exclusive_share,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::JobTrack;
+    use simtime::Time;
+
+    fn iv(start: u64, end: u64) -> Interval {
+        Interval {
+            start: Time::from_nanos(start),
+            end: Time::from_nanos(end),
+        }
+    }
+
+    fn tracks(jobs: Vec<(u32, Vec<Interval>, Vec<u32>)>) -> ScenarioTracks {
+        let mut t = ScenarioTracks::default();
+        for (job, comm, links) in jobs {
+            t.jobs.insert(
+                job,
+                JobTrack {
+                    comm,
+                    links,
+                    ..JobTrack::default()
+                },
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn disjoint_arcs_have_zero_overlap_and_full_exclusivity() {
+        let t = tracks(vec![
+            (0, vec![iv(0, 100), iv(200, 300)], vec![0]),
+            (1, vec![iv(100, 200), iv(300, 400)], vec![0]),
+        ]);
+        let r = audit(&t, None);
+        assert_eq!(r.overlap_fraction, 0.0);
+        let link = &r.links[0];
+        assert_eq!(link.busy, Dur::from_nanos(400));
+        assert_eq!(link.contended, Dur::ZERO);
+        assert_eq!(link.exclusive_share[&0], 1.0);
+        assert_eq!(link.exclusive_share[&1], 1.0);
+    }
+
+    #[test]
+    fn identical_arcs_fully_overlap() {
+        let t = tracks(vec![
+            (0, vec![iv(0, 100)], vec![0]),
+            (1, vec![iv(0, 100)], vec![0]),
+        ]);
+        let r = audit(&t, None);
+        assert_eq!(r.overlap_fraction, 1.0);
+        assert_eq!(r.links[0].exclusive_share[&0], 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_measures_the_shared_span() {
+        // Job 0 busy [0,100), job 1 busy [50,150): union 150, shared 50.
+        let t = tracks(vec![
+            (0, vec![iv(0, 100)], vec![0]),
+            (1, vec![iv(50, 150)], vec![0]),
+        ]);
+        let r = audit(&t, None);
+        let link = &r.links[0];
+        assert_eq!(link.busy, Dur::from_nanos(150));
+        assert_eq!(link.contended, Dur::from_nanos(50));
+        assert!((r.overlap_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!((link.exclusive_share[&0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jobs_without_paths_default_to_link_zero() {
+        let t = tracks(vec![
+            (0, vec![iv(0, 10)], vec![]),
+            (1, vec![iv(0, 10)], vec![]),
+        ]);
+        let r = audit(&t, None);
+        assert_eq!(r.links.len(), 1);
+        assert_eq!(r.links[0].link, 0);
+        assert_eq!(r.overlap_fraction, 1.0);
+    }
+
+    #[test]
+    fn multi_link_jobs_are_audited_per_link() {
+        // Jobs share link 1 but keep links 0 and 2 private.
+        let t = tracks(vec![
+            (0, vec![iv(0, 10)], vec![0, 1]),
+            (1, vec![iv(0, 10)], vec![1, 2]),
+        ]);
+        let r = audit(&t, None);
+        assert_eq!(r.links.len(), 3);
+        assert_eq!(r.links[0].overlap_fraction, 0.0);
+        assert_eq!(r.links[1].overlap_fraction, 1.0);
+        assert_eq!(r.links[2].overlap_fraction, 0.0);
+    }
+
+    #[test]
+    fn prediction_gap_is_measured_minus_promised() {
+        let t = tracks(vec![
+            (0, vec![iv(0, 100)], vec![0]),
+            (1, vec![iv(0, 100)], vec![0]),
+        ]);
+        let r = audit(&t, Some(0.25));
+        assert_eq!(r.prediction_gap(), Some(0.75));
+        let r = audit(&t, None);
+        assert_eq!(r.prediction_gap(), None);
+    }
+}

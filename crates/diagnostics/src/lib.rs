@@ -1,0 +1,40 @@
+//! Streaming analyzers over the `telemetry` event stream, answering the
+//! questions the paper's thesis lives on:
+//!
+//! - **Did communication phases interleave?** The [`interleave`] auditor
+//!   reconstructs per-link occupancy from phase events and measures the
+//!   overlap fraction — comparable against the `geometry` solver's
+//!   prediction ([`geometry::overlap_fraction_of`]).
+//! - **Did DCQCN converge or oscillate?** The [`health`] analyzer windows
+//!   per-flow rate variance, counts ECN/CNP signal rates, and flags
+//!   standing queues.
+//! - **Who paid for whose speedup?** The [`fairness`] analyzer computes
+//!   windowed Jain indices (deliberate short-term unfairness with high
+//!   long-term fairness is the paper's signature), and [`analyze`]
+//!   attributes per-job speedups across scenarios.
+//!
+//! The [`analyze::RunAnalysis`] front door consumes either a live
+//! `BufferRecorder`'s events or a JSONL replay ([`telemetry::replay`]),
+//! and distills into:
+//!
+//! - a [`summary::RunSummary`] — a flat metric map with deterministic JSON
+//!   serialization, diffable against a previous run with tolerance
+//!   ([`summary::diff`]) as a regression gate;
+//! - a self-contained HTML page ([`report::html`]) with SVG phase
+//!   timelines, rate sparklines, and verdict tables.
+
+pub mod analyze;
+pub mod events;
+pub mod fairness;
+pub mod health;
+pub mod interleave;
+pub mod report;
+pub mod summary;
+
+pub use analyze::{analyze, AnalysisConfig, Attribution, RunAnalysis, ScenarioAnalysis};
+pub use events::{extract_tracks, split_scenarios, Interval, JobTrack, ScenarioTracks};
+pub use fairness::{jain_index, FairnessReport};
+pub use health::{Convergence, FlowHealth, HealthConfig, HealthReport, QueueHealth};
+pub use interleave::{audit, InterleaveReport, LinkAudit};
+pub use report::html;
+pub use summary::{diff, DiffConfig, DiffReport, MetricShift, RunSummary};

@@ -66,7 +66,7 @@ pub use cluster::{solve_cluster, ClusterInstance, ResourceKind};
 pub use profile::{Arc, Profile};
 pub use sectors::SectorMask;
 pub use solver::{
-    admit, solve, solve_max_margin, solve_on, solve_pair, Rotation, SolveMode, SolverConfig,
-    Verdict,
+    admit, overlap_fraction_of, solve, solve_max_margin, solve_on, solve_pair, Rotation, SolveMode,
+    SolverConfig, Verdict,
 };
 pub use unified::{quantize_period, GeometryError, UnifiedCircle};

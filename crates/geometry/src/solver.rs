@@ -518,6 +518,43 @@ fn dfs_capacity(uc: &UnifiedCircle, cfg: &SolverConfig) -> Verdict {
     }
 }
 
+/// The overlap fraction of a **given** rotation assignment: the fraction
+/// of the unified circle where aggregate communication demand exceeds link
+/// capacity, with each job's arcs shifted by its rotation.
+///
+/// This is the predicted analogue of what a run-trace auditor measures —
+/// diagnostics compare a trace's observed interleaving against the value
+/// the solver's rotations promise. Rotations are applied by their time
+/// `shift` (converted to sectors at this resolution), so assignments
+/// computed at a different sector count remain usable.
+///
+/// Zero for any `Compatible` verdict's rotations (by construction);
+/// positive when the assignment double-books part of the circle.
+pub fn overlap_fraction_of(
+    profiles: &[Profile],
+    rotations: &[Rotation],
+    sectors: usize,
+) -> Result<f64, GeometryError> {
+    assert_eq!(
+        profiles.len(),
+        rotations.len(),
+        "overlap_fraction_of: one rotation per profile"
+    );
+    let uc = UnifiedCircle::new(profiles, sectors)?;
+    let s = uc.sectors();
+    let perimeter_ns = uc.perimeter().as_nanos() as f64;
+    let mut load = vec![0.0f64; s];
+    for (j, rot) in rotations.iter().enumerate() {
+        let o = ((rot.shift.as_nanos() as f64 / perimeter_ns) * s as f64).round() as usize % s;
+        let d = uc.demand(j);
+        for i in uc.mask(j).iter_set() {
+            load[(i + o) % s] += d;
+        }
+    }
+    let total_excess: f64 = load.iter().map(|&v| (v - 1.0).max(0.0)).sum();
+    Ok(total_excess / s as f64)
+}
+
 /// Greedy best-effort overlap: place jobs (largest first), each at the
 /// offset that adds the least demand-excess; report the resulting overlap
 /// fraction. Used only for *reporting* how bad an incompatible set is —
@@ -867,6 +904,36 @@ mod tests {
         // But globally, 30 + 30 + 35 = 95 ≤ 100: a full re-solve fits it.
         let v = solve(&[a, b, newcomer], &cfg).unwrap();
         assert!(v.is_compatible(), "{v:?}");
+    }
+
+    /// A compatible verdict's rotations score zero overlap; the unrotated
+    /// (all-zero) assignment of a clashing pair scores positive, and a
+    /// fully clashing pair scores its joint arc length.
+    #[test]
+    fn overlap_of_assignment_matches_verdict() {
+        let a = Profile::compute_then_comm(ms(141), ms(114));
+        let b = Profile::compute_then_comm(ms(200), ms(55));
+        let v = solve_pair(&a, &b, &cfg()).unwrap();
+        let rots = v.rotations().unwrap();
+        let sectors = cfg().sectors;
+        let solved = overlap_fraction_of(&[a.clone(), b.clone()], rots, sectors).unwrap();
+        assert_eq!(solved, 0.0, "compatible rotations must not overlap");
+        // Identical jobs left unrotated collide over their whole comm arc.
+        let c = Profile::compute_then_comm(ms(75), ms(25));
+        let zero = [zero_rotation(), zero_rotation()];
+        let clash = overlap_fraction_of(&[c.clone(), c.clone()], &zero, sectors).unwrap();
+        assert!((clash - 0.25).abs() < 0.01, "clash {clash}");
+        // Rotating one of them by its arc length clears the overlap.
+        let shifted = [
+            zero_rotation(),
+            Rotation {
+                sectors: sectors / 4,
+                shift: ms(25),
+                degrees: 90.0,
+            },
+        ];
+        let cleared = overlap_fraction_of(&[c.clone(), c], &shifted, sectors).unwrap();
+        assert_eq!(cleared, 0.0, "rotated copies must not overlap");
     }
 
     /// Determinism: same inputs and seed give the same verdict and

@@ -9,7 +9,7 @@
 //! tight time synchronization, which a simulator gets for free).
 
 use crate::metrics::{JobStats, Speedup};
-use geometry::{solve, Profile, SolverConfig};
+use geometry::{solve, GeometryError, Profile, SolverConfig};
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator};
 use scheduler::{gates_from_rotations, gating_profiles};
 use simtime::{Bandwidth, Dur, Time};
@@ -46,6 +46,43 @@ impl Default for FlowschedConfig {
         }
     }
 }
+
+/// Why a flow-scheduling run could not produce a result. Job lists and
+/// solver inputs are caller-supplied, so misconfigurations surface as
+/// errors instead of panics (same contract as the cluster experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowschedError {
+    /// The configured job list is empty.
+    NoJobs,
+    /// The jobs' profiles were rejected by the solver.
+    Profiles(GeometryError),
+    /// The solver deemed the jobs incompatible — flow scheduling
+    /// presupposes a feasible schedule.
+    Incompatible,
+    /// Jobs did not finish the requested iterations within the time
+    /// budget.
+    Incomplete {
+        /// Iterations that were requested.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for FlowschedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowschedError::NoJobs => write!(f, "flowsched: no jobs configured"),
+            FlowschedError::Profiles(e) => write!(f, "flowsched: invalid profiles: {e}"),
+            FlowschedError::Incompatible => {
+                write!(f, "flowsched: flow scheduling requires compatible jobs")
+            }
+            FlowschedError::Incomplete { iterations } => {
+                write!(f, "flowsched: jobs did not finish {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowschedError {}
 
 /// The §4.iii result.
 #[derive(Debug, Clone)]
@@ -95,7 +132,7 @@ fn run_with_gates<R: Recorder>(
     gates: Vec<Option<netsim::fluid::Gate>>,
     cfg: &FlowschedConfig,
     rec: R,
-) -> Vec<JobStats> {
+) -> Result<Vec<JobStats>, FlowschedError> {
     let d = dumbbell(
         jobs.len(),
         Bandwidth::from_gbps(50),
@@ -123,37 +160,64 @@ fn run_with_gates<R: Recorder>(
     };
     let mut sim = FluidSimulator::with_recorder(t, fluid_cfg, &fjobs, rec);
     let cap = Bandwidth::from_gbps(50);
-    let per_iter = jobs.iter().map(|s| s.iteration_time_at(cap)).max().unwrap();
+    let per_iter = jobs
+        .iter()
+        .map(|s| s.iteration_time_at(cap))
+        .max()
+        .ok_or(FlowschedError::NoJobs)?;
     let ok = sim.run_until_iterations(
         cfg.iterations,
         per_iter * (cfg.iterations as u64 * (jobs.len() as u64 + 2) + 20),
     );
-    assert!(ok, "flowsched: jobs did not finish");
-    (0..jobs.len())
+    if !ok {
+        return Err(FlowschedError::Incomplete {
+            iterations: cfg.iterations,
+        });
+    }
+    Ok((0..jobs.len())
         .map(|i| JobStats::from_progress(sim.progress(i), cfg.warmup))
-        .collect()
+        .collect())
 }
 
 /// Runs ungated max-min vs solver-scheduled gating.
 ///
 /// # Panics
-/// Panics if the solver deems the jobs incompatible — flow scheduling
-/// presupposes a feasible schedule (check compatibility first).
+/// Panics on any [`FlowschedError`] (incompatible or empty job lists, jobs
+/// that don't finish); use [`try_run`] to handle failures.
 pub fn run(cfg: &FlowschedConfig) -> FlowschedResult {
-    run_traced(cfg, NoopRecorder)
+    try_run(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs ungated max-min vs solver-scheduled gating, surfacing
+/// misconfigured job lists as [`FlowschedError`] instead of panicking.
+pub fn try_run(cfg: &FlowschedConfig) -> Result<FlowschedResult, FlowschedError> {
+    try_run_traced(cfg, NoopRecorder)
 }
 
 /// Runs ungated max-min vs solver-scheduled gating, streaming telemetry
 /// into `rec` with a marker per scenario.
 ///
 /// # Panics
-/// Panics if the solver deems the jobs incompatible.
-pub fn run_traced<R: Recorder>(cfg: &FlowschedConfig, mut rec: R) -> FlowschedResult {
+/// Panics on any [`FlowschedError`]; use [`try_run_traced`] to handle
+/// failures.
+pub fn run_traced<R: Recorder>(cfg: &FlowschedConfig, rec: R) -> FlowschedResult {
+    try_run_traced(cfg, rec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_run`] with telemetry streamed into `rec`, one [`Event::Scenario`]
+/// marker per scenario.
+pub fn try_run_traced<R: Recorder>(
+    cfg: &FlowschedConfig,
+    mut rec: R,
+) -> Result<FlowschedResult, FlowschedError> {
+    if cfg.jobs.is_empty() {
+        return Err(FlowschedError::NoJobs);
+    }
     let profiles: Vec<Profile> = gating_profiles(&cfg.jobs, Bandwidth::from_gbps(50), cfg.grid);
-    let verdict = solve(&profiles, &cfg.solver).expect("valid profiles");
+    let verdict = solve(&profiles, &cfg.solver).map_err(FlowschedError::Profiles)?;
     let rotations = verdict
         .rotations()
-        .expect("flow scheduling requires compatible jobs")
+        .ok_or(FlowschedError::Incompatible)?
         .to_vec();
     let offsets = vec![Dur::ZERO; cfg.jobs.len()];
     let gates = gates_from_rotations(&profiles, &rotations, &offsets);
@@ -167,7 +231,7 @@ pub fn run_traced<R: Recorder>(cfg: &FlowschedConfig, mut rec: R) -> FlowschedRe
             },
         );
     }
-    let fair = run_with_gates(&cfg.jobs, Vec::new(), cfg, &mut rec);
+    let fair = run_with_gates(&cfg.jobs, Vec::new(), cfg, &mut rec)?;
     if R::ENABLED {
         rec.record(
             Time::ZERO,
@@ -176,12 +240,12 @@ pub fn run_traced<R: Recorder>(cfg: &FlowschedConfig, mut rec: R) -> FlowschedRe
             },
         );
     }
-    let scheduled = run_with_gates(&cfg.jobs, gates, cfg, &mut rec);
-    FlowschedResult {
+    let scheduled = run_with_gates(&cfg.jobs, gates, cfg, &mut rec)?;
+    Ok(FlowschedResult {
         fair,
         scheduled,
         shifts,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -214,6 +278,35 @@ mod tests {
             r.shifts
         );
         assert!(r.render().contains("time-shift"));
+    }
+
+    #[test]
+    fn try_run_surfaces_empty_job_list() {
+        let cfg = FlowschedConfig {
+            jobs: Vec::new(),
+            ..FlowschedConfig::default()
+        };
+        match try_run(&cfg) {
+            Err(FlowschedError::NoJobs) => {}
+            other => panic!("expected NoJobs, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn try_run_surfaces_incompatibility() {
+        let cfg = FlowschedConfig {
+            jobs: vec![
+                JobSpec::reference(Model::BertLarge, 8),
+                JobSpec::reference(Model::Vgg19, 1200),
+            ],
+            iterations: 2,
+            warmup: 0,
+            ..FlowschedConfig::default()
+        };
+        match try_run(&cfg) {
+            Err(FlowschedError::Incompatible) => {}
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
     }
 
     #[test]

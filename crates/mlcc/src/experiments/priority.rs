@@ -42,6 +42,45 @@ impl Default for PriorityConfig {
     }
 }
 
+/// Why a priority-queue run could not produce a result. Job lists are
+/// caller-supplied, so misconfigurations surface as errors instead of
+/// panics (same contract as the cluster experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PriorityError {
+    /// The configured job list is empty.
+    NoJobs,
+    /// More jobs than switch priority queues (the §4.ii caveat).
+    Queues(scheduler::PriorityError),
+    /// Jobs did not finish the requested iterations within the time
+    /// budget.
+    Incomplete {
+        /// Iterations that were requested.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for PriorityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PriorityError::NoJobs => write!(f, "priority: no jobs configured"),
+            PriorityError::Queues(e) => {
+                write!(f, "priority: more jobs than switch priority queues: {e}")
+            }
+            PriorityError::Incomplete { iterations } => {
+                write!(f, "priority: jobs did not finish {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PriorityError {}
+
+impl From<scheduler::PriorityError> for PriorityError {
+    fn from(e: scheduler::PriorityError) -> PriorityError {
+        PriorityError::Queues(e)
+    }
+}
+
 /// The §4.ii result.
 #[derive(Debug, Clone)]
 pub struct PriorityResult {
@@ -90,7 +129,7 @@ fn run_policy<R: Recorder>(
     policy: SharingPolicy,
     cfg: &PriorityConfig,
     rec: R,
-) -> Vec<JobStats> {
+) -> Result<Vec<JobStats>, PriorityError> {
     let d = dumbbell(
         jobs.len(),
         Bandwidth::from_gbps(50),
@@ -118,34 +157,60 @@ fn run_policy<R: Recorder>(
     };
     let mut sim = FluidSimulator::with_recorder(t, fluid_cfg, &fjobs, rec);
     let cap = Bandwidth::from_gbps(50);
-    let per_iter = jobs.iter().map(|s| s.iteration_time_at(cap)).max().unwrap();
+    let per_iter = jobs
+        .iter()
+        .map(|s| s.iteration_time_at(cap))
+        .max()
+        .ok_or(PriorityError::NoJobs)?;
     let ok = sim.run_until_iterations(
         cfg.iterations,
         per_iter * (cfg.iterations as u64 * (jobs.len() as u64 + 2) + 20),
     );
-    assert!(ok, "priority: jobs did not finish");
-    (0..jobs.len())
+    if !ok {
+        return Err(PriorityError::Incomplete {
+            iterations: cfg.iterations,
+        });
+    }
+    Ok((0..jobs.len())
         .map(|i| JobStats::from_progress(sim.progress(i), cfg.warmup))
-        .collect()
+        .collect())
 }
 
 /// Runs max-min vs strict-priority sharing.
 ///
 /// # Panics
-/// Panics if more jobs than switch queues (surface the §4.ii caveat to the
-/// caller via [`assign_priorities`] first if unsure).
+/// Panics on any [`PriorityError`] (more jobs than switch queues, empty
+/// job lists, jobs that don't finish); use [`try_run`] to handle failures.
 pub fn run(cfg: &PriorityConfig) -> PriorityResult {
-    run_traced(cfg, NoopRecorder)
+    try_run(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs max-min vs strict-priority sharing, surfacing misconfigured job
+/// lists as [`PriorityError`] instead of panicking.
+pub fn try_run(cfg: &PriorityConfig) -> Result<PriorityResult, PriorityError> {
+    try_run_traced(cfg, NoopRecorder)
 }
 
 /// Runs max-min vs strict-priority sharing, streaming telemetry into
 /// `rec` with a marker per scenario.
 ///
 /// # Panics
-/// Panics if more jobs than switch queues.
-pub fn run_traced<R: Recorder>(cfg: &PriorityConfig, mut rec: R) -> PriorityResult {
-    let classes = assign_priorities(cfg.jobs.len(), cfg.queues)
-        .expect("more jobs than switch priority queues");
+/// Panics on any [`PriorityError`]; use [`try_run_traced`] to handle
+/// failures.
+pub fn run_traced<R: Recorder>(cfg: &PriorityConfig, rec: R) -> PriorityResult {
+    try_run_traced(cfg, rec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_run`] with telemetry streamed into `rec`, one [`Event::Scenario`]
+/// marker per scenario.
+pub fn try_run_traced<R: Recorder>(
+    cfg: &PriorityConfig,
+    mut rec: R,
+) -> Result<PriorityResult, PriorityError> {
+    if cfg.jobs.is_empty() {
+        return Err(PriorityError::NoJobs);
+    }
+    let classes = assign_priorities(cfg.jobs.len(), cfg.queues)?;
     if R::ENABLED {
         rec.record(
             Time::ZERO,
@@ -154,7 +219,7 @@ pub fn run_traced<R: Recorder>(cfg: &PriorityConfig, mut rec: R) -> PriorityResu
             },
         );
     }
-    let fair = run_policy(&cfg.jobs, SharingPolicy::MaxMin, cfg, &mut rec);
+    let fair = run_policy(&cfg.jobs, SharingPolicy::MaxMin, cfg, &mut rec)?;
     if R::ENABLED {
         rec.record(
             Time::ZERO,
@@ -168,12 +233,12 @@ pub fn run_traced<R: Recorder>(cfg: &PriorityConfig, mut rec: R) -> PriorityResu
         SharingPolicy::Priority(classes.clone()),
         cfg,
         &mut rec,
-    );
-    PriorityResult {
+    )?;
+    Ok(PriorityResult {
         fair,
         prioritized,
         classes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -198,6 +263,35 @@ mod tests {
             );
         }
         assert!(r.render().contains("priority"));
+    }
+
+    #[test]
+    fn try_run_surfaces_queue_exhaustion() {
+        let cfg = PriorityConfig {
+            jobs: vec![JobSpec::reference(Model::ResNet50, 1600); 9],
+            queues: 8,
+            iterations: 2,
+            warmup: 0,
+        };
+        match try_run(&cfg) {
+            Err(PriorityError::Queues(scheduler::PriorityError::NotEnoughQueues {
+                jobs: 9,
+                queues: 8,
+            })) => {}
+            other => panic!("expected NotEnoughQueues, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_run_surfaces_empty_job_list() {
+        let cfg = PriorityConfig {
+            jobs: Vec::new(),
+            ..PriorityConfig::default()
+        };
+        match try_run(&cfg) {
+            Err(PriorityError::NoJobs) => {}
+            other => panic!("expected NoJobs, got {other:?}"),
+        }
     }
 
     #[test]

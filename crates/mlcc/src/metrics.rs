@@ -209,9 +209,12 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("job"));
         assert!(lines[1].starts_with("---"));
-        // Columns align: "median" and "297 ms" start at the same offset.
-        let h = lines[0].find("median").unwrap();
-        let v = lines[2].find("297").unwrap();
-        assert_eq!(h, v);
+        // Columns align: every data cell starts at its header column's
+        // offset, wherever the widths put that column.
+        let starts = telemetry::table::column_starts(lines[0]);
+        assert_eq!(starts.len(), 2);
+        assert!(lines[0][starts[1]..].starts_with("median"));
+        assert!(lines[2][starts[1]..].starts_with("297 ms"));
+        assert!(lines[3][starts[1]..].starts_with("1 ms"));
     }
 }

@@ -214,6 +214,20 @@ impl<R: Recorder> FluidSimulator<R> {
         assert!(!jobs.is_empty(), "FluidSimulator: no jobs");
         if R::ENABLED {
             for (j, job) in jobs.iter().enumerate() {
+                let mut links: Vec<u32> = job
+                    .flows
+                    .iter()
+                    .flat_map(|f| f.links.iter().map(|l| l.0))
+                    .collect();
+                links.sort_unstable();
+                links.dedup();
+                rec.record(
+                    Time::ZERO + job.start_offset,
+                    Event::JobPath {
+                        job: j as u32,
+                        links,
+                    },
+                );
                 rec.record(
                     Time::ZERO + job.start_offset,
                     Event::PhaseEnter {

@@ -185,6 +185,14 @@ impl<R: Recorder> RateSimulator<R> {
         assert!(!cfg.dt.is_zero(), "RateSimulator: zero dt");
         if R::ENABLED {
             for (i, j) in jobs.iter().enumerate() {
+                // Single shared bottleneck: every job's flow crosses link 0.
+                rec.record(
+                    Time::ZERO + j.start_offset,
+                    Event::JobPath {
+                        job: i as u32,
+                        links: vec![0],
+                    },
+                );
                 rec.record(
                     Time::ZERO + j.start_offset,
                     Event::PhaseEnter {
@@ -358,6 +366,9 @@ impl<R: Recorder> RateSimulator<R> {
                     if js.np.on_marked_arrival(t_end) {
                         rp.on_cnp();
                         if R::ENABLED {
+                            // NP→RP notification is modeled as zero-delay, so
+                            // send and receipt land on the same instant.
+                            self.rec.record(t_end, Event::CnpSent { flow: i as u32 });
                             self.rec
                                 .record(t_end, Event::CnpReceived { flow: i as u32 });
                             self.rec.record(

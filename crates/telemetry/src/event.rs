@@ -93,6 +93,10 @@ pub enum Event {
     GateRelease { job: u32 },
     /// Marks the start of a named scenario; later events belong to it.
     Scenario { name: String },
+    /// `job`'s traffic traverses `links` — emitted once per job at engine
+    /// construction so analyzers can attribute flows to links. Engines with
+    /// a single bottleneck report `links = [0]`.
+    JobPath { job: u32, links: Vec<u32> },
 }
 
 impl Event {
@@ -110,6 +114,33 @@ impl Event {
             Event::SolverIteration { .. } => "solver_iteration",
             Event::GateRelease { .. } => "gate_release",
             Event::Scenario { .. } => "scenario",
+            Event::JobPath { .. } => "job_path",
+        }
+    }
+
+    /// The flow index the event is about, for per-flow events (ECN marks,
+    /// CNPs, rate changes).
+    pub fn flow(&self) -> Option<u32> {
+        match self {
+            Event::EcnMark { flow }
+            | Event::CnpSent { flow }
+            | Event::CnpReceived { flow }
+            | Event::RateChange { flow, .. } => Some(*flow),
+            _ => None,
+        }
+    }
+
+    /// The job index the event is about, for per-job events (phase
+    /// transitions, gate releases, path announcements). Flow-indexed events
+    /// also answer here: every engine in this workspace runs one flow per
+    /// job and uses the same index for both.
+    pub fn job(&self) -> Option<u32> {
+        match self {
+            Event::PhaseEnter { job, .. }
+            | Event::PhaseExit { job, .. }
+            | Event::GateRelease { job }
+            | Event::JobPath { job, .. } => Some(*job),
+            _ => self.flow(),
         }
     }
 }

@@ -84,6 +84,14 @@ pub fn jsonl(events: &[TimedEvent]) -> String {
                     esc(name)
                 );
             }
+            Event::JobPath { job, links } => {
+                let ls: Vec<String> = links.iter().map(|l| l.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"job\":{job},\"links\":[{}]}}",
+                    ls.join(",")
+                );
+            }
         }
     }
     out
@@ -176,6 +184,16 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                 thread(&mut records, pid, *job);
                 records.push(format!(
                     "{{\"name\":\"gate_release\",\"cat\":\"gate\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job},\"s\":\"t\"}}"
+                ));
+            }
+            Event::JobPath { job, links } => {
+                // Static attribution, not a timeline item: record it as an
+                // instant carrying the link list in args.
+                thread(&mut records, pid, *job);
+                let ls: Vec<String> = links.iter().map(|l| l.to_string()).collect();
+                records.push(format!(
+                    "{{\"name\":\"job_path\",\"cat\":\"topology\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job},\"s\":\"t\",\"args\":{{\"links\":[{}]}}}}",
+                    ls.join(",")
                 ));
             }
         }

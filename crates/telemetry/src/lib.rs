@@ -23,10 +23,12 @@ pub mod export;
 pub mod metrics;
 pub mod profiler;
 pub mod recorder;
+pub mod replay;
 pub mod table;
 
 pub use event::{CcState, Event, Phase, TimedEvent};
 pub use metrics::MetricsRegistry;
 pub use profiler::Profiler;
 pub use recorder::{BufferRecorder, NoopRecorder, Recorder};
+pub use replay::{parse_jsonl, ReplayError};
 pub use table::text_table;

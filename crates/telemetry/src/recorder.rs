@@ -173,6 +173,9 @@ impl BufferRecorder {
                 Event::Scenario { .. } => {
                     m.inc_counter("scenarios_total", "", 1);
                 }
+                Event::JobPath { job, .. } => {
+                    m.inc_counter("job_paths_total", &format!("job={job}"), 1);
+                }
             }
         }
         for (name, n) in &self.counts {

@@ -1,0 +1,500 @@
+//! Replay reader: parse a JSONL event log back into [`TimedEvent`]s.
+//!
+//! The inverse of [`crate::export::jsonl`], so recorded runs can be
+//! analyzed offline (the `diagnostics` crate consumes either a live
+//! [`crate::BufferRecorder`] or a replayed file). The parser handles the
+//! flat one-object-per-line shape the exporter emits — string, integer,
+//! float, and flat integer-array values with standard JSON string escapes —
+//! and round-trips every event kind bit-exactly.
+
+use crate::event::{CcState, Event, Phase, TimedEvent};
+use simtime::Time;
+use std::collections::BTreeMap;
+
+/// Why a JSONL line could not be replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replay: line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// One parsed JSON scalar (or flat integer array) value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string, unescaped.
+    Str(String),
+    /// Any JSON number.
+    Num(f64),
+    /// A flat array of unsigned integers (the only array the exporter
+    /// emits, for `job_path.links`).
+    UInts(Vec<u32>),
+}
+
+impl JsonValue {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k":v,...}`) into a key→value map.
+///
+/// Supports the subset this workspace's exporters emit: string values with
+/// escapes, numbers, and flat arrays of unsigned integers. Exposed because
+/// the summary/diff tooling reads the same shape.
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut map = BTreeMap::new();
+    let bytes: Vec<char> = line.trim().chars().collect();
+    let mut i = 0usize;
+    let err = |msg: &str, at: usize| format!("{msg} at char {at}");
+
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if i >= bytes.len() || bytes[i] != '{' {
+        return Err(err("expected '{'", i));
+    }
+    i += 1;
+    loop {
+        skip_ws(&mut i);
+        if i < bytes.len() && bytes[i] == '}' {
+            return Ok(map);
+        }
+        let key = parse_string(&bytes, &mut i)?;
+        skip_ws(&mut i);
+        if i >= bytes.len() || bytes[i] != ':' {
+            return Err(err("expected ':'", i));
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let val = parse_value(&bytes, &mut i)?;
+        map.insert(key, val);
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(',') => i += 1,
+            Some('}') => return Ok(map),
+            _ => return Err(err("expected ',' or '}'", i)),
+        }
+    }
+}
+
+fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
+    if chars.get(*i) != Some(&'"') {
+        return Err(format!("expected '\"' at char {}", *i));
+    }
+    *i += 1;
+    let mut out = String::new();
+    while let Some(&c) = chars.get(*i) {
+        *i += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = chars.get(*i).copied().ok_or("dangling escape")?;
+                *i += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String =
+                            chars.get(*i..*i + 4).ok_or("short \\u")?.iter().collect();
+                        *i += 4;
+                        let cp = u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u digits")?;
+                        out.push(char::from_u32(cp).ok_or("bad \\u codepoint")?);
+                    }
+                    other => return Err(format!("unknown escape \\{other}")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_value(chars: &[char], i: &mut usize) -> Result<JsonValue, String> {
+    match chars.get(*i) {
+        Some('"') => Ok(JsonValue::Str(parse_string(chars, i)?)),
+        Some('[') => {
+            *i += 1;
+            let mut out = Vec::new();
+            loop {
+                while chars.get(*i).is_some_and(|c| c.is_whitespace()) {
+                    *i += 1;
+                }
+                match chars.get(*i) {
+                    Some(']') => {
+                        *i += 1;
+                        return Ok(JsonValue::UInts(out));
+                    }
+                    Some(',') => {
+                        *i += 1;
+                    }
+                    Some(_) => {
+                        let JsonValue::Num(n) = parse_number(chars, i)? else {
+                            unreachable!()
+                        };
+                        if n < 0.0 || n.fract() != 0.0 {
+                            return Err("array element is not an unsigned integer".into());
+                        }
+                        out.push(n as u32);
+                    }
+                    None => return Err("unterminated array".into()),
+                }
+            }
+        }
+        Some(_) => parse_number(chars, i),
+        None => Err("missing value".into()),
+    }
+}
+
+fn parse_number(chars: &[char], i: &mut usize) -> Result<JsonValue, String> {
+    let start = *i;
+    while chars
+        .get(*i)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+    {
+        *i += 1;
+    }
+    let s: String = chars[start..*i].iter().collect();
+    s.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("bad number {s:?} at char {start}"))
+}
+
+fn phase_from(label: &str) -> Option<Phase> {
+    match label {
+        "compute" => Some(Phase::Compute),
+        "communicate" => Some(Phase::Communicate),
+        _ => None,
+    }
+}
+
+fn cc_state_from(label: &str) -> Option<CcState> {
+    Some(match label {
+        "restart" => CcState::Restart,
+        "cut" => CcState::Cut,
+        "fast_recovery" => CcState::FastRecovery,
+        "additive_increase" => CcState::AdditiveIncrease,
+        "hyper_increase" => CcState::HyperIncrease,
+        "alloc" => CcState::Alloc,
+        "delay" => CcState::Delay,
+        _ => return None,
+    })
+}
+
+fn event_from(map: &BTreeMap<String, JsonValue>) -> Result<TimedEvent, String> {
+    let t_ns = map
+        .get("t_ns")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing/invalid t_ns")?;
+    let kind = map
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing type")?;
+    let u32_field = |name: &str| -> Result<u32, String> {
+        map.get(name)
+            .and_then(JsonValue::as_u64)
+            .map(|v| v as u32)
+            .ok_or(format!("missing/invalid {name}"))
+    };
+    let u64_field = |name: &str| -> Result<u64, String> {
+        map.get(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("missing/invalid {name}"))
+    };
+    let f64_field = |name: &str| -> Result<f64, String> {
+        map.get(name)
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("missing/invalid {name}"))
+    };
+    let str_field = |name: &str| -> Result<&str, String> {
+        map.get(name)
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("missing/invalid {name}"))
+    };
+    let event = match kind {
+        "queue_depth" => Event::QueueDepth {
+            link: u32_field("link")?,
+            bytes: f64_field("bytes")?,
+        },
+        "ecn_mark" => Event::EcnMark {
+            flow: u32_field("flow")?,
+        },
+        "cnp_sent" => Event::CnpSent {
+            flow: u32_field("flow")?,
+        },
+        "cnp_received" => Event::CnpReceived {
+            flow: u32_field("flow")?,
+        },
+        "rate_change" => Event::RateChange {
+            flow: u32_field("flow")?,
+            bps: f64_field("bps")?,
+            state: cc_state_from(str_field("state")?)
+                .ok_or_else(|| format!("unknown cc state {:?}", str_field("state")))?,
+        },
+        "phase_enter" | "phase_exit" => {
+            let job = u32_field("job")?;
+            let phase = phase_from(str_field("phase")?)
+                .ok_or_else(|| format!("unknown phase {:?}", str_field("phase")))?;
+            let iteration = u64_field("iteration")?;
+            if kind == "phase_enter" {
+                Event::PhaseEnter {
+                    job,
+                    phase,
+                    iteration,
+                }
+            } else {
+                Event::PhaseExit {
+                    job,
+                    phase,
+                    iteration,
+                }
+            }
+        }
+        "solver_iteration" => Event::SolverIteration {
+            // &'static str in the live event: map known components back,
+            // otherwise leak (replay is a one-shot offline path and the
+            // set of component names is tiny and bounded).
+            component: intern_component(str_field("component")?),
+            index: u64_field("index")?,
+        },
+        "gate_release" => Event::GateRelease {
+            job: u32_field("job")?,
+        },
+        "scenario" => Event::Scenario {
+            name: str_field("name")?.to_string(),
+        },
+        "job_path" => Event::JobPath {
+            job: u32_field("job")?,
+            links: match map.get("links") {
+                Some(JsonValue::UInts(v)) => v.clone(),
+                _ => return Err("missing/invalid links".into()),
+            },
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(TimedEvent {
+        at: Time::from_nanos(t_ns),
+        event,
+    })
+}
+
+/// Maps a replayed component name back to a `&'static str`.
+///
+/// Known engine/component names return their static interning; unknown
+/// names are leaked — acceptable for an offline, once-per-file path with a
+/// bounded vocabulary.
+fn intern_component(name: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "netsim.rate",
+        "netsim.fluid",
+        "netsim.packet",
+        "fluid.alloc",
+        "scheduler.solve",
+        "scheduler.place",
+    ];
+    for k in KNOWN {
+        if *k == name {
+            return k;
+        }
+    }
+    Box::leak(name.to_string().into_boxed_str())
+}
+
+/// Parses a JSONL event log (the output of [`crate::export::jsonl`]).
+///
+/// Empty lines are skipped; any malformed line aborts with a
+/// [`ReplayError`] naming the line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TimedEvent>, ReplayError> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let map = parse_flat_object(line).map_err(|reason| ReplayError {
+            line: idx + 1,
+            reason,
+        })?;
+        out.push(event_from(&map).map_err(|reason| ReplayError {
+            line: idx + 1,
+            reason,
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::jsonl;
+    use simtime::Time;
+
+    fn sample() -> Vec<TimedEvent> {
+        let t = Time::from_nanos;
+        vec![
+            TimedEvent {
+                at: t(0),
+                event: Event::Scenario {
+                    name: "fig1/\"fair\"\n".into(),
+                },
+            },
+            TimedEvent {
+                at: t(0),
+                event: Event::JobPath {
+                    job: 0,
+                    links: vec![0, 3, 7],
+                },
+            },
+            TimedEvent {
+                at: t(5),
+                event: Event::PhaseEnter {
+                    job: 0,
+                    phase: Phase::Compute,
+                    iteration: 0,
+                },
+            },
+            TimedEvent {
+                at: t(1_500),
+                event: Event::QueueDepth {
+                    link: 0,
+                    bytes: 1234.5,
+                },
+            },
+            TimedEvent {
+                at: t(2_000),
+                event: Event::EcnMark { flow: 1 },
+            },
+            TimedEvent {
+                at: t(2_000),
+                event: Event::CnpSent { flow: 1 },
+            },
+            TimedEvent {
+                at: t(2_001),
+                event: Event::CnpReceived { flow: 1 },
+            },
+            TimedEvent {
+                at: t(2_001),
+                event: Event::RateChange {
+                    flow: 1,
+                    bps: 12.5e9,
+                    state: CcState::Cut,
+                },
+            },
+            TimedEvent {
+                at: t(3_000),
+                event: Event::SolverIteration {
+                    component: "netsim.fluid",
+                    index: 4,
+                },
+            },
+            TimedEvent {
+                at: t(3_500),
+                event: Event::GateRelease { job: 1 },
+            },
+            TimedEvent {
+                at: t(4_000),
+                event: Event::PhaseExit {
+                    job: 0,
+                    phase: Phase::Compute,
+                    iteration: 0,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_event_kind() {
+        let events = sample();
+        let text = jsonl(&events);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn round_trip_is_a_fixed_point() {
+        let text = jsonl(&sample());
+        let text2 = jsonl(&parse_jsonl(&text).unwrap());
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = parse_jsonl("{\"t_ns\":0,\"type\":\"scenario\",\"name\":\"x\"}\nnot json\n")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_jsonl("{\"t_ns\":0,\"type\":\"warp_drive\"}\n").unwrap_err();
+        assert!(err.reason.contains("warp_drive"), "{err}");
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let parsed = parse_jsonl("\n\n{\"t_ns\":7,\"type\":\"ecn_mark\",\"flow\":2}\n\n").unwrap();
+        assert_eq!(
+            parsed,
+            vec![TimedEvent {
+                at: Time::from_nanos(7),
+                event: Event::EcnMark { flow: 2 }
+            }]
+        );
+    }
+
+    #[test]
+    fn flat_object_parser_handles_escapes_and_arrays() {
+        let m = parse_flat_object(r#"{"a":"x\"y","b":2.5,"c":[1,2,3]}"#).unwrap();
+        assert_eq!(m["a"], JsonValue::Str("x\"y".into()));
+        assert_eq!(m["b"], JsonValue::Num(2.5));
+        assert_eq!(m["c"], JsonValue::UInts(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn event_accessors_cover_indices() {
+        assert_eq!(Event::EcnMark { flow: 3 }.flow(), Some(3));
+        assert_eq!(Event::GateRelease { job: 2 }.job(), Some(2));
+        assert_eq!(Event::EcnMark { flow: 3 }.job(), Some(3));
+        assert_eq!(
+            Event::Scenario { name: "x".into() }.job(),
+            None,
+            "scenario markers are not job-scoped"
+        );
+        assert_eq!(
+            Event::JobPath {
+                job: 1,
+                links: vec![0]
+            }
+            .job(),
+            Some(1)
+        );
+    }
+}

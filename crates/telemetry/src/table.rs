@@ -38,6 +38,19 @@ pub fn text_table(rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Byte offsets where each column begins in a rendered header line
+/// (columns are separated by at least two spaces; cells may contain
+/// single spaces). Lets callers assert cell alignment against the header
+/// instead of hard-coding absolute offsets.
+pub fn column_starts(header: &str) -> Vec<usize> {
+    let bytes = header.as_bytes();
+    (0..bytes.len())
+        .filter(|&i| {
+            bytes[i] != b' ' && (i == 0 || (i >= 2 && bytes[i - 1] == b' ' && bytes[i - 2] == b' '))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,9 +66,30 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("metric"));
         assert!(lines[1].starts_with("---"));
-        let h = lines[0].find("value").unwrap();
-        let v = lines[2].find("12").unwrap();
-        assert_eq!(h, v);
+        // Every data cell starts exactly where its header column starts,
+        // wherever the width computation happens to put that column.
+        let starts = column_starts(lines[0]);
+        assert_eq!(starts.len(), 2);
+        assert!(lines[0][starts[1]..].starts_with("value"));
+        assert!(lines[2][starts[1]..].starts_with("12"));
+        assert!(lines[3][starts[1]..].starts_with("3"));
+    }
+
+    #[test]
+    fn column_starts_sees_through_single_spaces_in_cells() {
+        let t = text_table(&[
+            vec!["job name".into(), "median time".into()],
+            vec!["a".into(), "1 ms".into()],
+        ]);
+        let header = t.lines().next().unwrap();
+        let starts = column_starts(header);
+        assert_eq!(
+            starts.len(),
+            2,
+            "single spaces inside cells split: {starts:?}"
+        );
+        assert_eq!(starts[0], 0);
+        assert!(header[starts[1]..].starts_with("median time"));
     }
 
     #[test]

@@ -12,4 +12,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== golden RunSummary regression (tests/goldens) =="
+cargo test -q --test run_summary_golden
+
 echo "OK"

@@ -4,11 +4,13 @@
 //! dependency.
 
 pub use dcqcn;
+pub use diagnostics;
 pub use eventsim;
 pub use geometry;
 pub use mlcc;
 pub use netsim;
 pub use scheduler;
 pub use simtime;
+pub use telemetry;
 pub use topology;
 pub use workload;

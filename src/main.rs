@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mlcc-repro <command> [--iterations N] [--csv DIR] [--trace FILE]
-//!                      [--metrics] [--profile]
+//!                      [--metrics] [--profile] [--report FILE]
+//!                      [--summary FILE] [--summary-dir DIR]
 //!
 //! commands:
 //!   fig1       Fig. 1: bandwidth shares + iteration-time CDFs
@@ -15,6 +16,8 @@
 //!   cluster    §5    compatibility-aware placement
 //!   pipelining extension: bucketized emission widens compatibility
 //!   all        everything above, in order
+//!   report     analyze a recorded JSONL trace into an HTML report
+//!   diff       compare two RunSummary JSON files (regression gate)
 //! ```
 //!
 //! `--csv DIR` additionally writes the raw data series (traces, CDFs,
@@ -25,12 +28,32 @@
 //! extension selects line-delimited JSON, anything else a Chrome trace
 //! viewable in Perfetto / `chrome://tracing`. `--metrics` prints the
 //! aggregated metrics table; `--profile` prints the per-engine wall-clock
-//! breakdown. All three imply event recording.
+//! breakdown.
+//!
+//! `--report FILE` writes a self-contained HTML run report (phase
+//! timelines, rate sparklines, analyzer verdicts); `--summary FILE` writes
+//! the compact `RunSummary` JSON that `mlcc-repro diff` compares. All five
+//! observability flags imply event recording.
+//!
+//! `--summary-dir DIR` writes a machine-readable `BENCH_<experiment>.json`
+//! per experiment (median iteration times, speedups, wall-clock) — the
+//! perf trajectory documented in EXPERIMENTS.md.
+//!
+//! ```text
+//! mlcc-repro report trace.jsonl --out report.html [--summary run.json]
+//! mlcc-repro diff a.json b.json [--tolerance 0.05]
+//! ```
+//!
+//! `diff` exits 0 when every shared metric agrees within tolerance and the
+//! key sets match, non-zero otherwise — wire it into CI against committed
+//! golden summaries.
 
+use diagnostics::{AnalysisConfig, DiffConfig, RunSummary};
 use mlcc::experiments as exp;
 use mlcc::export;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 use telemetry::{BufferRecorder, Profiler};
 
 struct Opts {
@@ -39,12 +62,20 @@ struct Opts {
     trace: Option<PathBuf>,
     metrics: bool,
     profile: bool,
+    report: Option<PathBuf>,
+    summary: Option<PathBuf>,
+    summary_dir: Option<PathBuf>,
 }
 
 impl Opts {
     /// A recorder when any observability flag asked for one.
     fn recorder(&self) -> Option<BufferRecorder> {
-        (self.trace.is_some() || self.metrics || self.profile).then(BufferRecorder::new)
+        (self.trace.is_some()
+            || self.metrics
+            || self.profile
+            || self.report.is_some()
+            || self.summary.is_some())
+        .then(BufferRecorder::new)
     }
 }
 
@@ -55,6 +86,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace: None,
         metrics: false,
         profile: false,
+        report: None,
+        summary: None,
+        summary_dir: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -73,15 +107,38 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--metrics" => opts.metrics = true,
             "--profile" => opts.profile = true,
+            "--report" => {
+                let v = it.next().ok_or("--report needs a file path")?;
+                opts.report = Some(PathBuf::from(v));
+            }
+            "--summary" => {
+                let v = it.next().ok_or("--summary needs a file path")?;
+                opts.summary = Some(PathBuf::from(v));
+            }
+            "--summary-dir" => {
+                let v = it.next().ok_or("--summary-dir needs a directory")?;
+                opts.summary_dir = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
     Ok(opts)
 }
 
-/// Writes the trace file and prints the metrics / profiler reports the
-/// flags asked for. Returns an error message on I/O failure.
-fn report(opts: &Opts, rec: &BufferRecorder) -> Result<(), String> {
+/// Writes `content` to `path`, creating parent directories as needed.
+fn write_file(path: &Path, content: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, content).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Writes the trace file, HTML report, and summary, and prints the
+/// metrics / profiler reports the flags asked for.
+fn report(cmd: &str, opts: &Opts, rec: &BufferRecorder) -> Result<(), String> {
     if let Some(path) = &opts.trace {
         let jsonl = path.extension().is_some_and(|e| e == "jsonl");
         let content = if jsonl {
@@ -89,8 +146,7 @@ fn report(opts: &Opts, rec: &BufferRecorder) -> Result<(), String> {
         } else {
             telemetry::export::chrome_trace(rec.events())
         };
-        std::fs::write(path, content)
-            .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+        write_file(path, &content)?;
         println!(
             "wrote {} ({} events, {})",
             path.display(),
@@ -101,6 +157,17 @@ fn report(opts: &Opts, rec: &BufferRecorder) -> Result<(), String> {
                 "Chrome trace — open in Perfetto or chrome://tracing"
             }
         );
+    }
+    if opts.report.is_some() || opts.summary.is_some() {
+        let analysis = diagnostics::analyze(cmd, rec.events(), &AnalysisConfig::default());
+        if let Some(path) = &opts.report {
+            write_file(path, &diagnostics::html(&analysis))?;
+            println!("wrote {} (HTML run report)", path.display());
+        }
+        if let Some(path) = &opts.summary {
+            write_file(path, &analysis.summary().to_json())?;
+            println!("wrote {} (RunSummary JSON)", path.display());
+        }
     }
     if opts.metrics {
         println!("== metrics ==");
@@ -115,7 +182,28 @@ fn report(opts: &Opts, rec: &BufferRecorder) -> Result<(), String> {
     Ok(())
 }
 
-fn run_fig1(o: &Opts, rec: Option<&mut BufferRecorder>) {
+/// Bench metrics one experiment contributes to its `BENCH_<name>.json`.
+type BenchMetrics = Vec<(String, f64)>;
+
+/// Writes `BENCH_<name>.json` under `dir` (schema in EXPERIMENTS.md).
+fn write_bench(
+    dir: &Path,
+    name: &str,
+    wall: std::time::Duration,
+    metrics: &BenchMetrics,
+) -> Result<(), String> {
+    let mut s = RunSummary::new(name);
+    s.put("wall_clock_secs", wall.as_secs_f64());
+    for (k, v) in metrics {
+        s.put(k, *v);
+    }
+    let path = dir.join(format!("BENCH_{name}.json"));
+    write_file(&path, &s.to_json())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn run_fig1(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::fig1::Fig1Config {
         iterations: o.iterations.unwrap_or(100),
         ..Default::default()
@@ -146,9 +234,20 @@ fn run_fig1(o: &Opts, rec: Option<&mut BufferRecorder>) {
             println!("wrote {}", p.display());
         }
     }
+    let mut m = BenchMetrics::new();
+    for (i, s) in r.fair.stats.iter().enumerate() {
+        m.push((format!("fair.job{i}.median_ms"), s.median_ms()));
+    }
+    for (i, s) in r.unfair.stats.iter().enumerate() {
+        m.push((format!("unfair.job{i}.median_ms"), s.median_ms()));
+    }
+    for (i, s) in r.speedups().iter().enumerate() {
+        m.push((format!("speedup.job{i}"), s.0));
+    }
+    m
 }
 
-fn run_fig2(o: &Opts, rec: Option<&mut BufferRecorder>) {
+fn run_fig2(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::fig2::Fig2Config {
         iterations: o.iterations.unwrap_or(6),
         ..Default::default()
@@ -170,9 +269,13 @@ fn run_fig2(o: &Opts, rec: Option<&mut BufferRecorder>) {
             println!("wrote {}", p.display());
         }
     }
+    vec![(
+        "interleaved_at_iteration".to_string(),
+        r.interleaved_at().map_or(-1.0, |i| i as f64),
+    )]
 }
 
-fn run_table1(o: &Opts, rec: Option<&mut BufferRecorder>) {
+fn run_table1(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::table1::Table1Config {
         iterations: o.iterations.unwrap_or(30),
         ..Default::default()
@@ -205,9 +308,24 @@ fn run_table1(o: &Opts, rec: Option<&mut BufferRecorder>) {
         let p = export::write_csv(dir, "table1.csv", &export::rows_csv(&rows)).expect("write CSV");
         println!("wrote {}", p.display());
     }
+    let mut m = BenchMetrics::new();
+    for (gi, g) in r.groups.iter().enumerate() {
+        for (ri, row) in g.rows.iter().enumerate() {
+            m.push((
+                format!("group{gi}.job{ri}.fair_ms"),
+                row.fair.as_millis_f64(),
+            ));
+            m.push((
+                format!("group{gi}.job{ri}.unfair_ms"),
+                row.unfair.as_millis_f64(),
+            ));
+            m.push((format!("group{gi}.job{ri}.speedup"), row.speedup.0));
+        }
+    }
+    m
 }
 
-fn run_geometry(_o: &Opts) {
+fn run_geometry(_o: &Opts) -> BenchMetrics {
     println!("== Figs. 3–5 ==");
     let f3 = exp::geometry_demo::fig3(6);
     println!(
@@ -233,9 +351,19 @@ fn run_geometry(_o: &Opts) {
         f5.repetitions,
         f5.verdict.rotations().expect("compatible")[1].degrees
     );
+    vec![
+        (
+            "fig4.compatible".to_string(),
+            f4.verdict.is_compatible() as u8 as f64,
+        ),
+        (
+            "fig5.rotation_degrees".to_string(),
+            f5.verdict.rotations().expect("compatible")[1].degrees,
+        ),
+    ]
 }
 
-fn run_adaptive(o: &Opts, rec: Option<&mut BufferRecorder>) {
+fn run_adaptive(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::adaptive::AdaptiveConfig {
         iterations: o.iterations.unwrap_or(24),
         ..Default::default()
@@ -246,9 +374,17 @@ fn run_adaptive(o: &Opts, rec: Option<&mut BufferRecorder>) {
         None => exp::adaptive::run(&cfg),
     };
     println!("{}", r.render());
+    let mut m = BenchMetrics::new();
+    for (i, s) in r.compatible_speedups().iter().enumerate() {
+        m.push((format!("compatible.job{i}.speedup"), s.0));
+    }
+    let (stat, adpt) = r.victim_speedups();
+    m.push(("incompatible.victim.static_speedup".to_string(), stat.0));
+    m.push(("incompatible.victim.adaptive_speedup".to_string(), adpt.0));
+    m
 }
 
-fn run_priority(o: &Opts, rec: Option<&mut BufferRecorder>) {
+fn run_priority(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::priority::PriorityConfig {
         iterations: o.iterations.unwrap_or(20),
         ..Default::default()
@@ -259,9 +395,19 @@ fn run_priority(o: &Opts, rec: Option<&mut BufferRecorder>) {
         None => exp::priority::run(&cfg),
     };
     println!("{}", r.render());
+    let mut m = BenchMetrics::new();
+    for (i, s) in r.speedups().iter().enumerate() {
+        m.push((format!("job{i}.fair_ms"), r.fair[i].median_ms()));
+        m.push((
+            format!("job{i}.prioritized_ms"),
+            r.prioritized[i].median_ms(),
+        ));
+        m.push((format!("job{i}.speedup"), s.0));
+    }
+    m
 }
 
-fn run_flowsched(o: &Opts, rec: Option<&mut BufferRecorder>) {
+fn run_flowsched(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::flowsched::FlowschedConfig {
         iterations: o.iterations.unwrap_or(20),
         ..Default::default()
@@ -272,9 +418,16 @@ fn run_flowsched(o: &Opts, rec: Option<&mut BufferRecorder>) {
         None => exp::flowsched::run(&cfg),
     };
     println!("{}", r.render());
+    let mut m = BenchMetrics::new();
+    for (i, s) in r.speedups().iter().enumerate() {
+        m.push((format!("job{i}.fair_ms"), r.fair[i].median_ms()));
+        m.push((format!("job{i}.scheduled_ms"), r.scheduled[i].median_ms()));
+        m.push((format!("job{i}.speedup"), s.0));
+    }
+    m
 }
 
-fn run_pipelining(o: &Opts, rec: Option<&mut BufferRecorder>) {
+fn run_pipelining(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::pipelining::PipeliningConfig {
         iterations: o.iterations.unwrap_or(16),
         ..Default::default()
@@ -285,9 +438,13 @@ fn run_pipelining(o: &Opts, rec: Option<&mut BufferRecorder>) {
         None => exp::pipelining::run(&cfg),
     };
     println!("{}", r.render());
+    vec![
+        ("monolithic.max_tax".to_string(), r.monolithic.max_tax()),
+        ("pipelined.max_tax".to_string(), r.pipelined.max_tax()),
+    ]
 }
 
-fn run_cluster(o: &Opts, rec: Option<&mut BufferRecorder>) {
+fn run_cluster(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::cluster::ClusterConfig {
         iterations: o.iterations.unwrap_or(16),
         ..Default::default()
@@ -298,12 +455,122 @@ fn run_cluster(o: &Opts, rec: Option<&mut BufferRecorder>) {
         None => exp::cluster::run(&cfg),
     };
     println!("{}", r.render());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    vec![
+        (
+            "locality.mean_slowdown".to_string(),
+            mean(&r.locality.slowdowns),
+        ),
+        (
+            "compatibility.mean_slowdown".to_string(),
+            mean(&r.compatibility.slowdowns),
+        ),
+    ]
+}
+
+/// `mlcc-repro report TRACE.jsonl --out FILE [--summary FILE] [--name N]`
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut summary: Option<PathBuf> = None;
+    let mut name: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a file path")?)),
+            "--summary" => {
+                summary = Some(PathBuf::from(
+                    it.next().ok_or("--summary needs a file path")?,
+                ))
+            }
+            "--name" => name = Some(it.next().ok_or("--name needs a value")?.clone()),
+            other if !other.starts_with("--") && trace.is_none() => {
+                trace = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let trace = trace.ok_or("report needs a JSONL trace file")?;
+    let text =
+        std::fs::read_to_string(&trace).map_err(|e| format!("reading {}: {e}", trace.display()))?;
+    let events = telemetry::parse_jsonl(&text).map_err(|e| e.to_string())?;
+    let run_name = name.unwrap_or_else(|| {
+        trace
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "run".to_string())
+    });
+    let analysis = diagnostics::analyze(&run_name, &events, &AnalysisConfig::default());
+    let out = out.unwrap_or_else(|| trace.with_extension("html"));
+    write_file(&out, &diagnostics::html(&analysis))?;
+    println!(
+        "wrote {} ({} events, {} scenarios)",
+        out.display(),
+        events.len(),
+        analysis.scenarios.len()
+    );
+    if let Some(path) = &summary {
+        write_file(path, &analysis.summary().to_json())?;
+        println!("wrote {} (RunSummary JSON)", path.display());
+    }
+    Ok(())
+}
+
+/// `mlcc-repro diff A.json B.json [--tolerance F]` — Ok(true) when clean.
+fn cmd_diff(args: &[String]) -> Result<bool, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut cfg = DiffConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                cfg.rel_tol = v.parse().map_err(|_| format!("bad tolerance {v}"))?;
+            }
+            other if !other.starts_with("--") => files.push(PathBuf::from(other)),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let [a_path, b_path] = files.as_slice() else {
+        return Err("diff needs exactly two RunSummary JSON files".to_string());
+    };
+    let load = |p: &PathBuf| -> Result<RunSummary, String> {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+        RunSummary::from_json(&text).map_err(|e| format!("parsing {}: {e}", p.display()))
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    let report = diagnostics::diff(&a, &b, &cfg);
+    if report.is_clean() {
+        println!(
+            "clean: {} metrics within {:.1}% tolerance",
+            report.compared,
+            cfg.rel_tol * 100.0
+        );
+        Ok(true)
+    } else {
+        println!(
+            "DIFF: {} shifted, {} only in {}, {} only in {} (of {} compared):",
+            report.shifted.len(),
+            report.only_in_a.len(),
+            a_path.display(),
+            report.only_in_b.len(),
+            b_path.display(),
+            report.compared
+        );
+        print!("{}", report.render());
+        Ok(false)
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mlcc-repro <fig1|fig2|table1|geometry|adaptive|priority|flowsched|cluster|\
-         pipelining|all> [--iterations N] [--csv DIR] [--trace FILE] [--metrics] [--profile]"
+         pipelining|all> [--iterations N] [--csv DIR] [--trace FILE] [--metrics] [--profile]\n\
+         \x20      [--report FILE] [--summary FILE] [--summary-dir DIR]\n\
+         \x20      mlcc-repro report TRACE.jsonl [--out FILE] [--summary FILE] [--name NAME]\n\
+         \x20      mlcc-repro diff A.json B.json [--tolerance F]"
     );
     ExitCode::FAILURE
 }
@@ -313,6 +580,29 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
+    // Analysis subcommands take their own arguments.
+    match cmd.as_str() {
+        "report" => {
+            return match cmd_report(rest) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "diff" => {
+            return match cmd_diff(rest) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -321,31 +611,51 @@ fn main() -> ExitCode {
         }
     };
     let mut rec = opts.recorder();
-    match cmd.as_str() {
-        "fig1" => run_fig1(&opts, rec.as_mut()),
-        "fig2" => run_fig2(&opts, rec.as_mut()),
-        "table1" => run_table1(&opts, rec.as_mut()),
-        "geometry" => run_geometry(&opts),
-        "adaptive" => run_adaptive(&opts, rec.as_mut()),
-        "priority" => run_priority(&opts, rec.as_mut()),
-        "flowsched" => run_flowsched(&opts, rec.as_mut()),
-        "cluster" => run_cluster(&opts, rec.as_mut()),
-        "pipelining" => run_pipelining(&opts, rec.as_mut()),
-        "all" => {
-            run_fig1(&opts, rec.as_mut());
-            run_fig2(&opts, rec.as_mut());
-            run_table1(&opts, rec.as_mut());
-            run_geometry(&opts);
-            run_adaptive(&opts, rec.as_mut());
-            run_priority(&opts, rec.as_mut());
-            run_flowsched(&opts, rec.as_mut());
-            run_cluster(&opts, rec.as_mut());
-            run_pipelining(&opts, rec.as_mut());
+    // Runs one experiment, timing it and writing its bench summary.
+    let mut bench_err: Option<String> = None;
+    {
+        let mut run =
+            |name: &str,
+             rec: &mut Option<BufferRecorder>,
+             f: &dyn Fn(&Opts, Option<&mut BufferRecorder>) -> BenchMetrics| {
+                let start = Instant::now();
+                let metrics = f(&opts, rec.as_mut());
+                if let Some(dir) = &opts.summary_dir {
+                    if let Err(e) = write_bench(dir, name, start.elapsed(), &metrics) {
+                        bench_err.get_or_insert(e);
+                    }
+                }
+            };
+        match cmd.as_str() {
+            "fig1" => run("fig1", &mut rec, &run_fig1),
+            "fig2" => run("fig2", &mut rec, &run_fig2),
+            "table1" => run("table1", &mut rec, &run_table1),
+            "geometry" => run("geometry", &mut rec, &|o, _| run_geometry(o)),
+            "adaptive" => run("adaptive", &mut rec, &run_adaptive),
+            "priority" => run("priority", &mut rec, &run_priority),
+            "flowsched" => run("flowsched", &mut rec, &run_flowsched),
+            "cluster" => run("cluster", &mut rec, &run_cluster),
+            "pipelining" => run("pipelining", &mut rec, &run_pipelining),
+            "all" => {
+                run("fig1", &mut rec, &run_fig1);
+                run("fig2", &mut rec, &run_fig2);
+                run("table1", &mut rec, &run_table1);
+                run("geometry", &mut rec, &|o, _| run_geometry(o));
+                run("adaptive", &mut rec, &run_adaptive);
+                run("priority", &mut rec, &run_priority);
+                run("flowsched", &mut rec, &run_flowsched);
+                run("cluster", &mut rec, &run_cluster);
+                run("pipelining", &mut rec, &run_pipelining);
+            }
+            _ => return usage(),
         }
-        _ => return usage(),
+    }
+    if let Some(e) = bench_err {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
     if let Some(rec) = &rec {
-        if let Err(e) = report(&opts, rec) {
+        if let Err(e) = report(cmd, &opts, rec) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

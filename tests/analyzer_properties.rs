@@ -1,0 +1,152 @@
+//! Property-based tests on the diagnostics analyzers' invariants, driven
+//! through the public API of the `diagnostics` crate.
+
+use diagnostics::{audit, extract_tracks, jain_index};
+use geometry::{overlap_fraction_of, solve, Profile, SolverConfig};
+use mlcc_repro::*;
+use proptest::prelude::*;
+use simtime::{Dur, Time};
+use telemetry::{Event, Phase, TimedEvent};
+
+fn comm_event(at: u64, job: u32, iteration: u64, enter: bool) -> TimedEvent {
+    TimedEvent {
+        at: Time::from_nanos(at),
+        event: if enter {
+            Event::PhaseEnter {
+                job,
+                phase: Phase::Communicate,
+                iteration,
+            }
+        } else {
+            Event::PhaseExit {
+                job,
+                phase: Phase::Communicate,
+                iteration,
+            }
+        },
+    }
+}
+
+/// Strategy: positive per-flow rates (the domain Jain is defined on).
+fn rates_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.1f64..100.0, 1..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Jain's index lies in (0, 1] for any non-empty positive allocation.
+    #[test]
+    fn jain_index_is_bounded(rates in rates_strategy()) {
+        let j = jain_index(&rates);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "jain {j} for {rates:?}");
+    }
+
+    /// Identical rates are perfectly fair: Jain == 1 regardless of the
+    /// common value or the flow count.
+    #[test]
+    fn jain_index_of_identical_rates_is_one(
+        rate in 0.1f64..100.0,
+        n in 1usize..32,
+    ) {
+        let j = jain_index(&vec![rate; n]);
+        prop_assert!((j - 1.0).abs() < 1e-12, "jain {j}");
+    }
+
+    /// Jain's index is permutation-invariant: rotating or reversing the
+    /// allocation vector never changes the verdict.
+    #[test]
+    fn jain_index_is_permutation_invariant(
+        rates in rates_strategy(),
+        rot in 0usize..16,
+    ) {
+        let j = jain_index(&rates);
+        let mut rotated = rates.clone();
+        rotated.rotate_left(rot % rates.len());
+        prop_assert!((jain_index(&rotated) - j).abs() < 1e-12);
+        let mut reversed = rates;
+        reversed.reverse();
+        prop_assert!((jain_index(&reversed) - j).abs() < 1e-12);
+    }
+
+    /// The interleaving auditor's overlap fraction is a fraction: in
+    /// [0, 1] for arbitrary (even pathological) comm interval layouts.
+    #[test]
+    fn measured_overlap_fraction_is_bounded(
+        spans in proptest::collection::vec((0u64..1_000, 1u64..500), 1..24),
+    ) {
+        let mut events = Vec::new();
+        for (job, &(start, len)) in spans.iter().enumerate() {
+            events.push(comm_event(start, job as u32, 0, true));
+            events.push(comm_event(start + len, job as u32, 0, false));
+        }
+        events.sort_by_key(|e| e.at);
+        let report = audit(&extract_tracks(&events), None);
+        prop_assert!(
+            (0.0..=1.0).contains(&report.overlap_fraction),
+            "overlap {} for {spans:?}",
+            report.overlap_fraction
+        );
+        for link in &report.links {
+            prop_assert!((0.0..=1.0).contains(&link.overlap_fraction));
+            for share in link.exclusive_share.values() {
+                prop_assert!((0.0..=1.0).contains(share));
+            }
+        }
+    }
+
+    /// Perfectly rotated arcs — each job communicating in its own slot of
+    /// a shared period — measure exactly zero overlap, every iteration.
+    #[test]
+    fn perfectly_rotated_arcs_measure_zero_overlap(
+        n in 2usize..6,
+        slot in 50u64..500,
+        iterations in 1u64..8,
+    ) {
+        let period = n as u64 * slot;
+        let mut events = Vec::new();
+        for k in 0..iterations {
+            for job in 0..n as u64 {
+                let start = k * period + job * slot;
+                events.push(comm_event(start, job as u32, k, true));
+                events.push(comm_event(start + slot, job as u32, k, false));
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        let report = audit(&extract_tracks(&events), None);
+        prop_assert_eq!(report.overlap_fraction, 0.0);
+        for link in &report.links {
+            for (&job, &share) in &link.exclusive_share {
+                prop_assert!(
+                    (share - 1.0).abs() < 1e-12,
+                    "job {} exclusive share {}",
+                    job,
+                    share
+                );
+            }
+        }
+    }
+
+    /// The solver's own rotations always score zero predicted overlap
+    /// under `overlap_fraction_of` — prediction agrees with the verdict.
+    #[test]
+    fn solver_rotations_predict_zero_overlap(
+        period in 50u64..200,
+        frac_a in 0.05f64..0.45,
+        frac_b in 0.05f64..0.45,
+    ) {
+        let p = Dur::from_millis(period);
+        let comm_a = p.mul_f64(frac_a).max(Dur::from_millis(1));
+        let comm_b = p.mul_f64(frac_b).max(Dur::from_millis(1));
+        let a = Profile::compute_then_comm(p - comm_a, comm_a);
+        let b = Profile::compute_then_comm(p - comm_b, comm_b);
+        let cfg = SolverConfig::default();
+        let verdict = solve(&[a.clone(), b.clone()], &cfg).unwrap();
+        if verdict.is_compatible() {
+            let rots = verdict.rotations().unwrap();
+            let predicted =
+                overlap_fraction_of(&[a, b], rots, cfg.sectors).unwrap();
+            prop_assert_eq!(predicted, 0.0);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end checks of the diagnostics pipeline against real experiment
+//! traces: the interleaving auditor must *measure* the paper's thesis
+//! (unfairness interleaves communication), replay must agree with the live
+//! recorder, and the summary diff must catch real drift.
+
+use diagnostics::{analyze, diff, AnalysisConfig, DiffConfig};
+use mlcc::experiments::fig1::{self, Fig1Config};
+use mlcc_repro::*;
+use telemetry::BufferRecorder;
+
+fn fig1_cfg(iterations: usize) -> Fig1Config {
+    Fig1Config {
+        iterations,
+        ..Fig1Config::default()
+    }
+}
+
+/// The acceptance criterion: under unfair DCQCN the two jobs' communication
+/// phases interleave, so the measured overlap fraction is strictly lower
+/// than under fair sharing (where both jobs contend continuously).
+#[test]
+fn unfair_fig1_interleaves_more_than_fair() {
+    let mut rec = BufferRecorder::new();
+    fig1::run_traced(&fig1_cfg(30), &mut rec);
+    let analysis = analyze("fig1", rec.events(), &AnalysisConfig::default());
+    assert_eq!(analysis.scenarios.len(), 2, "fair + unfair scenarios");
+    let fair = &analysis.scenarios[0];
+    let unfair = &analysis.scenarios[1];
+    assert_eq!(fair.name, "fig1/fair");
+    assert_eq!(unfair.name, "fig1/unfair");
+    assert!(
+        unfair.interleave.overlap_fraction < fair.interleave.overlap_fraction,
+        "unfair overlap {} must be strictly below fair overlap {}",
+        unfair.interleave.overlap_fraction,
+        fair.interleave.overlap_fraction
+    );
+    // Fair sharing keeps both jobs' phases glued together — heavy overlap.
+    assert!(
+        fair.interleave.overlap_fraction > 0.5,
+        "fair overlap {} unexpectedly low",
+        fair.interleave.overlap_fraction
+    );
+}
+
+/// A JSONL round trip is lossless for analysis purposes: analyzing the
+/// replayed trace produces exactly the summary of the live trace.
+#[test]
+fn replayed_trace_analyzes_identically() {
+    let mut rec = BufferRecorder::new();
+    fig1::run_traced(&fig1_cfg(10), &mut rec);
+    let text = telemetry::export::jsonl(rec.events());
+    let replayed = telemetry::parse_jsonl(&text).expect("replay parses");
+    assert_eq!(replayed.len(), rec.len());
+    let cfg = AnalysisConfig::default();
+    let live = analyze("fig1", rec.events(), &cfg).summary();
+    let back = analyze("fig1", &replayed, &cfg).summary();
+    assert_eq!(live.to_json(), back.to_json());
+    assert!(diff(&live, &back, &DiffConfig::default()).is_clean());
+}
+
+/// Identical runs diff clean; runs that genuinely differ (more iterations
+/// shift the medians' tail behaviour and signal rates) are flagged.
+#[test]
+fn summary_diff_separates_identical_from_changed_runs() {
+    let summarize = |iterations: usize| {
+        let mut rec = BufferRecorder::new();
+        fig1::run_traced(&fig1_cfg(iterations), &mut rec);
+        analyze("fig1", rec.events(), &AnalysisConfig::default()).summary()
+    };
+    let a = summarize(12);
+    let b = summarize(12);
+    let changed = summarize(36);
+    let cfg = DiffConfig::default();
+    assert!(
+        diff(&a, &b, &cfg).is_clean(),
+        "identical seeds must diff clean:\n{}",
+        diff(&a, &b, &cfg).render()
+    );
+    let d = diff(&a, &changed, &cfg);
+    assert!(
+        !d.is_clean(),
+        "tripling iterations should shift at least one metric"
+    );
+}

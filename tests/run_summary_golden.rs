@@ -1,0 +1,43 @@
+//! Golden-summary regression gate: the fig1 reproduction (fair + unfair,
+//! pinned seed) must keep producing the metrics committed under
+//! `tests/goldens/`, within the diff tolerance. Catches silent behavioural
+//! drift in the simulators, the analyzers, and the summary serialization
+//! in one shot.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! cargo run -- fig1 --iterations 20 --summary tests/goldens/fig1.json
+//! ```
+
+use diagnostics::{analyze, diff, AnalysisConfig, DiffConfig, RunSummary};
+use mlcc::experiments::fig1::{self, Fig1Config};
+use mlcc_repro::*;
+use telemetry::BufferRecorder;
+
+#[test]
+fn fig1_summary_matches_committed_golden() {
+    let golden = RunSummary::from_json(include_str!("goldens/fig1.json")).expect("golden parses");
+    // Exactly what `mlcc-repro fig1 --iterations 20 --summary …` runs.
+    let cfg = Fig1Config {
+        iterations: 20,
+        ..Fig1Config::default()
+    };
+    let mut rec = BufferRecorder::new();
+    fig1::run_traced(&cfg, &mut rec);
+    let current = analyze("fig1", rec.events(), &AnalysisConfig::default()).summary();
+
+    assert_eq!(current.name, golden.name);
+    let report = diff(&golden, &current, &DiffConfig::default());
+    assert!(
+        report.is_clean(),
+        "fig1 drifted from the golden summary ({} compared):\n{}\
+         \nIf the change is intentional, regenerate with:\n  \
+         cargo run -- fig1 --iterations 20 --summary tests/goldens/fig1.json",
+        report.compared,
+        report.render()
+    );
+    // The golden itself must keep exercising both scenarios.
+    assert!(golden.metrics.keys().any(|k| k.starts_with("fig1_fair.")));
+    assert!(golden.metrics.keys().any(|k| k.starts_with("fig1_unfair.")));
+}
