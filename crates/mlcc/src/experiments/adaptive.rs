@@ -26,10 +26,11 @@
 //! decrease as well — a job at progress `p` cuts by `alpha/(2(1+p))`.
 
 use crate::metrics::{JobStats, Speedup};
+use crate::parallel;
 use dcqcn::CcVariant;
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use simtime::{Bandwidth, Dur, Time};
-use telemetry::{Event, NoopRecorder, Recorder};
+use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
 use workload::{JobSpec, Model};
 
 /// Experiment parameters.
@@ -195,8 +196,10 @@ pub fn run(cfg: &AdaptiveConfig) -> AdaptiveResult {
 }
 
 /// Runs all five scenarios, streaming telemetry into `rec` with a marker
-/// per scenario.
-pub fn run_traced<R: Recorder>(cfg: &AdaptiveConfig, mut rec: R) -> AdaptiveResult {
+/// per scenario. The scenarios are independent simulations and run in
+/// parallel under [`parallel::jobs`] workers; results and telemetry are
+/// identical to a serial run.
+pub fn run_traced<R: ForkableRecorder>(cfg: &AdaptiveConfig, mut rec: R) -> AdaptiveResult {
     let fair = [CcVariant::Fair, CcVariant::Fair];
     let adaptive = [CcVariant::AdaptiveUnfair, CcVariant::AdaptiveUnfair];
     let stat = [
@@ -205,33 +208,45 @@ pub fn run_traced<R: Recorder>(cfg: &AdaptiveConfig, mut rec: R) -> AdaptiveResu
         },
         CcVariant::Fair,
     ];
-    let mark = |rec: &mut R, name: &str| {
-        if R::ENABLED {
-            rec.record(
-                Time::ZERO,
-                Event::Scenario {
-                    name: format!("adaptive/{name}"),
-                },
-            );
-        }
-    };
-    mark(&mut rec, "compatible-fair-sync");
-    let compatible_fair_sync = run_pair(cfg.compatible, fair, Dur::ZERO, cfg, &mut rec);
-    mark(&mut rec, "compatible-adaptive");
-    let compatible_adaptive = run_pair(
-        cfg.compatible,
-        adaptive,
-        Dur::from_millis(15),
-        cfg,
-        &mut rec,
-    );
-    mark(&mut rec, "incompatible-fair");
-    let incompatible_fair = run_pair(cfg.incompatible, fair, cfg.seed_offset, cfg, &mut rec);
-    mark(&mut rec, "incompatible-static");
-    let incompatible_static = run_pair(cfg.incompatible, stat, cfg.seed_offset, cfg, &mut rec);
-    mark(&mut rec, "incompatible-adaptive");
-    let incompatible_adaptive =
-        run_pair(cfg.incompatible, adaptive, cfg.seed_offset, cfg, &mut rec);
+    let units: [(&str, [JobSpec; 2], [CcVariant; 2], Dur); 5] = [
+        ("compatible-fair-sync", cfg.compatible, fair, Dur::ZERO),
+        (
+            "compatible-adaptive",
+            cfg.compatible,
+            adaptive,
+            Dur::from_millis(15),
+        ),
+        ("incompatible-fair", cfg.incompatible, fair, cfg.seed_offset),
+        (
+            "incompatible-static",
+            cfg.incompatible,
+            stat,
+            cfg.seed_offset,
+        ),
+        (
+            "incompatible-adaptive",
+            cfg.incompatible,
+            adaptive,
+            cfg.seed_offset,
+        ),
+    ];
+    let mut out =
+        parallel::map_traced(&mut rec, &units, |_, &(name, jobs, variants, off), fork| {
+            if R::ENABLED {
+                fork.record(
+                    Time::ZERO,
+                    Event::Scenario {
+                        name: format!("adaptive/{name}"),
+                    },
+                );
+            }
+            run_pair(jobs, variants, off, cfg, fork)
+        });
+    let incompatible_adaptive = out.pop().expect("five scenarios");
+    let incompatible_static = out.pop().expect("five scenarios");
+    let incompatible_fair = out.pop().expect("five scenarios");
+    let compatible_adaptive = out.pop().expect("five scenarios");
+    let compatible_fair_sync = out.pop().expect("five scenarios");
     AdaptiveResult {
         compatible_fair_sync,
         compatible_adaptive,

@@ -14,13 +14,14 @@
 //! kicks in: rotations from the cluster solver become communication gates.
 
 use crate::metrics::{JobStats, StatsError};
+use crate::parallel;
 use geometry::Verdict;
 use netsim::fluid::{FluidConfig, FluidSimulator, Gate};
 use scheduler::{
     gates_from_rotations, ClusterScheduler, PlacementError, PlacementPolicy, SchedulerConfig,
 };
 use simtime::{Bandwidth, Dur, Time};
-use telemetry::{Event, NoopRecorder, Recorder};
+use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
 use topology::builders::{two_tier, TwoTier};
 use workload::{JobSpec, Model};
 
@@ -288,29 +289,25 @@ pub fn try_run(cfg: &ClusterConfig) -> Result<ClusterResult, ClusterError> {
 }
 
 /// [`try_run`] with telemetry streamed into `rec`, one [`Event::Scenario`]
-/// marker per placement policy.
-pub fn try_run_traced<R: Recorder>(
+/// marker per placement policy. Both policies run in parallel under
+/// [`parallel::jobs`] workers with results and telemetry identical to a
+/// serial run.
+pub fn try_run_traced<R: ForkableRecorder>(
     cfg: &ClusterConfig,
     mut rec: R,
 ) -> Result<ClusterResult, ClusterError> {
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "cluster/locality".into(),
-            },
-        );
-    }
-    let locality = try_evaluate(PlacementPolicy::LocalityOnly, cfg, &mut rec)?;
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "cluster/compatibility".into(),
-            },
-        );
-    }
-    let compatibility = try_evaluate(PlacementPolicy::CompatibilityAware, cfg, &mut rec)?;
+    let units: [(&str, PlacementPolicy); 2] = [
+        ("cluster/locality", PlacementPolicy::LocalityOnly),
+        ("cluster/compatibility", PlacementPolicy::CompatibilityAware),
+    ];
+    let mut out = parallel::try_map_traced(&mut rec, &units, |_, &(name, policy), fork| {
+        if R::ENABLED {
+            fork.record(Time::ZERO, Event::Scenario { name: name.into() });
+        }
+        try_evaluate(policy, cfg, fork)
+    })?;
+    let compatibility = out.pop().expect("two policies");
+    let locality = out.pop().expect("two policies");
     Ok(ClusterResult {
         locality,
         compatibility,

@@ -11,11 +11,12 @@
 //!   testbed).
 
 use crate::metrics::{text_table, JobStats, Speedup};
+use crate::parallel;
 use dcqcn::CcVariant;
 use eventsim::TimeSeries;
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use simtime::{Dur, Time};
-use telemetry::{Event, NoopRecorder, Recorder};
+use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
 use workload::{JobSpec, Model};
 
 /// Experiment parameters.
@@ -154,35 +155,30 @@ pub fn run(cfg: &Fig1Config) -> Fig1Result {
 
 /// Runs both scenarios, streaming telemetry into `rec`. Each scenario is
 /// announced with an [`Event::Scenario`] marker so exporters can attribute
-/// the events that follow.
-pub fn run_traced<R: Recorder>(cfg: &Fig1Config, mut rec: R) -> Fig1Result {
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "fig1/fair".into(),
-            },
-        );
-    }
-    let fair = run_scenario(cfg, [CcVariant::Fair, CcVariant::Fair], &mut rec);
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "fig1/unfair".into(),
-            },
-        );
-    }
-    let unfair = run_scenario(
-        cfg,
-        [
-            CcVariant::StaticUnfair {
-                timer: cfg.aggressive_timer,
-            },
-            CcVariant::Fair,
-        ],
-        &mut rec,
-    );
+/// the events that follow. Scenarios are independent and run in parallel
+/// under [`parallel::jobs`] workers; results and telemetry are identical
+/// to a serial run.
+pub fn run_traced<R: ForkableRecorder>(cfg: &Fig1Config, mut rec: R) -> Fig1Result {
+    let scenarios: [(&str, [CcVariant; 2]); 2] = [
+        ("fig1/fair", [CcVariant::Fair, CcVariant::Fair]),
+        (
+            "fig1/unfair",
+            [
+                CcVariant::StaticUnfair {
+                    timer: cfg.aggressive_timer,
+                },
+                CcVariant::Fair,
+            ],
+        ),
+    ];
+    let mut out = parallel::map_traced(&mut rec, &scenarios, |_, &(name, variants), fork| {
+        if R::ENABLED {
+            fork.record(Time::ZERO, Event::Scenario { name: name.into() });
+        }
+        run_scenario(cfg, variants, fork)
+    });
+    let unfair = out.pop().expect("two scenarios");
+    let fair = out.pop().expect("two scenarios");
     Fig1Result { fair, unfair }
 }
 

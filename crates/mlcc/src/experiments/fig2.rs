@@ -8,11 +8,12 @@
 //! contended (both-communicating) time of each of the aggressive job's
 //! iterations.
 
+use crate::parallel;
 use dcqcn::CcVariant;
 use eventsim::TimeSeries;
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use simtime::{Dur, Time};
-use telemetry::{Event, NoopRecorder, Recorder};
+use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
 use workload::{JobSpec, Model};
 
 /// Experiment parameters.
@@ -147,35 +148,29 @@ pub fn run(cfg: &Fig2Config) -> Fig2Result {
 }
 
 /// Runs both scenarios, streaming telemetry into `rec` with per-scenario
-/// [`Event::Scenario`] markers.
-pub fn run_traced<R: Recorder>(cfg: &Fig2Config, mut rec: R) -> Fig2Result {
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "fig2/fair".into(),
-            },
-        );
-    }
-    let fair = run_scenario(cfg, [CcVariant::Fair, CcVariant::Fair], &mut rec);
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "fig2/unfair".into(),
-            },
-        );
-    }
-    let unfair = run_scenario(
-        cfg,
-        [
-            CcVariant::StaticUnfair {
-                timer: cfg.aggressive_timer,
-            },
-            CcVariant::Fair,
-        ],
-        &mut rec,
-    );
+/// [`Event::Scenario`] markers. Scenarios run in parallel under
+/// [`parallel::jobs`] workers with output identical to a serial run.
+pub fn run_traced<R: ForkableRecorder>(cfg: &Fig2Config, mut rec: R) -> Fig2Result {
+    let scenarios: [(&str, [CcVariant; 2]); 2] = [
+        ("fig2/fair", [CcVariant::Fair, CcVariant::Fair]),
+        (
+            "fig2/unfair",
+            [
+                CcVariant::StaticUnfair {
+                    timer: cfg.aggressive_timer,
+                },
+                CcVariant::Fair,
+            ],
+        ),
+    ];
+    let mut out = parallel::map_traced(&mut rec, &scenarios, |_, &(name, variants), fork| {
+        if R::ENABLED {
+            fork.record(Time::ZERO, Event::Scenario { name: name.into() });
+        }
+        run_scenario(cfg, variants, fork)
+    });
+    let unfair = out.pop().expect("two scenarios");
+    let fair = out.pop().expect("two scenarios");
     Fig2Result { fair, unfair }
 }
 

@@ -9,11 +9,12 @@
 //! tight time synchronization, which a simulator gets for free).
 
 use crate::metrics::{JobStats, Speedup};
+use crate::parallel;
 use geometry::{solve, GeometryError, Profile, SolverConfig};
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator};
 use scheduler::{gates_from_rotations, gating_profiles};
 use simtime::{Bandwidth, Dur, Time};
-use telemetry::{Event, NoopRecorder, Recorder};
+use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
 use topology::builders::dumbbell;
 use workload::{JobSpec, Model};
 
@@ -200,13 +201,15 @@ pub fn try_run(cfg: &FlowschedConfig) -> Result<FlowschedResult, FlowschedError>
 /// # Panics
 /// Panics on any [`FlowschedError`]; use [`try_run_traced`] to handle
 /// failures.
-pub fn run_traced<R: Recorder>(cfg: &FlowschedConfig, rec: R) -> FlowschedResult {
+pub fn run_traced<R: ForkableRecorder>(cfg: &FlowschedConfig, rec: R) -> FlowschedResult {
     try_run_traced(cfg, rec).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`try_run`] with telemetry streamed into `rec`, one [`Event::Scenario`]
-/// marker per scenario.
-pub fn try_run_traced<R: Recorder>(
+/// marker per scenario. Both scenarios run in parallel under
+/// [`parallel::jobs`] workers with results and telemetry identical to a
+/// serial run.
+pub fn try_run_traced<R: ForkableRecorder>(
     cfg: &FlowschedConfig,
     mut rec: R,
 ) -> Result<FlowschedResult, FlowschedError> {
@@ -223,24 +226,23 @@ pub fn try_run_traced<R: Recorder>(
     let gates = gates_from_rotations(&profiles, &rotations, &offsets);
     let shifts = rotations.iter().map(|r| r.shift).collect();
 
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "flowsched/fair".into(),
-            },
-        );
-    }
-    let fair = run_with_gates(&cfg.jobs, Vec::new(), cfg, &mut rec)?;
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "flowsched/scheduled".into(),
-            },
-        );
-    }
-    let scheduled = run_with_gates(&cfg.jobs, gates, cfg, &mut rec)?;
+    let units: [(&str, Vec<Option<netsim::fluid::Gate>>); 2] = [
+        ("flowsched/fair", Vec::new()),
+        ("flowsched/scheduled", gates),
+    ];
+    let mut out = parallel::try_map_traced(&mut rec, &units, |_, (name, gates), fork| {
+        if R::ENABLED {
+            fork.record(
+                Time::ZERO,
+                Event::Scenario {
+                    name: (*name).into(),
+                },
+            );
+        }
+        run_with_gates(&cfg.jobs, gates.clone(), cfg, fork)
+    })?;
+    let scheduled = out.pop().expect("two scenarios");
+    let fair = out.pop().expect("two scenarios");
     Ok(FlowschedResult {
         fair,
         scheduled,

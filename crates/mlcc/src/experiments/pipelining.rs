@@ -19,11 +19,12 @@
 //! `EXPERIMENTS.md`; the §4.ii/§4.iii mechanisms apply unchanged.)
 
 use crate::metrics::{text_table, JobStats};
+use crate::parallel;
 use geometry::{solve_pair, SolverConfig, Verdict};
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator, SharingPolicy};
 use scheduler::analytic_profile;
 use simtime::{Bandwidth, Dur, Time};
-use telemetry::{Event, NoopRecorder, Recorder};
+use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
 use topology::builders::dumbbell;
 use workload::{JobSpec, Model};
 
@@ -175,26 +176,25 @@ pub fn run(cfg: &PipeliningConfig) -> PipeliningResult {
 }
 
 /// Runs both emission shapes, streaming telemetry into `rec` with a
-/// marker per shape.
-pub fn run_traced<R: Recorder>(cfg: &PipeliningConfig, mut rec: R) -> PipeliningResult {
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "pipelining/monolithic".into(),
-            },
-        );
-    }
-    let monolithic = run_shape(cfg.base, cfg, &mut rec);
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "pipelining/pipelined".into(),
-            },
-        );
-    }
-    let pipelined = run_shape(cfg.base.pipelined(cfg.chunks, cfg.gap), cfg, &mut rec);
+/// marker per shape. Both shapes run in parallel under
+/// [`parallel::jobs`] workers with results and telemetry identical to a
+/// serial run.
+pub fn run_traced<R: ForkableRecorder>(cfg: &PipeliningConfig, mut rec: R) -> PipeliningResult {
+    let units: [(&str, JobSpec); 2] = [
+        ("pipelining/monolithic", cfg.base),
+        (
+            "pipelining/pipelined",
+            cfg.base.pipelined(cfg.chunks, cfg.gap),
+        ),
+    ];
+    let mut out = parallel::map_traced(&mut rec, &units, |_, &(name, spec), fork| {
+        if R::ENABLED {
+            fork.record(Time::ZERO, Event::Scenario { name: name.into() });
+        }
+        run_shape(spec, cfg, fork)
+    });
+    let pipelined = out.pop().expect("two shapes");
+    let monolithic = out.pop().expect("two shapes");
     PipeliningResult {
         monolithic,
         pipelined,

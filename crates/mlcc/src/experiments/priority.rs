@@ -8,10 +8,11 @@
 //! queues — is exercised through [`scheduler::assign_priorities`].
 
 use crate::metrics::{JobStats, Speedup};
+use crate::parallel;
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator, SharingPolicy};
 use scheduler::assign_priorities;
 use simtime::{Bandwidth, Dur, Time};
-use telemetry::{Event, NoopRecorder, Recorder};
+use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
 use topology::builders::dumbbell;
 use workload::{JobSpec, Model};
 
@@ -197,13 +198,15 @@ pub fn try_run(cfg: &PriorityConfig) -> Result<PriorityResult, PriorityError> {
 /// # Panics
 /// Panics on any [`PriorityError`]; use [`try_run_traced`] to handle
 /// failures.
-pub fn run_traced<R: Recorder>(cfg: &PriorityConfig, rec: R) -> PriorityResult {
+pub fn run_traced<R: ForkableRecorder>(cfg: &PriorityConfig, rec: R) -> PriorityResult {
     try_run_traced(cfg, rec).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`try_run`] with telemetry streamed into `rec`, one [`Event::Scenario`]
-/// marker per scenario.
-pub fn try_run_traced<R: Recorder>(
+/// marker per scenario. Both policies run in parallel under
+/// [`parallel::jobs`] workers with results and telemetry identical to a
+/// serial run.
+pub fn try_run_traced<R: ForkableRecorder>(
     cfg: &PriorityConfig,
     mut rec: R,
 ) -> Result<PriorityResult, PriorityError> {
@@ -211,29 +214,26 @@ pub fn try_run_traced<R: Recorder>(
         return Err(PriorityError::NoJobs);
     }
     let classes = assign_priorities(cfg.jobs.len(), cfg.queues)?;
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "priority/fair".into(),
-            },
-        );
-    }
-    let fair = run_policy(&cfg.jobs, SharingPolicy::MaxMin, cfg, &mut rec)?;
-    if R::ENABLED {
-        rec.record(
-            Time::ZERO,
-            Event::Scenario {
-                name: "priority/prioritized".into(),
-            },
-        );
-    }
-    let prioritized = run_policy(
-        &cfg.jobs,
-        SharingPolicy::Priority(classes.clone()),
-        cfg,
-        &mut rec,
-    )?;
+    let units: [(&str, SharingPolicy); 2] = [
+        ("priority/fair", SharingPolicy::MaxMin),
+        (
+            "priority/prioritized",
+            SharingPolicy::Priority(classes.clone()),
+        ),
+    ];
+    let mut out = parallel::try_map_traced(&mut rec, &units, |_, (name, policy), fork| {
+        if R::ENABLED {
+            fork.record(
+                Time::ZERO,
+                Event::Scenario {
+                    name: (*name).into(),
+                },
+            );
+        }
+        run_policy(&cfg.jobs, policy.clone(), cfg, fork)
+    })?;
+    let prioritized = out.pop().expect("two scenarios");
+    let fair = out.pop().expect("two scenarios");
     Ok(PriorityResult {
         fair,
         prioritized,

@@ -15,12 +15,13 @@
 //! that cross-check is the reproduction's central scientific claim.
 
 use crate::metrics::{text_table, JobStats, Speedup};
+use crate::parallel;
 use dcqcn::CcVariant;
 use geometry::{solve, SolverConfig, Verdict};
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use scheduler::analytic_profile;
 use simtime::{Bandwidth, Dur, Time};
-use telemetry::{Event, NoopRecorder, Recorder};
+use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
 use workload::{JobSpec, Model};
 
 /// Experiment parameters.
@@ -206,23 +207,22 @@ pub fn run_group(group: &[JobSpec], cfg: &Table1Config) -> GroupResult {
     run_group_traced(group, cfg, NoopRecorder)
 }
 
-/// Runs one group, streaming telemetry into `rec`.
-pub fn run_group_traced<R: Recorder>(
-    group: &[JobSpec],
-    cfg: &Table1Config,
-    mut rec: R,
-) -> GroupResult {
-    let n = group.len();
-    let fair_variants = vec![CcVariant::Fair; n];
-    let timers = ordered_timers(n, cfg.timer_range);
-    let unfair_variants: Vec<CcVariant> = timers
+/// The group's ordered-unfairness variants.
+fn unfair_variants(n: usize, cfg: &Table1Config) -> Vec<CcVariant> {
+    ordered_timers(n, cfg.timer_range)
         .iter()
         .map(|&t| CcVariant::StaticUnfair { timer: t })
-        .collect();
+        .collect()
+}
 
-    let fair = mean_iteration_times(group, &fair_variants, cfg, &mut rec);
-    let unfair = mean_iteration_times(group, &unfair_variants, cfg, &mut rec);
-
+/// Folds a group's fair and unfair measurements plus the geometry
+/// prediction into its table row block.
+fn assemble_group(
+    group: &[JobSpec],
+    cfg: &Table1Config,
+    fair: &[JobStats],
+    unfair: &[JobStats],
+) -> GroupResult {
     let rows: Vec<Row> = group
         .iter()
         .enumerate()
@@ -248,29 +248,57 @@ pub fn run_group_traced<R: Recorder>(
     }
 }
 
+/// Runs one group, streaming telemetry into `rec`.
+pub fn run_group_traced<R: Recorder>(
+    group: &[JobSpec],
+    cfg: &Table1Config,
+    mut rec: R,
+) -> GroupResult {
+    let n = group.len();
+    let fair = mean_iteration_times(group, &vec![CcVariant::Fair; n], cfg, &mut rec);
+    let unfair = mean_iteration_times(group, &unfair_variants(n, cfg), cfg, &mut rec);
+    assemble_group(group, cfg, &fair, &unfair)
+}
+
 /// Runs all five paper groups.
 pub fn run(cfg: &Table1Config) -> Table1Result {
     run_traced(cfg, NoopRecorder)
 }
 
 /// Runs all five paper groups, streaming telemetry into `rec` with a
-/// per-group [`Event::Scenario`] marker.
-pub fn run_traced<R: Recorder>(cfg: &Table1Config, mut rec: R) -> Table1Result {
+/// per-group [`Event::Scenario`] marker. Each group × {fair, unfair}
+/// measurement is an independent simulation, so all ten run in parallel
+/// under [`parallel::jobs`] workers; the per-group markers and event
+/// stream come out identical to a serial run.
+pub fn run_traced<R: ForkableRecorder>(cfg: &Table1Config, mut rec: R) -> Table1Result {
+    let groups = paper_groups();
+    let units: Vec<(usize, bool)> = (0..groups.len())
+        .flat_map(|i| [(i, false), (i, true)])
+        .collect();
+    let measured = parallel::map_traced(&mut rec, &units, |_, &(i, unfair), fork| {
+        let group = &groups[i];
+        if R::ENABLED && !unfair {
+            // The group marker leads the group's fair unit, exactly where
+            // the serial loop records it.
+            fork.record(
+                Time::ZERO,
+                Event::Scenario {
+                    name: format!("table1/group{}", i + 1),
+                },
+            );
+        }
+        let variants = if unfair {
+            unfair_variants(group.len(), cfg)
+        } else {
+            vec![CcVariant::Fair; group.len()]
+        };
+        mean_iteration_times(group, &variants, cfg, fork)
+    });
     Table1Result {
-        groups: paper_groups()
+        groups: groups
             .iter()
-            .enumerate()
-            .map(|(i, g)| {
-                if R::ENABLED {
-                    rec.record(
-                        Time::ZERO,
-                        Event::Scenario {
-                            name: format!("table1/group{}", i + 1),
-                        },
-                    );
-                }
-                run_group_traced(g, cfg, &mut rec)
-            })
+            .zip(measured.chunks_exact(2))
+            .map(|(g, pair)| assemble_group(g, cfg, &pair[0], &pair[1]))
             .collect(),
     }
 }

@@ -27,5 +27,6 @@
 pub mod experiments;
 pub mod export;
 pub mod metrics;
+pub mod parallel;
 
 pub use metrics::{JobStats, Speedup, StatsError};

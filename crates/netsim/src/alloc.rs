@@ -4,12 +4,24 @@
 //! Pure functions over an abstract `(flows × links)` incidence structure so
 //! they can be tested exhaustively and reused by both engines. Rates are
 //! `f64` bits/s.
+//!
+//! The production kernels ([`weighted_max_min_into`] /
+//! [`strict_priority_into`]) fill incrementally: per-link unfrozen weight
+//! totals are built once and *subtracted from* as flows freeze, so a round
+//! costs O(links + unfrozen) instead of the O(flows × links) rescan the
+//! textbook formulation pays. They also write into caller-owned scratch and
+//! rate buffers so a simulator recomputing thousands of allocations
+//! allocates nothing per call. The [`reference`] module keeps the
+//! from-scratch O(rounds·flows·links) formulation as the oracle for
+//! differential tests.
 
 /// A flow's demand for allocation purposes.
-#[derive(Debug, Clone)]
-pub struct FlowDemand {
+///
+/// Borrows the caller's link list — building a demand never clones a path.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowDemand<'a> {
     /// Indices (into the caller's link table) of links the flow traverses.
-    pub links: Vec<usize>,
+    pub links: &'a [usize],
     /// Max-min weight (1.0 = plain fair). Ignored under strict priority
     /// *between* classes but still applied within a class.
     pub weight: f64,
@@ -19,20 +31,37 @@ pub struct FlowDemand {
     pub rate_cap: f64,
 }
 
-/// Computes weighted max-min rates for `flows` over links with the given
-/// residual `capacities` (bits/s), via progressive filling:
+/// Reusable working memory for the allocation kernels.
 ///
-/// repeatedly find the bottleneck link — the one minimizing
-/// `residual / Σ weights of unfrozen flows` — freeze its flows at that fair
-/// share, subtract, and continue. Flows are also frozen early if they hit
-/// `rate_cap`.
-///
-/// Returns one rate per flow (0 for flows with no links — they are
-/// unconstrained by this fabric and get their cap).
-///
-/// # Panics
-/// Panics on non-positive weights or negative capacities.
-pub fn weighted_max_min(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
+/// Holds per-link residuals, the incrementally-maintained unfrozen weight
+/// totals, and the unfrozen-flow worklist. All buffers keep their capacity
+/// between calls, so steady-state allocation does no heap work.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    /// Remaining capacity per link, bits/s.
+    residual: Vec<f64>,
+    /// Saturation threshold per link for the current fill pass.
+    threshold: Vec<f64>,
+    /// Σ weights of unfrozen flows crossing each link.
+    link_weight: Vec<f64>,
+    /// Number of unfrozen flows crossing each link. Kept as an exact
+    /// integer so `link_weight` can be zeroed when the last flow freezes,
+    /// killing accumulated float residue.
+    link_count: Vec<u32>,
+    /// Indices of flows still being filled.
+    unfrozen: Vec<u32>,
+    /// Distinct priority classes, highest first (strict priority only).
+    classes: Vec<u8>,
+}
+
+impl AllocScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> AllocScratch {
+        AllocScratch::default()
+    }
+}
+
+fn check_inputs(flows: &[FlowDemand], capacities: &[f64]) {
     for f in flows {
         assert!(f.weight > 0.0, "weighted_max_min: non-positive weight");
         assert!(f.rate_cap >= 0.0, "weighted_max_min: negative rate cap");
@@ -40,35 +69,49 @@ pub fn weighted_max_min(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
     for &c in capacities {
         assert!(c >= 0.0, "weighted_max_min: negative capacity");
     }
-    let n = flows.len();
-    let mut rate = vec![0.0f64; n];
-    let mut frozen = vec![false; n];
-    let mut residual: Vec<f64> = capacities.to_vec();
+}
 
-    // Flows that traverse no link are only bound by their cap.
+/// One progressive-filling pass over the flows of `class` (or all flows
+/// when `class` is `None`), raising rates out of `scratch.residual`.
+///
+/// `scratch.threshold` must hold the saturation thresholds for this pass;
+/// `scratch.residual` is consumed in place so strict priority can chain
+/// passes. Linkless flows of the class are granted their cap outright.
+fn progressive_fill(
+    flows: &[FlowDemand],
+    class: Option<u8>,
+    scratch: &mut AllocScratch,
+    rate: &mut [f64],
+) {
+    let links = scratch.residual.len();
+    scratch.link_weight.clear();
+    scratch.link_weight.resize(links, 0.0);
+    scratch.link_count.clear();
+    scratch.link_count.resize(links, 0);
+    scratch.unfrozen.clear();
+
     for (i, f) in flows.iter().enumerate() {
+        if class.is_some_and(|c| c != f.priority) {
+            continue;
+        }
         if f.links.is_empty() {
+            // Unconstrained by this fabric: only bound by its cap.
             rate[i] = f.rate_cap;
-            frozen[i] = true;
+            continue;
+        }
+        scratch.unfrozen.push(i as u32);
+        for &l in f.links {
+            scratch.link_weight[l] += f.weight;
+            scratch.link_count[l] += 1;
         }
     }
 
-    loop {
-        // Per-link unfrozen weight totals.
-        let mut link_weight = vec![0.0f64; capacities.len()];
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                for &l in &f.links {
-                    link_weight[l] += f.weight;
-                }
-            }
-        }
-        // Candidate fair-share increments: bottleneck link level, and each
-        // unfrozen flow's cap.
+    while !scratch.unfrozen.is_empty() {
+        // Bottleneck link level over links still carrying unfrozen flows.
         let mut bottleneck_share = f64::INFINITY;
-        for (l, &w) in link_weight.iter().enumerate() {
-            if w > 0.0 {
-                bottleneck_share = bottleneck_share.min(residual[l] / w);
+        for (l, &w) in scratch.link_weight.iter().enumerate() {
+            if scratch.link_count[l] > 0 && w > 0.0 {
+                bottleneck_share = bottleneck_share.min(scratch.residual[l] / w);
             }
         }
         if bottleneck_share == f64::INFINITY {
@@ -77,82 +120,249 @@ pub fn weighted_max_min(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
         // The binding constraint could be a flow cap below the bottleneck
         // share.
         let mut level = bottleneck_share;
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                level = level.min((f.rate_cap - rate[i]) / f.weight);
-            }
+        for &i in &scratch.unfrozen {
+            let f = &flows[i as usize];
+            level = level.min((f.rate_cap - rate[i as usize]) / f.weight);
         }
         level = level.max(0.0);
 
-        // Raise all unfrozen flows by level·weight.
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                let inc = level * f.weight;
-                rate[i] += inc;
-                for &l in &f.links {
-                    residual[l] = (residual[l] - inc).max(0.0);
-                }
+        // Raise all unfrozen flows by level·weight; drain links by the
+        // aggregate level·Σweights in one subtraction per link.
+        for &i in &scratch.unfrozen {
+            rate[i as usize] += level * flows[i as usize].weight;
+        }
+        for l in 0..links {
+            if scratch.link_count[l] > 0 {
+                scratch.residual[l] =
+                    (scratch.residual[l] - level * scratch.link_weight[l]).max(0.0);
             }
         }
-        // Freeze flows at cap or on saturated links.
+
+        // Freeze flows at cap or on saturated links, subtracting their
+        // weights from the per-link totals instead of rebuilding them.
         let mut any_frozen = false;
-        for (i, f) in flows.iter().enumerate() {
-            if frozen[i] {
-                continue;
-            }
+        let mut k = 0;
+        while k < scratch.unfrozen.len() {
+            let i = scratch.unfrozen[k] as usize;
+            let f = &flows[i];
             let capped = rate[i] >= f.rate_cap - 1e-6;
             let saturated = f
                 .links
                 .iter()
-                .any(|&l| residual[l] <= 1e-6 * capacities[l].max(1.0));
+                .any(|&l| scratch.residual[l] <= scratch.threshold[l]);
             if capped || saturated {
-                frozen[i] = true;
                 any_frozen = true;
+                for &l in f.links {
+                    scratch.link_count[l] -= 1;
+                    if scratch.link_count[l] == 0 {
+                        scratch.link_weight[l] = 0.0;
+                    } else {
+                        scratch.link_weight[l] = (scratch.link_weight[l] - f.weight).max(0.0);
+                    }
+                }
+                scratch.unfrozen.swap_remove(k);
+            } else {
+                k += 1;
             }
         }
         if !any_frozen {
-            // Numerical safety: if nothing froze, freeze the flows on the
-            // bottleneck link to guarantee termination.
-            for (i, f) in flows.iter().enumerate() {
-                if !frozen[i] && !f.links.is_empty() {
-                    frozen[i] = true;
-                }
-            }
-        }
-        if frozen.iter().all(|&f| f) {
+            // Numerical safety: if nothing froze, freeze everything left
+            // to guarantee termination (mirrors the reference kernel).
             break;
         }
     }
-    rate
 }
 
-/// Allocates with strict priorities: all flows of the highest class share
-/// first (weighted max-min among themselves), then the next class gets the
-/// residual capacity, and so on — the switch-priority-queue mechanism of
-/// §4.ii.
+/// Computes weighted max-min rates for `flows` over links with the given
+/// residual `capacities` (bits/s) into `rates`, via progressive filling:
+///
+/// repeatedly find the bottleneck link — the one minimizing
+/// `residual / Σ weights of unfrozen flows` — freeze its flows at that fair
+/// share, subtract, and continue. Flows are also frozen early if they hit
+/// `rate_cap`. Flows with no links get their cap.
+///
+/// `scratch` is reused across calls; `rates` is resized to `flows.len()`.
+///
+/// # Panics
+/// Panics on non-positive weights or negative capacities.
+pub fn weighted_max_min_into(
+    flows: &[FlowDemand],
+    capacities: &[f64],
+    scratch: &mut AllocScratch,
+    rates: &mut Vec<f64>,
+) {
+    check_inputs(flows, capacities);
+    rates.clear();
+    rates.resize(flows.len(), 0.0);
+    scratch.residual.clear();
+    scratch.residual.extend_from_slice(capacities);
+    scratch.threshold.clear();
+    scratch
+        .threshold
+        .extend(capacities.iter().map(|&c| 1e-6 * c.max(1.0)));
+    progressive_fill(flows, None, scratch, rates);
+}
+
+/// Allocates with strict priorities into `rates`: all flows of the highest
+/// class share first (weighted max-min among themselves), then the next
+/// class gets the residual capacity, and so on — the
+/// switch-priority-queue mechanism of §4.ii.
+pub fn strict_priority_into(
+    flows: &[FlowDemand],
+    capacities: &[f64],
+    scratch: &mut AllocScratch,
+    rates: &mut Vec<f64>,
+) {
+    check_inputs(flows, capacities);
+    rates.clear();
+    rates.resize(flows.len(), 0.0);
+    scratch.residual.clear();
+    scratch.residual.extend_from_slice(capacities);
+    scratch.classes.clear();
+    scratch.classes.extend(flows.iter().map(|f| f.priority));
+    scratch.classes.sort_unstable_by(|a, b| b.cmp(a));
+    scratch.classes.dedup();
+    let classes = std::mem::take(&mut scratch.classes);
+    for &class in &classes {
+        // Each class saturates against the capacity it inherited.
+        scratch.threshold.clear();
+        let thresholds = scratch.residual.iter().map(|&c| 1e-6 * c.max(1.0));
+        scratch.threshold.extend(thresholds);
+        progressive_fill(flows, Some(class), scratch, rates);
+    }
+    scratch.classes = classes;
+}
+
+/// Allocating wrapper over [`weighted_max_min_into`] for one-shot callers
+/// and tests.
+pub fn weighted_max_min(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
+    let mut scratch = AllocScratch::new();
+    let mut rates = Vec::new();
+    weighted_max_min_into(flows, capacities, &mut scratch, &mut rates);
+    rates
+}
+
+/// Allocating wrapper over [`strict_priority_into`].
 pub fn strict_priority(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
-    let mut rates = vec![0.0f64; flows.len()];
-    let mut residual: Vec<f64> = capacities.to_vec();
-    let mut classes: Vec<u8> = flows.iter().map(|f| f.priority).collect();
-    classes.sort_unstable_by(|a, b| b.cmp(a));
-    classes.dedup();
-    for class in classes {
-        let idx: Vec<usize> = flows
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.priority == class)
-            .map(|(i, _)| i)
-            .collect();
-        let class_flows: Vec<FlowDemand> = idx.iter().map(|&i| flows[i].clone()).collect();
-        let class_rates = weighted_max_min(&class_flows, &residual);
-        for (k, &i) in idx.iter().enumerate() {
-            rates[i] = class_rates[k];
-            for &l in &flows[i].links {
-                residual[l] = (residual[l] - class_rates[k]).max(0.0);
+    let mut scratch = AllocScratch::new();
+    let mut rates = Vec::new();
+    strict_priority_into(flows, capacities, &mut scratch, &mut rates);
+    rates
+}
+
+/// From-scratch reference kernels: the textbook formulation that rebuilds
+/// per-link weight totals from every flow on every round
+/// (O(rounds·flows·links)). Kept verbatim as the oracle for differential
+/// property tests against the incremental kernels — do not optimize.
+pub mod reference {
+    use super::FlowDemand;
+
+    /// Reference weighted max-min (see [`super::weighted_max_min`]).
+    pub fn weighted_max_min(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
+        super::check_inputs(flows, capacities);
+        let n = flows.len();
+        let mut rate = vec![0.0f64; n];
+        let mut frozen = vec![false; n];
+        let mut residual: Vec<f64> = capacities.to_vec();
+
+        // Flows that traverse no link are only bound by their cap.
+        for (i, f) in flows.iter().enumerate() {
+            if f.links.is_empty() {
+                rate[i] = f.rate_cap;
+                frozen[i] = true;
             }
         }
+
+        loop {
+            // Per-link unfrozen weight totals, rebuilt from scratch.
+            let mut link_weight = vec![0.0f64; capacities.len()];
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    for &l in f.links {
+                        link_weight[l] += f.weight;
+                    }
+                }
+            }
+            let mut bottleneck_share = f64::INFINITY;
+            for (l, &w) in link_weight.iter().enumerate() {
+                if w > 0.0 {
+                    bottleneck_share = bottleneck_share.min(residual[l] / w);
+                }
+            }
+            if bottleneck_share == f64::INFINITY {
+                break; // no unfrozen flow touches any link
+            }
+            let mut level = bottleneck_share;
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    level = level.min((f.rate_cap - rate[i]) / f.weight);
+                }
+            }
+            level = level.max(0.0);
+
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    let inc = level * f.weight;
+                    rate[i] += inc;
+                    for &l in f.links {
+                        residual[l] = (residual[l] - inc).max(0.0);
+                    }
+                }
+            }
+            let mut any_frozen = false;
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                let capped = rate[i] >= f.rate_cap - 1e-6;
+                let saturated = f
+                    .links
+                    .iter()
+                    .any(|&l| residual[l] <= 1e-6 * capacities[l].max(1.0));
+                if capped || saturated {
+                    frozen[i] = true;
+                    any_frozen = true;
+                }
+            }
+            if !any_frozen {
+                for (i, f) in flows.iter().enumerate() {
+                    if !frozen[i] && !f.links.is_empty() {
+                        frozen[i] = true;
+                    }
+                }
+            }
+            if frozen.iter().all(|&f| f) {
+                break;
+            }
+        }
+        rate
     }
-    rates
+
+    /// Reference strict priority (see [`super::strict_priority`]).
+    pub fn strict_priority(flows: &[FlowDemand], capacities: &[f64]) -> Vec<f64> {
+        let mut rates = vec![0.0f64; flows.len()];
+        let mut residual: Vec<f64> = capacities.to_vec();
+        let mut classes: Vec<u8> = flows.iter().map(|f| f.priority).collect();
+        classes.sort_unstable_by(|a, b| b.cmp(a));
+        classes.dedup();
+        for class in classes {
+            let idx: Vec<usize> = flows
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.priority == class)
+                .map(|(i, _)| i)
+                .collect();
+            let class_flows: Vec<FlowDemand> = idx.iter().map(|&i| flows[i]).collect();
+            let class_rates = weighted_max_min(&class_flows, &residual);
+            for (k, &i) in idx.iter().enumerate() {
+                rates[i] = class_rates[k];
+                for &l in flows[i].links {
+                    residual[l] = (residual[l] - class_rates[k]).max(0.0);
+                }
+            }
+        }
+        rates
+    }
 }
 
 #[cfg(test)]
@@ -161,12 +371,27 @@ mod tests {
 
     const GBPS: f64 = 1e9;
 
-    fn flow(links: &[usize], weight: f64, priority: u8, cap: f64) -> FlowDemand {
+    fn flow(links: &[usize], weight: f64, priority: u8, cap: f64) -> FlowDemand<'_> {
         FlowDemand {
-            links: links.to_vec(),
+            links,
             weight,
             priority,
             rate_cap: cap,
+        }
+    }
+
+    /// Asserts the incremental kernel agrees with the reference on both
+    /// policies for the given instance (within float-accumulation slack).
+    fn assert_matches_reference(flows: &[FlowDemand], capacities: &[f64]) {
+        let inc = weighted_max_min(flows, capacities);
+        let refr = reference::weighted_max_min(flows, capacities);
+        for (i, (a, b)) in inc.iter().zip(&refr).enumerate() {
+            assert!((a - b).abs() < 1.0, "wmm flow {i}: {a} vs ref {b}");
+        }
+        let inc = strict_priority(flows, capacities);
+        let refr = reference::strict_priority(flows, capacities);
+        for (i, (a, b)) in inc.iter().zip(&refr).enumerate() {
+            assert!((a - b).abs() < 1.0, "sp flow {i}: {a} vs ref {b}");
         }
     }
 
@@ -179,6 +404,7 @@ mod tests {
         let r = weighted_max_min(&flows, &[50.0 * GBPS]);
         assert!((r[0] - 25.0 * GBPS).abs() < 1.0);
         assert!((r[1] - 25.0 * GBPS).abs() < 1.0);
+        assert_matches_reference(&flows, &[50.0 * GBPS]);
     }
 
     #[test]
@@ -204,6 +430,7 @@ mod tests {
         let r = weighted_max_min(&flows, &[50.0 * GBPS]);
         assert!((r[0] - 10.0 * GBPS).abs() < 1.0);
         assert!((r[1] - 40.0 * GBPS).abs() < 1.0);
+        assert_matches_reference(&flows, &[50.0 * GBPS]);
     }
 
     #[test]
@@ -219,6 +446,7 @@ mod tests {
         for (i, &v) in r.iter().enumerate() {
             assert!((v - 5.0 * GBPS).abs() < 1.0, "flow {i}: {v}");
         }
+        assert_matches_reference(&flows, &[10.0 * GBPS, 10.0 * GBPS]);
     }
 
     #[test]
@@ -229,6 +457,7 @@ mod tests {
         let r = weighted_max_min(&flows, &[10.0 * GBPS, 4.0 * GBPS]);
         assert!((r[0] - 4.0 * GBPS).abs() < 1.0, "A {}", r[0]);
         assert!((r[1] - 6.0 * GBPS).abs() < 1.0, "B {}", r[1]);
+        assert_matches_reference(&flows, &[10.0 * GBPS, 4.0 * GBPS]);
     }
 
     #[test]
@@ -252,6 +481,7 @@ mod tests {
         assert!(total <= cap * (1.0 + 1e-9), "total {total}");
         // And it is work-conserving here (demand exceeds capacity).
         assert!(total >= cap * 0.999, "total {total}");
+        assert_matches_reference(&flows, &[cap]);
     }
 
     #[test]
@@ -276,6 +506,7 @@ mod tests {
         let r = strict_priority(&flows, &[50.0 * GBPS]);
         assert!((r[0] - 20.0 * GBPS).abs() < 1.0);
         assert!((r[1] - 30.0 * GBPS).abs() < 1.0);
+        assert_matches_reference(&flows, &[50.0 * GBPS]);
     }
 
     #[test]
@@ -289,6 +520,7 @@ mod tests {
         assert!((r[0] - 30.0 * GBPS).abs() < 1.0);
         assert!((r[1] - 10.0 * GBPS).abs() < 1.0);
         assert!(r[2] < 1.0);
+        assert_matches_reference(&flows, &[40.0 * GBPS]);
     }
 
     #[test]
@@ -298,8 +530,32 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_stateless() {
+        // Back-to-back calls through one scratch must not bleed state.
+        let mut scratch = AllocScratch::new();
+        let mut rates = Vec::new();
+        let a = vec![flow(&[0], 1.0, 0, 1e12), flow(&[0], 1.0, 0, 1e12)];
+        weighted_max_min_into(&a, &[50.0 * GBPS], &mut scratch, &mut rates);
+        assert!((rates[0] - 25.0 * GBPS).abs() < 1.0);
+        let b = vec![flow(&[0, 1], 1.0, 1, 1e12), flow(&[1], 1.0, 0, 20.0 * GBPS)];
+        strict_priority_into(&b, &[40.0 * GBPS, 10.0 * GBPS], &mut scratch, &mut rates);
+        assert_eq!(rates.len(), 2);
+        let fresh = strict_priority(&b, &[40.0 * GBPS, 10.0 * GBPS]);
+        assert_eq!(rates, fresh, "scratch reuse changed the result");
+        // And the first instance again, bit-identical to its fresh run.
+        weighted_max_min_into(&a, &[50.0 * GBPS], &mut scratch, &mut rates);
+        assert_eq!(rates, weighted_max_min(&a, &[50.0 * GBPS]));
+    }
+
+    #[test]
     #[should_panic(expected = "non-positive weight")]
     fn zero_weight_rejected() {
         weighted_max_min(&[flow(&[0], 0.0, 0, 1.0)], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive weight")]
+    fn reference_rejects_zero_weight_too() {
+        reference::weighted_max_min(&[flow(&[0], 0.0, 0, 1.0)], &[1.0]);
     }
 }

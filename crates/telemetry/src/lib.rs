@@ -29,6 +29,6 @@ pub mod table;
 pub use event::{CcState, Event, Phase, TimedEvent};
 pub use metrics::MetricsRegistry;
 pub use profiler::Profiler;
-pub use recorder::{BufferRecorder, NoopRecorder, Recorder};
+pub use recorder::{BufferRecorder, ForkableRecorder, NoopRecorder, Recorder};
 pub use replay::{parse_jsonl, ReplayError};
 pub use table::text_table;

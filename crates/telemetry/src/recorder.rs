@@ -31,6 +31,43 @@ pub trait Recorder {
     fn span(&mut self, _component: &'static str, _wall: Duration, _events: u64) {}
 }
 
+/// A [`Recorder`] that can hand out independent per-scenario recorders
+/// ("forks") and later absorb them back, in caller-chosen order.
+///
+/// This is what makes parallel experiment runs byte-identical to serial
+/// ones: each independent scenario records into its own fork on its own
+/// thread, and the driver joins the forks back in scenario-index order, so
+/// the merged stream is exactly the stream a serial run would have
+/// produced. A fork is created without access to the parent (it starts
+/// empty), which lets worker threads mint forks locally without sharing
+/// the parent across threads.
+pub trait ForkableRecorder: Recorder {
+    /// The per-scenario recorder type. [`Recorder::ENABLED`] of the fork
+    /// must match the parent's so engines compile instrumentation in or
+    /// out consistently.
+    type Fork: Recorder + Send;
+
+    /// Mints a fresh, empty fork.
+    fn fork() -> Self::Fork;
+
+    /// Absorbs a fork's recording, appending after everything already
+    /// recorded here.
+    fn join(&mut self, fork: Self::Fork);
+}
+
+/// Forwarding impl mirroring the `&mut R` [`Recorder`] impl.
+impl<R: ForkableRecorder> ForkableRecorder for &mut R {
+    type Fork = R::Fork;
+
+    fn fork() -> R::Fork {
+        R::fork()
+    }
+
+    fn join(&mut self, fork: R::Fork) {
+        (**self).join(fork);
+    }
+}
+
 /// The default recorder: observes nothing, costs nothing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoopRecorder;
@@ -40,6 +77,18 @@ impl Recorder for NoopRecorder {
 
     #[inline(always)]
     fn record(&mut self, _at: Time, _event: Event) {}
+}
+
+impl ForkableRecorder for NoopRecorder {
+    type Fork = NoopRecorder;
+
+    #[inline(always)]
+    fn fork() -> NoopRecorder {
+        NoopRecorder
+    }
+
+    #[inline(always)]
+    fn join(&mut self, _fork: NoopRecorder) {}
 }
 
 /// Forwarding impl so one recorder can be lent to several simulators in
@@ -111,6 +160,23 @@ impl BufferRecorder {
         self.events.clear();
         self.counts.clear();
         self.spans.clear();
+    }
+
+    /// Appends `other`'s events after this recorder's and folds its
+    /// counters and spans in. The event order is exactly "everything
+    /// already here, then everything in `other`" — the property
+    /// [`ForkableRecorder`] joins rely on.
+    pub fn merge(&mut self, other: BufferRecorder) {
+        self.events.extend(other.events);
+        for (name, n) in other.counts {
+            *self.counts.entry(name).or_insert(0) += n;
+        }
+        for (component, s) in other.spans {
+            let dst = self.spans.entry(component).or_default();
+            dst.wall += s.wall;
+            dst.events += s.events;
+            dst.calls += s.calls;
+        }
     }
 
     /// Aggregates the buffered events into labeled metrics.
@@ -185,6 +251,18 @@ impl BufferRecorder {
     }
 }
 
+impl ForkableRecorder for BufferRecorder {
+    type Fork = BufferRecorder;
+
+    fn fork() -> BufferRecorder {
+        BufferRecorder::new()
+    }
+
+    fn join(&mut self, fork: BufferRecorder) {
+        self.merge(fork);
+    }
+}
+
 impl Recorder for BufferRecorder {
     fn record(&mut self, at: Time, event: Event) {
         self.events.push(TimedEvent { at, event });
@@ -238,6 +316,37 @@ mod tests {
         assert_eq!(s.wall, Duration::from_millis(5));
         assert_eq!(s.events, 15);
         assert_eq!(s.calls, 2);
+    }
+
+    /// Joining forks in index order reproduces the serial recording
+    /// byte-for-byte: same events in the same order, same counter and
+    /// span totals.
+    #[test]
+    fn fork_join_equals_serial_recording() {
+        let record_scenario = |rec: &mut BufferRecorder, flow: u32| {
+            rec.record(Time::ZERO, Event::EcnMark { flow });
+            rec.record(Time::from_nanos(7), Event::CnpReceived { flow });
+            rec.count("steps", u64::from(flow) + 1);
+            rec.span("engine", Duration::from_millis(1), 4);
+        };
+
+        let mut serial = BufferRecorder::new();
+        record_scenario(&mut serial, 0);
+        record_scenario(&mut serial, 1);
+
+        let mut parent = BufferRecorder::new();
+        let mut forks: Vec<BufferRecorder> = (0..2).map(|_| BufferRecorder::fork()).collect();
+        // Record in reverse to prove the join order, not the recording
+        // order, decides the merged stream.
+        record_scenario(&mut forks[1], 1);
+        record_scenario(&mut forks[0], 0);
+        for fork in forks {
+            parent.join(fork);
+        }
+
+        assert_eq!(parent.events(), serial.events());
+        assert_eq!(parent.counts(), serial.counts());
+        assert_eq!(parent.spans(), serial.spans());
     }
 
     #[test]

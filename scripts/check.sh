@@ -15,4 +15,32 @@ cargo test --workspace -q
 echo "== golden RunSummary regression (tests/goldens) =="
 cargo test -q --test run_summary_golden
 
+echo "== parallel determinism gate (--jobs 1 vs --jobs 4 byte-identical) =="
+cargo build --release -q
+BIN=target/release/mlcc-repro
+GATE=$(mktemp -d)
+trap 'rm -rf "$GATE"' EXIT
+for j in 1 4; do
+    mkdir -p "$GATE/j$j"
+    # BENCH_*.json carry wall-clock and the job count, so they are
+    # expected to differ; everything else must be byte-identical.
+    "$BIN" all --iterations 10 --jobs "$j" \
+        --csv "$GATE/j$j/csv" --summary "$GATE/j$j/run.json" \
+        | sed "s#$GATE/j$j#OUT#g" > "$GATE/j$j/stdout.txt"
+done
+diff -r "$GATE/j1/csv" "$GATE/j4/csv"
+diff "$GATE/j1/run.json" "$GATE/j4/run.json"
+diff "$GATE/j1/stdout.txt" "$GATE/j4/stdout.txt"
+echo "byte-identical across --jobs 1 and --jobs 4"
+
+echo "== fig1 wall-clock budget smoke =="
+"$BIN" fig1 --iterations 100 --summary-dir "$GATE/bench" > /dev/null
+WALL=$(grep -o '"wall_clock_secs":[0-9.eE+-]*' "$GATE/bench/BENCH_fig1.json" | cut -d: -f2)
+BUDGET=30
+echo "fig1 (100 iterations): ${WALL}s wall clock (budget ${BUDGET}s)"
+awk -v w="$WALL" -v b="$BUDGET" 'BEGIN { exit !(w <= b) }' || {
+    echo "fig1 blew the ${BUDGET}s wall-clock budget: ${WALL}s" >&2
+    exit 1
+}
+
 echo "OK"

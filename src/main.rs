@@ -1,9 +1,9 @@
 //! `mlcc-repro` — command-line driver for every reproduction experiment.
 //!
 //! ```text
-//! mlcc-repro <command> [--iterations N] [--csv DIR] [--trace FILE]
-//!                      [--metrics] [--profile] [--report FILE]
-//!                      [--summary FILE] [--summary-dir DIR]
+//! mlcc-repro <command> [--iterations N] [--jobs N] [--csv DIR]
+//!                      [--trace FILE] [--metrics] [--profile]
+//!                      [--report FILE] [--summary FILE] [--summary-dir DIR]
 //!
 //! commands:
 //!   fig1       Fig. 1: bandwidth shares + iteration-time CDFs
@@ -39,6 +39,11 @@
 //! per experiment (median iteration times, speedups, wall-clock) — the
 //! perf trajectory documented in EXPERIMENTS.md.
 //!
+//! `--jobs N` caps the worker threads the experiments fan their
+//! independent scenarios across (default: one per available core).
+//! Results, telemetry, and every output file are byte-identical for any
+//! `N` — only the wall-clock changes. `--jobs 1` forces a serial run.
+//!
 //! ```text
 //! mlcc-repro report trace.jsonl --out report.html [--summary run.json]
 //! mlcc-repro diff a.json b.json [--tolerance 0.05]
@@ -58,6 +63,7 @@ use telemetry::{BufferRecorder, Profiler};
 
 struct Opts {
     iterations: Option<usize>,
+    jobs: Option<usize>,
     csv: Option<PathBuf>,
     trace: Option<PathBuf>,
     metrics: bool,
@@ -82,6 +88,7 @@ impl Opts {
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         iterations: None,
+        jobs: None,
         csv: None,
         trace: None,
         metrics: false,
@@ -96,6 +103,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--iterations" => {
                 let v = it.next().ok_or("--iterations needs a value")?;
                 opts.iterations = Some(v.parse().map_err(|_| format!("bad iteration count {v}"))?);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad job count {v}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = Some(n);
             }
             "--csv" => {
                 let v = it.next().ok_or("--csv needs a directory")?;
@@ -567,8 +582,8 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mlcc-repro <fig1|fig2|table1|geometry|adaptive|priority|flowsched|cluster|\
-         pipelining|all> [--iterations N] [--csv DIR] [--trace FILE] [--metrics] [--profile]\n\
-         \x20      [--report FILE] [--summary FILE] [--summary-dir DIR]\n\
+         pipelining|all> [--iterations N] [--jobs N] [--csv DIR] [--trace FILE] [--metrics]\n\
+         \x20      [--profile] [--report FILE] [--summary FILE] [--summary-dir DIR]\n\
          \x20      mlcc-repro report TRACE.jsonl [--out FILE] [--summary FILE] [--name NAME]\n\
          \x20      mlcc-repro diff A.json B.json [--tolerance F]"
     );
@@ -610,6 +625,9 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if let Some(n) = opts.jobs {
+        mlcc::parallel::set_jobs(n);
+    }
     let mut rec = opts.recorder();
     // Runs one experiment, timing it and writing its bench summary.
     let mut bench_err: Option<String> = None;
@@ -619,8 +637,9 @@ fn main() -> ExitCode {
              rec: &mut Option<BufferRecorder>,
              f: &dyn Fn(&Opts, Option<&mut BufferRecorder>) -> BenchMetrics| {
                 let start = Instant::now();
-                let metrics = f(&opts, rec.as_mut());
+                let mut metrics = f(&opts, rec.as_mut());
                 if let Some(dir) = &opts.summary_dir {
+                    metrics.push(("parallel.jobs".to_string(), mlcc::parallel::jobs() as f64));
                     if let Err(e) = write_bench(dir, name, start.elapsed(), &metrics) {
                         bench_err.get_or_insert(e);
                     }

@@ -1,9 +1,14 @@
 //! Physical-plausibility properties of both network engines, checked over
 //! randomized job mixes: no job ever beats dedicated-network pace, and no
-//! link ever carries more than its capacity.
+//! link ever carries more than its capacity. Also differential checks of
+//! the incremental max-min allocator against the from-scratch reference
+//! oracle, standalone and while driving the fluid engine.
 
 use dcqcn::CcVariant;
 use mlcc_repro::*;
+use netsim::alloc::{
+    reference, strict_priority_into, weighted_max_min_into, AllocScratch, FlowDemand,
+};
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator, SharingPolicy};
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use proptest::prelude::*;
@@ -126,6 +131,111 @@ proptest! {
                 .throughput_trace(k)
                 .iter()
                 .all(|(_, gbps)| gbps <= 50.0 + 1e-6));
+        }
+    }
+
+    /// The incremental allocation kernel agrees with the from-scratch
+    /// reference on arbitrary flow sets, for both policies, with the
+    /// scratch buffers reused across the two solves. Divergence is
+    /// bounded by the freeze epsilon (`1e-6` of a link), not exact,
+    /// because the two drain residuals in different float orders.
+    #[test]
+    fn incremental_allocator_matches_reference(
+        caps_gbps in proptest::collection::vec(1.0f64..100.0, 2..12),
+        raw_flows in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..12, 1..4),
+                0.25f64..4.0,
+                0u8..3,
+                (proptest::bool::ANY, 0.5f64..60.0),
+            ),
+            1..32,
+        ),
+    ) {
+        let caps: Vec<f64> = caps_gbps.iter().map(|c| c * 1e9).collect();
+        let links: Vec<Vec<usize>> = raw_flows
+            .iter()
+            .map(|(ls, ..)| {
+                let mut v: Vec<usize> = ls.iter().map(|l| l % caps.len()).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let demands: Vec<FlowDemand> = raw_flows
+            .iter()
+            .zip(&links)
+            .map(|(&(_, weight, priority, (capped, cap_gbps)), links)| FlowDemand {
+                links,
+                weight,
+                priority,
+                rate_cap: if capped { cap_gbps * 1e9 } else { f64::INFINITY },
+            })
+            .collect();
+        let tol = 1e-6 * caps.iter().fold(1.0f64, |a, &b| a.max(b)) + 1.0;
+
+        let mut scratch = AllocScratch::default();
+        let mut rates = Vec::new();
+        weighted_max_min_into(&demands, &caps, &mut scratch, &mut rates);
+        let oracle = reference::weighted_max_min(&demands, &caps);
+        for (i, (got, want)) in rates.iter().zip(&oracle).enumerate() {
+            prop_assert!(
+                (got - want).abs() <= tol,
+                "max-min flow {i}: incremental {got} vs reference {want}"
+            );
+        }
+
+        strict_priority_into(&demands, &caps, &mut scratch, &mut rates);
+        let oracle = reference::strict_priority(&demands, &caps);
+        for (i, (got, want)) in rates.iter().zip(&oracle).enumerate() {
+            prop_assert!(
+                (got - want).abs() <= tol,
+                "priority flow {i}: incremental {got} vs reference {want}"
+            );
+        }
+    }
+
+    /// Driving the fluid engine in arbitrary small time slices, the rates
+    /// produced by its incremental allocation path never drift from the
+    /// from-scratch reference solve on the same active set.
+    #[test]
+    fn fluid_incremental_rates_match_reference_in_slices(
+        a in spec_strategy(),
+        b in spec_strategy(),
+        policy_pick in 0u8..3,
+        slice_ms in 1u64..12,
+    ) {
+        let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+        let t = d.topology.clone();
+        let path = |i: usize| {
+            t.route(topology::FlowKey {
+                src: d.left_hosts[i],
+                dst: d.right_hosts[i],
+                tag: 0,
+            })
+            .unwrap()
+            .links()
+            .to_vec()
+        };
+        let policy = match policy_pick {
+            0 => SharingPolicy::MaxMin,
+            1 => SharingPolicy::Weighted(vec![2.0, 1.0]),
+            _ => SharingPolicy::Priority(vec![1, 0]),
+        };
+        let jobs = [
+            FluidJob::single_path(a, path(0)),
+            FluidJob::single_path(b, path(1)),
+        ];
+        let cfg = FluidConfig { policy, ..FluidConfig::fair() };
+        let mut sim = FluidSimulator::new(&t, cfg, &jobs);
+        for _ in 0..60 {
+            sim.run_for(Dur::from_millis(slice_ms));
+            if let Some(div) = sim.debug_max_rate_divergence() {
+                prop_assert!(
+                    div <= 1.0,
+                    "incremental rates diverged {div} bps from reference"
+                );
+            }
         }
     }
 }
