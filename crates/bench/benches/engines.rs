@@ -5,10 +5,12 @@
 use bench::{banner, configure};
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcqcn::CcVariant;
+use diagnostics::RunSummary;
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator};
 use netsim::packet::{PacketJob, PacketSimConfig, PacketSimulator};
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use simtime::{Bandwidth, Dur};
+use std::time::Instant;
 use topology::builders::dumbbell;
 use workload::{JobSpec, Model};
 
@@ -19,12 +21,98 @@ fn pair() -> [JobSpec; 2] {
     ]
 }
 
+fn run_packet(train_packets: u32, span: Dur) -> (f64, u64) {
+    let specs = pair();
+    let jobs = [
+        PacketJob::new(specs[0], CcVariant::Fair),
+        PacketJob::new(specs[1], CcVariant::Fair),
+    ];
+    let mut sim = PacketSimulator::new(
+        PacketSimConfig {
+            train_packets,
+            ..PacketSimConfig::default()
+        },
+        &jobs,
+    );
+    let t0 = Instant::now();
+    sim.run_until(simtime::Time::ZERO + span);
+    (t0.elapsed().as_secs_f64(), sim.events_processed())
+}
+
+fn run_rate(adaptive_step: bool, span: Dur) -> (f64, u64) {
+    let specs = pair();
+    let jobs = [
+        RateJob::new(specs[0], CcVariant::Fair),
+        RateJob::new(specs[1], CcVariant::Fair),
+    ];
+    let mut sim = RateSimulator::new(
+        RateSimConfig {
+            adaptive_step,
+            ..RateSimConfig::default()
+        },
+        &jobs,
+    );
+    let t0 = Instant::now();
+    sim.run_for(span);
+    (t0.elapsed().as_secs_f64(), sim.steps())
+}
+
+/// Writes `BENCH_packet.json` / `BENCH_rate.json` (the flat `RunSummary`
+/// schema) so the speedup trajectory of this PR's optimisations is
+/// machine-diffable. The directory comes from `BENCH_SUMMARY_DIR`,
+/// defaulting to `target/bench-summaries`.
+fn write_summaries() {
+    let dir =
+        std::env::var("BENCH_SUMMARY_DIR").unwrap_or_else(|_| "target/bench-summaries".to_string());
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let span = Dur::from_millis(200);
+
+    let mut packet = RunSummary::new("packet");
+    // Warm up, then one timed run per variant (criterion below gives the
+    // statistically careful numbers; this json records the trajectory).
+    run_packet(1, Dur::from_millis(20));
+    let (w1, e1) = run_packet(1, span);
+    let (w64, e64) = run_packet(64, span);
+    packet.put("train1.wall_clock_secs", w1);
+    packet.put("train1.events", e1 as f64);
+    packet.put("train64.wall_clock_secs", w64);
+    packet.put("train64.events", e64 as f64);
+    packet.put("train64.speedup", w1 / w64);
+    println!(
+        "packet 200 ms: train=1 {:.3}s ({e1} events) -> train=64 {:.3}s ({e64} events), {:.1}x",
+        w1,
+        w64,
+        w1 / w64
+    );
+    let _ = std::fs::write(format!("{dir}/BENCH_packet.json"), packet.to_json());
+
+    let mut rate = RunSummary::new("rate");
+    run_rate(false, Dur::from_millis(20));
+    let (wf, sf) = run_rate(false, span);
+    let (wa, sa) = run_rate(true, span);
+    rate.put("fixed.wall_clock_secs", wf);
+    rate.put("fixed.steps", sf as f64);
+    rate.put("adaptive.wall_clock_secs", wa);
+    rate.put("adaptive.steps", sa as f64);
+    rate.put("adaptive.speedup", wf / wa);
+    println!(
+        "rate 200 ms: fixed {:.3}s ({sf} steps) -> adaptive {:.3}s ({sa} steps), {:.1}x",
+        wf,
+        wa,
+        wf / wa
+    );
+    let _ = std::fs::write(format!("{dir}/BENCH_rate.json"), rate.to_json());
+}
+
 fn reproduce() {
     banner("Engine fidelity ladder — cost of simulating 200 ms of cluster time");
     println!(
         "fluid (event-driven allocation)  ≪  rate (5 µs DCQCN steps)  ≪  packet (per-packet events)"
     );
     println!("(timings follow from Criterion below)");
+    write_summaries();
 }
 
 fn bench(c: &mut Criterion) {
@@ -74,18 +162,49 @@ fn bench(c: &mut Criterion) {
     c.bench_function("engines/packet_200ms_2jobs", |b| {
         b.iter(|| {
             let jobs = [
-                PacketJob {
-                    spec: specs[0],
-                    variant: CcVariant::Fair,
-                },
-                PacketJob {
-                    spec: specs[1],
-                    variant: CcVariant::Fair,
-                },
+                PacketJob::new(specs[0], CcVariant::Fair),
+                PacketJob::new(specs[1], CcVariant::Fair),
             ];
             let mut sim = PacketSimulator::new(PacketSimConfig::default(), &jobs);
             sim.run_until(simtime::Time::ZERO + span);
             sim.packet_counts().0
+        })
+    });
+
+    // This PR's optimisations: packet trains and adaptive stepping.
+    c.bench_function("engines/packet_200ms_2jobs_train64", |b| {
+        b.iter(|| {
+            let jobs = [
+                PacketJob::new(specs[0], CcVariant::Fair),
+                PacketJob::new(specs[1], CcVariant::Fair),
+            ];
+            let mut sim = PacketSimulator::new(
+                PacketSimConfig {
+                    train_packets: 64,
+                    ..PacketSimConfig::default()
+                },
+                &jobs,
+            );
+            sim.run_until(simtime::Time::ZERO + span);
+            sim.packet_counts().0
+        })
+    });
+
+    c.bench_function("engines/rate_200ms_2jobs_adaptive", |b| {
+        b.iter(|| {
+            let jobs = [
+                RateJob::new(specs[0], CcVariant::Fair),
+                RateJob::new(specs[1], CcVariant::Fair),
+            ];
+            let mut sim = RateSimulator::new(
+                RateSimConfig {
+                    adaptive_step: true,
+                    ..RateSimConfig::default()
+                },
+                &jobs,
+            );
+            sim.run_for(span);
+            sim.progress(0).completed()
         })
     });
 }

@@ -1,0 +1,53 @@
+//! Traced packet-engine run for the determinism gate: fixed two-job
+//! scenario, telemetry streamed to a JSONL file.
+//!
+//! ```text
+//! cargo run --release -p netsim --example packet_trace -- <wheel|heap> <train_packets> <out.jsonl>
+//! ```
+//!
+//! `scripts/check.sh` runs this twice at `train_packets = 1` — once per
+//! event-queue backend — and diffs the outputs byte-for-byte: the timing
+//! wheel must reproduce the reference heap's run exactly.
+
+use dcqcn::CcVariant;
+use netsim::packet::{PacketJob, PacketSimConfig, PacketSimulator, QueueBackend};
+use simtime::{Dur, Time};
+use telemetry::{export, BufferRecorder};
+use workload::{JobSpec, Model};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: packet_trace <wheel|heap> <train_packets> <out.jsonl>";
+    let backend = match args.next().expect(usage).as_str() {
+        "wheel" => QueueBackend::TimingWheel,
+        "heap" => QueueBackend::ReferenceHeap,
+        other => panic!("unknown backend {other:?}; {usage}"),
+    };
+    let train_packets: u32 = args.next().expect(usage).parse().expect("train_packets");
+    let out = args.next().expect(usage);
+
+    let spec = JobSpec::reference(Model::ResNet50, 400);
+    let jobs = [
+        PacketJob::new(spec, CcVariant::Fair),
+        PacketJob::new(
+            spec,
+            CcVariant::StaticUnfair {
+                timer: Dur::from_micros(100),
+            },
+        ),
+    ];
+    let mut sim = PacketSimulator::with_recorder(
+        PacketSimConfig {
+            train_packets,
+            queue: backend,
+            ..PacketSimConfig::default()
+        },
+        &jobs,
+        BufferRecorder::new(),
+    );
+    sim.run_until(Time::ZERO + Dur::from_millis(120));
+    let (sent, marked) = sim.packet_counts();
+    let events = sim.recorder().events().len();
+    std::fs::write(&out, export::jsonl(sim.recorder().events())).expect("write trace");
+    println!("{out}: {events} telemetry events ({sent} packets, {marked} marked)");
+}

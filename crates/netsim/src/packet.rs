@@ -15,9 +15,18 @@
 //! flows split the link evenly, that the `T` knob biases the split the
 //! same way, and that job iteration times agree with the fluid engine
 //! within a few percent (see `tests/packet_validation.rs`).
+//!
+//! For paper-scale validation runs the engine can **batch packet trains**:
+//! with [`PacketSimConfig::train_packets`] > 1, consecutive packets of one
+//! flow coalesce into a single `SenderWake`/`Dequeue` event pair carrying N
+//! MTUs, with the per-packet marking coin flips, delivery timestamps, and
+//! CNP pacing decisions still evaluated packet-by-packet inside the event.
+//! Trains are capped so no CNP pacing deadline is outrun (one train's
+//! airtime never exceeds the NP's CNP interval), and `train_packets = 1`
+//! reproduces the per-packet engine event-for-event and bit-for-bit.
 
 use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker};
-use eventsim::{EventQueue, Rng};
+use eventsim::{queue::reference, EventQueue, Rng, ScheduledEvent};
 use simtime::{Bandwidth, Dur, Time};
 use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
 use workload::{JobProgress, JobSpec};
@@ -42,7 +51,19 @@ pub struct PacketSimConfig {
     pub seed: u64,
     /// Restart flows at line rate on each communication phase.
     pub restart_on_phase: bool,
+    /// Packets coalesced per sender/dequeue event (a "packet train").
+    /// `1` is the exact per-packet engine; larger values trade event count
+    /// for a bounded marking/pacing approximation (capped at
+    /// [`MAX_TRAIN_PACKETS`], and per train to one CNP interval of
+    /// airtime).
+    pub train_packets: u32,
+    /// Which event-queue implementation drives the simulation.
+    pub queue: QueueBackend,
 }
+
+/// Upper bound on [`PacketSimConfig::train_packets`] (the per-train ECN
+/// mark bitmask is a `u64`).
+pub const MAX_TRAIN_PACKETS: u32 = 64;
 
 impl Default for PacketSimConfig {
     fn default() -> PacketSimConfig {
@@ -54,6 +75,58 @@ impl Default for PacketSimConfig {
             base_params: DcqcnParams::testbed_default(),
             seed: 1,
             restart_on_phase: true,
+            train_packets: 1,
+            queue: QueueBackend::default(),
+        }
+    }
+}
+
+/// Event-queue backend selector, for differential determinism checks: the
+/// timing wheel is the production queue; the reference heap
+/// ([`eventsim::queue::reference`]) is the oracle it must match
+/// event-for-event (see the wheel-swap gate in `scripts/check.sh`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Hierarchical timing wheel (`eventsim::EventQueue`), the default.
+    #[default]
+    TimingWheel,
+    /// Binary-heap oracle (`eventsim::queue::reference::EventQueue`).
+    ReferenceHeap,
+}
+
+/// The two queue implementations behind one seam, so a config knob can
+/// swap them without making the simulator generic over the queue type.
+enum Queue<E> {
+    Wheel(EventQueue<E>),
+    Heap(reference::EventQueue<E>),
+}
+
+impl<E> Queue<E> {
+    fn new(backend: QueueBackend) -> Queue<E> {
+        match backend {
+            QueueBackend::TimingWheel => Queue::Wheel(EventQueue::new()),
+            QueueBackend::ReferenceHeap => Queue::Heap(reference::EventQueue::new()),
+        }
+    }
+
+    fn now(&self) -> Time {
+        match self {
+            Queue::Wheel(q) => q.now(),
+            Queue::Heap(q) => q.now(),
+        }
+    }
+
+    fn schedule_at(&mut self, at: Time, event: E) {
+        match self {
+            Queue::Wheel(q) => q.schedule_at(at, event),
+            Queue::Heap(q) => q.schedule_at(at, event),
+        }
+    }
+
+    fn pop_until(&mut self, horizon: Time) -> Option<ScheduledEvent<E>> {
+        match self {
+            Queue::Wheel(q) => q.pop_until(horizon),
+            Queue::Heap(q) => q.pop_until(horizon),
         }
     }
 }
@@ -65,6 +138,21 @@ pub struct PacketJob {
     pub spec: JobSpec,
     /// Its congestion control (DCQCN variants only).
     pub variant: CcVariant,
+    /// When the job's first compute phase starts. Staggered offsets are
+    /// how paper-style rotation schedules are expressed (mirrors
+    /// [`crate::rate::RateJob::start_offset`]).
+    pub start_offset: Dur,
+}
+
+impl PacketJob {
+    /// A job starting at t = 0 with the given variant.
+    pub fn new(spec: JobSpec, variant: CcVariant) -> PacketJob {
+        PacketJob {
+            spec,
+            variant,
+            start_offset: Dur::ZERO,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,24 +180,40 @@ struct FlowState {
     sent_since_advance: f64,
     /// Whether a SenderWake is already scheduled.
     wake_armed: bool,
+    /// Whether an `Ev::Poll` is already scheduled (prevents redundant
+    /// polls from the two dequeue-side scheduling sites).
+    poll_armed: bool,
+    /// Packets the next SenderWake may emit, planned when the wake was
+    /// armed (the wake is paced for exactly this many serialization gaps).
+    pending_train: u32,
     /// Delivered bytes (for goodput accounting).
     delivered: f64,
+}
+
+/// A contiguous run of one flow's packets occupying the switch FIFO.
+struct Train {
+    flow: usize,
+    packets: u32,
+    /// Bit `j` set = packet `j` of the train was ECN-marked at enqueue.
+    marked: u64,
 }
 
 /// The per-packet simulator over one bottleneck link.
 pub struct PacketSimulator<R: Recorder = NoopRecorder> {
     cfg: PacketSimConfig,
-    events: EventQueue<Ev>,
+    events: Queue<Ev>,
     flows: Vec<FlowState>,
     rng: Rng,
     /// Queue occupancy in bytes (instantaneous, at the switch).
     queue_bytes: u64,
-    /// FIFO of (flow, marked) packets in the queue.
-    fifo: std::collections::VecDeque<(usize, bool)>,
+    /// FIFO of packet trains in the queue (each train is ≥ 1 packet of
+    /// one flow; `train_packets = 1` makes every train a single packet).
+    fifo: std::collections::VecDeque<Train>,
     /// Whether the link is currently transmitting a packet.
     busy: bool,
     packets_sent: u64,
     packets_marked: u64,
+    cnps_sent: u64,
     rec: R,
     events_processed: u64,
 }
@@ -137,7 +241,11 @@ impl<R: Recorder> PacketSimulator<R> {
         mut rec: R,
     ) -> PacketSimulator<R> {
         assert!(!jobs.is_empty(), "PacketSimulator: no jobs");
-        let mut events = EventQueue::new();
+        assert!(
+            (1..=MAX_TRAIN_PACKETS).contains(&cfg.train_packets),
+            "PacketSimulator: train_packets must be in 1..={MAX_TRAIN_PACKETS}"
+        );
+        let mut events = Queue::new(cfg.queue);
         let flows: Vec<FlowState> = jobs
             .iter()
             .enumerate()
@@ -147,7 +255,7 @@ impl<R: Recorder> PacketSimulator<R> {
                     "PacketSimulator: DCQCN variants only"
                 );
                 let params = cfg.base_params.with_line_rate(cfg.capacity);
-                let progress = JobProgress::new(j.spec, Time::ZERO);
+                let progress = JobProgress::new(j.spec, Time::ZERO + j.start_offset);
                 events.schedule_at(
                     progress.next_self_transition().expect("starts computing"),
                     Ev::Poll(i),
@@ -160,14 +268,16 @@ impl<R: Recorder> PacketSimulator<R> {
                     rp_clock: Time::ZERO,
                     sent_since_advance: 0.0,
                     wake_armed: false,
+                    poll_armed: true,
+                    pending_train: 1,
                     delivered: 0.0,
                 }
             })
             .collect();
         if R::ENABLED {
-            for i in 0..flows.len() {
+            for (i, j) in jobs.iter().enumerate() {
                 rec.record(
-                    Time::ZERO,
+                    Time::ZERO + j.start_offset,
                     Event::PhaseEnter {
                         job: i as u32,
                         phase: Phase::Compute,
@@ -187,6 +297,7 @@ impl<R: Recorder> PacketSimulator<R> {
             busy: false,
             packets_sent: 0,
             packets_marked: 0,
+            cnps_sent: 0,
             rec,
             events_processed: 0,
         }
@@ -217,6 +328,16 @@ impl<R: Recorder> PacketSimulator<R> {
         (self.packets_sent, self.packets_marked)
     }
 
+    /// CNPs the notification points emitted.
+    pub fn cnps_sent(&self) -> u64 {
+        self.cnps_sent
+    }
+
+    /// Events processed so far (the cost batching exists to reduce).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     fn advance_rp(&mut self, i: usize, now: Time) {
         let f = &mut self.flows[i];
         let dt = now.saturating_since(f.rp_clock);
@@ -232,28 +353,59 @@ impl<R: Recorder> PacketSimulator<R> {
             return;
         }
         self.advance_rp(i, now);
+        let mtu = self.cfg.mtu_bytes as f64;
         let f = &mut self.flows[i];
         // Pacing: the next packet leaves one serialization interval (at
         // the *controlled* rate) after now.
-        let gap_secs = self.cfg.mtu_bytes as f64 * 8.0 / f.rp.rate().max(1.0);
-        let gap = Dur::from_secs_f64(gap_secs).max(Dur::NANOSECOND);
+        let gap_secs = mtu * 8.0 / f.rp.rate().max(1.0);
+        // Plan the train the wake will emit: bounded by the config knob,
+        // by what the phase still needs, and — so a rate cut is never
+        // outrun mid-train — by one CNP pacing interval of airtime at the
+        // current rate. A rate change between arm and wake keeps the
+        // planned schedule (pacing error of one train, exactly as a
+        // single packet's pending wake kept its schedule before).
+        let mut n = self.cfg.train_packets as u64;
+        if n > 1 {
+            let packets_left = (f.to_send / mtu).ceil() as u64;
+            n = n.min(packets_left.max(1));
+            let airtime_cap = (self.cfg.base_params.cnp_interval.as_secs_f64() / gap_secs) as u64;
+            n = n.min(airtime_cap.max(1));
+        }
+        let gap = Dur::from_secs_f64(gap_secs * n as f64).max(Dur::NANOSECOND);
+        f.pending_train = n as u32;
         f.wake_armed = true;
         self.events.schedule_at(now + gap, Ev::SenderWake(i));
     }
 
-    fn start_service_if_idle(&mut self, now: Time) {
-        if self.busy || self.fifo.is_empty() {
+    /// Schedules an `Ev::Poll` for flow `i` unless one is already pending.
+    /// The poll handler re-arms if it fires before the actual transition,
+    /// so suppressing a redundant poll never loses a deadline.
+    fn arm_poll(&mut self, i: usize, at: Time) {
+        if self.flows[i].poll_armed {
             return;
         }
+        self.flows[i].poll_armed = true;
+        self.events.schedule_at(at, Ev::Poll(i));
+    }
+
+    fn start_service_if_idle(&mut self, now: Time) {
+        if self.busy {
+            return;
+        }
+        let Some(front) = self.fifo.front() else {
+            return;
+        };
         self.busy = true;
-        let service =
+        let pkt_service =
             Dur::from_secs_f64(self.cfg.mtu_bytes as f64 * 8.0 / self.cfg.capacity.as_bps_f64());
+        let service = Dur::from_nanos(pkt_service.as_nanos() * front.packets as u64);
         self.events.schedule_at(now + service, Ev::Dequeue);
     }
 
     fn handle(&mut self, ev: Ev, now: Time) {
         match ev {
             Ev::Poll(i) => {
+                self.flows[i].poll_armed = false;
                 if self.flows[i].progress.poll(now) {
                     let f = &mut self.flows[i];
                     f.to_send = f.progress.remaining_bytes();
@@ -292,6 +444,10 @@ impl<R: Recorder> PacketSimulator<R> {
                         }
                     }
                     self.arm_sender(i, now);
+                } else if let Some(t) = self.flows[i].progress.next_self_transition() {
+                    // Premature poll (its twin was suppressed): re-arm at
+                    // the real deadline.
+                    self.arm_poll(i, t.max(now));
                 }
             }
             Ev::SenderWake(i) => {
@@ -299,87 +455,115 @@ impl<R: Recorder> PacketSimulator<R> {
                 if !self.flows[i].progress.is_communicating() || self.flows[i].to_send < 1.0 {
                     return;
                 }
-                // Emit one packet into the queue; mark against the
-                // instantaneous depth.
+                // Emit the planned train into the queue, marking each
+                // packet against the instantaneous depth as it lands.
                 let mtu = self.cfg.mtu_bytes as f64;
-                let payload = mtu.min(self.flows[i].to_send);
-                self.flows[i].to_send -= payload;
-                self.flows[i].sent_since_advance += payload;
-                let p_mark = self.cfg.marker.mark_probability(self.queue_bytes as f64);
-                let marked = self.rng.bernoulli(p_mark);
-                self.packets_sent += 1;
-                if marked {
-                    self.packets_marked += 1;
-                    if R::ENABLED {
-                        self.rec.record(now, Event::EcnMark { flow: i as u32 });
-                        self.rec.record(
-                            now,
-                            Event::QueueDepth {
-                                link: 0,
-                                bytes: self.queue_bytes as f64,
-                            },
-                        );
+                let planned = self.flows[i].pending_train.max(1);
+                let mut emitted = 0u32;
+                let mut mask = 0u64;
+                while emitted < planned && self.flows[i].to_send >= 1.0 {
+                    let payload = mtu.min(self.flows[i].to_send);
+                    self.flows[i].to_send -= payload;
+                    self.flows[i].sent_since_advance += payload;
+                    let p_mark = self.cfg.marker.mark_probability(self.queue_bytes as f64);
+                    let marked = self.rng.bernoulli(p_mark);
+                    self.packets_sent += 1;
+                    if marked {
+                        self.packets_marked += 1;
+                        mask |= 1 << emitted;
+                        if R::ENABLED {
+                            self.rec.record(now, Event::EcnMark { flow: i as u32 });
+                            self.rec.record(
+                                now,
+                                Event::QueueDepth {
+                                    link: 0,
+                                    bytes: self.queue_bytes as f64,
+                                },
+                            );
+                        }
                     }
+                    self.queue_bytes += payload as u64;
+                    emitted += 1;
                 }
-                self.queue_bytes += payload as u64;
-                self.fifo.push_back((i, marked));
-                self.start_service_if_idle(now);
+                if emitted > 0 {
+                    self.fifo.push_back(Train {
+                        flow: i,
+                        packets: emitted,
+                        marked: mask,
+                    });
+                    self.start_service_if_idle(now);
+                }
                 self.arm_sender(i, now);
             }
             Ev::Dequeue => {
                 self.busy = false;
-                let (i, marked) = self.fifo.pop_front().expect("dequeue from empty FIFO");
+                let train = self.fifo.pop_front().expect("dequeue from empty FIFO");
+                let i = train.flow;
                 let mtu = self.cfg.mtu_bytes as f64;
-                self.queue_bytes = self.queue_bytes.saturating_sub(mtu as u64);
+                self.queue_bytes = self
+                    .queue_bytes
+                    .saturating_sub(mtu as u64 * train.packets as u64);
                 self.start_service_if_idle(now);
-                // Delivery at the receiver (prop delay after leaving the
-                // queue); NP decides on a CNP.
-                let deliver_at = now + self.cfg.prop_delay;
-                let f = &mut self.flows[i];
-                f.delivered += mtu.min(f.progress.remaining_bytes().max(mtu));
-                if marked && f.np.on_marked_arrival(deliver_at) {
-                    // CNP travels back one hop.
-                    self.events
-                        .schedule_at(deliver_at + self.cfg.prop_delay, Ev::Cnp(i));
-                    if R::ENABLED {
-                        self.rec.record(now, Event::CnpSent { flow: i as u32 });
+                // Deliver packet-by-packet: packet `j` left the wire
+                // `packets - 1 - j` serialization quanta before `now`, and
+                // reaches the receiver a prop delay later; the NP judges
+                // each marked arrival at its own timestamp.
+                let pkt_ns =
+                    Dur::from_secs_f64(mtu * 8.0 / self.cfg.capacity.as_bps_f64()).as_nanos();
+                for j in 0..train.packets {
+                    let lag = pkt_ns * (train.packets - 1 - j) as u64;
+                    let exit = Time::from_nanos(now.as_nanos().saturating_sub(lag));
+                    let deliver_at = exit + self.cfg.prop_delay;
+                    let marked = train.marked >> j & 1 == 1;
+                    let f = &mut self.flows[i];
+                    f.delivered += mtu.min(f.progress.remaining_bytes().max(mtu));
+                    if marked && f.np.on_marked_arrival(deliver_at) {
+                        // CNP travels back one hop (never into the past:
+                        // early packets of a long train may have delivered
+                        // before `now`).
+                        self.events
+                            .schedule_at((deliver_at + self.cfg.prop_delay).max(now), Ev::Cnp(i));
+                        self.cnps_sent += 1;
+                        if R::ENABLED {
+                            self.rec.record(now, Event::CnpSent { flow: i as u32 });
+                        }
                     }
-                }
-                let finished = f.progress.deliver(mtu, deliver_at.max(now)).is_some();
-                if finished {
-                    f.to_send = 0.0;
-                    let poll_at = f
-                        .progress
-                        .next_self_transition()
-                        .expect("job computes after an iteration");
-                    self.events.schedule_at(poll_at.max(now), Ev::Poll(i));
-                } else if !f.progress.is_communicating() {
-                    // Pipelined segment gap.
-                    let poll_at = f
-                        .progress
-                        .next_self_transition()
-                        .expect("job computes between segments");
-                    self.events.schedule_at(poll_at.max(now), Ev::Poll(i));
-                }
-                if R::ENABLED && (finished || !self.flows[i].progress.is_communicating()) {
-                    let done = self.flows[i].progress.completed() as u64;
-                    let exited = if finished { done - 1 } else { done };
-                    self.rec.record(
-                        now,
-                        Event::PhaseExit {
-                            job: i as u32,
-                            phase: Phase::Communicate,
-                            iteration: exited,
-                        },
-                    );
-                    self.rec.record(
-                        now,
-                        Event::PhaseEnter {
-                            job: i as u32,
-                            phase: Phase::Compute,
-                            iteration: done,
-                        },
-                    );
+                    let finished = f.progress.deliver(mtu, deliver_at.max(now)).is_some();
+                    if finished {
+                        f.to_send = 0.0;
+                        let poll_at = f
+                            .progress
+                            .next_self_transition()
+                            .expect("job computes after an iteration");
+                        self.arm_poll(i, poll_at.max(now));
+                    } else if !f.progress.is_communicating() {
+                        // Pipelined segment gap.
+                        let poll_at = f
+                            .progress
+                            .next_self_transition()
+                            .expect("job computes between segments");
+                        self.arm_poll(i, poll_at.max(now));
+                    }
+                    if R::ENABLED && (finished || !self.flows[i].progress.is_communicating()) {
+                        let done = self.flows[i].progress.completed() as u64;
+                        let exited = if finished { done - 1 } else { done };
+                        self.rec.record(
+                            now,
+                            Event::PhaseExit {
+                                job: i as u32,
+                                phase: Phase::Communicate,
+                                iteration: exited,
+                            },
+                        );
+                        self.rec.record(
+                            now,
+                            Event::PhaseEnter {
+                                job: i as u32,
+                                phase: Phase::Compute,
+                                iteration: done,
+                            },
+                        );
+                    }
                 }
             }
             Ev::Cnp(i) => {
@@ -467,10 +651,7 @@ mod tests {
     fn solo_job_runs_at_line_rate() {
         let mut sim = PacketSimulator::new(
             PacketSimConfig::default(),
-            &[PacketJob {
-                spec: small_job(),
-                variant: CcVariant::Fair,
-            }],
+            &[PacketJob::new(small_job(), CcVariant::Fair)],
         );
         assert!(sim.run_until_iterations(3, Dur::from_secs(2)));
         let solo = small_job()
@@ -492,14 +673,8 @@ mod tests {
     #[test]
     fn two_fair_flows_split_evenly() {
         let jobs = [
-            PacketJob {
-                spec: small_job(),
-                variant: CcVariant::Fair,
-            },
-            PacketJob {
-                spec: small_job(),
-                variant: CcVariant::Fair,
-            },
+            PacketJob::new(small_job(), CcVariant::Fair),
+            PacketJob::new(small_job(), CcVariant::Fair),
         ];
         let mut sim = PacketSimulator::new(PacketSimConfig::default(), &jobs);
         // Run through the overlapped first communication phase only.
@@ -523,16 +698,13 @@ mod tests {
         // sustained contention lets the T asymmetry accumulate.
         let heavy = JobSpec::reference(Model::ResNet50, 100);
         let jobs = [
-            PacketJob {
-                spec: heavy,
-                variant: CcVariant::StaticUnfair {
+            PacketJob::new(
+                heavy,
+                CcVariant::StaticUnfair {
                     timer: Dur::from_micros(100),
                 },
-            },
-            PacketJob {
-                spec: heavy,
-                variant: CcVariant::Fair,
-            },
+            ),
+            PacketJob::new(heavy, CcVariant::Fair),
         ];
         let mut sim = PacketSimulator::new(PacketSimConfig::default(), &jobs);
         sim.run_until(Time::ZERO + Dur::from_millis(400));
@@ -549,14 +721,8 @@ mod tests {
         use telemetry::BufferRecorder;
 
         let jobs = [
-            PacketJob {
-                spec: small_job(),
-                variant: CcVariant::Fair,
-            },
-            PacketJob {
-                spec: small_job(),
-                variant: CcVariant::Fair,
-            },
+            PacketJob::new(small_job(), CcVariant::Fair),
+            PacketJob::new(small_job(), CcVariant::Fair),
         ];
         let mut rec = BufferRecorder::new();
         let mut sim = PacketSimulator::with_recorder(PacketSimConfig::default(), &jobs, &mut rec);
@@ -590,14 +756,8 @@ mod tests {
     #[test]
     fn recorder_does_not_perturb_packet_dynamics() {
         let jobs = [
-            PacketJob {
-                spec: small_job(),
-                variant: CcVariant::Fair,
-            },
-            PacketJob {
-                spec: small_job(),
-                variant: CcVariant::Fair,
-            },
+            PacketJob::new(small_job(), CcVariant::Fair),
+            PacketJob::new(small_job(), CcVariant::Fair),
         ];
         let mut plain = PacketSimulator::new(PacketSimConfig::default(), &jobs);
         plain.run_until(Time::ZERO + Dur::from_millis(60));
@@ -611,16 +771,135 @@ mod tests {
     }
 
     #[test]
+    fn wheel_and_heap_backends_are_event_identical() {
+        use telemetry::BufferRecorder;
+        let jobs = [
+            PacketJob::new(small_job(), CcVariant::Fair),
+            PacketJob::new(small_job(), CcVariant::Fair),
+        ];
+        let mut streams = Vec::new();
+        for queue in [QueueBackend::TimingWheel, QueueBackend::ReferenceHeap] {
+            let cfg = PacketSimConfig {
+                queue,
+                ..PacketSimConfig::default()
+            };
+            let mut rec = BufferRecorder::new();
+            let mut sim = PacketSimulator::with_recorder(cfg, &jobs, &mut rec);
+            sim.run_until(Time::ZERO + Dur::from_millis(60));
+            let counts = sim.packet_counts();
+            streams.push((rec.events().to_vec(), counts));
+        }
+        assert_eq!(streams[0].1, streams[1].1, "packet counts diverge");
+        assert_eq!(
+            streams[0].0, streams[1].0,
+            "telemetry streams diverge between queue backends"
+        );
+    }
+
+    #[test]
+    fn batched_trains_speed_up_without_changing_outcome() {
+        // Same scenario per-packet and with 32-packet trains: delivered
+        // bytes and congestion signals must agree within a few percent,
+        // and the batched run must process far fewer events. The horizon
+        // lands mid-way through the first contended communication phase —
+        // comparing at a phase boundary would measure cutoff luck, not
+        // batching error (compute→comm transitions are compute-driven and
+        // land at identical instants in both runs).
+        let jobs = [
+            PacketJob::new(small_job(), CcVariant::Fair),
+            PacketJob::new(small_job(), CcVariant::Fair),
+        ];
+        let run = |train_packets: u32| {
+            let cfg = PacketSimConfig {
+                train_packets,
+                ..PacketSimConfig::default()
+            };
+            let mut sim = PacketSimulator::new(cfg, &jobs);
+            sim.run_until(Time::ZERO + Dur::from_millis(45));
+            (
+                sim.delivered(0) + sim.delivered(1),
+                sim.packet_counts(),
+                sim.events_processed(),
+            )
+        };
+        // Tolerances are calibrated to DCQCN's sensitivity, not batching
+        // sloppiness: shifting one CNP by a few µs shifts the whole rate
+        // sawtooth, so instantaneous goodput wobbles ±5–10% while the
+        // congestion statistics (mark rate, CNP count) stay put.
+        let (bytes_1, (sent_1, _), events_1) = run(1);
+        let (bytes_32, (sent_32, _), events_32) = run(32);
+        let db = (bytes_32 - bytes_1).abs() / bytes_1;
+        assert!(db < 0.10, "delivered bytes diverged by {:.1}%", db * 100.0);
+        let ds = (sent_32 as f64 - sent_1 as f64).abs() / sent_1 as f64;
+        assert!(ds < 0.10, "sent packets diverged by {:.1}%", ds * 100.0);
+        assert!(
+            events_32 * 5 < events_1,
+            "batching should cut events ≥5×: {events_32} vs {events_1}"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        // Batching is an approximation with a bounded error: for arbitrary
+        // train lengths and marking seeds, delivered bytes, ECN mark
+        // counts, and CNP counts must stay within tolerance of the exact
+        // per-packet run. Marks/CNPs are sparse stochastic counts, so
+        // their tolerance is looser than goodput's.
+        #[test]
+        fn train_batching_stays_within_tolerance(
+            train in 2u32..(MAX_TRAIN_PACKETS + 1),
+            seed in 1u64..1_000,
+        ) {
+            let jobs = [
+                PacketJob::new(small_job(), CcVariant::Fair),
+                PacketJob::new(small_job(), CcVariant::Fair),
+            ];
+            let run = |train_packets: u32| {
+                let cfg = PacketSimConfig {
+                    train_packets,
+                    seed,
+                    ..PacketSimConfig::default()
+                };
+                let mut sim = PacketSimulator::new(cfg, &jobs);
+                sim.run_until(Time::ZERO + Dur::from_millis(45));
+                let (_, marked) = sim.packet_counts();
+                (sim.delivered(0) + sim.delivered(1), marked, sim.cnps_sent())
+            };
+            let (bytes_exact, marked_exact, cnps_exact) = run(1);
+            let (bytes_train, marked_train, cnps_train) = run(train);
+            let db = (bytes_train - bytes_exact).abs() / bytes_exact;
+            proptest::prop_assert!(
+                db < 0.10,
+                "delivered bytes diverged by {:.1}% at train={}", db * 100.0, train
+            );
+            let dm = (marked_train as f64 - marked_exact as f64).abs()
+                / (marked_exact.max(1) as f64);
+            proptest::prop_assert!(
+                dm < 0.5,
+                "ECN marks diverged by {:.0}% at train={} ({marked_train} vs {marked_exact})",
+                dm * 100.0, train
+            );
+            let dc = (cnps_train as f64 - cnps_exact as f64).abs()
+                / (cnps_exact.max(1) as f64);
+            proptest::prop_assert!(
+                dc < 0.5,
+                "CNPs diverged by {:.0}% at train={} ({cnps_train} vs {cnps_exact})",
+                dc * 100.0, train
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "DCQCN variants only")]
     fn swift_rejected() {
         let _ = PacketSimulator::new(
             PacketSimConfig::default(),
-            &[PacketJob {
-                spec: small_job(),
-                variant: CcVariant::Swift {
+            &[PacketJob::new(
+                small_job(),
+                CcVariant::Swift {
                     target_delay: Dur::from_micros(30),
                 },
-            }],
+            )],
         );
     }
 }

@@ -54,6 +54,23 @@ pub struct RateSimConfig {
     /// If set, per-job throughput and queue traces are recorded at this
     /// granularity.
     pub trace_interval: Option<Dur>,
+    /// Adaptive stepping: lengthen `dt` (doubling, up to [`max_dt`])
+    /// while the system is quiet — no marks fired, no phase transitions,
+    /// and every communicating flow's rate unchanged over the step — and
+    /// snap back to the base `dt` the moment anything happens. When every
+    /// job is computing and the queue is drained, the engine jumps
+    /// straight to the next compute deadline (that jump is exact: the
+    /// DCQCN clocks replay their timer/byte events precisely for any
+    /// `dt`). Off by default; `false` is the exact legacy stepper.
+    ///
+    /// [`max_dt`]: RateSimConfig::max_dt
+    pub adaptive_step: bool,
+    /// Longest step adaptive stepping may take while any flow is
+    /// communicating (idle jumps between compute deadlines may be longer).
+    /// Only read when [`adaptive_step`] is set.
+    ///
+    /// [`adaptive_step`]: RateSimConfig::adaptive_step
+    pub max_dt: Dur,
 }
 
 impl Default for RateSimConfig {
@@ -68,6 +85,8 @@ impl Default for RateSimConfig {
             seed: 1,
             restart_on_phase: true,
             trace_interval: None,
+            adaptive_step: false,
+            max_dt: Dur::from_micros(80),
         }
     }
 }
@@ -163,7 +182,20 @@ pub struct RateSimulator<R: Recorder = NoopRecorder> {
     rec: R,
     next_sample_at: Time,
     steps: u64,
+    /// Current adaptive step multiplier (power of two; 1 = base `dt`).
+    dt_scale: u64,
+    /// Consecutive quiet steps (no marks, transitions, or rate motion).
+    quiet_steps: u32,
 }
+
+/// Quiet steps required before the adaptive stepper starts doubling:
+/// long enough to sit out a full CNP pacing interval of silence at the
+/// base 5 µs step before trusting the lull.
+const QUIET_STEPS_TO_COARSEN: u32 = 8;
+
+/// Longest exact idle jump between compute deadlines (keeps trace and
+/// telemetry sampling from starving during long compute phases).
+const MAX_IDLE_JUMP: Dur = Dur::from_millis(1);
 
 impl RateSimulator {
     /// Builds an unobserved simulator for `jobs` sharing the bottleneck.
@@ -238,6 +270,8 @@ impl<R: Recorder> RateSimulator<R> {
             rec,
             next_sample_at: Time::ZERO,
             steps: 0,
+            dt_scale: 1,
+            quiet_steps: 0,
         }
     }
 
@@ -266,15 +300,66 @@ impl<R: Recorder> RateSimulator<R> {
         &self.queue_trace
     }
 
+    /// Total steps taken so far (adaptive stepping's cost metric).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The earliest compute→communicate deadline across all jobs, if any
+    /// job is computing.
+    fn next_deadline(&self) -> Option<Time> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.progress.next_self_transition())
+            .min()
+    }
+
+    /// Picks this step's `dt` under adaptive stepping: the scaled base
+    /// step (or an exact jump to the next compute deadline when the whole
+    /// system is idle), never stepping over a compute deadline.
+    fn adaptive_dt(&self) -> Dur {
+        let base = self.cfg.dt;
+        let idle = self
+            .jobs
+            .iter()
+            .all(|j| !j.progress.is_communicating() && j.backlog < 0.5);
+        let mut dt = if idle {
+            match self.next_deadline() {
+                // Nothing can happen before the earliest deadline; the
+                // DCQCN clocks replay exactly across any span.
+                Some(dl) => dl.saturating_since(self.now).clamp(base, MAX_IDLE_JUMP),
+                None => MAX_IDLE_JUMP, // all jobs permanently done
+            }
+        } else {
+            Dur::from_nanos(base.as_nanos().saturating_mul(self.dt_scale)).min(self.cfg.max_dt)
+        };
+        // Land exactly on the next compute deadline rather than past it,
+        // so coarse steps never delay a phase start.
+        if let Some(dl) = self.next_deadline() {
+            if dl > self.now {
+                dt = dt.min(dl.saturating_since(self.now));
+            }
+        }
+        dt.max(Dur::NANOSECOND)
+    }
+
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
-        let dt = self.cfg.dt;
+        let dt = if self.cfg.adaptive_step {
+            self.adaptive_dt()
+        } else {
+            self.cfg.dt
+        };
         let dt_secs = dt.as_secs_f64();
         let t_end = self.now + dt;
+        // Anything that should snap the stepper back to fine steps: phase
+        // transitions, mark firings (hence CNPs), or rate motion.
+        let mut activity = false;
 
         // 1. Compute→communicate transitions due at (or before) this step.
         for (i, js) in self.jobs.iter_mut().enumerate() {
             if !js.progress.is_communicating() && js.progress.poll(self.now) {
+                activity = true;
                 js.to_inject = js.progress.remaining_bytes();
                 js.backlog = 0.0;
                 if self.cfg.restart_on_phase {
@@ -354,6 +439,7 @@ impl<R: Recorder> RateSimulator<R> {
                 let packets = delivered[i] / self.cfg.mtu_bytes;
                 js.expected_marks += packets * self.cfg.marker.mark_probability(standing_queue);
                 if js.expected_marks >= js.mark_threshold {
+                    activity = true;
                     js.expected_marks = 0.0;
                     js.mark_threshold = if self.cfg.mark_noise > 0.0 {
                         1.0 + self.cfg.mark_noise * (self.rng.f64() * 2.0 - 1.0)
@@ -390,9 +476,11 @@ impl<R: Recorder> RateSimulator<R> {
         // the standing queue takes to drain at line rate.
         let queue_delay = Dur::from_secs_f64(standing_queue * 8.0 / self.cfg.capacity.as_bps_f64());
         for (i, js) in self.jobs.iter_mut().enumerate() {
+            let communicating = js.progress.is_communicating();
+            let rate_before = js.cc.rate();
             match &mut js.cc {
                 Controller::Dcqcn(rp) => {
-                    if js.adaptive && js.progress.is_communicating() {
+                    if js.adaptive && communicating {
                         let total = js.progress.comm_bytes_per_iteration();
                         let sent = total - js.progress.remaining_bytes();
                         rp.set_phase_progress(sent / total);
@@ -401,9 +489,19 @@ impl<R: Recorder> RateSimulator<R> {
                 }
                 Controller::Swift(rp) => rp.advance(dt, queue_delay),
             }
+            // A communicating flow whose controlled rate moved this step
+            // is still converging: keep the stepper fine. (Computing
+            // flows' clocks replay exactly at any dt, so their motion
+            // doesn't force fine steps.)
+            if communicating && js.cc.rate() != rate_before {
+                activity = true;
+            }
             if js.progress.is_communicating() && delivered[i] > 0.0 {
                 js.traced_bytes += delivered[i];
                 let finished = js.progress.deliver(delivered[i], t_end).is_some();
+                if finished || !js.progress.is_communicating() {
+                    activity = true;
+                }
                 if finished {
                     // Iteration finished: residual float dust is discarded.
                     js.to_inject = 0.0;
@@ -486,6 +584,19 @@ impl<R: Recorder> RateSimulator<R> {
 
         self.steps += 1;
         self.now = t_end;
+        if self.cfg.adaptive_step {
+            if activity {
+                self.dt_scale = 1;
+                self.quiet_steps = 0;
+            } else {
+                self.quiet_steps = self.quiet_steps.saturating_add(1);
+                if self.quiet_steps >= QUIET_STEPS_TO_COARSEN {
+                    self.dt_scale = (self.dt_scale * 2)
+                        .min(self.cfg.max_dt.as_nanos() / self.cfg.dt.as_nanos().max(1))
+                        .max(1);
+                }
+            }
+        }
     }
 
     /// Runs for a fixed span of simulated time.
@@ -761,6 +872,65 @@ mod tests {
             })
             .count() as i64;
         assert!((enters - exits).abs() <= 1, "enters {enters} exits {exits}");
+    }
+
+    /// Adaptive stepping must not change what the simulation concludes —
+    /// iteration times stay within the engine's own validation bound —
+    /// while taking several times fewer steps.
+    #[test]
+    fn adaptive_stepping_reduces_steps_without_changing_results() {
+        let jobs = [
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+        ];
+        let run = |adaptive_step: bool| {
+            let cfg = RateSimConfig {
+                adaptive_step,
+                ..RateSimConfig::default()
+            };
+            let mut sim = RateSimulator::new(cfg, &jobs);
+            assert!(sim.run_until_iterations(8, Dur::from_secs(10)));
+            let m = [median_ms(&sim, 0, 2), median_ms(&sim, 1, 2)];
+            (m, sim.steps())
+        };
+        let (fixed, steps_fixed) = run(false);
+        let (adaptive, steps_adaptive) = run(true);
+        for i in 0..2 {
+            let rel = (adaptive[i] - fixed[i]).abs() / fixed[i];
+            assert!(
+                rel < 0.03,
+                "job {i}: adaptive median {:.2} ms vs fixed {:.2} ms",
+                adaptive[i],
+                fixed[i]
+            );
+        }
+        assert!(
+            steps_adaptive * 2 < steps_fixed,
+            "adaptive stepping should cut steps ≥2×: {steps_adaptive} vs {steps_fixed}"
+        );
+    }
+
+    /// A solo adaptive run still matches the analytic iteration time: the
+    /// coarse steps taken in steady state and the exact idle jumps across
+    /// compute phases cannot distort a converged flow.
+    #[test]
+    fn adaptive_solo_matches_analytic_iteration_time() {
+        let spec = vgg19(1200);
+        let cfg = RateSimConfig {
+            adaptive_step: true,
+            ..RateSimConfig::default()
+        };
+        let mut sim = RateSimulator::new(cfg, &[RateJob::new(spec, CcVariant::Fair)]);
+        assert!(sim.run_until_iterations(5, Dur::from_secs(5)));
+        let expected = spec
+            .iteration_time_at(Bandwidth::from_gbps(50))
+            .as_millis_f64();
+        let measured = median_ms(&sim, 0, 1);
+        let err = (measured - expected).abs() / expected;
+        assert!(
+            err < 0.02,
+            "adaptive solo iteration {measured:.1} ms vs analytic {expected:.1} ms"
+        );
     }
 
     /// The same run, observed or not, produces identical simulation

@@ -33,6 +33,25 @@ diff "$GATE/j1/run.json" "$GATE/j4/run.json"
 diff "$GATE/j1/stdout.txt" "$GATE/j4/stdout.txt"
 echo "byte-identical across --jobs 1 and --jobs 4"
 
+echo "== timing-wheel determinism gate (wheel vs heap JSONL byte-diff) =="
+for b in wheel heap; do
+    cargo run -q --release -p netsim --example packet_trace -- "$b" 1 "$GATE/trace_$b.jsonl"
+done
+cmp "$GATE/trace_wheel.jsonl" "$GATE/trace_heap.jsonl"
+echo "traced packet run byte-identical across queue backends at train_packets=1"
+
+echo "== paper-scale packet validation wall-clock budget smoke =="
+PAPER_T0=$(date +%s.%N)
+cargo test -q --release --test packet_validation paper_scale_mix_agrees_with_batching \
+    > /dev/null
+PAPER_WALL=$(awk -v t0="$PAPER_T0" -v t1="$(date +%s.%N)" 'BEGIN { print t1 - t0 }')
+PAPER_BUDGET=60
+echo "paper-scale packet test: ${PAPER_WALL}s wall clock incl. build (budget ${PAPER_BUDGET}s)"
+awk -v w="$PAPER_WALL" -v b="$PAPER_BUDGET" 'BEGIN { exit !(w <= b) }' || {
+    echo "paper-scale packet test blew the ${PAPER_BUDGET}s wall-clock budget: ${PAPER_WALL}s" >&2
+    exit 1
+}
+
 echo "== fig1 wall-clock budget smoke =="
 "$BIN" fig1 --iterations 100 --summary-dir "$GATE/bench" > /dev/null
 WALL=$(grep -o '"wall_clock_secs":[0-9.eE+-]*' "$GATE/bench/BENCH_fig1.json" | cut -d: -f2)
