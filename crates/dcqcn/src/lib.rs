@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod cp;
+mod loss;
 mod np;
 mod params;
 mod rp;
@@ -55,6 +56,7 @@ pub mod swift;
 mod variant;
 
 pub use cp::RedMarker;
+pub use loss::SignalLoss;
 pub use np::NotificationPoint;
 pub use params::DcqcnParams;
 pub use rp::{DcqcnRp, RpStage};

@@ -1,0 +1,89 @@
+//! [`SignalLoss`]: lossy delivery of DCQCN's congestion signals.
+//!
+//! DCQCN's control loop rides on two best-effort signals: ECN marks
+//! stamped by the switch (CP → NP) and CNPs returned by the receiver
+//! (NP → RP). In a degraded fabric either can be lost — a mark is stripped
+//! by a buggy ToR, a CNP is dropped on a congested reverse path — and the
+//! sender then keeps increasing into a congested link. Fault injection
+//! models this with independent per-signal loss probabilities; the network
+//! engines roll a dedicated chaos RNG (seeded from [`SignalLoss::seed`],
+//! never consulted when loss is disabled) so quiet runs stay bit-identical.
+
+/// Probabilistic loss of DCQCN congestion signals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalLoss {
+    /// Probability that an ECN mark is lost before reaching the NP.
+    pub mark_loss: f64,
+    /// Probability that a CNP is lost before reaching the RP.
+    pub cnp_loss: f64,
+    /// Seed for the engine's dedicated chaos RNG stream.
+    pub seed: u64,
+}
+
+impl SignalLoss {
+    /// No loss: both signals always arrive.
+    pub fn none() -> SignalLoss {
+        SignalLoss {
+            mark_loss: 0.0,
+            cnp_loss: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// `true` if this configuration never drops anything.
+    pub fn is_none(&self) -> bool {
+        self.mark_loss <= 0.0 && self.cnp_loss <= 0.0
+    }
+
+    /// Validates probabilities, clamping into `[0, 1)` — a loss rate of
+    /// exactly 1 would sever the control loop entirely and is nonsensical.
+    pub fn clamped(self) -> SignalLoss {
+        let clamp = |p: f64| {
+            if p.is_finite() {
+                p.clamp(0.0, 0.99)
+            } else {
+                0.0
+            }
+        };
+        SignalLoss {
+            mark_loss: clamp(self.mark_loss),
+            cnp_loss: clamp(self.cnp_loss),
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(SignalLoss::none().is_none());
+        assert!(!SignalLoss {
+            mark_loss: 0.1,
+            cnp_loss: 0.0,
+            seed: 0
+        }
+        .is_none());
+        assert!(!SignalLoss {
+            mark_loss: 0.0,
+            cnp_loss: 0.1,
+            seed: 0
+        }
+        .is_none());
+    }
+
+    #[test]
+    fn clamped_bounds_probabilities() {
+        let l = SignalLoss {
+            mark_loss: 1.5,
+            cnp_loss: f64::NAN,
+            seed: 3,
+        }
+        .clamped();
+        assert_eq!(l.mark_loss, 0.99);
+        assert_eq!(l.cnp_loss, 0.0);
+        assert_eq!(l.seed, 3);
+    }
+}

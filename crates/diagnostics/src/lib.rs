@@ -28,6 +28,7 @@ pub mod events;
 pub mod fairness;
 pub mod health;
 pub mod interleave;
+pub mod recovery;
 pub mod report;
 pub mod summary;
 
@@ -36,5 +37,6 @@ pub use events::{extract_tracks, split_scenarios, Interval, JobTrack, ScenarioTr
 pub use fairness::{jain_index, FairnessReport};
 pub use health::{Convergence, FlowHealth, HealthConfig, HealthReport, QueueHealth};
 pub use interleave::{audit, InterleaveReport, LinkAudit};
+pub use recovery::{recovery, FaultWindow, Incident, JobRecovery, RecoveryConfig, RecoveryReport};
 pub use report::html;
 pub use summary::{diff, DiffConfig, DiffReport, MetricShift, RunSummary};

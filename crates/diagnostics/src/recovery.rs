@@ -1,0 +1,435 @@
+//! Recovery analysis for fault-injected runs: how deep did a
+//! perturbation cut, how long until iteration times re-normalized, and
+//! did the fault break the jobs' interleaved equilibrium for good?
+//!
+//! Works from the same telemetry stream as every other analyzer. Fault
+//! windows come from `link_capacity` events (emitted by the engines
+//! whenever a [`topology::LinkSchedule`] multiplier takes effect),
+//! departures from `job_depart`, and the per-job impact from iteration
+//! durations reconstructed out of communicate-phase exits.
+
+use crate::events::median_dur;
+use simtime::{Dur, Time};
+use std::collections::BTreeMap;
+use telemetry::{Event, Phase, TimedEvent};
+
+/// Tunables for incident detection.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// An iteration counts as degraded when its duration exceeds
+    /// `slow_factor ×` the job's median iteration time.
+    pub slow_factor: f64,
+    /// Overlap-fraction increase (after the last fault clears, versus
+    /// before the first fault hits) that flags a compatibility break:
+    /// jobs that used to interleave are now colliding and stay that way.
+    pub break_overlap_delta: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            slow_factor: 1.4,
+            break_overlap_delta: 0.25,
+        }
+    }
+}
+
+/// One contiguous run of degraded iterations for one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Incident {
+    /// Start of the first degraded iteration.
+    pub start: Time,
+    /// End of the first normal iteration after the degraded run, or
+    /// `None` if the job never re-normalized before the stream ended.
+    pub recovered_at: Option<Time>,
+    /// Worst iteration duration in the incident over the baseline.
+    pub depth: f64,
+    /// Degraded iterations in the run.
+    pub iterations: usize,
+}
+
+impl Incident {
+    /// `recovered_at − start`, when recovery happened.
+    pub fn time_to_recover(&self) -> Option<Dur> {
+        self.recovered_at.map(|t| t.saturating_since(self.start))
+    }
+}
+
+/// Recovery facts for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecovery {
+    pub job: u32,
+    /// Median iteration duration (the normality baseline).
+    pub baseline: Dur,
+    /// Degraded runs, in time order.
+    pub incidents: Vec<Incident>,
+    /// When the job departed the cluster, if it did.
+    pub departed_at: Option<Time>,
+}
+
+impl JobRecovery {
+    /// The longest recovery among this job's incidents, if every incident
+    /// recovered; `None` if any is still open at stream end (or there are
+    /// no incidents — nothing to recover from).
+    pub fn worst_recovery(&self) -> Option<Dur> {
+        if self.incidents.is_empty() || self.incidents.iter().any(|i| i.recovered_at.is_none()) {
+            return None;
+        }
+        self.incidents
+            .iter()
+            .filter_map(Incident::time_to_recover)
+            .max()
+    }
+}
+
+/// One link's capacity excursion: from the first non-nominal multiplier
+/// to the return to nominal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    pub link: u32,
+    pub start: Time,
+    /// `None` when the stream ends with the link still degraded.
+    pub end: Option<Time>,
+    /// The deepest multiplier observed inside the window.
+    pub min_fraction: f64,
+}
+
+/// The full recovery report for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Link capacity excursions, in order of onset.
+    pub fault_windows: Vec<FaultWindow>,
+    /// Per-job recovery facts, ordered by job id.
+    pub jobs: Vec<JobRecovery>,
+    /// Communication overlap fraction before the first fault window
+    /// (`None` when there are no fault windows or no overlap-eligible
+    /// time there).
+    pub pre_overlap: Option<f64>,
+    /// Same, after the last fault window clears.
+    pub post_overlap: Option<f64>,
+    /// Jobs that interleaved before the faults are still colliding after
+    /// them: the perturbation pushed the system out of its compatible
+    /// equilibrium (the geometric prediction no longer holds).
+    pub compatibility_break: bool,
+}
+
+impl RecoveryReport {
+    /// `true` when every job that had incidents fully recovered.
+    pub fn all_recovered(&self) -> bool {
+        self.jobs
+            .iter()
+            .flat_map(|j| j.incidents.iter())
+            .all(|i| i.recovered_at.is_some())
+    }
+}
+
+/// Fraction of communicating time during `[from, to)` where two or more
+/// jobs communicate at once. `None` when nobody communicates there.
+fn overlap_fraction(comms: &BTreeMap<u32, Vec<(Time, Time)>>, from: Time, to: Time) -> Option<f64> {
+    if to <= from {
+        return None;
+    }
+    // Sweep over clipped interval endpoints.
+    let mut edges: Vec<(Time, i32)> = Vec::new();
+    for spans in comms.values() {
+        for &(s, e) in spans {
+            let s = s.max(from);
+            let e = e.min(to);
+            if s < e {
+                edges.push((s, 1));
+                edges.push((e, -1));
+            }
+        }
+    }
+    if edges.is_empty() {
+        return None;
+    }
+    edges.sort();
+    let mut depth = 0i32;
+    let mut busy = Dur::ZERO;
+    let mut shared = Dur::ZERO;
+    let mut prev = edges[0].0;
+    for (at, delta) in edges {
+        let span = at.saturating_since(prev);
+        if depth >= 1 {
+            busy += span;
+        }
+        if depth >= 2 {
+            shared += span;
+        }
+        depth += delta;
+        prev = at;
+    }
+    if busy.is_zero() {
+        None
+    } else {
+        Some(shared.as_secs_f64() / busy.as_secs_f64())
+    }
+}
+
+/// Analyzes one scenario's events for fault impact and recovery.
+pub fn recovery(events: &[TimedEvent], cfg: &RecoveryConfig) -> RecoveryReport {
+    // Pass 1: collect raw material.
+    let mut iter_ends: BTreeMap<u32, Vec<Time>> = BTreeMap::new();
+    let mut comms: BTreeMap<u32, Vec<(Time, Time)>> = BTreeMap::new();
+    let mut open_comm: BTreeMap<u32, Time> = BTreeMap::new();
+    let mut departs: BTreeMap<u32, Time> = BTreeMap::new();
+    let mut open_faults: BTreeMap<u32, FaultWindow> = BTreeMap::new();
+    let mut fault_windows: Vec<FaultWindow> = Vec::new();
+    let stream_start = events.first().map(|e| e.at).unwrap_or(Time::ZERO);
+    let stream_end = events.last().map(|e| e.at).unwrap_or(Time::ZERO);
+    for te in events {
+        match &te.event {
+            Event::PhaseEnter {
+                job,
+                phase: Phase::Communicate,
+                ..
+            } => {
+                open_comm.entry(*job).or_insert(te.at);
+            }
+            Event::PhaseExit {
+                job,
+                phase: Phase::Communicate,
+                ..
+            } => {
+                iter_ends.entry(*job).or_default().push(te.at);
+                if let Some(s) = open_comm.remove(job) {
+                    comms.entry(*job).or_default().push((s, te.at));
+                }
+            }
+            Event::JobDepart { job } => {
+                departs.insert(*job, te.at);
+            }
+            Event::LinkCapacity { link, fraction } => {
+                if *fraction < 1.0 {
+                    open_faults
+                        .entry(*link)
+                        .and_modify(|w| w.min_fraction = w.min_fraction.min(*fraction))
+                        .or_insert(FaultWindow {
+                            link: *link,
+                            start: te.at,
+                            end: None,
+                            min_fraction: *fraction,
+                        });
+                } else if let Some(mut w) = open_faults.remove(link) {
+                    w.end = Some(te.at);
+                    fault_windows.push(w);
+                }
+            }
+            _ => {}
+        }
+    }
+    fault_windows.extend(open_faults.into_values());
+    fault_windows.sort_by_key(|w| (w.start, w.link));
+
+    // Pass 2: per-job incident detection against the median baseline.
+    let mut jobs = Vec::new();
+    for (&job, ends) in &iter_ends {
+        let durations: Vec<Dur> = ends
+            .windows(2)
+            .map(|w| w[1].saturating_since(w[0]))
+            .collect();
+        let baseline = median_dur(&durations);
+        let mut incidents: Vec<Incident> = Vec::new();
+        let mut current: Option<Incident> = None;
+        let threshold = baseline.as_secs_f64() * cfg.slow_factor;
+        for (k, d) in durations.iter().enumerate() {
+            let slow = !baseline.is_zero() && d.as_secs_f64() > threshold;
+            if slow {
+                let start = ends[k]; // iteration k spans ends[k]..ends[k+1]
+                let depth = d.as_secs_f64() / baseline.as_secs_f64();
+                match &mut current {
+                    Some(inc) => {
+                        inc.depth = inc.depth.max(depth);
+                        inc.iterations += 1;
+                    }
+                    None => {
+                        current = Some(Incident {
+                            start,
+                            recovered_at: None,
+                            depth,
+                            iterations: 1,
+                        });
+                    }
+                }
+            } else if let Some(mut inc) = current.take() {
+                inc.recovered_at = Some(ends[k + 1]);
+                incidents.push(inc);
+            }
+        }
+        incidents.extend(current);
+        jobs.push(JobRecovery {
+            job,
+            baseline,
+            incidents,
+            departed_at: departs.get(&job).copied(),
+        });
+    }
+    // Jobs that departed without ever exiting a communication phase still
+    // deserve a row.
+    for (&job, &at) in &departs {
+        if !iter_ends.contains_key(&job) {
+            jobs.push(JobRecovery {
+                job,
+                baseline: Dur::ZERO,
+                incidents: Vec::new(),
+                departed_at: Some(at),
+            });
+        }
+    }
+    jobs.sort_by_key(|j| j.job);
+
+    // Pass 3: interleaving before vs after the fault era.
+    let (pre_overlap, post_overlap) = match (fault_windows.first(), fault_windows.last()) {
+        (Some(first), Some(last)) => {
+            let pre = overlap_fraction(&comms, stream_start, first.start);
+            let post_from = last.end.unwrap_or(stream_end);
+            let post = overlap_fraction(&comms, post_from, stream_end);
+            (pre, post)
+        }
+        _ => (None, None),
+    };
+    let compatibility_break = match (pre_overlap, post_overlap) {
+        (Some(pre), Some(post)) => post > pre + cfg.break_overlap_delta,
+        _ => false,
+    };
+
+    RecoveryReport {
+        fault_windows,
+        jobs,
+        pre_overlap,
+        post_overlap,
+        compatibility_break,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enter(at_ms: u64, job: u32) -> TimedEvent {
+        TimedEvent {
+            at: Time::ZERO + Dur::from_millis(at_ms),
+            event: Event::PhaseEnter {
+                job,
+                phase: Phase::Communicate,
+                iteration: 0,
+            },
+        }
+    }
+
+    fn exit(at_ms: u64, job: u32) -> TimedEvent {
+        TimedEvent {
+            at: Time::ZERO + Dur::from_millis(at_ms),
+            event: Event::PhaseExit {
+                job,
+                phase: Phase::Communicate,
+                iteration: 0,
+            },
+        }
+    }
+
+    fn cap(at_ms: u64, link: u32, fraction: f64) -> TimedEvent {
+        TimedEvent {
+            at: Time::ZERO + Dur::from_millis(at_ms),
+            event: Event::LinkCapacity { link, fraction },
+        }
+    }
+
+    /// Exits every 100 ms except one 250 ms iteration; the analyzer finds
+    /// one incident with finite recovery.
+    #[test]
+    fn finds_single_incident_and_recovery() {
+        let mut evs = Vec::new();
+        let mut t = 0;
+        for k in 0..10 {
+            t += if k == 5 { 250 } else { 100 };
+            evs.push(exit(t, 0));
+        }
+        let r = recovery(&evs, &RecoveryConfig::default());
+        assert_eq!(r.jobs.len(), 1);
+        let j = &r.jobs[0];
+        assert_eq!(j.baseline, Dur::from_millis(100));
+        assert_eq!(j.incidents.len(), 1);
+        let inc = j.incidents[0];
+        assert_eq!(inc.iterations, 1);
+        assert!((inc.depth - 2.5).abs() < 1e-9);
+        assert_eq!(inc.time_to_recover(), Some(Dur::from_millis(350)));
+        assert!(r.all_recovered());
+        assert_eq!(j.worst_recovery(), Some(Dur::from_millis(350)));
+    }
+
+    #[test]
+    fn open_incident_counts_as_unrecovered() {
+        let mut evs = Vec::new();
+        let mut t = 0;
+        for k in 0..6 {
+            t += if k >= 4 { 300 } else { 100 };
+            evs.push(exit(t, 0));
+        }
+        let r = recovery(&evs, &RecoveryConfig::default());
+        assert!(!r.all_recovered());
+        assert_eq!(r.jobs[0].worst_recovery(), None);
+    }
+
+    #[test]
+    fn fault_windows_reconstructed_from_capacity_events() {
+        let evs = vec![
+            exit(10, 0),
+            cap(50, 2, 0.25),
+            cap(80, 2, 0.1),
+            cap(120, 2, 1.0),
+            cap(200, 3, 0.5),
+            exit(300, 0),
+        ];
+        let r = recovery(&evs, &RecoveryConfig::default());
+        assert_eq!(r.fault_windows.len(), 2);
+        let w = r.fault_windows[0];
+        assert_eq!((w.link, w.min_fraction), (2, 0.1));
+        assert_eq!(w.start, Time::ZERO + Dur::from_millis(50));
+        assert_eq!(w.end, Some(Time::ZERO + Dur::from_millis(120)));
+        assert_eq!(r.fault_windows[1].end, None, "still degraded at stream end");
+    }
+
+    #[test]
+    fn departure_recorded_even_without_iterations() {
+        let evs = vec![TimedEvent {
+            at: Time::ZERO + Dur::from_millis(40),
+            event: Event::JobDepart { job: 7 },
+        }];
+        let r = recovery(&evs, &RecoveryConfig::default());
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.jobs[0].job, 7);
+        assert_eq!(
+            r.jobs[0].departed_at,
+            Some(Time::ZERO + Dur::from_millis(40))
+        );
+    }
+
+    /// Two jobs interleave cleanly before a fault and collide afterwards:
+    /// the report flags a compatibility break.
+    #[test]
+    fn detects_compatibility_break() {
+        let mut evs = Vec::new();
+        // Pre-fault: disjoint comm phases (0–40 vs 50–90, each 100 period).
+        for k in 0..3u64 {
+            evs.push(enter(k * 100, 0));
+            evs.push(exit(k * 100 + 40, 0));
+            evs.push(enter(k * 100 + 50, 1));
+            evs.push(exit(k * 100 + 90, 1));
+        }
+        evs.push(cap(300, 0, 0.5));
+        evs.push(cap(400, 0, 1.0));
+        // Post-fault: fully overlapped comm phases.
+        for k in 4..7u64 {
+            evs.push(enter(k * 100, 0));
+            evs.push(enter(k * 100, 1));
+            evs.push(exit(k * 100 + 40, 0));
+            evs.push(exit(k * 100 + 40, 1));
+        }
+        let r = recovery(&evs, &RecoveryConfig::default());
+        assert_eq!(r.pre_overlap, Some(0.0));
+        assert_eq!(r.post_overlap, Some(1.0));
+        assert!(r.compatibility_break);
+    }
+}

@@ -1,0 +1,161 @@
+//! A minimal hand-rolled parser for chaos-config TOML files.
+//!
+//! The build environment carries no TOML crate, and a chaos file only
+//! needs flat `key = number` pairs under four known sections, so this
+//! parses exactly that subset (plus `#` comments and blank lines) and
+//! rejects anything else with a line-numbered error.
+//!
+//! ```toml
+//! seed = 42
+//!
+//! [phase]
+//! compute_jitter = 0.1
+//! comm_jitter = 0.1
+//! straggler_prob = 0.03
+//! straggler_factor = 4.0
+//!
+//! [links]
+//! degrade_prob = 0.35
+//! degrade_factor = 0.25
+//! flap_prob = 0.15
+//! flap_count = 2
+//!
+//! [churn]
+//! arrival_prob = 0.15
+//! max_arrival_frac = 0.2
+//! departure_prob = 0.1
+//!
+//! [signal]
+//! mark_loss = 0.02
+//! cnp_loss = 0.02
+//! ```
+
+use crate::ChaosConfig;
+
+/// Parses a chaos config from TOML text.
+///
+/// Unknown sections or keys are errors (they are always typos), as are
+/// non-numeric values.
+pub fn from_toml_str(text: &str) -> Result<ChaosConfig, String> {
+    let mut cfg = ChaosConfig::none();
+    let mut section = String::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: `{raw}`", ln + 1);
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated section header"))?
+                .trim();
+            match name {
+                "phase" | "links" | "churn" | "signal" => section = name.to_string(),
+                _ => return Err(err("unknown section")),
+            }
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err("expected `key = value`"))?;
+        let key = key.trim();
+        let value = value.trim();
+        let num: f64 = value.parse().map_err(|_| err("expected a numeric value"))?;
+        match (section.as_str(), key) {
+            ("", "seed") => {
+                if num < 0.0 || num.fract() != 0.0 {
+                    return Err(err("seed must be a non-negative integer"));
+                }
+                cfg.seed = num as u64;
+            }
+            ("phase", "compute_jitter") => cfg.phase.compute_jitter = num,
+            ("phase", "comm_jitter") => cfg.phase.comm_jitter = num,
+            ("phase", "straggler_prob") => cfg.phase.straggler_prob = num,
+            ("phase", "straggler_factor") => cfg.phase.straggler_factor = num,
+            ("links", "degrade_prob") => cfg.links.degrade_prob = num,
+            ("links", "degrade_factor") => cfg.links.degrade_factor = num,
+            ("links", "flap_prob") => cfg.links.flap_prob = num,
+            ("links", "flap_count") => {
+                if num < 0.0 || num.fract() != 0.0 {
+                    return Err(err("flap_count must be a non-negative integer"));
+                }
+                cfg.links.flap_count = num as u32;
+            }
+            ("churn", "arrival_prob") => cfg.churn.arrival_prob = num,
+            ("churn", "max_arrival_frac") => cfg.churn.max_arrival_frac = num,
+            ("churn", "departure_prob") => cfg.churn.departure_prob = num,
+            ("signal", "mark_loss") => cfg.signal.mark_loss = num,
+            ("signal", "cnp_loss") => cfg.signal.cnp_loss = num,
+            _ => return Err(err("unknown key")),
+        }
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkChaos, PhaseChaos};
+
+    #[test]
+    fn parses_full_file() {
+        let text = "\
+# chaos profile
+seed = 42
+
+[phase]
+compute_jitter = 0.1   # ±10%
+straggler_prob = 0.03
+straggler_factor = 4.0
+
+[links]
+degrade_prob = 0.35
+degrade_factor = 0.25
+
+[signal]
+mark_loss = 0.02
+";
+        let cfg = from_toml_str(text).unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(
+            cfg.phase,
+            PhaseChaos {
+                compute_jitter: 0.1,
+                comm_jitter: 0.0,
+                straggler_prob: 0.03,
+                straggler_factor: 4.0,
+            }
+        );
+        assert_eq!(
+            cfg.links,
+            LinkChaos {
+                degrade_prob: 0.35,
+                degrade_factor: 0.25,
+                flap_prob: 0.0,
+                flap_count: 0,
+            }
+        );
+        assert_eq!(cfg.signal.mark_loss, 0.02);
+        assert_eq!(cfg.signal.cnp_loss, 0.0);
+        assert!(cfg.churn.is_none());
+    }
+
+    #[test]
+    fn empty_text_is_identity() {
+        let cfg = from_toml_str("").unwrap();
+        assert!(cfg.is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_key_and_section() {
+        assert!(from_toml_str("[phase]\nbogus = 1\n").is_err());
+        assert!(from_toml_str("[warp]\n").is_err());
+        assert!(from_toml_str("seed = -3\n").is_err());
+        assert!(from_toml_str("just words\n").is_err());
+    }
+}

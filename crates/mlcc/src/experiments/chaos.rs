@@ -1,0 +1,357 @@
+//! Fault injection for the experiments, plus the `chaos_sweep` grid.
+//!
+//! [`apply_rate`] expands a [`faults::ChaosConfig`] for a rate-engine run
+//! and maps it onto the engine's knobs: per-job phase noise, late-arrival
+//! start offsets and departure deadlines, the bottleneck link's capacity
+//! schedule, and DCQCN signal loss. With [`ChaosConfig::none`] it returns
+//! without touching anything, so unperturbed runs stay bit-identical to a
+//! build without chaos plumbing.
+//!
+//! [`run`] sweeps a seeds × profiles grid over the Fig. 1 pair (aggressive
+//! VGG19 vs fair VGG19 on the 50 Gbps bottleneck): each cell runs under
+//! one seeded chaos profile, records telemetry, and feeds it through
+//! [`diagnostics::recovery`] to measure how long the pair takes to
+//! re-interleave after each perturbation. The per-cell medians, fault
+//! windows, and recovery times are the `BENCH_chaos.json` payload.
+
+use crate::metrics::{text_table, JobStats};
+use crate::parallel;
+use dcqcn::CcVariant;
+use diagnostics::{recovery, RecoveryConfig, RecoveryReport};
+use faults::ChaosConfig;
+use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
+use simtime::{Dur, Time};
+use telemetry::{BufferRecorder, Event, ForkableRecorder, NoopRecorder, Recorder};
+use workload::{JobProgress, JobSpec, Model};
+
+/// Applies `chaos` to a rate-engine run lasting roughly `horizon`.
+///
+/// Per-job phase noise, arrival delays (added to the existing start
+/// offsets), and departure deadlines land on `jobs`; the bottleneck-link
+/// capacity schedule and DCQCN signal loss land on `sim`. A
+/// [`ChaosConfig::none`] config is an exact no-op: nothing is read or
+/// written, so quiet runs remain byte-identical.
+pub fn apply_rate(
+    chaos: &ChaosConfig,
+    jobs: &mut [RateJob],
+    sim: &mut RateSimConfig,
+    horizon: Dur,
+) {
+    if chaos.is_none() {
+        return;
+    }
+    // The rate engine models a single shared bottleneck: one link.
+    let plan = chaos.compile(jobs.len(), 1, horizon);
+    for (i, job) in jobs.iter_mut().enumerate() {
+        job.noise = plan.noise[i];
+        job.start_offset += plan.arrivals[i];
+        job.depart_at = plan.departures[i];
+    }
+    match plan.link_schedules.first() {
+        Some(s) if !s.is_identity() => sim.capacity_schedule = Some(s.clone()),
+        _ => {}
+    }
+    sim.signal_loss = plan.signal_loss;
+}
+
+/// Simulation-budget multiplier for a perturbed run: degraded links and
+/// stragglers legitimately stretch iterations well past the clean-run
+/// budget. `1` (no change) when chaos is off.
+pub fn budget_slack(chaos: &ChaosConfig) -> u64 {
+    if chaos.is_none() {
+        1
+    } else {
+        4
+    }
+}
+
+/// Job statistics with a degraded-run fallback: a perturbed job that
+/// departed before clearing the warmup cut still gets statistics over
+/// whatever iterations it did finish. Identical to
+/// [`JobStats::from_progress`] whenever the job ran long enough.
+pub fn stats_tolerant(progress: &JobProgress, warmup: usize) -> JobStats {
+    JobStats::try_from_progress(progress, warmup)
+        .or_else(|_| JobStats::try_from_progress(progress, 0))
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Parameters of the chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosSweepConfig {
+    /// The competing pair (default: the Fig. 1 VGG19 duo; job 0 runs the
+    /// aggressive timer, job 1 stays fair, so the baseline interleaves).
+    pub jobs: [JobSpec; 2],
+    /// Aggressive DCQCN timer for job 0.
+    pub aggressive_timer: Dur,
+    /// Iterations per cell.
+    pub iterations: usize,
+    /// Warmup iterations excluded from statistics.
+    pub warmup: usize,
+    /// Seeds of the grid's rows.
+    pub seeds: Vec<u64>,
+    /// Builtin profile names of the grid's columns (see
+    /// [`ChaosConfig::profile`]).
+    pub profiles: Vec<String>,
+    /// Engine configuration each cell starts from.
+    pub sim: RateSimConfig,
+}
+
+impl Default for ChaosSweepConfig {
+    fn default() -> ChaosSweepConfig {
+        ChaosSweepConfig {
+            jobs: [
+                JobSpec::reference(Model::Vgg19, 1200),
+                JobSpec::reference(Model::Vgg19, 1200),
+            ],
+            aggressive_timer: Dur::from_micros(100),
+            iterations: 40,
+            warmup: 5,
+            // Chosen so every cell perturbs *and* recovers: under "links"
+            // each seed hits the single bottleneck (degrade_prob is per
+            // link and there is one link) early enough to watch the
+            // recovery — 6 compiles to a flap train, 16 and 25 to
+            // degradation windows — and under "stragglers" none of them
+            // lands a straggler so late that no clean iteration follows.
+            seeds: vec![6, 16, 25],
+            profiles: vec!["stragglers".to_string(), "links".to_string()],
+            sim: RateSimConfig::default(),
+        }
+    }
+}
+
+/// One (profile, seed) cell's outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Chaos profile name.
+    pub profile: String,
+    /// Chaos seed.
+    pub seed: u64,
+    /// Median iteration time per job, in milliseconds.
+    pub medians_ms: Vec<f64>,
+    /// The recovery analyzer's verdict on the cell's telemetry.
+    pub recovery: RecoveryReport,
+}
+
+impl ChaosCell {
+    /// The cell's slowest recovery in milliseconds: `0` when no job saw
+    /// an incident, `-1` when some incident never recovered before the
+    /// run ended.
+    pub fn worst_recovery_ms(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for j in &self.recovery.jobs {
+            if j.incidents.is_empty() {
+                continue;
+            }
+            match j.worst_recovery() {
+                Some(d) => worst = worst.max(d.as_millis_f64()),
+                None => return -1.0,
+            }
+        }
+        worst
+    }
+
+    /// Total incidents across the cell's jobs.
+    pub fn incidents(&self) -> usize {
+        self.recovery.jobs.iter().map(|j| j.incidents.len()).sum()
+    }
+}
+
+/// The full grid.
+#[derive(Debug, Clone)]
+pub struct ChaosSweepResult {
+    /// Cells in (profile-major, seed-minor) order.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosSweepResult {
+    /// `true` when every incident in every cell recovered.
+    pub fn all_recovered(&self) -> bool {
+        self.cells.iter().all(|c| c.recovery.all_recovered())
+    }
+
+    /// Renders the grid as text.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "profile".to_string(),
+            "seed".to_string(),
+            "j1 median".to_string(),
+            "j2 median".to_string(),
+            "faults".to_string(),
+            "incidents".to_string(),
+            "worst recovery".to_string(),
+            "interleaving".to_string(),
+        ]];
+        for c in &self.cells {
+            rows.push(vec![
+                c.profile.clone(),
+                c.seed.to_string(),
+                format!("{:.1} ms", c.medians_ms[0]),
+                format!("{:.1} ms", c.medians_ms[1]),
+                c.recovery.fault_windows.len().to_string(),
+                c.incidents().to_string(),
+                match c.worst_recovery_ms() {
+                    w if w < 0.0 => "not recovered".to_string(),
+                    0.0 => "-".to_string(),
+                    w => format!("{w:.0} ms"),
+                },
+                if c.recovery.compatibility_break {
+                    "broken".to_string()
+                } else {
+                    "held".to_string()
+                },
+            ]);
+        }
+        text_table(&rows)
+    }
+}
+
+/// Runs one grid cell, returning its outcome and raw telemetry.
+fn run_cell(cfg: &ChaosSweepConfig, profile: &str, seed: u64) -> (ChaosCell, BufferRecorder) {
+    let chaos = ChaosConfig {
+        seed,
+        ..ChaosConfig::profile(profile)
+            .unwrap_or_else(|| panic!("chaos_sweep: unknown profile {profile:?}"))
+    };
+    let mut jobs = [
+        RateJob::new(
+            cfg.jobs[0],
+            CcVariant::StaticUnfair {
+                timer: cfg.aggressive_timer,
+            },
+        ),
+        RateJob::new(cfg.jobs[1], CcVariant::Fair),
+    ];
+    let per_iter = cfg.jobs[0]
+        .iteration_time_at(cfg.sim.capacity)
+        .max(cfg.jobs[1].iteration_time_at(cfg.sim.capacity));
+    let mut sim_cfg = cfg.sim.clone();
+    apply_rate(
+        &chaos,
+        &mut jobs,
+        &mut sim_cfg,
+        per_iter * (cfg.iterations as u64 * 2),
+    );
+    // Each cell records into its own buffer regardless of the caller's
+    // recorder: the recovery analyzer needs the event stream.
+    let mut rec = BufferRecorder::new();
+    let mut sim = RateSimulator::with_recorder(sim_cfg, &jobs, &mut rec);
+    let budget = per_iter * ((cfg.iterations as u64 * 4 + 40) * budget_slack(&chaos));
+    let done = sim.run_until_iterations(cfg.iterations, budget);
+    assert!(done, "chaos_sweep: cell {profile}/s{seed} did not finish");
+    let medians_ms = (0..2)
+        .map(|i| stats_tolerant(sim.progress(i), cfg.warmup).median_ms())
+        .collect();
+    drop(sim);
+    let report = recovery(rec.events(), &RecoveryConfig::default());
+    (
+        ChaosCell {
+            profile: profile.to_string(),
+            seed,
+            medians_ms,
+            recovery: report,
+        },
+        rec,
+    )
+}
+
+/// Runs the full grid.
+pub fn run(cfg: &ChaosSweepConfig) -> ChaosSweepResult {
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs the full grid, streaming each cell's telemetry into `rec` behind
+/// an [`Event::Scenario`] marker (`chaos/<profile>/s<seed>`). Cells are
+/// independent and run in parallel under [`parallel::jobs`] workers;
+/// results and telemetry are identical to a serial run.
+pub fn run_traced<R: ForkableRecorder>(cfg: &ChaosSweepConfig, mut rec: R) -> ChaosSweepResult {
+    let grid: Vec<(String, u64)> = cfg
+        .profiles
+        .iter()
+        .flat_map(|p| cfg.seeds.iter().map(move |&s| (p.clone(), s)))
+        .collect();
+    let cells = parallel::map_traced(&mut rec, &grid, |_, (profile, seed), fork| {
+        let (cell, cell_rec) = run_cell(cfg, profile, *seed);
+        if R::ENABLED {
+            fork.record(
+                Time::ZERO,
+                Event::Scenario {
+                    name: format!("chaos/{profile}/s{seed}"),
+                },
+            );
+            for te in cell_rec.events() {
+                fork.record(te.at, te.event.clone());
+            }
+        }
+        cell
+    });
+    ChaosSweepResult { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ChaosSweepConfig {
+        ChaosSweepConfig {
+            iterations: 12,
+            warmup: 3,
+            seeds: vec![13],
+            profiles: vec!["stragglers".to_string(), "links".to_string()],
+            ..ChaosSweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn apply_none_is_a_no_op() {
+        let jobs_before = [
+            RateJob::new(JobSpec::reference(Model::Vgg19, 1200), CcVariant::Fair),
+            RateJob::new(JobSpec::reference(Model::Vgg19, 1200), CcVariant::Fair),
+        ];
+        let sim_before = RateSimConfig::default();
+        let mut jobs = jobs_before.clone();
+        let mut sim = sim_before.clone();
+        apply_rate(&ChaosConfig::none(), &mut jobs, &mut sim, Dur::ZERO);
+        assert!(sim.capacity_schedule.is_none());
+        assert!(sim.signal_loss.is_none());
+        for (a, b) in jobs.iter().zip(&jobs_before) {
+            assert_eq!(a.start_offset, b.start_offset);
+            assert_eq!(a.noise, b.noise);
+            assert_eq!(a.depart_at, b.depart_at);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cfg = quick();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.cells.len(), 2);
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.medians_ms, y.medians_ms);
+            assert_eq!(x.incidents(), y.incidents());
+            assert_eq!(x.worst_recovery_ms(), y.worst_recovery_ms());
+        }
+    }
+
+    #[test]
+    fn link_profile_produces_fault_windows_and_recovers() {
+        let cfg = ChaosSweepConfig {
+            profiles: vec!["links".to_string()],
+            iterations: 12,
+            warmup: 3,
+            ..ChaosSweepConfig::default()
+        };
+        let r = run(&cfg);
+        // The default seeds are chosen to perturb the bottleneck: every
+        // cell must surface at least one fault window.
+        for c in &r.cells {
+            assert!(
+                !c.recovery.fault_windows.is_empty(),
+                "seed {} left the link untouched: {}",
+                c.seed,
+                r.render()
+            );
+        }
+        assert!(r.all_recovered(), "unrecovered incident: {}", r.render());
+    }
+}

@@ -10,10 +10,12 @@
 //!   for *both* jobs under unfairness (≈ 1.23× at the median on the
 //!   testbed).
 
+use crate::experiments::chaos;
 use crate::metrics::{text_table, JobStats, Speedup};
 use crate::parallel;
 use dcqcn::CcVariant;
 use eventsim::TimeSeries;
+use faults::ChaosConfig;
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use simtime::{Dur, Time};
 use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
@@ -34,6 +36,10 @@ pub struct Fig1Config {
     pub aggressive_timer: Dur,
     /// Engine configuration.
     pub sim: RateSimConfig,
+    /// Fault injection applied to both scenarios.
+    /// [`ChaosConfig::none`] leaves the experiment bit-identical to a
+    /// chaos-free run.
+    pub chaos: ChaosConfig,
 }
 
 impl Default for Fig1Config {
@@ -51,6 +57,7 @@ impl Default for Fig1Config {
             warmup: 5,
             aggressive_timer: Dur::from_micros(100),
             sim,
+            chaos: ChaosConfig::none(),
         }
     }
 }
@@ -112,15 +119,23 @@ impl Fig1Result {
 }
 
 fn run_scenario<R: Recorder>(cfg: &Fig1Config, variants: [CcVariant; 2], rec: R) -> Scenario {
-    let jobs = [
+    let mut jobs = [
         RateJob::new(cfg.jobs[0], variants[0]),
         RateJob::new(cfg.jobs[1], variants[1]),
     ];
-    let mut sim = RateSimulator::with_recorder(cfg.sim.clone(), &jobs, rec);
     let budget_per_iter = cfg.jobs[0]
         .iteration_time_at(cfg.sim.capacity)
         .max(cfg.jobs[1].iteration_time_at(cfg.sim.capacity));
-    let budget = budget_per_iter * (cfg.iterations as u64 * 4 + 40);
+    let mut sim_cfg = cfg.sim.clone();
+    chaos::apply_rate(
+        &cfg.chaos,
+        &mut jobs,
+        &mut sim_cfg,
+        budget_per_iter * (cfg.iterations as u64 * 2),
+    );
+    let mut sim = RateSimulator::with_recorder(sim_cfg, &jobs, rec);
+    let budget =
+        budget_per_iter * ((cfg.iterations as u64 * 4 + 40) * chaos::budget_slack(&cfg.chaos));
     let done = sim.run_until_iterations(cfg.iterations, budget);
     assert!(
         done,
@@ -130,18 +145,20 @@ fn run_scenario<R: Recorder>(cfg: &Fig1Config, variants: [CcVariant; 2], rec: R)
 
     // First-iteration bandwidth: mean rate over the overlapped window of
     // the first communication phases, [max compute end, first completion).
+    // Under chaos a job may depart before completing an iteration; fall
+    // back to one nominal iteration's window then.
     let comm_start = Time::ZERO + cfg.jobs[0].compute_time().max(cfg.jobs[1].compute_time());
     let first_done = (0..2)
-        .map(|i| sim.progress(i).iterations()[0].completed)
+        .filter_map(|i| sim.progress(i).iterations().first().map(|it| it.completed))
         .min()
-        .unwrap();
+        .unwrap_or(comm_start + budget_per_iter);
     let first_iteration_bw = (0..2)
         .map(|i| sim.rate_trace(i).mean(comm_start, first_done))
         .collect();
 
     Scenario {
         stats: (0..2)
-            .map(|i| JobStats::from_progress(sim.progress(i), cfg.warmup))
+            .map(|i| chaos::stats_tolerant(sim.progress(i), cfg.warmup))
             .collect(),
         first_iteration_bw,
         traces: (0..2).map(|i| sim.rate_trace(i).clone()).collect(),

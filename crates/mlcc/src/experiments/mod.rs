@@ -1,6 +1,7 @@
 //! One module per paper artifact. See the crate docs for the mapping.
 
 pub mod adaptive;
+pub mod chaos;
 pub mod cluster;
 pub mod fig1;
 pub mod fig2;

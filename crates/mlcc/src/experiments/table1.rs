@@ -14,9 +14,11 @@
 //! profiles; its verdict must agree with the measured green/red outcome —
 //! that cross-check is the reproduction's central scientific claim.
 
+use crate::experiments::chaos;
 use crate::metrics::{text_table, JobStats, Speedup};
 use crate::parallel;
 use dcqcn::CcVariant;
+use faults::ChaosConfig;
 use geometry::{solve, SolverConfig, Verdict};
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use scheduler::analytic_profile;
@@ -38,6 +40,10 @@ pub struct Table1Config {
     pub solver: SolverConfig,
     /// Profile quantization grid.
     pub grid: Dur,
+    /// Fault injection applied to every group's measurements.
+    /// [`ChaosConfig::none`] leaves the experiment bit-identical to a
+    /// chaos-free run.
+    pub chaos: ChaosConfig,
 }
 
 impl Default for Table1Config {
@@ -48,6 +54,7 @@ impl Default for Table1Config {
             timer_range: (Dur::from_micros(100), Dur::from_micros(125)),
             solver: SolverConfig::default(),
             grid: Dur::from_micros(2_500),
+            chaos: ChaosConfig::none(),
         }
     }
 }
@@ -180,25 +187,34 @@ fn mean_iteration_times<R: Recorder>(
     cfg: &Table1Config,
     rec: R,
 ) -> Vec<JobStats> {
-    let jobs: Vec<RateJob> = group
+    let mut jobs: Vec<RateJob> = group
         .iter()
         .zip(variants)
         .map(|(&spec, &v)| RateJob::new(spec, v))
         .collect();
-    let mut sim = RateSimulator::with_recorder(RateSimConfig::default(), &jobs, rec);
     let cap = Bandwidth::from_gbps(50);
     let per_iter = group
         .iter()
         .map(|s| s.iteration_time_at(cap))
         .max()
         .unwrap();
+    let mut sim_cfg = RateSimConfig::default();
+    chaos::apply_rate(
+        &cfg.chaos,
+        &mut jobs,
+        &mut sim_cfg,
+        per_iter * (cfg.iterations as u64 * 2),
+    );
+    let mut sim = RateSimulator::with_recorder(sim_cfg, &jobs, rec);
     let ok = sim.run_until_iterations(
         cfg.iterations,
-        per_iter * (cfg.iterations as u64 * (group.len() as u64 + 2) + 40),
+        per_iter
+            * ((cfg.iterations as u64 * (group.len() as u64 + 2) + 40)
+                * chaos::budget_slack(&cfg.chaos)),
     );
     assert!(ok, "table1: group did not finish");
     (0..group.len())
-        .map(|i| JobStats::from_progress(sim.progress(i), cfg.warmup))
+        .map(|i| chaos::stats_tolerant(sim.progress(i), cfg.warmup))
         .collect()
 }
 

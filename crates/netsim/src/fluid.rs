@@ -21,8 +21,8 @@ use crate::alloc::{strict_priority_into, weighted_max_min_into, AllocScratch, Fl
 use eventsim::{EventQueue, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
 use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
-use topology::{LinkId, Topology};
-use workload::{JobProgress, JobSpec};
+use topology::{LinkId, LinkSchedule, Topology};
+use workload::{JobProgress, JobSpec, PhaseNoise};
 
 /// How link bandwidth is divided among contending flows.
 #[derive(Debug, Clone)]
@@ -85,6 +85,13 @@ pub struct FluidJob {
     /// into `k` concurrent inter-rack hops set `k ×` the calibrated bytes
     /// (each hop carries the full ring volume).
     pub total_bytes_override: Option<f64>,
+    /// Fault injection: per-iteration phase jitter and stragglers.
+    /// `None` keeps the unperturbed iteration plan.
+    pub noise: Option<PhaseNoise>,
+    /// Fault injection: the job leaves the cluster at the first compute
+    /// instant at or after this time (an in-flight communication phase
+    /// finishes first).
+    pub depart_at: Option<Time>,
 }
 
 impl FluidJob {
@@ -98,6 +105,8 @@ impl FluidJob {
                 fraction: 1.0,
             }],
             total_bytes_override: None,
+            noise: None,
+            depart_at: None,
         }
     }
 
@@ -119,6 +128,10 @@ pub struct FluidConfig {
     pub gates: Vec<Option<Gate>>,
     /// Per-flow rate cap (NIC line rate).
     pub nic_rate: Bandwidth,
+    /// Fault injection: per-link capacity schedules (empty = no faults).
+    /// When non-empty, must have one entry per topology link; identity
+    /// entries cost nothing at runtime.
+    pub link_schedules: Vec<LinkSchedule>,
 }
 
 impl FluidConfig {
@@ -128,6 +141,7 @@ impl FluidConfig {
             policy: SharingPolicy::MaxMin,
             gates: Vec::new(),
             nic_rate: Bandwidth::from_gbps(50),
+            link_schedules: Vec::new(),
         }
     }
 }
@@ -149,6 +163,10 @@ struct JState {
     gate: Option<Gate>,
     /// Whether the current communication phase has been released.
     released: bool,
+    /// Fault injection: pending departure deadline, if any.
+    depart_at: Option<Time>,
+    /// The job has left the cluster (no further events are armed).
+    departed: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +175,8 @@ enum Ev {
     Poll(usize),
     /// A gate releases a job's pending communication phase.
     GateOpen(usize),
+    /// A link's fault schedule changes its capacity multiplier.
+    LinkChange(usize),
 }
 
 /// Sub-byte residual below which a flow's phase share counts as finished.
@@ -203,6 +223,11 @@ fn deactivate_job(active: &mut Vec<(u32, u32)>, j: usize) {
 /// [`FluidSimulator::with_recorder`].
 pub struct FluidSimulator<R: Recorder = NoopRecorder> {
     capacities: Vec<f64>,
+    /// Unperturbed link capacities; `capacities` is this scaled by the
+    /// fault schedules' current multipliers. Empty when no schedules.
+    base_capacities: Vec<f64>,
+    /// Per-link fault schedules (empty = no capacity faults).
+    link_schedules: Vec<LinkSchedule>,
     jobs: Vec<JState>,
     events: EventQueue<Ev>,
     /// The fluid clock. Distinct from the event queue's internal clock,
@@ -212,6 +237,10 @@ pub struct FluidSimulator<R: Recorder = NoopRecorder> {
     policy: SharingPolicy,
     nic_rate: f64,
     rates_dirty: bool,
+    /// Forces the next `recompute_rates` to re-run the solver even if the
+    /// active set is unchanged — set when a link's capacity changes, which
+    /// invalidates rates without touching the set.
+    force_resolve: bool,
     /// Sorted `(job, flow)` index of currently active flows — the flows
     /// [`flow_is_active`](Self::flow_is_active) would select, maintained
     /// incrementally at releases, completions, and phase ends so the
@@ -310,12 +339,46 @@ impl<R: Recorder> FluidSimulator<R> {
                 );
             }
         }
-        let capacities: Vec<f64> = topo
+        let mut capacities: Vec<f64> = topo
             .links()
             .iter()
             .map(|l| l.capacity.as_bps_f64())
             .collect();
+        if !cfg.link_schedules.is_empty() {
+            assert_eq!(
+                cfg.link_schedules.len(),
+                capacities.len(),
+                "link_schedules length mismatches topology links"
+            );
+        }
         let mut events = EventQueue::new();
+        // Seed one LinkChange per scheduled link; the handler chains to the
+        // next change point, so the queue holds at most one per link. A
+        // change at exactly t = 0 is already in effect and is applied here.
+        let mut base_capacities = Vec::new();
+        let mut link_schedules = Vec::new();
+        if cfg.link_schedules.iter().any(|s| !s.is_identity()) {
+            base_capacities = capacities.clone();
+            for (l, s) in cfg.link_schedules.iter().enumerate() {
+                let m = s.multiplier_at(Time::ZERO);
+                if m != 1.0 {
+                    capacities[l] = base_capacities[l] * m;
+                    if R::ENABLED {
+                        rec.record(
+                            Time::ZERO,
+                            Event::LinkCapacity {
+                                link: l as u32,
+                                fraction: m,
+                            },
+                        );
+                    }
+                }
+                if let Some(at) = s.next_change_after(Time::ZERO) {
+                    events.schedule_at(at, Ev::LinkChange(l));
+                }
+            }
+            link_schedules = cfg.link_schedules.clone();
+        }
         let mut states = Vec::with_capacity(jobs.len());
         for (j, job) in jobs.iter().enumerate() {
             let total: f64 = job.flows.iter().map(|f| f.fraction).sum();
@@ -340,12 +403,11 @@ impl<R: Recorder> FluidSimulator<R> {
                     }
                 })
                 .collect();
-            let progress = match job.total_bytes_override {
-                None => JobProgress::new(job.spec, Time::ZERO + job.start_offset),
-                Some(bytes) => {
-                    JobProgress::with_comm_bytes(job.spec, Time::ZERO + job.start_offset, bytes)
-                }
-            };
+            let bytes = job
+                .total_bytes_override
+                .unwrap_or(job.spec.comm_bytes().as_bytes() as f64);
+            let progress =
+                JobProgress::with_noise(job.spec, Time::ZERO + job.start_offset, bytes, job.noise);
             let poll_at = progress
                 .next_self_transition()
                 .expect("job starts computing");
@@ -355,16 +417,21 @@ impl<R: Recorder> FluidSimulator<R> {
                 flows,
                 gate: cfg.gates.get(j).copied().flatten(),
                 released: false,
+                depart_at: job.depart_at,
+                departed: false,
             });
         }
         FluidSimulator {
             capacities,
+            base_capacities,
+            link_schedules,
             jobs: states,
             events,
             now: Time::ZERO,
             policy: cfg.policy,
             nic_rate: cfg.nic_rate.as_bps_f64(),
             rates_dirty: true,
+            force_resolve: false,
             active: Vec::new(),
             solved_active: Vec::new(),
             scratch: AllocScratch::new(),
@@ -495,8 +562,10 @@ impl<R: Recorder> FluidSimulator<R> {
     /// telemetry/trace bookkeeping below runs, so observed streams are
     /// identical either way.
     fn recompute_rates(&mut self) {
-        let set_changed = self.allocs == 0 || self.active != self.solved_active;
+        let set_changed =
+            self.allocs == 0 || self.force_resolve || self.active != self.solved_active;
         if set_changed {
+            self.force_resolve = false;
             {
                 let jobs = &self.jobs;
                 let mut demands: Vec<FlowDemand<'_>> = Vec::with_capacity(self.active.len());
@@ -688,6 +757,21 @@ impl<R: Recorder> FluidSimulator<R> {
         match ev {
             Ev::Poll(j) => {
                 let js = &mut self.jobs[j];
+                if js.departed {
+                    return;
+                }
+                // Fault injection: a due departure takes effect at the
+                // first compute-side poll (in-flight communication always
+                // finishes). The job arms no further events.
+                if let Some(d) = js.depart_at {
+                    if now >= d && !js.progress.is_communicating() {
+                        js.departed = true;
+                        if R::ENABLED {
+                            self.rec.record(now, Event::JobDepart { job: j as u32 });
+                        }
+                        return;
+                    }
+                }
                 if js.progress.poll(now) {
                     if R::ENABLED {
                         let iteration = js.progress.completed() as u64;
@@ -741,6 +825,32 @@ impl<R: Recorder> FluidSimulator<R> {
                     if R::ENABLED {
                         self.rec.record(now, Event::GateRelease { job: j as u32 });
                     }
+                }
+            }
+            Ev::LinkChange(l) => {
+                let s = &self.link_schedules[l];
+                let m = s.multiplier_at(now);
+                let new_cap = if m == 1.0 {
+                    self.base_capacities[l]
+                } else {
+                    self.base_capacities[l] * m
+                };
+                if new_cap != self.capacities[l] {
+                    self.capacities[l] = new_cap;
+                    self.rates_dirty = true;
+                    self.force_resolve = true;
+                    if R::ENABLED {
+                        self.rec.record(
+                            now,
+                            Event::LinkCapacity {
+                                link: l as u32,
+                                fraction: m,
+                            },
+                        );
+                    }
+                }
+                if let Some(at) = s.next_change_after(now) {
+                    self.events.schedule_at(at, Ev::LinkChange(l));
                 }
             }
         }
@@ -816,16 +926,25 @@ impl<R: Recorder> FluidSimulator<R> {
     /// Runs until every job completed `n` iterations or `max_span` elapses;
     /// returns `true` on success.
     pub fn run_until_iterations(&mut self, n: usize, max_span: Dur) -> bool {
+        let reached = |jobs: &[JState]| {
+            jobs.iter()
+                .all(|j| j.departed || j.progress.completed() >= n)
+        };
         let stop = self.now + max_span;
         while self.now < stop {
-            if self.jobs.iter().all(|j| j.progress.completed() >= n) {
+            if reached(&self.jobs) {
                 return true;
             }
             // Run in slices so we can check the predicate.
             let slice_end = (self.now + Dur::from_millis(10)).min(stop);
             self.run_until(slice_end);
         }
-        self.jobs.iter().all(|j| j.progress.completed() >= n)
+        reached(&self.jobs)
+    }
+
+    /// Whether job `j` has departed the cluster.
+    pub fn departed(&self, j: usize) -> bool {
+        self.jobs[j].departed
     }
 }
 
@@ -1026,6 +1145,8 @@ mod tests {
                 },
             ],
             total_bytes_override: None,
+            noise: None,
+            depart_at: None,
         };
         let mut sim = FluidSimulator::new(&t, FluidConfig::fair(), &[job]);
         assert!(sim.run_until_iterations(3, Dur::from_secs(2)));
@@ -1216,6 +1337,8 @@ mod tests {
                 fraction: 0.4,
             }],
             total_bytes_override: None,
+            noise: None,
+            depart_at: None,
         };
         let _ = FluidSimulator::new(&d.topology, FluidConfig::fair(), &[job]);
     }
@@ -1231,5 +1354,145 @@ mod tests {
             ..FluidConfig::fair()
         };
         let _ = FluidSimulator::new(&d.topology, cfg, &[job]);
+    }
+
+    #[test]
+    fn capacity_schedule_degrades_and_recovers() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let run = |schedules: Option<(Time, Time, f64)>| {
+            let d = dumbbell(1, LINE, LINE, Dur::ZERO);
+            let t = d.topology.clone();
+            let path = t
+                .route(topology::FlowKey {
+                    src: d.left_hosts[0],
+                    dst: d.right_hosts[0],
+                    tag: 0,
+                })
+                .unwrap()
+                .links()
+                .to_vec();
+            let mut cfg = FluidConfig::fair();
+            if let Some((from, to, factor)) = schedules {
+                cfg.link_schedules = (0..t.links().len())
+                    .map(|l| {
+                        if path.iter().any(|id| id.0 as usize == l) {
+                            LinkSchedule::degraded(from, to, factor)
+                        } else {
+                            LinkSchedule::identity()
+                        }
+                    })
+                    .collect();
+            }
+            let mut sim = FluidSimulator::new(&t, cfg, &[FluidJob::single_path(spec, path)]);
+            assert!(sim.run_until_iterations(8, Dur::from_secs(20)));
+            sim.progress(0)
+                .iteration_times()
+                .iter()
+                .map(|x| x.as_millis_f64())
+                .collect::<Vec<_>>()
+        };
+        let clean = run(None);
+        // All-identity schedules take the scheduled path but change nothing.
+        let identity = run(Some((
+            Time::ZERO + Dur::from_millis(1),
+            Time::ZERO + Dur::from_millis(2),
+            1.0,
+        )));
+        assert_eq!(clean, identity, "identity schedules must be a no-op");
+        let degraded = run(Some((
+            Time::ZERO + Dur::from_millis(100),
+            Time::ZERO + Dur::from_millis(700),
+            0.25,
+        )));
+        let base = clean[0];
+        let worst = degraded.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            worst > base * 1.3,
+            "expected a degraded iteration above {base:.2} ms, worst {worst:.2} ms"
+        );
+        let last = *degraded.last().unwrap();
+        assert!(
+            (last - base).abs() < base * 0.05,
+            "tail should recover to {base:.2} ms, got {last:.2} ms"
+        );
+    }
+
+    #[test]
+    fn departed_job_frees_the_link() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let (mut sim, _t) = {
+            let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+            let t = d.topology.clone();
+            let path = |i: usize| {
+                t.route(topology::FlowKey {
+                    src: d.left_hosts[i],
+                    dst: d.right_hosts[i],
+                    tag: 0,
+                })
+                .unwrap()
+                .links()
+                .to_vec()
+            };
+            let jobs = [
+                FluidJob {
+                    depart_at: Some(Time::ZERO + Dur::from_millis(400)),
+                    ..FluidJob::single_path(spec, path(0))
+                },
+                FluidJob::single_path(spec, path(1)),
+            ];
+            (FluidSimulator::new(&t, FluidConfig::fair(), &jobs), t)
+        };
+        assert!(sim.run_until_iterations(8, Dur::from_secs(20)));
+        assert!(sim.departed(0), "job 0 should have departed");
+        assert!(sim.progress(0).completed() < 8, "leaver must not finish");
+        // Once alone, the survivor's tail iterations run at the solo pace.
+        let solo = spec.iteration_time_at(LINE).as_millis_f64();
+        let times = sim.progress(1).iteration_times();
+        let tail = times.last().unwrap().as_millis_f64();
+        assert!(
+            (tail - solo).abs() < solo * 0.03,
+            "survivor tail {tail:.2} ms vs solo {solo:.2} ms"
+        );
+    }
+
+    #[test]
+    fn phase_noise_is_deterministic_and_varies() {
+        let noise = PhaseNoise {
+            seed: 5,
+            job: 0,
+            compute_jitter: 0.25,
+            comm_jitter: 0.25,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+        };
+        let run = || {
+            let d = dumbbell(1, LINE, LINE, Dur::ZERO);
+            let t = d.topology.clone();
+            let path = t
+                .route(topology::FlowKey {
+                    src: d.left_hosts[0],
+                    dst: d.right_hosts[0],
+                    tag: 0,
+                })
+                .unwrap()
+                .links()
+                .to_vec();
+            let job = FluidJob {
+                noise: Some(noise),
+                ..FluidJob::single_path(JobSpec::reference(Model::Vgg19, 1200), path)
+            };
+            let mut sim = FluidSimulator::new(&t, FluidConfig::fair(), &[job]);
+            assert!(sim.run_until_iterations(6, Dur::from_secs(20)));
+            sim.progress(0)
+                .iteration_times()
+                .iter()
+                .map(|x| x.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "seeded noise must be reproducible");
+        let spread = a.iter().max().unwrap() - a.iter().min().unwrap();
+        assert!(spread > 0, "jitter should vary iteration times");
     }
 }

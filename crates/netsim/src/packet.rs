@@ -25,11 +25,12 @@
 //! airtime never exceeds the NP's CNP interval), and `train_packets = 1`
 //! reproduces the per-packet engine event-for-event and bit-for-bit.
 
-use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker};
+use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, SignalLoss};
 use eventsim::{queue::reference, EventQueue, Rng, ScheduledEvent};
 use simtime::{Bandwidth, Dur, Time};
 use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
-use workload::{JobProgress, JobSpec};
+use topology::LinkSchedule;
+use workload::{JobProgress, JobSpec, PhaseNoise};
 
 /// Configuration of the packet engine.
 #[derive(Debug, Clone)]
@@ -59,6 +60,15 @@ pub struct PacketSimConfig {
     pub train_packets: u32,
     /// Which event-queue implementation drives the simulation.
     pub queue: QueueBackend,
+    /// Fault injection: a time-varying multiplier on the bottleneck
+    /// capacity. Service times are sampled at each train start, so a
+    /// degradation stretches serialization from the next train onwards.
+    /// `None` is the exact unperturbed engine.
+    pub capacity_schedule: Option<LinkSchedule>,
+    /// Fault injection: probabilistic loss of ECN marks (between CP and
+    /// NP) and CNPs (between NP and RP), rolled on a dedicated chaos RNG
+    /// that is never consulted when `None`.
+    pub signal_loss: Option<SignalLoss>,
 }
 
 /// Upper bound on [`PacketSimConfig::train_packets`] (the per-train ECN
@@ -77,6 +87,8 @@ impl Default for PacketSimConfig {
             restart_on_phase: true,
             train_packets: 1,
             queue: QueueBackend::default(),
+            capacity_schedule: None,
+            signal_loss: None,
         }
     }
 }
@@ -142,6 +154,13 @@ pub struct PacketJob {
     /// how paper-style rotation schedules are expressed (mirrors
     /// [`crate::rate::RateJob::start_offset`]).
     pub start_offset: Dur,
+    /// Fault injection: per-iteration phase jitter and stragglers.
+    /// `None` keeps the unperturbed iteration plan.
+    pub noise: Option<PhaseNoise>,
+    /// Fault injection: the job leaves the cluster at the first compute
+    /// instant at or after this time (an in-flight communication phase
+    /// finishes first).
+    pub depart_at: Option<Time>,
 }
 
 impl PacketJob {
@@ -151,6 +170,8 @@ impl PacketJob {
             spec,
             variant,
             start_offset: Dur::ZERO,
+            noise: None,
+            depart_at: None,
         }
     }
 }
@@ -188,6 +209,10 @@ struct FlowState {
     pending_train: u32,
     /// Delivered bytes (for goodput accounting).
     delivered: f64,
+    /// Fault injection: pending departure deadline, if any.
+    depart_at: Option<Time>,
+    /// The job has left the cluster (no further events are armed).
+    departed: bool,
 }
 
 /// A contiguous run of one flow's packets occupying the switch FIFO.
@@ -216,6 +241,11 @@ pub struct PacketSimulator<R: Recorder = NoopRecorder> {
     cnps_sent: u64,
     rec: R,
     events_processed: u64,
+    /// Dedicated fault RNG: only ever drawn when `cfg.signal_loss` has a
+    /// positive probability, so the mark stream is untouched otherwise.
+    chaos_rng: Rng,
+    /// Last capacity multiplier observed (for change telemetry).
+    last_cap_mult: f64,
 }
 
 impl PacketSimulator {
@@ -255,7 +285,12 @@ impl<R: Recorder> PacketSimulator<R> {
                     "PacketSimulator: DCQCN variants only"
                 );
                 let params = cfg.base_params.with_line_rate(cfg.capacity);
-                let progress = JobProgress::new(j.spec, Time::ZERO + j.start_offset);
+                let progress = JobProgress::with_noise(
+                    j.spec,
+                    Time::ZERO + j.start_offset,
+                    j.spec.comm_bytes().as_bytes() as f64,
+                    j.noise,
+                );
                 events.schedule_at(
                     progress.next_self_transition().expect("starts computing"),
                     Ev::Poll(i),
@@ -271,6 +306,8 @@ impl<R: Recorder> PacketSimulator<R> {
                     poll_armed: true,
                     pending_train: 1,
                     delivered: 0.0,
+                    depart_at: j.depart_at,
+                    departed: false,
                 }
             })
             .collect();
@@ -287,6 +324,7 @@ impl<R: Recorder> PacketSimulator<R> {
             }
         }
         let rng = Rng::new(cfg.seed);
+        let chaos_rng = Rng::new(cfg.signal_loss.map_or(0, |l| l.seed));
         PacketSimulator {
             cfg,
             events,
@@ -300,6 +338,42 @@ impl<R: Recorder> PacketSimulator<R> {
             cnps_sent: 0,
             rec,
             events_processed: 0,
+            chaos_rng,
+            last_cap_mult: 1.0,
+        }
+    }
+
+    /// Whether flow `i` has departed the cluster.
+    pub fn departed(&self, i: usize) -> bool {
+        self.flows[i].departed
+    }
+
+    /// The bottleneck capacity in bps as of `now`, honouring any fault
+    /// schedule. Emits a `LinkCapacity` event when the observed multiplier
+    /// changes (capacity is sampled at service start, not on a timer, so
+    /// the event lands at the first transmission under the new capacity).
+    fn effective_capacity_bps(&mut self, now: Time) -> f64 {
+        let base = self.cfg.capacity.as_bps_f64();
+        let Some(schedule) = &self.cfg.capacity_schedule else {
+            return base;
+        };
+        let mult = schedule.multiplier_at(now);
+        if mult != self.last_cap_mult {
+            self.last_cap_mult = mult;
+            if R::ENABLED {
+                self.rec.record(
+                    now,
+                    Event::LinkCapacity {
+                        link: 0,
+                        fraction: mult,
+                    },
+                );
+            }
+        }
+        if mult == 1.0 {
+            base
+        } else {
+            base * mult
         }
     }
 
@@ -396,9 +470,10 @@ impl<R: Recorder> PacketSimulator<R> {
             return;
         };
         self.busy = true;
-        let pkt_service =
-            Dur::from_secs_f64(self.cfg.mtu_bytes as f64 * 8.0 / self.cfg.capacity.as_bps_f64());
-        let service = Dur::from_nanos(pkt_service.as_nanos() * front.packets as u64);
+        let packets = front.packets;
+        let bps = self.effective_capacity_bps(now);
+        let pkt_service = Dur::from_secs_f64(self.cfg.mtu_bytes as f64 * 8.0 / bps);
+        let service = Dur::from_nanos(pkt_service.as_nanos() * packets as u64);
         self.events.schedule_at(now + service, Ev::Dequeue);
     }
 
@@ -406,6 +481,21 @@ impl<R: Recorder> PacketSimulator<R> {
         match ev {
             Ev::Poll(i) => {
                 self.flows[i].poll_armed = false;
+                if self.flows[i].departed {
+                    return;
+                }
+                // Fault injection: a due departure takes effect at the
+                // first compute-side poll (in-flight communication always
+                // finishes). The flow arms no further events.
+                if let Some(d) = self.flows[i].depart_at {
+                    if now >= d && !self.flows[i].progress.is_communicating() {
+                        self.flows[i].departed = true;
+                        if R::ENABLED {
+                            self.rec.record(now, Event::JobDepart { job: i as u32 });
+                        }
+                        return;
+                    }
+                }
                 if self.flows[i].progress.poll(now) {
                     let f = &mut self.flows[i];
                     f.to_send = f.progress.remaining_bytes();
@@ -466,7 +556,18 @@ impl<R: Recorder> PacketSimulator<R> {
                     self.flows[i].to_send -= payload;
                     self.flows[i].sent_since_advance += payload;
                     let p_mark = self.cfg.marker.mark_probability(self.queue_bytes as f64);
-                    let marked = self.rng.bernoulli(p_mark);
+                    let mut marked = self.rng.bernoulli(p_mark);
+                    // Fault injection: the mark may be stripped in flight
+                    // and is then invisible everywhere downstream. The
+                    // chaos RNG is only consulted for marked packets.
+                    if marked {
+                        match &self.cfg.signal_loss {
+                            Some(l) if l.mark_loss > 0.0 => {
+                                marked = !self.chaos_rng.bernoulli(l.mark_loss);
+                            }
+                            _ => {}
+                        }
+                    }
                     self.packets_sent += 1;
                     if marked {
                         self.packets_marked += 1;
@@ -508,8 +609,8 @@ impl<R: Recorder> PacketSimulator<R> {
                 // `packets - 1 - j` serialization quanta before `now`, and
                 // reaches the receiver a prop delay later; the NP judges
                 // each marked arrival at its own timestamp.
-                let pkt_ns =
-                    Dur::from_secs_f64(mtu * 8.0 / self.cfg.capacity.as_bps_f64()).as_nanos();
+                let bps = self.effective_capacity_bps(now);
+                let pkt_ns = Dur::from_secs_f64(mtu * 8.0 / bps).as_nanos();
                 for j in 0..train.packets {
                     let lag = pkt_ns * (train.packets - 1 - j) as u64;
                     let exit = Time::from_nanos(now.as_nanos().saturating_sub(lag));
@@ -518,14 +619,25 @@ impl<R: Recorder> PacketSimulator<R> {
                     let f = &mut self.flows[i];
                     f.delivered += mtu.min(f.progress.remaining_bytes().max(mtu));
                     if marked && f.np.on_marked_arrival(deliver_at) {
-                        // CNP travels back one hop (never into the past:
-                        // early packets of a long train may have delivered
-                        // before `now`).
-                        self.events
-                            .schedule_at((deliver_at + self.cfg.prop_delay).max(now), Ev::Cnp(i));
                         self.cnps_sent += 1;
                         if R::ENABLED {
                             self.rec.record(now, Event::CnpSent { flow: i as u32 });
+                        }
+                        // Fault injection: the CNP may be dropped on the
+                        // reverse path — the NP has still consumed its
+                        // pacing slot, but the RP never reacts.
+                        let cnp_lost = match &self.cfg.signal_loss {
+                            Some(l) if l.cnp_loss > 0.0 => self.chaos_rng.bernoulli(l.cnp_loss),
+                            _ => false,
+                        };
+                        if !cnp_lost {
+                            // CNP travels back one hop (never into the past:
+                            // early packets of a long train may have
+                            // delivered before `now`).
+                            self.events.schedule_at(
+                                (deliver_at + self.cfg.prop_delay).max(now),
+                                Ev::Cnp(i),
+                            );
                         }
                     }
                     let finished = f.progress.deliver(mtu, deliver_at.max(now)).is_some();
@@ -616,12 +728,17 @@ impl<R: Recorder> PacketSimulator<R> {
         };
         let before = self.events_processed;
         let stop = self.now() + max_span;
+        let reached = |flows: &[FlowState]| {
+            flows
+                .iter()
+                .all(|f| f.departed || f.progress.completed() >= n)
+        };
         let done = loop {
-            if self.flows.iter().all(|f| f.progress.completed() >= n) {
+            if reached(&self.flows) {
                 break true;
             }
             let Some(e) = self.events.pop_until(stop) else {
-                break self.flows.iter().all(|f| f.progress.completed() >= n);
+                break reached(&self.flows);
             };
             let now = e.at;
             self.events_processed += 1;
@@ -901,5 +1018,134 @@ mod tests {
                 },
             )],
         );
+    }
+
+    #[test]
+    fn capacity_schedule_stretches_serialization() {
+        let run = |schedule: Option<LinkSchedule>| {
+            let cfg = PacketSimConfig {
+                capacity_schedule: schedule,
+                ..PacketSimConfig::default()
+            };
+            let mut sim =
+                PacketSimulator::new(cfg, &[PacketJob::new(small_job(), CcVariant::Fair)]);
+            assert!(sim.run_until_iterations(6, Dur::from_secs(4)));
+            sim.progress(0)
+                .iteration_times()
+                .iter()
+                .map(|d| d.as_millis_f64())
+                .collect::<Vec<_>>()
+        };
+        let clean = run(None);
+        let identity = run(Some(LinkSchedule::identity()));
+        assert_eq!(clean, identity, "identity schedule must be a no-op");
+        // Halve the link for the run's middle stretch: iterations there
+        // spend twice as long communicating.
+        let degraded = run(Some(LinkSchedule::degraded(
+            Time::ZERO + Dur::from_millis(60),
+            Time::ZERO + Dur::from_millis(200),
+            0.5,
+        )));
+        let worst = degraded.iter().cloned().fold(0.0f64, f64::max);
+        let base = clean[0];
+        assert!(
+            worst > base * 1.2,
+            "expected a degraded iteration above {base:.2} ms, worst {worst:.2} ms"
+        );
+        let last = *degraded.last().unwrap();
+        assert!(
+            (last - base).abs() < base * 0.05,
+            "tail should recover to {base:.2} ms, got {last:.2} ms"
+        );
+    }
+
+    #[test]
+    fn signal_loss_reduces_cnp_pressure() {
+        let heavy = JobSpec::reference(Model::ResNet50, 100);
+        let run = |loss: Option<SignalLoss>| {
+            let cfg = PacketSimConfig {
+                signal_loss: loss,
+                ..PacketSimConfig::default()
+            };
+            let jobs = [
+                PacketJob::new(heavy, CcVariant::Fair),
+                PacketJob::new(heavy, CcVariant::Fair),
+            ];
+            let mut sim = PacketSimulator::new(cfg, &jobs);
+            sim.run_until(Time::ZERO + Dur::from_millis(300));
+            sim.cnps_sent()
+        };
+        let clean = run(None);
+        let lossless = run(Some(SignalLoss::none()));
+        assert_eq!(clean, lossless, "zero-probability loss must be a no-op");
+        assert!(clean > 0, "contended pair should produce CNPs");
+        // Stripping every mark starves the NPs completely. (Partial loss
+        // is NOT monotone in CNP count: less backoff deepens the queue,
+        // which generates more marks — so the test pins the total-loss
+        // endpoint where the causal chain is unambiguous.)
+        let starved = run(Some(SignalLoss {
+            mark_loss: 1.0,
+            cnp_loss: 0.0,
+            seed: 7,
+        }));
+        assert_eq!(starved, 0, "total mark loss must silence the NPs");
+    }
+
+    #[test]
+    fn departed_flow_frees_the_link() {
+        let jobs = [
+            PacketJob {
+                depart_at: Some(Time::ZERO + Dur::from_millis(120)),
+                ..PacketJob::new(small_job(), CcVariant::Fair)
+            },
+            PacketJob::new(small_job(), CcVariant::Fair),
+        ];
+        let mut sim = PacketSimulator::new(PacketSimConfig::default(), &jobs);
+        assert!(sim.run_until_iterations(8, Dur::from_secs(4)));
+        assert!(sim.departed(0), "flow 0 should have departed");
+        assert!(
+            sim.progress(0).completed() < 8,
+            "leaver must not finish the run"
+        );
+        // Once alone, the survivor runs at the solo pace.
+        let solo = small_job()
+            .iteration_time_at(Bandwidth::from_gbps(50))
+            .as_millis_f64();
+        let times = sim.progress(1).iteration_times();
+        let tail = times.last().unwrap().as_millis_f64();
+        assert!(
+            (tail - solo).abs() < solo * 0.03,
+            "survivor tail {tail:.2} ms vs solo {solo:.2} ms"
+        );
+    }
+
+    #[test]
+    fn phase_noise_perturbs_iterations_deterministically() {
+        let noise = PhaseNoise {
+            seed: 99,
+            job: 0,
+            compute_jitter: 0.2,
+            comm_jitter: 0.2,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+        };
+        let run = || {
+            let job = PacketJob {
+                noise: Some(noise),
+                ..PacketJob::new(small_job(), CcVariant::Fair)
+            };
+            let mut sim = PacketSimulator::new(PacketSimConfig::default(), &[job]);
+            assert!(sim.run_until_iterations(5, Dur::from_secs(4)));
+            sim.progress(0)
+                .iteration_times()
+                .iter()
+                .map(|d| d.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "seeded noise must be reproducible");
+        let spread = a.iter().max().unwrap() - a.iter().min().unwrap();
+        assert!(spread > 0, "jitter should vary iteration times");
     }
 }

@@ -15,11 +15,12 @@
 //! Scope: one bottleneck link (the paper's experiments are all
 //! single-bottleneck; multi-link topologies are the fluid engine's job).
 
-use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, RpStage};
+use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, RpStage, SignalLoss};
 use eventsim::{Rng, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
 use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
-use workload::{JobProgress, JobSpec};
+use topology::LinkSchedule;
+use workload::{JobProgress, JobSpec, PhaseNoise};
 
 /// Telemetry sampling cadence (queue depth + per-flow rate) used when the
 /// run is observed but no trace interval is configured.
@@ -71,6 +72,13 @@ pub struct RateSimConfig {
     ///
     /// [`adaptive_step`]: RateSimConfig::adaptive_step
     pub max_dt: Dur,
+    /// Fault injection: a time-varying multiplier on the bottleneck
+    /// capacity (degradation windows, up/down flaps). `None` is the exact
+    /// unperturbed engine.
+    pub capacity_schedule: Option<LinkSchedule>,
+    /// Fault injection: probabilistic loss of ECN marks and CNPs, rolled
+    /// on a dedicated chaos RNG that is never consulted when `None`.
+    pub signal_loss: Option<SignalLoss>,
 }
 
 impl Default for RateSimConfig {
@@ -87,6 +95,8 @@ impl Default for RateSimConfig {
             trace_interval: None,
             adaptive_step: false,
             max_dt: Dur::from_micros(80),
+            capacity_schedule: None,
+            signal_loss: None,
         }
     }
 }
@@ -100,6 +110,13 @@ pub struct RateJob {
     pub variant: CcVariant,
     /// When the job's first compute phase starts.
     pub start_offset: Dur,
+    /// Fault injection: per-iteration phase jitter/stragglers. `None` is
+    /// the exact unperturbed job.
+    pub noise: Option<PhaseNoise>,
+    /// Fault injection: churn — the job permanently leaves the cluster at
+    /// the first compute-phase instant at/after this time (an in-flight
+    /// communication phase is allowed to finish).
+    pub depart_at: Option<Time>,
 }
 
 impl RateJob {
@@ -109,6 +126,8 @@ impl RateJob {
             spec,
             variant,
             start_offset: Dur::ZERO,
+            noise: None,
+            depart_at: None,
         }
     }
 }
@@ -163,6 +182,10 @@ struct JobState {
     expected_marks: f64,
     /// Accumulator level that triggers the next CNP (1.0 unless jittered).
     mark_threshold: f64,
+    /// Churn: when the job permanently leaves (checked at compute-phase
+    /// instants), and whether it already has.
+    depart_at: Option<Time>,
+    departed: bool,
 }
 
 /// The rate-based simulator over one bottleneck link.
@@ -186,6 +209,11 @@ pub struct RateSimulator<R: Recorder = NoopRecorder> {
     dt_scale: u64,
     /// Consecutive quiet steps (no marks, transitions, or rate motion).
     quiet_steps: u32,
+    /// Dedicated chaos RNG for signal loss; only drawn from when
+    /// `cfg.signal_loss` is set, so quiet runs stay bit-identical.
+    chaos_rng: Rng,
+    /// Last observed capacity multiplier (for change detection).
+    last_cap_mult: f64,
 }
 
 /// Quiet steps required before the adaptive stepper starts doubling:
@@ -245,7 +273,12 @@ impl<R: Recorder> RateSimulator<R> {
                     Controller::Dcqcn(j.variant.build_rp(params))
                 };
                 JobState {
-                    progress: JobProgress::new(j.spec, Time::ZERO + j.start_offset),
+                    progress: JobProgress::with_noise(
+                        j.spec,
+                        Time::ZERO + j.start_offset,
+                        j.spec.comm_bytes().as_bytes() as f64,
+                        j.noise,
+                    ),
                     cc,
                     np: NotificationPoint::new(cfg.base_params.cnp_interval),
                     adaptive: j.variant.is_adaptive(),
@@ -254,11 +287,14 @@ impl<R: Recorder> RateSimulator<R> {
                     traced_bytes: 0.0,
                     expected_marks: 0.0,
                     mark_threshold: 1.0,
+                    depart_at: j.depart_at,
+                    departed: false,
                 }
             })
             .collect();
         let n = jobs.len();
         let rng = Rng::new(cfg.seed);
+        let chaos_rng = Rng::new(cfg.signal_loss.map_or(0, |l| l.seed));
         RateSimulator {
             cfg,
             now: Time::ZERO,
@@ -272,6 +308,8 @@ impl<R: Recorder> RateSimulator<R> {
             steps: 0,
             dt_scale: 1,
             quiet_steps: 0,
+            chaos_rng,
+            last_cap_mult: 1.0,
         }
     }
 
@@ -290,6 +328,11 @@ impl<R: Recorder> RateSimulator<R> {
         &self.jobs[i].progress
     }
 
+    /// `true` once churn has removed job `i` from the cluster.
+    pub fn departed(&self, i: usize) -> bool {
+        self.jobs[i].departed
+    }
+
     /// Per-job delivered-throughput trace (Gbps), if tracing is enabled.
     pub fn rate_trace(&self, i: usize) -> &TimeSeries {
         &self.rate_traces[i]
@@ -306,10 +349,12 @@ impl<R: Recorder> RateSimulator<R> {
     }
 
     /// The earliest compute→communicate deadline across all jobs, if any
-    /// job is computing.
+    /// job is computing. Departed jobs idle forever and are skipped (their
+    /// stale deadline would otherwise pin the adaptive stepper to 1 ns).
     fn next_deadline(&self) -> Option<Time> {
         self.jobs
             .iter()
+            .filter(|j| !j.departed)
             .filter_map(|j| j.progress.next_self_transition())
             .min()
     }
@@ -340,6 +385,13 @@ impl<R: Recorder> RateSimulator<R> {
                 dt = dt.min(dl.saturating_since(self.now));
             }
         }
+        // Same for the next scheduled capacity change: a coarse step must
+        // not average across a fault boundary.
+        if let Some(s) = &self.cfg.capacity_schedule {
+            if let Some(change) = s.next_change_after(self.now) {
+                dt = dt.min(change.saturating_since(self.now));
+            }
+        }
         dt.max(Dur::NANOSECOND)
     }
 
@@ -356,8 +408,48 @@ impl<R: Recorder> RateSimulator<R> {
         // transitions, mark firings (hence CNPs), or rate motion.
         let mut activity = false;
 
-        // 1. Compute→communicate transitions due at (or before) this step.
+        // 0. Fault injection: the capacity multiplier in effect this step.
+        // `effective_bps` stays the exact config value on the quiet path.
+        let mut effective_bps = self.cfg.capacity.as_bps_f64();
+        if let Some(s) = &self.cfg.capacity_schedule {
+            let cap_mult = s.multiplier_at(self.now);
+            if cap_mult != self.last_cap_mult {
+                activity = true;
+                self.last_cap_mult = cap_mult;
+                if R::ENABLED {
+                    self.rec.record(
+                        self.now,
+                        Event::LinkCapacity {
+                            link: 0,
+                            fraction: cap_mult,
+                        },
+                    );
+                }
+            }
+            if cap_mult != 1.0 {
+                effective_bps *= cap_mult;
+            }
+        }
+
+        // 1. Compute→communicate transitions due at (or before) this step,
+        // and churn departures (a departing job finishes any in-flight
+        // communication phase, then idles forever instead of re-entering).
         for (i, js) in self.jobs.iter_mut().enumerate() {
+            if !js.departed {
+                if let Some(d) = js.depart_at {
+                    if self.now >= d && !js.progress.is_communicating() {
+                        js.departed = true;
+                        activity = true;
+                        if R::ENABLED {
+                            self.rec
+                                .record(self.now, Event::JobDepart { job: i as u32 });
+                        }
+                    }
+                }
+            }
+            if js.departed {
+                continue;
+            }
             if !js.progress.is_communicating() && js.progress.poll(self.now) {
                 activity = true;
                 js.to_inject = js.progress.remaining_bytes();
@@ -408,9 +500,10 @@ impl<R: Recorder> RateSimulator<R> {
             }
         }
 
-        // 3. FIFO service at link capacity, shared pro-rata by backlog.
+        // 3. FIFO service at the (possibly degraded) link capacity, shared
+        // pro-rata by backlog.
         let total_backlog: f64 = self.jobs.iter().map(|j| j.backlog).sum();
-        let service = self.cfg.capacity.as_bps_f64() * dt_secs / 8.0;
+        let service = effective_bps * dt_secs / 8.0;
         let served_total = total_backlog.min(service);
         let mut delivered = vec![0.0f64; self.jobs.len()];
         if total_backlog > 0.0 {
@@ -446,25 +539,45 @@ impl<R: Recorder> RateSimulator<R> {
                     } else {
                         1.0
                     };
-                    if R::ENABLED {
-                        self.rec.record(t_end, Event::EcnMark { flow: i as u32 });
-                    }
-                    if js.np.on_marked_arrival(t_end) {
-                        rp.on_cnp();
+                    // Fault injection: the mark may be stripped before it
+                    // reaches the NP. The chaos RNG is only consulted when
+                    // loss is configured, keeping quiet runs bit-identical.
+                    let mark_lost = match &self.cfg.signal_loss {
+                        Some(l) if l.mark_loss > 0.0 => self.chaos_rng.bernoulli(l.mark_loss),
+                        _ => false,
+                    };
+                    if !mark_lost {
                         if R::ENABLED {
-                            // NP→RP notification is modeled as zero-delay, so
-                            // send and receipt land on the same instant.
-                            self.rec.record(t_end, Event::CnpSent { flow: i as u32 });
-                            self.rec
-                                .record(t_end, Event::CnpReceived { flow: i as u32 });
-                            self.rec.record(
-                                t_end,
-                                Event::RateChange {
-                                    flow: i as u32,
-                                    bps: rp.rate(),
-                                    state: CcState::Cut,
-                                },
-                            );
+                            self.rec.record(t_end, Event::EcnMark { flow: i as u32 });
+                        }
+                        if js.np.on_marked_arrival(t_end) {
+                            // The NP sent a CNP; it may be lost on the
+                            // reverse path before the RP sees it.
+                            let cnp_lost = match &self.cfg.signal_loss {
+                                Some(l) if l.cnp_loss > 0.0 => self.chaos_rng.bernoulli(l.cnp_loss),
+                                _ => false,
+                            };
+                            if R::ENABLED {
+                                self.rec.record(t_end, Event::CnpSent { flow: i as u32 });
+                            }
+                            if !cnp_lost {
+                                rp.on_cnp();
+                                if R::ENABLED {
+                                    // NP→RP notification is modeled as
+                                    // zero-delay, so send and receipt land
+                                    // on the same instant.
+                                    self.rec
+                                        .record(t_end, Event::CnpReceived { flow: i as u32 });
+                                    self.rec.record(
+                                        t_end,
+                                        Event::RateChange {
+                                            flow: i as u32,
+                                            bps: rp.rate(),
+                                            state: CcState::Cut,
+                                        },
+                                    );
+                                }
+                            }
                         }
                     }
                 }
@@ -474,7 +587,7 @@ impl<R: Recorder> RateSimulator<R> {
         // 5. Controller clocks, adaptive progress, and delivery to jobs.
         // The queueing delay a delay-based controller observes: the time
         // the standing queue takes to drain at line rate.
-        let queue_delay = Dur::from_secs_f64(standing_queue * 8.0 / self.cfg.capacity.as_bps_f64());
+        let queue_delay = Dur::from_secs_f64(standing_queue * 8.0 / effective_bps);
         for (i, js) in self.jobs.iter_mut().enumerate() {
             let communicating = js.progress.is_communicating();
             let rate_before = js.cc.rate();
@@ -629,8 +742,13 @@ impl<R: Recorder> RateSimulator<R> {
         let steps0 = self.steps;
         let end = self.now + max_span;
         let mut done = false;
+        // Departed jobs will never reach `n`; they no longer gate the run.
+        let reached = |jobs: &[JobState]| {
+            jobs.iter()
+                .all(|j| j.departed || j.progress.completed() >= n)
+        };
         while self.now < end {
-            if self.jobs.iter().all(|j| j.progress.completed() >= n) {
+            if reached(&self.jobs) {
                 done = true;
                 break;
             }
@@ -641,7 +759,7 @@ impl<R: Recorder> RateSimulator<R> {
                 .span("netsim.rate", t0.elapsed(), self.steps - steps0);
             self.rec.count("rate_steps_total", self.steps - steps0);
         }
-        done || self.jobs.iter().all(|j| j.progress.completed() >= n)
+        done || reached(&self.jobs)
     }
 }
 
@@ -931,6 +1049,104 @@ mod tests {
             err < 0.02,
             "adaptive solo iteration {measured:.1} ms vs analytic {expected:.1} ms"
         );
+    }
+
+    /// A capacity degradation window slows delivery while open and the
+    /// engine recovers afterwards; an identity schedule changes nothing.
+    #[test]
+    fn capacity_schedule_degrades_and_recovers() {
+        use topology::LinkSchedule;
+        let jobs = [RateJob::new(vgg19(1200), CcVariant::Fair)];
+        let run = |schedule: Option<LinkSchedule>| {
+            let cfg = RateSimConfig {
+                capacity_schedule: schedule,
+                ..RateSimConfig::default()
+            };
+            let mut sim = RateSimulator::new(cfg, &jobs);
+            assert!(sim.run_until_iterations(6, Dur::from_secs(10)));
+            sim.progress(0).iteration_times()
+        };
+        let base = run(None);
+        assert_eq!(base, run(Some(LinkSchedule::identity())));
+        // Degrade to 20% for the first ~3 nominal iterations.
+        let hit = run(Some(LinkSchedule::degraded(
+            Time::ZERO + Dur::from_millis(50),
+            Time::ZERO + Dur::from_millis(800),
+            0.2,
+        )));
+        assert!(
+            hit[0] > base[0].mul_f64(1.5),
+            "degraded iteration {:?} not slower than {:?}",
+            hit[0],
+            base[0]
+        );
+        // The tail recovers to the nominal pace.
+        assert!(
+            hit.last().unwrap().as_millis_f64() < base.last().unwrap().as_millis_f64() * 1.05,
+            "tail did not recover: {:?} vs {:?}",
+            hit.last(),
+            base.last()
+        );
+    }
+
+    /// CNP loss starves the control loop of cuts: the lossy run delivers
+    /// no slower, and the chaos RNG leaves the quiet path untouched.
+    #[test]
+    fn signal_loss_reduces_cnp_cuts() {
+        use dcqcn::SignalLoss;
+        use telemetry::BufferRecorder;
+        let jobs = [
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+        ];
+        let cnps = |loss: Option<SignalLoss>| {
+            let cfg = RateSimConfig {
+                signal_loss: loss,
+                ..RateSimConfig::default()
+            };
+            let mut rec = BufferRecorder::new();
+            let mut sim = RateSimulator::with_recorder(cfg, &jobs, &mut rec);
+            sim.run_until_iterations(5, Dur::from_secs(10));
+            drop(sim);
+            let m = rec.metrics();
+            m.counter("cnp_total", "flow=0") + m.counter("cnp_total", "flow=1")
+        };
+        let clean = cnps(None);
+        let lossy = cnps(Some(SignalLoss {
+            mark_loss: 0.0,
+            cnp_loss: 0.5,
+            seed: 3,
+        }));
+        assert!(clean > 0);
+        assert!(
+            (lossy as f64) < clean as f64 * 0.75,
+            "cnp_loss=0.5 should drop cuts: {lossy} vs {clean}"
+        );
+    }
+
+    /// Churn: a job with `depart_at` leaves at a compute boundary, stops
+    /// gating `run_until_iterations`, and frees the link for the survivor.
+    #[test]
+    fn departed_job_frees_the_link() {
+        let mut leaver = RateJob::new(vgg19(1200), CcVariant::Fair);
+        leaver.depart_at = Some(Time::ZERO + Dur::from_millis(300));
+        let stayer = RateJob::new(vgg19(1200), CcVariant::Fair);
+        let mut sim = RateSimulator::new(RateSimConfig::default(), &[leaver, stayer]);
+        assert!(sim.run_until_iterations(8, Dur::from_secs(10)));
+        assert!(sim.departed(0));
+        assert!(!sim.departed(1));
+        // The survivor's late iterations run at solo pace.
+        let solo = vgg19(1200)
+            .iteration_time_at(Bandwidth::from_gbps(50))
+            .as_millis_f64();
+        let tail = sim.progress(1).iteration_times();
+        let last = tail.last().unwrap().as_millis_f64();
+        assert!(
+            (last - solo).abs() / solo < 0.03,
+            "survivor tail {last:.1} ms vs solo {solo:.1} ms"
+        );
+        // The leaver froze after its departure point.
+        assert!(sim.progress(0).completed() < 8);
     }
 
     /// The same run, observed or not, produces identical simulation

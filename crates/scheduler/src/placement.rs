@@ -473,6 +473,8 @@ impl ClusterScheduler {
                         start_offset: Dur::ZERO,
                         flows,
                         total_bytes_override: Some(total),
+                        noise: None,
+                        depart_at: None,
                     }
                 }
             })

@@ -97,6 +97,12 @@ pub enum Event {
     /// construction so analyzers can attribute flows to links. Engines with
     /// a single bottleneck report `links = [0]`.
     JobPath { job: u32, links: Vec<u32> },
+    /// Link `link`'s usable capacity changed to `fraction` of nominal
+    /// (fault injection: degradation windows and up/down flaps). Only
+    /// emitted when a chaos link schedule is active.
+    LinkCapacity { link: u32, fraction: f64 },
+    /// `job` departed the cluster mid-run (churn): no further phases.
+    JobDepart { job: u32 },
 }
 
 impl Event {
@@ -115,6 +121,8 @@ impl Event {
             Event::GateRelease { .. } => "gate_release",
             Event::Scenario { .. } => "scenario",
             Event::JobPath { .. } => "job_path",
+            Event::LinkCapacity { .. } => "link_capacity",
+            Event::JobDepart { .. } => "job_depart",
         }
     }
 
@@ -139,7 +147,8 @@ impl Event {
             Event::PhaseEnter { job, .. }
             | Event::PhaseExit { job, .. }
             | Event::GateRelease { job }
-            | Event::JobPath { job, .. } => Some(*job),
+            | Event::JobPath { job, .. }
+            | Event::JobDepart { job } => Some(*job),
             _ => self.flow(),
         }
     }

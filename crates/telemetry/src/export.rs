@@ -92,6 +92,15 @@ pub fn jsonl(events: &[TimedEvent]) -> String {
                     ls.join(",")
                 );
             }
+            Event::LinkCapacity { link, fraction } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"link\":{link},\"fraction\":{fraction}}}"
+                );
+            }
+            Event::JobDepart { job } => {
+                let _ = writeln!(out, "{{\"t_ns\":{t},\"type\":\"{kind}\",\"job\":{job}}}");
+            }
         }
     }
     out
@@ -194,6 +203,17 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                 records.push(format!(
                     "{{\"name\":\"job_path\",\"cat\":\"topology\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job},\"s\":\"t\",\"args\":{{\"links\":[{}]}}}}",
                     ls.join(",")
+                ));
+            }
+            Event::LinkCapacity { link, fraction } => {
+                records.push(format!(
+                    "{{\"name\":\"link_capacity link{link}\",\"cat\":\"fault\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\"args\":{{\"fraction\":{fraction:.4}}}}}"
+                ));
+            }
+            Event::JobDepart { job } => {
+                thread(&mut records, pid, *job);
+                records.push(format!(
+                    "{{\"name\":\"job_depart\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job},\"s\":\"t\"}}"
                 ));
             }
         }

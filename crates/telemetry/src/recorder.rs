@@ -242,6 +242,14 @@ impl BufferRecorder {
                 Event::JobPath { job, .. } => {
                     m.inc_counter("job_paths_total", &format!("job={job}"), 1);
                 }
+                Event::LinkCapacity { link, fraction } => {
+                    let label = format!("link={link}");
+                    m.inc_counter("link_capacity_changes_total", &label, 1);
+                    m.set_gauge("link_capacity_fraction", &label, *fraction);
+                }
+                Event::JobDepart { job } => {
+                    m.inc_counter("job_departs_total", &format!("job={job}"), 1);
+                }
             }
         }
         for (name, n) in &self.counts {

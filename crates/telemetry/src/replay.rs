@@ -303,6 +303,13 @@ fn event_from(map: &BTreeMap<String, JsonValue>) -> Result<TimedEvent, String> {
                 _ => return Err("missing/invalid links".into()),
             },
         },
+        "link_capacity" => Event::LinkCapacity {
+            link: u32_field("link")?,
+            fraction: f64_field("fraction")?,
+        },
+        "job_depart" => Event::JobDepart {
+            job: u32_field("job")?,
+        },
         other => return Err(format!("unknown event type {other:?}")),
     };
     Ok(TimedEvent {
@@ -430,6 +437,17 @@ mod tests {
                     phase: Phase::Compute,
                     iteration: 0,
                 },
+            },
+            TimedEvent {
+                at: t(4_200),
+                event: Event::LinkCapacity {
+                    link: 0,
+                    fraction: 0.25,
+                },
+            },
+            TimedEvent {
+                at: t(4_500),
+                event: Event::JobDepart { job: 1 },
             },
         ]
     }

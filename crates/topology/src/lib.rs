@@ -26,9 +26,11 @@
 
 mod graph;
 mod routing;
+mod schedule;
 
 /// Pre-built cluster fabrics.
 pub mod builders;
 
 pub use graph::{Link, LinkId, Node, NodeId, NodeKind, Topology};
 pub use routing::{FlowKey, Path};
+pub use schedule::LinkSchedule;

@@ -1,0 +1,149 @@
+//! [`LinkSchedule`]: piecewise-constant time-varying link capacity.
+//!
+//! Fault injection degrades links — an optic running hot drops to a
+//! fraction of nominal bandwidth, a flapping port oscillates between "up"
+//! and "effectively down". Engines model this as a multiplier on the
+//! link's nominal capacity that changes at scheduled instants: between
+//! change points the capacity is constant, so fluid allocators stay
+//! piecewise-stationary and the rate/packet steppers only need to clamp
+//! their step size to the next change point.
+//!
+//! A "down" flap is floored at [`LinkSchedule::MIN_MULTIPLIER`] rather
+//! than zero: allocators and serialization-delay math stay well-posed, and
+//! a 1 %-capacity link is indistinguishable from an outage at the
+//! timescales simulated here.
+
+use simtime::Time;
+
+/// A piecewise-constant capacity multiplier for one directed link.
+///
+/// The multiplier is `1.0` before the first change point; each change
+/// `(t, m)` sets it to `m` from `t` onwards. Change points are strictly
+/// ascending in time and multipliers lie in
+/// `[LinkSchedule::MIN_MULTIPLIER, 1.0]`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkSchedule {
+    changes: Vec<(Time, f64)>,
+}
+
+impl LinkSchedule {
+    /// Multipliers below this floor are clamped up to it. Keeps every
+    /// engine's division-by-capacity well-posed while still modelling an
+    /// outage (1 % of a 50 Gbps link is a 100× slowdown).
+    pub const MIN_MULTIPLIER: f64 = 0.01;
+
+    /// The identity schedule: capacity stays at nominal forever.
+    pub fn identity() -> LinkSchedule {
+        LinkSchedule {
+            changes: Vec::new(),
+        }
+    }
+
+    /// A schedule from explicit change points.
+    ///
+    /// Multipliers are clamped into `[MIN_MULTIPLIER, 1.0]`.
+    ///
+    /// # Panics
+    /// Panics if change times are not strictly ascending, or a multiplier
+    /// is not finite.
+    pub fn new(changes: Vec<(Time, f64)>) -> LinkSchedule {
+        for w in changes.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "LinkSchedule: change times must be strictly ascending"
+            );
+        }
+        let changes = changes
+            .into_iter()
+            .map(|(t, m)| {
+                assert!(m.is_finite(), "LinkSchedule: non-finite multiplier {m}");
+                (t, m.clamp(Self::MIN_MULTIPLIER, 1.0))
+            })
+            .collect();
+        LinkSchedule { changes }
+    }
+
+    /// A single degradation window: capacity × `factor` in `[from, to)`.
+    ///
+    /// # Panics
+    /// Panics unless `from < to`.
+    pub fn degraded(from: Time, to: Time, factor: f64) -> LinkSchedule {
+        LinkSchedule::new(vec![(from, factor), (to, 1.0)])
+    }
+
+    /// `true` if this schedule never changes the capacity.
+    pub fn is_identity(&self) -> bool {
+        self.changes.iter().all(|&(_, m)| m == 1.0)
+    }
+
+    /// The capacity multiplier in effect at instant `t`.
+    pub fn multiplier_at(&self, t: Time) -> f64 {
+        let idx = self.changes.partition_point(|&(ct, _)| ct <= t);
+        if idx == 0 {
+            1.0
+        } else {
+            self.changes[idx - 1].1
+        }
+    }
+
+    /// The first change instant strictly after `t`, if any.
+    pub fn next_change_after(&self, t: Time) -> Option<Time> {
+        let idx = self.changes.partition_point(|&(ct, _)| ct <= t);
+        self.changes.get(idx).map(|&(ct, _)| ct)
+    }
+
+    /// The raw change points `(t, multiplier)`, ascending in time.
+    pub fn changes(&self) -> &[(Time, f64)] {
+        &self.changes
+    }
+
+    /// The smallest multiplier the schedule ever applies.
+    pub fn min_multiplier(&self) -> f64 {
+        self.changes.iter().map(|&(_, m)| m).fold(1.0, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::Dur;
+
+    fn at(ms: u64) -> Time {
+        Time::ZERO + Dur::from_millis(ms)
+    }
+
+    #[test]
+    fn identity_is_flat() {
+        let s = LinkSchedule::identity();
+        assert!(s.is_identity());
+        assert_eq!(s.multiplier_at(at(0)), 1.0);
+        assert_eq!(s.multiplier_at(at(10_000)), 1.0);
+        assert_eq!(s.next_change_after(at(0)), None);
+    }
+
+    #[test]
+    fn degradation_window_applies_and_lifts() {
+        let s = LinkSchedule::degraded(at(100), at(200), 0.5);
+        assert!(!s.is_identity());
+        assert_eq!(s.multiplier_at(at(99)), 1.0);
+        assert_eq!(s.multiplier_at(at(100)), 0.5);
+        assert_eq!(s.multiplier_at(at(199)), 0.5);
+        assert_eq!(s.multiplier_at(at(200)), 1.0);
+        assert_eq!(s.next_change_after(at(0)), Some(at(100)));
+        assert_eq!(s.next_change_after(at(100)), Some(at(200)));
+        assert_eq!(s.next_change_after(at(200)), None);
+        assert_eq!(s.min_multiplier(), 0.5);
+    }
+
+    #[test]
+    fn down_flap_floors_at_min_multiplier() {
+        let s = LinkSchedule::degraded(at(10), at(20), 0.0);
+        assert_eq!(s.multiplier_at(at(15)), LinkSchedule::MIN_MULTIPLIER);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_changes_panic() {
+        LinkSchedule::new(vec![(at(20), 0.5), (at(10), 1.0)]);
+    }
+}

@@ -43,11 +43,13 @@
 pub mod allreduce;
 mod job;
 mod models;
+mod noise;
 mod progress;
 pub mod trace;
 
 pub use allreduce::Allreduce;
 pub use job::{JobId, JobSpec, Pipeline};
 pub use models::{Model, ModelParams};
+pub use noise::PhaseNoise;
 pub use progress::{IterationRecord, JobPhase, JobProgress};
 pub use trace::{burst_stats, demand_trace, detect_bursts, Burst, BurstStats};

@@ -1,0 +1,174 @@
+//! [`PhaseNoise`]: deterministic per-iteration phase perturbation.
+//!
+//! Real clusters do not exhibit the paper's perfectly periodic on/off
+//! pattern: compute phases jitter with input skew and kernel variance,
+//! stragglers stretch individual iterations by integer factors, and
+//! gradient-bucket boundaries wobble the communication volume. MLTCP
+//! (arXiv:2402.09589) measures this iteration-level noise as the norm in
+//! shared training clusters. `PhaseNoise` models it as a *keyed, stateless*
+//! perturbation: the scale factors for iteration `i` of job `j` are a pure
+//! function of `(seed, j, i)`, so every network engine — fluid, rate,
+//! packet — derives the *same* fault schedule regardless of the order in
+//! which its internal events fire. That property is what makes
+//! cross-engine conformance testing under chaos possible.
+
+/// Deterministic per-iteration compute/communication scaling for one job.
+///
+/// A `None` noise (engines store `Option<PhaseNoise>`) leaves
+/// [`crate::JobProgress`] bit-for-bit identical to the unperturbed code
+/// path; a `Some` applies, at each iteration start:
+///
+/// * a uniform compute-duration jitter in `[1-compute_jitter, 1+compute_jitter]`,
+/// * a uniform communication-volume jitter in `[1-comm_jitter, 1+comm_jitter]`,
+/// * with probability `straggler_prob`, an additional `straggler_factor`×
+///   stretch of the compute phase (a slow worker holding up the allreduce).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseNoise {
+    /// Chaos stream seed (shared by every job in a scenario).
+    pub seed: u64,
+    /// The job's index, mixed into each draw so jobs decorrelate.
+    pub job: u32,
+    /// Half-width of the uniform compute-duration jitter (0 = off).
+    pub compute_jitter: f64,
+    /// Half-width of the uniform communication-volume jitter (0 = off).
+    pub comm_jitter: f64,
+    /// Per-iteration probability of a straggler event.
+    pub straggler_prob: f64,
+    /// Compute-phase stretch applied when an iteration straggles (≥ 1).
+    pub straggler_factor: f64,
+}
+
+/// Scales below this are clamped: a compute phase can shrink, but never to
+/// (or past) zero, and a communication phase always carries some bytes.
+const MIN_SCALE: f64 = 0.05;
+
+/// SplitMix64 step — same construction as `eventsim::Rng`'s seeder,
+/// duplicated here (6 lines) so `workload` stays dependency-free. Used as
+/// a keyed hash, not a stream: each `(seed, job, iteration)` triple gets
+/// its own short chain.
+#[inline]
+const fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl PhaseNoise {
+    /// The `(compute_scale, comm_scale)` pair for iteration `iteration`.
+    ///
+    /// Pure in `(self, iteration)`: engines may call this in any order,
+    /// any number of times, and concurrently for different jobs, and the
+    /// schedule never changes.
+    pub fn scales(&self, iteration: u32) -> (f64, f64) {
+        let mut s = self
+            .seed
+            .wrapping_add((self.job as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+            .wrapping_add((iteration as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        let c = splitmix64(&mut s);
+        let mut compute = 1.0 + self.compute_jitter * (2.0 * unit(a) - 1.0);
+        let comm = (1.0 + self.comm_jitter * (2.0 * unit(b) - 1.0)).max(MIN_SCALE);
+        if self.straggler_prob > 0.0 && unit(c) < self.straggler_prob {
+            compute *= self.straggler_factor.max(1.0);
+        }
+        (compute.max(MIN_SCALE), comm)
+    }
+
+    /// `true` if iteration `iteration` is a straggler under this noise.
+    pub fn is_straggler(&self, iteration: u32) -> bool {
+        if self.straggler_prob <= 0.0 {
+            return false;
+        }
+        let mut s = self
+            .seed
+            .wrapping_add((self.job as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+            .wrapping_add((iteration as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        let _ = splitmix64(&mut s);
+        let _ = splitmix64(&mut s);
+        unit(splitmix64(&mut s)) < self.straggler_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(job: u32) -> PhaseNoise {
+        PhaseNoise {
+            seed: 42,
+            job,
+            compute_jitter: 0.1,
+            comm_jitter: 0.05,
+            straggler_prob: 0.2,
+            straggler_factor: 3.0,
+        }
+    }
+
+    #[test]
+    fn scales_are_pure_and_keyed() {
+        let n = noise(0);
+        for i in 0..32 {
+            assert_eq!(n.scales(i), n.scales(i), "iteration {i} not pure");
+        }
+        // Different jobs and iterations decorrelate.
+        assert_ne!(noise(0).scales(0), noise(1).scales(0));
+        assert_ne!(noise(0).scales(0), noise(0).scales(1));
+    }
+
+    #[test]
+    fn scales_respect_bounds() {
+        let n = noise(7);
+        for i in 0..256 {
+            let (c, m) = n.scales(i);
+            assert!(c >= MIN_SCALE, "compute scale {c} below floor");
+            assert!(m >= MIN_SCALE, "comm scale {m} below floor");
+            // Jitter 0.1 + straggler 3× bounds compute at 1.1 × 3.
+            assert!(c <= 1.1 * 3.0 + 1e-9, "compute scale {c} out of range");
+            assert!((0.95..=1.05).contains(&m), "comm scale {m} out of range");
+        }
+    }
+
+    #[test]
+    fn straggler_flag_matches_scales() {
+        let n = noise(3);
+        let mut seen = 0;
+        for i in 0..256 {
+            let (c, _) = n.scales(i);
+            if n.is_straggler(i) {
+                seen += 1;
+                assert!(c > 1.1 * 2.0, "straggler iteration {i} not stretched");
+            } else {
+                assert!(c <= 1.1 + 1e-9, "normal iteration {i} stretched: {c}");
+            }
+        }
+        // ~20% of 256: wide tolerance but must actually fire.
+        assert!(
+            (20..=90).contains(&seen),
+            "straggler count {seen} implausible"
+        );
+    }
+
+    #[test]
+    fn zero_params_are_identity() {
+        let n = PhaseNoise {
+            seed: 9,
+            job: 0,
+            compute_jitter: 0.0,
+            comm_jitter: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 3.0,
+        };
+        for i in 0..16 {
+            assert_eq!(n.scales(i), (1.0, 1.0));
+            assert!(!n.is_straggler(i));
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! congestion-control behaviour of every job sharing a link, which is the
 //! entire subject of the paper.
 
-use crate::JobSpec;
+use crate::{JobSpec, PhaseNoise};
 use simtime::{Dur, Time};
 
 /// Which phase a job is currently in.
@@ -76,6 +76,11 @@ pub struct JobProgress {
     plan: Vec<(Dur, f64)>,
     /// Index of the segment currently executing.
     segment: usize,
+    /// Optional chaos perturbation; `None` is the exact legacy behaviour.
+    noise: Option<PhaseNoise>,
+    /// `(compute_scale, comm_scale)` for the iteration in flight, refreshed
+    /// from `noise` each time a new iteration starts. `(1, 1)` when quiet.
+    scales: (f64, f64),
 }
 
 /// Residual below which a communication phase counts as finished. Half a
@@ -83,15 +88,27 @@ pub struct JobProgress {
 /// transfer is sub-byte.
 const DONE_EPSILON: f64 = 0.5;
 
+/// Scales a compute duration, bypassing the float round-trip entirely at
+/// scale 1 so the quiet path stays bit-identical even for extreme spans.
+#[inline]
+fn scale_dur(d: Dur, k: f64) -> Dur {
+    if k == 1.0 {
+        d
+    } else {
+        d.mul_f64(k)
+    }
+}
+
 impl JobProgress {
     /// A job that begins its first compute phase at `start`.
     pub fn new(spec: JobSpec, start: Time) -> JobProgress {
         JobProgress::with_comm_bytes(spec, start, spec.comm_bytes().as_bytes() as f64)
     }
 
-    /// Total bytes this job injects per iteration across all segments.
+    /// Total bytes this job injects in the iteration currently in flight
+    /// (the plan total scaled by any chaos comm jitter), across segments.
     pub fn comm_bytes_per_iteration(&self) -> f64 {
-        self.plan.iter().map(|&(_, b)| b).sum()
+        self.plan.iter().map(|&(_, b)| b).sum::<f64>() * self.scales.1
     }
 
     /// A job whose per-iteration communication volume is overridden —
@@ -102,6 +119,21 @@ impl JobProgress {
     /// # Panics
     /// Panics unless `comm_bytes` is positive and finite.
     pub fn with_comm_bytes(spec: JobSpec, start: Time, comm_bytes: f64) -> JobProgress {
+        JobProgress::with_noise(spec, start, comm_bytes, None)
+    }
+
+    /// The most general constructor: overridden communication volume plus
+    /// an optional [`PhaseNoise`]. `noise: None` is bit-for-bit identical
+    /// to [`JobProgress::with_comm_bytes`].
+    ///
+    /// # Panics
+    /// Panics unless `comm_bytes` is positive and finite.
+    pub fn with_noise(
+        spec: JobSpec,
+        start: Time,
+        comm_bytes: f64,
+        noise: Option<PhaseNoise>,
+    ) -> JobProgress {
         assert!(
             comm_bytes > 0.0 && comm_bytes.is_finite(),
             "JobProgress: invalid comm bytes {comm_bytes}"
@@ -110,15 +142,19 @@ impl JobProgress {
         let natural: f64 = base.iter().map(|&(_, b)| b).sum();
         let scale = comm_bytes / natural;
         let plan: Vec<(Dur, f64)> = base.into_iter().map(|(d, b)| (d, b * scale)).collect();
+        let scales = noise.map_or((1.0, 1.0), |n| n.scales(0));
+        let first = scale_dur(plan[0].0, scales.0);
         JobProgress {
             spec,
             phase: JobPhase::Computing {
-                until: start + plan[0].0,
+                until: start + first,
             },
             iter_started: start,
             iterations: Vec::new(),
             plan,
             segment: 0,
+            noise,
+            scales,
         }
     }
 
@@ -162,7 +198,7 @@ impl JobProgress {
         if let JobPhase::Computing { until } = self.phase {
             if now >= until {
                 self.phase = JobPhase::Communicating {
-                    remaining: self.plan[self.segment].1,
+                    remaining: self.plan[self.segment].1 * self.scales.1,
                 };
                 return true;
             }
@@ -186,10 +222,11 @@ impl JobProgress {
             return None;
         }
         if self.segment + 1 < self.plan.len() {
-            // Pipelined: next burst's compute gap.
+            // Pipelined: next burst's compute gap (same iteration, so the
+            // iteration's scales keep applying).
             self.segment += 1;
             self.phase = JobPhase::Computing {
-                until: now + self.plan[self.segment].0,
+                until: now + scale_dur(self.plan[self.segment].0, self.scales.0),
             };
             return None;
         }
@@ -201,8 +238,11 @@ impl JobProgress {
         self.iterations.push(record);
         self.iter_started = now;
         self.segment = 0;
+        self.scales = self
+            .noise
+            .map_or((1.0, 1.0), |n| n.scales(self.iterations.len() as u32));
         self.phase = JobPhase::Computing {
-            until: now + self.plan[0].0,
+            until: now + scale_dur(self.plan[0].0, self.scales.0),
         };
         Some(record)
     }
@@ -220,6 +260,11 @@ impl JobProgress {
     /// Number of completed iterations.
     pub fn completed(&self) -> usize {
         self.iterations.len()
+    }
+
+    /// The chaos perturbation driving this job, if any.
+    pub fn noise(&self) -> Option<PhaseNoise> {
+        self.noise
     }
 }
 
@@ -351,6 +396,59 @@ mod tests {
         let t = j.next_self_transition().unwrap();
         j.poll(t);
         assert!((j.remaining_bytes() - total / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn noise_scales_each_iteration() {
+        let spec = JobSpec::reference(Model::ResNet50, 1600);
+        let noise = crate::PhaseNoise {
+            seed: 11,
+            job: 0,
+            compute_jitter: 0.2,
+            comm_jitter: 0.1,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+        };
+        let bytes = spec.comm_bytes().as_bytes() as f64;
+        let mut j = JobProgress::with_noise(spec, Time::ZERO, bytes, Some(noise));
+        for i in 0..4 {
+            let (cs, ms) = noise.scales(i);
+            let until = j.next_self_transition().unwrap();
+            let expect = spec.compute_time().mul_f64(cs);
+            assert_eq!(
+                until - j.iterations().last().map_or(Time::ZERO, |r| r.completed),
+                expect
+            );
+            j.poll(until);
+            assert!(
+                (j.remaining_bytes() - bytes * ms).abs() < 1.0,
+                "iteration {i}: comm volume not scaled"
+            );
+            j.deliver(j.remaining_bytes(), until + Dur::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn none_noise_is_bit_identical() {
+        let spec = JobSpec::reference(Model::Vgg19, 600).pipelined(3, Dur::from_millis(40));
+        let bytes = spec.comm_bytes().as_bytes() as f64;
+        let mut plain = JobProgress::with_comm_bytes(spec, Time::ZERO, bytes);
+        let mut noised = JobProgress::with_noise(spec, Time::ZERO, bytes, None);
+        for _ in 0..9 {
+            let t = plain.next_self_transition().unwrap();
+            assert_eq!(t, noised.next_self_transition().unwrap());
+            plain.poll(t);
+            noised.poll(t);
+            assert_eq!(
+                plain.remaining_bytes().to_bits(),
+                noised.remaining_bytes().to_bits()
+            );
+            let now = t + Dur::from_millis(7);
+            assert_eq!(
+                plain.deliver(plain.remaining_bytes(), now),
+                noised.deliver(noised.remaining_bytes(), now)
+            );
+        }
     }
 
     #[test]

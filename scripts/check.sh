@@ -62,4 +62,35 @@ awk -v w="$WALL" -v b="$BUDGET" 'BEGIN { exit !(w <= b) }' || {
     exit 1
 }
 
+echo "== chaos none byte-identity gate (fig1 + table1 trace JSONL) =="
+for e in fig1 table1; do
+    "$BIN" "$e" --iterations 10 --trace "$GATE/${e}_plain.jsonl" > /dev/null
+    "$BIN" "$e" --iterations 10 --chaos none --trace "$GATE/${e}_none.jsonl" > /dev/null
+    "$BIN" "$e" --iterations 10 --chaos stragglers --chaos-seed 3 \
+        --trace "$GATE/${e}_perturbed.jsonl" > /dev/null
+    cmp "$GATE/${e}_plain.jsonl" "$GATE/${e}_none.jsonl"
+    if cmp -s "$GATE/${e}_plain.jsonl" "$GATE/${e}_perturbed.jsonl"; then
+        echo "$e: seeded chaos run is identical to the quiet run — injection is inert" >&2
+        exit 1
+    fi
+done
+echo "chaos=none byte-identical to no flag; seeded chaos perturbs"
+
+echo "== chaos matrix (seeds × profiles) with wall-clock budget =="
+CHAOS_T0=$(date +%s.%N)
+"$BIN" chaos --iterations 40 --summary-dir "$GATE/bench" > /dev/null
+CHAOS_WALL=$(awk -v t0="$CHAOS_T0" -v t1="$(date +%s.%N)" 'BEGIN { print t1 - t0 }')
+CHAOS_BUDGET=90
+echo "chaos matrix: ${CHAOS_WALL}s wall clock (budget ${CHAOS_BUDGET}s)"
+awk -v w="$CHAOS_WALL" -v b="$CHAOS_BUDGET" 'BEGIN { exit !(w <= b) }' || {
+    echo "chaos matrix blew the ${CHAOS_BUDGET}s wall-clock budget: ${CHAOS_WALL}s" >&2
+    exit 1
+}
+REC=$(grep -o '"all_recovered":[0-9.eE+-]*' "$GATE/bench/BENCH_chaos.json" | cut -d: -f2)
+awk -v r="$REC" 'BEGIN { exit !(r == 1) }' || {
+    echo "chaos matrix: a perturbed cell never recovered (all_recovered=$REC)" >&2
+    exit 1
+}
+echo "all chaos cells recovered"
+
 echo "OK"

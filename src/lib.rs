@@ -6,6 +6,7 @@
 pub use dcqcn;
 pub use diagnostics;
 pub use eventsim;
+pub use faults;
 pub use geometry;
 pub use mlcc;
 pub use netsim;

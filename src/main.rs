@@ -4,6 +4,7 @@
 //! mlcc-repro <command> [--iterations N] [--jobs N] [--csv DIR]
 //!                      [--trace FILE] [--metrics] [--profile]
 //!                      [--report FILE] [--summary FILE] [--summary-dir DIR]
+//!                      [--chaos PROFILE|FILE.toml] [--chaos-seed N]
 //!
 //! commands:
 //!   fig1       Fig. 1: bandwidth shares + iteration-time CDFs
@@ -15,6 +16,8 @@
 //!   flowsched  §4.iii flow scheduling from rotation angles
 //!   cluster    §5    compatibility-aware placement
 //!   pipelining extension: bucketized emission widens compatibility
+//!   chaos      fault-injection sweep: seeds × profiles through the
+//!              recovery analyzer
 //!   all        everything above, in order
 //!   report     analyze a recorded JSONL trace into an HTML report
 //!   diff       compare two RunSummary JSON files (regression gate)
@@ -39,6 +42,13 @@
 //! per experiment (median iteration times, speedups, wall-clock) — the
 //! perf trajectory documented in EXPERIMENTS.md.
 //!
+//! `--chaos` injects deterministic faults into `fig1` and `table1` (and
+//! any rate-engine experiment that honours it): pass a builtin profile
+//! name (`none`, `stragglers`, `links`, `mixed`) or a chaos TOML file
+//! (format in `crates/faults/src/toml.rs`). `--chaos-seed N` re-seeds
+//! the chosen config. `--chaos none` (the default) is byte-identical to
+//! not passing the flag at all.
+//!
 //! `--jobs N` caps the worker threads the experiments fan their
 //! independent scenarios across (default: one per available core).
 //! Results, telemetry, and every output file are byte-identical for any
@@ -54,6 +64,7 @@
 //! golden summaries.
 
 use diagnostics::{AnalysisConfig, DiffConfig, RunSummary};
+use faults::ChaosConfig;
 use mlcc::experiments as exp;
 use mlcc::export;
 use std::path::{Path, PathBuf};
@@ -71,6 +82,7 @@ struct Opts {
     report: Option<PathBuf>,
     summary: Option<PathBuf>,
     summary_dir: Option<PathBuf>,
+    chaos: ChaosConfig,
 }
 
 impl Opts {
@@ -85,6 +97,18 @@ impl Opts {
     }
 }
 
+/// Resolves a `--chaos` argument: a builtin profile name
+/// ([`ChaosConfig::profile`]) or a path to a chaos TOML file.
+fn parse_chaos(value: &str) -> Result<ChaosConfig, String> {
+    if let Some(cfg) = ChaosConfig::profile(value) {
+        return Ok(cfg);
+    }
+    let text = std::fs::read_to_string(value).map_err(|e| {
+        format!("--chaos {value}: not a builtin profile, and reading it failed: {e}")
+    })?;
+    faults::from_toml_str(&text).map_err(|e| format!("--chaos {value}: {e}"))
+}
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         iterations: None,
@@ -96,7 +120,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         report: None,
         summary: None,
         summary_dir: None,
+        chaos: ChaosConfig::none(),
     };
+    let mut chaos_seed: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -134,8 +160,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--summary-dir needs a directory")?;
                 opts.summary_dir = Some(PathBuf::from(v));
             }
+            "--chaos" => {
+                let v = it.next().ok_or("--chaos needs a profile name or file")?;
+                opts.chaos = parse_chaos(v)?;
+            }
+            "--chaos-seed" => {
+                let v = it.next().ok_or("--chaos-seed needs a value")?;
+                chaos_seed = Some(v.parse().map_err(|_| format!("bad chaos seed {v}"))?);
+            }
             other => return Err(format!("unknown option {other}")),
         }
+    }
+    if let Some(seed) = chaos_seed {
+        opts.chaos.seed = seed;
     }
     Ok(opts)
 }
@@ -221,6 +258,7 @@ fn write_bench(
 fn run_fig1(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::fig1::Fig1Config {
         iterations: o.iterations.unwrap_or(100),
+        chaos: o.chaos,
         ..Default::default()
     };
     println!("== Fig. 1 ({} iterations) ==", cfg.iterations);
@@ -293,6 +331,7 @@ fn run_fig2(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
 fn run_table1(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     let cfg = exp::table1::Table1Config {
         iterations: o.iterations.unwrap_or(30),
+        chaos: o.chaos,
         ..Default::default()
     };
     println!("== Table 1 ({} iterations per scenario) ==", cfg.iterations);
@@ -483,6 +522,47 @@ fn run_cluster(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     ]
 }
 
+fn run_chaos(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+    let cfg = exp::chaos::ChaosSweepConfig {
+        iterations: o.iterations.unwrap_or(40),
+        ..Default::default()
+    };
+    println!(
+        "== chaos sweep ({} iterations, {} seeds × {} profiles) ==",
+        cfg.iterations,
+        cfg.seeds.len(),
+        cfg.profiles.len()
+    );
+    let r = match rec {
+        Some(rec) => exp::chaos::run_traced(&cfg, rec),
+        None => exp::chaos::run(&cfg),
+    };
+    println!("{}", r.render());
+    let mut m = BenchMetrics::new();
+    for c in &r.cells {
+        let key = format!("{}.s{}", c.profile, c.seed);
+        for (i, med) in c.medians_ms.iter().enumerate() {
+            m.push((format!("{key}.job{i}.median_ms"), *med));
+        }
+        m.push((
+            format!("{key}.fault_windows"),
+            c.recovery.fault_windows.len() as f64,
+        ));
+        m.push((format!("{key}.incidents"), c.incidents() as f64));
+        m.push((format!("{key}.worst_recovery_ms"), c.worst_recovery_ms()));
+        m.push((
+            format!("{key}.recovered"),
+            c.recovery.all_recovered() as u8 as f64,
+        ));
+        m.push((
+            format!("{key}.compat_break"),
+            c.recovery.compatibility_break as u8 as f64,
+        ));
+    }
+    m.push(("all_recovered".to_string(), r.all_recovered() as u8 as f64));
+    m
+}
+
 /// `mlcc-repro report TRACE.jsonl --out FILE [--summary FILE] [--name N]`
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut trace: Option<PathBuf> = None;
@@ -582,8 +662,9 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mlcc-repro <fig1|fig2|table1|geometry|adaptive|priority|flowsched|cluster|\
-         pipelining|all> [--iterations N] [--jobs N] [--csv DIR] [--trace FILE] [--metrics]\n\
+         pipelining|chaos|all> [--iterations N] [--jobs N] [--csv DIR] [--trace FILE] [--metrics]\n\
          \x20      [--profile] [--report FILE] [--summary FILE] [--summary-dir DIR]\n\
+         \x20      [--chaos PROFILE|FILE.toml] [--chaos-seed N]\n\
          \x20      mlcc-repro report TRACE.jsonl [--out FILE] [--summary FILE] [--name NAME]\n\
          \x20      mlcc-repro diff A.json B.json [--tolerance F]"
     );
@@ -655,6 +736,7 @@ fn main() -> ExitCode {
             "flowsched" => run("flowsched", &mut rec, &run_flowsched),
             "cluster" => run("cluster", &mut rec, &run_cluster),
             "pipelining" => run("pipelining", &mut rec, &run_pipelining),
+            "chaos" => run("chaos", &mut rec, &run_chaos),
             "all" => {
                 run("fig1", &mut rec, &run_fig1);
                 run("fig2", &mut rec, &run_fig2);

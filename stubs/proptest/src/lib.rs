@@ -207,6 +207,8 @@ pub mod strategy {
     tuple_strategy!(A, B);
     tuple_strategy!(A, B, C);
     tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
 
     /// `Just`: always yields a clone of the given value.
     #[derive(Debug, Clone)]

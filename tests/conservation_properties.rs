@@ -5,6 +5,8 @@
 //! oracle, standalone and while driving the fluid engine.
 
 use dcqcn::CcVariant;
+use faults::{ChaosConfig, ChurnChaos, LinkChaos, PhaseChaos, SignalChaos};
+use mlcc::experiments::chaos;
 use mlcc_repro::*;
 use netsim::alloc::{
     reference, strict_priority_into, weighted_max_min_into, AllocScratch, FlowDemand,
@@ -12,11 +14,60 @@ use netsim::alloc::{
 use netsim::fluid::{FluidConfig, FluidJob, FluidSimulator, SharingPolicy};
 use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
 use proptest::prelude::*;
-use simtime::{Bandwidth, Dur};
+use simtime::{Bandwidth, Dur, Time};
 use topology::builders::dumbbell;
+use topology::LinkSchedule;
 use workload::{JobSpec, Model};
 
 const LINE: Bandwidth = Bandwidth::from_gbps(50);
+
+/// Any chaos config at all: every layer's knobs drawn independently, so
+/// cases range from near-identity to all layers perturbing at once.
+fn chaos_strategy() -> impl Strategy<Value = ChaosConfig> {
+    (
+        0u64..1_000_000,
+        (0.0f64..0.3, 0.0f64..0.3, 0.0f64..0.25, 1.0f64..4.0),
+        (0.0f64..1.0, 0.05f64..1.0, 0.0f64..0.5, 0u32..4),
+        (0.0f64..1.0, 0.0f64..0.4, 0.0f64..0.5),
+        (0.0f64..0.3, 0.0f64..0.3),
+    )
+        .prop_map(|(seed, ph, li, ch, si)| ChaosConfig {
+            seed,
+            phase: PhaseChaos {
+                compute_jitter: ph.0,
+                comm_jitter: ph.1,
+                straggler_prob: ph.2,
+                straggler_factor: ph.3,
+            },
+            links: LinkChaos {
+                degrade_prob: li.0,
+                degrade_factor: li.1,
+                flap_prob: li.2,
+                flap_count: li.3,
+            },
+            churn: ChurnChaos {
+                arrival_prob: ch.0,
+                max_arrival_frac: ch.1,
+                departure_prob: ch.2,
+            },
+            signal: SignalChaos {
+                mark_loss: si.0,
+                cnp_loss: si.1,
+            },
+        })
+}
+
+/// The largest capacity multiplier a schedule applies anywhere inside
+/// `[from, to]` — the ceiling for throughput observed over that window.
+fn max_mult_in(s: &LinkSchedule, from: Time, to: Time) -> f64 {
+    let mut m = s.multiplier_at(from);
+    for &(t, mult) in s.changes() {
+        if t > from && t <= to {
+            m = m.max(mult);
+        }
+    }
+    m
+}
 
 fn spec_strategy() -> impl Strategy<Value = JobSpec> {
     (0usize..6, 1u32..4).prop_map(|(m, scale)| {
@@ -234,6 +285,143 @@ proptest! {
                 prop_assert!(
                     div <= 1.0,
                     "incremental rates diverged {div} bps from reference"
+                );
+            }
+        }
+    }
+
+    /// Rate engine under arbitrary fault injection: throughput never goes
+    /// negative, per-sample occupancy respects the (possibly degraded)
+    /// bottleneck capacity, iteration completions stay strictly monotone,
+    /// and aggregate delivered bytes never exceed capacity × time.
+    #[test]
+    fn rate_engine_conserves_under_chaos(
+        a in spec_strategy(),
+        b in spec_strategy(),
+        chaos_cfg in chaos_strategy(),
+    ) {
+        let trace = Dur::from_millis(1);
+        let mut sim_cfg = RateSimConfig {
+            trace_interval: Some(trace),
+            ..RateSimConfig::default()
+        };
+        let mut jobs = [
+            RateJob::new(a, CcVariant::StaticUnfair { timer: Dur::from_micros(100) }),
+            RateJob::new(b, CcVariant::Fair),
+        ];
+        let per = a.iteration_time_at(LINE).max(b.iteration_time_at(LINE));
+        let horizon = per * 10;
+        chaos::apply_rate(&chaos_cfg, &mut jobs, &mut sim_cfg, horizon);
+        let schedule = sim_cfg
+            .capacity_schedule
+            .clone()
+            .unwrap_or_else(LinkSchedule::identity);
+        let mut sim = RateSimulator::new(sim_cfg, &jobs);
+        sim.run_for(horizon);
+
+        // Occupancy: each 1 ms sample's aggregate delivered rate fits
+        // under the largest capacity in effect anywhere in its window
+        // (same 1 % + 0.5 Gbps sampling slack as the chaos-free test).
+        for ((t, g0), (t1, g1)) in sim.rate_trace(0).iter().zip(sim.rate_trace(1).iter()) {
+            prop_assert_eq!(t, t1, "job traces sampled at different instants");
+            prop_assert!(g0 >= -1e-9 && g1 >= -1e-9, "negative rate at {t:?}");
+            let from = if t.saturating_since(Time::ZERO) >= trace {
+                t - trace
+            } else {
+                Time::ZERO
+            };
+            let cap = 50.0 * max_mult_in(&schedule, from, t);
+            prop_assert!(
+                g0 + g1 <= cap * 1.01 + 0.5,
+                "occupancy {:.2} Gbps exceeds degraded capacity {cap:.2} at {t:?}",
+                g0 + g1
+            );
+        }
+        // Monotone progress: completion instants strictly increase.
+        for k in 0..2 {
+            for w in sim.progress(k).iterations().windows(2) {
+                prop_assert!(
+                    w[0].completed < w[1].completed,
+                    "job {k}: iteration completions not increasing"
+                );
+            }
+        }
+        // Conservation: delivered bytes ≤ nominal capacity × elapsed time
+        // (degradation only ever lowers the bound).
+        let elapsed = sim.now().as_secs_f64();
+        let delivered: f64 = (0..2)
+            .map(|k| {
+                let done = sim.progress(k).completed() as f64;
+                done * [a, b][k].comm_bytes().as_bytes() as f64
+            })
+            .sum();
+        prop_assert!(delivered * 8.0 <= 50e9 * elapsed * 1.001);
+    }
+
+    /// Fluid engine under the same arbitrary fault plans: allocated rates
+    /// never go negative and never exceed any path link's (possibly
+    /// degraded) capacity, and completions stay strictly monotone.
+    #[test]
+    fn fluid_engine_conserves_under_chaos(
+        a in spec_strategy(),
+        b in spec_strategy(),
+        chaos_cfg in chaos_strategy(),
+    ) {
+        let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+        let t = d.topology.clone();
+        let path = |i: usize| {
+            t.route(topology::FlowKey {
+                src: d.left_hosts[i],
+                dst: d.right_hosts[i],
+                tag: 0,
+            })
+            .unwrap()
+            .links()
+            .to_vec()
+        };
+        let per = a.iteration_time_at(LINE).max(b.iteration_time_at(LINE));
+        let horizon = per * 10;
+        let plan = chaos_cfg.compile(2, t.link_count(), horizon);
+        let mut jobs = [
+            FluidJob::single_path(a, path(0)),
+            FluidJob::single_path(b, path(1)),
+        ];
+        for (j, job) in jobs.iter_mut().enumerate() {
+            job.noise = plan.noise[j];
+            job.depart_at = plan.departures[j];
+        }
+        let cfg = FluidConfig {
+            link_schedules: plan.link_schedules.clone(),
+            ..FluidConfig::fair()
+        };
+        let mut sim = FluidSimulator::new(&t, cfg, &jobs);
+        sim.run_for(horizon);
+
+        let eps = Dur::from_micros(1);
+        for (k, paths) in [path(0), path(1)].iter().enumerate() {
+            // Allocated throughput obeys every (degraded) link on the path.
+            for (at, gbps) in sim.throughput_trace(k).iter() {
+                prop_assert!(gbps >= -1e-9, "job {k}: negative rate at {at:?}");
+                for l in paths {
+                    let Some(s) = plan.link_schedules.get(l.0 as usize) else {
+                        continue;
+                    };
+                    let from = if at.saturating_since(Time::ZERO) >= eps {
+                        at - eps
+                    } else {
+                        Time::ZERO
+                    };
+                    let cap = 50.0 * max_mult_in(s, from, at + eps);
+                    prop_assert!(
+                        gbps <= cap + 1e-6,
+                        "job {k}: {gbps:.3} Gbps over link {l:?} cap {cap:.3} at {at:?}"
+                    );
+                }
+            }
+            for w in sim.progress(k).iterations().windows(2) {
+                prop_assert!(
+                    w[0].completed < w[1].completed,
+                    "job {k}: iteration completions not increasing"
                 );
             }
         }

@@ -173,9 +173,8 @@ fn paper_scale_mix_agrees_with_batching() {
     let pkt_jobs: Vec<PacketJob> = mix
         .iter()
         .map(|&(spec, variant, start_offset)| PacketJob {
-            spec,
-            variant,
             start_offset,
+            ..PacketJob::new(spec, variant)
         })
         .collect();
     let mut pkt = PacketSimulator::new(

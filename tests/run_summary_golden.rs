@@ -11,6 +11,7 @@
 //! ```
 
 use diagnostics::{analyze, diff, AnalysisConfig, DiffConfig, RunSummary};
+use faults::ChaosConfig;
 use mlcc::experiments::fig1::{self, Fig1Config};
 use mlcc_repro::*;
 use telemetry::BufferRecorder;
@@ -40,4 +41,49 @@ fn fig1_summary_matches_committed_golden() {
     // The golden itself must keep exercising both scenarios.
     assert!(golden.metrics.keys().any(|k| k.starts_with("fig1_fair.")));
     assert!(golden.metrics.keys().any(|k| k.starts_with("fig1_unfair.")));
+}
+
+/// Same gate for a *perturbed* run: fig1 under the `stragglers` chaos
+/// profile at a pinned seed must keep producing the committed summary.
+/// Chaos is seeded and deterministic, so a perturbed run regresses just
+/// like a quiet one — this pins the fault-injection plumbing itself
+/// (keyed noise draws, schedule compilation, engine realization) in
+/// addition to the simulators.
+#[test]
+fn fig1_chaos_summary_matches_committed_golden() {
+    let golden =
+        RunSummary::from_json(include_str!("goldens/fig1_chaos.json")).expect("golden parses");
+    // Exactly what `mlcc-repro fig1 --iterations 20 --chaos stragglers
+    // --chaos-seed 7 --summary …` runs.
+    let cfg = Fig1Config {
+        iterations: 20,
+        chaos: ChaosConfig {
+            seed: 7,
+            ..ChaosConfig::profile("stragglers").expect("builtin profile")
+        },
+        ..Fig1Config::default()
+    };
+    let mut rec = BufferRecorder::new();
+    fig1::run_traced(&cfg, &mut rec);
+    let current = analyze("fig1", rec.events(), &AnalysisConfig::default()).summary();
+
+    assert_eq!(current.name, golden.name);
+    let report = diff(&golden, &current, &DiffConfig::default());
+    assert!(
+        report.is_clean(),
+        "chaotic fig1 drifted from the golden summary ({} compared):\n{}\
+         \nIf the change is intentional, regenerate with:\n  \
+         cargo run -- fig1 --iterations 20 --chaos stragglers --chaos-seed 7 \
+         --summary tests/goldens/fig1_chaos.json",
+        report.compared,
+        report.render()
+    );
+    // The perturbed golden must differ from the quiet one somewhere —
+    // otherwise the chaos plumbing silently stopped perturbing.
+    let quiet = RunSummary::from_json(include_str!("goldens/fig1.json")).expect("golden parses");
+    let drift = diff(&quiet, &golden, &DiffConfig::default());
+    assert!(
+        !drift.is_clean(),
+        "stragglers golden is identical to the quiet golden — chaos had no effect"
+    );
 }
