@@ -1,0 +1,69 @@
+//! Telemetry overhead: the same fig1 scenario run through the three
+//! recorder configurations — the zero-cost `NoopRecorder` (disabled
+//! instrumentation monomorphized away), a `BufferRecorder` (full event
+//! buffering), and a `TapRecorder` mirroring into a live flight-recorder
+//! sink — so the cost of *being watched* stays measured. The disabled
+//! path is additionally asserted allocation-free in
+//! `tests/recorder_alloc.rs`.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcc::experiments::fig1::{run, run_traced, Fig1Config};
+use telemetry::live::{self, LiveConfig};
+use telemetry::{BufferRecorder, TapRecorder};
+
+fn quick() -> Fig1Config {
+    Fig1Config {
+        iterations: 8,
+        warmup: 2,
+        ..Fig1Config::default()
+    }
+}
+
+fn reproduce() {
+    banner("Recorder overhead — noop vs buffered vs live-tapped fig1");
+    let cfg = quick();
+    let mut rec = BufferRecorder::new();
+    run_traced(&cfg, &mut rec);
+    println!(
+        "one 8-iteration fig1 run emits {} events across both scenarios",
+        rec.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let cfg = quick();
+
+    c.bench_function("recorder/noop", |b| b.iter(|| run(&cfg)));
+
+    c.bench_function("recorder/buffered", |b| {
+        b.iter(|| {
+            let mut rec = BufferRecorder::new();
+            run_traced(&cfg, &mut rec);
+            rec.len()
+        })
+    });
+
+    // Live tap with an installed sink: every event is additionally cloned
+    // into the flight-recorder channel. The handle is drained after each
+    // run (std mpsc is unbounded, so batches queue without blocking).
+    let mut handle = live::install(LiveConfig::default());
+    c.bench_function("recorder/live_tap", |b| {
+        b.iter(|| {
+            let mut rec = TapRecorder::new(BufferRecorder::new());
+            run_traced(&cfg, &mut rec);
+            let events = rec.into_inner().len();
+            handle.poll();
+            events
+        })
+    });
+    live::uninstall();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

@@ -27,16 +27,20 @@ pub mod analyze;
 pub mod events;
 pub mod fairness;
 pub mod health;
+pub mod history;
 pub mod interleave;
 pub mod recovery;
 pub mod report;
 pub mod summary;
+pub mod watchdog;
 
 pub use analyze::{analyze, AnalysisConfig, Attribution, RunAnalysis, ScenarioAnalysis};
 pub use events::{extract_tracks, split_scenarios, Interval, JobTrack, ScenarioTracks};
 pub use fairness::{jain_index, FairnessReport};
 pub use health::{Convergence, FlowHealth, HealthConfig, HealthReport, QueueHealth};
+pub use history::{parse_history, trend, ExperimentTrend, HistoryRecord, TrendConfig, TrendReport};
 pub use interleave::{audit, InterleaveReport, LinkAudit};
 pub use recovery::{recovery, FaultWindow, Incident, JobRecovery, RecoveryConfig, RecoveryReport};
 pub use report::html;
 pub use summary::{diff, DiffConfig, DiffReport, MetricShift, RunSummary};
+pub use watchdog::{slo_from_toml_str, Alert, AlertKind, SloRules, Watchdog, WatchdogBank};

@@ -55,7 +55,7 @@ impl RunSummary {
 
     /// Parses the format produced by [`RunSummary::to_json`].
     pub fn from_json(text: &str) -> Result<RunSummary, String> {
-        let map = parse_flat_object(text)?;
+        let map = parse_flat_object(text).map_err(|e| e.to_string())?;
         let mut summary = RunSummary::default();
         for (k, v) in map {
             match (k.as_str(), v) {
@@ -72,7 +72,7 @@ impl RunSummary {
 }
 
 /// JSON numbers can't be NaN/inf; Display of f64 round-trips exactly.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         // Keep integral values integral-with-.0 so the file stays
         // unambiguous about being a float field.

@@ -1,0 +1,841 @@
+//! Online SLO watchdog: the offline analyzers (rate health, Jain
+//! fairness, interleaving recovery) repackaged as incremental monitors
+//! that run *while* a simulation streams events, firing typed [`Alert`]s
+//! the moment a declarative rule is breached.
+//!
+//! Rules load from a flat TOML file ([`slo_from_toml_str`]):
+//!
+//! ```toml
+//! # evaluation window, in simulated milliseconds
+//! window_ms = 10
+//!
+//! rate_cv_max = 0.8                 # per-flow rate CV per window
+//! min_jain = 0.3                    # per-window Jain index across flows
+//! max_queue_bytes = 2000000         # instantaneous queue-depth ceiling
+//! max_time_to_reinterleave_s = 0.2  # fault onset -> all jobs back to
+//!                                   # <= slow_factor x baseline iterations
+//! slow_factor = 1.4
+//! min_rate_samples = 4              # CV needs this many samples to judge
+//! context_events = 32               # flight-ring capacity per category
+//! ```
+//!
+//! Every monitor is windowed on *simulated* time, so verdicts are
+//! deterministic: the same event stream produces the same alerts in the
+//! same order regardless of wall clock, thread count, or arrival jitter
+//! (a [`WatchdogBank`] keys monitors by scenario, and each scenario's
+//! stream is deterministic by construction). Each alert captures the
+//! scenario's flight-recorder ring at the moment it fired — the last-N
+//! events per category around the trigger.
+
+use crate::events::median_dur;
+use crate::fairness::jain_index;
+use crate::summary::fmt_f64;
+use simtime::{Dur, Time};
+use std::collections::{BTreeMap, BTreeSet};
+use telemetry::live::FlightRing;
+use telemetry::{export, Event, Phase, TimedEvent};
+
+/// Declarative SLO thresholds. `None` disables a monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRules {
+    /// Evaluation window, in simulated time.
+    pub window: Dur,
+    /// Max per-flow coefficient of variation of rate samples per window.
+    pub rate_cv_max: Option<f64>,
+    /// Min per-window Jain fairness index across flows.
+    pub min_jain: Option<f64>,
+    /// Max instantaneous bottleneck queue depth, in bytes.
+    pub max_queue_bytes: Option<f64>,
+    /// Max simulated time from fault onset until every job with an
+    /// established baseline is iterating at `<= slow_factor × baseline`
+    /// again with all links restored.
+    pub max_time_to_reinterleave: Option<Dur>,
+    /// Recovery threshold multiplier over the pre-fault median iteration.
+    pub slow_factor: f64,
+    /// Minimum rate samples in a window before CV is judged.
+    pub min_rate_samples: usize,
+    /// Flight-ring capacity per event category (alert context size).
+    pub context_events: usize,
+}
+
+impl Default for SloRules {
+    fn default() -> SloRules {
+        SloRules {
+            window: Dur::from_millis(10),
+            rate_cv_max: None,
+            min_jain: None,
+            max_queue_bytes: None,
+            max_time_to_reinterleave: None,
+            slow_factor: 1.4,
+            min_rate_samples: 4,
+            context_events: 32,
+        }
+    }
+}
+
+/// Parses SLO rules from flat `key = value` TOML (schema in the module
+/// docs). Unknown keys are errors — they are always typos.
+pub fn slo_from_toml_str(text: &str) -> Result<SloRules, String> {
+    let mut rules = SloRules::default();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: `{raw}`", ln + 1);
+        if line.starts_with('[') {
+            return Err(err("SLO rules are flat; sections are not supported"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err("expected `key = value`"))?;
+        let key = key.trim();
+        let num: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| err("expected a numeric value"))?;
+        let uint = |num: f64| -> Result<usize, String> {
+            if num < 0.0 || num.fract() != 0.0 {
+                return Err(err("expected a non-negative integer"));
+            }
+            Ok(num as usize)
+        };
+        match key {
+            "window_ms" => {
+                if num <= 0.0 {
+                    return Err(err("window_ms must be positive"));
+                }
+                rules.window = Dur::from_millis_f64(num);
+            }
+            "rate_cv_max" => rules.rate_cv_max = Some(num),
+            "min_jain" => rules.min_jain = Some(num),
+            "max_queue_bytes" => rules.max_queue_bytes = Some(num),
+            "max_time_to_reinterleave_s" => {
+                if num <= 0.0 {
+                    return Err(err("max_time_to_reinterleave_s must be positive"));
+                }
+                rules.max_time_to_reinterleave = Some(Dur::from_secs_f64(num));
+            }
+            "slow_factor" => rules.slow_factor = num,
+            "min_rate_samples" => rules.min_rate_samples = uint(num)?,
+            "context_events" => rules.context_events = uint(num)?.max(1),
+            _ => return Err(err("unknown key")),
+        }
+    }
+    Ok(rules)
+}
+
+/// Which SLO a violation breached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertKind {
+    /// Per-flow rate CV exceeded `rate_cv_max` in a window.
+    RateCv,
+    /// Window Jain index fell below `min_jain`.
+    Fairness,
+    /// Instantaneous queue depth exceeded `max_queue_bytes`.
+    QueueDepth,
+    /// Jobs failed to re-interleave within `max_time_to_reinterleave`
+    /// of a fault's onset.
+    RecoveryStall,
+}
+
+impl AlertKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::RateCv => "rate_cv",
+            AlertKind::Fairness => "fairness",
+            AlertKind::QueueDepth => "queue_depth",
+            AlertKind::RecoveryStall => "recovery_stall",
+        }
+    }
+}
+
+/// One SLO violation, with the flight-recorder context around the trigger.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    pub kind: AlertKind,
+    /// Scenario the violation occurred in.
+    pub scenario: String,
+    /// Simulated time of the trigger (window end for windowed monitors).
+    pub at: Time,
+    /// What breached: `flow=N`, `link=N`, or `fault@Tns`.
+    pub subject: String,
+    /// The observed value.
+    pub value: f64,
+    /// The configured threshold it crossed.
+    pub threshold: f64,
+    /// Human-readable one-liner.
+    pub message: String,
+    /// Snapshot of the scenario's flight ring when the alert fired — the
+    /// last-N events per category, including the triggering events.
+    pub context: Vec<TimedEvent>,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl Alert {
+    /// One flat-JSON header line describing the violation, followed by
+    /// the captured context events in [`export::jsonl`] form. Both line
+    /// shapes are flat JSON objects, so the dump stays grep- and
+    /// machine-readable (`"alert":` selects headers, `"type":` events).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = format!(
+            "{{\"alert\":\"{}\",\"scenario\":\"{}\",\"t_ns\":{},\"subject\":\"{}\",\
+             \"value\":{},\"threshold\":{},\"message\":\"{}\",\"context_events\":{}}}\n",
+            self.kind.label(),
+            esc(&self.scenario),
+            self.at.as_nanos(),
+            esc(&self.subject),
+            fmt_f64(self.value),
+            fmt_f64(self.threshold),
+            esc(&self.message),
+            self.context.len()
+        );
+        out.push_str(&export::jsonl(&self.context));
+        out
+    }
+
+    /// Compact single-line rendering for terminals.
+    pub fn render(&self) -> String {
+        format!(
+            "[{}] {} at {:.3}ms ({}): {}",
+            self.kind.label(),
+            self.scenario,
+            self.at.as_millis_f64(),
+            self.subject,
+            self.message
+        )
+    }
+}
+
+/// Incremental SLO monitor for one scenario's event stream.
+///
+/// Feed it events in recording order via [`Watchdog::observe`]; call
+/// [`Watchdog::finish`] once the stream ends to evaluate the final
+/// partial window. Each (kind, subject) pair fires at most once per
+/// scenario (per fault window for recovery stalls), so alert counts stay
+/// small and stable for golden-count gates.
+pub struct Watchdog {
+    rules: SloRules,
+    scenario: String,
+    ring: FlightRing,
+    window_end: Option<Time>,
+    last_at: Time,
+    // rate + fairness monitors
+    rate_samples: BTreeMap<u32, Vec<f64>>,
+    last_rate: BTreeMap<u32, f64>,
+    // recovery monitor
+    link_down: BTreeSet<u32>,
+    fault_started_at: Option<Time>,
+    iter_baseline: BTreeMap<u32, Vec<Dur>>,
+    last_comm_exit: BTreeMap<u32, Time>,
+    recovered: BTreeSet<u32>,
+    stall_fired: bool,
+    fired: BTreeSet<(&'static str, String)>,
+    alerts: Vec<Alert>,
+}
+
+/// Iteration samples retained per job for the recovery baseline median.
+const BASELINE_CAP: usize = 64;
+
+impl Watchdog {
+    pub fn new(scenario: &str, rules: SloRules) -> Watchdog {
+        let ring = FlightRing::new(rules.context_events);
+        Watchdog {
+            rules,
+            scenario: scenario.to_string(),
+            ring,
+            window_end: None,
+            last_at: Time::ZERO,
+            rate_samples: BTreeMap::new(),
+            last_rate: BTreeMap::new(),
+            link_down: BTreeSet::new(),
+            fault_started_at: None,
+            iter_baseline: BTreeMap::new(),
+            last_comm_exit: BTreeMap::new(),
+            recovered: BTreeSet::new(),
+            stall_fired: false,
+            fired: BTreeSet::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    fn fire(
+        &mut self,
+        kind: AlertKind,
+        at: Time,
+        subject: String,
+        value: f64,
+        threshold: f64,
+        message: String,
+    ) {
+        if !self.fired.insert((kind.label(), subject.clone())) {
+            return;
+        }
+        self.alerts.push(Alert {
+            kind,
+            scenario: self.scenario.clone(),
+            at,
+            subject,
+            value,
+            threshold,
+            message,
+            context: self.ring.snapshot(),
+        });
+    }
+
+    fn close_window(&mut self, end: Time) {
+        if let Some(cv_max) = self.rules.rate_cv_max {
+            let judged: Vec<(u32, f64)> = self
+                .rate_samples
+                .iter()
+                .filter(|(_, s)| s.len() >= self.rules.min_rate_samples)
+                .map(|(&flow, s)| {
+                    let mean = s.iter().sum::<f64>() / s.len() as f64;
+                    let var = s.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / s.len() as f64;
+                    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+                    (flow, cv)
+                })
+                .collect();
+            for (flow, cv) in judged {
+                if cv > cv_max {
+                    self.fire(
+                        AlertKind::RateCv,
+                        end,
+                        format!("flow={flow}"),
+                        cv,
+                        cv_max,
+                        format!("rate CV {cv:.3} exceeds {cv_max} for flow {flow}"),
+                    );
+                }
+            }
+        }
+        if let Some(min_jain) = self.rules.min_jain {
+            // Flows without a sample this window carry their last rate
+            // forward, mirroring the offline fairness analyzer.
+            let means: Vec<f64> = self
+                .last_rate
+                .iter()
+                .map(|(flow, &last)| match self.rate_samples.get(flow) {
+                    Some(s) if !s.is_empty() => s.iter().sum::<f64>() / s.len() as f64,
+                    _ => last,
+                })
+                .collect();
+            if means.len() >= 2 {
+                let j = jain_index(&means);
+                if j < min_jain {
+                    self.fire(
+                        AlertKind::Fairness,
+                        end,
+                        "jain".to_string(),
+                        j,
+                        min_jain,
+                        format!("window Jain index {j:.3} below {min_jain}"),
+                    );
+                }
+            }
+        }
+        self.rate_samples.clear();
+    }
+
+    /// All jobs that had a pre-fault baseline have shown a normal-speed
+    /// iteration since the fault, and every link is back at capacity.
+    fn all_recovered(&self) -> bool {
+        self.link_down.is_empty()
+            && self
+                .iter_baseline
+                .keys()
+                .all(|job| self.recovered.contains(job))
+    }
+
+    /// Feeds one event. Events must arrive in nondecreasing simulated
+    /// time (recording order within a scenario guarantees this).
+    pub fn observe(&mut self, te: &TimedEvent) {
+        self.last_at = self.last_at.max(te.at);
+        match self.window_end {
+            None => self.window_end = Some(te.at + self.rules.window),
+            Some(mut end) => {
+                while te.at >= end {
+                    self.close_window(end);
+                    end += self.rules.window;
+                }
+                self.window_end = Some(end);
+            }
+        }
+        self.ring.push(te.clone());
+        match &te.event {
+            Event::RateChange { flow, bps, .. } => {
+                let gbps = bps / 1e9;
+                self.rate_samples.entry(*flow).or_default().push(gbps);
+                self.last_rate.insert(*flow, gbps);
+            }
+            Event::QueueDepth { link, bytes } => {
+                if let Some(max) = self.rules.max_queue_bytes {
+                    if *bytes > max {
+                        self.fire(
+                            AlertKind::QueueDepth,
+                            te.at,
+                            format!("link={link}"),
+                            *bytes,
+                            max,
+                            format!("queue depth {bytes:.0} B exceeds {max:.0} B on link {link}"),
+                        );
+                    }
+                }
+            }
+            Event::LinkCapacity { link, fraction } => {
+                if *fraction < 0.999 {
+                    if self.link_down.is_empty() && self.fault_started_at.is_none() {
+                        self.fault_started_at = Some(te.at);
+                        self.recovered.clear();
+                        self.stall_fired = false;
+                    }
+                    self.link_down.insert(*link);
+                } else {
+                    self.link_down.remove(link);
+                }
+            }
+            Event::PhaseExit {
+                job,
+                phase: Phase::Communicate,
+                ..
+            } => {
+                if let Some(prev) = self.last_comm_exit.insert(*job, te.at) {
+                    let dur = te.at.saturating_since(prev);
+                    if self.fault_started_at.is_none() && self.link_down.is_empty() {
+                        let base = self.iter_baseline.entry(*job).or_default();
+                        if base.len() == BASELINE_CAP {
+                            base.remove(0);
+                        }
+                        base.push(dur);
+                    } else if self.link_down.is_empty() {
+                        let base = self
+                            .iter_baseline
+                            .get(job)
+                            .map(|b| median_dur(b))
+                            .unwrap_or(Dur::ZERO);
+                        if base.is_zero() || dur <= base.mul_f64(self.rules.slow_factor) {
+                            self.recovered.insert(*job);
+                            if self.all_recovered() {
+                                self.fault_started_at = None;
+                                self.recovered.clear();
+                                self.stall_fired = false;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        if let (Some(deadline), Some(started)) =
+            (self.rules.max_time_to_reinterleave, self.fault_started_at)
+        {
+            let elapsed = te.at.saturating_since(started);
+            if !self.stall_fired && elapsed > deadline {
+                let lagging: Vec<String> = self
+                    .iter_baseline
+                    .keys()
+                    .filter(|j| !self.recovered.contains(j))
+                    .map(|j| j.to_string())
+                    .collect();
+                self.fire(
+                    AlertKind::RecoveryStall,
+                    te.at,
+                    format!("fault@{}ns", started.as_nanos()),
+                    elapsed.as_secs_f64(),
+                    deadline.as_secs_f64(),
+                    format!(
+                        "jobs [{}] not re-interleaved {:.1}ms after fault at {:.1}ms \
+                         (deadline {:.1}ms)",
+                        lagging.join(","),
+                        elapsed.as_millis_f64(),
+                        started.as_millis_f64(),
+                        deadline.as_millis_f64()
+                    ),
+                );
+                self.stall_fired = true;
+            }
+        }
+    }
+
+    /// Evaluates the final partial window. Call once, after the stream.
+    pub fn finish(&mut self) {
+        if let Some(end) = self.window_end.take() {
+            self.close_window(end);
+        }
+    }
+}
+
+/// A set of per-scenario [`Watchdog`]s sharing one rule set.
+///
+/// Feed it `(scenario, event)` pairs in any cross-scenario interleaving —
+/// per-scenario order is all that matters — or a whole recorded stream
+/// via [`WatchdogBank::observe_stream`], which tracks `Scenario` markers
+/// itself. [`WatchdogBank::into_alerts`] returns every alert in a
+/// deterministic order regardless of how scenarios' batches interleaved.
+pub struct WatchdogBank {
+    rules: SloRules,
+    dogs: BTreeMap<String, Watchdog>,
+}
+
+impl WatchdogBank {
+    pub fn new(rules: SloRules) -> WatchdogBank {
+        WatchdogBank {
+            rules,
+            dogs: BTreeMap::new(),
+        }
+    }
+
+    pub fn observe(&mut self, scenario: &str, te: &TimedEvent) {
+        if let Some(dog) = self.dogs.get_mut(scenario) {
+            dog.observe(te);
+        } else {
+            let mut dog = Watchdog::new(scenario, self.rules.clone());
+            dog.observe(te);
+            self.dogs.insert(scenario.to_string(), dog);
+        }
+    }
+
+    /// Feeds a recorded stream, splitting on `Scenario` markers (events
+    /// before the first marker land in a scenario named `"run"`, matching
+    /// [`crate::events::split_scenarios`]).
+    pub fn observe_stream(&mut self, events: &[TimedEvent]) {
+        let mut current = "run".to_string();
+        for te in events {
+            if let Event::Scenario { name } = &te.event {
+                current = name.clone();
+            }
+            self.observe(&current, te);
+        }
+    }
+
+    /// Alerts fired so far (monitoring may still be in flight).
+    pub fn alert_count(&self) -> usize {
+        self.dogs.values().map(|d| d.alerts.len()).sum()
+    }
+
+    /// Finishes every watchdog and returns all alerts, sorted by
+    /// (scenario, time, kind, subject) — a deterministic order even when
+    /// scenario batches arrived interleaved from parallel workers.
+    pub fn into_alerts(mut self) -> Vec<Alert> {
+        let mut out = Vec::new();
+        for dog in self.dogs.values_mut() {
+            dog.finish();
+        }
+        for (_, dog) in std::mem::take(&mut self.dogs) {
+            out.extend(dog.alerts);
+        }
+        out.sort_by(|a, b| {
+            (
+                a.scenario.as_str(),
+                a.at.as_nanos(),
+                a.kind,
+                a.subject.as_str(),
+            )
+                .cmp(&(
+                    b.scenario.as_str(),
+                    b.at.as_nanos(),
+                    b.kind,
+                    b.subject.as_str(),
+                ))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::CcState;
+
+    fn te(ns: u64, event: Event) -> TimedEvent {
+        TimedEvent {
+            at: Time::from_nanos(ns),
+            event,
+        }
+    }
+
+    fn rate(ns: u64, flow: u32, gbps: f64) -> TimedEvent {
+        te(
+            ns,
+            Event::RateChange {
+                flow,
+                bps: gbps * 1e9,
+                state: CcState::Alloc,
+            },
+        )
+    }
+
+    fn comm_exit(ns: u64, job: u32, iteration: u64) -> TimedEvent {
+        te(
+            ns,
+            Event::PhaseExit {
+                job,
+                phase: Phase::Communicate,
+                iteration,
+            },
+        )
+    }
+
+    #[test]
+    fn toml_round_trip_and_rejections() {
+        let rules = slo_from_toml_str(
+            "# slo\nwindow_ms = 5\nrate_cv_max = 0.5\nmin_jain = 0.3\n\
+             max_queue_bytes = 1e6\nmax_time_to_reinterleave_s = 0.25\n\
+             slow_factor = 1.5\nmin_rate_samples = 6\ncontext_events = 8\n",
+        )
+        .unwrap();
+        assert_eq!(rules.window, Dur::from_millis(5));
+        assert_eq!(rules.rate_cv_max, Some(0.5));
+        assert_eq!(rules.min_jain, Some(0.3));
+        assert_eq!(rules.max_queue_bytes, Some(1e6));
+        assert_eq!(rules.max_time_to_reinterleave, Some(Dur::from_millis(250)));
+        assert_eq!(rules.slow_factor, 1.5);
+        assert_eq!(rules.min_rate_samples, 6);
+        assert_eq!(rules.context_events, 8);
+
+        assert!(slo_from_toml_str("bogus = 1\n").is_err());
+        assert!(slo_from_toml_str("[section]\n").is_err());
+        assert!(slo_from_toml_str("window_ms = nope\n").is_err());
+        assert!(slo_from_toml_str("window_ms = -1\n").is_err());
+        assert_eq!(slo_from_toml_str("").unwrap(), SloRules::default());
+    }
+
+    #[test]
+    fn default_rules_fire_nothing() {
+        let mut dog = Watchdog::new("s", SloRules::default());
+        for i in 0..200u64 {
+            dog.observe(&rate(
+                i * 100_000,
+                (i % 2) as u32,
+                if i % 2 == 0 { 50.0 } else { 0.1 },
+            ));
+        }
+        dog.finish();
+        assert!(dog.alerts().is_empty());
+    }
+
+    #[test]
+    fn rate_cv_blowup_fires_once_per_flow() {
+        let rules = SloRules {
+            rate_cv_max: Some(0.3),
+            ..SloRules::default()
+        };
+        let mut dog = Watchdog::new("s", rules);
+        // Flow 0 oscillates wildly; flow 1 holds steady.
+        for w in 0..4u64 {
+            for i in 0..8u64 {
+                let ns = w * 10_000_000 + i * 1_000_000;
+                dog.observe(&rate(ns, 0, if i % 2 == 0 { 90.0 } else { 5.0 }));
+                dog.observe(&rate(ns + 1, 1, 40.0));
+            }
+        }
+        dog.finish();
+        let alerts = dog.alerts();
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::RateCv);
+        assert_eq!(alerts[0].subject, "flow=0");
+        assert!(alerts[0].value > 0.3);
+        assert!(
+            !alerts[0].context.is_empty(),
+            "alert must carry flight-ring context"
+        );
+    }
+
+    #[test]
+    fn jain_collapse_fires_with_carry_forward() {
+        let rules = SloRules {
+            min_jain: Some(0.6),
+            ..SloRules::default()
+        };
+        let mut dog = Watchdog::new("s", rules);
+        // Both flows seen in window 0 (jain = 1); then flow 1 starves at a
+        // carried-forward trickle while flow 0 hogs.
+        dog.observe(&rate(0, 0, 50.0));
+        dog.observe(&rate(1, 1, 50.0));
+        dog.observe(&rate(10_000_000, 1, 0.5));
+        for i in 0..6u64 {
+            dog.observe(&rate(20_000_000 + i * 1_000_000, 0, 99.0));
+        }
+        dog.finish();
+        let alerts = dog.alerts();
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::Fairness);
+        assert!(alerts[0].value < 0.6);
+    }
+
+    #[test]
+    fn queue_ceiling_fires_immediately_and_dedupes() {
+        let rules = SloRules {
+            max_queue_bytes: Some(1000.0),
+            ..SloRules::default()
+        };
+        let mut dog = Watchdog::new("s", rules);
+        dog.observe(&te(
+            0,
+            Event::QueueDepth {
+                link: 0,
+                bytes: 500.0,
+            },
+        ));
+        dog.observe(&te(
+            10,
+            Event::QueueDepth {
+                link: 0,
+                bytes: 2500.0,
+            },
+        ));
+        dog.observe(&te(
+            20,
+            Event::QueueDepth {
+                link: 0,
+                bytes: 9000.0,
+            },
+        ));
+        dog.observe(&te(
+            30,
+            Event::QueueDepth {
+                link: 1,
+                bytes: 3000.0,
+            },
+        ));
+        dog.finish();
+        let alerts = dog.alerts();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[0].subject, "link=0");
+        assert_eq!(alerts[0].value, 2500.0);
+        assert_eq!(alerts[1].subject, "link=1");
+    }
+
+    #[test]
+    fn recovery_stall_fires_after_deadline_and_clears_on_recovery() {
+        let ms = 1_000_000u64;
+        let rules = SloRules {
+            max_time_to_reinterleave: Some(Dur::from_millis(50)),
+            ..SloRules::default()
+        };
+        // Baseline: 10ms iterations for jobs 0 and 1.
+        let mut dog = Watchdog::new("s", rules.clone());
+        for i in 0..6u64 {
+            dog.observe(&comm_exit(i * 10 * ms, 0, i));
+            dog.observe(&comm_exit(i * 10 * ms + 1, 1, i));
+        }
+        // Fault at 60ms; link restored at 70ms; job 1 recovers quickly but
+        // job 0 crawls at 40ms/iteration well past the 50ms deadline.
+        dog.observe(&te(
+            60 * ms,
+            Event::LinkCapacity {
+                link: 0,
+                fraction: 0.25,
+            },
+        ));
+        dog.observe(&te(
+            70 * ms,
+            Event::LinkCapacity {
+                link: 0,
+                fraction: 1.0,
+            },
+        ));
+        dog.observe(&comm_exit(80 * ms, 1, 6));
+        dog.observe(&comm_exit(100 * ms, 0, 6));
+        dog.observe(&comm_exit(140 * ms, 0, 7));
+        dog.finish();
+        let alerts = dog.alerts();
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::RecoveryStall);
+        assert!(alerts[0].subject.starts_with("fault@"));
+        assert!(
+            alerts[0]
+                .context
+                .iter()
+                .any(|te| te.event.kind() == "link_capacity"),
+            "context must contain the triggering fault event"
+        );
+
+        // Same fault but the jobs snap back inside the deadline: clean.
+        let mut ok = Watchdog::new("s", rules);
+        for i in 0..6u64 {
+            ok.observe(&comm_exit(i * 10 * ms, 0, i));
+            ok.observe(&comm_exit(i * 10 * ms + 1, 1, i));
+        }
+        ok.observe(&te(
+            60 * ms,
+            Event::LinkCapacity {
+                link: 0,
+                fraction: 0.25,
+            },
+        ));
+        ok.observe(&te(
+            65 * ms,
+            Event::LinkCapacity {
+                link: 0,
+                fraction: 1.0,
+            },
+        ));
+        // First post-restore iterations are long (20ms) — not yet
+        // recovered — but the next land back at the 10ms baseline well
+        // inside the 50ms deadline.
+        ok.observe(&comm_exit(70 * ms, 0, 6));
+        ok.observe(&comm_exit(70 * ms + 1, 1, 6));
+        ok.observe(&comm_exit(80 * ms, 0, 7));
+        ok.observe(&comm_exit(80 * ms + 1, 1, 7));
+        ok.observe(&comm_exit(200 * ms, 0, 8));
+        ok.finish();
+        assert!(ok.alerts().is_empty(), "{:?}", ok.alerts());
+    }
+
+    #[test]
+    fn bank_orders_alerts_deterministically() {
+        let rules = SloRules {
+            max_queue_bytes: Some(100.0),
+            ..SloRules::default()
+        };
+        let stream_b = te(
+            5,
+            Event::QueueDepth {
+                link: 0,
+                bytes: 500.0,
+            },
+        );
+        let stream_a = te(
+            9,
+            Event::QueueDepth {
+                link: 2,
+                bytes: 900.0,
+            },
+        );
+        // Arrival order b-then-a; output is scenario-sorted a-then-b.
+        let mut bank = WatchdogBank::new(rules.clone());
+        bank.observe("b", &stream_b);
+        bank.observe("a", &stream_a);
+        let alerts = bank.into_alerts();
+        let order: Vec<&str> = alerts.iter().map(|a| a.scenario.as_str()).collect();
+        assert_eq!(order, vec!["a", "b"]);
+
+        let mut bank2 = WatchdogBank::new(rules);
+        bank2.observe_stream(&[
+            te(0, Event::Scenario { name: "a".into() }),
+            stream_a.clone(),
+            te(0, Event::Scenario { name: "b".into() }),
+            stream_b.clone(),
+        ]);
+        assert_eq!(bank2.alert_count(), 2);
+        let alerts2 = bank2.into_alerts();
+        assert_eq!(alerts2.len(), 2);
+        assert!(alerts2[0].to_jsonl().contains("\"alert\":\"queue_depth\""));
+    }
+}

@@ -28,26 +28,27 @@ fn esc(s: &str) -> String {
     out
 }
 
-/// One JSON object per line, one line per event. `t_ns` is simulation time.
+/// One JSON object per line, one line per event. `t_ns` is simulation
+/// time; `seq` is the event's position in the stream — monotonically
+/// increasing, so determinism-gate diffs can name the first divergent
+/// event instead of a byte offset.
 pub fn jsonl(events: &[TimedEvent]) -> String {
-    let mut out = String::with_capacity(events.len() * 64);
-    for te in events {
+    let mut out = String::with_capacity(events.len() * 72);
+    for (seq, te) in events.iter().enumerate() {
         let t = te.at.as_nanos();
         let kind = te.event.kind();
+        let _ = write!(out, "{{\"seq\":{seq},\"t_ns\":{t},\"type\":\"{kind}\"");
         match &te.event {
             Event::QueueDepth { link, bytes } => {
-                let _ = writeln!(
-                    out,
-                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"link\":{link},\"bytes\":{bytes}}}"
-                );
+                let _ = write!(out, ",\"link\":{link},\"bytes\":{bytes}");
             }
             Event::EcnMark { flow } | Event::CnpSent { flow } | Event::CnpReceived { flow } => {
-                let _ = writeln!(out, "{{\"t_ns\":{t},\"type\":\"{kind}\",\"flow\":{flow}}}");
+                let _ = write!(out, ",\"flow\":{flow}");
             }
             Event::RateChange { flow, bps, state } => {
-                let _ = writeln!(
+                let _ = write!(
                     out,
-                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"flow\":{flow},\"bps\":{bps},\"state\":\"{}\"}}",
+                    ",\"flow\":{flow},\"bps\":{bps},\"state\":\"{}\"",
                     state.label()
                 );
             }
@@ -61,47 +62,37 @@ pub fn jsonl(events: &[TimedEvent]) -> String {
                 phase,
                 iteration,
             } => {
-                let _ = writeln!(
+                let _ = write!(
                     out,
-                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"job\":{job},\"phase\":\"{}\",\"iteration\":{iteration}}}",
+                    ",\"job\":{job},\"phase\":\"{}\",\"iteration\":{iteration}",
                     phase.label()
                 );
             }
             Event::SolverIteration { component, index } => {
-                let _ = writeln!(
+                let _ = write!(
                     out,
-                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"component\":\"{}\",\"index\":{index}}}",
+                    ",\"component\":\"{}\",\"index\":{index}",
                     esc(component)
                 );
             }
             Event::GateRelease { job } => {
-                let _ = writeln!(out, "{{\"t_ns\":{t},\"type\":\"{kind}\",\"job\":{job}}}");
+                let _ = write!(out, ",\"job\":{job}");
             }
             Event::Scenario { name } => {
-                let _ = writeln!(
-                    out,
-                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"name\":\"{}\"}}",
-                    esc(name)
-                );
+                let _ = write!(out, ",\"name\":\"{}\"", esc(name));
             }
             Event::JobPath { job, links } => {
                 let ls: Vec<String> = links.iter().map(|l| l.to_string()).collect();
-                let _ = writeln!(
-                    out,
-                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"job\":{job},\"links\":[{}]}}",
-                    ls.join(",")
-                );
+                let _ = write!(out, ",\"job\":{job},\"links\":[{}]", ls.join(","));
             }
             Event::LinkCapacity { link, fraction } => {
-                let _ = writeln!(
-                    out,
-                    "{{\"t_ns\":{t},\"type\":\"{kind}\",\"link\":{link},\"fraction\":{fraction}}}"
-                );
+                let _ = write!(out, ",\"link\":{link},\"fraction\":{fraction}");
             }
             Event::JobDepart { job } => {
-                let _ = writeln!(out, "{{\"t_ns\":{t},\"type\":\"{kind}\",\"job\":{job}}}");
+                let _ = write!(out, ",\"job\":{job}");
             }
         }
+        out.push_str("}\n");
     }
     out
 }
@@ -293,6 +284,17 @@ mod tests {
         // Every line is a self-contained JSON object.
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn jsonl_sequence_numbers_are_dense_and_positional() {
+        let out = jsonl(&sample_events());
+        for (i, line) in out.lines().enumerate() {
+            assert!(
+                line.starts_with(&format!("{{\"seq\":{i},")),
+                "line {i} lacks its sequence number: {line}"
+            );
         }
     }
 

@@ -20,6 +20,7 @@
 
 pub mod event;
 pub mod export;
+pub mod live;
 pub mod metrics;
 pub mod profiler;
 pub mod recorder;
@@ -27,8 +28,9 @@ pub mod replay;
 pub mod table;
 
 pub use event::{CcState, Event, Phase, TimedEvent};
+pub use live::{FlightRing, LiveConfig, LiveHandle, TapRecorder};
 pub use metrics::MetricsRegistry;
 pub use profiler::Profiler;
 pub use recorder::{BufferRecorder, ForkableRecorder, NoopRecorder, Recorder};
-pub use replay::{parse_jsonl, ReplayError};
+pub use replay::{parse_jsonl, ReplayError, ReplayErrorKind};
 pub use table::text_table;

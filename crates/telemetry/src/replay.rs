@@ -6,27 +6,108 @@
 //! flat one-object-per-line shape the exporter emits — string, integer,
 //! float, and flat integer-array values with standard JSON string escapes —
 //! and round-trips every event kind bit-exactly.
+//!
+//! Malformed input (truncated lines, bad escapes, nested values, seq
+//! regressions) never panics: every failure surfaces as a [`ReplayError`]
+//! carrying a typed [`ReplayErrorKind`] and the 1-based line number, so
+//! tooling can distinguish a corrupt file from an unknown event
+//! vocabulary.
 
 use crate::event::{CcState, Event, Phase, TimedEvent};
 use simtime::Time;
 use std::collections::BTreeMap;
+
+/// The category of a replay failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplayErrorKind {
+    /// Structurally broken JSON: missing braces, colons, commas, trailing
+    /// garbage, or an unsupported scalar (`true`, `null`, …).
+    Syntax,
+    /// A string literal ran off the end of the line.
+    UnterminatedString,
+    /// A malformed `\` escape inside a string literal.
+    BadEscape,
+    /// A value position that did not parse as a JSON number.
+    BadNumber,
+    /// A nested object — the exporters only ever emit flat objects.
+    NonFlatValue,
+    /// An array containing anything but unsigned integers.
+    BadArray,
+    /// A required event field is absent.
+    MissingField,
+    /// A field is present but has the wrong type, range, or vocabulary.
+    BadField,
+    /// An event `type` outside the known vocabulary.
+    UnknownEventType,
+    /// A `seq` field that is not a non-negative integer or does not
+    /// increase monotonically over the stream.
+    BadSeq,
+}
+
+impl ReplayErrorKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplayErrorKind::Syntax => "syntax",
+            ReplayErrorKind::UnterminatedString => "unterminated_string",
+            ReplayErrorKind::BadEscape => "bad_escape",
+            ReplayErrorKind::BadNumber => "bad_number",
+            ReplayErrorKind::NonFlatValue => "non_flat_value",
+            ReplayErrorKind::BadArray => "bad_array",
+            ReplayErrorKind::MissingField => "missing_field",
+            ReplayErrorKind::BadField => "bad_field",
+            ReplayErrorKind::UnknownEventType => "unknown_event_type",
+            ReplayErrorKind::BadSeq => "bad_seq",
+        }
+    }
+}
 
 /// Why a JSONL line could not be replayed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplayError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// The failure category.
+    pub kind: ReplayErrorKind,
     /// What went wrong.
     pub reason: String,
 }
 
 impl std::fmt::Display for ReplayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "replay: line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "replay: line {} [{}]: {}",
+            self.line,
+            self.kind.label(),
+            self.reason
+        )
     }
 }
 
 impl std::error::Error for ReplayError {}
+
+/// A line-local parse failure, before it is attributed to a line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub kind: ReplayErrorKind,
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn perr(kind: ReplayErrorKind, reason: impl Into<String>) -> ParseError {
+    ParseError {
+        kind,
+        reason: reason.into(),
+    }
+}
 
 /// One parsed JSON scalar (or flat integer array) value.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,9 +122,12 @@ pub enum JsonValue {
 }
 
 impl JsonValue {
-    fn as_u64(&self) -> Option<u64> {
+    /// The value as a non-negative integer fitting u64, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
-            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
             _ => None,
         }
     }
@@ -67,17 +151,26 @@ impl JsonValue {
 ///
 /// Supports the subset this workspace's exporters emit: string values with
 /// escapes, numbers, and flat arrays of unsigned integers. Exposed because
-/// the summary/diff tooling reads the same shape.
-pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+/// the summary/diff/history tooling reads the same shape. Rejects nested
+/// objects, duplicate keys, and trailing garbage with a typed error.
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, ParseError> {
     let mut map = BTreeMap::new();
     let bytes: Vec<char> = line.trim().chars().collect();
     let mut i = 0usize;
-    let err = |msg: &str, at: usize| format!("{msg} at char {at}");
+    let err = |msg: &str, at: usize| perr(ReplayErrorKind::Syntax, format!("{msg} at char {at}"));
 
     let skip_ws = |i: &mut usize| {
         while *i < bytes.len() && bytes[*i].is_whitespace() {
             *i += 1;
         }
+    };
+    let finish = |map: BTreeMap<String, JsonValue>, i: &mut usize| {
+        *i += 1;
+        skip_ws(i);
+        if *i < bytes.len() {
+            return Err(err("trailing characters after object", *i));
+        }
+        Ok(map)
     };
     skip_ws(&mut i);
     if i >= bytes.len() || bytes[i] != '{' {
@@ -87,7 +180,7 @@ pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, Stri
     loop {
         skip_ws(&mut i);
         if i < bytes.len() && bytes[i] == '}' {
-            return Ok(map);
+            return finish(map, &mut i);
         }
         let key = parse_string(&bytes, &mut i)?;
         skip_ws(&mut i);
@@ -97,19 +190,27 @@ pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, Stri
         i += 1;
         skip_ws(&mut i);
         let val = parse_value(&bytes, &mut i)?;
-        map.insert(key, val);
+        if map.insert(key.clone(), val).is_some() {
+            return Err(perr(
+                ReplayErrorKind::Syntax,
+                format!("duplicate key {key:?}"),
+            ));
+        }
         skip_ws(&mut i);
         match bytes.get(i) {
             Some(',') => i += 1,
-            Some('}') => return Ok(map),
+            Some('}') => return finish(map, &mut i),
             _ => return Err(err("expected ',' or '}'", i)),
         }
     }
 }
 
-fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
+fn parse_string(chars: &[char], i: &mut usize) -> Result<String, ParseError> {
     if chars.get(*i) != Some(&'"') {
-        return Err(format!("expected '\"' at char {}", *i));
+        return Err(perr(
+            ReplayErrorKind::Syntax,
+            format!("expected '\"' at char {}", *i),
+        ));
     }
     *i += 1;
     let mut out = String::new();
@@ -118,7 +219,10 @@ fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
         match c {
             '"' => return Ok(out),
             '\\' => {
-                let esc = chars.get(*i).copied().ok_or("dangling escape")?;
+                let esc = chars
+                    .get(*i)
+                    .copied()
+                    .ok_or_else(|| perr(ReplayErrorKind::BadEscape, "dangling escape"))?;
                 *i += 1;
                 match esc {
                     '"' => out.push('"'),
@@ -128,24 +232,49 @@ fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
                     'r' => out.push('\r'),
                     't' => out.push('\t'),
                     'u' => {
-                        let hex: String =
-                            chars.get(*i..*i + 4).ok_or("short \\u")?.iter().collect();
+                        let hex: String = chars
+                            .get(*i..*i + 4)
+                            .ok_or_else(|| perr(ReplayErrorKind::BadEscape, "short \\u escape"))?
+                            .iter()
+                            .collect();
                         *i += 4;
-                        let cp = u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u digits")?;
-                        out.push(char::from_u32(cp).ok_or("bad \\u codepoint")?);
+                        let cp = u32::from_str_radix(&hex, 16).map_err(|_| {
+                            perr(
+                                ReplayErrorKind::BadEscape,
+                                format!("bad \\u digits {hex:?}"),
+                            )
+                        })?;
+                        out.push(char::from_u32(cp).ok_or_else(|| {
+                            perr(
+                                ReplayErrorKind::BadEscape,
+                                format!("bad \\u codepoint {cp:#x}"),
+                            )
+                        })?);
                     }
-                    other => return Err(format!("unknown escape \\{other}")),
+                    other => {
+                        return Err(perr(
+                            ReplayErrorKind::BadEscape,
+                            format!("unknown escape \\{other}"),
+                        ))
+                    }
                 }
             }
             c => out.push(c),
         }
     }
-    Err("unterminated string".into())
+    Err(perr(
+        ReplayErrorKind::UnterminatedString,
+        "unterminated string",
+    ))
 }
 
-fn parse_value(chars: &[char], i: &mut usize) -> Result<JsonValue, String> {
+fn parse_value(chars: &[char], i: &mut usize) -> Result<JsonValue, ParseError> {
     match chars.get(*i) {
         Some('"') => Ok(JsonValue::Str(parse_string(chars, i)?)),
+        Some('{') => Err(perr(
+            ReplayErrorKind::NonFlatValue,
+            "nested object where a flat value was expected",
+        )),
         Some('[') => {
             *i += 1;
             let mut out = Vec::new();
@@ -163,23 +292,32 @@ fn parse_value(chars: &[char], i: &mut usize) -> Result<JsonValue, String> {
                     }
                     Some(_) => {
                         let JsonValue::Num(n) = parse_number(chars, i)? else {
-                            unreachable!()
+                            unreachable!("parse_number only returns Num")
                         };
-                        if n < 0.0 || n.fract() != 0.0 {
-                            return Err("array element is not an unsigned integer".into());
+                        if n < 0.0 || n.fract() != 0.0 || n > f64::from(u32::MAX) {
+                            return Err(perr(
+                                ReplayErrorKind::BadArray,
+                                "array element is not an unsigned integer",
+                            ));
                         }
                         out.push(n as u32);
                     }
-                    None => return Err("unterminated array".into()),
+                    None => {
+                        return Err(perr(ReplayErrorKind::BadArray, "unterminated array"));
+                    }
                 }
             }
         }
-        Some(_) => parse_number(chars, i),
-        None => Err("missing value".into()),
+        Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.') => parse_number(chars, i),
+        Some(c) => Err(perr(
+            ReplayErrorKind::Syntax,
+            format!("unsupported value starting with {c:?}"),
+        )),
+        None => Err(perr(ReplayErrorKind::Syntax, "missing value")),
     }
 }
 
-fn parse_number(chars: &[char], i: &mut usize) -> Result<JsonValue, String> {
+fn parse_number(chars: &[char], i: &mut usize) -> Result<JsonValue, ParseError> {
     let start = *i;
     while chars
         .get(*i)
@@ -188,9 +326,13 @@ fn parse_number(chars: &[char], i: &mut usize) -> Result<JsonValue, String> {
         *i += 1;
     }
     let s: String = chars[start..*i].iter().collect();
-    s.parse::<f64>()
-        .map(JsonValue::Num)
-        .map_err(|_| format!("bad number {s:?} at char {start}"))
+    match s.parse::<f64>() {
+        Ok(n) if n.is_finite() => Ok(JsonValue::Num(n)),
+        _ => Err(perr(
+            ReplayErrorKind::BadNumber,
+            format!("bad number {s:?} at char {start}"),
+        )),
+    }
 }
 
 fn phase_from(label: &str) -> Option<Phase> {
@@ -214,36 +356,28 @@ fn cc_state_from(label: &str) -> Option<CcState> {
     })
 }
 
-fn event_from(map: &BTreeMap<String, JsonValue>) -> Result<TimedEvent, String> {
-    let t_ns = map
-        .get("t_ns")
-        .and_then(JsonValue::as_u64)
-        .ok_or("missing/invalid t_ns")?;
-    let kind = map
-        .get("type")
-        .and_then(JsonValue::as_str)
-        .ok_or("missing type")?;
-    let u32_field = |name: &str| -> Result<u32, String> {
-        map.get(name)
-            .and_then(JsonValue::as_u64)
-            .map(|v| v as u32)
-            .ok_or(format!("missing/invalid {name}"))
+fn event_from(map: &BTreeMap<String, JsonValue>) -> Result<TimedEvent, ParseError> {
+    let field = |name: &str| -> Result<&JsonValue, ParseError> {
+        map.get(name).ok_or_else(|| {
+            perr(
+                ReplayErrorKind::MissingField,
+                format!("missing field {name:?}"),
+            )
+        })
     };
-    let u64_field = |name: &str| -> Result<u64, String> {
-        map.get(name)
-            .and_then(JsonValue::as_u64)
-            .ok_or(format!("missing/invalid {name}"))
+    let bad = |name: &str| perr(ReplayErrorKind::BadField, format!("invalid field {name:?}"));
+    let u32_field = |name: &str| -> Result<u32, ParseError> {
+        let v = field(name)?.as_u64().ok_or_else(|| bad(name))?;
+        u32::try_from(v).map_err(|_| bad(name))
     };
-    let f64_field = |name: &str| -> Result<f64, String> {
-        map.get(name)
-            .and_then(JsonValue::as_f64)
-            .ok_or(format!("missing/invalid {name}"))
-    };
-    let str_field = |name: &str| -> Result<&str, String> {
-        map.get(name)
-            .and_then(JsonValue::as_str)
-            .ok_or(format!("missing/invalid {name}"))
-    };
+    let u64_field =
+        |name: &str| -> Result<u64, ParseError> { field(name)?.as_u64().ok_or_else(|| bad(name)) };
+    let f64_field =
+        |name: &str| -> Result<f64, ParseError> { field(name)?.as_f64().ok_or_else(|| bad(name)) };
+    let str_field =
+        |name: &str| -> Result<&str, ParseError> { field(name)?.as_str().ok_or_else(|| bad(name)) };
+    let t_ns = u64_field("t_ns")?;
+    let kind = str_field("type")?;
     let event = match kind {
         "queue_depth" => Event::QueueDepth {
             link: u32_field("link")?,
@@ -261,13 +395,21 @@ fn event_from(map: &BTreeMap<String, JsonValue>) -> Result<TimedEvent, String> {
         "rate_change" => Event::RateChange {
             flow: u32_field("flow")?,
             bps: f64_field("bps")?,
-            state: cc_state_from(str_field("state")?)
-                .ok_or_else(|| format!("unknown cc state {:?}", str_field("state")))?,
+            state: cc_state_from(str_field("state")?).ok_or_else(|| {
+                perr(
+                    ReplayErrorKind::BadField,
+                    format!("unknown cc state {:?}", str_field("state")),
+                )
+            })?,
         },
         "phase_enter" | "phase_exit" => {
             let job = u32_field("job")?;
-            let phase = phase_from(str_field("phase")?)
-                .ok_or_else(|| format!("unknown phase {:?}", str_field("phase")))?;
+            let phase = phase_from(str_field("phase")?).ok_or_else(|| {
+                perr(
+                    ReplayErrorKind::BadField,
+                    format!("unknown phase {:?}", str_field("phase")),
+                )
+            })?;
             let iteration = u64_field("iteration")?;
             if kind == "phase_enter" {
                 Event::PhaseEnter {
@@ -300,7 +442,13 @@ fn event_from(map: &BTreeMap<String, JsonValue>) -> Result<TimedEvent, String> {
             job: u32_field("job")?,
             links: match map.get("links") {
                 Some(JsonValue::UInts(v)) => v.clone(),
-                _ => return Err("missing/invalid links".into()),
+                Some(_) => return Err(bad("links")),
+                None => {
+                    return Err(perr(
+                        ReplayErrorKind::MissingField,
+                        "missing field \"links\"",
+                    ))
+                }
             },
         },
         "link_capacity" => Event::LinkCapacity {
@@ -310,7 +458,12 @@ fn event_from(map: &BTreeMap<String, JsonValue>) -> Result<TimedEvent, String> {
         "job_depart" => Event::JobDepart {
             job: u32_field("job")?,
         },
-        other => return Err(format!("unknown event type {other:?}")),
+        other => {
+            return Err(perr(
+                ReplayErrorKind::UnknownEventType,
+                format!("unknown event type {other:?}"),
+            ))
+        }
     };
     Ok(TimedEvent {
         at: Time::from_nanos(t_ns),
@@ -343,21 +496,41 @@ fn intern_component(name: &str) -> &'static str {
 /// Parses a JSONL event log (the output of [`crate::export::jsonl`]).
 ///
 /// Empty lines are skipped; any malformed line aborts with a
-/// [`ReplayError`] naming the line.
+/// [`ReplayError`] naming the line and the failure kind. Lines may carry a
+/// `seq` field (the exporter has emitted one per event since it grew
+/// sequence numbers); when present it must increase strictly
+/// monotonically, which catches truncated-and-reglued logs.
 pub fn parse_jsonl(text: &str) -> Result<Vec<TimedEvent>, ReplayError> {
     let mut out = Vec::new();
+    let mut last_seq: Option<u64> = None;
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let map = parse_flat_object(line).map_err(|reason| ReplayError {
+        let attribute = |e: ParseError| ReplayError {
             line: idx + 1,
-            reason,
-        })?;
-        out.push(event_from(&map).map_err(|reason| ReplayError {
-            line: idx + 1,
-            reason,
-        })?);
+            kind: e.kind,
+            reason: e.reason,
+        };
+        let map = parse_flat_object(line).map_err(attribute)?;
+        if let Some(v) = map.get("seq") {
+            let seq = v.as_u64().ok_or_else(|| ReplayError {
+                line: idx + 1,
+                kind: ReplayErrorKind::BadSeq,
+                reason: "seq must be a non-negative integer".to_string(),
+            })?;
+            if let Some(prev) = last_seq {
+                if seq <= prev {
+                    return Err(ReplayError {
+                        line: idx + 1,
+                        kind: ReplayErrorKind::BadSeq,
+                        reason: format!("seq {seq} does not increase past {prev}"),
+                    });
+                }
+            }
+            last_seq = Some(seq);
+        }
+        out.push(event_from(&map).map_err(attribute)?);
     }
     Ok(out)
 }
@@ -468,12 +641,103 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_report_position() {
+    fn malformed_lines_report_position_and_kind() {
         let err = parse_jsonl("{\"t_ns\":0,\"type\":\"scenario\",\"name\":\"x\"}\nnot json\n")
             .unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.kind, ReplayErrorKind::Syntax);
         let err = parse_jsonl("{\"t_ns\":0,\"type\":\"warp_drive\"}\n").unwrap_err();
+        assert_eq!(err.kind, ReplayErrorKind::UnknownEventType);
         assert!(err.reason.contains("warp_drive"), "{err}");
+    }
+
+    #[test]
+    fn typed_kinds_for_each_malformation() {
+        let cases: &[(&str, ReplayErrorKind)] = &[
+            // Truncated mid-string.
+            (
+                "{\"t_ns\":0,\"type\":\"scena",
+                ReplayErrorKind::UnterminatedString,
+            ),
+            // Bad escape.
+            (
+                "{\"t_ns\":0,\"type\":\"scenario\",\"name\":\"\\q\"}",
+                ReplayErrorKind::BadEscape,
+            ),
+            // Short \u escape at end of line.
+            (
+                "{\"t_ns\":0,\"type\":\"scenario\",\"name\":\"\\u00",
+                ReplayErrorKind::BadEscape,
+            ),
+            // Nested object value.
+            (
+                "{\"t_ns\":0,\"type\":\"scenario\",\"name\":{\"x\":1}}",
+                ReplayErrorKind::NonFlatValue,
+            ),
+            // Unsupported scalar.
+            ("{\"t_ns\":0,\"flag\":true}", ReplayErrorKind::Syntax),
+            // Bad number.
+            (
+                "{\"t_ns\":0,\"type\":\"ecn_mark\",\"flow\":1e}",
+                ReplayErrorKind::BadNumber,
+            ),
+            // Array with a float element.
+            (
+                "{\"t_ns\":0,\"type\":\"job_path\",\"job\":0,\"links\":[1.5]}",
+                ReplayErrorKind::BadArray,
+            ),
+            // Unterminated array.
+            (
+                "{\"t_ns\":0,\"type\":\"job_path\",\"job\":0,\"links\":[1,",
+                ReplayErrorKind::BadArray,
+            ),
+            // Missing required field.
+            (
+                "{\"t_ns\":0,\"type\":\"ecn_mark\"}",
+                ReplayErrorKind::MissingField,
+            ),
+            // Field with the wrong type.
+            (
+                "{\"t_ns\":0,\"type\":\"ecn_mark\",\"flow\":\"zero\"}",
+                ReplayErrorKind::BadField,
+            ),
+            // Flow index beyond u32.
+            (
+                "{\"t_ns\":0,\"type\":\"ecn_mark\",\"flow\":4294967296}",
+                ReplayErrorKind::BadField,
+            ),
+            // Duplicate key.
+            (
+                "{\"t_ns\":0,\"t_ns\":1,\"type\":\"ecn_mark\",\"flow\":0}",
+                ReplayErrorKind::Syntax,
+            ),
+            // Trailing garbage.
+            (
+                "{\"t_ns\":0,\"type\":\"ecn_mark\",\"flow\":0} extra",
+                ReplayErrorKind::Syntax,
+            ),
+            // Non-integer seq.
+            (
+                "{\"seq\":1.5,\"t_ns\":0,\"type\":\"ecn_mark\",\"flow\":0}",
+                ReplayErrorKind::BadSeq,
+            ),
+        ];
+        for (text, want) in cases {
+            let err = parse_jsonl(text).unwrap_err();
+            assert_eq!(err.kind, *want, "input {text:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn seq_must_increase_monotonically() {
+        let ok = "{\"seq\":0,\"t_ns\":0,\"type\":\"ecn_mark\",\"flow\":0}\n\
+                  {\"seq\":4,\"t_ns\":1,\"type\":\"ecn_mark\",\"flow\":1}\n";
+        assert_eq!(parse_jsonl(ok).unwrap().len(), 2);
+        let dup = "{\"seq\":3,\"t_ns\":0,\"type\":\"ecn_mark\",\"flow\":0}\n\
+                   {\"seq\":3,\"t_ns\":1,\"type\":\"ecn_mark\",\"flow\":1}\n";
+        let err = parse_jsonl(dup).unwrap_err();
+        assert_eq!(err.kind, ReplayErrorKind::BadSeq);
+        assert_eq!(err.line, 2);
     }
 
     #[test]

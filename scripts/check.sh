@@ -93,4 +93,54 @@ awk -v r="$REC" 'BEGIN { exit !(r == 1) }' || {
 }
 echo "all chaos cells recovered"
 
+echo "== live tap byte-identity gate (--watch --slo leaves outputs untouched) =="
+mkdir -p "$GATE/tap_plain" "$GATE/tap_live"
+"$BIN" fig1 --iterations 10 \
+    --trace "$GATE/tap_plain/run.jsonl" --summary "$GATE/tap_plain/run.json" \
+    | sed "s#$GATE/tap_plain#OUT#g" > "$GATE/tap_plain/stdout.txt"
+"$BIN" fig1 --iterations 10 \
+    --trace "$GATE/tap_live/run.jsonl" --summary "$GATE/tap_live/run.json" \
+    --watch --slo scripts/slo_default.toml --flight "$GATE/flight.jsonl" \
+    2> /dev/null \
+    | sed "s#$GATE/tap_live#OUT#g" > "$GATE/tap_live/stdout.txt"
+cmp "$GATE/tap_plain/run.jsonl" "$GATE/tap_live/run.jsonl"
+diff "$GATE/tap_plain/run.json" "$GATE/tap_live/run.json"
+diff "$GATE/tap_plain/stdout.txt" "$GATE/tap_live/stdout.txt"
+test -s "$GATE/flight.jsonl"
+echo "trace, summary, and stdout byte-identical with the live tap on; flight dump written"
+
+echo "== SLO-gated chaos run (recovery alerts within golden count) =="
+SLO_CODE=0
+"$BIN" chaos --iterations 40 --slo scripts/slo_chaos.toml \
+    --alerts "$GATE/alerts.jsonl" > /dev/null 2>&1 || SLO_CODE=$?
+if [ "$SLO_CODE" -ne 4 ]; then
+    echo "SLO-gated chaos run: expected breach exit code 4, got $SLO_CODE" >&2
+    exit 1
+fi
+ALERTS=$(grep -c '"alert":' "$GATE/alerts.jsonl")
+ALERT_GOLDEN=4
+if [ "$ALERTS" -lt 1 ] || [ "$ALERTS" -gt "$ALERT_GOLDEN" ]; then
+    echo "SLO-gated chaos run: $ALERTS alerts outside [1, $ALERT_GOLDEN]" >&2
+    exit 1
+fi
+grep -q '"alert":"recovery_stall"' "$GATE/alerts.jsonl"
+grep -q '"type":"link_capacity"' "$GATE/alerts.jsonl"
+echo "chaos breached the recovery SLO: $ALERTS alert(s) (golden max $ALERT_GOLDEN), context holds the fault"
+
+echo "== trend warehouse determinism + injected-regression gate =="
+rm -rf "$GATE/hist"
+"$BIN" fig1 --iterations 10 --summary-dir "$GATE/hist" > /dev/null
+"$BIN" fig1 --iterations 10 --summary-dir "$GATE/hist" > /dev/null
+"$BIN" trend "$GATE/hist/HISTORY.jsonl" --wall-tolerance 10 > "$GATE/trend1.txt"
+"$BIN" trend "$GATE/hist/HISTORY.jsonl" --wall-tolerance 10 > "$GATE/trend2.txt"
+diff "$GATE/trend1.txt" "$GATE/trend2.txt"
+tail -n1 "$GATE/hist/HISTORY.jsonl" \
+    | sed -E 's/"wall_clock_secs":[0-9.eE+-]+/"wall_clock_secs":9999.0/' \
+    >> "$GATE/hist/HISTORY.jsonl"
+if "$BIN" trend "$GATE/hist/HISTORY.jsonl" --wall-tolerance 10 > /dev/null; then
+    echo "trend gate: injected 9999s wall-clock regression went unflagged" >&2
+    exit 1
+fi
+echo "trend verdict deterministic across identical runs; injected regression flagged"
+
 echo "OK"

@@ -20,7 +20,10 @@
 //!              recovery analyzer
 //!   all        everything above, in order
 //!   report     analyze a recorded JSONL trace into an HTML report
-//!   diff       compare two RunSummary JSON files (regression gate)
+//!   diff       compare two RunSummary JSON files (regression gate),
+//!              or two JSONL traces (first divergent event)
+//!   trend      diff the last K records per experiment in a
+//!              bench/HISTORY.jsonl warehouse (regression trend gate)
 //! ```
 //!
 //! `--csv DIR` additionally writes the raw data series (traces, CDFs,
@@ -54,23 +57,56 @@
 //! Results, telemetry, and every output file are byte-identical for any
 //! `N` — only the wall-clock changes. `--jobs 1` forces a serial run.
 //!
+//! ## Live observability
+//!
+//! `--watch` streams periodic progress lines to **stderr** while the run
+//! executes (events mirrored, scenarios seen, alerts fired) — including
+//! for `--jobs N` parallel sweeps, whose per-scenario status fans in over
+//! the live channel. `--slo FILE.toml` loads declarative SLO rules
+//! (schema in `crates/diagnostics/src/watchdog.rs`) and evaluates them
+//! online against the event stream; any violation fires a typed alert
+//! carrying the flight-recorder context around the trigger, and the
+//! process exits with code 4. `--alerts FILE` dumps the fired alerts and
+//! their context as JSONL; `--flight FILE` dumps the full flight-recorder
+//! snapshot (last-N events per category per scenario). The live tap is
+//! purely observational: stdout and every output file stay byte-identical
+//! with or without these flags.
+//!
 //! ```text
 //! mlcc-repro report trace.jsonl --out report.html [--summary run.json]
 //! mlcc-repro diff a.json b.json [--tolerance 0.05]
+//! mlcc-repro diff a.jsonl b.jsonl
+//! mlcc-repro trend [bench/HISTORY.jsonl] [--last K] [--tolerance F]
+//!                  [--wall-tolerance F] [--experiment NAME]
 //! ```
 //!
 //! `diff` exits 0 when every shared metric agrees within tolerance and the
 //! key sets match, non-zero otherwise — wire it into CI against committed
-//! golden summaries.
+//! golden summaries. Given two `.jsonl` traces it instead reports the
+//! first divergent event (sequence number + both payloads).
+//!
+//! `trend` reads the cross-run warehouse that `--summary-dir` and
+//! `--summary` productions append to (`HISTORY.jsonl` beside the written
+//! file), compares each experiment's latest record against the median of
+//! its prior records in the window, and exits non-zero on a wall-clock or
+//! quality regression beyond tolerance.
 
+use diagnostics::history::{self, HistoryRecord, TrendConfig};
+use diagnostics::watchdog::{slo_from_toml_str, Alert, SloRules, WatchdogBank};
 use diagnostics::{AnalysisConfig, DiffConfig, RunSummary};
 use faults::ChaosConfig;
 use mlcc::experiments as exp;
 use mlcc::export;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
-use telemetry::{BufferRecorder, Profiler};
+use std::time::{Duration, Instant};
+use telemetry::live::{self, LiveConfig, LiveHandle};
+use telemetry::{BufferRecorder, Profiler, TapRecorder};
+
+/// The CLI's recorder: a buffering recorder wrapped in a live tap, so the
+/// flight recorder / watchdog observe the stream as it is produced.
+/// When no live sink is installed the tap is inert passthrough.
+type CliRecorder = TapRecorder<BufferRecorder>;
 
 struct Opts {
     iterations: Option<usize>,
@@ -83,17 +119,27 @@ struct Opts {
     summary: Option<PathBuf>,
     summary_dir: Option<PathBuf>,
     chaos: ChaosConfig,
+    watch: bool,
+    slo: Option<SloRules>,
+    alerts: Option<PathBuf>,
+    flight: Option<PathBuf>,
 }
 
 impl Opts {
+    /// Any flag that needs the live event channel up.
+    fn live_enabled(&self) -> bool {
+        self.watch || self.slo.is_some() || self.alerts.is_some() || self.flight.is_some()
+    }
+
     /// A recorder when any observability flag asked for one.
-    fn recorder(&self) -> Option<BufferRecorder> {
+    fn recorder(&self) -> Option<CliRecorder> {
         (self.trace.is_some()
             || self.metrics
             || self.profile
             || self.report.is_some()
-            || self.summary.is_some())
-        .then(BufferRecorder::new)
+            || self.summary.is_some()
+            || self.live_enabled())
+        .then(|| TapRecorder::new(BufferRecorder::new()))
     }
 }
 
@@ -121,6 +167,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         summary: None,
         summary_dir: None,
         chaos: ChaosConfig::none(),
+        watch: false,
+        slo: None,
+        alerts: None,
+        flight: None,
     };
     let mut chaos_seed: Option<u64> = None;
     let mut it = args.iter();
@@ -168,6 +218,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--chaos-seed needs a value")?;
                 chaos_seed = Some(v.parse().map_err(|_| format!("bad chaos seed {v}"))?);
             }
+            "--watch" => opts.watch = true,
+            "--slo" => {
+                let v = it.next().ok_or("--slo needs a rules TOML file")?;
+                let text = std::fs::read_to_string(v)
+                    .map_err(|e| format!("--slo {v}: reading it failed: {e}"))?;
+                opts.slo = Some(slo_from_toml_str(&text).map_err(|e| format!("--slo {v}: {e}"))?);
+            }
+            "--alerts" => {
+                let v = it.next().ok_or("--alerts needs a file path")?;
+                opts.alerts = Some(PathBuf::from(v));
+            }
+            "--flight" => {
+                let v = it.next().ok_or("--flight needs a file path")?;
+                opts.flight = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -186,6 +251,25 @@ fn write_file(path: &Path, content: &str) -> Result<(), String> {
         }
     }
     std::fs::write(path, content).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Appends one record to the cross-run warehouse `HISTORY.jsonl` beside
+/// the summary/bench file just written (`beside`'s directory).
+fn append_history(beside: &Path, record: &HistoryRecord) -> Result<(), String> {
+    use std::io::Write as _;
+    let dir = match beside.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join("HISTORY.jsonl");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("opening {}: {e}", path.display()))?;
+    f.write_all(record.to_line().as_bytes())
+        .map_err(|e| format!("appending to {}: {e}", path.display()))
 }
 
 /// Writes the trace file, HTML report, and summary, and prints the
@@ -217,7 +301,9 @@ fn report(cmd: &str, opts: &Opts, rec: &BufferRecorder) -> Result<(), String> {
             println!("wrote {} (HTML run report)", path.display());
         }
         if let Some(path) = &opts.summary {
-            write_file(path, &analysis.summary().to_json())?;
+            let summary = analysis.summary();
+            write_file(path, &summary.to_json())?;
+            append_history(path, &HistoryRecord::from_summary(&summary, "summary"))?;
             println!("wrote {} (RunSummary JSON)", path.display());
         }
     }
@@ -251,11 +337,12 @@ fn write_bench(
     }
     let path = dir.join(format!("BENCH_{name}.json"));
     write_file(&path, &s.to_json())?;
+    append_history(&path, &HistoryRecord::from_summary(&s, "bench"))?;
     println!("wrote {}", path.display());
     Ok(())
 }
 
-fn run_fig1(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+fn run_fig1(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     let cfg = exp::fig1::Fig1Config {
         iterations: o.iterations.unwrap_or(100),
         chaos: o.chaos,
@@ -300,7 +387,7 @@ fn run_fig1(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     m
 }
 
-fn run_fig2(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+fn run_fig2(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     let cfg = exp::fig2::Fig2Config {
         iterations: o.iterations.unwrap_or(6),
         ..Default::default()
@@ -328,7 +415,7 @@ fn run_fig2(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     )]
 }
 
-fn run_table1(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+fn run_table1(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     let cfg = exp::table1::Table1Config {
         iterations: o.iterations.unwrap_or(30),
         chaos: o.chaos,
@@ -417,7 +504,7 @@ fn run_geometry(_o: &Opts) -> BenchMetrics {
     ]
 }
 
-fn run_adaptive(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+fn run_adaptive(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     let cfg = exp::adaptive::AdaptiveConfig {
         iterations: o.iterations.unwrap_or(24),
         ..Default::default()
@@ -438,7 +525,7 @@ fn run_adaptive(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     m
 }
 
-fn run_priority(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+fn run_priority(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     let cfg = exp::priority::PriorityConfig {
         iterations: o.iterations.unwrap_or(20),
         ..Default::default()
@@ -461,7 +548,7 @@ fn run_priority(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     m
 }
 
-fn run_flowsched(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+fn run_flowsched(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     let cfg = exp::flowsched::FlowschedConfig {
         iterations: o.iterations.unwrap_or(20),
         ..Default::default()
@@ -481,7 +568,7 @@ fn run_flowsched(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     m
 }
 
-fn run_pipelining(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+fn run_pipelining(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     let cfg = exp::pipelining::PipeliningConfig {
         iterations: o.iterations.unwrap_or(16),
         ..Default::default()
@@ -498,7 +585,7 @@ fn run_pipelining(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     ]
 }
 
-fn run_cluster(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+fn run_cluster(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     let cfg = exp::cluster::ClusterConfig {
         iterations: o.iterations.unwrap_or(16),
         ..Default::default()
@@ -522,7 +609,7 @@ fn run_cluster(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
     ]
 }
 
-fn run_chaos(o: &Opts, rec: Option<&mut BufferRecorder>) -> BenchMetrics {
+fn run_chaos(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     let cfg = exp::chaos::ChaosSweepConfig {
         iterations: o.iterations.unwrap_or(40),
         ..Default::default()
@@ -611,7 +698,57 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Event-stream diff: compares two JSONL traces line by line and reports
+/// the first divergent event — its sequence number and both payloads.
+/// Ok(true) when the streams are byte-identical.
+fn diff_jsonl(a_path: &Path, b_path: &Path) -> Result<bool, String> {
+    let read = |p: &Path| -> Result<String, String> {
+        std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))
+    };
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    let a_lines: Vec<&str> = a.lines().collect();
+    let b_lines: Vec<&str> = b.lines().collect();
+    // The exporter writes dense positional sequence numbers, so the line
+    // index IS the seq; prefer the line's own "seq" field when it parses
+    // (a mangled export may disagree, and that disagreement is the news).
+    let seq_of = |line: &str, index: usize| -> u64 {
+        telemetry::replay::parse_flat_object(line)
+            .ok()
+            .and_then(|map| map.get("seq").and_then(|v| v.as_u64()))
+            .unwrap_or(index as u64)
+    };
+    for (i, (la, lb)) in a_lines.iter().zip(b_lines.iter()).enumerate() {
+        if la != lb {
+            println!("DIFF at event seq {}:", seq_of(la, i));
+            println!("  {}: {la}", a_path.display());
+            println!("  {}: {lb}", b_path.display());
+            return Ok(false);
+        }
+    }
+    if a_lines.len() != b_lines.len() {
+        let (longer, shorter, extra) = if a_lines.len() > b_lines.len() {
+            (a_path, b_path, &a_lines[b_lines.len()..])
+        } else {
+            (b_path, a_path, &b_lines[a_lines.len()..])
+        };
+        println!(
+            "DIFF at event seq {}: {} ends ({} events), {} continues ({} more)",
+            seq_of(extra[0], a_lines.len().min(b_lines.len())),
+            shorter.display(),
+            a_lines.len().min(b_lines.len()),
+            longer.display(),
+            extra.len()
+        );
+        println!("  first extra: {}", extra[0]);
+        return Ok(false);
+    }
+    println!("identical: {} events", a_lines.len());
+    Ok(true)
+}
+
 /// `mlcc-repro diff A.json B.json [--tolerance F]` — Ok(true) when clean.
+/// Two `.jsonl` arguments select the event-stream diff instead.
 fn cmd_diff(args: &[String]) -> Result<bool, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut cfg = DiffConfig::default();
@@ -629,6 +766,10 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
     let [a_path, b_path] = files.as_slice() else {
         return Err("diff needs exactly two RunSummary JSON files".to_string());
     };
+    let is_jsonl = |p: &PathBuf| p.extension().is_some_and(|e| e == "jsonl");
+    if is_jsonl(a_path) && is_jsonl(b_path) {
+        return diff_jsonl(a_path, b_path);
+    }
     let load = |p: &PathBuf| -> Result<RunSummary, String> {
         let text =
             std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
@@ -659,14 +800,172 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
     }
 }
 
+/// `mlcc-repro trend [HISTORY.jsonl] [--last K] [--tolerance F]
+/// [--wall-tolerance F] [--experiment NAME]` — Ok(true) when clean.
+fn cmd_trend(args: &[String]) -> Result<bool, String> {
+    let mut path = PathBuf::from("bench/HISTORY.jsonl");
+    let mut cfg = TrendConfig::default();
+    let mut experiment: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--last" => {
+                let v = it.next().ok_or("--last needs a value")?;
+                cfg.last = v.parse().map_err(|_| format!("bad record count {v}"))?;
+                if cfg.last < 2 {
+                    return Err("--last must be at least 2".to_string());
+                }
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                cfg.rel_tol = v.parse().map_err(|_| format!("bad tolerance {v}"))?;
+            }
+            "--wall-tolerance" => {
+                let v = it.next().ok_or("--wall-tolerance needs a value")?;
+                cfg.wall_rel_tol = v.parse().map_err(|_| format!("bad tolerance {v}"))?;
+            }
+            "--experiment" => {
+                experiment = Some(it.next().ok_or("--experiment needs a name")?.clone())
+            }
+            other if !other.starts_with("--") => path = PathBuf::from(other),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut records =
+        history::parse_history(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if let Some(exp) = &experiment {
+        records.retain(|r| &r.experiment == exp);
+        if records.is_empty() {
+            return Err(format!(
+                "{}: no records for experiment {exp:?}",
+                path.display()
+            ));
+        }
+    }
+    if records.is_empty() {
+        return Err(format!("{}: no records", path.display()));
+    }
+    let report = history::trend(&records, &cfg);
+    print!("{}", report.render());
+    if report.is_clean() {
+        println!("trend clean");
+        Ok(true)
+    } else {
+        println!("TREND: regression(s) beyond tolerance");
+        Ok(false)
+    }
+}
+
+/// What the watcher thread hands back once the live channel drains: the
+/// flight-recorder state and every alert the watchdog fired.
+struct WatchOutcome {
+    handle: LiveHandle,
+    alerts: Vec<Alert>,
+}
+
+/// Spawns the observer thread: drains live batches, feeds the watchdog,
+/// and (in `--watch` mode) prints periodic progress lines to stderr.
+/// Returns when every tap sender is gone and the channel is exhausted.
+fn spawn_watcher(
+    mut handle: LiveHandle,
+    mut bank: Option<WatchdogBank>,
+    watch: bool,
+) -> std::thread::JoinHandle<WatchOutcome> {
+    std::thread::Builder::new()
+        .name("mlcc-watch".to_string())
+        .spawn(move || {
+            let mut last_line = Instant::now();
+            let started = Instant::now();
+            loop {
+                let (batches, done) = handle.poll_timeout(Duration::from_millis(50));
+                if let Some(bank) = bank.as_mut() {
+                    for (scenario, events) in &batches {
+                        for te in events {
+                            bank.observe(scenario, te);
+                        }
+                    }
+                }
+                if watch && (done || last_line.elapsed() >= Duration::from_millis(200)) {
+                    last_line = Instant::now();
+                    let furthest = handle
+                        .progress()
+                        .iter()
+                        .max_by(|(_, a), (_, b)| a.last_at.cmp(&b.last_at))
+                        .map(|(name, p)| {
+                            format!(" · furthest {name} @ {:.1}ms", p.last_at.as_millis_f64())
+                        })
+                        .unwrap_or_default();
+                    let alerts = match bank.as_ref().map(|b| b.alert_count()) {
+                        Some(n) => format!(" · {n} alert(s)"),
+                        None => String::new(),
+                    };
+                    eprintln!(
+                        "[watch {:5.1}s] {} events · {} scenarios{furthest}{alerts}",
+                        started.elapsed().as_secs_f64(),
+                        handle.total_events(),
+                        handle.progress().len(),
+                    );
+                }
+                if done {
+                    break;
+                }
+            }
+            let alerts = bank.map(WatchdogBank::into_alerts).unwrap_or_default();
+            WatchOutcome { handle, alerts }
+        })
+        .expect("spawn watcher thread")
+}
+
+/// Finalizes the live side of a run: writes `--flight` / `--alerts`
+/// dumps, renders alerts to stderr, and says whether an SLO was breached.
+fn finish_live(opts: &Opts, outcome: &WatchOutcome) -> Result<bool, String> {
+    for alert in &outcome.alerts {
+        eprintln!("ALERT {}", alert.render());
+    }
+    if opts.watch {
+        eprintln!(
+            "[watch] done: {} events across {} scenarios, {} alert(s)",
+            outcome.handle.total_events(),
+            outcome.handle.progress().len(),
+            outcome.alerts.len()
+        );
+    }
+    if let Some(path) = &opts.flight {
+        write_file(path, &outcome.handle.snapshot_jsonl())?;
+        eprintln!(
+            "wrote {} (flight-recorder snapshot, {} events)",
+            path.display(),
+            outcome.handle.snapshot().len()
+        );
+    }
+    if let Some(path) = &opts.alerts {
+        let mut content = String::new();
+        for alert in &outcome.alerts {
+            content.push_str(&alert.to_jsonl());
+        }
+        write_file(path, &content)?;
+        eprintln!(
+            "wrote {} ({} alert(s) with flight-recorder context)",
+            path.display(),
+            outcome.alerts.len()
+        );
+    }
+    Ok(opts.slo.is_some() && !outcome.alerts.is_empty())
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mlcc-repro <fig1|fig2|table1|geometry|adaptive|priority|flowsched|cluster|\
          pipelining|chaos|all> [--iterations N] [--jobs N] [--csv DIR] [--trace FILE] [--metrics]\n\
          \x20      [--profile] [--report FILE] [--summary FILE] [--summary-dir DIR]\n\
          \x20      [--chaos PROFILE|FILE.toml] [--chaos-seed N]\n\
+         \x20      [--watch] [--slo RULES.toml] [--alerts FILE] [--flight FILE]\n\
          \x20      mlcc-repro report TRACE.jsonl [--out FILE] [--summary FILE] [--name NAME]\n\
-         \x20      mlcc-repro diff A.json B.json [--tolerance F]"
+         \x20      mlcc-repro diff A.json B.json [--tolerance F] | diff A.jsonl B.jsonl\n\
+         \x20      mlcc-repro trend [HISTORY.jsonl] [--last K] [--tolerance F]\n\
+         \x20      [--wall-tolerance F] [--experiment NAME]"
     );
     ExitCode::FAILURE
 }
@@ -697,6 +996,16 @@ fn main() -> ExitCode {
                 }
             };
         }
+        "trend" => {
+            return match cmd_trend(rest) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         _ => {}
     }
     let opts = match parse_opts(rest) {
@@ -709,14 +1018,23 @@ fn main() -> ExitCode {
     if let Some(n) = opts.jobs {
         mlcc::parallel::set_jobs(n);
     }
+    // The live sink must be installed before the recorder is created (and
+    // before any worker forks), so every tap picks it up.
+    let watcher = if opts.live_enabled() {
+        let handle = live::install(LiveConfig::default());
+        let bank = opts.slo.clone().map(WatchdogBank::new);
+        Some(spawn_watcher(handle, bank, opts.watch))
+    } else {
+        None
+    };
     let mut rec = opts.recorder();
     // Runs one experiment, timing it and writing its bench summary.
     let mut bench_err: Option<String> = None;
     {
         let mut run =
             |name: &str,
-             rec: &mut Option<BufferRecorder>,
-             f: &dyn Fn(&Opts, Option<&mut BufferRecorder>) -> BenchMetrics| {
+             rec: &mut Option<CliRecorder>,
+             f: &dyn Fn(&Opts, Option<&mut CliRecorder>) -> BenchMetrics| {
                 let start = Instant::now();
                 let mut metrics = f(&opts, rec.as_mut());
                 if let Some(dir) = &opts.summary_dir {
@@ -751,6 +1069,24 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    // Unwrap the tap (flushing its final batch), tear down the global
+    // sink so the channel disconnects, then collect the watcher's
+    // verdict. Order matters: the watcher only exits once every sender —
+    // the tap's and the global registration's — is gone.
+    let rec: Option<BufferRecorder> = rec.map(TapRecorder::into_inner);
+    let outcome = match watcher {
+        Some(w) => {
+            live::uninstall();
+            match w.join() {
+                Ok(outcome) => Some(outcome),
+                Err(_) => {
+                    eprintln!("error: watcher thread panicked");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     if let Some(e) = bench_err {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
@@ -759,6 +1095,22 @@ fn main() -> ExitCode {
         if let Err(e) = report(cmd, &opts, rec) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(outcome) = &outcome {
+        match finish_live(&opts, outcome) {
+            Ok(false) => {}
+            Ok(true) => {
+                eprintln!(
+                    "SLO breach: {} alert(s); exiting with code 4",
+                    outcome.alerts.len()
+                );
+                return ExitCode::from(4);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

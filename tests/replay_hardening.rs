@@ -1,0 +1,181 @@
+//! Property tests hardening `telemetry::parse_jsonl` (satellite of the
+//! observability PR): arbitrary event streams round-trip exactly, and
+//! arbitrarily mangled exports — truncated mid-line, flipped characters,
+//! injected junk, duplicated lines — always produce a typed
+//! `ReplayError`, never a panic. The flight-recorder dump and `--alerts`
+//! context share this exporter/parser pair, so its totality is what lets
+//! `mlcc-repro report` ingest any file a crashed run left behind.
+
+use proptest::prelude::*;
+use telemetry::export::jsonl;
+use telemetry::replay::ReplayErrorKind;
+use telemetry::{parse_jsonl, CcState, Event, Phase, TimedEvent};
+
+/// Deterministically decodes three random words into one event, covering
+/// every `Event` variant including string-carrying and array-carrying
+/// ones (scenario names get quotes/backslashes to exercise escaping).
+fn event_from(tag: u64, a: u64, b: u64) -> Event {
+    let flow = (a % 17) as u32;
+    let job = (a % 5) as u32;
+    match tag % 13 {
+        0 => Event::QueueDepth {
+            link: flow,
+            bytes: (b % 1_000_000) as f64 + 0.5,
+        },
+        1 => Event::EcnMark { flow },
+        2 => Event::CnpSent { flow },
+        3 => Event::CnpReceived { flow },
+        4 => Event::RateChange {
+            flow,
+            bps: (b % 100) as f64 * 1e9 + 1.0,
+            state: match b % 7 {
+                0 => CcState::Restart,
+                1 => CcState::Cut,
+                2 => CcState::FastRecovery,
+                3 => CcState::AdditiveIncrease,
+                4 => CcState::HyperIncrease,
+                5 => CcState::Alloc,
+                _ => CcState::Delay,
+            },
+        },
+        5 => Event::PhaseEnter {
+            job,
+            phase: if b.is_multiple_of(2) {
+                Phase::Compute
+            } else {
+                Phase::Communicate
+            },
+            iteration: b % 1000,
+        },
+        6 => Event::PhaseExit {
+            job,
+            phase: if b.is_multiple_of(2) {
+                Phase::Compute
+            } else {
+                Phase::Communicate
+            },
+            iteration: b % 1000,
+        },
+        7 => Event::SolverIteration {
+            component: "fluid",
+            index: b,
+        },
+        8 => Event::GateRelease { job },
+        9 => Event::Scenario {
+            name: format!("sc\\en\"ario-{}", b % 4),
+        },
+        10 => Event::JobPath {
+            job,
+            links: (0..(b % 4)).map(|l| l as u32).collect(),
+        },
+        11 => Event::LinkCapacity {
+            link: flow,
+            fraction: (b % 100) as f64 / 100.0,
+        },
+        _ => Event::JobDepart { job },
+    }
+}
+
+fn stream_from(words: &[u64]) -> Vec<TimedEvent> {
+    words
+        .chunks_exact(3)
+        .enumerate()
+        .map(|(i, w)| TimedEvent {
+            at: simtime::Time::from_nanos(i as u64 * 1000 + w[0] % 1000),
+            event: event_from(w[0], w[1], w[2]),
+        })
+        .collect()
+}
+
+fn words() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1_000_000, 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any exported stream parses back to exactly the same events.
+    #[test]
+    fn export_round_trips_exactly(words in words()) {
+        let events = stream_from(&words);
+        let text = jsonl(&events);
+        let back = parse_jsonl(&text).expect("well-formed export must parse");
+        prop_assert_eq!(back, events);
+    }
+
+    /// Truncating an export anywhere — even mid-line, mid-string — never
+    /// panics: it either still parses (cut on a line boundary) or yields
+    /// a typed error.
+    #[test]
+    fn truncated_exports_never_panic(words in words(), cut in 0usize..4000) {
+        let events = stream_from(&words);
+        let text = jsonl(&events);
+        let cut = text
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([text.len()])
+            .nth(cut.min(text.chars().count()))
+            .unwrap_or(text.len());
+        let _ = parse_jsonl(&text[..cut]);
+    }
+
+    /// Flipping one character never panics, and when it breaks the
+    /// stream the error names the mangled line.
+    #[test]
+    fn flipped_characters_never_panic(
+        words in words(),
+        pos in 0usize..4000,
+        replacement in 0u64..5,
+    ) {
+        let events = stream_from(&words);
+        let text = jsonl(&events);
+        prop_assume!(!text.is_empty());
+        let chars: Vec<char> = text.chars().collect();
+        let pos = pos % chars.len();
+        let mut mangled: String = chars[..pos].iter().collect();
+        mangled.push(['X', '{', '"', '9', '\\'][replacement as usize]);
+        mangled.extend(&chars[pos + 1..]);
+        if let Err(e) = parse_jsonl(&mangled) {
+            let line_of_pos = text[..pos].matches('\n').count() + 1;
+            prop_assert!(
+                e.line >= 1 && e.line <= line_of_pos.max(1),
+                "error line {} past mangled line {line_of_pos}",
+                e.line
+            );
+        }
+    }
+
+    /// Injecting a junk line always yields an error (junk is never a
+    /// valid event object), with the error pointing at or before it.
+    #[test]
+    fn injected_junk_lines_are_rejected(words in words(), junk_at in 0usize..130) {
+        let events = stream_from(&words);
+        let text = jsonl(&events);
+        let mut lines: Vec<&str> = text.lines().collect();
+        let junk_at = junk_at.min(lines.len());
+        lines.insert(junk_at, "{\"seq\":0,\"garbage\":true}");
+        let err = parse_jsonl(&lines.join("\n")).expect_err("junk must not parse");
+        prop_assert!(err.line <= junk_at + 1, "line {} after junk at {}", err.line, junk_at + 1);
+    }
+
+    /// Duplicating any line breaks strict seq monotonicity and is
+    /// reported as `BadSeq` at the duplicate.
+    #[test]
+    fn duplicated_lines_break_seq_monotonicity(words in words(), dup in 0usize..120) {
+        let events = stream_from(&words);
+        prop_assume!(!events.is_empty());
+        let text = jsonl(&events);
+        let mut lines: Vec<&str> = text.lines().collect();
+        let dup = dup % lines.len();
+        lines.insert(dup + 1, lines[dup]);
+        let err = parse_jsonl(&lines.join("\n")).expect_err("duplicate seq must not parse");
+        prop_assert_eq!(err.kind, ReplayErrorKind::BadSeq);
+        prop_assert_eq!(err.line, dup + 2);
+    }
+}
+
+#[test]
+fn empty_and_whitespace_inputs_parse_to_nothing() {
+    assert_eq!(parse_jsonl("").unwrap(), vec![]);
+    assert_eq!(parse_jsonl("\n\n  \n").unwrap(), vec![]);
+}

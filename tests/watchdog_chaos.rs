@@ -1,0 +1,160 @@
+//! Watchdog-on-chaos acceptance tests: the PR-5 seeded fault matrix
+//! (stragglers / link faults × seeds) must raise the expected alert
+//! kinds through the online SLO watchdog, each alert carrying the
+//! triggering events in its flight-recorder context — while a
+//! `ChaosConfig::none()` run stays alert-free and byte-identical with
+//! the live tap enabled.
+
+use diagnostics::watchdog::{AlertKind, SloRules, WatchdogBank};
+use faults::ChaosConfig;
+use mlcc::experiments::chaos::{self, ChaosSweepConfig};
+use mlcc::experiments::fig1::{self, Fig1Config};
+use simtime::Dur;
+use std::sync::{Mutex, OnceLock};
+use telemetry::live::{self, LiveConfig};
+use telemetry::{export, BufferRecorder, TapRecorder};
+
+/// The live sink is process-global; tests that install one serialize.
+fn sink_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn sweep_cfg() -> ChaosSweepConfig {
+    ChaosSweepConfig {
+        iterations: 16,
+        ..ChaosSweepConfig::default()
+    }
+}
+
+/// Recovery-deadline rules tight enough that the injected faults of the
+/// seeded matrix cannot possibly be healed in time.
+fn recovery_rules() -> SloRules {
+    SloRules {
+        max_time_to_reinterleave: Some(Dur::from_millis(50)),
+        ..SloRules::default()
+    }
+}
+
+#[test]
+fn seeded_chaos_matrix_raises_recovery_alerts_with_fault_context() {
+    let mut rec = BufferRecorder::new();
+    chaos::run_traced(&sweep_cfg(), &mut rec);
+
+    let mut bank = WatchdogBank::new(recovery_rules());
+    bank.observe_stream(rec.events());
+    let alerts = bank.into_alerts();
+    assert!(
+        !alerts.is_empty(),
+        "seeded fault matrix must breach a 50ms recovery SLO"
+    );
+    let stalls: Vec<_> = alerts
+        .iter()
+        .filter(|a| a.kind == AlertKind::RecoveryStall)
+        .collect();
+    assert!(!stalls.is_empty(), "expected recovery_stall alerts");
+    for stall in &stalls {
+        assert!(
+            stall.scenario.contains("links") || stall.scenario.contains("mixed"),
+            "recovery stalls come from link-fault cells, got {:?}",
+            stall.scenario
+        );
+        assert!(stall.subject.starts_with("fault@"), "{:?}", stall.subject);
+        assert!(
+            stall
+                .context
+                .iter()
+                .any(|te| te.event.kind() == "link_capacity"),
+            "flight-recorder context must contain the triggering fault"
+        );
+        assert!(stall.value > stall.threshold);
+    }
+
+    // Same stream, same rules → identical alert list (determinism is
+    // what makes a golden alert-count gate possible).
+    let mut bank2 = WatchdogBank::new(recovery_rules());
+    bank2.observe_stream(rec.events());
+    let again = bank2.into_alerts();
+    assert_eq!(again.len(), alerts.len());
+    for (a, b) in alerts.iter().zip(&again) {
+        assert_eq!(
+            (a.kind, &a.scenario, a.at, &a.subject),
+            (b.kind, &b.scenario, b.at, &b.subject)
+        );
+    }
+}
+
+#[test]
+fn straggler_cells_alone_stay_clean_on_recovery_slo() {
+    // Stragglers slow compute but never degrade a link, so the recovery
+    // monitor (which anchors on LinkCapacity) must not fire on them.
+    let cfg = ChaosSweepConfig {
+        profiles: vec!["stragglers".to_string()],
+        ..sweep_cfg()
+    };
+    let mut rec = BufferRecorder::new();
+    chaos::run_traced(&cfg, &mut rec);
+    let mut bank = WatchdogBank::new(recovery_rules());
+    bank.observe_stream(rec.events());
+    let alerts = bank.into_alerts();
+    assert!(
+        alerts.is_empty(),
+        "straggler-only cells fired: {:?}",
+        alerts
+            .iter()
+            .map(|a| (a.kind, a.scenario.clone()))
+            .collect::<Vec<_>>()
+    );
+}
+
+fn quick_fig1() -> Fig1Config {
+    Fig1Config {
+        iterations: 8,
+        warmup: 3,
+        chaos: ChaosConfig::none(),
+        ..Fig1Config::default()
+    }
+}
+
+#[test]
+fn chaos_none_is_alert_free_and_byte_identical_under_the_tap() {
+    let _guard = sink_lock().lock().unwrap();
+
+    // Plain recording, no live sink.
+    let mut plain = BufferRecorder::new();
+    fig1::run_traced(&quick_fig1(), &mut plain);
+    let plain_jsonl = export::jsonl(plain.events());
+
+    // Tapped recording with an installed sink: the engine-visible
+    // recorder mirrors every event into the live channel.
+    let mut handle = live::install(LiveConfig::default());
+    let mut tap = TapRecorder::new(BufferRecorder::new());
+    assert!(tap.is_live());
+    fig1::run_traced(&quick_fig1(), &mut tap);
+    let tapped = tap.into_inner();
+    live::uninstall();
+
+    assert_eq!(
+        export::jsonl(tapped.events()),
+        plain_jsonl,
+        "live tap must be purely observational"
+    );
+
+    // The watchdog over the mirrored stream fires nothing on a healthy,
+    // fault-free run under the same rules the chaos tests breach.
+    let mut bank = WatchdogBank::new(recovery_rules());
+    loop {
+        let (batches, done) = handle.poll();
+        for (scenario, events) in &batches {
+            for te in events {
+                bank.observe(scenario, te);
+            }
+        }
+        if done {
+            break;
+        }
+    }
+    assert_eq!(handle.total_events() as usize, tapped.len());
+    let alerts = bank.into_alerts();
+    assert!(alerts.is_empty(), "chaos-none run fired: {alerts:?}");
+}
