@@ -2,6 +2,7 @@
 //! each, and distills the result into a [`RunSummary`] plus cross-scenario
 //! speedup attribution.
 
+use crate::attribution::{self, ContentionLedger};
 use crate::events::{extract_tracks, median_dur, split_scenarios, ScenarioTracks};
 use crate::fairness::{self, FairnessReport};
 use crate::health::{self, HealthConfig, HealthReport};
@@ -41,6 +42,9 @@ pub struct ScenarioAnalysis {
     pub interleave: InterleaveReport,
     pub health: HealthReport,
     pub fairness: FairnessReport,
+    /// Contention ledger built from the engines' typed iteration spans;
+    /// empty for traces recorded before spans existed.
+    pub ledger: ContentionLedger,
     /// Median iteration time per job, ms (jobs with ≥1 measured iteration).
     pub median_iter_ms: BTreeMap<u32, f64>,
 }
@@ -100,6 +104,7 @@ pub fn analyze(name: &str, events: &[TimedEvent], cfg: &AnalysisConfig) -> RunAn
             interleave::audit(&tracks, cfg.predicted_overlap.get(&slice.name).copied());
         let health = health::analyze(&tracks, &cfg.health);
         let fairness = fairness::analyze(&tracks, cfg.fairness_window);
+        let ledger = attribution::ledger(&tracks, cfg.predicted_overlap.get(&slice.name).copied());
         let median_iter_ms = tracks
             .jobs
             .iter()
@@ -112,6 +117,7 @@ pub fn analyze(name: &str, events: &[TimedEvent], cfg: &AnalysisConfig) -> RunAn
             interleave,
             health,
             fairness,
+            ledger,
             median_iter_ms,
         });
     }
@@ -192,6 +198,20 @@ impl RunAnalysis {
             }
             for (job, ms) in &sc.median_iter_ms {
                 s.put_under(&p, &format!("iters.job{job}.median_ms"), *ms);
+            }
+            if !sc.ledger.jobs.is_empty() {
+                s.put_under(&p, "attr.measured_overlap", sc.ledger.measured_overlap());
+                s.put_under(&p, "attr.max_residual", sc.ledger.max_residual);
+                for (job, jl) in &sc.ledger.jobs {
+                    let jp = format!("attr.job{job}");
+                    s.put_under(&p, &format!("{jp}.compute_s"), jl.compute);
+                    s.put_under(&p, &format!("{jp}.solo_s"), jl.solo);
+                    s.put_under(&p, &format!("{jp}.inflation_s"), jl.inflation);
+                    s.put_under(&p, &format!("{jp}.inflation_share"), jl.inflation_share());
+                }
+                for (link, lb) in &sc.ledger.links {
+                    s.put_under(&p, &format!("attr.link{link}.inflation_s"), lb.inflation);
+                }
             }
         }
         for attr in &self.attribution {

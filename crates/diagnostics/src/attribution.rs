@@ -1,0 +1,542 @@
+//! Causal attribution: who made each iteration slow, and by how much?
+//!
+//! Folds the engines' typed iteration spans ([`crate::events::IterationSpan`])
+//! with per-link communication occupancy into a **contention ledger**: every
+//! job-iteration's wall time is decomposed as
+//!
+//! ```text
+//! wall = compute + wait + solo_comm + inflation
+//! ```
+//!
+//! where `solo_comm` is the communication time the job would have needed
+//! with the link to itself and `inflation` is the extra time attributable
+//! to sharing. The split uses occupancy shares: a communication
+//! sub-segment of length `L` during which `n` jobs occupy the job's
+//! bottleneck link contributes `L/n` to solo time and `L/n` of blame to
+//! *each* of the `n−1` competitors, keyed by `(link, competitor)`. The
+//! decomposition is conservation-exact by construction — `solo +
+//! inflation` always sums to measured communication time — so the
+//! reported residual only measures floating-point noise and span/phase
+//! disagreement.
+//!
+//! The ledger also extracts the critical path per iteration (was the
+//! iteration bound by compute or by a contended link?) and cross-checks
+//! the measured contention against the `geometry` solver's predicted
+//! overlap fraction when the caller has one.
+
+use crate::events::{Interval, ScenarioTracks};
+use std::collections::BTreeMap;
+
+/// What bound one iteration's wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// Compute dominated the iteration.
+    Compute,
+    /// Communication dominated; `link` is the most-blamed (or only) link.
+    Communicate { link: u32 },
+}
+
+impl Binding {
+    pub fn label(&self) -> String {
+        match self {
+            Binding::Compute => "compute".to_string(),
+            Binding::Communicate { link } => format!("link{link}"),
+        }
+    }
+}
+
+/// One job-iteration's decomposed wall time, all in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationLedger {
+    pub job: u32,
+    pub iteration: u64,
+    /// Measured iteration span.
+    pub wall: f64,
+    /// Time inside compute sub-spans.
+    pub compute: f64,
+    /// Residual time in neither compute nor communication sub-spans.
+    pub wait: f64,
+    /// Communication time the job would have needed alone.
+    pub solo: f64,
+    /// Extra communication time attributable to link sharing.
+    pub inflation: f64,
+    /// Blame per `(link, competing job)`: seconds of this iteration's
+    /// inflation attributed to that competitor on that link.
+    pub blame: BTreeMap<(u32, u32), f64>,
+    /// The binding component of this iteration.
+    pub binding: Binding,
+}
+
+impl IterationLedger {
+    /// `compute + wait + solo + inflation − wall`: how far the
+    /// decomposition misses the measured span. Near zero by construction.
+    pub fn residual(&self) -> f64 {
+        self.compute + self.wait + self.solo + self.inflation - self.wall
+    }
+}
+
+/// One job's ledger: per-iteration rows plus aggregates (seconds).
+#[derive(Debug, Clone, Default)]
+pub struct JobLedger {
+    pub job: u32,
+    pub iterations: Vec<IterationLedger>,
+    pub wall: f64,
+    pub compute: f64,
+    pub wait: f64,
+    pub solo: f64,
+    pub inflation: f64,
+    /// Summed blame per `(link, competing job)` across iterations.
+    pub blame: BTreeMap<(u32, u32), f64>,
+    /// Iterations bound by compute / by a link.
+    pub bound_by_compute: usize,
+    pub bound_by_comm: usize,
+    /// Largest per-iteration |residual| seen.
+    pub max_residual: f64,
+}
+
+impl JobLedger {
+    /// `inflation / wall`: fraction of the job's time lost to contention.
+    pub fn inflation_share(&self) -> f64 {
+        if self.wall > 0.0 {
+            self.inflation / self.wall
+        } else {
+            0.0
+        }
+    }
+
+    /// Blame pairs sorted by blamed seconds, heaviest first (ties by key).
+    pub fn top_blame(&self) -> Vec<((u32, u32), f64)> {
+        let mut pairs: Vec<_> = self.blame.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs
+    }
+}
+
+/// Contention totals for one link across all victims.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkBlame {
+    pub link: u32,
+    /// Total inflation seconds attributed on this link.
+    pub inflation: f64,
+    /// Blamed seconds per `(victim job, competing job)`.
+    pub pairs: BTreeMap<(u32, u32), f64>,
+}
+
+/// The contention ledger of one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct ContentionLedger {
+    pub jobs: BTreeMap<u32, JobLedger>,
+    /// Per-link contention totals, only links with nonzero blame.
+    pub links: BTreeMap<u32, LinkBlame>,
+    /// The geometry solver's predicted overlap fraction, when supplied.
+    pub predicted_overlap: Option<f64>,
+    /// Largest per-iteration |residual| across all jobs.
+    pub max_residual: f64,
+}
+
+impl ContentionLedger {
+    /// Total communication seconds (solo + inflation) across jobs.
+    pub fn total_comm(&self) -> f64 {
+        self.jobs.values().map(|j| j.solo + j.inflation).sum()
+    }
+
+    /// Total inflation seconds across jobs.
+    pub fn total_inflation(&self) -> f64 {
+        self.jobs.values().map(|j| j.inflation).sum()
+    }
+
+    /// Pairwise-equivalent measured overlap: `inflation / solo`, clamped
+    /// to [0, 1]. For two jobs this equals the interleave auditor's
+    /// contended-over-busy fraction; for more it saturates at 1.
+    pub fn measured_overlap(&self) -> f64 {
+        let solo = self.total_comm() - self.total_inflation();
+        if solo <= 0.0 {
+            if self.total_inflation() > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (self.total_inflation() / solo).min(1.0)
+        }
+    }
+
+    /// Verdict of the cross-check against the geometry prediction.
+    pub fn verdict(&self) -> &'static str {
+        const TOL: f64 = 0.15;
+        match self.predicted_overlap {
+            None => "no geometry prediction",
+            Some(p) => {
+                let m = self.measured_overlap();
+                if m > p + TOL {
+                    "contends more than geometry predicted"
+                } else if m + TOL < p {
+                    "contends less than geometry predicted"
+                } else {
+                    "consistent with geometry prediction"
+                }
+            }
+        }
+    }
+
+    /// Worst `|residual| / wall` across every job-iteration row: how far
+    /// the blame components stray from the measured iteration time,
+    /// relative to that time. The conservation gate checks this against
+    /// a 1% tolerance.
+    pub fn worst_relative_residual(&self) -> f64 {
+        self.jobs
+            .values()
+            .flat_map(|jl| jl.iterations.iter())
+            .filter(|row| row.wall > 0.0)
+            .map(|row| row.residual().abs() / row.wall)
+            .fold(0.0, f64::max)
+    }
+
+    /// Links sorted by blamed inflation, heaviest first.
+    pub fn top_links(&self) -> Vec<&LinkBlame> {
+        let mut links: Vec<_> = self.links.values().collect();
+        links.sort_by(|a, b| {
+            b.inflation
+                .total_cmp(&a.inflation)
+                .then(a.link.cmp(&b.link))
+        });
+        links
+    }
+}
+
+/// Effective link set of a job: `JobPath` links, or link 0 for engines
+/// that never announced a path (matching the interleave auditor).
+fn links_of(track: &crate::events::JobTrack) -> Vec<u32> {
+    if track.links.is_empty() {
+        vec![0]
+    } else {
+        track.links.clone()
+    }
+}
+
+/// Builds the contention ledger for one scenario.
+///
+/// Only complete iterations enter the ledger: the dangling last iteration
+/// of a stream has no defined wall time. Jobs without span events (traces
+/// recorded before typed spans) simply contribute no rows.
+pub fn ledger(tracks: &ScenarioTracks, predicted_overlap: Option<f64>) -> ContentionLedger {
+    // Link → competitors (job, full-scenario comm intervals).
+    let mut members: BTreeMap<u32, Vec<(u32, &[Interval])>> = BTreeMap::new();
+    for (job, track) in &tracks.jobs {
+        if track.comm.is_empty() {
+            continue;
+        }
+        for link in links_of(track) {
+            members
+                .entry(link)
+                .or_default()
+                .push((*job, track.comm.as_slice()));
+        }
+    }
+
+    let mut out = ContentionLedger {
+        predicted_overlap,
+        ..ContentionLedger::default()
+    };
+    for (&job, track) in &tracks.jobs {
+        if track.iterations.is_empty() {
+            continue;
+        }
+        let links = links_of(track);
+        let mut jl = JobLedger {
+            job,
+            ..JobLedger::default()
+        };
+        for it in track.iterations.iter().filter(|it| it.complete) {
+            let row = attribute_iteration(job, it, &links, &members);
+            jl.wall += row.wall;
+            jl.compute += row.compute;
+            jl.wait += row.wait;
+            jl.solo += row.solo;
+            jl.inflation += row.inflation;
+            for (&pair, &secs) in &row.blame {
+                *jl.blame.entry(pair).or_insert(0.0) += secs;
+                let lb = out.links.entry(pair.0).or_insert_with(|| LinkBlame {
+                    link: pair.0,
+                    ..LinkBlame::default()
+                });
+                lb.inflation += secs;
+                *lb.pairs.entry((job, pair.1)).or_insert(0.0) += secs;
+            }
+            match row.binding {
+                Binding::Compute => jl.bound_by_compute += 1,
+                Binding::Communicate { .. } => jl.bound_by_comm += 1,
+            }
+            jl.max_residual = jl.max_residual.max(row.residual().abs());
+            jl.iterations.push(row);
+        }
+        out.max_residual = out.max_residual.max(jl.max_residual);
+        out.jobs.insert(job, jl);
+    }
+    out
+}
+
+/// Decomposes one iteration of `job` against everyone else's occupancy.
+fn attribute_iteration(
+    job: u32,
+    it: &crate::events::IterationSpan,
+    links: &[u32],
+    members: &BTreeMap<u32, Vec<(u32, &[Interval])>>,
+) -> IterationLedger {
+    let wall = it.span.len().as_secs_f64();
+    let compute: f64 = it.compute.iter().map(|iv| iv.len().as_secs_f64()).sum();
+    let comm_total: f64 = it.comm.iter().map(|iv| iv.len().as_secs_f64()).sum();
+
+    let mut solo = 0.0f64;
+    let mut inflation = 0.0f64;
+    let mut blame: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    for c in &it.comm {
+        if c.is_empty() {
+            continue;
+        }
+        let (a0, b0) = (c.start.as_nanos(), c.end.as_nanos());
+        // Cut the interval at every competitor edge inside it: between
+        // consecutive cuts the active set on every link is constant.
+        let mut cuts = vec![a0, b0];
+        for &link in links {
+            for (other, ivs) in members.get(&link).into_iter().flatten() {
+                if *other == job {
+                    continue;
+                }
+                for iv in *ivs {
+                    for t in [iv.start.as_nanos(), iv.end.as_nanos()] {
+                        if t > a0 && t < b0 {
+                            cuts.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        for w in cuts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let len = (b - a) as f64 * 1e-9;
+            // Per link: competitors whose comm covers this whole segment.
+            let mut binding_link = links.first().copied().unwrap_or(0);
+            let mut binding_set: Vec<u32> = Vec::new();
+            for &link in links {
+                let active: Vec<u32> = members
+                    .get(&link)
+                    .into_iter()
+                    .flatten()
+                    .filter(|(other, ivs)| {
+                        *other != job
+                            && ivs
+                                .iter()
+                                .any(|iv| iv.start.as_nanos() <= a && iv.end.as_nanos() >= b)
+                    })
+                    .map(|(other, _)| *other)
+                    .collect();
+                if active.len() > binding_set.len() {
+                    binding_link = link;
+                    binding_set = active;
+                }
+            }
+            let n = (binding_set.len() + 1) as f64;
+            solo += len / n;
+            if !binding_set.is_empty() {
+                inflation += len * (n - 1.0) / n;
+                for other in binding_set {
+                    *blame.entry((binding_link, other)).or_insert(0.0) += len / n;
+                }
+            }
+        }
+    }
+
+    let wait = wall - compute - comm_total;
+    // Compare the two *measured* components (same rounding path) rather
+    // than the derived solo+inflation sum, so exact ties bind to compute.
+    let binding = if compute >= comm_total {
+        Binding::Compute
+    } else {
+        // The most-blamed link binds; uncontended comm pins the first link.
+        let link = blame
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0 .0.cmp(&a.0 .0)))
+            .map(|((link, _), _)| *link)
+            .unwrap_or_else(|| links.first().copied().unwrap_or(0));
+        Binding::Communicate { link }
+    };
+    IterationLedger {
+        job,
+        iteration: it.index,
+        wall,
+        compute,
+        wait,
+        solo,
+        inflation,
+        blame,
+        binding,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{IterationSpan, JobTrack};
+    use simtime::Time;
+
+    fn iv(start: u64, end: u64) -> Interval {
+        Interval {
+            start: Time::from_nanos(start),
+            end: Time::from_nanos(end),
+        }
+    }
+
+    /// One job, one iteration: compute [s, c_start), comm [c_start, e).
+    fn job_track(links: Vec<u32>, s: u64, c_start: u64, e: u64) -> JobTrack {
+        JobTrack {
+            comm: vec![iv(c_start, e)],
+            iterations: vec![IterationSpan {
+                index: 0,
+                span: iv(s, e),
+                compute: vec![iv(s, c_start)],
+                comm: vec![iv(c_start, e)],
+                complete: true,
+            }],
+            links,
+            ..JobTrack::default()
+        }
+    }
+
+    fn tracks(jobs: Vec<(u32, JobTrack)>) -> ScenarioTracks {
+        let mut t = ScenarioTracks::default();
+        for (id, track) in jobs {
+            t.jobs.insert(id, track);
+        }
+        t
+    }
+
+    #[test]
+    fn solo_job_has_zero_inflation_and_exact_conservation() {
+        let t = tracks(vec![(0, job_track(vec![0], 0, 600, 1_000))]);
+        let l = ledger(&t, None);
+        let j = &l.jobs[&0];
+        assert_eq!(j.inflation, 0.0);
+        assert!((j.solo - 400e-9).abs() < 1e-15);
+        assert!((j.compute - 600e-9).abs() < 1e-15);
+        assert!(j.max_residual < 1e-15, "residual {}", j.max_residual);
+        assert!(l.links.is_empty());
+        assert_eq!(l.measured_overlap(), 0.0);
+    }
+
+    #[test]
+    fn full_overlap_splits_comm_evenly_and_blames_the_peer() {
+        // Both jobs communicate [500, 1000) on link 0.
+        let t = tracks(vec![
+            (0, job_track(vec![0], 0, 500, 1_000)),
+            (1, job_track(vec![0], 0, 500, 1_000)),
+        ]);
+        let l = ledger(&t, None);
+        for (job, peer) in [(0u32, 1u32), (1, 0)] {
+            let j = &l.jobs[&job];
+            assert!((j.solo - 250e-9).abs() < 1e-15);
+            assert!((j.inflation - 250e-9).abs() < 1e-15);
+            assert!((j.blame[&(0, peer)] - 250e-9).abs() < 1e-15);
+            assert_eq!(j.bound_by_comm, 0); // compute 500 ≥ comm 500
+            assert!(j.max_residual < 1e-15);
+        }
+        assert!((l.links[&0].inflation - 500e-9).abs() < 1e-15);
+        assert!((l.measured_overlap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_blames_only_the_shared_span() {
+        // Job 0 comm [100, 300), job 1 comm [200, 400): shared [200, 300).
+        let t = tracks(vec![
+            (0, job_track(vec![0], 0, 100, 300)),
+            (1, job_track(vec![0], 100, 200, 400)),
+        ]);
+        let l = ledger(&t, None);
+        let j0 = &l.jobs[&0];
+        // 100 ns solo + 100 ns shared → solo 100+50, inflation 50.
+        assert!((j0.solo - 150e-9).abs() < 1e-15);
+        assert!((j0.inflation - 50e-9).abs() < 1e-15);
+        assert!((j0.blame[&(0, 1)] - 50e-9).abs() < 1e-15);
+        // Conservation: solo + inflation == measured comm.
+        assert!((j0.solo + j0.inflation - 200e-9).abs() < 1e-15);
+        // Interleave equivalence: contended 100 / busy 300.
+        assert!((l.measured_overlap() - 100.0 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_links_never_blame_each_other() {
+        let t = tracks(vec![
+            (0, job_track(vec![0], 0, 500, 1_000)),
+            (1, job_track(vec![1], 0, 500, 1_000)),
+        ]);
+        let l = ledger(&t, None);
+        assert_eq!(l.jobs[&0].inflation, 0.0);
+        assert_eq!(l.jobs[&1].inflation, 0.0);
+        assert!(l.links.is_empty());
+    }
+
+    #[test]
+    fn comm_bound_iteration_pins_the_contended_link() {
+        // Tiny compute, long contended comm → bound by link 0.
+        let t = tracks(vec![
+            (0, job_track(vec![0], 0, 100, 1_000)),
+            (1, job_track(vec![0], 0, 100, 1_000)),
+        ]);
+        let l = ledger(&t, None);
+        let j = &l.jobs[&0];
+        assert_eq!(j.bound_by_comm, 1);
+        assert_eq!(
+            j.iterations[0].binding,
+            Binding::Communicate { link: 0 },
+            "binding {:?}",
+            j.iterations[0].binding
+        );
+        assert_eq!(j.iterations[0].binding.label(), "link0");
+    }
+
+    #[test]
+    fn verdict_compares_measured_against_prediction() {
+        let contended = tracks(vec![
+            (0, job_track(vec![0], 0, 500, 1_000)),
+            (1, job_track(vec![0], 0, 500, 1_000)),
+        ]);
+        let l = ledger(&contended, Some(0.0));
+        assert_eq!(l.verdict(), "contends more than geometry predicted");
+        let l = ledger(&contended, Some(1.0));
+        assert_eq!(l.verdict(), "consistent with geometry prediction");
+        let clean = tracks(vec![(0, job_track(vec![0], 0, 500, 1_000))]);
+        let l = ledger(&clean, Some(0.9));
+        assert_eq!(l.verdict(), "contends less than geometry predicted");
+        let l = ledger(&clean, None);
+        assert_eq!(l.verdict(), "no geometry prediction");
+    }
+
+    #[test]
+    fn incomplete_iterations_stay_out_of_the_ledger() {
+        let mut track = job_track(vec![0], 0, 500, 1_000);
+        track.iterations[0].complete = false;
+        let t = tracks(vec![(0, track)]);
+        let l = ledger(&t, None);
+        assert!(l.jobs[&0].iterations.is_empty());
+        assert_eq!(l.jobs[&0].wall, 0.0);
+    }
+
+    #[test]
+    fn three_way_contention_splits_by_occupancy_share() {
+        let t = tracks(vec![
+            (0, job_track(vec![0], 0, 0, 900)),
+            (1, job_track(vec![0], 0, 0, 900)),
+            (2, job_track(vec![0], 0, 0, 900)),
+        ]);
+        let l = ledger(&t, None);
+        let j = &l.jobs[&0];
+        assert!((j.solo - 300e-9).abs() < 1e-15);
+        assert!((j.inflation - 600e-9).abs() < 1e-15);
+        assert!((j.blame[&(0, 1)] - 300e-9).abs() < 1e-15);
+        assert!((j.blame[&(0, 2)] - 300e-9).abs() < 1e-15);
+        // Pairwise-equivalent overlap saturates at 1.
+        assert_eq!(l.measured_overlap(), 1.0);
+    }
+}

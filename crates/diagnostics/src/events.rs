@@ -3,7 +3,7 @@
 
 use simtime::{Dur, Time};
 use std::collections::BTreeMap;
-use telemetry::{Event, Phase, TimedEvent};
+use telemetry::{Event, Phase, SpanKind, TimedEvent};
 
 /// A named slice of the event stream between two `Scenario` markers.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,12 +61,32 @@ impl Interval {
     }
 }
 
+/// One iteration of one job, reconstructed from its span events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationSpan {
+    /// The engine's iteration index (warmup iterations included).
+    pub index: u64,
+    /// Wall-clock extent of the iteration span.
+    pub span: Interval,
+    /// Compute sub-spans inside the iteration, in time order.
+    pub compute: Vec<Interval>,
+    /// Communication sub-spans inside the iteration, in time order
+    /// (pipelined jobs may have several per iteration).
+    pub comm: Vec<Interval>,
+    /// False when the iteration span was still open at stream end (its
+    /// extent is clipped to the last event's timestamp).
+    pub complete: bool,
+}
+
 /// Per-job facts extracted from one scenario's events.
 #[derive(Debug, Clone, Default)]
 pub struct JobTrack {
     /// Communication-phase intervals, in time order. An interval left open
     /// at the end of the stream is closed at the last event's timestamp.
     pub comm: Vec<Interval>,
+    /// Iteration spans reconstructed from `SpanBegin`/`SpanEnd` events,
+    /// in iteration order. Empty for traces recorded before typed spans.
+    pub iterations: Vec<IterationSpan>,
     /// Iteration times: spans between successive communicate-phase exits.
     pub iteration_times: Vec<Dur>,
     /// Links this job's traffic traverses (from `JobPath`), empty if the
@@ -109,6 +129,11 @@ pub fn extract_tracks(events: &[TimedEvent]) -> ScenarioTracks {
     };
     // Currently-open communicate interval per job.
     let mut open: BTreeMap<u32, Time> = BTreeMap::new();
+    // Currently-open spans per job: (iteration under construction, open
+    // phase-span start). Engines emit strictly nested spans, so one open
+    // iteration and at most one open phase per job suffice.
+    let mut open_iter: BTreeMap<u32, IterationSpan> = BTreeMap::new();
+    let mut open_span: BTreeMap<u32, (SpanKind, Time)> = BTreeMap::new();
     for te in events {
         match &te.event {
             Event::PhaseEnter {
@@ -136,6 +161,52 @@ pub fn extract_tracks(events: &[TimedEvent]) -> ScenarioTracks {
             Event::JobPath { job, links } => {
                 tracks.jobs.entry(*job).or_default().links = links.clone();
             }
+            Event::SpanBegin {
+                job,
+                kind,
+                iteration,
+            } => match kind {
+                SpanKind::Iteration => {
+                    open_iter.insert(
+                        *job,
+                        IterationSpan {
+                            index: *iteration,
+                            span: Interval {
+                                start: te.at,
+                                end: te.at,
+                            },
+                            compute: Vec::new(),
+                            comm: Vec::new(),
+                            complete: false,
+                        },
+                    );
+                }
+                SpanKind::Compute | SpanKind::Communicate => {
+                    open_span.insert(*job, (*kind, te.at));
+                }
+            },
+            Event::SpanEnd { job, kind, .. } => match kind {
+                SpanKind::Iteration => {
+                    if let Some(mut it) = open_iter.remove(job) {
+                        it.span.end = te.at;
+                        it.complete = true;
+                        tracks.jobs.entry(*job).or_default().iterations.push(it);
+                    }
+                }
+                SpanKind::Compute | SpanKind::Communicate => {
+                    if let Some((open_kind, start)) = open_span.remove(job) {
+                        if open_kind == *kind {
+                            if let Some(it) = open_iter.get_mut(job) {
+                                let iv = Interval { start, end: te.at };
+                                match kind {
+                                    SpanKind::Compute => it.compute.push(iv),
+                                    _ => it.comm.push(iv),
+                                }
+                            }
+                        }
+                    }
+                }
+            },
             Event::RateChange { flow, bps, state } => {
                 let track = tracks.jobs.entry(*flow).or_default();
                 track.rates.push((te.at, *bps));
@@ -165,8 +236,29 @@ pub fn extract_tracks(events: &[TimedEvent]) -> ScenarioTracks {
             tracks.jobs.entry(job).or_default().comm.push(interval);
         }
     }
+    // Clip dangling spans (the last iteration of a stream legitimately
+    // never closes) to the stream end, marked incomplete.
+    for (job, (kind, start)) in open_span {
+        if let Some(it) = open_iter.get_mut(&job) {
+            let iv = Interval { start, end };
+            if !iv.is_empty() {
+                match kind {
+                    SpanKind::Compute => it.compute.push(iv),
+                    SpanKind::Communicate => it.comm.push(iv),
+                    SpanKind::Iteration => {}
+                }
+            }
+        }
+    }
+    for (job, mut it) in open_iter {
+        it.span.end = end;
+        if !it.span.is_empty() {
+            tracks.jobs.entry(job).or_default().iterations.push(it);
+        }
+    }
     for track in tracks.jobs.values_mut() {
         track.comm.sort_by_key(|iv| iv.start);
+        track.iterations.sort_by_key(|it| it.index);
     }
     tracks
 }
@@ -283,6 +375,69 @@ mod tests {
                 },
             ]
         );
+    }
+
+    fn span(at: u64, job: u32, kind: SpanKind, it: u64, begin: bool) -> TimedEvent {
+        TimedEvent {
+            at: Time::from_nanos(at),
+            event: if begin {
+                Event::SpanBegin {
+                    job,
+                    kind,
+                    iteration: it,
+                }
+            } else {
+                Event::SpanEnd {
+                    job,
+                    kind,
+                    iteration: it,
+                }
+            },
+        }
+    }
+
+    #[test]
+    fn iteration_spans_reconstruct_from_span_events() {
+        let k = SpanKind::Iteration;
+        let c = SpanKind::Compute;
+        let m = SpanKind::Communicate;
+        let ev = vec![
+            span(0, 0, k, 0, true),
+            span(0, 0, c, 0, true),
+            span(60, 0, c, 0, false),
+            span(60, 0, m, 0, true),
+            span(100, 0, m, 0, false),
+            span(100, 0, k, 0, false),
+            span(100, 0, k, 1, true),
+            span(100, 0, c, 1, true),
+            // Iteration 1 dangles open at stream end (t = 150).
+            TimedEvent {
+                at: Time::from_nanos(150),
+                event: Event::QueueDepth {
+                    link: 0,
+                    bytes: 0.0,
+                },
+            },
+        ];
+        let tracks = extract_tracks(&ev);
+        let its = &tracks.jobs[&0].iterations;
+        assert_eq!(its.len(), 2);
+        assert_eq!(its[0].index, 0);
+        assert!(its[0].complete);
+        assert_eq!(its[0].span.len(), Dur::from_nanos(100));
+        assert_eq!(its[0].compute, vec![iv_at(0, 60)]);
+        assert_eq!(its[0].comm, vec![iv_at(60, 100)]);
+        assert_eq!(its[1].index, 1);
+        assert!(!its[1].complete, "dangling iteration stays incomplete");
+        assert_eq!(its[1].span, iv_at(100, 150));
+        assert_eq!(its[1].compute, vec![iv_at(100, 150)]);
+    }
+
+    fn iv_at(start: u64, end: u64) -> Interval {
+        Interval {
+            start: Time::from_nanos(start),
+            end: Time::from_nanos(end),
+        }
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! - **Did DCQCN converge or oscillate?** The [`health`] analyzer windows
 //!   per-flow rate variance, counts ECN/CNP signal rates, and flags
 //!   standing queues.
+//! - **Who made each iteration slow?** The [`attribution`] analyzer folds
+//!   the engines' typed iteration spans with link occupancy into a
+//!   contention ledger: per job-iteration wall time decomposed into
+//!   compute, solo communication, and contention inflation blamed per
+//!   `(link, competing job)` pair, with critical-path extraction and a
+//!   cross-check against the geometry prediction.
 //! - **Who paid for whose speedup?** The [`fairness`] analyzer computes
 //!   windowed Jain indices (deliberate short-term unfairness with high
 //!   long-term fairness is the paper's signature), and [`analyze`]
@@ -24,6 +30,7 @@
 //!   timelines, rate sparklines, and verdict tables.
 
 pub mod analyze;
+pub mod attribution;
 pub mod events;
 pub mod fairness;
 pub mod health;
@@ -35,7 +42,10 @@ pub mod summary;
 pub mod watchdog;
 
 pub use analyze::{analyze, AnalysisConfig, Attribution, RunAnalysis, ScenarioAnalysis};
-pub use events::{extract_tracks, split_scenarios, Interval, JobTrack, ScenarioTracks};
+pub use attribution::{ledger, Binding, ContentionLedger, IterationLedger, JobLedger, LinkBlame};
+pub use events::{
+    extract_tracks, split_scenarios, Interval, IterationSpan, JobTrack, ScenarioTracks,
+};
 pub use fairness::{jain_index, FairnessReport};
 pub use health::{Convergence, FlowHealth, HealthConfig, HealthReport, QueueHealth};
 pub use history::{parse_history, trend, ExperimentTrend, HistoryRecord, TrendConfig, TrendReport};

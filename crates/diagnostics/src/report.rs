@@ -45,6 +45,7 @@ pub fn html(analysis: &RunAnalysis) -> String {
     for sc in &analysis.scenarios {
         let _ = writeln!(out, "<h2>Scenario: {}</h2>", esc(&sc.name));
         verdict_table(&mut out, sc);
+        attribution_section(&mut out, sc);
         timeline_svg(&mut out, sc);
         sparklines_svg(&mut out, sc);
     }
@@ -159,6 +160,93 @@ fn verdict_table(out: &mut String, sc: &ScenarioAnalysis) {
         fj.mean_jain, fj.min_jain, fj.long_term_jain
     );
     out.push_str("</table>\n");
+}
+
+/// Contention-attribution ledger: per-job time decomposition, the blame
+/// matrix per (victim, link, competitor), and the critical-path verdict.
+/// Silent for traces without span events.
+fn attribution_section(out: &mut String, sc: &ScenarioAnalysis) {
+    let ledger = &sc.ledger;
+    if ledger.jobs.is_empty() {
+        return;
+    }
+    out.push_str("<h3>Contention attribution</h3>\n");
+    let _ = writeln!(
+        out,
+        "<p class=\"muted\">Per-job wall time decomposed from iteration spans; \
+         geometry cross-check: <b>{}</b> (measured pairwise overlap {:.3}{}; \
+         max conservation residual {:.1} ns)</p>",
+        esc(ledger.verdict()),
+        ledger.measured_overlap(),
+        match ledger.predicted_overlap {
+            Some(p) => format!(", predicted {p:.3}"),
+            None => String::new(),
+        },
+        ledger.max_residual * 1e9
+    );
+    out.push_str(
+        "<table><tr><th>job</th><th>wall ms</th><th>compute ms</th><th>solo comm ms</th>\
+         <th>inflation ms</th><th>inflation share</th><th>critical path</th></tr>\n",
+    );
+    for (job, jl) in &ledger.jobs {
+        let share = jl.inflation_share();
+        let cls = if share < 0.05 {
+            "ok"
+        } else if share < 0.25 {
+            "warn"
+        } else {
+            "bad"
+        };
+        let critical = if jl.bound_by_comm > jl.bound_by_compute {
+            let link = jl
+                .top_blame()
+                .first()
+                .map(|((link, _), _)| format!("link {link}"))
+                .unwrap_or_else(|| "network".to_string());
+            format!(
+                "{} ({} of {} iterations)",
+                link,
+                jl.bound_by_comm,
+                jl.iterations.len()
+            )
+        } else {
+            format!(
+                "compute ({} of {} iterations)",
+                jl.bound_by_compute,
+                jl.iterations.len()
+            )
+        };
+        let _ = writeln!(
+            out,
+            "<tr><td>job {job}</td><td>{:.3}</td><td>{:.3}</td><td>{:.3}</td>\
+             <td>{:.3}</td><td class=\"{cls}\">{:.1}%</td><td>{critical}</td></tr>",
+            jl.wall * 1e3,
+            jl.compute * 1e3,
+            jl.solo * 1e3,
+            jl.inflation * 1e3,
+            share * 100.0
+        );
+    }
+    out.push_str("</table>\n");
+
+    let has_blame = ledger.jobs.values().any(|jl| !jl.blame.is_empty());
+    if has_blame {
+        out.push_str(
+            "<table><tr><th>victim</th><th>link</th><th>blamed on</th>\
+             <th>blamed ms</th></tr>\n",
+        );
+        for (job, jl) in &ledger.jobs {
+            for ((link, other), secs) in jl.top_blame() {
+                let _ = writeln!(
+                    out,
+                    "<tr><td>job {job}</td><td>link {link}</td><td>job {other}</td>\
+                     <td>{:.3}</td></tr>",
+                    secs * 1e3
+                );
+            }
+        }
+        out.push_str("</table>\n");
+    }
 }
 
 /// Per-job communicate-phase occupancy bars over scenario time.
@@ -338,5 +426,72 @@ mod tests {
     fn report_is_deterministic() {
         let a = sample_analysis();
         assert_eq!(html(&a), html(&a));
+    }
+
+    #[test]
+    fn spanful_traces_render_the_attribution_section() {
+        use telemetry::SpanKind;
+        let t = Time::from_nanos;
+        let mut events = vec![TimedEvent {
+            at: Time::ZERO,
+            event: Event::Scenario {
+                name: "contended".into(),
+            },
+        }];
+        // Two jobs: compute [0,500), fully-overlapped comm [500,1000),
+        // then iteration 1 opens so iteration 0 closes.
+        for job in 0..2u32 {
+            let span = |at: u64, kind: SpanKind, it: u64, begin: bool| TimedEvent {
+                at: t(at),
+                event: if begin {
+                    Event::SpanBegin {
+                        job,
+                        kind,
+                        iteration: it,
+                    }
+                } else {
+                    Event::SpanEnd {
+                        job,
+                        kind,
+                        iteration: it,
+                    }
+                },
+            };
+            events.extend([
+                span(0, SpanKind::Iteration, 0, true),
+                span(0, SpanKind::Compute, 0, true),
+                span(500, SpanKind::Compute, 0, false),
+                span(500, SpanKind::Communicate, 0, true),
+                TimedEvent {
+                    at: t(500),
+                    event: Event::PhaseEnter {
+                        job,
+                        phase: Phase::Communicate,
+                        iteration: 0,
+                    },
+                },
+                TimedEvent {
+                    at: t(1_000),
+                    event: Event::PhaseExit {
+                        job,
+                        phase: Phase::Communicate,
+                        iteration: 0,
+                    },
+                },
+                span(1_000, SpanKind::Communicate, 0, false),
+                span(1_000, SpanKind::Iteration, 0, false),
+                span(1_000, SpanKind::Iteration, 1, true),
+            ]);
+        }
+        let a = analyze("attr", &events, &AnalysisConfig::default());
+        let page = html(&a);
+        assert!(page.contains("Contention attribution"));
+        assert!(page.contains("blamed on"));
+        assert!(
+            page.contains("<td>job 1</td>"),
+            "blame matrix names the peer"
+        );
+        // The plain sample (no span events) renders no attribution section.
+        assert!(!html(&sample_analysis()).contains("Contention attribution"));
     }
 }

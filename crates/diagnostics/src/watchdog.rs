@@ -170,6 +170,10 @@ pub struct Alert {
     pub threshold: f64,
     /// Human-readable one-liner.
     pub message: String,
+    /// The most contended `(link, job pair)` at trigger time, from the
+    /// watchdog's streaming pair-overlap accumulator — `None` when no two
+    /// jobs had overlapped on a shared link yet.
+    pub blamed: Option<String>,
     /// Snapshot of the scenario's flight ring when the alert fired — the
     /// last-N events per category, including the triggering events.
     pub context: Vec<TimedEvent>,
@@ -185,9 +189,13 @@ impl Alert {
     /// shapes are flat JSON objects, so the dump stays grep- and
     /// machine-readable (`"alert":` selects headers, `"type":` events).
     pub fn to_jsonl(&self) -> String {
+        let blamed = match &self.blamed {
+            Some(b) => format!(",\"blamed\":\"{}\"", esc(b)),
+            None => String::new(),
+        };
         let mut out = format!(
             "{{\"alert\":\"{}\",\"scenario\":\"{}\",\"t_ns\":{},\"subject\":\"{}\",\
-             \"value\":{},\"threshold\":{},\"message\":\"{}\",\"context_events\":{}}}\n",
+             \"value\":{},\"threshold\":{},\"message\":\"{}\"{blamed},\"context_events\":{}}}\n",
             self.kind.label(),
             esc(&self.scenario),
             self.at.as_nanos(),
@@ -203,8 +211,12 @@ impl Alert {
 
     /// Compact single-line rendering for terminals.
     pub fn render(&self) -> String {
+        let blamed = match &self.blamed {
+            Some(b) => format!(" [most contended: {b}]"),
+            None => String::new(),
+        };
         format!(
-            "[{}] {} at {:.3}ms ({}): {}",
+            "[{}] {} at {:.3}ms ({}): {}{blamed}",
             self.kind.label(),
             self.scenario,
             self.at.as_millis_f64(),
@@ -239,6 +251,13 @@ pub struct Watchdog {
     stall_fired: bool,
     fired: BTreeSet<(&'static str, String)>,
     alerts: Vec<Alert>,
+    // Streaming pair-overlap accumulator: which jobs are communicating
+    // right now, since when the active set last changed, which links each
+    // job traverses, and overlapped seconds per (link, job, job) triple.
+    comm_active: BTreeSet<u32>,
+    comm_seg_start: Time,
+    job_links: BTreeMap<u32, Vec<u32>>,
+    pair_overlap: BTreeMap<(u32, u32, u32), f64>,
 }
 
 /// Iteration samples retained per job for the recovery baseline median.
@@ -263,7 +282,39 @@ impl Watchdog {
             stall_fired: false,
             fired: BTreeSet::new(),
             alerts: Vec::new(),
+            comm_active: BTreeSet::new(),
+            comm_seg_start: Time::ZERO,
+            job_links: BTreeMap::new(),
+            pair_overlap: BTreeMap::new(),
         }
+    }
+
+    /// Accrues the overlap segment `[comm_seg_start, now)` for every pair
+    /// of currently-communicating jobs sharing a link, then restarts the
+    /// segment at `now`. Jobs without a `JobPath` default to link 0.
+    fn accrue_overlap(&mut self, now: Time) {
+        let dt = now.saturating_since(self.comm_seg_start).as_secs_f64();
+        if dt > 0.0 && self.comm_active.len() >= 2 {
+            let jobs: Vec<u32> = self.comm_active.iter().copied().collect();
+            for (i, &a) in jobs.iter().enumerate() {
+                for &b in &jobs[i + 1..] {
+                    let la = self.job_links.get(&a).cloned().unwrap_or_else(|| vec![0]);
+                    let lb = self.job_links.get(&b).cloned().unwrap_or_else(|| vec![0]);
+                    for &l in la.iter().filter(|l| lb.contains(l)) {
+                        *self.pair_overlap.entry((l, a, b)).or_insert(0.0) += dt;
+                    }
+                }
+            }
+        }
+        self.comm_seg_start = now;
+    }
+
+    /// The most-overlapped `(link, job pair)` so far, rendered for alerts.
+    fn top_blamed(&self) -> Option<String> {
+        self.pair_overlap
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&(link, a, b), &secs)| format!("link{link} job{a}+job{b} ({:.3}ms)", secs * 1e3))
     }
 
     pub fn scenario(&self) -> &str {
@@ -286,6 +337,7 @@ impl Watchdog {
         if !self.fired.insert((kind.label(), subject.clone())) {
             return;
         }
+        self.accrue_overlap(at);
         self.alerts.push(Alert {
             kind,
             scenario: self.scenario.clone(),
@@ -294,6 +346,7 @@ impl Watchdog {
             value,
             threshold,
             message,
+            blamed: self.top_blamed(),
             context: self.ring.snapshot(),
         });
     }
@@ -409,11 +462,24 @@ impl Watchdog {
                     self.link_down.remove(link);
                 }
             }
+            Event::JobPath { job, links } => {
+                self.job_links.insert(*job, links.clone());
+            }
+            Event::PhaseEnter {
+                job,
+                phase: Phase::Communicate,
+                ..
+            } => {
+                self.accrue_overlap(te.at);
+                self.comm_active.insert(*job);
+            }
             Event::PhaseExit {
                 job,
                 phase: Phase::Communicate,
                 ..
             } => {
+                self.accrue_overlap(te.at);
+                self.comm_active.remove(job);
                 if let Some(prev) = self.last_comm_exit.insert(*job, te.at) {
                     let dur = te.at.saturating_since(prev);
                     if self.fault_started_at.is_none() && self.link_down.is_empty() {
@@ -796,6 +862,98 @@ mod tests {
         ok.observe(&comm_exit(200 * ms, 0, 8));
         ok.finish();
         assert!(ok.alerts().is_empty(), "{:?}", ok.alerts());
+    }
+
+    fn comm_enter(ns: u64, job: u32, iteration: u64) -> TimedEvent {
+        te(
+            ns,
+            Event::PhaseEnter {
+                job,
+                phase: Phase::Communicate,
+                iteration,
+            },
+        )
+    }
+
+    #[test]
+    fn alerts_carry_the_most_contended_pair() {
+        let rules = SloRules {
+            max_queue_bytes: Some(1000.0),
+            ..SloRules::default()
+        };
+        let ms = 1_000_000u64;
+        let mut dog = Watchdog::new("s", rules.clone());
+        // Jobs 0 and 1 overlap on link 0 for 2 ms; job 2 stays solo.
+        dog.observe(&comm_enter(0, 0, 0));
+        dog.observe(&comm_enter(ms, 1, 0));
+        dog.observe(&comm_exit(3 * ms, 0, 0));
+        dog.observe(&comm_exit(3 * ms, 1, 0));
+        dog.observe(&comm_enter(4 * ms, 2, 0));
+        dog.observe(&te(
+            5 * ms,
+            Event::QueueDepth {
+                link: 0,
+                bytes: 5000.0,
+            },
+        ));
+        dog.finish();
+        let alerts = dog.alerts();
+        assert_eq!(alerts.len(), 1);
+        let blamed = alerts[0].blamed.as_deref().expect("blamed pair");
+        assert_eq!(blamed, "link0 job0+job1 (2.000ms)");
+        assert!(alerts[0]
+            .to_jsonl()
+            .contains("\"blamed\":\"link0 job0+job1"));
+        assert!(alerts[0].render().contains("[most contended: link0"));
+
+        // No overlap observed → no blame on the alert.
+        let mut solo = Watchdog::new("s", rules);
+        solo.observe(&comm_enter(0, 0, 0));
+        solo.observe(&te(
+            ms,
+            Event::QueueDepth {
+                link: 0,
+                bytes: 5000.0,
+            },
+        ));
+        solo.finish();
+        assert_eq!(solo.alerts()[0].blamed, None);
+        assert!(!solo.alerts()[0].to_jsonl().contains("\"blamed\""));
+    }
+
+    #[test]
+    fn disjoint_paths_accumulate_no_pair_overlap() {
+        let rules = SloRules {
+            max_queue_bytes: Some(1000.0),
+            ..SloRules::default()
+        };
+        let ms = 1_000_000u64;
+        let mut dog = Watchdog::new("s", rules);
+        dog.observe(&te(
+            0,
+            Event::JobPath {
+                job: 0,
+                links: vec![1],
+            },
+        ));
+        dog.observe(&te(
+            0,
+            Event::JobPath {
+                job: 1,
+                links: vec![2],
+            },
+        ));
+        dog.observe(&comm_enter(0, 0, 0));
+        dog.observe(&comm_enter(0, 1, 0));
+        dog.observe(&te(
+            2 * ms,
+            Event::QueueDepth {
+                link: 1,
+                bytes: 5000.0,
+            },
+        ));
+        dog.finish();
+        assert_eq!(dog.alerts()[0].blamed, None);
     }
 
     #[test]

@@ -118,6 +118,32 @@ impl Fig1Result {
     }
 }
 
+/// The geometry solver's predicted overlap fraction for the Fig. 1 pair:
+/// what the jobs *could* achieve under rotation scheduling. The `explain`
+/// attribution cross-checks measured contention against this promise —
+/// the paper's point is that unmanaged (fair) DCQCN contends even when
+/// geometry says the jobs are compatible.
+pub fn predicted_overlap(cfg: &Fig1Config) -> f64 {
+    let solver = geometry::SolverConfig::default();
+    let profiles: Vec<geometry::Profile> = cfg
+        .jobs
+        .iter()
+        .map(|s| scheduler::analytic_profile(s, cfg.sim.capacity, Dur::from_micros(2_500)))
+        .collect();
+    match geometry::solve(&profiles, &solver) {
+        Ok(geometry::Verdict::Compatible { rotations, .. }) => {
+            geometry::overlap_fraction_of(&profiles, &rotations, solver.sectors).unwrap_or(0.0)
+        }
+        Ok(geometry::Verdict::Incompatible {
+            best_overlap_fraction,
+        })
+        | Ok(geometry::Verdict::Inconclusive {
+            best_overlap_fraction,
+        }) => best_overlap_fraction,
+        Err(_) => 1.0,
+    }
+}
+
 fn run_scenario<R: Recorder>(cfg: &Fig1Config, variants: [CcVariant; 2], rec: R) -> Scenario {
     let mut jobs = [
         RateJob::new(cfg.jobs[0], variants[0]),
@@ -234,5 +260,11 @@ mod tests {
         }
         // Render has a row per job plus header/rule.
         assert_eq!(r.render().lines().count(), 4);
+    }
+
+    #[test]
+    fn predicted_overlap_is_a_fraction() {
+        let p = predicted_overlap(&quick_cfg());
+        assert!((0.0..=1.0).contains(&p), "predicted overlap {p}");
     }
 }

@@ -20,7 +20,7 @@
 use crate::alloc::{strict_priority_into, weighted_max_min_into, AllocScratch, FlowDemand};
 use eventsim::{EventQueue, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
-use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
+use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder, SpanTracker};
 use topology::{LinkId, LinkSchedule, Topology};
 use workload::{JobProgress, JobSpec, PhaseNoise};
 
@@ -261,6 +261,8 @@ pub struct FluidSimulator<R: Recorder = NoopRecorder> {
     next_completion_cache: Option<Time>,
     throughput_traces: Vec<TimeSeries>,
     rec: R,
+    /// Typed-span emission state (empty when `R` is disabled).
+    spans: SpanTracker,
     /// Allocation-solver passes so far (also the solver-iteration index).
     allocs: u64,
     /// Events popped from the queue so far.
@@ -293,6 +295,7 @@ impl<R: Recorder> FluidSimulator<R> {
         mut rec: R,
     ) -> FluidSimulator<R> {
         assert!(!jobs.is_empty(), "FluidSimulator: no jobs");
+        let mut spans = SpanTracker::new::<R>(jobs.len());
         if R::ENABLED {
             for (j, job) in jobs.iter().enumerate() {
                 let mut links: Vec<u32> = job
@@ -308,6 +311,13 @@ impl<R: Recorder> FluidSimulator<R> {
                         job: j as u32,
                         links,
                     },
+                );
+                spans.enter(
+                    &mut rec,
+                    Time::ZERO + job.start_offset,
+                    j as u32,
+                    Phase::Compute,
+                    0,
                 );
                 rec.record(
                     Time::ZERO + job.start_offset,
@@ -439,6 +449,7 @@ impl<R: Recorder> FluidSimulator<R> {
             next_completion_cache: None,
             throughput_traces: (0..jobs.len()).map(|_| TimeSeries::new()).collect(),
             rec,
+            spans,
             allocs: 0,
             events_popped: 0,
             last_rates: vec![0.0; jobs.len()],
@@ -738,6 +749,10 @@ impl<R: Recorder> FluidSimulator<R> {
                                 iteration: exited,
                             },
                         );
+                        self.spans
+                            .exit(&mut self.rec, t, j as u32, Phase::Communicate, exited);
+                        self.spans
+                            .enter(&mut self.rec, t, j as u32, Phase::Compute, done);
                         self.rec.record(
                             t,
                             Event::PhaseEnter {
@@ -782,6 +797,15 @@ impl<R: Recorder> FluidSimulator<R> {
                                 phase: Phase::Compute,
                                 iteration,
                             },
+                        );
+                        self.spans
+                            .exit(&mut self.rec, now, j as u32, Phase::Compute, iteration);
+                        self.spans.enter(
+                            &mut self.rec,
+                            now,
+                            j as u32,
+                            Phase::Communicate,
+                            iteration,
                         );
                         self.rec.record(
                             now,

@@ -28,7 +28,7 @@
 use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, SignalLoss};
 use eventsim::{queue::reference, EventQueue, Rng, ScheduledEvent};
 use simtime::{Bandwidth, Dur, Time};
-use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
+use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder, SpanTracker};
 use topology::LinkSchedule;
 use workload::{JobProgress, JobSpec, PhaseNoise};
 
@@ -240,6 +240,8 @@ pub struct PacketSimulator<R: Recorder = NoopRecorder> {
     packets_marked: u64,
     cnps_sent: u64,
     rec: R,
+    /// Typed-span emission state (empty when `R` is disabled).
+    spans: SpanTracker,
     events_processed: u64,
     /// Dedicated fault RNG: only ever drawn when `cfg.signal_loss` has a
     /// positive probability, so the mark stream is untouched otherwise.
@@ -311,8 +313,25 @@ impl<R: Recorder> PacketSimulator<R> {
                 }
             })
             .collect();
+        let mut spans = SpanTracker::new::<R>(jobs.len());
         if R::ENABLED {
             for (i, j) in jobs.iter().enumerate() {
+                // One shared bottleneck, like the rate engine: announce it
+                // so offline attribution can blame contention on a link.
+                rec.record(
+                    Time::ZERO + j.start_offset,
+                    Event::JobPath {
+                        job: i as u32,
+                        links: vec![0],
+                    },
+                );
+                spans.enter(
+                    &mut rec,
+                    Time::ZERO + j.start_offset,
+                    i as u32,
+                    Phase::Compute,
+                    0,
+                );
                 rec.record(
                     Time::ZERO + j.start_offset,
                     Event::PhaseEnter {
@@ -337,6 +356,7 @@ impl<R: Recorder> PacketSimulator<R> {
             packets_marked: 0,
             cnps_sent: 0,
             rec,
+            spans,
             events_processed: 0,
             chaos_rng,
             last_cap_mult: 1.0,
@@ -514,6 +534,10 @@ impl<R: Recorder> PacketSimulator<R> {
                                 iteration: iter,
                             },
                         );
+                        self.spans
+                            .exit(&mut self.rec, now, i as u32, Phase::Compute, iter);
+                        self.spans
+                            .enter(&mut self.rec, now, i as u32, Phase::Communicate, iter);
                         self.rec.record(
                             now,
                             Event::PhaseEnter {
@@ -667,6 +691,10 @@ impl<R: Recorder> PacketSimulator<R> {
                                 iteration: exited,
                             },
                         );
+                        self.spans
+                            .exit(&mut self.rec, now, i as u32, Phase::Communicate, exited);
+                        self.spans
+                            .enter(&mut self.rec, now, i as u32, Phase::Compute, done);
                         self.rec.record(
                             now,
                             Event::PhaseEnter {

@@ -18,7 +18,7 @@
 use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, RpStage, SignalLoss};
 use eventsim::{Rng, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
-use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder};
+use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder, SpanTracker};
 use topology::LinkSchedule;
 use workload::{JobProgress, JobSpec, PhaseNoise};
 
@@ -203,6 +203,8 @@ pub struct RateSimulator<R: Recorder = NoopRecorder> {
     rate_traces: Vec<TimeSeries>,
     next_trace_at: Time,
     rec: R,
+    /// Typed-span emission state (empty when `R` is disabled).
+    spans: SpanTracker,
     next_sample_at: Time,
     steps: u64,
     /// Current adaptive step multiplier (power of two; 1 = base `dt`).
@@ -243,6 +245,7 @@ impl<R: Recorder> RateSimulator<R> {
     pub fn with_recorder(cfg: RateSimConfig, jobs: &[RateJob], mut rec: R) -> RateSimulator<R> {
         assert!(!jobs.is_empty(), "RateSimulator: no jobs");
         assert!(!cfg.dt.is_zero(), "RateSimulator: zero dt");
+        let mut spans = SpanTracker::new::<R>(jobs.len());
         if R::ENABLED {
             for (i, j) in jobs.iter().enumerate() {
                 // Single shared bottleneck: every job's flow crosses link 0.
@@ -252,6 +255,13 @@ impl<R: Recorder> RateSimulator<R> {
                         job: i as u32,
                         links: vec![0],
                     },
+                );
+                spans.enter(
+                    &mut rec,
+                    Time::ZERO + j.start_offset,
+                    i as u32,
+                    Phase::Compute,
+                    0,
                 );
                 rec.record(
                     Time::ZERO + j.start_offset,
@@ -304,6 +314,7 @@ impl<R: Recorder> RateSimulator<R> {
             rate_traces: (0..n).map(|_| TimeSeries::new()).collect(),
             next_trace_at: Time::ZERO,
             rec,
+            spans,
             next_sample_at: Time::ZERO,
             steps: 0,
             dt_scale: 1,
@@ -467,6 +478,15 @@ impl<R: Recorder> RateSimulator<R> {
                             phase: Phase::Compute,
                             iteration,
                         },
+                    );
+                    self.spans
+                        .exit(&mut self.rec, self.now, i as u32, Phase::Compute, iteration);
+                    self.spans.enter(
+                        &mut self.rec,
+                        self.now,
+                        i as u32,
+                        Phase::Communicate,
+                        iteration,
                     );
                     self.rec.record(
                         self.now,
@@ -643,6 +663,10 @@ impl<R: Recorder> RateSimulator<R> {
                             iteration: exited,
                         },
                     );
+                    self.spans
+                        .exit(&mut self.rec, t_end, i as u32, Phase::Communicate, exited);
+                    self.spans
+                        .enter(&mut self.rec, t_end, i as u32, Phase::Compute, done);
                     self.rec.record(
                         t_end,
                         Event::PhaseEnter {

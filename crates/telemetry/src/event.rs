@@ -58,6 +58,57 @@ impl CcState {
     }
 }
 
+/// What a typed span covers: a whole iteration, or one of its phases.
+///
+/// Spans form a two-level tree per job: an `Iteration` span opens when a
+/// job starts iteration `i` and closes when the iteration's communication
+/// completes; inside it, one `Compute` and one `Communicate` span bracket
+/// the corresponding phases. Span identity is *derived*, not stored — see
+/// [`span_id`] — so span events stay as small as phase events and
+/// round-trip through JSONL without extra fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    Iteration,
+    Compute,
+    Communicate,
+}
+
+impl SpanKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Iteration => "iteration",
+            SpanKind::Compute => "compute",
+            SpanKind::Communicate => "communicate",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            SpanKind::Iteration => 1,
+            SpanKind::Compute => 2,
+            SpanKind::Communicate => 3,
+        }
+    }
+}
+
+/// Globally unique span id, derived from (job, kind, iteration).
+///
+/// Exporters emit this as the span's `id` so viewers and analyzers can
+/// match a `span_end` to its `span_begin` without positional pairing; the
+/// JSONL parser ignores it on the way back in (it re-derives identity from
+/// the stored fields), which keeps round-trips exact.
+pub fn span_id(job: u32, kind: SpanKind, iteration: u64) -> u64 {
+    (u64::from(job) + 1) << 40 | (iteration & ((1 << 38) - 1)) << 2 | kind.code()
+}
+
+/// Parent span id: phases nest under their iteration; iterations are roots.
+pub fn span_parent(job: u32, kind: SpanKind, iteration: u64) -> u64 {
+    match kind {
+        SpanKind::Iteration => 0,
+        SpanKind::Compute | SpanKind::Communicate => span_id(job, SpanKind::Iteration, iteration),
+    }
+}
+
 /// One structured observation from a simulation.
 ///
 /// `flow`/`job` indices refer to the engine's job order (the order jobs were
@@ -103,6 +154,20 @@ pub enum Event {
     LinkCapacity { link: u32, fraction: f64 },
     /// `job` departed the cluster mid-run (churn): no further phases.
     JobDepart { job: u32 },
+    /// A typed span opened: `job` began `kind` of iteration `iteration`.
+    /// Spans nest strictly per job (iteration ⊃ phase); see [`SpanKind`].
+    SpanBegin {
+        job: u32,
+        kind: SpanKind,
+        iteration: u64,
+    },
+    /// A typed span closed. Always matches the innermost open span of the
+    /// same job (LIFO) in a well-formed stream.
+    SpanEnd {
+        job: u32,
+        kind: SpanKind,
+        iteration: u64,
+    },
 }
 
 impl Event {
@@ -123,6 +188,8 @@ impl Event {
             Event::JobPath { .. } => "job_path",
             Event::LinkCapacity { .. } => "link_capacity",
             Event::JobDepart { .. } => "job_depart",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
         }
     }
 
@@ -148,7 +215,9 @@ impl Event {
             | Event::PhaseExit { job, .. }
             | Event::GateRelease { job }
             | Event::JobPath { job, .. }
-            | Event::JobDepart { job } => Some(*job),
+            | Event::JobDepart { job }
+            | Event::SpanBegin { job, .. }
+            | Event::SpanEnd { job, .. } => Some(*job),
             _ => self.flow(),
         }
     }
@@ -171,5 +240,40 @@ mod tests {
         assert_eq!(Event::CnpReceived { flow: 1 }.kind(), "cnp_received");
         assert_eq!(Phase::Communicate.label(), "communicate");
         assert_eq!(CcState::HyperIncrease.label(), "hyper_increase");
+        assert_eq!(
+            Event::SpanBegin {
+                job: 0,
+                kind: SpanKind::Iteration,
+                iteration: 0
+            }
+            .kind(),
+            "span_begin"
+        );
+        assert_eq!(SpanKind::Communicate.label(), "communicate");
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_parents_nest() {
+        let mut seen = std::collections::BTreeSet::new();
+        for job in 0..4u32 {
+            for iter in 0..16u64 {
+                for kind in [
+                    SpanKind::Iteration,
+                    SpanKind::Compute,
+                    SpanKind::Communicate,
+                ] {
+                    let id = span_id(job, kind, iter);
+                    assert!(seen.insert(id), "duplicate span id {id}");
+                    let parent = span_parent(job, kind, iter);
+                    if kind == SpanKind::Iteration {
+                        assert_eq!(parent, 0);
+                    } else {
+                        assert_eq!(parent, span_id(job, SpanKind::Iteration, iter));
+                    }
+                }
+            }
+        }
+        // Ids are never zero (zero is the "no parent" sentinel).
+        assert!(seen.iter().all(|&id| id != 0));
     }
 }

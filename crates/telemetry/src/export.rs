@@ -6,7 +6,7 @@
 //! each `Scenario` marker starts a new "process" so multi-scenario runs (fair
 //! vs. unfair, sweep points) appear side by side.
 
-use crate::event::{Event, TimedEvent};
+use crate::event::{span_id, span_parent, Event, TimedEvent};
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -91,6 +91,26 @@ pub fn jsonl(events: &[TimedEvent]) -> String {
             Event::JobDepart { job } => {
                 let _ = write!(out, ",\"job\":{job}");
             }
+            Event::SpanBegin {
+                job,
+                kind,
+                iteration,
+            }
+            | Event::SpanEnd {
+                job,
+                kind,
+                iteration,
+            } => {
+                // `id`/`parent` are derived from (job, kind, iteration);
+                // the parser ignores them, keeping round-trips exact.
+                let _ = write!(
+                    out,
+                    ",\"job\":{job},\"kind\":\"{}\",\"iteration\":{iteration},\"id\":{},\"parent\":{}",
+                    kind.label(),
+                    span_id(*job, *kind, *iteration),
+                    span_parent(*job, *kind, *iteration)
+                );
+            }
         }
         out.push_str("}\n");
     }
@@ -163,8 +183,11 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                 ));
             }
             Event::RateChange { flow, bps, state } => {
+                // Counter tracks are keyed by (pid, name), so rates live on
+                // tid 0 like the other counters; a per-flow tid here used
+                // to materialize phantom unnamed thread lanes in viewers.
                 records.push(format!(
-                    "{{\"name\":\"rate_gbps flow{flow}\",\"cat\":\"cc\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":{flow},\"args\":{{\"{}\":{:.6}}}}}",
+                    "{{\"name\":\"rate_gbps flow{flow}\",\"cat\":\"cc\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\"args\":{{\"{}\":{:.6}}}}}",
                     state.label(),
                     bps / 1e9
                 ));
@@ -205,6 +228,26 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                 thread(&mut records, pid, *job);
                 records.push(format!(
                     "{{\"name\":\"job_depart\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job},\"s\":\"t\"}}"
+                ));
+            }
+            Event::SpanBegin {
+                job,
+                kind,
+                iteration,
+            } => {
+                thread(&mut records, pid, *job);
+                records.push(format!(
+                    "{{\"name\":\"{} span\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job},\"args\":{{\"iteration\":{iteration},\"id\":{},\"parent\":{}}}}}",
+                    kind.label(),
+                    span_id(*job, *kind, *iteration),
+                    span_parent(*job, *kind, *iteration)
+                ));
+            }
+            Event::SpanEnd { job, kind, .. } => {
+                thread(&mut records, pid, *job);
+                records.push(format!(
+                    "{{\"name\":\"{} span\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":{ts},\"pid\":{pid},\"tid\":{job}}}",
+                    kind.label()
                 ));
             }
         }
@@ -309,6 +352,75 @@ mod tests {
         assert!(out.contains("fig1/fair"));
         // ts is microseconds: the 1500 ns mark lands at 1.500.
         assert!(out.contains("\"ts\":1.500"));
+    }
+
+    fn span_events() -> Vec<TimedEvent> {
+        use crate::event::SpanKind;
+        let t = Time::from_nanos;
+        let span = |at, job, kind, iteration, begin| TimedEvent {
+            at: t(at),
+            event: if begin {
+                Event::SpanBegin {
+                    job,
+                    kind,
+                    iteration,
+                }
+            } else {
+                Event::SpanEnd {
+                    job,
+                    kind,
+                    iteration,
+                }
+            },
+        };
+        vec![
+            span(0, 0, SpanKind::Iteration, 0, true),
+            span(0, 0, SpanKind::Compute, 0, true),
+            span(100, 0, SpanKind::Compute, 0, false),
+            span(100, 0, SpanKind::Communicate, 0, true),
+            span(250, 0, SpanKind::Communicate, 0, false),
+            span(250, 0, SpanKind::Iteration, 0, false),
+        ]
+    }
+
+    #[test]
+    fn jsonl_span_lines_carry_derived_ids_and_parents() {
+        use crate::event::{span_id, SpanKind};
+        let out = jsonl(&span_events());
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"type\":\"span_begin\""));
+        assert!(lines[0].contains("\"kind\":\"iteration\""));
+        assert!(lines[0].contains("\"parent\":0"));
+        let iter_id = span_id(0, SpanKind::Iteration, 0);
+        assert!(lines[0].contains(&format!("\"id\":{iter_id}")));
+        // Phase spans point at their iteration span.
+        assert!(lines[1].contains(&format!("\"parent\":{iter_id}")));
+        assert!(lines[5].contains("\"type\":\"span_end\""));
+    }
+
+    #[test]
+    fn chrome_trace_span_lanes_pair_begin_end_per_tid() {
+        let out = chrome_trace(&span_events());
+        // B and E counts balance on the job lane, so the viewer's per-tid
+        // stack pairing closes every slice.
+        let b = out.matches("\"ph\":\"B\"").count();
+        let e = out.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, 3);
+        assert_eq!(b, e);
+        assert!(out.contains("\"cat\":\"span\""));
+        assert!(out.contains("\"name\":\"iteration span\""));
+        // The job lane is a named thread, not a phantom tid.
+        assert!(out.contains("\"name\":\"thread_name\""));
+    }
+
+    #[test]
+    fn chrome_trace_counters_stay_off_job_lanes() {
+        let out = chrome_trace(&sample_events());
+        // Counter records (rates, queues) all sit on tid 0; named job/flow
+        // lanes carry only slices and instants.
+        for line in out.lines().filter(|l| l.contains("\"ph\":\"C\"")) {
+            assert!(line.contains("\"tid\":0"), "counter on a job lane: {line}");
+        }
     }
 
     #[test]

@@ -25,12 +25,14 @@ pub mod metrics;
 pub mod profiler;
 pub mod recorder;
 pub mod replay;
+pub mod span;
 pub mod table;
 
-pub use event::{CcState, Event, Phase, TimedEvent};
+pub use event::{span_id, span_parent, CcState, Event, Phase, SpanKind, TimedEvent};
 pub use live::{FlightRing, LiveConfig, LiveHandle, TapRecorder};
 pub use metrics::MetricsRegistry;
 pub use profiler::Profiler;
 pub use recorder::{BufferRecorder, ForkableRecorder, NoopRecorder, Recorder};
 pub use replay::{parse_jsonl, ReplayError, ReplayErrorKind};
+pub use span::SpanTracker;
 pub use table::text_table;

@@ -250,6 +250,15 @@ impl BufferRecorder {
                 Event::JobDepart { job } => {
                     m.inc_counter("job_departs_total", &format!("job={job}"), 1);
                 }
+                // Spans are counted on begin only; ends pair with them.
+                Event::SpanBegin { job, kind, .. } => {
+                    m.inc_counter(
+                        "spans_total",
+                        &format!("job={job},kind={}", kind.label()),
+                        1,
+                    );
+                }
+                Event::SpanEnd { .. } => {}
             }
         }
         for (name, n) in &self.counts {

@@ -13,7 +13,7 @@
 //! tooling can distinguish a corrupt file from an unknown event
 //! vocabulary.
 
-use crate::event::{CcState, Event, Phase, TimedEvent};
+use crate::event::{CcState, Event, Phase, SpanKind, TimedEvent};
 use simtime::Time;
 use std::collections::BTreeMap;
 
@@ -43,6 +43,10 @@ pub enum ReplayErrorKind {
     /// A `seq` field that is not a non-negative integer or does not
     /// increase monotonically over the stream.
     BadSeq,
+    /// A span event that breaks per-job nesting: an end with no matching
+    /// open span, an interleaved end, or a begin in an illegal position
+    /// (a phase span outside its iteration, or a nested iteration).
+    BadSpan,
 }
 
 impl ReplayErrorKind {
@@ -58,6 +62,7 @@ impl ReplayErrorKind {
             ReplayErrorKind::BadField => "bad_field",
             ReplayErrorKind::UnknownEventType => "unknown_event_type",
             ReplayErrorKind::BadSeq => "bad_seq",
+            ReplayErrorKind::BadSpan => "bad_span",
         }
     }
 }
@@ -343,6 +348,15 @@ fn phase_from(label: &str) -> Option<Phase> {
     }
 }
 
+fn span_kind_from(label: &str) -> Option<SpanKind> {
+    match label {
+        "iteration" => Some(SpanKind::Iteration),
+        "compute" => Some(SpanKind::Compute),
+        "communicate" => Some(SpanKind::Communicate),
+        _ => None,
+    }
+}
+
 fn cc_state_from(label: &str) -> Option<CcState> {
     Some(match label {
         "restart" => CcState::Restart,
@@ -458,6 +472,32 @@ fn event_from(map: &BTreeMap<String, JsonValue>) -> Result<TimedEvent, ParseErro
         "job_depart" => Event::JobDepart {
             job: u32_field("job")?,
         },
+        // `id`/`parent` on span lines are derived fields the exporter adds
+        // for viewers; identity is (job, kind, iteration), so they are
+        // ignored here and round-trips stay exact.
+        "span_begin" | "span_end" => {
+            let job = u32_field("job")?;
+            let skind = span_kind_from(str_field("kind")?).ok_or_else(|| {
+                perr(
+                    ReplayErrorKind::BadField,
+                    format!("unknown span kind {:?}", str_field("kind")),
+                )
+            })?;
+            let iteration = u64_field("iteration")?;
+            if kind == "span_begin" {
+                Event::SpanBegin {
+                    job,
+                    kind: skind,
+                    iteration,
+                }
+            } else {
+                Event::SpanEnd {
+                    job,
+                    kind: skind,
+                    iteration,
+                }
+            }
+        }
         other => {
             return Err(perr(
                 ReplayErrorKind::UnknownEventType,
@@ -503,6 +543,7 @@ fn intern_component(name: &str) -> &'static str {
 pub fn parse_jsonl(text: &str) -> Result<Vec<TimedEvent>, ReplayError> {
     let mut out = Vec::new();
     let mut last_seq: Option<u64> = None;
+    let mut spans = SpanNesting::default();
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -530,9 +571,89 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TimedEvent>, ReplayError> {
             }
             last_seq = Some(seq);
         }
-        out.push(event_from(&map).map_err(attribute)?);
+        let te = event_from(&map).map_err(attribute)?;
+        spans.check(&te.event).map_err(attribute)?;
+        out.push(te);
     }
     Ok(out)
+}
+
+/// Streaming validator for span well-formedness: per-job LIFO stacks of
+/// open spans, reset at every `Scenario` marker (scenarios are recorded
+/// independently, so spans never cross them). Rejects orphan or
+/// interleaved `span_end`s and begins in illegal positions; spans still
+/// open when the stream ends are fine (truncated recordings are normal).
+#[derive(Default)]
+struct SpanNesting {
+    open: BTreeMap<u32, Vec<(SpanKind, u64)>>,
+}
+
+impl SpanNesting {
+    fn check(&mut self, event: &Event) -> Result<(), ParseError> {
+        let bad = |reason: String| perr(ReplayErrorKind::BadSpan, reason);
+        match event {
+            Event::Scenario { .. } => self.open.clear(),
+            Event::SpanBegin {
+                job,
+                kind,
+                iteration,
+            } => {
+                let stack = self.open.entry(*job).or_default();
+                match (kind, stack.last()) {
+                    (SpanKind::Iteration, None) => {}
+                    (SpanKind::Iteration, Some(&(k, i))) => {
+                        return Err(bad(format!(
+                            "iteration span for job {job} opens inside open {} span \
+                             of iteration {i}",
+                            k.label()
+                        )))
+                    }
+                    (_, Some(&(SpanKind::Iteration, i))) if i == *iteration => {}
+                    (k, top) => {
+                        return Err(bad(format!(
+                            "{} span begin for job {job} iteration {iteration} \
+                             outside its iteration span (innermost open: {})",
+                            k.label(),
+                            top.map_or("none".to_string(), |&(k, i)| format!(
+                                "{} span of iteration {i}",
+                                k.label()
+                            ))
+                        )))
+                    }
+                }
+                stack.push((*kind, *iteration));
+            }
+            Event::SpanEnd {
+                job,
+                kind,
+                iteration,
+            } => {
+                let stack = self.open.entry(*job).or_default();
+                match stack.last() {
+                    Some(&(k, i)) if k == *kind && i == *iteration => {
+                        stack.pop();
+                    }
+                    Some(&(k, i)) => {
+                        return Err(bad(format!(
+                            "span end ({} of iteration {iteration}) for job {job} does \
+                             not match innermost open span ({} of iteration {i})",
+                            kind.label(),
+                            k.label()
+                        )))
+                    }
+                    None => {
+                        return Err(bad(format!(
+                            "orphan span end ({} of iteration {iteration}) for job {job} \
+                             with no open span",
+                            kind.label()
+                        )))
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -726,6 +847,83 @@ mod tests {
             let err = parse_jsonl(text).unwrap_err();
             assert_eq!(err.kind, *want, "input {text:?} gave {err}");
         }
+    }
+
+    #[test]
+    fn span_events_round_trip_with_derived_ids_ignored() {
+        let t = Time::from_nanos;
+        let span = |at, kind, iteration, begin| TimedEvent {
+            at: t(at),
+            event: if begin {
+                Event::SpanBegin {
+                    job: 0,
+                    kind,
+                    iteration,
+                }
+            } else {
+                Event::SpanEnd {
+                    job: 0,
+                    kind,
+                    iteration,
+                }
+            },
+        };
+        let events = vec![
+            span(0, SpanKind::Iteration, 0, true),
+            span(0, SpanKind::Compute, 0, true),
+            span(9, SpanKind::Compute, 0, false),
+            span(9, SpanKind::Communicate, 0, true),
+            span(20, SpanKind::Communicate, 0, false),
+            span(20, SpanKind::Iteration, 0, false),
+            // A dangling open at stream end is fine.
+            span(20, SpanKind::Iteration, 1, true),
+        ];
+        let text = jsonl(&events);
+        assert!(text.contains("\"id\":"), "exporter adds derived ids");
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(events, back);
+        assert_eq!(text, jsonl(&back), "fixed point despite derived fields");
+    }
+
+    #[test]
+    fn mangled_span_streams_are_rejected() {
+        let line = |t_ns: u64, ty: &str, kind: &str, job: u32, iter: u64| {
+            format!("{{\"t_ns\":{t_ns},\"type\":\"{ty}\",\"job\":{job},\"kind\":\"{kind}\",\"iteration\":{iter}}}\n")
+        };
+        // Orphan end.
+        let err = parse_jsonl(&line(0, "span_end", "compute", 0, 0)).unwrap_err();
+        assert_eq!(err.kind, ReplayErrorKind::BadSpan);
+        assert!(err.reason.contains("orphan"), "{err}");
+        // Interleaved: compute span closed by the iteration's end.
+        let text = line(0, "span_begin", "iteration", 0, 0)
+            + &line(0, "span_begin", "compute", 0, 0)
+            + &line(5, "span_end", "iteration", 0, 0);
+        let err = parse_jsonl(&text).unwrap_err();
+        assert_eq!(err.kind, ReplayErrorKind::BadSpan);
+        assert_eq!(err.line, 3);
+        // Phase span outside any iteration span.
+        let err = parse_jsonl(&line(0, "span_begin", "communicate", 0, 0)).unwrap_err();
+        assert_eq!(err.kind, ReplayErrorKind::BadSpan);
+        // Phase span under the wrong iteration.
+        let text =
+            line(0, "span_begin", "iteration", 0, 0) + &line(1, "span_begin", "compute", 0, 3);
+        let err = parse_jsonl(&text).unwrap_err();
+        assert_eq!(err.kind, ReplayErrorKind::BadSpan);
+        // Nested iteration span.
+        let text =
+            line(0, "span_begin", "iteration", 0, 0) + &line(1, "span_begin", "iteration", 0, 1);
+        let err = parse_jsonl(&text).unwrap_err();
+        assert_eq!(err.kind, ReplayErrorKind::BadSpan);
+        // Unknown span kind is a field error, not a nesting error.
+        let err = parse_jsonl(&line(0, "span_begin", "warp", 0, 0)).unwrap_err();
+        assert_eq!(err.kind, ReplayErrorKind::BadField);
+        // Jobs nest independently, and a scenario marker resets the stacks.
+        let ok = line(0, "span_begin", "iteration", 0, 0)
+            + &line(0, "span_begin", "iteration", 1, 0)
+            + &line(1, "span_begin", "compute", 1, 0)
+            + "{\"t_ns\":2,\"type\":\"scenario\",\"name\":\"next\"}\n"
+            + &line(3, "span_begin", "iteration", 1, 0);
+        assert_eq!(parse_jsonl(&ok).unwrap().len(), 5);
     }
 
     #[test]

@@ -127,6 +127,34 @@ grep -q '"alert":"recovery_stall"' "$GATE/alerts.jsonl"
 grep -q '"type":"link_capacity"' "$GATE/alerts.jsonl"
 echo "chaos breached the recovery SLO: $ALERTS alert(s) (golden max $ALERT_GOLDEN), context holds the fault"
 
+echo "== explain determinism + golden blame table + conservation gate =="
+# `explain` exits nonzero if any scenario's blame components fail to sum
+# to the measured iteration times within 1%, so running it IS the
+# conservation check. Its output must also be byte-stable across worker
+# counts and match the committed golden blame table.
+"$BIN" explain fig1 --iterations 20 --jobs 1 > "$GATE/explain_j1.txt"
+"$BIN" explain fig1 --iterations 20 --jobs 4 > "$GATE/explain_j4.txt"
+cmp "$GATE/explain_j1.txt" "$GATE/explain_j4.txt"
+diff tests/goldens/fig1_explain.txt "$GATE/explain_j1.txt" || {
+    echo "explain drifted from the golden blame table; if intentional:" >&2
+    echo "  $BIN explain fig1 --iterations 20 > tests/goldens/fig1_explain.txt" >&2
+    exit 1
+}
+grep -q "conservation: .* (PASS" "$GATE/explain_j1.txt"
+echo "explain byte-identical across --jobs, matches golden, conserves time"
+
+echo "== offline report summaries land in the trend warehouse =="
+rm -rf "$GATE/rpt"
+mkdir -p "$GATE/rpt"
+"$BIN" fig1 --iterations 10 --trace "$GATE/rpt/run.jsonl" > /dev/null
+"$BIN" report "$GATE/rpt/run.jsonl" --out "$GATE/rpt/run.html" \
+    --summary "$GATE/rpt/run.json" > /dev/null
+grep -q '"kind":"summary"' "$GATE/rpt/HISTORY.jsonl" || {
+    echo "report --summary did not append to HISTORY.jsonl" >&2
+    exit 1
+}
+echo "report --summary feeds HISTORY.jsonl"
+
 echo "== trend warehouse determinism + injected-regression gate =="
 rm -rf "$GATE/hist"
 "$BIN" fig1 --iterations 10 --summary-dir "$GATE/hist" > /dev/null

@@ -692,10 +692,263 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         analysis.scenarios.len()
     );
     if let Some(path) = &summary {
-        write_file(path, &analysis.summary().to_json())?;
+        let s = analysis.summary();
+        write_file(path, &s.to_json())?;
+        // Offline report summaries feed the same cross-run warehouse as
+        // live `--summary` runs, so trend analysis sees both.
+        append_history(path, &HistoryRecord::from_summary(&s, "summary"))?;
         println!("wrote {} (RunSummary JSON)", path.display());
     }
     Ok(())
+}
+
+/// `mlcc-repro explain <experiment|TRACE.jsonl> [run options]`
+///
+/// Runs the experiment with telemetry forced on (or replays a recorded
+/// JSONL trace) and prints the causal-attribution report: per-job blame
+/// tables, top contended links, the conservation check, and the verdict
+/// against the geometry prediction. Ok(true) when every scenario's blame
+/// components sum to the measured iteration times within 1%.
+fn cmd_explain(args: &[String]) -> Result<bool, String> {
+    let [target, rest @ ..] = args else {
+        return Err("explain needs an experiment name or a JSONL trace file".to_string());
+    };
+    if target.starts_with("--") {
+        return Err("explain needs its target (experiment or trace) first".to_string());
+    }
+    let target = target.clone();
+    let opts = parse_opts(rest)?;
+    if let Some(n) = opts.jobs {
+        mlcc::parallel::set_jobs(n);
+    }
+
+    let mut predicted: std::collections::BTreeMap<String, f64> = Default::default();
+    let events: Vec<telemetry::TimedEvent>;
+    let name: String;
+    if target.ends_with(".jsonl") {
+        let path = PathBuf::from(&target);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        events = telemetry::parse_jsonl(&text).map_err(|e| e.to_string())?;
+        name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+    } else {
+        let mut rec = TapRecorder::new(BufferRecorder::new());
+        explain_run(&target, &opts, &mut rec, &mut predicted)?;
+        events = rec.into_inner().events().to_vec();
+        name = target.clone();
+    }
+
+    let cfg = AnalysisConfig {
+        predicted_overlap: predicted,
+        ..AnalysisConfig::default()
+    };
+    let analysis = diagnostics::analyze(&name, &events, &cfg);
+    print_explain(&analysis)
+}
+
+/// Runs one experiment for `explain`, with the recorder forced on.
+/// Fills `predicted` with the geometry solver's promised overlap per
+/// scenario where the experiment has one.
+fn explain_run(
+    target: &str,
+    o: &Opts,
+    rec: &mut CliRecorder,
+    predicted: &mut std::collections::BTreeMap<String, f64>,
+) -> Result<(), String> {
+    match target {
+        "fig1" => {
+            let cfg = exp::fig1::Fig1Config {
+                iterations: o.iterations.unwrap_or(100),
+                chaos: o.chaos,
+                ..Default::default()
+            };
+            exp::fig1::run_traced(&cfg, &mut *rec);
+            let p = exp::fig1::predicted_overlap(&cfg);
+            predicted.insert("fig1/fair".to_string(), p);
+            predicted.insert("fig1/unfair".to_string(), p);
+        }
+        "fig2" => {
+            let cfg = exp::fig2::Fig2Config {
+                iterations: o.iterations.unwrap_or(6),
+                ..Default::default()
+            };
+            exp::fig2::run_traced(&cfg, &mut *rec);
+        }
+        "table1" => {
+            let cfg = exp::table1::Table1Config {
+                iterations: o.iterations.unwrap_or(30),
+                chaos: o.chaos,
+                ..Default::default()
+            };
+            exp::table1::run_traced(&cfg, &mut *rec);
+        }
+        "adaptive" => {
+            let cfg = exp::adaptive::AdaptiveConfig {
+                iterations: o.iterations.unwrap_or(24),
+                ..Default::default()
+            };
+            exp::adaptive::run_traced(&cfg, &mut *rec);
+        }
+        "priority" => {
+            let cfg = exp::priority::PriorityConfig {
+                iterations: o.iterations.unwrap_or(20),
+                ..Default::default()
+            };
+            exp::priority::run_traced(&cfg, &mut *rec);
+        }
+        "flowsched" => {
+            let cfg = exp::flowsched::FlowschedConfig {
+                iterations: o.iterations.unwrap_or(20),
+                ..Default::default()
+            };
+            exp::flowsched::run_traced(&cfg, &mut *rec);
+        }
+        "pipelining" => {
+            let cfg = exp::pipelining::PipeliningConfig {
+                iterations: o.iterations.unwrap_or(16),
+                ..Default::default()
+            };
+            exp::pipelining::run_traced(&cfg, &mut *rec);
+        }
+        "cluster" => {
+            let cfg = exp::cluster::ClusterConfig {
+                iterations: o.iterations.unwrap_or(16),
+                ..Default::default()
+            };
+            exp::cluster::try_run_traced(&cfg, &mut *rec).map_err(|e| e.to_string())?;
+        }
+        "chaos" => {
+            let cfg = exp::chaos::ChaosSweepConfig {
+                iterations: o.iterations.unwrap_or(40),
+                ..Default::default()
+            };
+            exp::chaos::run_traced(&cfg, &mut *rec);
+        }
+        other => {
+            return Err(format!(
+                "explain supports fig1|fig2|table1|adaptive|priority|flowsched|pipelining|\
+                 cluster|chaos or a .jsonl trace, not {other:?}"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Conservation tolerance: blame components must sum to the measured
+/// iteration time within this relative error.
+const EXPLAIN_RESIDUAL_TOL: f64 = 0.01;
+
+/// Prints the attribution report; Ok(true) when conservation holds in
+/// every scenario that produced a ledger.
+fn print_explain(analysis: &diagnostics::RunAnalysis) -> Result<bool, String> {
+    use mlcc::metrics::text_table;
+    println!("== explain: {} ==", analysis.name);
+    let mut all_conserved = true;
+    let mut any_ledger = false;
+    for sc in &analysis.scenarios {
+        let ledger = &sc.ledger;
+        println!();
+        println!("scenario {}", sc.name);
+        if ledger.jobs.is_empty() {
+            println!("  no iteration spans in this scenario (trace predates typed spans?)");
+            continue;
+        }
+        any_ledger = true;
+        let mut rows = vec![vec![
+            "job".to_string(),
+            "wall ms".to_string(),
+            "compute ms".to_string(),
+            "wait ms".to_string(),
+            "solo ms".to_string(),
+            "inflation ms".to_string(),
+            "inflation %".to_string(),
+            "critical path".to_string(),
+        ]];
+        for (job, jl) in &ledger.jobs {
+            let critical = if jl.bound_by_comm > jl.bound_by_compute {
+                let link = jl
+                    .top_blame()
+                    .first()
+                    .map(|((link, _), _)| format!("link{link}"))
+                    .unwrap_or_else(|| "network".to_string());
+                format!("{link} ({}/{})", jl.bound_by_comm, jl.iterations.len())
+            } else {
+                format!("compute ({}/{})", jl.bound_by_compute, jl.iterations.len())
+            };
+            rows.push(vec![
+                format!("job{job}"),
+                format!("{:.3}", jl.wall * 1e3),
+                format!("{:.3}", jl.compute * 1e3),
+                format!("{:.3}", jl.wait * 1e3),
+                format!("{:.3}", jl.solo * 1e3),
+                format!("{:.3}", jl.inflation * 1e3),
+                format!("{:.1}", jl.inflation_share() * 100.0),
+                critical,
+            ]);
+        }
+        for line in text_table(&rows).lines() {
+            println!("  {line}");
+        }
+        let blames: Vec<String> = ledger
+            .jobs
+            .iter()
+            .flat_map(|(job, jl)| {
+                jl.top_blame()
+                    .into_iter()
+                    .map(move |((link, other), secs)| {
+                        format!(
+                            "  job{job} <- job{other} on link{link}: {:.3} ms",
+                            secs * 1e3
+                        )
+                    })
+            })
+            .collect();
+        if blames.is_empty() {
+            println!("  blame ledger: empty (no contention observed)");
+        } else {
+            println!("  blame ledger:");
+            for b in &blames {
+                println!("  {b}");
+            }
+            println!("  top contended links:");
+            for lb in ledger.top_links() {
+                println!(
+                    "    link{}: {:.3} ms total inflation",
+                    lb.link,
+                    lb.inflation * 1e3
+                );
+            }
+        }
+        let residual = ledger.worst_relative_residual();
+        let conserved = residual <= EXPLAIN_RESIDUAL_TOL;
+        all_conserved &= conserved;
+        println!(
+            "  conservation: worst relative residual {:.4}% ({}, tolerance {:.1}%)",
+            residual * 100.0,
+            if conserved { "PASS" } else { "FAIL" },
+            EXPLAIN_RESIDUAL_TOL * 100.0
+        );
+        match ledger.predicted_overlap {
+            Some(p) => println!(
+                "  geometry: measured overlap {:.3} vs predicted {:.3} -> {}",
+                ledger.measured_overlap(),
+                p,
+                ledger.verdict()
+            ),
+            None => println!(
+                "  geometry: measured overlap {:.3} (no prediction available)",
+                ledger.measured_overlap()
+            ),
+        }
+    }
+    if !any_ledger {
+        println!();
+        println!("no attribution possible: the trace carries no span events");
+    }
+    Ok(all_conserved)
 }
 
 /// Event-stream diff: compares two JSONL traces line by line and reports
@@ -965,7 +1218,9 @@ fn usage() -> ExitCode {
          \x20      mlcc-repro report TRACE.jsonl [--out FILE] [--summary FILE] [--name NAME]\n\
          \x20      mlcc-repro diff A.json B.json [--tolerance F] | diff A.jsonl B.jsonl\n\
          \x20      mlcc-repro trend [HISTORY.jsonl] [--last K] [--tolerance F]\n\
-         \x20      [--wall-tolerance F] [--experiment NAME]"
+         \x20      [--wall-tolerance F] [--experiment NAME]\n\
+         \x20      mlcc-repro explain <EXPERIMENT|TRACE.jsonl> [run options]\n\
+         exit codes: 0 success, 1 failure (incl. diff/trend/explain findings), 4 SLO breach"
     );
     ExitCode::FAILURE
 }
@@ -1000,6 +1255,19 @@ fn main() -> ExitCode {
             return match cmd_trend(rest) {
                 Ok(true) => ExitCode::SUCCESS,
                 Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "explain" => {
+            return match cmd_explain(rest) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => {
+                    eprintln!("explain: conservation check FAILED");
+                    ExitCode::FAILURE
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
