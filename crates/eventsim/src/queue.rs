@@ -25,6 +25,7 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
+#[derive(Clone)]
 struct Entry<E> {
     at: Time,
     seq: u64,
@@ -73,6 +74,13 @@ fn slot_of(at: u64, level: usize) -> usize {
 ///
 /// Internally a hierarchical timing wheel; behaviourally identical (by
 /// contract and by differential property test) to [`reference::EventQueue`].
+///
+/// Cloning (for `E: Clone`) captures the complete queue state — clock,
+/// pending events, *and* the internal sequence counter — so a clone pops
+/// the exact same event order as the original, including same-instant
+/// FIFO ties and ties against events scheduled after the clone. This is
+/// what engine snapshots lean on.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     /// Remaining entries of the timestamp group currently being popped,
     /// FIFO by sequence number. All share one timestamp.
@@ -314,6 +322,7 @@ pub mod reference {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
+    #[derive(Clone)]
     struct Entry<E> {
         at: Time,
         seq: u64,
@@ -347,7 +356,9 @@ pub mod reference {
     impl<E> Eq for Entry<E> {}
 
     /// Heap-backed event queue with the same determinism contract as the
-    /// wheel-backed [`super::EventQueue`].
+    /// wheel-backed [`super::EventQueue`]. Clones carry the sequence
+    /// counter too, so a clone's pop order matches the original exactly.
+    #[derive(Clone)]
     pub struct EventQueue<E> {
         heap: BinaryHeap<Entry<E>>,
         now: Time,
@@ -560,6 +571,37 @@ mod tests {
                 (far + 70_000_000_000, 3)
             ]
         );
+    }
+
+    /// A mid-stream clone is indistinguishable from the original: same
+    /// clock, same pending events, and — because the sequence counter is
+    /// cloned too — same FIFO tie order even against events scheduled
+    /// *after* the clone.
+    #[test]
+    fn clone_preserves_pop_order_and_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..20 {
+            q.schedule_at(Time::from_nanos(100 + (i % 3)), i);
+        }
+        for _ in 0..7 {
+            q.pop();
+        }
+        let mut clone = q.clone();
+        assert_eq!(clone.now(), q.now());
+        assert_eq!(clone.len(), q.len());
+        // Both sides schedule the same tie-heavy tail.
+        for i in 100..105 {
+            q.schedule_at(Time::from_nanos(102), i);
+            clone.schedule_at(Time::from_nanos(102), i);
+        }
+        loop {
+            let a = q.pop();
+            let b = clone.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     /// Interleaved schedules at the current instant (from an event handler)

@@ -178,10 +178,19 @@ impl ChaosConfig {
     /// * `"stragglers"` — ±10 % phase jitter plus 3 % / 4× stragglers.
     /// * `"links"` — 35 % of links get a 4× degradation window, 15 % a
     ///   two-flap outage train.
+    /// * `"signal"` — 5 % ECN-mark and CNP loss in DCQCN's control loop.
     /// * `"mixed"` — mild versions of every layer at once.
     pub fn profile(name: &str) -> Option<ChaosConfig> {
         match name {
             "none" => Some(ChaosConfig::none()),
+            "signal" => Some(ChaosConfig {
+                seed: 0,
+                signal: SignalChaos {
+                    mark_loss: 0.05,
+                    cnp_loss: 0.05,
+                },
+                ..ChaosConfig::none()
+            }),
             "stragglers" => Some(ChaosConfig {
                 seed: 0,
                 phase: PhaseChaos {
@@ -443,7 +452,7 @@ mod tests {
 
     #[test]
     fn profiles_resolve() {
-        for name in ["none", "stragglers", "links", "mixed"] {
+        for name in ["none", "stragglers", "links", "signal", "mixed"] {
             assert!(ChaosConfig::profile(name).is_some(), "missing {name}");
         }
         assert!(ChaosConfig::profile("bogus").is_none());

@@ -19,9 +19,11 @@ use crate::parallel;
 use dcqcn::CcVariant;
 use diagnostics::{recovery, RecoveryConfig, RecoveryReport};
 use faults::ChaosConfig;
-use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
+use netsim::rate::{RateJob, RateSimConfig, RateSimulator, RateSnapshot};
+use netsim::snapshot::Snapshottable;
 use simtime::{Dur, Time};
 use telemetry::{BufferRecorder, Event, ForkableRecorder, NoopRecorder, Recorder};
+use topology::LinkSchedule;
 use workload::{JobProgress, JobSpec, Model};
 
 /// Applies `chaos` to a rate-engine run lasting roughly `horizon`.
@@ -52,6 +54,49 @@ pub fn apply_rate(
         _ => {}
     }
     sim.signal_loss = plan.signal_loss;
+}
+
+/// Shifts a compiled link schedule's change points forward by `by`, so a
+/// plan compiled over a post-fork remainder lands in absolute time.
+fn shift_schedule(s: &LinkSchedule, by: Dur) -> LinkSchedule {
+    LinkSchedule::new(s.changes().iter().map(|&(t, m)| (t + by, m)).collect())
+}
+
+/// Applies `chaos` to an already-running rate simulator at a fork
+/// barrier: the plan is compiled over the post-fork `remaining` horizon
+/// and its absolute times shifted by `fork_at`. Phase noise takes effect
+/// at each job's next iteration rollover; schedules and signal loss apply
+/// from the barrier on.
+///
+/// Late arrivals are **not representable** after a fork — every job
+/// already started inside the shared prefix. The builtin sweep profiles
+/// (`stragglers`, `links`) have churn arrivals off; a profile that draws
+/// one panics rather than silently diverging from its from-`t=0` meaning.
+pub fn apply_rate_at_barrier<R: Recorder>(
+    chaos: &ChaosConfig,
+    sim: &mut RateSimulator<R>,
+    jobs: usize,
+    fork_at: Dur,
+    remaining: Dur,
+) {
+    if chaos.is_none() {
+        return;
+    }
+    let plan = chaos.compile(jobs, 1, remaining);
+    assert!(
+        plan.arrivals.iter().all(|d| d.is_zero()),
+        "forked sweep: late arrivals cannot be applied after the shared \
+         prefix (use an arrival-free profile or run without --fork-at)"
+    );
+    for i in 0..jobs {
+        sim.set_noise(i, plan.noise[i]);
+        sim.set_depart_at(i, plan.departures[i].map(|t| t + fork_at));
+    }
+    match plan.link_schedules.first() {
+        Some(s) if !s.is_identity() => sim.set_capacity_schedule(Some(shift_schedule(s, fork_at))),
+        _ => {}
+    }
+    sim.set_signal_loss(plan.signal_loss);
 }
 
 /// Simulation-budget multiplier for a perturbed run: degraded links and
@@ -205,14 +250,9 @@ impl ChaosSweepResult {
     }
 }
 
-/// Runs one grid cell, returning its outcome and raw telemetry.
-fn run_cell(cfg: &ChaosSweepConfig, profile: &str, seed: u64) -> (ChaosCell, BufferRecorder) {
-    let chaos = ChaosConfig {
-        seed,
-        ..ChaosConfig::profile(profile)
-            .unwrap_or_else(|| panic!("chaos_sweep: unknown profile {profile:?}"))
-    };
-    let mut jobs = [
+/// The sweep's competing pair: job 0 on the aggressive timer, job 1 fair.
+fn base_jobs(cfg: &ChaosSweepConfig) -> [RateJob; 2] {
+    [
         RateJob::new(
             cfg.jobs[0],
             CcVariant::StaticUnfair {
@@ -220,7 +260,17 @@ fn run_cell(cfg: &ChaosSweepConfig, profile: &str, seed: u64) -> (ChaosCell, Buf
             },
         ),
         RateJob::new(cfg.jobs[1], CcVariant::Fair),
-    ];
+    ]
+}
+
+/// Runs one grid cell, returning its outcome and raw telemetry.
+fn run_cell(cfg: &ChaosSweepConfig, profile: &str, seed: u64) -> (ChaosCell, BufferRecorder) {
+    let chaos = ChaosConfig {
+        seed,
+        ..ChaosConfig::profile(profile)
+            .unwrap_or_else(|| panic!("chaos_sweep: unknown profile {profile:?}"))
+    };
+    let mut jobs = base_jobs(cfg);
     let per_iter = cfg.jobs[0]
         .iteration_time_at(cfg.sim.capacity)
         .max(cfg.jobs[1].iteration_time_at(cfg.sim.capacity));
@@ -271,19 +321,152 @@ pub fn run_traced<R: ForkableRecorder>(cfg: &ChaosSweepConfig, mut rec: R) -> Ch
         .collect();
     let cells = parallel::map_traced(&mut rec, &grid, |_, (profile, seed), fork| {
         let (cell, cell_rec) = run_cell(cfg, profile, *seed);
-        if R::ENABLED {
-            fork.record(
-                Time::ZERO,
-                Event::Scenario {
-                    name: format!("chaos/{profile}/s{seed}"),
-                },
-            );
-            for te in cell_rec.events() {
-                fork.record(te.at, te.event.clone());
-            }
-        }
+        emit_cell(fork, profile, *seed, &cell_rec);
         cell
     });
+    ChaosSweepResult { cells }
+}
+
+/// Streams one cell's telemetry into a sweep fork behind its
+/// [`Event::Scenario`] marker.
+fn emit_cell<F: Recorder>(fork: &mut F, profile: &str, seed: u64, cell_rec: &BufferRecorder) {
+    if F::ENABLED {
+        fork.record(
+            Time::ZERO,
+            Event::Scenario {
+                name: format!("chaos/{profile}/s{seed}"),
+            },
+        );
+        for te in cell_rec.events() {
+            fork.record(te.at, te.event.clone());
+        }
+    }
+}
+
+/// Runs one grid cell from a fork barrier: restoring `shared`'s snapshot
+/// (fork mode) or re-simulating the clean prefix (replay mode), then
+/// applying the cell's chaos at the barrier either way.
+fn run_cell_forked(
+    cfg: &ChaosSweepConfig,
+    profile: &str,
+    seed: u64,
+    fork_at: Dur,
+    shared: Option<&(RateSnapshot, BufferRecorder)>,
+) -> (ChaosCell, BufferRecorder) {
+    let chaos = ChaosConfig {
+        seed,
+        ..ChaosConfig::profile(profile)
+            .unwrap_or_else(|| panic!("chaos_sweep: unknown profile {profile:?}"))
+    };
+    let per_iter = cfg.jobs[0]
+        .iteration_time_at(cfg.sim.capacity)
+        .max(cfg.jobs[1].iteration_time_at(cfg.sim.capacity));
+    let horizon = per_iter * (cfg.iterations as u64 * 2);
+    let remaining = if fork_at < horizon {
+        horizon - fork_at
+    } else {
+        per_iter
+    };
+    let mut cell_rec = BufferRecorder::new();
+    let medians_ms: Vec<f64> = {
+        let mut sim = match shared {
+            Some((snap, prefix_rec)) => {
+                // The snapshot is recorder-free: replay the prefix's
+                // recording first so the cell's stream is byte-identical
+                // to one that simulated the prefix itself.
+                for te in prefix_rec.events() {
+                    cell_rec.record(te.at, te.event.clone());
+                }
+                RateSimulator::restore(snap.clone(), &mut cell_rec)
+                    .expect("clean-prefix snapshot restores")
+            }
+            None => {
+                let jobs = base_jobs(cfg);
+                let mut sim = RateSimulator::with_recorder(cfg.sim.clone(), &jobs, &mut cell_rec);
+                sim.run_until(Time::ZERO + fork_at);
+                sim
+            }
+        };
+        apply_rate_at_barrier(&chaos, &mut sim, 2, fork_at, remaining);
+        let budget = per_iter * ((cfg.iterations as u64 * 4 + 40) * budget_slack(&chaos));
+        let done = sim.run_until_iterations(cfg.iterations, budget);
+        assert!(
+            done,
+            "chaos_sweep: forked cell {profile}/s{seed} did not finish"
+        );
+        (0..2)
+            .map(|i| stats_tolerant(sim.progress(i), cfg.warmup).median_ms())
+            .collect()
+    };
+    let report = recovery(cell_rec.events(), &RecoveryConfig::default());
+    (
+        ChaosCell {
+            profile: profile.to_string(),
+            seed,
+            medians_ms,
+            recovery: report,
+        },
+        cell_rec,
+    )
+}
+
+/// Runs the grid forked from a shared clean prefix: the unperturbed pair
+/// runs once to `fork_at`, is snapshotted, and every cell restores the
+/// snapshot on a worker thread and applies its chaos at the barrier (see
+/// [`apply_rate_at_barrier`]). With `replay`, every cell instead
+/// re-simulates the prefix itself — same semantics, so a replay run is
+/// the byte-identity baseline gating the fork path's snapshot fidelity.
+///
+/// Forked semantics differ from [`run_traced`]'s: a cell's chaos plan
+/// covers only the post-fork remainder of the horizon, so forked and
+/// replay runs are comparable with each other but not with an unforked
+/// sweep. The prefix snapshot is cached process-wide keyed on the
+/// canonical config hash (see [`crate::forkcache`]).
+pub fn run_forked<R: ForkableRecorder>(
+    cfg: &ChaosSweepConfig,
+    mut rec: R,
+    fork_at: Dur,
+    replay: bool,
+) -> ChaosSweepResult {
+    let grid: Vec<(String, u64)> = cfg
+        .profiles
+        .iter()
+        .flat_map(|p| cfg.seeds.iter().map(move |&s| (p.clone(), s)))
+        .collect();
+    let cells = if replay {
+        parallel::map_traced(&mut rec, &grid, |_, (profile, seed), fork| {
+            let (cell, cell_rec) = run_cell_forked(cfg, profile, *seed, fork_at, None);
+            emit_cell(fork, profile, *seed, &cell_rec);
+            cell
+        })
+    } else {
+        let prefix = || {
+            let key = simtime::hash::config_hash(&format!(
+                "chaos-prefix|{:?}|{:?}|{:?}|{:?}",
+                cfg.jobs, cfg.aggressive_timer, cfg.sim, fork_at
+            ));
+            crate::forkcache::get_or_build(key, || {
+                let jobs = base_jobs(cfg);
+                let mut prefix_rec = BufferRecorder::new();
+                let mut sim = RateSimulator::with_recorder(cfg.sim.clone(), &jobs, &mut prefix_rec);
+                sim.run_until(Time::ZERO + fork_at);
+                let snap = sim.snapshot().expect("run_until leaves a barrier");
+                drop(sim);
+                (snap, prefix_rec)
+            })
+        };
+        parallel::map_forked(
+            &mut rec,
+            &grid,
+            prefix,
+            |_, (profile, seed), shared, fork| {
+                let (cell, cell_rec) =
+                    run_cell_forked(cfg, profile, *seed, fork_at, Some(&**shared));
+                emit_cell(fork, profile, *seed, &cell_rec);
+                cell
+            },
+        )
+    };
     ChaosSweepResult { cells }
 }
 
@@ -330,6 +513,27 @@ mod tests {
             assert_eq!(x.medians_ms, y.medians_ms);
             assert_eq!(x.incidents(), y.incidents());
             assert_eq!(x.worst_recovery_ms(), y.worst_recovery_ms());
+        }
+    }
+
+    #[test]
+    fn forked_sweep_matches_replay_byte_for_byte() {
+        let cfg = quick();
+        let fork_at = Dur::from_millis(120);
+        let mut forked_rec = BufferRecorder::new();
+        let forked = run_forked(&cfg, &mut forked_rec, fork_at, false);
+        let mut replay_rec = BufferRecorder::new();
+        let replayed = run_forked(&cfg, &mut replay_rec, fork_at, true);
+        assert_eq!(
+            forked_rec.events(),
+            replay_rec.events(),
+            "forked telemetry diverged from the replayed prefix"
+        );
+        assert_eq!(forked.cells.len(), replayed.cells.len());
+        for (f, r) in forked.cells.iter().zip(&replayed.cells) {
+            assert_eq!(f.medians_ms, r.medians_ms, "{}/s{}", f.profile, f.seed);
+            assert_eq!(f.incidents(), r.incidents());
+            assert_eq!(f.worst_recovery_ms(), r.worst_recovery_ms());
         }
     }
 

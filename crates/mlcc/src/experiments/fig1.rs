@@ -16,9 +16,10 @@ use crate::parallel;
 use dcqcn::CcVariant;
 use eventsim::TimeSeries;
 use faults::ChaosConfig;
-use netsim::rate::{RateJob, RateSimConfig, RateSimulator};
+use netsim::rate::{RateJob, RateSimConfig, RateSimulator, RateSnapshot};
+use netsim::snapshot::Snapshottable;
 use simtime::{Dur, Time};
-use telemetry::{Event, ForkableRecorder, NoopRecorder, Recorder};
+use telemetry::{BufferRecorder, Event, ForkableRecorder, NoopRecorder, Recorder};
 use workload::{JobSpec, Model};
 
 /// Experiment parameters.
@@ -168,7 +169,14 @@ fn run_scenario<R: Recorder>(cfg: &Fig1Config, variants: [CcVariant; 2], rec: R)
         "fig1: jobs did not finish {} iterations",
         cfg.iterations
     );
+    collect_scenario(cfg, &sim)
+}
 
+/// Extracts a finished run's [`Scenario`] numbers.
+fn collect_scenario<R: Recorder>(cfg: &Fig1Config, sim: &RateSimulator<R>) -> Scenario {
+    let budget_per_iter = cfg.jobs[0]
+        .iteration_time_at(cfg.sim.capacity)
+        .max(cfg.jobs[1].iteration_time_at(cfg.sim.capacity));
     // First-iteration bandwidth: mean rate over the overlapped window of
     // the first communication phases, [max compute end, first completion).
     // Under chaos a job may depart before completing an iteration; fall
@@ -225,6 +233,133 @@ pub fn run_traced<R: ForkableRecorder>(cfg: &Fig1Config, mut rec: R) -> Fig1Resu
     Fig1Result { fair, unfair }
 }
 
+/// Runs one variant cell from a fork barrier: restoring `shared`'s
+/// snapshot (fork mode) or re-simulating the fair prefix (replay mode),
+/// then switching job 0's variant and applying chaos at the barrier.
+fn run_forked_cell<F: Recorder>(
+    cfg: &Fig1Config,
+    variant: Option<CcVariant>,
+    fork_at: Dur,
+    shared: Option<&(RateSnapshot, BufferRecorder)>,
+    mut rec: F,
+) -> Scenario {
+    let per_iter = cfg.jobs[0]
+        .iteration_time_at(cfg.sim.capacity)
+        .max(cfg.jobs[1].iteration_time_at(cfg.sim.capacity));
+    let horizon = per_iter * (cfg.iterations as u64 * 2);
+    let remaining = if fork_at < horizon {
+        horizon - fork_at
+    } else {
+        per_iter
+    };
+    let mut sim = match shared {
+        Some((snap, prefix_rec)) => {
+            // The snapshot is recorder-free: replay the prefix recording
+            // first so the cell's stream matches a replayed run's.
+            if F::ENABLED {
+                for te in prefix_rec.events() {
+                    rec.record(te.at, te.event.clone());
+                }
+            }
+            RateSimulator::restore(snap.clone(), rec).expect("fair-prefix snapshot restores")
+        }
+        None => {
+            let jobs = [
+                RateJob::new(cfg.jobs[0], CcVariant::Fair),
+                RateJob::new(cfg.jobs[1], CcVariant::Fair),
+            ];
+            let mut sim = RateSimulator::with_recorder(cfg.sim.clone(), &jobs, rec);
+            sim.run_until(Time::ZERO + fork_at);
+            sim
+        }
+    };
+    if let Some(v) = variant {
+        sim.set_cc_variant(0, v);
+    }
+    chaos::apply_rate_at_barrier(&cfg.chaos, &mut sim, 2, fork_at, remaining);
+    let budget = per_iter * ((cfg.iterations as u64 * 4 + 40) * chaos::budget_slack(&cfg.chaos));
+    let done = sim.run_until_iterations(cfg.iterations, budget);
+    assert!(
+        done,
+        "fig1: forked cell did not finish {} iterations",
+        cfg.iterations
+    );
+    collect_scenario(cfg, &sim)
+}
+
+/// Runs the variant matrix forked from a shared **fair** prefix: both
+/// jobs run fair DCQCN to `fork_at` once, are snapshotted, and each cell
+/// restores the snapshot — the unfair cell switches `J1` to the
+/// aggressive timer *at the barrier* (as if its transport restarted
+/// there), and `cfg.chaos` likewise applies from the barrier over the
+/// remaining horizon. With `replay`, every cell re-simulates the fair
+/// prefix instead — identical semantics, the byte-identity baseline for
+/// the fork path.
+///
+/// The semantics intentionally differ from [`run_traced`], which runs
+/// the aggressive timer from `t = 0`: forked results answer "what if the
+/// variant changed mid-training", not Fig. 1's from-scratch comparison,
+/// and the two entry points' numbers should not be mixed. The prefix
+/// snapshot is cached process-wide keyed on the canonical config hash
+/// (see [`crate::forkcache`]).
+pub fn run_traced_forked<R: ForkableRecorder>(
+    cfg: &Fig1Config,
+    mut rec: R,
+    fork_at: Dur,
+    replay: bool,
+) -> Fig1Result {
+    let scenarios: [(&str, Option<CcVariant>); 2] = [
+        ("fig1/fair", None),
+        (
+            "fig1/unfair",
+            Some(CcVariant::StaticUnfair {
+                timer: cfg.aggressive_timer,
+            }),
+        ),
+    ];
+    let mut out = if replay {
+        parallel::map_traced(&mut rec, &scenarios, |_, &(name, variant), fork| {
+            if R::ENABLED {
+                fork.record(Time::ZERO, Event::Scenario { name: name.into() });
+            }
+            run_forked_cell(cfg, variant, fork_at, None, fork)
+        })
+    } else {
+        let prefix = || {
+            let key = simtime::hash::config_hash(&format!(
+                "fig1-prefix|{:?}|{:?}|{:?}",
+                cfg.jobs, cfg.sim, fork_at
+            ));
+            crate::forkcache::get_or_build(key, || {
+                let jobs = [
+                    RateJob::new(cfg.jobs[0], CcVariant::Fair),
+                    RateJob::new(cfg.jobs[1], CcVariant::Fair),
+                ];
+                let mut prefix_rec = BufferRecorder::new();
+                let mut sim = RateSimulator::with_recorder(cfg.sim.clone(), &jobs, &mut prefix_rec);
+                sim.run_until(Time::ZERO + fork_at);
+                let snap = sim.snapshot().expect("run_until leaves a barrier");
+                drop(sim);
+                (snap, prefix_rec)
+            })
+        };
+        parallel::map_forked(
+            &mut rec,
+            &scenarios,
+            prefix,
+            |_, &(name, variant), shared, fork| {
+                if R::ENABLED {
+                    fork.record(Time::ZERO, Event::Scenario { name: name.into() });
+                }
+                run_forked_cell(cfg, variant, fork_at, Some(&**shared), fork)
+            },
+        )
+    };
+    let unfair = out.pop().expect("two scenarios");
+    let fair = out.pop().expect("two scenarios");
+    Fig1Result { fair, unfair }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +395,36 @@ mod tests {
         }
         // Render has a row per job plus header/rule.
         assert_eq!(r.render().lines().count(), 4);
+    }
+
+    #[test]
+    fn forked_fig1_matches_replay_byte_for_byte() {
+        let cfg = quick_cfg();
+        let fork_at = Dur::from_millis(100);
+        let mut forked_rec = BufferRecorder::new();
+        let forked = run_traced_forked(&cfg, &mut forked_rec, fork_at, false);
+        let mut replay_rec = BufferRecorder::new();
+        let replayed = run_traced_forked(&cfg, &mut replay_rec, fork_at, true);
+        assert_eq!(
+            forked_rec.events(),
+            replay_rec.events(),
+            "forked telemetry diverged from the replayed prefix"
+        );
+        for (f, r) in [
+            (&forked.fair, &replayed.fair),
+            (&forked.unfair, &replayed.unfair),
+        ] {
+            assert_eq!(f.first_iteration_bw, r.first_iteration_bw);
+            for (fs, rs) in f.stats.iter().zip(&r.stats) {
+                assert_eq!(fs.median_ms(), rs.median_ms());
+            }
+        }
+        // The mid-training variant switch still confers the paper's
+        // advantage on the aggressive job.
+        assert!(
+            forked.unfair.stats[0].median_ms() <= forked.fair.stats[0].median_ms() + 0.5,
+            "aggressive job should not regress after the barrier switch"
+        );
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Process-wide cache of fork-prefix snapshots.
+//!
+//! A forked sweep's shared prefix is a pure function of the experiment
+//! configuration and the fork instant, so its snapshot (plus the prefix
+//! telemetry recording) can be reused across sweeps in the same process —
+//! e.g. a forked run followed by its `--fork-replay` baseline, or
+//! repeated invocations from tests. Entries are keyed on the canonical
+//! config hash ([`simtime::hash::fnv1a_64`] over the config's canonical
+//! rendering), the same helper the report summary uses, so a cache key
+//! and a reported `config.hash` always agree on what "the same
+//! configuration" means.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+static CACHE: OnceLock<Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>> = OnceLock::new();
+
+/// Returns the cached prefix state for `key`, building and inserting it
+/// on a miss. A key collision across types is impossible to misread: the
+/// downcast fails and the entry is rebuilt with the requested type.
+pub fn get_or_build<S: Send + Sync + 'static>(key: u64, build: impl FnOnce() -> S) -> Arc<S> {
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(hit) = map.get(&key).cloned() {
+        if let Ok(typed) = hit.downcast::<S>() {
+            return typed;
+        }
+    }
+    let built = Arc::new(build());
+    map.insert(key, built.clone() as Arc<dyn Any + Send + Sync>);
+    built
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn builds_once_per_key() {
+        let builds = AtomicU32::new(0);
+        let mk = || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            vec![1u8, 2, 3]
+        };
+        let key = simtime::hash::fnv1a_64(b"forkcache-test-key");
+        let a = get_or_build(key, mk);
+        let b = get_or_build::<Vec<u8>>(key, || unreachable!("second build for same key"));
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        assert_eq!(*a, *b);
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod experiments;
 pub mod export;
+pub mod forkcache;
 pub mod metrics;
 pub mod parallel;
 

@@ -18,6 +18,9 @@
 //!   geometry solver's rotation angles.
 
 use crate::alloc::{strict_priority_into, weighted_max_min_into, AllocScratch, FlowDemand};
+use crate::snapshot::{
+    check_barrier, check_version, SnapshotError, Snapshottable, SNAPSHOT_VERSION,
+};
 use eventsim::{EventQueue, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
 use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder, SpanTracker};
@@ -146,20 +149,93 @@ impl FluidConfig {
     }
 }
 
-#[derive(Debug)]
-struct FlowState {
-    links: Vec<usize>,
-    fraction: f64,
+/// Legacy array-of-structs per-flow state. The engine itself now keeps
+/// flows in the SoA [`FlowArena`]; this layout survives (for one PR) as
+/// the **differential-oracle view** — [`FluidSimulator::aos_view`]
+/// reconstructs it from the arena, and the invariant probe feeds the
+/// reference allocator from it, so any divergence between the two layouts
+/// fails loudly instead of silently corrupting an allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowState {
+    /// Links traversed (indices into the topology's link table).
+    pub links: Vec<usize>,
+    /// Fraction of the job's phase bytes carried by this flow, in `(0, 1]`.
+    pub fraction: f64,
     /// Bytes left in the current phase (0 while idle).
-    remaining: f64,
+    pub remaining: f64,
     /// Current allocated rate, bits/s.
-    rate: f64,
+    pub rate: f64,
 }
 
-#[derive(Debug)]
+/// Arena-indexed SoA storage for every flow in the simulation: parallel
+/// columns indexed by a global flow id, per-job contiguous ranges, and
+/// CSR-flattened link lists. The allocator's hot loop walks contiguous
+/// slices instead of chasing per-job `Vec<FlowState>` pointers, and a
+/// snapshot of the whole arena is a handful of near-memcpy `Vec` clones.
+#[derive(Debug, Clone, Default)]
+struct FlowArena {
+    /// Flows of job `j` occupy global ids `flow_off[j] .. flow_off[j+1]`.
+    flow_off: Vec<u32>,
+    /// Owning job of each flow (the inverse of `flow_off`).
+    job_of: Vec<u32>,
+    /// Share of the job's phase bytes carried by each flow, in `(0, 1]`.
+    fraction: Vec<f64>,
+    /// Bytes left in the current phase (0 while idle).
+    remaining: Vec<f64>,
+    /// Current allocated rate, bits/s.
+    rate: Vec<f64>,
+    /// CSR-flattened link lists; flow `f` traverses
+    /// `links[link_off[f] .. link_off[f+1]]`.
+    links: Vec<usize>,
+    link_off: Vec<u32>,
+}
+
+impl FlowArena {
+    fn job_range(&self, j: usize) -> std::ops::Range<usize> {
+        self.flow_off[j] as usize..self.flow_off[j + 1] as usize
+    }
+
+    fn links_of(&self, f: usize) -> &[usize] {
+        &self.links[self.link_off[f] as usize..self.link_off[f + 1] as usize]
+    }
+
+    fn flow_count(&self) -> usize {
+        self.fraction.len()
+    }
+
+    /// Structural invariants a well-formed arena satisfies; `restore`
+    /// rejects a snapshot whose columns disagree.
+    fn validate(&self, job_count: usize) -> Result<(), SnapshotError> {
+        let n = self.flow_count();
+        if self.flow_off.len() != job_count + 1
+            || self.flow_off[0] != 0
+            || *self.flow_off.last().unwrap() as usize != n
+            || self.flow_off.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(SnapshotError::Malformed {
+                what: "flow arena job offsets",
+            });
+        }
+        if self.job_of.len() != n || self.remaining.len() != n || self.rate.len() != n {
+            return Err(SnapshotError::Malformed {
+                what: "flow arena column lengths disagree",
+            });
+        }
+        if self.link_off.len() != n + 1
+            || *self.link_off.last().unwrap() as usize != self.links.len()
+            || self.link_off.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(SnapshotError::Malformed {
+                what: "flow arena link offsets",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
 struct JState {
     progress: JobProgress,
-    flows: Vec<FlowState>,
     gate: Option<Gate>,
     /// Whether the current communication phase has been released.
     released: bool,
@@ -183,36 +259,36 @@ enum Ev {
 const FLOW_EPS: f64 = 0.5;
 
 /// Inserts job `j`'s flows with bytes pending into the sorted active
-/// index (free function so callers can hold `&mut` job state alongside).
-fn activate_job_flows(active: &mut Vec<(u32, u32)>, j: usize, flows: &[FlowState]) {
-    let j = j as u32;
-    let at = active.partition_point(|&(aj, _)| aj < j);
+/// index. Per-job flow ids are contiguous in the arena, so the job's
+/// flows splice in as one ascending run (free function so callers can
+/// hold `&mut` job state alongside).
+fn activate_job_flows(active: &mut Vec<u32>, arena: &FlowArena, j: usize) {
+    let range = arena.job_range(j);
+    let at = active.partition_point(|&f| (f as usize) < range.start);
     debug_assert!(
-        active.get(at).is_none_or(|&(aj, _)| aj > j),
+        active.get(at).is_none_or(|&f| f as usize >= range.end),
         "job {j} released while already active"
     );
     active.splice(
         at..at,
-        flows
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.remaining > 0.0)
-            .map(|(fi, _)| (j, fi as u32)),
+        range
+            .filter(|&f| arena.remaining[f] > 0.0)
+            .map(|f| f as u32),
     );
 }
 
 /// Removes one flow from the active index, if present.
-fn deactivate_flow(active: &mut Vec<(u32, u32)>, j: usize, fi: usize) {
-    if let Ok(pos) = active.binary_search(&(j as u32, fi as u32)) {
+fn deactivate_flow(active: &mut Vec<u32>, f: usize) {
+    if let Ok(pos) = active.binary_search(&(f as u32)) {
         active.remove(pos);
     }
 }
 
 /// Removes every flow of job `j` from the active index (phase end).
-fn deactivate_job(active: &mut Vec<(u32, u32)>, j: usize) {
-    let j = j as u32;
-    let lo = active.partition_point(|&(aj, _)| aj < j);
-    let hi = active.partition_point(|&(aj, _)| aj <= j);
+fn deactivate_job(active: &mut Vec<u32>, arena: &FlowArena, j: usize) {
+    let range = arena.job_range(j);
+    let lo = active.partition_point(|&f| (f as usize) < range.start);
+    let hi = active.partition_point(|&f| (f as usize) < range.end);
     active.drain(lo..hi);
 }
 
@@ -229,6 +305,8 @@ pub struct FluidSimulator<R: Recorder = NoopRecorder> {
     /// Per-link fault schedules (empty = no capacity faults).
     link_schedules: Vec<LinkSchedule>,
     jobs: Vec<JState>,
+    /// SoA per-flow state, indexed by global flow id.
+    arena: FlowArena,
     events: EventQueue<Ev>,
     /// The fluid clock. Distinct from the event queue's internal clock,
     /// which only advances when events pop: flows progress continuously
@@ -241,14 +319,14 @@ pub struct FluidSimulator<R: Recorder = NoopRecorder> {
     /// active set is unchanged — set when a link's capacity changes, which
     /// invalidates rates without touching the set.
     force_resolve: bool,
-    /// Sorted `(job, flow)` index of currently active flows — the flows
-    /// [`flow_is_active`](Self::flow_is_active) would select, maintained
-    /// incrementally at releases, completions, and phase ends so the
-    /// allocator never rescans every job.
-    active: Vec<(u32, u32)>,
+    /// Sorted global-flow-id index of currently active flows — the flows
+    /// the activity predicate would select, maintained incrementally at
+    /// releases, completions, and phase ends so the allocator never
+    /// rescans every job.
+    active: Vec<u32>,
     /// The active set the last solver pass ran over. When a reallocation
     /// request finds the set unchanged, the solve is skipped outright.
-    solved_active: Vec<(u32, u32)>,
+    solved_active: Vec<u32>,
     /// Reusable allocator working memory.
     scratch: AllocScratch,
     /// Reusable solver output buffer, parallel to `active`.
@@ -390,29 +468,29 @@ impl<R: Recorder> FluidSimulator<R> {
             link_schedules = cfg.link_schedules.clone();
         }
         let mut states = Vec::with_capacity(jobs.len());
+        let mut arena = FlowArena::default();
+        arena.flow_off.push(0);
+        arena.link_off.push(0);
         for (j, job) in jobs.iter().enumerate() {
             let total: f64 = job.flows.iter().map(|f| f.fraction).sum();
             assert!(
                 (total - 1.0).abs() < 1e-9,
                 "job {j}: flow fractions sum to {total}, expected 1"
             );
-            let flows = job
-                .flows
-                .iter()
-                .map(|f| {
-                    assert!(
-                        f.fraction > 0.0 && f.fraction <= 1.0,
-                        "job {j}: flow fraction {} outside (0, 1]",
-                        f.fraction
-                    );
-                    FlowState {
-                        links: f.links.iter().map(|l| l.0 as usize).collect(),
-                        fraction: f.fraction,
-                        remaining: 0.0,
-                        rate: 0.0,
-                    }
-                })
-                .collect();
+            for f in &job.flows {
+                assert!(
+                    f.fraction > 0.0 && f.fraction <= 1.0,
+                    "job {j}: flow fraction {} outside (0, 1]",
+                    f.fraction
+                );
+                arena.job_of.push(j as u32);
+                arena.fraction.push(f.fraction);
+                arena.remaining.push(0.0);
+                arena.rate.push(0.0);
+                arena.links.extend(f.links.iter().map(|l| l.0 as usize));
+                arena.link_off.push(arena.links.len() as u32);
+            }
+            arena.flow_off.push(arena.flow_count() as u32);
             let bytes = job
                 .total_bytes_override
                 .unwrap_or(job.spec.comm_bytes().as_bytes() as f64);
@@ -424,7 +502,6 @@ impl<R: Recorder> FluidSimulator<R> {
             events.schedule_at(poll_at, Ev::Poll(j));
             states.push(JState {
                 progress,
-                flows,
                 gate: cfg.gates.get(j).copied().flatten(),
                 released: false,
                 depart_at: job.depart_at,
@@ -436,6 +513,7 @@ impl<R: Recorder> FluidSimulator<R> {
             base_capacities,
             link_schedules,
             jobs: states,
+            arena,
             events,
             now: Time::ZERO,
             policy: cfg.policy,
@@ -487,23 +565,38 @@ impl<R: Recorder> FluidSimulator<R> {
         assert!(idx < self.capacities.len(), "unknown link {l}");
         let cap = self.capacities[idx];
         assert!(cap > 0.0, "link {l} has zero capacity");
-        let allocated: f64 = self
-            .jobs
-            .iter()
-            .flat_map(|js| js.flows.iter())
-            .filter(|f| f.links.contains(&idx))
-            .map(|f| f.rate)
+        let allocated: f64 = (0..self.arena.flow_count())
+            .filter(|&f| self.arena.links_of(f).contains(&idx))
+            .map(|f| self.arena.rate[f])
             .sum();
         allocated / cap
     }
 
-    fn flow_is_active(js: &JState, f: &FlowState) -> bool {
-        js.progress.is_communicating() && js.released && f.remaining > 0.0
+    /// Reconstructs every job's flows in the legacy array-of-structs
+    /// layout — the differential-oracle view of the SoA arena. Test and
+    /// validation code diffs engine behaviour through this view; it is not
+    /// on any hot path.
+    pub fn aos_view(&self) -> Vec<Vec<FlowState>> {
+        (0..self.jobs.len())
+            .map(|j| {
+                self.arena
+                    .job_range(j)
+                    .map(|f| FlowState {
+                        links: self.arena.links_of(f).to_vec(),
+                        fraction: self.arena.fraction[f],
+                        remaining: self.arena.remaining[f],
+                        rate: self.arena.rate[f],
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
-    /// Test-only invariant probe: checks the incremental active index
-    /// against a full predicate scan and the current rates against a
-    /// from-scratch reference allocation.
+    /// Test-only invariant probe: reconstructs the legacy AoS layout via
+    /// [`aos_view`](Self::aos_view), checks the incremental active index
+    /// against a full predicate scan over it, and checks the arena's rates
+    /// against a from-scratch reference allocation whose demands are built
+    /// from the AoS view — a genuine SoA-vs-AoS differential oracle.
     ///
     /// Returns `None` when rates are dirty (a reallocation is pending, so
     /// flow rates are transiently stale by design); otherwise the maximum
@@ -517,33 +610,40 @@ impl<R: Recorder> FluidSimulator<R> {
         if self.rates_dirty {
             return None;
         }
-        let scan: Vec<(u32, u32)> = self
+        let aos = self.aos_view();
+        let scan: Vec<u32> = self
             .jobs
             .iter()
+            .zip(&aos)
             .enumerate()
-            .flat_map(|(j, js)| {
-                js.flows
+            .flat_map(|(j, (js, flows))| {
+                let base = self.arena.flow_off[j];
+                flows
                     .iter()
                     .enumerate()
-                    .filter(|(_, f)| Self::flow_is_active(js, f))
-                    .map(move |(fi, _)| (j as u32, fi as u32))
+                    .filter(|(_, f)| {
+                        js.progress.is_communicating() && js.released && f.remaining > 0.0
+                    })
+                    .map(move |(fi, _)| base + fi as u32)
             })
             .collect();
         assert_eq!(
             scan, self.active,
-            "active-flow index diverged from the flow_is_active scan"
+            "active-flow index diverged from the AoS activity scan"
         );
         let demands: Vec<FlowDemand<'_>> = self
             .active
             .iter()
-            .map(|&(j, fi)| {
+            .map(|&f| {
+                let j = self.arena.job_of[f as usize] as usize;
+                let fi = f as usize - self.arena.flow_off[j] as usize;
                 let (weight, priority) = match &self.policy {
                     SharingPolicy::MaxMin => (1.0, 0),
-                    SharingPolicy::Weighted(w) => (w[j as usize], 0),
-                    SharingPolicy::Priority(p) => (1.0, p[j as usize]),
+                    SharingPolicy::Weighted(w) => (w[j], 0),
+                    SharingPolicy::Priority(p) => (1.0, p[j]),
                 };
                 FlowDemand {
-                    links: &self.jobs[j as usize].flows[fi as usize].links,
+                    links: &aos[j][fi].links,
                     weight,
                     priority,
                     rate_cap: self.nic_rate,
@@ -557,8 +657,8 @@ impl<R: Recorder> FluidSimulator<R> {
             _ => crate::alloc::reference::weighted_max_min(&demands, &self.capacities),
         };
         let mut worst = 0.0f64;
-        for (k, &(j, fi)) in self.active.iter().enumerate() {
-            let got = self.jobs[j as usize].flows[fi as usize].rate;
+        for (k, &f) in self.active.iter().enumerate() {
+            let got = self.arena.rate[f as usize];
             worst = worst.max((got - reference[k]).abs());
         }
         Some(worst)
@@ -578,17 +678,17 @@ impl<R: Recorder> FluidSimulator<R> {
         if set_changed {
             self.force_resolve = false;
             {
-                let jobs = &self.jobs;
+                let arena = &self.arena;
                 let mut demands: Vec<FlowDemand<'_>> = Vec::with_capacity(self.active.len());
-                for &(j, fi) in &self.active {
-                    let f = &jobs[j as usize].flows[fi as usize];
+                for &f in &self.active {
+                    let j = arena.job_of[f as usize] as usize;
                     let (weight, priority) = match &self.policy {
                         SharingPolicy::MaxMin => (1.0, 0),
-                        SharingPolicy::Weighted(w) => (w[j as usize], 0),
-                        SharingPolicy::Priority(p) => (1.0, p[j as usize]),
+                        SharingPolicy::Weighted(w) => (w[j], 0),
+                        SharingPolicy::Priority(p) => (1.0, p[j]),
                     };
                     demands.push(FlowDemand {
-                        links: &f.links,
+                        links: arena.links_of(f as usize),
                         weight,
                         priority,
                         rate_cap: self.nic_rate,
@@ -609,13 +709,9 @@ impl<R: Recorder> FluidSimulator<R> {
                     ),
                 }
             }
-            for js in &mut self.jobs {
-                for f in &mut js.flows {
-                    f.rate = 0.0;
-                }
-            }
-            for (k, &(j, fi)) in self.active.iter().enumerate() {
-                self.jobs[j as usize].flows[fi as usize].rate = self.rate_buf[k];
+            self.arena.rate.fill(0.0);
+            for (k, &f) in self.active.iter().enumerate() {
+                self.arena.rate[f as usize] = self.rate_buf[k];
             }
             self.solved_active.clone_from(&self.active);
         }
@@ -631,8 +727,8 @@ impl<R: Recorder> FluidSimulator<R> {
         }
         // Trace each job's aggregate throughput.
         let now = self.now;
-        for (j, js) in self.jobs.iter().enumerate() {
-            let total: f64 = js.flows.iter().map(|f| f.rate).sum();
+        for j in 0..self.jobs.len() {
+            let total: f64 = self.arena.rate[self.arena.job_range(j)].iter().sum();
             self.throughput_traces[j].push_compressed(now, total / 1e9);
             if R::ENABLED && total != self.last_rates[j] {
                 self.last_rates[j] = total;
@@ -656,10 +752,13 @@ impl<R: Recorder> FluidSimulator<R> {
     fn refresh_completion_cache(&mut self) {
         let now = self.now;
         let mut best: Option<Time> = None;
-        for &(j, fi) in &self.active {
-            let f = &self.jobs[j as usize].flows[fi as usize];
-            if f.rate > 0.0 && f.remaining > 0.0 {
-                let secs = f.remaining * 8.0 / f.rate;
+        for &f in &self.active {
+            let (rate, remaining) = (
+                self.arena.rate[f as usize],
+                self.arena.remaining[f as usize],
+            );
+            if rate > 0.0 && remaining > 0.0 {
+                let secs = remaining * 8.0 / rate;
                 // Round up so we never stall on sub-nanosecond slices.
                 let d = Dur::from_secs_f64(secs).max(Dur::NANOSECOND);
                 let t = now + d;
@@ -687,19 +786,20 @@ impl<R: Recorder> FluidSimulator<R> {
             let mut delivered = 0.0;
             let mut all_done = true;
             let mut any_flow_finished = false;
-            for (fi, f) in js.flows.iter_mut().enumerate() {
-                if f.remaining > 0.0 {
-                    let mut d = (f.rate * dt / 8.0).min(f.remaining);
-                    if f.remaining - d <= FLOW_EPS {
-                        d = f.remaining; // flush sub-byte dust exactly
+            for f in self.arena.job_range(j) {
+                let remaining = self.arena.remaining[f];
+                if remaining > 0.0 {
+                    let mut d = (self.arena.rate[f] * dt / 8.0).min(remaining);
+                    if remaining - d <= FLOW_EPS {
+                        d = remaining; // flush sub-byte dust exactly
                     }
-                    f.remaining -= d;
+                    self.arena.remaining[f] = remaining - d;
                     delivered += d;
-                    if f.remaining > 0.0 {
+                    if self.arena.remaining[f] > 0.0 {
                         all_done = false;
                     } else {
                         any_flow_finished = true;
-                        deactivate_flow(&mut self.active, j, fi);
+                        deactivate_flow(&mut self.active, f);
                     }
                 }
             }
@@ -727,7 +827,7 @@ impl<R: Recorder> FluidSimulator<R> {
                         "job finished with flow bytes left"
                     );
                     js.released = false;
-                    deactivate_job(&mut self.active, j);
+                    deactivate_job(&mut self.active, &self.arena, j);
                     let poll_at = js
                         .progress
                         .next_self_transition()
@@ -818,20 +918,20 @@ impl<R: Recorder> FluidSimulator<R> {
                     }
                     // Phase bytes split across flows by fraction.
                     let total = js.progress.remaining_bytes();
-                    for f in &mut js.flows {
-                        f.remaining = total * f.fraction;
+                    for f in self.arena.job_range(j) {
+                        self.arena.remaining[f] = total * self.arena.fraction[f];
                     }
                     match js.gate {
                         None => {
                             js.released = true;
-                            activate_job_flows(&mut self.active, j, &js.flows);
+                            activate_job_flows(&mut self.active, &self.arena, j);
                             self.rates_dirty = true;
                         }
                         Some(g) => {
                             let at = g.next_release(now);
                             if at == now {
                                 js.released = true;
-                                activate_job_flows(&mut self.active, j, &js.flows);
+                                activate_job_flows(&mut self.active, &self.arena, j);
                                 self.rates_dirty = true;
                             } else {
                                 self.events.schedule_at(at, Ev::GateOpen(j));
@@ -844,7 +944,7 @@ impl<R: Recorder> FluidSimulator<R> {
                 let js = &mut self.jobs[j];
                 if js.progress.is_communicating() && !js.released {
                     js.released = true;
-                    activate_job_flows(&mut self.active, j, &js.flows);
+                    activate_job_flows(&mut self.active, &self.arena, j);
                     self.rates_dirty = true;
                     if R::ENABLED {
                         self.rec.record(now, Event::GateRelease { job: j as u32 });
@@ -969,6 +1069,191 @@ impl<R: Recorder> FluidSimulator<R> {
     /// Whether job `j` has departed the cluster.
     pub fn departed(&self, j: usize) -> bool {
         self.jobs[j].departed
+    }
+
+    /// Replaces job `i`'s phase-duration noise. Takes effect at the next
+    /// iteration rollover; the in-flight iteration keeps its drawn scales.
+    /// Used by forked sweeps to perturb a cell after a shared clean prefix.
+    pub fn set_noise(&mut self, i: usize, noise: Option<PhaseNoise>) {
+        self.jobs[i].progress.set_noise(noise);
+    }
+
+    /// Replaces job `i`'s departure deadline. A deadline at or before the
+    /// current clock takes effect at the job's next compute-side poll.
+    pub fn set_depart_at(&mut self, i: usize, at: Option<Time>) {
+        self.jobs[i].depart_at = at;
+    }
+
+    /// Installs per-link fault schedules on a running simulator (one entry
+    /// per topology link). Intended for forked sweeps: the shared prefix
+    /// runs without schedules, and each fork installs its cell's schedules
+    /// at the barrier. Schedules are evaluated in absolute simulated time,
+    /// so a window before the current clock has already "happened" silently.
+    ///
+    /// # Panics
+    /// Panics if `schedules` length mismatches the link count, or if the
+    /// simulator already has schedules installed (their pending change
+    /// events cannot be retracted).
+    pub fn set_link_schedules(&mut self, schedules: Vec<LinkSchedule>) {
+        assert_eq!(
+            schedules.len(),
+            self.capacities.len(),
+            "set_link_schedules: length mismatches topology links"
+        );
+        assert!(
+            self.link_schedules.is_empty(),
+            "set_link_schedules: schedules already installed"
+        );
+        if schedules.iter().all(|s| s.is_identity()) {
+            return;
+        }
+        self.base_capacities = self.capacities.clone();
+        self.link_schedules = schedules;
+        let now = self.now;
+        for l in 0..self.link_schedules.len() {
+            let m = self.link_schedules[l].multiplier_at(now);
+            let new_cap = self.base_capacities[l] * m;
+            if new_cap != self.capacities[l] {
+                self.capacities[l] = new_cap;
+                self.rates_dirty = true;
+                self.force_resolve = true;
+                if R::ENABLED {
+                    self.rec.record(
+                        now,
+                        Event::LinkCapacity {
+                            link: l as u32,
+                            fraction: m,
+                        },
+                    );
+                }
+            }
+            if let Some(at) = self.link_schedules[l].next_change_after(now) {
+                self.events.schedule_at(at, Ev::LinkChange(l));
+            }
+        }
+    }
+}
+
+/// Complete captured state of a [`FluidSimulator`] at a simulated-time
+/// barrier. See [`crate::snapshot`] for the contract.
+#[derive(Clone)]
+pub struct FluidSnapshot {
+    version: u32,
+    capacities: Vec<f64>,
+    base_capacities: Vec<f64>,
+    link_schedules: Vec<LinkSchedule>,
+    jobs: Vec<JState>,
+    arena: FlowArena,
+    events: EventQueue<Ev>,
+    now: Time,
+    policy: SharingPolicy,
+    nic_rate: f64,
+    rates_dirty: bool,
+    force_resolve: bool,
+    active: Vec<u32>,
+    solved_active: Vec<u32>,
+    next_completion_cache: Option<Time>,
+    throughput_traces: Vec<TimeSeries>,
+    spans: SpanTracker,
+    allocs: u64,
+    events_popped: u64,
+    last_rates: Vec<f64>,
+}
+
+impl FluidSnapshot {
+    /// The simulated instant the snapshot was taken at.
+    pub fn taken_at(&self) -> Time {
+        self.now
+    }
+
+    /// Overrides the version field — test hook for the mismatch path.
+    #[doc(hidden)]
+    pub fn with_version(mut self, v: u32) -> FluidSnapshot {
+        self.version = v;
+        self
+    }
+
+    /// Schedules an already-due event — test hook for the barrier check.
+    #[doc(hidden)]
+    pub fn with_stale_event(mut self) -> FluidSnapshot {
+        self.events.schedule_at(self.now, Ev::Poll(0));
+        self
+    }
+}
+
+impl<R: Recorder> Snapshottable<R> for FluidSimulator<R> {
+    type Snapshot = FluidSnapshot;
+
+    fn snapshot(&self) -> Result<FluidSnapshot, SnapshotError> {
+        check_barrier(self.events.peek_time(), self.now)?;
+        Ok(FluidSnapshot {
+            version: SNAPSHOT_VERSION,
+            capacities: self.capacities.clone(),
+            base_capacities: self.base_capacities.clone(),
+            link_schedules: self.link_schedules.clone(),
+            jobs: self.jobs.clone(),
+            arena: self.arena.clone(),
+            events: self.events.clone(),
+            now: self.now,
+            policy: self.policy.clone(),
+            nic_rate: self.nic_rate,
+            rates_dirty: self.rates_dirty,
+            force_resolve: self.force_resolve,
+            active: self.active.clone(),
+            solved_active: self.solved_active.clone(),
+            next_completion_cache: self.next_completion_cache,
+            throughput_traces: self.throughput_traces.clone(),
+            spans: self.spans.clone(),
+            allocs: self.allocs,
+            events_popped: self.events_popped,
+            last_rates: self.last_rates.clone(),
+        })
+    }
+
+    fn restore(snap: FluidSnapshot, rec: R) -> Result<FluidSimulator<R>, SnapshotError> {
+        check_version(snap.version)?;
+        check_barrier(snap.events.peek_time(), snap.now)?;
+        snap.arena.validate(snap.jobs.len())?;
+        if snap.jobs.is_empty() {
+            return Err(SnapshotError::Malformed { what: "no jobs" });
+        }
+        if snap.throughput_traces.len() != snap.jobs.len() {
+            return Err(SnapshotError::Malformed {
+                what: "throughput trace count mismatches jobs",
+            });
+        }
+        if snap.last_rates.len() != snap.jobs.len() {
+            return Err(SnapshotError::Malformed {
+                what: "last-rate count mismatches jobs",
+            });
+        }
+        Ok(FluidSimulator {
+            capacities: snap.capacities,
+            base_capacities: snap.base_capacities,
+            link_schedules: snap.link_schedules,
+            jobs: snap.jobs,
+            arena: snap.arena,
+            events: snap.events,
+            now: snap.now,
+            policy: snap.policy,
+            nic_rate: snap.nic_rate,
+            rates_dirty: snap.rates_dirty,
+            force_resolve: snap.force_resolve,
+            active: snap.active,
+            solved_active: snap.solved_active,
+            // Pure working memory, rebuilt on the next solver pass; the
+            // skip-solve path only needs `solved_active` + arena rates,
+            // which the snapshot keeps consistent.
+            scratch: AllocScratch::new(),
+            rate_buf: Vec::new(),
+            next_completion_cache: snap.next_completion_cache,
+            throughput_traces: snap.throughput_traces,
+            rec,
+            spans: snap.spans,
+            allocs: snap.allocs,
+            events_popped: snap.events_popped,
+            last_rates: snap.last_rates,
+        })
     }
 }
 
@@ -1518,5 +1803,111 @@ mod tests {
         assert_eq!(a, b, "seeded noise must be reproducible");
         let spread = a.iter().max().unwrap() - a.iter().min().unwrap();
         assert!(spread > 0, "jitter should vary iteration times");
+    }
+
+    /// run(0→T) ≡ run(0→t) + snapshot + restore + run(t→T), with noise,
+    /// link-fault schedules (pending LinkChange events cross the barrier),
+    /// and two contending jobs.
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let noise = PhaseNoise {
+            seed: 9,
+            job: 0,
+            compute_jitter: 0.2,
+            comm_jitter: 0.2,
+            straggler_prob: 0.1,
+            straggler_factor: 1.8,
+        };
+        let build = || {
+            let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+            let t = d.topology.clone();
+            let path = |i: usize| {
+                t.route(topology::FlowKey {
+                    src: d.left_hosts[i],
+                    dst: d.right_hosts[i],
+                    tag: 0,
+                })
+                .unwrap()
+                .links()
+                .to_vec()
+            };
+            let spec = JobSpec::reference(Model::Vgg19, 1200);
+            let jobs = [
+                FluidJob {
+                    noise: Some(noise),
+                    ..FluidJob::single_path(spec, path(0))
+                },
+                FluidJob::single_path(spec, path(1)),
+            ];
+            let mut schedules = vec![LinkSchedule::identity(); t.links().len()];
+            schedules[0] = LinkSchedule::degraded(
+                Time::ZERO + Dur::from_millis(350),
+                Time::ZERO + Dur::from_millis(500),
+                0.5,
+            );
+            let cfg = FluidConfig {
+                link_schedules: schedules,
+                ..FluidConfig::fair()
+            };
+            FluidSimulator::new(&t, cfg, &jobs)
+        };
+        let stop = Time::ZERO + Dur::from_millis(800);
+        let mut whole = build();
+        whole.run_until(stop);
+
+        let barrier = Time::ZERO + Dur::from_millis(300);
+        let mut prefix = build();
+        prefix.run_until(barrier);
+        let snap = prefix.snapshot().expect("run_until leaves a barrier");
+        assert_eq!(snap.taken_at(), barrier);
+        let mut forked = FluidSimulator::restore(snap, NoopRecorder).expect("restore");
+        forked.run_until(stop);
+
+        assert_eq!(whole.now(), forked.now());
+        for j in 0..2 {
+            assert_eq!(
+                whole.progress(j).iteration_times(),
+                forked.progress(j).iteration_times(),
+                "job {j}: iteration times diverged across snapshot/restore"
+            );
+            assert_eq!(
+                whole.throughput_trace(j),
+                forked.throughput_trace(j),
+                "job {j}: throughput trace diverged across snapshot/restore"
+            );
+        }
+    }
+
+    /// Version mismatch and mid-event-barrier misuse surface as typed
+    /// errors, never panics.
+    #[test]
+    fn snapshot_misuse_returns_typed_errors() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let (mut sim, _t) = two_job_setup(spec, spec, FluidConfig::fair());
+        sim.run_until(Time::ZERO + Dur::from_millis(200));
+        let snap = sim.snapshot().expect("barrier");
+
+        let err = match FluidSimulator::restore(snap.clone().with_version(7), NoopRecorder) {
+            Err(e) => e,
+            Ok(_) => panic!("version mismatch accepted"),
+        };
+        assert_eq!(
+            err,
+            SnapshotError::VersionMismatch {
+                expected: SNAPSHOT_VERSION,
+                found: 7
+            }
+        );
+
+        let err = match FluidSimulator::restore(snap.with_stale_event(), NoopRecorder) {
+            Err(e) => e,
+            Ok(_) => panic!("stale event accepted"),
+        };
+        match err {
+            SnapshotError::MidEventBarrier { pending_at, now } => {
+                assert!(pending_at <= now, "{pending_at:?} vs {now:?}")
+            }
+            other => panic!("wrong error: {other}"),
+        }
     }
 }

@@ -35,3 +35,4 @@ pub mod alloc;
 pub mod fluid;
 pub mod packet;
 pub mod rate;
+pub mod snapshot;

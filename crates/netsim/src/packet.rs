@@ -25,6 +25,9 @@
 //! airtime never exceeds the NP's CNP interval), and `train_packets = 1`
 //! reproduces the per-packet engine event-for-event and bit-for-bit.
 
+use crate::snapshot::{
+    check_barrier, check_version, SnapshotError, Snapshottable, SNAPSHOT_VERSION,
+};
 use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, SignalLoss};
 use eventsim::{queue::reference, EventQueue, Rng, ScheduledEvent};
 use simtime::{Bandwidth, Dur, Time};
@@ -108,12 +111,13 @@ pub enum QueueBackend {
 
 /// The two queue implementations behind one seam, so a config knob can
 /// swap them without making the simulator generic over the queue type.
-enum Queue<E> {
+#[derive(Clone)]
+enum Queue<E: Clone> {
     Wheel(EventQueue<E>),
     Heap(reference::EventQueue<E>),
 }
 
-impl<E> Queue<E> {
+impl<E: Clone> Queue<E> {
     fn new(backend: QueueBackend) -> Queue<E> {
         match backend {
             QueueBackend::TimingWheel => Queue::Wheel(EventQueue::new()),
@@ -125,6 +129,13 @@ impl<E> Queue<E> {
         match self {
             Queue::Wheel(q) => q.now(),
             Queue::Heap(q) => q.now(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        match self {
+            Queue::Wheel(q) => q.peek_time(),
+            Queue::Heap(q) => q.peek_time(),
         }
     }
 
@@ -189,6 +200,7 @@ enum Ev {
     Cnp(usize),
 }
 
+#[derive(Clone)]
 struct FlowState {
     progress: JobProgress,
     rp: dcqcn::DcqcnRp,
@@ -216,6 +228,7 @@ struct FlowState {
 }
 
 /// A contiguous run of one flow's packets occupying the switch FIFO.
+#[derive(Clone)]
 struct Train {
     flow: usize,
     packets: u32,
@@ -779,6 +792,134 @@ impl<R: Recorder> PacketSimulator<R> {
         }
         done
     }
+
+    /// Injects (or clears) per-iteration phase noise for flow `i`, taking
+    /// effect at its next iteration rollover.
+    pub fn set_noise(&mut self, i: usize, noise: Option<PhaseNoise>) {
+        self.flows[i].progress.set_noise(noise);
+    }
+
+    /// Schedules flow `i` to leave at the first compute-side poll at/after
+    /// `at` (or cancels a pending departure).
+    pub fn set_depart_at(&mut self, i: usize, at: Option<Time>) {
+        self.flows[i].depart_at = at;
+    }
+
+    /// Replaces the bottleneck's capacity schedule from now on (sampled at
+    /// each train's service start).
+    pub fn set_capacity_schedule(&mut self, schedule: Option<LinkSchedule>) {
+        self.cfg.capacity_schedule = schedule;
+    }
+
+    /// Replaces the signal-loss profile and reseeds the chaos RNG from it,
+    /// exactly as construction would have.
+    pub fn set_signal_loss(&mut self, loss: Option<SignalLoss>) {
+        self.cfg.signal_loss = loss;
+        self.chaos_rng = Rng::new(loss.map_or(0, |l| l.seed));
+    }
+}
+
+/// Complete captured state of a [`PacketSimulator`] at an event barrier:
+/// the full timing-wheel (or heap) contents including the FIFO tie-break
+/// counter, switch FIFO and queue depth, per-flow RP/NP state, RNG and
+/// chaos stream positions, and span-tracker state. Recorder-free.
+#[derive(Clone)]
+pub struct PacketSnapshot {
+    version: u32,
+    cfg: PacketSimConfig,
+    events: Queue<Ev>,
+    flows: Vec<FlowState>,
+    rng: Rng,
+    queue_bytes: u64,
+    fifo: std::collections::VecDeque<Train>,
+    busy: bool,
+    packets_sent: u64,
+    packets_marked: u64,
+    cnps_sent: u64,
+    spans: SpanTracker,
+    events_processed: u64,
+    chaos_rng: Rng,
+    last_cap_mult: f64,
+}
+
+impl PacketSnapshot {
+    /// The simulated instant the snapshot was taken at.
+    pub fn taken_at(&self) -> Time {
+        self.events.now()
+    }
+
+    /// Overrides the version tag — test hook for the
+    /// [`SnapshotError::VersionMismatch`] path.
+    #[doc(hidden)]
+    pub fn with_version(mut self, version: u32) -> PacketSnapshot {
+        self.version = version;
+        self
+    }
+
+    /// Corrupts the snapshot by scheduling an event at its own clock, the
+    /// state a mid-event capture would leave behind — test hook for the
+    /// [`SnapshotError::MidEventBarrier`] path.
+    #[doc(hidden)]
+    pub fn with_stale_event(mut self) -> PacketSnapshot {
+        let at = self.events.now();
+        self.events.schedule_at(at, Ev::Dequeue);
+        self
+    }
+}
+
+impl<R: Recorder> Snapshottable<R> for PacketSimulator<R> {
+    type Snapshot = PacketSnapshot;
+
+    fn snapshot(&self) -> Result<PacketSnapshot, SnapshotError> {
+        check_barrier(self.events.peek_time(), self.events.now())?;
+        Ok(PacketSnapshot {
+            version: SNAPSHOT_VERSION,
+            cfg: self.cfg.clone(),
+            events: self.events.clone(),
+            flows: self.flows.clone(),
+            rng: self.rng.clone(),
+            queue_bytes: self.queue_bytes,
+            fifo: self.fifo.clone(),
+            busy: self.busy,
+            packets_sent: self.packets_sent,
+            packets_marked: self.packets_marked,
+            cnps_sent: self.cnps_sent,
+            spans: self.spans.clone(),
+            events_processed: self.events_processed,
+            chaos_rng: self.chaos_rng.clone(),
+            last_cap_mult: self.last_cap_mult,
+        })
+    }
+
+    fn restore(snap: PacketSnapshot, rec: R) -> Result<PacketSimulator<R>, SnapshotError> {
+        check_version(snap.version)?;
+        check_barrier(snap.events.peek_time(), snap.events.now())?;
+        if snap.flows.is_empty() {
+            return Err(SnapshotError::Malformed { what: "no flows" });
+        }
+        if snap.busy && snap.fifo.is_empty() {
+            return Err(SnapshotError::Malformed {
+                what: "link busy with an empty FIFO",
+            });
+        }
+        Ok(PacketSimulator {
+            cfg: snap.cfg,
+            events: snap.events,
+            flows: snap.flows,
+            rng: snap.rng,
+            queue_bytes: snap.queue_bytes,
+            fifo: snap.fifo,
+            busy: snap.busy,
+            packets_sent: snap.packets_sent,
+            packets_marked: snap.packets_marked,
+            cnps_sent: snap.cnps_sent,
+            rec,
+            spans: snap.spans,
+            events_processed: snap.events_processed,
+            chaos_rng: snap.chaos_rng,
+            last_cap_mult: snap.last_cap_mult,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1145,6 +1286,78 @@ mod tests {
             (tail - solo).abs() < solo * 0.03,
             "survivor tail {tail:.2} ms vs solo {solo:.2} ms"
         );
+    }
+
+    /// Snapshot/restore splices invisibly: run(0→T) matches
+    /// run(0→t) + snapshot + restore + run(t→T) exactly — packet counts,
+    /// delivered bytes, CNPs, and events processed — on both queue
+    /// backends and with batched trains.
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        use crate::snapshot::Snapshottable;
+        for queue in [QueueBackend::TimingWheel, QueueBackend::ReferenceHeap] {
+            let cfg = PacketSimConfig {
+                queue,
+                train_packets: 8,
+                ..PacketSimConfig::default()
+            };
+            let jobs = [
+                PacketJob::new(small_job(), CcVariant::Fair),
+                PacketJob::new(small_job(), CcVariant::Fair),
+            ];
+            let mut whole = PacketSimulator::new(cfg.clone(), &jobs);
+            whole.run_until(Time::ZERO + Dur::from_millis(60));
+
+            let mut prefix = PacketSimulator::new(cfg, &jobs);
+            prefix.run_until(Time::ZERO + Dur::from_millis(25));
+            let snap = prefix.snapshot().unwrap();
+            let mut resumed: PacketSimulator = Snapshottable::restore(snap, NoopRecorder).unwrap();
+            resumed.run_until(Time::ZERO + Dur::from_millis(60));
+
+            assert_eq!(whole.packet_counts(), resumed.packet_counts());
+            assert_eq!(whole.cnps_sent(), resumed.cnps_sent());
+            assert_eq!(whole.events_processed(), resumed.events_processed());
+            for i in 0..2 {
+                assert_eq!(whole.delivered(i), resumed.delivered(i));
+                assert_eq!(
+                    whole.progress(i).iteration_times(),
+                    resumed.progress(i).iteration_times()
+                );
+            }
+        }
+    }
+
+    /// Tampered snapshots surface typed errors, never panics: a stale
+    /// same-instant event trips the barrier check, a foreign version tag
+    /// trips the version check.
+    #[test]
+    fn snapshot_misuse_returns_typed_errors() {
+        use crate::snapshot::{SnapshotError, Snapshottable, SNAPSHOT_VERSION};
+        let mut sim = PacketSimulator::new(
+            PacketSimConfig::default(),
+            &[PacketJob::new(small_job(), CcVariant::Fair)],
+        );
+        sim.run_until(Time::ZERO + Dur::from_millis(40));
+        let clean = sim.snapshot().unwrap();
+        assert_eq!(clean.taken_at(), sim.now());
+
+        let stale = clean.clone().with_stale_event();
+        match <PacketSimulator>::restore(stale, NoopRecorder) {
+            Err(SnapshotError::MidEventBarrier { pending_at, now }) => {
+                assert!(pending_at <= now);
+            }
+            Err(e) => panic!("wrong error {e}"),
+            Ok(_) => panic!("stale snapshot accepted"),
+        }
+
+        let old = clean.with_version(0);
+        match <PacketSimulator>::restore(old, NoopRecorder) {
+            Err(SnapshotError::VersionMismatch { expected, found }) => {
+                assert_eq!((expected, found), (SNAPSHOT_VERSION, 0));
+            }
+            Err(e) => panic!("wrong error {e}"),
+            Ok(_) => panic!("old snapshot accepted"),
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! Scope: one bottleneck link (the paper's experiments are all
 //! single-bottleneck; multi-link topologies are the fluid engine's job).
 
+use crate::snapshot::{check_version, SnapshotError, Snapshottable, SNAPSHOT_VERSION};
 use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, RpStage, SignalLoss};
 use eventsim::{Rng, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
@@ -134,6 +135,7 @@ impl RateJob {
 
 /// A job's congestion controller: DCQCN (ECN/CNP-driven) or the
 /// delay-based Swift-style alternative.
+#[derive(Clone)]
 enum Controller {
     Dcqcn(dcqcn::DcqcnRp),
     Swift(dcqcn::SwiftRp),
@@ -167,6 +169,7 @@ impl Controller {
     }
 }
 
+#[derive(Clone)]
 struct JobState {
     progress: JobProgress,
     cc: Controller,
@@ -785,6 +788,146 @@ impl<R: Recorder> RateSimulator<R> {
         }
         done || reached(&self.jobs)
     }
+
+    /// Runs until the clock reaches (or first steps past) `t`. A no-op if
+    /// the clock is already there — the natural way to drive the engine to
+    /// a fork barrier.
+    pub fn run_until(&mut self, t: Time) {
+        self.run_for(t.saturating_since(self.now));
+    }
+
+    /// Replaces job `i`'s congestion-control variant with a freshly built
+    /// controller, as if the job restarted its transport (rate resets to
+    /// line rate on the next phase restart; CNP pacing state clears).
+    /// Forked sweeps use this to vary the Fig. 1 variant matrix from a
+    /// shared prefix.
+    pub fn set_cc_variant(&mut self, i: usize, variant: CcVariant) {
+        let params = self.cfg.base_params.with_line_rate(self.cfg.capacity);
+        let js = &mut self.jobs[i];
+        js.cc = if variant.is_delay_based() {
+            Controller::Swift(variant.build_swift(self.cfg.capacity))
+        } else {
+            Controller::Dcqcn(variant.build_rp(params))
+        };
+        js.adaptive = variant.is_adaptive();
+        js.np.reset();
+    }
+
+    /// Injects (or clears) per-iteration phase noise for job `i`, taking
+    /// effect at its next iteration rollover.
+    pub fn set_noise(&mut self, i: usize, noise: Option<PhaseNoise>) {
+        self.jobs[i].progress.set_noise(noise);
+    }
+
+    /// Schedules job `i` to leave the cluster at the first compute-phase
+    /// instant at/after `at` (or cancels a pending departure). Ignored if
+    /// the job already departed.
+    pub fn set_depart_at(&mut self, i: usize, at: Option<Time>) {
+        self.jobs[i].depart_at = at;
+    }
+
+    /// Replaces the bottleneck's capacity schedule (fault-injection
+    /// degradation windows and flaps) from now on.
+    pub fn set_capacity_schedule(&mut self, schedule: Option<LinkSchedule>) {
+        self.cfg.capacity_schedule = schedule;
+    }
+
+    /// Replaces the signal-loss profile and reseeds the chaos RNG from it,
+    /// exactly as construction would have.
+    pub fn set_signal_loss(&mut self, loss: Option<SignalLoss>) {
+        self.cfg.signal_loss = loss;
+        self.chaos_rng = Rng::new(loss.map_or(0, |l| l.seed));
+    }
+}
+
+/// Complete captured state of a [`RateSimulator`] at a step boundary:
+/// clocks, per-job progress and controller state, RNG and chaos stream
+/// positions, accumulated traces, and span-tracker state. Recorder-free.
+#[derive(Clone)]
+pub struct RateSnapshot {
+    version: u32,
+    cfg: RateSimConfig,
+    now: Time,
+    jobs: Vec<JobState>,
+    rng: Rng,
+    queue_trace: TimeSeries,
+    rate_traces: Vec<TimeSeries>,
+    next_trace_at: Time,
+    spans: SpanTracker,
+    next_sample_at: Time,
+    steps: u64,
+    dt_scale: u64,
+    quiet_steps: u32,
+    chaos_rng: Rng,
+    last_cap_mult: f64,
+}
+
+impl RateSnapshot {
+    /// The simulated instant the snapshot was taken at.
+    pub fn taken_at(&self) -> Time {
+        self.now
+    }
+
+    /// Overrides the version tag — test hook for exercising the
+    /// [`SnapshotError::VersionMismatch`] path.
+    #[doc(hidden)]
+    pub fn with_version(mut self, version: u32) -> RateSnapshot {
+        self.version = version;
+        self
+    }
+}
+
+impl<R: Recorder> Snapshottable<R> for RateSimulator<R> {
+    type Snapshot = RateSnapshot;
+
+    fn snapshot(&self) -> Result<RateSnapshot, SnapshotError> {
+        Ok(RateSnapshot {
+            version: SNAPSHOT_VERSION,
+            cfg: self.cfg.clone(),
+            now: self.now,
+            jobs: self.jobs.clone(),
+            rng: self.rng.clone(),
+            queue_trace: self.queue_trace.clone(),
+            rate_traces: self.rate_traces.clone(),
+            next_trace_at: self.next_trace_at,
+            spans: self.spans.clone(),
+            next_sample_at: self.next_sample_at,
+            steps: self.steps,
+            dt_scale: self.dt_scale,
+            quiet_steps: self.quiet_steps,
+            chaos_rng: self.chaos_rng.clone(),
+            last_cap_mult: self.last_cap_mult,
+        })
+    }
+
+    fn restore(snap: RateSnapshot, rec: R) -> Result<RateSimulator<R>, SnapshotError> {
+        check_version(snap.version)?;
+        if snap.jobs.is_empty() {
+            return Err(SnapshotError::Malformed { what: "no jobs" });
+        }
+        if snap.rate_traces.len() != snap.jobs.len() {
+            return Err(SnapshotError::Malformed {
+                what: "rate-trace count does not match job count",
+            });
+        }
+        Ok(RateSimulator {
+            cfg: snap.cfg,
+            now: snap.now,
+            jobs: snap.jobs,
+            rng: snap.rng,
+            queue_trace: snap.queue_trace,
+            rate_traces: snap.rate_traces,
+            next_trace_at: snap.next_trace_at,
+            rec,
+            spans: snap.spans,
+            next_sample_at: snap.next_sample_at,
+            steps: snap.steps,
+            dt_scale: snap.dt_scale,
+            quiet_steps: snap.quiet_steps,
+            chaos_rng: snap.chaos_rng,
+            last_cap_mult: snap.last_cap_mult,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1171,6 +1314,67 @@ mod tests {
         );
         // The leaver froze after its departure point.
         assert!(sim.progress(0).completed() < 8);
+    }
+
+    /// Snapshot/restore splices invisibly: run(0→T) is bit-identical to
+    /// run(0→t) + snapshot + restore + run(t→T), including RNG-dependent
+    /// marking jitter, traces, and step counts.
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        use crate::snapshot::Snapshottable;
+        let jobs = [
+            RateJob::new(vgg19(1200), CcVariant::Fair),
+            RateJob::new(vgg19(1400), CcVariant::Fair),
+        ];
+        let cfg = RateSimConfig {
+            mark_noise: 0.3,
+            trace_interval: Some(Dur::from_millis(1)),
+            ..RateSimConfig::default()
+        };
+        let mut whole = RateSimulator::new(cfg.clone(), &jobs);
+        whole.run_for(Dur::from_millis(800));
+
+        let mut prefix = RateSimulator::new(cfg, &jobs);
+        prefix.run_for(Dur::from_millis(300));
+        let snap = prefix.snapshot().unwrap();
+        assert_eq!(snap.taken_at(), prefix.now());
+        let mut resumed: RateSimulator = Snapshottable::restore(snap, NoopRecorder).unwrap();
+        resumed.run_until(Time::ZERO + Dur::from_millis(800));
+
+        assert_eq!(whole.now(), resumed.now());
+        assert_eq!(whole.steps(), resumed.steps());
+        for i in 0..2 {
+            assert_eq!(
+                whole.progress(i).iteration_times(),
+                resumed.progress(i).iteration_times()
+            );
+            assert_eq!(whole.rate_trace(i), resumed.rate_trace(i));
+        }
+        assert_eq!(whole.queue_trace(), resumed.queue_trace());
+    }
+
+    /// A snapshot from a different layout version is rejected with a typed
+    /// error, not misread.
+    #[test]
+    fn snapshot_version_mismatch_is_typed() {
+        use crate::snapshot::{SnapshotError, Snapshottable, SNAPSHOT_VERSION};
+        let mut sim = RateSimulator::new(
+            RateSimConfig::default(),
+            &[RateJob::new(vgg19(1200), CcVariant::Fair)],
+        );
+        sim.run_for(Dur::from_millis(10));
+        let snap = sim.snapshot().unwrap().with_version(SNAPSHOT_VERSION + 7);
+        let err = match <RateSimulator>::restore(snap, NoopRecorder) {
+            Err(e) => e,
+            Ok(_) => panic!("version mismatch accepted"),
+        };
+        assert_eq!(
+            err,
+            SnapshotError::VersionMismatch {
+                expected: SNAPSHOT_VERSION,
+                found: SNAPSHOT_VERSION + 7
+            }
+        );
     }
 
     /// The same run, observed or not, produces identical simulation

@@ -1,0 +1,124 @@
+//! The workspace's one canonical byte hash: FNV-1a over 64 bits.
+//!
+//! Several layers need a cheap, deterministic, platform-stable fingerprint
+//! of structured data — ECMP flow spreading in `topology`, config
+//! fingerprints in run summaries, and snapshot-cache keys in forked
+//! sweeps. They must all agree on *one* construction, both so the logic
+//! isn't re-implemented with subtle drift and so a fingerprint computed in
+//! one layer can be compared in another. This module is that single
+//! implementation; everything else delegates here.
+//!
+//! FNV-1a is not cryptographic. It is used strictly for spreading and
+//! cache identity, never for integrity against an adversary.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// A streaming FNV-1a hasher for callers that fold in several fields.
+///
+/// ```
+/// use simtime::hash::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write(b"fig1");
+/// h.write_u64(100);
+/// let a = h.finish();
+/// assert_eq!(a, {
+///     let mut h = Fnv64::new();
+///     h.write(b"fig1");
+///     h.write_u64(100);
+///     h.finish()
+/// });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` in little-endian byte order (the workspace convention).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The canonical config fingerprint: FNV-1a over a config's canonical
+/// textual description, truncated to 53 bits so the value survives a round
+/// trip through the flat `f64` metric maps (`RunSummary`, `HISTORY.jsonl`)
+/// without loss.
+///
+/// Both `report --summary` and the forked-sweep snapshot cache key on this
+/// exact function — a summary's `config.hash` and a prefix cache entry for
+/// the same configuration are directly comparable.
+pub fn config_hash(desc: &str) -> u64 {
+    fnv1a_64(desc.as_bytes()) & ((1 << 53) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_frozen() {
+        // FNV-1a of the empty string is the offset basis; "a" is the
+        // published test vector. If these move, every fingerprint in the
+        // workspace silently changes.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"fig1/");
+        h.write(b"unfair");
+        assert_eq!(h.finish(), fnv1a_64(b"fig1/unfair"));
+    }
+
+    #[test]
+    fn config_hash_fits_f64_exactly() {
+        for desc in ["", "fig1", "chaos seeds=[6,16,25] profiles=[links]"] {
+            let h = config_hash(desc);
+            assert!(h < (1 << 53));
+            assert_eq!(h as f64 as u64, h, "53-bit hash must round-trip f64");
+        }
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_hashes() {
+        assert_ne!(
+            config_hash("fig1 iterations=10"),
+            config_hash("fig1 iterations=11")
+        );
+    }
+}

@@ -45,6 +45,7 @@
 
 mod bandwidth;
 mod duration;
+pub mod hash;
 mod numeric;
 mod time;
 

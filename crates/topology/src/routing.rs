@@ -53,15 +53,15 @@ pub struct FlowKey {
 
 impl FlowKey {
     /// FNV-1a over the key fields: cheap, deterministic, well-spread.
+    /// Delegates to the workspace's canonical hasher
+    /// ([`simtime::hash::Fnv64`]) so every layer fingerprints bytes the
+    /// same way.
     pub fn hash64(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for w in [self.src.0 as u64, self.dst.0 as u64, self.tag] {
-            for b in w.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        }
-        h
+        let mut h = simtime::hash::Fnv64::new();
+        h.write_u64(self.src.0 as u64);
+        h.write_u64(self.dst.0 as u64);
+        h.write_u64(self.tag);
+        h.finish()
     }
 }
 

@@ -266,6 +266,13 @@ impl JobProgress {
     pub fn noise(&self) -> Option<PhaseNoise> {
         self.noise
     }
+
+    /// Replaces the chaos perturbation from the next iteration rollover
+    /// onward; the iteration in flight keeps the scales it already drew.
+    /// Forked sweeps use this to inject chaos at the fork barrier.
+    pub fn set_noise(&mut self, noise: Option<PhaseNoise>) {
+        self.noise = noise;
+    }
 }
 
 #[cfg(test)]

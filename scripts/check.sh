@@ -93,6 +93,38 @@ awk -v r="$REC" 'BEGIN { exit !(r == 1) }' || {
 }
 echo "all chaos cells recovered"
 
+echo "== snapshot fork byte-identity gate (restore ≡ re-simulated prefix) =="
+# Restoring the shared-prefix snapshot must reproduce exactly the bytes of
+# re-simulating the prefix in every cell (--fork-replay), at any worker
+# count. fig1 covers the engine round-trip; the chaos sweep covers the
+# barrier mutation path and map_forked.
+mkdir -p "$GATE/fork"
+"$BIN" fig1 --iterations 10 --fork-at 100ms \
+    --trace "$GATE/fork/fig1_forked.jsonl" > /dev/null
+"$BIN" fig1 --iterations 10 --fork-at 100ms --fork-replay \
+    --trace "$GATE/fork/fig1_replay.jsonl" > /dev/null
+cmp "$GATE/fork/fig1_forked.jsonl" "$GATE/fork/fig1_replay.jsonl"
+"$BIN" chaos --iterations 20 --fork-at 200ms --jobs 1 \
+    --trace "$GATE/fork/chaos_j1.jsonl" > /dev/null
+"$BIN" chaos --iterations 20 --fork-at 200ms --jobs 4 \
+    --trace "$GATE/fork/chaos_j4.jsonl" > /dev/null
+"$BIN" chaos --iterations 20 --fork-at 200ms --fork-replay --jobs 1 \
+    --trace "$GATE/fork/chaos_replay.jsonl" > /dev/null
+cmp "$GATE/fork/chaos_j1.jsonl" "$GATE/fork/chaos_j4.jsonl"
+cmp "$GATE/fork/chaos_j1.jsonl" "$GATE/fork/chaos_replay.jsonl"
+echo "forked runs byte-identical (fig1 + chaos, --jobs 1/4, replay baseline)"
+
+echo "== snapshot speedup budget (forked 16-cell sweep, single worker) =="
+"$BIN" snapshot --jobs 1 --summary-dir "$GATE/bench" > /dev/null
+SPEEDUP=$(grep -o '"speedup":[0-9.eE+-]*' "$GATE/bench/BENCH_snapshot.json" | cut -d: -f2)
+IDENT=$(grep -o '"byte_identical":[0-9.eE+-]*' "$GATE/bench/BENCH_snapshot.json" | cut -d: -f2)
+SNAP_BUDGET=3
+awk -v s="$SPEEDUP" -v i="$IDENT" -v b="$SNAP_BUDGET" 'BEGIN { exit !(s >= b && i == 1) }' || {
+    echo "snapshot bench: ${SPEEDUP}x (budget ${SNAP_BUDGET}x), byte_identical=$IDENT" >&2
+    exit 1
+}
+echo "forked sweep ${SPEEDUP}x faster than replaying the prefix, byte-identical"
+
 echo "== live tap byte-identity gate (--watch --slo leaves outputs untouched) =="
 mkdir -p "$GATE/tap_plain" "$GATE/tap_live"
 "$BIN" fig1 --iterations 10 \

@@ -97,6 +97,7 @@ use diagnostics::{AnalysisConfig, DiffConfig, RunSummary};
 use faults::ChaosConfig;
 use mlcc::experiments as exp;
 use mlcc::export;
+use simtime::Dur;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -123,6 +124,12 @@ struct Opts {
     slo: Option<SloRules>,
     alerts: Option<PathBuf>,
     flight: Option<PathBuf>,
+    /// Fork the sweep from a shared clean prefix at this simulated time
+    /// (fig1, chaos, snapshot commands).
+    fork_at: Option<Dur>,
+    /// Re-simulate the prefix in every cell instead of restoring the
+    /// snapshot — the byte-identity baseline for `--fork-at`.
+    fork_replay: bool,
 }
 
 impl Opts {
@@ -155,6 +162,28 @@ fn parse_chaos(value: &str) -> Result<ChaosConfig, String> {
     faults::from_toml_str(&text).map_err(|e| format!("--chaos {value}: {e}"))
 }
 
+/// Parses a simulated duration with a unit suffix: `250us`, `120ms`,
+/// `2s`, or bare nanoseconds (`500000ns` or `500000`).
+fn parse_dur(s: &str) -> Result<Dur, String> {
+    let (digits, mult) = if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000u64)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix("ns") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("{s}: expected a duration like 250us, 120ms or 2s"))?;
+    n.checked_mul(mult)
+        .map(Dur::from_nanos)
+        .ok_or_else(|| format!("{s}: duration overflows"))
+}
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         iterations: None,
@@ -171,6 +200,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         slo: None,
         alerts: None,
         flight: None,
+        fork_at: None,
+        fork_replay: false,
     };
     let mut chaos_seed: Option<u64> = None;
     let mut it = args.iter();
@@ -233,11 +264,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--flight needs a file path")?;
                 opts.flight = Some(PathBuf::from(v));
             }
+            "--fork-at" => {
+                let v = it.next().ok_or("--fork-at needs a duration (e.g. 120ms)")?;
+                let d = parse_dur(v).map_err(|e| format!("--fork-at {e}"))?;
+                if d.is_zero() {
+                    return Err("--fork-at must be positive".to_string());
+                }
+                opts.fork_at = Some(d);
+            }
+            "--fork-replay" => opts.fork_replay = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
     if let Some(seed) = chaos_seed {
         opts.chaos.seed = seed;
+    }
+    if opts.fork_replay && opts.fork_at.is_none() {
+        return Err("--fork-replay requires --fork-at".to_string());
     }
     Ok(opts)
 }
@@ -272,6 +315,18 @@ fn append_history(beside: &Path, record: &HistoryRecord) -> Result<(), String> {
         .map_err(|e| format!("appending to {}: {e}", path.display()))
 }
 
+/// Canonical hash of the CLI configuration that produced a run, as an
+/// f64-safe metric value. Both `--summary` output and the forked-sweep
+/// prefix cache key on [`simtime::hash::config_hash`], so "same
+/// configuration" means the same thing in a report and in the cache.
+fn cli_config_hash(cmd: &str, opts: &Opts) -> f64 {
+    let desc = format!(
+        "{cmd}|iterations={:?}|chaos={:?}|fork_at={:?}|fork_replay={}",
+        opts.iterations, opts.chaos, opts.fork_at, opts.fork_replay
+    );
+    simtime::hash::config_hash(&desc) as f64
+}
+
 /// Writes the trace file, HTML report, and summary, and prints the
 /// metrics / profiler reports the flags asked for.
 fn report(cmd: &str, opts: &Opts, rec: &BufferRecorder) -> Result<(), String> {
@@ -301,7 +356,8 @@ fn report(cmd: &str, opts: &Opts, rec: &BufferRecorder) -> Result<(), String> {
             println!("wrote {} (HTML run report)", path.display());
         }
         if let Some(path) = &opts.summary {
-            let summary = analysis.summary();
+            let mut summary = analysis.summary();
+            summary.put("config.hash", cli_config_hash(cmd, opts));
             write_file(path, &summary.to_json())?;
             append_history(path, &HistoryRecord::from_summary(&summary, "summary"))?;
             println!("wrote {} (RunSummary JSON)", path.display());
@@ -348,10 +404,21 @@ fn run_fig1(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
         chaos: o.chaos,
         ..Default::default()
     };
-    println!("== Fig. 1 ({} iterations) ==", cfg.iterations);
-    let r = match rec {
-        Some(rec) => exp::fig1::run_traced(&cfg, rec),
-        None => exp::fig1::run(&cfg),
+    match o.fork_at {
+        Some(at) => println!(
+            "== Fig. 1 ({} iterations, fork at {at:?}{}) ==",
+            cfg.iterations,
+            if o.fork_replay { ", replay" } else { "" }
+        ),
+        None => println!("== Fig. 1 ({} iterations) ==", cfg.iterations),
+    }
+    let r = match (rec, o.fork_at) {
+        (Some(rec), Some(at)) => exp::fig1::run_traced_forked(&cfg, rec, at, o.fork_replay),
+        (None, Some(at)) => {
+            exp::fig1::run_traced_forked(&cfg, telemetry::NoopRecorder, at, o.fork_replay)
+        }
+        (Some(rec), None) => exp::fig1::run_traced(&cfg, rec),
+        (None, None) => exp::fig1::run(&cfg),
     };
     println!("{}", r.render());
     if let Some(dir) = &o.csv {
@@ -615,14 +682,23 @@ fn run_chaos(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
         ..Default::default()
     };
     println!(
-        "== chaos sweep ({} iterations, {} seeds × {} profiles) ==",
+        "== chaos sweep ({} iterations, {} seeds × {} profiles{}) ==",
         cfg.iterations,
         cfg.seeds.len(),
-        cfg.profiles.len()
+        cfg.profiles.len(),
+        match o.fork_at {
+            Some(at) if o.fork_replay => format!(", fork at {at:?}, replay"),
+            Some(at) => format!(", fork at {at:?}"),
+            None => String::new(),
+        }
     );
-    let r = match rec {
-        Some(rec) => exp::chaos::run_traced(&cfg, rec),
-        None => exp::chaos::run(&cfg),
+    let r = match (rec, o.fork_at) {
+        (Some(rec), Some(at)) => exp::chaos::run_forked(&cfg, rec, at, o.fork_replay),
+        (None, Some(at)) => {
+            exp::chaos::run_forked(&cfg, telemetry::NoopRecorder, at, o.fork_replay)
+        }
+        (Some(rec), None) => exp::chaos::run_traced(&cfg, rec),
+        (None, None) => exp::chaos::run(&cfg),
     };
     println!("{}", r.render());
     let mut m = BenchMetrics::new();
@@ -648,6 +724,74 @@ fn run_chaos(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     }
     m.push(("all_recovered".to_string(), r.all_recovered() as u8 as f64));
     m
+}
+
+/// The fork-from-prefix benchmark: runs a 16-cell chaos grid (4 seeds ×
+/// 4 arrival-free profiles) twice — forked from a shared clean-prefix
+/// snapshot, then with the prefix replayed per cell — byte-compares the
+/// two telemetry streams, and reports the wall-clock speedup. The
+/// `speedup` and `byte_identical` metrics in `BENCH_snapshot.json` are
+/// the gate for the snapshot/restore machinery.
+fn run_snapshot_bench(o: &Opts) -> BenchMetrics {
+    let cfg = exp::chaos::ChaosSweepConfig {
+        iterations: o.iterations.unwrap_or(40),
+        seeds: vec![6, 16, 25, 33],
+        profiles: ["none", "stragglers", "links", "signal"]
+            .map(String::from)
+            .to_vec(),
+        ..Default::default()
+    };
+    let per_iter = cfg.jobs[0]
+        .iteration_time_at(cfg.sim.capacity)
+        .max(cfg.jobs[1].iteration_time_at(cfg.sim.capacity));
+    // Default fork point: 90 % of the nominal sweep length — late enough
+    // that the shared prefix dominates each cell's work, early enough
+    // that every cell still has iterations (and its chaos) ahead of it.
+    let fork_at = o
+        .fork_at
+        .unwrap_or(per_iter * (cfg.iterations as u64 * 9) / 10);
+    println!(
+        "== snapshot bench ({} cells, {} iterations, fork at {fork_at:?}) ==",
+        cfg.seeds.len() * cfg.profiles.len(),
+        cfg.iterations,
+    );
+    let mut forked_rec = BufferRecorder::new();
+    let t0 = Instant::now();
+    let forked = exp::chaos::run_forked(&cfg, &mut forked_rec, fork_at, false);
+    let forked_wall = t0.elapsed();
+    let mut replay_rec = BufferRecorder::new();
+    let t0 = Instant::now();
+    let replayed = exp::chaos::run_forked(&cfg, &mut replay_rec, fork_at, true);
+    let replay_wall = t0.elapsed();
+
+    let byte_identical = forked_rec.events() == replay_rec.events()
+        && forked
+            .cells
+            .iter()
+            .zip(&replayed.cells)
+            .all(|(f, r)| f.medians_ms == r.medians_ms);
+    let speedup = replay_wall.as_secs_f64() / forked_wall.as_secs_f64().max(1e-9);
+    println!("{}", forked.render());
+    println!(
+        "forked {forked_wall:.2?} vs replayed {replay_wall:.2?}: {speedup:.2}x, {}",
+        if byte_identical {
+            "byte-identical"
+        } else {
+            "STREAMS DIVERGED"
+        }
+    );
+    vec![
+        ("cells".to_string(), forked.cells.len() as f64),
+        ("fork_at_ms".to_string(), fork_at.as_millis_f64()),
+        ("forked_wall_secs".to_string(), forked_wall.as_secs_f64()),
+        ("replay_wall_secs".to_string(), replay_wall.as_secs_f64()),
+        ("speedup".to_string(), speedup),
+        ("byte_identical".to_string(), byte_identical as u8 as f64),
+        (
+            "all_recovered".to_string(),
+            forked.all_recovered() as u8 as f64,
+        ),
+    ]
 }
 
 /// `mlcc-repro report TRACE.jsonl --out FILE [--summary FILE] [--name N]`
@@ -692,7 +836,11 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         analysis.scenarios.len()
     );
     if let Some(path) = &summary {
-        let s = analysis.summary();
+        let mut s = analysis.summary();
+        // Offline reports hash the trace content itself — there is no CLI
+        // run configuration to hash, but the same canonical helper keeps
+        // the metric comparable across warehouse entries.
+        s.put("config.hash", simtime::hash::config_hash(&text) as f64);
         write_file(path, &s.to_json())?;
         // Offline report summaries feed the same cross-run warehouse as
         // live `--summary` runs, so trend analysis sees both.
@@ -1211,9 +1359,10 @@ fn finish_live(opts: &Opts, outcome: &WatchOutcome) -> Result<bool, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mlcc-repro <fig1|fig2|table1|geometry|adaptive|priority|flowsched|cluster|\
-         pipelining|chaos|all> [--iterations N] [--jobs N] [--csv DIR] [--trace FILE] [--metrics]\n\
-         \x20      [--profile] [--report FILE] [--summary FILE] [--summary-dir DIR]\n\
+         pipelining|chaos|snapshot|all> [--iterations N] [--jobs N] [--csv DIR] [--trace FILE]\n\
+         \x20      [--metrics] [--profile] [--report FILE] [--summary FILE] [--summary-dir DIR]\n\
          \x20      [--chaos PROFILE|FILE.toml] [--chaos-seed N]\n\
+         \x20      [--fork-at DUR] [--fork-replay]\n\
          \x20      [--watch] [--slo RULES.toml] [--alerts FILE] [--flight FILE]\n\
          \x20      mlcc-repro report TRACE.jsonl [--out FILE] [--summary FILE] [--name NAME]\n\
          \x20      mlcc-repro diff A.json B.json [--tolerance F] | diff A.jsonl B.jsonl\n\
@@ -1323,6 +1472,7 @@ fn main() -> ExitCode {
             "cluster" => run("cluster", &mut rec, &run_cluster),
             "pipelining" => run("pipelining", &mut rec, &run_pipelining),
             "chaos" => run("chaos", &mut rec, &run_chaos),
+            "snapshot" => run("snapshot", &mut rec, &|o, _| run_snapshot_bench(o)),
             "all" => {
                 run("fig1", &mut rec, &run_fig1);
                 run("fig2", &mut rec, &run_fig2);
