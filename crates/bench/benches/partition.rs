@@ -1,0 +1,104 @@
+//! Shard-plan construction: `topology::partition` over the conflict graph
+//! of a cluster-scale job population (1k jobs). The planner runs once per
+//! sharded scenario, so it must stay negligible next to even one solver
+//! epoch — these benches pin its cost across the plan shapes that matter:
+//!
+//! * **disjoint** — many small components (the best case for sharding);
+//! * **chained** — jobs overlap pairwise into a few long chains, the
+//!   worst case for union-find path compression;
+//! * **collapsed** — every job crosses one shared spine link, the
+//!   degenerate single-component plan a core fabric produces.
+
+use bench::{banner, configure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use topology::{partition, LinkId};
+
+const JOBS: usize = 1_000;
+/// Links per job route: host uplink, two fabric hops, host downlink.
+const PATH: usize = 4;
+
+/// `groups` components of equal size; each job's route is its own private
+/// links plus its group's shared bottleneck.
+fn grouped(jobs: usize, groups: usize) -> Vec<Vec<LinkId>> {
+    (0..jobs)
+        .map(|j| {
+            let mut links: Vec<LinkId> = (0..PATH - 1)
+                .map(|k| LinkId((groups + j * (PATH - 1) + k) as u32))
+                .collect();
+            links.push(LinkId((j % groups) as u32));
+            links
+        })
+        .collect()
+}
+
+/// Pairwise-overlapping chains: job j shares a link with job j+1, forming
+/// `chains` long threads of transitive conflicts.
+fn chained(jobs: usize, chains: usize) -> Vec<Vec<LinkId>> {
+    (0..jobs)
+        .map(|j| {
+            let mut links = vec![LinkId(j as u32)];
+            if j + chains < jobs {
+                links.push(LinkId((j + chains) as u32));
+            }
+            links
+        })
+        .collect()
+}
+
+fn reproduce() {
+    banner("Shard planning — conflict-graph partition at 1k jobs");
+    let plan = partition(&grouped(JOBS, 8));
+    println!(
+        "grouped:   {} jobs -> {} components, largest share {:.3}",
+        plan.num_jobs(),
+        plan.num_components(),
+        plan.largest_share()
+    );
+    assert_eq!(plan.num_components(), 8);
+    let plan = partition(&chained(JOBS, 4));
+    println!(
+        "chained:   {} jobs -> {} components, largest share {:.3}",
+        plan.num_jobs(),
+        plan.num_components(),
+        plan.largest_share()
+    );
+    assert_eq!(plan.num_components(), 4);
+    let plan = partition(&grouped(JOBS, 1));
+    println!(
+        "collapsed: {} jobs -> {} component(s)",
+        plan.num_jobs(),
+        plan.num_components()
+    );
+    assert_eq!(plan.num_components(), 1);
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+
+    let disjoint = grouped(JOBS, 64);
+    c.bench_function("partition/disjoint_1k", |b| {
+        b.iter(|| partition(&disjoint).num_components())
+    });
+
+    let grouped8 = grouped(JOBS, 8);
+    c.bench_function("partition/grouped8_1k", |b| {
+        b.iter(|| partition(&grouped8).num_components())
+    });
+
+    let chains = chained(JOBS, 4);
+    c.bench_function("partition/chained_1k", |b| {
+        b.iter(|| partition(&chains).num_components())
+    });
+
+    let collapsed = grouped(JOBS, 1);
+    c.bench_function("partition/collapsed_1k", |b| {
+        b.iter(|| partition(&collapsed).num_components())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(Criterion::default());
+    targets = bench
+}
+criterion_main!(benches);

@@ -29,6 +29,6 @@ pub mod queue;
 mod rng;
 mod trace;
 
-pub use queue::{EventQueue, ScheduledEvent};
+pub use queue::{EventQueue, ScheduleError, ScheduledEvent};
 pub use rng::Rng;
 pub use trace::{Cdf, TimeSeries};

@@ -15,6 +15,36 @@
 
 use simtime::{Dur, Time};
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Error returned by [`EventQueue::try_schedule_at`] when the requested
+/// timestamp is earlier than the queue's clock.
+///
+/// Scheduling into the past would silently misorder the event stream (the
+/// queue's contract is non-decreasing pop times), so it is rejected up
+/// front. [`EventQueue::schedule_at`] keeps the historical panicking
+/// behaviour for call sites where a past timestamp is a logic bug; callers
+/// that derive timestamps from external input (snapshots, replayed traces,
+/// cross-shard merges) should prefer the fallible form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// The rejected timestamp.
+    pub at: Time,
+    /// The queue clock at the time of the attempt.
+    pub now: Time,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EventQueue: scheduling into the past ({:?} < now {:?})",
+            self.at, self.now
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// An event popped from an [`EventQueue`]: when it fires and its payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,17 +172,27 @@ impl<E> EventQueue<E> {
     /// Schedules `event` to fire at absolute time `at`.
     ///
     /// # Panics
-    /// Panics if `at` is earlier than the current clock.
+    /// Panics if `at` is earlier than the current clock. Use
+    /// [`EventQueue::try_schedule_at`] to get a typed error instead.
     pub fn schedule_at(&mut self, at: Time, event: E) {
-        assert!(
-            at >= self.now,
-            "EventQueue: scheduling into the past ({at:?} < now {:?})",
-            self.now
-        );
+        if let Err(e) = self.try_schedule_at(at, event) {
+            panic!("{e}");
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`, rejecting past
+    /// timestamps with a typed [`ScheduleError`] instead of panicking.
+    /// On error the queue is unchanged (the event is not enqueued and the
+    /// sequence counter does not advance).
+    pub fn try_schedule_at(&mut self, at: Time, event: E) -> Result<(), ScheduleError> {
+        if at < self.now {
+            return Err(ScheduleError { at, now: self.now });
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
         self.insert(Entry { at, seq, event });
+        Ok(())
     }
 
     /// Schedules `event` to fire `delay` after the current clock.
@@ -317,7 +357,7 @@ pub mod reference {
     //! differential oracle for the timing wheel: same API, same documented
     //! contract, O(log n) operations.
 
-    use super::ScheduledEvent;
+    use super::{ScheduleError, ScheduledEvent};
     use simtime::{Dur, Time};
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
@@ -402,16 +442,25 @@ pub mod reference {
         /// Schedules `event` to fire at absolute time `at`.
         ///
         /// # Panics
-        /// Panics if `at` is earlier than the current clock.
+        /// Panics if `at` is earlier than the current clock. Use
+        /// [`EventQueue::try_schedule_at`] to get a typed error instead.
         pub fn schedule_at(&mut self, at: Time, event: E) {
-            assert!(
-                at >= self.now,
-                "EventQueue: scheduling into the past ({at:?} < now {:?})",
-                self.now
-            );
+            if let Err(e) = self.try_schedule_at(at, event) {
+                panic!("{e}");
+            }
+        }
+
+        /// Schedules `event` to fire at absolute time `at`, rejecting past
+        /// timestamps with a typed [`ScheduleError`] instead of panicking.
+        /// On error the queue is unchanged.
+        pub fn try_schedule_at(&mut self, at: Time, event: E) -> Result<(), ScheduleError> {
+            if at < self.now {
+                return Err(ScheduleError { at, now: self.now });
+            }
             let seq = self.next_seq;
             self.next_seq += 1;
             self.heap.push(Entry { at, seq, event });
+            Ok(())
         }
 
         /// Schedules `event` to fire `delay` after the current clock.
@@ -505,6 +554,37 @@ mod tests {
         q.schedule_at(Time::from_nanos(100), ());
         q.pop();
         q.schedule_at(Time::from_nanos(50), ());
+    }
+
+    /// Regression: a past timestamp surfaces as a typed error (not a panic,
+    /// not a silently misordered event), leaves the queue untouched, and
+    /// both backends agree on the error value.
+    #[test]
+    fn try_schedule_into_past_returns_typed_error() {
+        let mut wheel = EventQueue::new();
+        let mut heap = reference::EventQueue::new();
+        wheel.schedule_at(Time::from_nanos(100), 0u32);
+        wheel.pop();
+        heap.schedule_at(Time::from_nanos(100), 0u32);
+        heap.pop();
+        let expected = ScheduleError {
+            at: Time::from_nanos(50),
+            now: Time::from_nanos(100),
+        };
+        assert_eq!(
+            wheel.try_schedule_at(Time::from_nanos(50), 1),
+            Err(expected)
+        );
+        assert_eq!(heap.try_schedule_at(Time::from_nanos(50), 1), Err(expected));
+        // The failed attempt enqueued nothing and did not burn a sequence
+        // number: a subsequent valid schedule still pops first among ties.
+        assert!(wheel.is_empty());
+        assert!(heap.is_empty());
+        wheel.try_schedule_at(Time::from_nanos(200), 2).unwrap();
+        wheel.schedule_at(Time::from_nanos(200), 3);
+        let order: Vec<u32> = std::iter::from_fn(|| wheel.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![2, 3]);
+        assert!(expected.to_string().contains("scheduling into the past"));
     }
 
     #[test]

@@ -9,4 +9,5 @@ pub mod flowsched;
 pub mod geometry_demo;
 pub mod pipelining;
 pub mod priority;
+pub mod shard;
 pub mod table1;

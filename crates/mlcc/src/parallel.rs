@@ -44,6 +44,31 @@ pub fn jobs() -> usize {
     }
 }
 
+/// Worker threads for *intra*-scenario sharding (`--shards N`); 0 means
+/// "auto". Orthogonal to [`jobs`], which fans out across scenarios: a
+/// sweep may run scenarios with `--jobs` while each scenario's
+/// link-disjoint components advance under `--shards`. Like `--jobs`, the
+/// value only controls threading — sharded output is byte-identical at
+/// any shard count (the shard *plan* is a pure function of the topology).
+static SHARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the shard worker count for subsequent sharded runs. `0` restores
+/// the default (one worker per available core).
+pub fn set_shards(n: usize) {
+    SHARDS.store(n, Ordering::Relaxed);
+}
+
+/// The effective shard worker count: the value passed to [`set_shards`],
+/// or the machine's available parallelism when unset (falling back to 1).
+pub fn shards() -> usize {
+    match SHARDS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
 /// Applies `f` to every item, possibly across threads, returning results
 /// in item order regardless of which worker finished when.
 ///

@@ -539,6 +539,12 @@ impl<R: Recorder> FluidSimulator<R> {
         &self.rec
     }
 
+    /// Consumes the simulator and returns the attached recorder (how a
+    /// shard's fork is recovered for the ordered merge).
+    pub fn into_recorder(self) -> R {
+        self.rec
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> Time {
         self.now
@@ -547,6 +553,11 @@ impl<R: Recorder> FluidSimulator<R> {
     /// Iteration bookkeeping of job `j`.
     pub fn progress(&self, j: usize) -> &JobProgress {
         &self.jobs[j].progress
+    }
+
+    /// Number of jobs in the simulation (including departed ones).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
     }
 
     /// Per-job aggregate throughput trace (Gbps), sampled at every

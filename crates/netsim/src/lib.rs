@@ -35,4 +35,5 @@ pub mod alloc;
 pub mod fluid;
 pub mod packet;
 pub mod rate;
+pub mod shard;
 pub mod snapshot;

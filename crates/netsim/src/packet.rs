@@ -415,6 +415,12 @@ impl<R: Recorder> PacketSimulator<R> {
         &mut self.rec
     }
 
+    /// Consumes the simulator and returns the attached recorder (how a
+    /// shard's fork is recovered for the ordered merge).
+    pub fn into_recorder(self) -> R {
+        self.rec
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> Time {
         self.events.now()
@@ -423,6 +429,11 @@ impl<R: Recorder> PacketSimulator<R> {
     /// Job bookkeeping for flow `i`.
     pub fn progress(&self, i: usize) -> &JobProgress {
         &self.flows[i].progress
+    }
+
+    /// Number of jobs (flows) in the simulation (including departed ones).
+    pub fn num_jobs(&self) -> usize {
+        self.flows.len()
     }
 
     /// Total bytes delivered for flow `i`.

@@ -332,6 +332,12 @@ impl<R: Recorder> RateSimulator<R> {
         &self.rec
     }
 
+    /// Consumes the simulator and returns the attached recorder (how a
+    /// shard's fork is recovered for the ordered merge).
+    pub fn into_recorder(self) -> R {
+        self.rec
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> Time {
         self.now
@@ -340,6 +346,11 @@ impl<R: Recorder> RateSimulator<R> {
     /// Iteration bookkeeping of job `i`.
     pub fn progress(&self, i: usize) -> &JobProgress {
         &self.jobs[i].progress
+    }
+
+    /// Number of jobs in the simulation (including departed ones).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
     }
 
     /// `true` once churn has removed job `i` from the cluster.

@@ -32,7 +32,7 @@ pub use event::{span_id, span_parent, CcState, Event, Phase, SpanKind, TimedEven
 pub use live::{FlightRing, LiveConfig, LiveHandle, TapRecorder};
 pub use metrics::MetricsRegistry;
 pub use profiler::Profiler;
-pub use recorder::{BufferRecorder, ForkableRecorder, NoopRecorder, Recorder};
+pub use recorder::{BufferRecorder, ForkableRecorder, NoopRecorder, Recorder, RemapRecorder};
 pub use replay::{parse_jsonl, ReplayError, ReplayErrorKind};
 pub use span::SpanTracker;
 pub use table::text_table;

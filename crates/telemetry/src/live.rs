@@ -285,6 +285,11 @@ where
     fn join(&mut self, fork: TapRecorder<R::Fork>) {
         self.inner.join(fork.into_inner());
     }
+
+    fn join_merged(&mut self, forks: Vec<TapRecorder<R::Fork>>) {
+        self.inner
+            .join_merged(forks.into_iter().map(TapRecorder::into_inner).collect());
+    }
 }
 
 /// Live progress counters for one scenario.

@@ -53,6 +53,27 @@ pub trait ForkableRecorder: Recorder {
     /// Absorbs a fork's recording, appending after everything already
     /// recorded here.
     fn join(&mut self, fork: Self::Fork);
+
+    /// Absorbs several forks as one *time-ordered* merge: events from all
+    /// forks are interleaved by `(time, fork index, within-fork order)`
+    /// before being appended here.
+    ///
+    /// This is the join shards use. Per-shard recordings are each
+    /// internally ordered but overlap in simulation time, so joining them
+    /// back-to-back (the plain [`ForkableRecorder::join`], right for
+    /// *scenario*-indexed forks) would leave the merged stream unsorted.
+    /// The merge key is a pure function of the recordings and the caller's
+    /// fork order — never of thread scheduling — so the merged stream is
+    /// byte-identical at any worker-thread count.
+    ///
+    /// The default implementation joins in order (correct for recorders
+    /// that don't buffer a timeline); [`BufferRecorder`] overrides it with
+    /// the actual ordered merge.
+    fn join_merged(&mut self, forks: Vec<Self::Fork>) {
+        for fork in forks {
+            self.join(fork);
+        }
+    }
 }
 
 /// Forwarding impl mirroring the `&mut R` [`Recorder`] impl.
@@ -65,6 +86,10 @@ impl<R: ForkableRecorder> ForkableRecorder for &mut R {
 
     fn join(&mut self, fork: R::Fork) {
         (**self).join(fork);
+    }
+
+    fn join_merged(&mut self, forks: Vec<R::Fork>) {
+        (**self).join_merged(forks);
     }
 }
 
@@ -278,6 +303,30 @@ impl ForkableRecorder for BufferRecorder {
     fn join(&mut self, fork: BufferRecorder) {
         self.merge(fork);
     }
+
+    /// Interleaves the forks' events by `(time, fork index, within-fork
+    /// order)` and appends the result after everything already recorded
+    /// here. Counters and spans fold in unordered (they are commutative
+    /// totals). Concatenating in fork order and then stable-sorting by
+    /// timestamp realizes exactly that three-part key.
+    fn join_merged(&mut self, forks: Vec<BufferRecorder>) {
+        let total = forks.iter().map(|f| f.events.len()).sum();
+        let mut merged: Vec<TimedEvent> = Vec::with_capacity(total);
+        for fork in forks {
+            merged.extend(fork.events);
+            for (name, n) in fork.counts {
+                *self.counts.entry(name).or_insert(0) += n;
+            }
+            for (component, s) in fork.spans {
+                let dst = self.spans.entry(component).or_default();
+                dst.wall += s.wall;
+                dst.events += s.events;
+                dst.calls += s.calls;
+            }
+        }
+        merged.sort_by_key(|te| te.at); // stable: ties keep fork order
+        self.events.extend(merged);
+    }
 }
 
 impl Recorder for BufferRecorder {
@@ -294,6 +343,145 @@ impl Recorder for BufferRecorder {
         s.wall += wall;
         s.events += events;
         s.calls += 1;
+    }
+}
+
+/// A [`Recorder`] adapter that rewrites shard-local job/flow/link indices
+/// to their global values before forwarding to `inner`.
+///
+/// A shard simulates a subset of a scenario's jobs, so its engine numbers
+/// jobs (and their flows — every engine here runs one flow per job under
+/// the same index) `0..k` and, for the single-bottleneck engines, labels
+/// the bottleneck `link: 0`. Wrapping the shard's fork in a
+/// `RemapRecorder` makes the recording indistinguishable from one taken by
+/// a global engine, which is what lets the merged stream stay byte-stable
+/// regardless of how jobs were grouped into shards.
+pub struct RemapRecorder<F> {
+    inner: F,
+    /// `job_map[local]` = global job (and flow) index.
+    job_map: Vec<u32>,
+    /// `link_map[local]` = global link id; `None` = identity (the engine
+    /// already emits global link ids, as the fluid engine does when run on
+    /// the full topology).
+    link_map: Option<Vec<u32>>,
+}
+
+impl<F> RemapRecorder<F> {
+    /// Wraps `inner` with the given index maps. Out-of-range indices are a
+    /// shard-construction bug and panic on first use.
+    pub fn new(inner: F, job_map: Vec<u32>, link_map: Option<Vec<u32>>) -> RemapRecorder<F> {
+        RemapRecorder {
+            inner,
+            job_map,
+            link_map,
+        }
+    }
+
+    /// Returns the wrapped recorder (typically a fork, recovered for
+    /// [`ForkableRecorder::join_merged`]).
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+
+    #[inline]
+    fn map_job(&self, local: u32) -> u32 {
+        self.job_map[local as usize]
+    }
+
+    #[inline]
+    fn map_link(&self, local: u32) -> u32 {
+        match &self.link_map {
+            Some(m) => m[local as usize],
+            None => local,
+        }
+    }
+}
+
+impl<F: Recorder> Recorder for RemapRecorder<F> {
+    const ENABLED: bool = F::ENABLED;
+
+    fn record(&mut self, at: Time, event: Event) {
+        let event = match event {
+            Event::QueueDepth { link, bytes } => Event::QueueDepth {
+                link: self.map_link(link),
+                bytes,
+            },
+            Event::EcnMark { flow } => Event::EcnMark {
+                flow: self.map_job(flow),
+            },
+            Event::CnpSent { flow } => Event::CnpSent {
+                flow: self.map_job(flow),
+            },
+            Event::CnpReceived { flow } => Event::CnpReceived {
+                flow: self.map_job(flow),
+            },
+            Event::RateChange { flow, bps, state } => Event::RateChange {
+                flow: self.map_job(flow),
+                bps,
+                state,
+            },
+            Event::PhaseEnter {
+                job,
+                phase,
+                iteration,
+            } => Event::PhaseEnter {
+                job: self.map_job(job),
+                phase,
+                iteration,
+            },
+            Event::PhaseExit {
+                job,
+                phase,
+                iteration,
+            } => Event::PhaseExit {
+                job: self.map_job(job),
+                phase,
+                iteration,
+            },
+            Event::GateRelease { job } => Event::GateRelease {
+                job: self.map_job(job),
+            },
+            Event::JobPath { job, links } => Event::JobPath {
+                job: self.map_job(job),
+                links: links.into_iter().map(|l| self.map_link(l)).collect(),
+            },
+            Event::LinkCapacity { link, fraction } => Event::LinkCapacity {
+                link: self.map_link(link),
+                fraction,
+            },
+            Event::JobDepart { job } => Event::JobDepart {
+                job: self.map_job(job),
+            },
+            Event::SpanBegin {
+                job,
+                kind,
+                iteration,
+            } => Event::SpanBegin {
+                job: self.map_job(job),
+                kind,
+                iteration,
+            },
+            Event::SpanEnd {
+                job,
+                kind,
+                iteration,
+            } => Event::SpanEnd {
+                job: self.map_job(job),
+                kind,
+                iteration,
+            },
+            // Not indexed by job/flow/link: pass through untouched.
+            e @ (Event::SolverIteration { .. } | Event::Scenario { .. }) => e,
+        };
+        self.inner.record(at, event);
+    }
+
+    fn count(&mut self, name: &'static str, n: u64) {
+        self.inner.count(name, n);
+    }
+
+    fn span(&mut self, component: &'static str, wall: Duration, events: u64) {
+        self.inner.span(component, wall, events);
     }
 }
 
@@ -364,6 +552,148 @@ mod tests {
         assert_eq!(parent.events(), serial.events());
         assert_eq!(parent.counts(), serial.counts());
         assert_eq!(parent.spans(), serial.spans());
+    }
+
+    /// `join_merged` interleaves overlapping-timeline forks by
+    /// `(time, fork index, within-fork order)` — the exact stream one
+    /// global recorder would have produced if the shards' events had been
+    /// recorded time-ordered with fork index breaking ties.
+    #[test]
+    fn join_merged_interleaves_by_time_then_fork_order() {
+        let mut a = BufferRecorder::fork();
+        a.record(Time::from_nanos(0), Event::EcnMark { flow: 0 });
+        a.record(Time::from_nanos(10), Event::EcnMark { flow: 0 });
+        a.count("steps", 2);
+        let mut b = BufferRecorder::fork();
+        b.record(Time::from_nanos(0), Event::EcnMark { flow: 1 });
+        b.record(Time::from_nanos(5), Event::EcnMark { flow: 1 });
+        b.record(Time::from_nanos(10), Event::CnpSent { flow: 1 });
+        b.count("steps", 3);
+
+        let mut parent = BufferRecorder::new();
+        parent.record(Time::from_nanos(99), Event::GateRelease { job: 7 });
+        parent.join_merged(vec![a, b]);
+
+        let got: Vec<(u64, Option<u32>)> = parent
+            .events()
+            .iter()
+            .map(|te| (te.at.as_nanos(), te.event.flow()))
+            .collect();
+        // Pre-existing events stay first; merged events are time-sorted
+        // with fork 0 winning ties, within-fork order preserved.
+        assert_eq!(
+            got,
+            vec![
+                (99, None),
+                (0, Some(0)),
+                (0, Some(1)),
+                (5, Some(1)),
+                (10, Some(0)),
+                (10, Some(1)),
+            ]
+        );
+        assert_eq!(parent.counts()["steps"], 5);
+    }
+
+    /// With a single fork, the ordered merge is identical to a plain join
+    /// (each fork is already internally ordered by recording order).
+    #[test]
+    fn join_merged_single_fork_equals_join() {
+        let record = |rec: &mut BufferRecorder| {
+            rec.record(Time::from_nanos(3), Event::EcnMark { flow: 0 });
+            rec.record(Time::from_nanos(3), Event::CnpSent { flow: 0 });
+            rec.record(Time::from_nanos(8), Event::CnpReceived { flow: 0 });
+            rec.span("engine", Duration::from_millis(1), 2);
+        };
+        let mut fork_a = BufferRecorder::fork();
+        record(&mut fork_a);
+        let mut fork_b = BufferRecorder::fork();
+        record(&mut fork_b);
+
+        let mut joined = BufferRecorder::new();
+        joined.join(fork_a);
+        let mut merged = BufferRecorder::new();
+        merged.join_merged(vec![fork_b]);
+
+        assert_eq!(joined.events(), merged.events());
+        assert_eq!(joined.spans(), merged.spans());
+    }
+
+    #[test]
+    fn remap_rewrites_job_flow_and_link_indices() {
+        let mut rec = RemapRecorder::new(BufferRecorder::new(), vec![4, 9], Some(vec![3]));
+        rec.record(Time::ZERO, Event::EcnMark { flow: 1 });
+        rec.record(
+            Time::ZERO,
+            Event::JobPath {
+                job: 0,
+                links: vec![0],
+            },
+        );
+        rec.record(
+            Time::ZERO,
+            Event::QueueDepth {
+                link: 0,
+                bytes: 1.5,
+            },
+        );
+        rec.record(
+            Time::ZERO,
+            Event::SolverIteration {
+                component: "fluid.alloc",
+                index: 2,
+            },
+        );
+        rec.count("steps", 1);
+        let inner = rec.into_inner();
+        assert_eq!(inner.events()[0].event, Event::EcnMark { flow: 9 });
+        assert_eq!(
+            inner.events()[1].event,
+            Event::JobPath {
+                job: 4,
+                links: vec![3]
+            }
+        );
+        assert_eq!(
+            inner.events()[2].event,
+            Event::QueueDepth {
+                link: 3,
+                bytes: 1.5
+            }
+        );
+        // Non-indexed events and counters pass through untouched.
+        assert_eq!(
+            inner.events()[3].event,
+            Event::SolverIteration {
+                component: "fluid.alloc",
+                index: 2
+            }
+        );
+        assert_eq!(inner.counts()["steps"], 1);
+    }
+
+    /// Identity maps make the remap a no-op: the wrapped recording is
+    /// byte-identical to recording directly (the single-component case).
+    #[test]
+    fn identity_remap_is_transparent() {
+        let mut direct = BufferRecorder::new();
+        let mut wrapped = RemapRecorder::new(BufferRecorder::new(), vec![0, 1, 2], None);
+        let events = [
+            Event::EcnMark { flow: 2 },
+            Event::QueueDepth {
+                link: 0,
+                bytes: 9.0,
+            },
+            Event::JobPath {
+                job: 1,
+                links: vec![0],
+            },
+        ];
+        for e in &events {
+            direct.record(Time::from_nanos(1), e.clone());
+            wrapped.record(Time::from_nanos(1), e.clone());
+        }
+        assert_eq!(direct.events(), wrapped.into_inner().events());
     }
 
     #[test]

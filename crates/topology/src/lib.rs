@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod graph;
+mod partition;
 mod routing;
 mod schedule;
 
@@ -32,5 +33,6 @@ mod schedule;
 pub mod builders;
 
 pub use graph::{Link, LinkId, Node, NodeId, NodeKind, Topology};
+pub use partition::{partition, subgraph, ShardPlan};
 pub use routing::{FlowKey, Path};
 pub use schedule::LinkSchedule;

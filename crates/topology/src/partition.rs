@@ -1,0 +1,263 @@
+//! Link-disjoint job partitioning for sharded simulation.
+//!
+//! Two jobs conflict when their routes share a directed link: a shared
+//! bottleneck couples their rate dynamics, so they must be simulated by the
+//! same shard. [`partition`] builds the conflict graph's connected
+//! components with a union-find keyed by link id — jobs in different
+//! components touch disjoint link sets and can be advanced independently
+//! with an unbounded safe horizon (conservative parallel DES lookahead is
+//! infinite between shards that share no resource).
+//!
+//! The resulting [`ShardPlan`] is a pure function of the per-job link sets:
+//! it never depends on how many worker threads will execute it, which is
+//! what keeps sharded output byte-identical at any `--shards N`.
+
+use crate::{LinkId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// A deterministic grouping of jobs into link-disjoint components.
+///
+/// Components are ordered by their smallest member job index, and job
+/// indices within a component are ascending, so the plan — and everything
+/// derived from it, including merged telemetry — is independent of hash
+/// iteration order and thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    components: Vec<Vec<usize>>,
+    component_of: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// A plan that keeps all `jobs` jobs in one component (the unshardable
+    /// fallback, also used when sharding is disabled).
+    pub fn single(jobs: usize) -> ShardPlan {
+        ShardPlan {
+            components: if jobs == 0 {
+                Vec::new()
+            } else {
+                vec![(0..jobs).collect()]
+            },
+            component_of: vec![0; jobs],
+        }
+    }
+
+    /// The link-disjoint components, each a sorted list of job indices.
+    pub fn components(&self) -> &[Vec<usize>] {
+        &self.components
+    }
+
+    /// Number of link-disjoint components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Total number of jobs covered by the plan.
+    pub fn num_jobs(&self) -> usize {
+        self.component_of.len()
+    }
+
+    /// The component index a job belongs to.
+    pub fn component_of(&self, job: usize) -> usize {
+        self.component_of[job]
+    }
+
+    /// Fraction of jobs in the largest component, in `[0, 1]`; `1.0` means
+    /// the scenario is unshardable (or empty). The closer to `1/k` for `k`
+    /// components, the better the plan balances.
+    pub fn largest_share(&self) -> f64 {
+        let total = self.component_of.len();
+        if total == 0 {
+            return 1.0;
+        }
+        let largest = self.components.iter().map(Vec::len).max().unwrap_or(0);
+        largest as f64 / total as f64
+    }
+}
+
+/// Partitions jobs into link-disjoint components.
+///
+/// `link_sets[j]` is the set of directed links job `j`'s flows traverse
+/// (duplicates allowed; order irrelevant). Jobs whose link sets intersect —
+/// directly or transitively — land in the same component. A job with an
+/// empty link set conflicts with nobody and gets its own component.
+pub fn partition(link_sets: &[Vec<LinkId>]) -> ShardPlan {
+    let n = link_sets.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+
+    // Union every job that uses a link with the first job seen on it.
+    let mut owner: HashMap<LinkId, usize> = HashMap::new();
+    for (j, links) in link_sets.iter().enumerate() {
+        for &l in links {
+            match owner.get(&l) {
+                Some(&first) => {
+                    let (a, b) = (find(&mut parent, first), find(&mut parent, j));
+                    if a != b {
+                        // Smaller root wins, so roots stay the minimum job
+                        // index of their component.
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        parent[hi] = lo;
+                    }
+                }
+                None => {
+                    owner.insert(l, j);
+                }
+            }
+        }
+    }
+
+    // Roots are component minima; enumerate jobs in order to get components
+    // sorted by smallest member with ascending members.
+    let mut index_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut component_of = vec![0usize; n];
+    for (j, slot) in component_of.iter_mut().enumerate() {
+        let root = find(&mut parent, j);
+        let idx = *index_of_root.entry(root).or_insert_with(|| {
+            components.push(Vec::new());
+            components.len() - 1
+        });
+        components[idx].push(j);
+        *slot = idx;
+    }
+
+    ShardPlan {
+        components,
+        component_of,
+    }
+}
+
+/// Extracts the sub-topology induced by a set of links, renumbered
+/// densely: the returned topology's link `k` is a copy (same endpoints,
+/// capacity, delay) of the `k`-th smallest distinct id in `links`, and
+/// only nodes touched by those links are carried over (in first-use
+/// order). The second return value is that ascending id list — the
+/// local→original link mapping, ready to use as a telemetry remap table.
+///
+/// Shards run on these subgraphs so per-solve cost scales with the
+/// component, not the whole fabric; determinism follows from the sorted
+/// link order (independent of `links`'s order and of thread count).
+pub fn subgraph(topo: &Topology, links: &[LinkId]) -> (Topology, Vec<LinkId>) {
+    let mut ids: Vec<LinkId> = links.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut sub = Topology::new();
+    let mut node_map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut local_node = |sub: &mut Topology, id: NodeId| {
+        *node_map.entry(id).or_insert_with(|| {
+            let n = topo.node(id);
+            sub.add_node(n.kind, n.name.clone())
+        })
+    };
+    for &id in &ids {
+        let link = topo.link(id);
+        let src = local_node(&mut sub, link.src);
+        let dst = local_node(&mut sub, link.dst);
+        sub.add_link(src, dst, link.capacity, link.delay);
+    }
+    (sub, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+    use simtime::{Bandwidth, Dur};
+
+    fn l(id: u32) -> LinkId {
+        LinkId(id)
+    }
+
+    #[test]
+    fn disjoint_jobs_split_into_singletons() {
+        let plan = partition(&[vec![l(0)], vec![l(1)], vec![l(2)]]);
+        assert_eq!(plan.num_components(), 3);
+        assert_eq!(plan.components(), &[vec![0], vec![1], vec![2]]);
+        assert!((plan.largest_share() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_link_merges_transitively() {
+        // 0–1 share L0, 1–2 share L1: all three coupled; 3 is alone.
+        let plan = partition(&[vec![l(0)], vec![l(0), l(1)], vec![l(1)], vec![l(9)]]);
+        assert_eq!(plan.components(), &[vec![0, 1, 2], vec![3]]);
+        assert_eq!(plan.component_of(2), 0);
+        assert_eq!(plan.component_of(3), 1);
+        assert!((plan.largest_share() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_share_one_link_collapses_to_single_component() {
+        let sets: Vec<Vec<LinkId>> = (0..8).map(|i| vec![l(i), l(100)]).collect();
+        let plan = partition(&sets);
+        assert_eq!(plan.num_components(), 1);
+        assert_eq!(plan, ShardPlan::single(8));
+        assert_eq!(plan.largest_share(), 1.0);
+    }
+
+    #[test]
+    fn empty_link_set_is_its_own_component() {
+        let plan = partition(&[vec![l(0)], vec![], vec![l(0)]]);
+        assert_eq!(plan.components(), &[vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn ordering_is_independent_of_link_ids() {
+        // High link ids first must not change component order.
+        let plan = partition(&[vec![l(500)], vec![l(2)], vec![l(500)]]);
+        assert_eq!(plan.components(), &[vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn subgraph_renumbers_links_and_nodes_densely() {
+        let mut topo = Topology::new();
+        let a = topo.add_host("a", 1);
+        let b = topo.add_node(NodeKind::TorSwitch, "t");
+        let c = topo.add_host("c", 1);
+        let ab = topo.add_link(a, b, Bandwidth::from_gbps(100), Dur::ZERO);
+        let _bc = topo.add_link(b, c, Bandwidth::from_gbps(50), Dur::from_micros(2));
+        let ba = topo.add_link(b, a, Bandwidth::from_gbps(25), Dur::ZERO);
+        // Request out of order, with a duplicate; bc is left out.
+        let (sub, ids) = subgraph(&topo, &[ba, ab, ba]);
+        assert_eq!(ids, vec![ab, ba]);
+        assert_eq!(sub.link_count(), 2);
+        assert_eq!(sub.node_count(), 2); // c is not carried over
+        let l0 = sub.link(LinkId(0));
+        assert_eq!(l0.capacity, Bandwidth::from_gbps(100));
+        assert_eq!(sub.node(l0.src).name, "a");
+        assert_eq!(sub.node(l0.dst).name, "t");
+        let l1 = sub.link(LinkId(1));
+        assert_eq!(l1.capacity, Bandwidth::from_gbps(25));
+        assert_eq!(sub.node(l1.src).name, "t");
+        assert_eq!(sub.node(l1.dst).name, "a");
+    }
+
+    #[test]
+    fn subgraph_of_all_links_is_an_identity_copy() {
+        let mut topo = Topology::new();
+        let a = topo.add_host("a", 1);
+        let b = topo.add_host("b", 1);
+        let ab = topo.add_link(a, b, Bandwidth::from_gbps(10), Dur::ZERO);
+        let ba = topo.add_link(b, a, Bandwidth::from_gbps(10), Dur::ZERO);
+        let (sub, ids) = subgraph(&topo, &[ab, ba]);
+        assert_eq!(ids, vec![ab, ba]);
+        assert_eq!(sub.link_count(), topo.link_count());
+        assert_eq!(sub.node_count(), topo.node_count());
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = partition(&[]);
+        assert_eq!(plan.num_components(), 0);
+        assert_eq!(plan.num_jobs(), 0);
+        assert_eq!(plan.largest_share(), 1.0);
+        assert_eq!(plan, ShardPlan::single(0));
+    }
+}

@@ -203,4 +203,31 @@ if "$BIN" trend "$GATE/hist/HISTORY.jsonl" --wall-tolerance 10 > /dev/null; then
 fi
 echo "trend verdict deterministic across identical runs; injected regression flagged"
 
+echo "== shard byte-identity gate (--shards 1 vs 4, incl. --jobs/--fork-at) =="
+# The shard plan is a pure function of the topology, so the merged trace
+# must be byte-identical at any worker count — also when composed with
+# scenario-level parallelism (--jobs) and a snapshot barrier (--fork-at).
+mkdir -p "$GATE/shard"
+"$BIN" shard --iterations 2 --shards 1 --trace "$GATE/shard/s1.jsonl" > /dev/null
+"$BIN" shard --iterations 2 --shards 4 --trace "$GATE/shard/s4.jsonl" > /dev/null
+"$BIN" shard --iterations 2 --shards 4 --jobs 4 --fork-at 20ms \
+    --trace "$GATE/shard/s4_composed.jsonl" > /dev/null
+cmp "$GATE/shard/s1.jsonl" "$GATE/shard/s4.jsonl"
+cmp "$GATE/shard/s1.jsonl" "$GATE/shard/s4_composed.jsonl"
+echo "sharded trace byte-identical across --shards 1/4, --jobs, --fork-at"
+
+echo "== shard speedup gate (paper-scale decomposition, BENCH_shard) =="
+"$BIN" shard --shards 4 --summary-dir "$GATE/bench" > /dev/null
+SH_SPEEDUP=$(grep -o '"speedup":[0-9.eE+-]*' "$GATE/bench/BENCH_shard.json" | cut -d: -f2)
+SH_IDENT=$(grep -o '"byte_identical":[0-9.eE+-]*' "$GATE/bench/BENCH_shard.json" | cut -d: -f2)
+SH_STATS=$(grep -o '"stats_match":[0-9.eE+-]*' "$GATE/bench/BENCH_shard.json" | cut -d: -f2)
+SH_BUDGET=2
+awk -v s="$SH_SPEEDUP" -v i="$SH_IDENT" -v m="$SH_STATS" -v b="$SH_BUDGET" \
+    'BEGIN { exit !(s >= b && i == 1 && m == 1) }' || {
+    echo "shard bench: ${SH_SPEEDUP}x (budget ${SH_BUDGET}x)," \
+        "byte_identical=$SH_IDENT, stats_match=$SH_STATS" >&2
+    exit 1
+}
+echo "sharded paper-scale run ${SH_SPEEDUP}x faster than the global solve, byte-identical"
+
 echo "OK"

@@ -112,6 +112,10 @@ type CliRecorder = TapRecorder<BufferRecorder>;
 struct Opts {
     iterations: Option<usize>,
     jobs: Option<usize>,
+    /// Worker threads for intra-scenario sharding. Only affects wall
+    /// clock: the shard plan is a pure function of the topology, so
+    /// output is byte-identical at any value.
+    shards: Option<usize>,
     csv: Option<PathBuf>,
     trace: Option<PathBuf>,
     metrics: bool,
@@ -188,6 +192,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         iterations: None,
         jobs: None,
+        shards: None,
         csv: None,
         trace: None,
         metrics: false,
@@ -218,6 +223,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     return Err("--jobs must be at least 1".to_string());
                 }
                 opts.jobs = Some(n);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad shard count {v}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                opts.shards = Some(n);
             }
             "--csv" => {
                 let v = it.next().ok_or("--csv needs a directory")?;
@@ -794,6 +807,108 @@ fn run_snapshot_bench(o: &Opts) -> BenchMetrics {
     ]
 }
 
+/// The sharding benchmark: a paper-scale cluster scenario (4 link-disjoint
+/// groups × 24 jobs on the fluid engine, plus 4 replicas of the Table 1
+/// packet mix) run three ways — as one global simulator, sharded with one
+/// worker, and sharded with `--shards N` workers. Reports the algorithmic
+/// speedup of the sharded decomposition over the global solve and
+/// byte-compares the merged streams at 1 vs N workers. The `speedup` and
+/// `byte_identical` metrics in `BENCH_shard.json` are the gate for the
+/// sharding machinery. With a recorder attached (`--trace`), the sharded
+/// runs record into it, so traces at different `--shards` values can be
+/// diffed externally.
+fn run_shard_bench(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
+    let cfg = exp::shard::ShardConfig {
+        iterations: o.iterations.unwrap_or(4),
+        chaos: o.chaos,
+        fork_at: o.fork_at,
+        ..exp::shard::ShardConfig::paper_scale()
+    };
+    let threads = mlcc::parallel::shards();
+    let fluid = exp::shard::build_fluid(&cfg);
+    let packet = exp::shard::build_packet(&cfg);
+    println!(
+        "== shard bench ({} fluid jobs in {} components, {} packet groups, \
+         {} iterations, {threads} worker(s)) ==",
+        fluid.plan.num_jobs(),
+        fluid.plan.num_components(),
+        packet.plan.num_components(),
+        cfg.iterations,
+    );
+
+    // Wall-clock comparison, untraced on both sides: the global simulator
+    // re-solves every transition over all jobs; shards solve only theirs.
+    let t0 = Instant::now();
+    let (baseline, _) = exp::shard::run_fluid_unsharded(&fluid, &cfg, telemetry::NoopRecorder);
+    let unsharded_wall = t0.elapsed();
+    let mut noop = telemetry::NoopRecorder;
+    let t0 = Instant::now();
+    let sharded = exp::shard::run_fluid_sharded(&fluid, &cfg, &mut noop, threads);
+    let sharded_wall = t0.elapsed();
+    let speedup = unsharded_wall.as_secs_f64() / sharded_wall.as_secs_f64().max(1e-9);
+
+    // Byte identity: merged fluid + packet streams at 1 worker vs N.
+    let mut one = BufferRecorder::new();
+    exp::shard::run_fluid_sharded(&fluid, &cfg, &mut one, 1);
+    let t0 = Instant::now();
+    exp::shard::run_packet_sharded(&packet, &cfg, &mut one, 1);
+    let packet_wall = t0.elapsed();
+    let mut many = BufferRecorder::new();
+    exp::shard::run_fluid_sharded(&fluid, &cfg, &mut many, threads);
+    exp::shard::run_packet_sharded(&packet, &cfg, &mut many, threads);
+    let byte_identical = one.events() == many.events() && one.counts() == many.counts();
+
+    // Results parity: sharded and global runs agree on every job's stats.
+    let stats_match = baseline
+        .stats
+        .iter()
+        .zip(&sharded.stats)
+        .all(|(a, b)| (a.median_ms() - b.median_ms()).abs() <= 1e-9 * a.median_ms().max(1.0));
+
+    println!(
+        "fluid: unsharded {unsharded_wall:.2?} vs sharded {sharded_wall:.2?}: \
+         {speedup:.2}x, stats {}",
+        if stats_match { "match" } else { "DIVERGED" }
+    );
+    println!(
+        "merged streams at 1 vs {threads} worker(s): {} ({} events); packet {packet_wall:.2?}",
+        if byte_identical {
+            "byte-identical"
+        } else {
+            "STREAMS DIVERGED"
+        },
+        one.events().len(),
+    );
+
+    // With observability flags up, feed the sharded runs through the tap
+    // so --trace/--summary reflect exactly what `--shards N` produces.
+    if let Some(rec) = rec {
+        exp::shard::run_fluid_sharded(&fluid, &cfg, rec, threads);
+        exp::shard::run_packet_sharded(&packet, &cfg, rec, threads);
+    }
+
+    let mut m = vec![
+        ("config.shards".to_string(), threads as f64),
+        (
+            "unsharded_wall_secs".to_string(),
+            unsharded_wall.as_secs_f64(),
+        ),
+        ("sharded_wall_secs".to_string(), sharded_wall.as_secs_f64()),
+        ("packet_wall_secs".to_string(), packet_wall.as_secs_f64()),
+        ("speedup".to_string(), speedup),
+        ("byte_identical".to_string(), byte_identical as u8 as f64),
+        ("stats_match".to_string(), stats_match as u8 as f64),
+        (
+            "completed".to_string(),
+            (baseline.completed && sharded.completed) as u8 as f64,
+        ),
+    ];
+    for (k, v) in exp::shard::plan_metrics(&fluid.plan) {
+        m.push((k.to_string(), v));
+    }
+    m
+}
+
 /// `mlcc-repro report TRACE.jsonl --out FILE [--summary FILE] [--name N]`
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut trace: Option<PathBuf> = None;
@@ -868,6 +983,9 @@ fn cmd_explain(args: &[String]) -> Result<bool, String> {
     let opts = parse_opts(rest)?;
     if let Some(n) = opts.jobs {
         mlcc::parallel::set_jobs(n);
+    }
+    if let Some(n) = opts.shards {
+        mlcc::parallel::set_shards(n);
     }
 
     let mut predicted: std::collections::BTreeMap<String, f64> = Default::default();
@@ -1359,7 +1477,8 @@ fn finish_live(opts: &Opts, outcome: &WatchOutcome) -> Result<bool, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mlcc-repro <fig1|fig2|table1|geometry|adaptive|priority|flowsched|cluster|\
-         pipelining|chaos|snapshot|all> [--iterations N] [--jobs N] [--csv DIR] [--trace FILE]\n\
+         pipelining|chaos|snapshot|shard|all> [--iterations N] [--jobs N] [--shards N]\n\
+         \x20      [--csv DIR] [--trace FILE]\n\
          \x20      [--metrics] [--profile] [--report FILE] [--summary FILE] [--summary-dir DIR]\n\
          \x20      [--chaos PROFILE|FILE.toml] [--chaos-seed N]\n\
          \x20      [--fork-at DUR] [--fork-replay]\n\
@@ -1435,6 +1554,9 @@ fn main() -> ExitCode {
     if let Some(n) = opts.jobs {
         mlcc::parallel::set_jobs(n);
     }
+    if let Some(n) = opts.shards {
+        mlcc::parallel::set_shards(n);
+    }
     // The live sink must be installed before the recorder is created (and
     // before any worker forks), so every tap picks it up.
     let watcher = if opts.live_enabled() {
@@ -1473,6 +1595,7 @@ fn main() -> ExitCode {
             "pipelining" => run("pipelining", &mut rec, &run_pipelining),
             "chaos" => run("chaos", &mut rec, &run_chaos),
             "snapshot" => run("snapshot", &mut rec, &|o, _| run_snapshot_bench(o)),
+            "shard" => run("shard", &mut rec, &run_shard_bench),
             "all" => {
                 run("fig1", &mut rec, &run_fig1);
                 run("fig2", &mut rec, &run_fig2);
