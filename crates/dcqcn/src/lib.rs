@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod algo;
 mod cp;
 mod loss;
 mod np;
@@ -55,10 +56,11 @@ mod rp;
 pub mod swift;
 mod variant;
 
+pub use algo::{CcAlgorithm, FairnessPolicy, MltcpRp, PolicyRp};
 pub use cp::RedMarker;
 pub use loss::SignalLoss;
 pub use np::NotificationPoint;
-pub use params::DcqcnParams;
+pub use params::{DcqcnParams, ParamError};
 pub use rp::{DcqcnRp, RpStage};
 pub use swift::{SwiftParams, SwiftRp};
 pub use variant::CcVariant;

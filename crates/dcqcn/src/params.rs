@@ -2,6 +2,57 @@
 
 use simtime::{Bandwidth, ByteSize, Dur};
 
+/// A parameter-validation rejection from [`DcqcnParams::try_validate`] or
+/// [`crate::SwiftParams::try_validate`]. The panicking `validate` paths
+/// wrap these, so a rejection carries the same message either way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamError {
+    /// `line_rate` is zero.
+    ZeroLineRate,
+    /// The rate-increase timer `T` is zero.
+    ZeroTimer,
+    /// The alpha-decay timer is zero.
+    ZeroAlphaTimer,
+    /// The EWMA gain `g` is outside `(0, 1)`.
+    GainOutOfRange {
+        /// The rejected gain.
+        g: f64,
+    },
+    /// `min_rate` exceeds `line_rate`.
+    MinAboveLine,
+    /// The byte-counter threshold `B` is zero.
+    ZeroByteCounter,
+    /// Swift's queueing-delay target is zero.
+    ZeroTargetDelay,
+    /// Swift's control update interval is zero.
+    ZeroUpdateInterval,
+    /// Swift's multiplicative-decrease cap β is outside `(0, 1]`.
+    BetaOutOfRange {
+        /// The rejected β.
+        beta: f64,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ParamError::ZeroLineRate => write!(f, "zero line rate"),
+            ParamError::ZeroTimer => write!(f, "zero timer"),
+            ParamError::ZeroAlphaTimer => write!(f, "zero alpha timer"),
+            ParamError::GainOutOfRange { g } => write!(f, "g {g} outside (0,1)"),
+            ParamError::MinAboveLine => write!(f, "min rate above line rate"),
+            ParamError::ZeroByteCounter => write!(f, "zero byte counter"),
+            ParamError::ZeroTargetDelay => write!(f, "zero target"),
+            ParamError::ZeroUpdateInterval => write!(f, "zero update interval"),
+            ParamError::BetaOutOfRange { beta } => {
+                write!(f, "beta {beta} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// DCQCN parameters, following the SIGCOMM '15 paper's notation with the
 /// defaults this paper's testbed uses (notably `T = 125 µs`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,28 +120,40 @@ impl DcqcnParams {
         }
     }
 
+    /// Checks internal consistency, returning the first rejection instead
+    /// of panicking.
+    pub fn try_validate(&self) -> Result<(), ParamError> {
+        if self.line_rate.is_zero() {
+            return Err(ParamError::ZeroLineRate);
+        }
+        if self.timer.is_zero() {
+            return Err(ParamError::ZeroTimer);
+        }
+        if self.alpha_timer.is_zero() {
+            return Err(ParamError::ZeroAlphaTimer);
+        }
+        if !(self.g > 0.0 && self.g < 1.0) {
+            return Err(ParamError::GainOutOfRange { g: self.g });
+        }
+        if self.min_rate > self.line_rate {
+            return Err(ParamError::MinAboveLine);
+        }
+        if self.byte_counter.as_bytes() == 0 {
+            return Err(ParamError::ZeroByteCounter);
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency; called by the RP constructor.
     ///
     /// # Panics
     /// Panics on nonsensical parameters (zero line rate, `g` outside
-    /// `(0, 1)`, zero timer, min above line).
+    /// `(0, 1)`, zero timer, min above line) — the panicking wrapper
+    /// around [`DcqcnParams::try_validate`].
     pub fn validate(&self) {
-        assert!(!self.line_rate.is_zero(), "DcqcnParams: zero line rate");
-        assert!(!self.timer.is_zero(), "DcqcnParams: zero timer");
-        assert!(!self.alpha_timer.is_zero(), "DcqcnParams: zero alpha timer");
-        assert!(
-            self.g > 0.0 && self.g < 1.0,
-            "DcqcnParams: g {} outside (0,1)",
-            self.g
-        );
-        assert!(
-            self.min_rate <= self.line_rate,
-            "DcqcnParams: min rate above line rate"
-        );
-        assert!(
-            self.byte_counter.as_bytes() > 0,
-            "DcqcnParams: zero byte counter"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("DcqcnParams: {e}");
+        }
     }
 }
 
@@ -147,5 +210,54 @@ mod tests {
         let mut p = DcqcnParams::testbed_default();
         p.g = 1.0;
         p.validate();
+    }
+
+    #[test]
+    fn try_validate_accepts_defaults() {
+        assert_eq!(DcqcnParams::testbed_default().try_validate(), Ok(()));
+    }
+
+    #[test]
+    fn try_validate_rejects_each_inconsistency() {
+        let base = DcqcnParams::testbed_default();
+
+        let mut p = base;
+        p.line_rate = Bandwidth::from_bps(0);
+        assert_eq!(p.try_validate(), Err(ParamError::ZeroLineRate));
+
+        assert_eq!(
+            base.with_timer(Dur::ZERO).try_validate(),
+            Err(ParamError::ZeroTimer)
+        );
+
+        let mut p = base;
+        p.alpha_timer = Dur::ZERO;
+        assert_eq!(p.try_validate(), Err(ParamError::ZeroAlphaTimer));
+
+        let mut p = base;
+        p.g = 0.0;
+        assert_eq!(p.try_validate(), Err(ParamError::GainOutOfRange { g: 0.0 }));
+        p.g = 1.0;
+        assert_eq!(p.try_validate(), Err(ParamError::GainOutOfRange { g: 1.0 }));
+
+        let mut p = base;
+        p.min_rate = Bandwidth::from_gbps(100);
+        assert_eq!(p.try_validate(), Err(ParamError::MinAboveLine));
+
+        let mut p = base;
+        p.byte_counter = ByteSize::from_bytes(0);
+        assert_eq!(p.try_validate(), Err(ParamError::ZeroByteCounter));
+    }
+
+    /// The panic path reports the same message the typed error renders.
+    #[test]
+    fn validate_message_matches_display() {
+        let e = ParamError::GainOutOfRange { g: 1.0 };
+        assert_eq!(e.to_string(), "g 1 outside (0,1)");
+        assert_eq!(ParamError::ZeroTimer.to_string(), "zero timer");
+        assert_eq!(
+            ParamError::BetaOutOfRange { beta: 1.5 }.to_string(),
+            "beta 1.5 outside (0, 1]"
+        );
     }
 }

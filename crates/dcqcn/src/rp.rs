@@ -128,6 +128,22 @@ impl DcqcnRp {
         self.boost = 1.0;
     }
 
+    /// Sets the boost directly — the hook job-aware controllers
+    /// ([`crate::MltcpRp`], [`crate::PolicyRp`]) drive. The boost scales
+    /// the increase steps and softens the multiplicative decrease; 1.0 is
+    /// classic DCQCN.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite boost (the CNP cut divides
+    /// by it).
+    pub fn set_boost(&mut self, boost: f64) {
+        assert!(
+            boost.is_finite() && boost > 0.0,
+            "set_boost: boost {boost} must be finite and > 0"
+        );
+        self.boost = boost;
+    }
+
     /// Resets the flow to a fresh line-rate state. The network engine calls
     /// this when a job starts a new communication phase: RDMA transmits a
     /// new message burst at line rate (per-QP rate limiting state does not

@@ -14,6 +14,7 @@
 //! implemented). Equal targets share fairly; unequal targets reproduce the
 //! sliding payoff of §2 with no DCQCN machinery at all.
 
+use crate::ParamError;
 use simtime::{Bandwidth, Dur};
 
 /// Parameters of the delay-based controller.
@@ -56,27 +57,37 @@ impl SwiftParams {
         }
     }
 
+    /// Checks parameter sanity, returning the first rejection instead of
+    /// panicking.
+    pub fn try_validate(&self) -> Result<(), ParamError> {
+        if self.line_rate.is_zero() {
+            return Err(ParamError::ZeroLineRate);
+        }
+        if self.target_delay.is_zero() {
+            return Err(ParamError::ZeroTargetDelay);
+        }
+        if self.update_interval.is_zero() {
+            return Err(ParamError::ZeroUpdateInterval);
+        }
+        if !(self.beta > 0.0 && self.beta <= 1.0) {
+            return Err(ParamError::BetaOutOfRange { beta: self.beta });
+        }
+        if self.min_rate > self.line_rate {
+            return Err(ParamError::MinAboveLine);
+        }
+        Ok(())
+    }
+
     /// Validates parameter sanity.
     ///
     /// # Panics
     /// Panics on zero line rate / interval / target, or `beta` outside
-    /// `(0, 1]`.
+    /// `(0, 1]` — the panicking wrapper around
+    /// [`SwiftParams::try_validate`].
     pub fn validate(&self) {
-        assert!(!self.line_rate.is_zero(), "SwiftParams: zero line rate");
-        assert!(!self.target_delay.is_zero(), "SwiftParams: zero target");
-        assert!(
-            !self.update_interval.is_zero(),
-            "SwiftParams: zero update interval"
-        );
-        assert!(
-            self.beta > 0.0 && self.beta <= 1.0,
-            "SwiftParams: beta {} outside (0, 1]",
-            self.beta
-        );
-        assert!(
-            self.min_rate <= self.line_rate,
-            "SwiftParams: min above line"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("SwiftParams: {e}");
+        }
     }
 }
 
@@ -227,5 +238,40 @@ mod tests {
         let mut p = SwiftParams::fabric_default();
         p.beta = 1.5;
         SwiftRp::new(p);
+    }
+
+    #[test]
+    fn try_validate_rejects_each_inconsistency() {
+        let base = SwiftParams::fabric_default();
+        assert_eq!(base.try_validate(), Ok(()));
+
+        let mut p = base;
+        p.line_rate = Bandwidth::from_bps(0);
+        assert_eq!(p.try_validate(), Err(ParamError::ZeroLineRate));
+
+        assert_eq!(
+            base.with_target(Dur::ZERO).try_validate(),
+            Err(ParamError::ZeroTargetDelay)
+        );
+
+        let mut p = base;
+        p.update_interval = Dur::ZERO;
+        assert_eq!(p.try_validate(), Err(ParamError::ZeroUpdateInterval));
+
+        let mut p = base;
+        p.beta = 1.5;
+        assert_eq!(
+            p.try_validate(),
+            Err(ParamError::BetaOutOfRange { beta: 1.5 })
+        );
+        p.beta = 0.0;
+        assert_eq!(
+            p.try_validate(),
+            Err(ParamError::BetaOutOfRange { beta: 0.0 })
+        );
+
+        let mut p = base;
+        p.min_rate = Bandwidth::from_gbps(100);
+        assert_eq!(p.try_validate(), Err(ParamError::MinAboveLine));
     }
 }

@@ -35,6 +35,13 @@ pub struct Fig1Config {
     pub warmup: usize,
     /// Aggressive timer for `J1` in scenario 2.
     pub aggressive_timer: Dur,
+    /// Start offset of `J2`. Zero (the default) is the paper's Fig. 1
+    /// convention of synchronized starts. The zoo sweep sets a few
+    /// milliseconds: real clusters never start two jobs on the same
+    /// nanosecond, and the offset seeds the phase asymmetry the
+    /// self-organizing variants act on (a deterministic engine keeps two
+    /// perfectly synchronized identical jobs symmetric forever).
+    pub stagger: Dur,
     /// Engine configuration.
     pub sim: RateSimConfig,
     /// Fault injection applied to both scenarios.
@@ -57,6 +64,7 @@ impl Default for Fig1Config {
             iterations: 100,
             warmup: 5,
             aggressive_timer: Dur::from_micros(100),
+            stagger: Dur::ZERO,
             sim,
             chaos: ChaosConfig::none(),
         }
@@ -73,6 +81,28 @@ pub struct Scenario {
     pub first_iteration_bw: Vec<f64>,
     /// Per-job throughput traces (Gbps, 1 ms samples).
     pub traces: Vec<TimeSeries>,
+    /// For each of `J1`'s iterations: `(start of the iteration in ms,
+    /// ms during which both jobs were simultaneously busy)` — the Fig. 2
+    /// contention profile, powering the zoo sweep's time-to-interleave.
+    /// Empty when the engine traces no rates.
+    pub contention: Vec<(f64, f64)>,
+}
+
+impl Scenario {
+    /// The instant (ms) the scenario's phases first interleave: the start
+    /// of the first iteration whose contended time drops below 5% of the
+    /// first iteration's (Fig. 2's criterion). `None` while contention
+    /// persists or without traces.
+    pub fn time_to_interleave_ms(&self) -> Option<f64> {
+        let first = self.contention.first()?.1;
+        if first <= 0.0 {
+            return Some(0.0);
+        }
+        self.contention
+            .iter()
+            .find(|&&(_, ms)| ms < 0.05 * first)
+            .map(|&(at, _)| at)
+    }
 }
 
 /// The full Fig. 1 result.
@@ -145,11 +175,17 @@ pub fn predicted_overlap(cfg: &Fig1Config) -> f64 {
     }
 }
 
-fn run_scenario<R: Recorder>(cfg: &Fig1Config, variants: [CcVariant; 2], rec: R) -> Scenario {
+fn run_scenario<R: Recorder>(
+    cfg: &Fig1Config,
+    variants: [CcVariant; 2],
+    stagger: Dur,
+    rec: R,
+) -> Scenario {
     let mut jobs = [
         RateJob::new(cfg.jobs[0], variants[0]),
         RateJob::new(cfg.jobs[1], variants[1]),
     ];
+    jobs[1].start_offset = stagger;
     let budget_per_iter = cfg.jobs[0]
         .iteration_time_at(cfg.sim.capacity)
         .max(cfg.jobs[1].iteration_time_at(cfg.sim.capacity));
@@ -189,30 +225,79 @@ fn collect_scenario<R: Recorder>(cfg: &Fig1Config, sim: &RateSimulator<R>) -> Sc
     let first_iteration_bw = (0..2)
         .map(|i| sim.rate_trace(i).mean(comm_start, first_done))
         .collect();
+    let traces: Vec<TimeSeries> = (0..2).map(|i| sim.rate_trace(i).clone()).collect();
+
+    // Contended time per J1 iteration (Fig. 2's measure): 1 ms samples
+    // where both jobs exceed 1 Gbps. Needs rate traces.
+    let contention = if cfg.sim.trace_interval.is_some() {
+        let step = Dur::from_millis(1);
+        sim.progress(0)
+            .iterations()
+            .iter()
+            .take(cfg.iterations)
+            .map(|it| {
+                let a = traces[0].resample(it.started, it.completed, step);
+                let b = traces[1].resample(it.started, it.completed, step);
+                let contended = a
+                    .iter()
+                    .zip(&b)
+                    .filter(|(&x, &y)| x >= 1.0 && y >= 1.0)
+                    .count() as f64;
+                (it.started.elapsed().as_millis_f64(), contended)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     Scenario {
         stats: (0..2)
             .map(|i| chaos::stats_tolerant(sim.progress(i), cfg.warmup))
             .collect(),
         first_iteration_bw,
-        traces: (0..2).map(|i| sim.rate_trace(i).clone()).collect(),
+        traces,
+        contention,
     }
 }
 
-/// Runs both scenarios.
-pub fn run(cfg: &Fig1Config) -> Fig1Result {
-    run_traced(cfg, NoopRecorder)
+/// One cell of the variant × scenario matrix: a scenario name and the
+/// variant each of the two contending jobs runs.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Scenario marker name (e.g. `"fig1/fair"`, `"variants/mltcp"`).
+    pub name: String,
+    /// Per-job congestion-control variants.
+    pub variants: [CcVariant; 2],
+    /// Per-cell override of [`Fig1Config::stagger`]. The zoo sweep gives
+    /// self-organizing variants a realistic staggered start while the
+    /// fair baseline keeps the paper's synchronized convention (the
+    /// methodology of §4.i / `experiments::adaptive`).
+    pub stagger: Option<Dur>,
 }
 
-/// Runs both scenarios, streaming telemetry into `rec`. Each scenario is
-/// announced with an [`Event::Scenario`] marker so exporters can attribute
-/// the events that follow. Scenarios are independent and run in parallel
-/// under [`parallel::jobs`] workers; results and telemetry are identical
-/// to a serial run.
-pub fn run_traced<R: ForkableRecorder>(cfg: &Fig1Config, mut rec: R) -> Fig1Result {
-    let scenarios: [(&str, [CcVariant; 2]); 2] = [
-        ("fig1/fair", [CcVariant::Fair, CcVariant::Fair]),
-        (
+impl MatrixCell {
+    /// Builds a cell using the config's stagger.
+    pub fn new(name: &str, variants: [CcVariant; 2]) -> MatrixCell {
+        MatrixCell {
+            name: name.to_string(),
+            variants,
+            stagger: None,
+        }
+    }
+
+    /// Overrides the cell's `J2` start offset.
+    pub fn with_stagger(mut self, stagger: Dur) -> MatrixCell {
+        self.stagger = Some(stagger);
+        self
+    }
+}
+
+/// The paper's two Fig. 1 cells: fair DCQCN, and `J1` on the aggressive
+/// timer.
+pub fn default_cells(cfg: &Fig1Config) -> Vec<MatrixCell> {
+    vec![
+        MatrixCell::new("fig1/fair", [CcVariant::Fair, CcVariant::Fair]),
+        MatrixCell::new(
             "fig1/unfair",
             [
                 CcVariant::StaticUnfair {
@@ -221,15 +306,134 @@ pub fn run_traced<R: ForkableRecorder>(cfg: &Fig1Config, mut rec: R) -> Fig1Resu
                 CcVariant::Fair,
             ],
         ),
-    ];
-    let mut out = parallel::map_traced(&mut rec, &scenarios, |_, &(name, variants), fork| {
-        if R::ENABLED {
-            fork.record(Time::ZERO, Event::Scenario { name: name.into() });
+    ]
+}
+
+/// The congestion-control zoo on the contended Fig. 1 pair: one cell per
+/// controller family. Self-organizing variants run on *both* jobs (their
+/// whole point is symmetric deployment) with a realistic staggered start
+/// — real clusters never start two jobs on the same nanosecond, and the
+/// offset seeds the asymmetry their progress feedback amplifies. The
+/// static knobs go to `J1` only (the paper's asymmetric aggression) and
+/// the fair baseline keeps the paper's synchronized-start convention,
+/// where fair DCQCN locks both jobs into perpetual contention at
+/// `K + 2C` — the same methodology as §4.i (`experiments::adaptive`).
+pub fn zoo_cells(cfg: &Fig1Config) -> Vec<MatrixCell> {
+    let aggressive = CcVariant::StaticUnfair {
+        timer: cfg.aggressive_timer,
+    };
+    let mltcp = CcVariant::Mltcp { bonus: 1.0 };
+    let decay = CcVariant::Policy {
+        policy: dcqcn::FairnessPolicy::BonusDecay {
+            bonus: 1.0,
+            decay: 2.0,
+        },
+    };
+    let prop = CcVariant::Policy {
+        policy: dcqcn::FairnessPolicy::Proportional { weight: 1.25 },
+    };
+    let swift = CcVariant::Swift {
+        target_delay: Dur::from_micros(30),
+    };
+    let seed = Dur::from_millis(15);
+    vec![
+        MatrixCell::new("variants/fair", [CcVariant::Fair, CcVariant::Fair]),
+        MatrixCell::new("variants/static-unfair", [aggressive, CcVariant::Fair]),
+        MatrixCell::new(
+            "variants/adaptive",
+            [CcVariant::AdaptiveUnfair, CcVariant::AdaptiveUnfair],
+        )
+        .with_stagger(seed),
+        MatrixCell::new("variants/mltcp", [mltcp, mltcp]).with_stagger(seed),
+        MatrixCell::new("variants/policy-prop", [prop, CcVariant::Fair]),
+        MatrixCell::new("variants/policy-decay", [decay, decay]).with_stagger(seed),
+        MatrixCell::new("variants/swift", [swift, swift]),
+    ]
+}
+
+/// A full variant × scenario matrix run: one [`Scenario`] per cell, in
+/// cell order.
+#[derive(Debug, Clone)]
+pub struct Fig1Matrix {
+    /// `(cell name, outcome)` pairs.
+    pub cells: Vec<(String, Scenario)>,
+}
+
+impl Fig1Matrix {
+    /// The named cell's outcome.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.cells.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Renders per-cell medians, bandwidth splits, and interleave onset.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "cell".to_string(),
+            "j1 median".to_string(),
+            "j2 median".to_string(),
+            "1st-iter bw".to_string(),
+            "interleaved at".to_string(),
+        ]];
+        for (name, s) in &self.cells {
+            rows.push(vec![
+                name.clone(),
+                format!("{:.1} ms", s.stats[0].median_ms()),
+                format!("{:.1} ms", s.stats[1].median_ms()),
+                format!(
+                    "{:.1}/{:.1} Gbps",
+                    s.first_iteration_bw[0], s.first_iteration_bw[1]
+                ),
+                match s.time_to_interleave_ms() {
+                    Some(ms) => format!("{ms:.0} ms"),
+                    None => "never".to_string(),
+                },
+            ]);
         }
-        run_scenario(cfg, variants, fork)
+        text_table(&rows)
+    }
+}
+
+/// Runs an arbitrary variant × scenario matrix, streaming telemetry into
+/// `rec`. Each cell is announced with an [`Event::Scenario`] marker so
+/// exporters can attribute the events that follow. Cells are independent
+/// and run in parallel under [`parallel::jobs`] workers; results and
+/// telemetry are identical to a serial run.
+pub fn run_matrix_traced<R: ForkableRecorder>(
+    cfg: &Fig1Config,
+    cells: &[MatrixCell],
+    mut rec: R,
+) -> Fig1Matrix {
+    let out = parallel::map_traced(&mut rec, cells, |_, cell, fork| {
+        if R::ENABLED {
+            fork.record(
+                Time::ZERO,
+                Event::Scenario {
+                    name: cell.name.clone(),
+                },
+            );
+        }
+        run_scenario(
+            cfg,
+            cell.variants,
+            cell.stagger.unwrap_or(cfg.stagger),
+            fork,
+        )
     });
-    let unfair = out.pop().expect("two scenarios");
-    let fair = out.pop().expect("two scenarios");
+    Fig1Matrix {
+        cells: cells.iter().map(|c| c.name.clone()).zip(out).collect(),
+    }
+}
+
+/// Runs both scenarios.
+pub fn run(cfg: &Fig1Config) -> Fig1Result {
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs the paper's two scenarios — the [`default_cells`] matrix.
+pub fn run_traced<R: ForkableRecorder>(cfg: &Fig1Config, rec: R) -> Fig1Result {
+    let mut m = run_matrix_traced(cfg, &default_cells(cfg), rec);
+    let unfair = m.cells.pop().expect("two scenarios").1;
+    let fair = m.cells.pop().expect("two scenarios").1;
     Fig1Result { fair, unfair }
 }
 
@@ -264,10 +468,11 @@ fn run_forked_cell<F: Recorder>(
             RateSimulator::restore(snap.clone(), rec).expect("fair-prefix snapshot restores")
         }
         None => {
-            let jobs = [
+            let mut jobs = [
                 RateJob::new(cfg.jobs[0], CcVariant::Fair),
                 RateJob::new(cfg.jobs[1], CcVariant::Fair),
             ];
+            jobs[1].start_offset = cfg.stagger;
             let mut sim = RateSimulator::with_recorder(cfg.sim.clone(), &jobs, rec);
             sim.run_until(Time::ZERO + fork_at);
             sim
@@ -327,14 +532,15 @@ pub fn run_traced_forked<R: ForkableRecorder>(
     } else {
         let prefix = || {
             let key = simtime::hash::config_hash(&format!(
-                "fig1-prefix|{:?}|{:?}|{:?}",
-                cfg.jobs, cfg.sim, fork_at
+                "fig1-prefix|{:?}|{:?}|{:?}|{:?}",
+                cfg.jobs, cfg.sim, cfg.stagger, fork_at
             ));
             crate::forkcache::get_or_build(key, || {
-                let jobs = [
+                let mut jobs = [
                     RateJob::new(cfg.jobs[0], CcVariant::Fair),
                     RateJob::new(cfg.jobs[1], CcVariant::Fair),
                 ];
+                jobs[1].start_offset = cfg.stagger;
                 let mut prefix_rec = BufferRecorder::new();
                 let mut sim = RateSimulator::with_recorder(cfg.sim.clone(), &jobs, &mut prefix_rec);
                 sim.run_until(Time::ZERO + fork_at);

@@ -11,3 +11,4 @@ pub mod pipelining;
 pub mod priority;
 pub mod shard;
 pub mod table1;
+pub mod variants;

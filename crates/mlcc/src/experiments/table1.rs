@@ -276,26 +276,100 @@ pub fn run_group_traced<R: Recorder>(
     assemble_group(group, cfg, &fair, &unfair)
 }
 
-/// Runs all five paper groups.
-pub fn run(cfg: &Table1Config) -> Table1Result {
-    run_traced(cfg, NoopRecorder)
+/// How a matrix scheme assigns congestion-control variants to a group's
+/// jobs.
+#[derive(Debug, Clone)]
+pub enum Scheme {
+    /// Every job runs default fair DCQCN.
+    Fair,
+    /// The paper's unfair column: timers linearly interpolated across
+    /// [`Table1Config::timer_range`] in job order.
+    OrderedUnfair,
+    /// Every job runs the same variant (the zoo sweep's mode).
+    Uniform(CcVariant),
 }
 
-/// Runs all five paper groups, streaming telemetry into `rec` with a
-/// per-group [`Event::Scenario`] marker. Each group × {fair, unfair}
-/// measurement is an independent simulation, so all ten run in parallel
-/// under [`parallel::jobs`] workers; the per-group markers and event
+impl Scheme {
+    /// Display label for table headers and bench metric keys.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Fair => "fair".to_string(),
+            Scheme::OrderedUnfair => "unfair".to_string(),
+            Scheme::Uniform(v) => match v {
+                CcVariant::Fair => "uniform-fair".to_string(),
+                CcVariant::StaticUnfair { .. } => "uniform-static".to_string(),
+                CcVariant::AdaptiveUnfair => "adaptive".to_string(),
+                CcVariant::Swift { .. } => "swift".to_string(),
+                CcVariant::Mltcp { .. } => "mltcp".to_string(),
+                CcVariant::Policy { .. } => "policy".to_string(),
+            },
+        }
+    }
+
+    /// The per-job variants for a group of `n` jobs.
+    pub fn variants(&self, n: usize, cfg: &Table1Config) -> Vec<CcVariant> {
+        match self {
+            Scheme::Fair => vec![CcVariant::Fair; n],
+            Scheme::OrderedUnfair => unfair_variants(n, cfg),
+            Scheme::Uniform(v) => vec![*v; n],
+        }
+    }
+}
+
+/// A group × scheme matrix run: per-group, per-scheme, per-job iteration
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct Table1Matrix {
+    /// The schemes measured, in column order.
+    pub schemes: Vec<Scheme>,
+    /// `stats[group][scheme][job]`.
+    pub stats: Vec<Vec<Vec<JobStats>>>,
+}
+
+impl Table1Matrix {
+    /// Renders mean iteration times, one row per group × job, one column
+    /// per scheme.
+    pub fn render(&self) -> String {
+        let mut head = vec!["jobs (batch)".to_string()];
+        head.extend(self.schemes.iter().map(|s| format!("{} iter", s.label())));
+        let mut rows = vec![head];
+        for group in &self.stats {
+            let jobs = group.first().map_or(0, |s| s.len());
+            for j in 0..jobs {
+                let mut row = vec![group[0][j].label.clone()];
+                row.extend(
+                    group
+                        .iter()
+                        .map(|scheme| format!("{:.0} ms", scheme[j].mean().as_millis_f64())),
+                );
+                rows.push(row);
+            }
+        }
+        text_table(&rows)
+    }
+}
+
+/// Runs the paper's five groups under an arbitrary list of variant
+/// schemes, streaming telemetry into `rec` with a per-group
+/// [`Event::Scenario`] marker on each group's first scheme. Every
+/// group × scheme measurement is an independent simulation, so all run
+/// in parallel under [`parallel::jobs`] workers; markers and event
 /// stream come out identical to a serial run.
-pub fn run_traced<R: ForkableRecorder>(cfg: &Table1Config, mut rec: R) -> Table1Result {
+pub fn run_matrix_traced<R: ForkableRecorder>(
+    cfg: &Table1Config,
+    schemes: &[Scheme],
+    mut rec: R,
+) -> Table1Matrix {
+    assert!(!schemes.is_empty(), "table1 matrix: no schemes");
     let groups = paper_groups();
-    let units: Vec<(usize, bool)> = (0..groups.len())
-        .flat_map(|i| [(i, false), (i, true)])
+    let units: Vec<(usize, usize)> = (0..groups.len())
+        .flat_map(|i| (0..schemes.len()).map(move |s| (i, s)))
         .collect();
-    let measured = parallel::map_traced(&mut rec, &units, |_, &(i, unfair), fork| {
+    let measured = parallel::map_traced(&mut rec, &units, |_, &(i, s), fork| {
         let group = &groups[i];
-        if R::ENABLED && !unfair {
-            // The group marker leads the group's fair unit, exactly where
-            // the serial loop records it.
+        if R::ENABLED && s == 0 {
+            // The group marker leads the group's first unit, exactly
+            // where the serial loop records it.
             fork.record(
                 Time::ZERO,
                 Event::Scenario {
@@ -303,17 +377,31 @@ pub fn run_traced<R: ForkableRecorder>(cfg: &Table1Config, mut rec: R) -> Table1
                 },
             );
         }
-        let variants = if unfair {
-            unfair_variants(group.len(), cfg)
-        } else {
-            vec![CcVariant::Fair; group.len()]
-        };
-        mean_iteration_times(group, &variants, cfg, fork)
+        mean_iteration_times(group, &schemes[s].variants(group.len(), cfg), cfg, fork)
     });
+    Table1Matrix {
+        schemes: schemes.to_vec(),
+        stats: measured
+            .chunks_exact(schemes.len())
+            .map(|c| c.to_vec())
+            .collect(),
+    }
+}
+
+/// Runs all five paper groups.
+pub fn run(cfg: &Table1Config) -> Table1Result {
+    run_traced(cfg, NoopRecorder)
+}
+
+/// Runs all five paper groups under the paper's two schemes — the
+/// `[Fair, OrderedUnfair]` matrix — and folds in the geometry
+/// predictions.
+pub fn run_traced<R: ForkableRecorder>(cfg: &Table1Config, rec: R) -> Table1Result {
+    let m = run_matrix_traced(cfg, &[Scheme::Fair, Scheme::OrderedUnfair], rec);
     Table1Result {
-        groups: groups
+        groups: paper_groups()
             .iter()
-            .zip(measured.chunks_exact(2))
+            .zip(&m.stats)
             .map(|(g, pair)| assemble_group(g, cfg, &pair[0], &pair[1]))
             .collect(),
     }

@@ -13,6 +13,9 @@
 //!   (the fluid analogue of tuning DCQCN's `T`);
 //! * [`SharingPolicy::Priority`] — switch priority queues (§4.ii): higher
 //!   classes preempt lower ones entirely;
+//! * [`SharingPolicy::Cc`] — one [`CcVariant`] per job, mapped to
+//!   allocation weights via [`CcVariant::fluid_weight`] so the whole
+//!   congestion-control zoo runs on all three engines;
 //! * [`Gate`]s — precise flow scheduling (§4.iii): a job's communication
 //!   phase is released only at scheduled instants derived from the
 //!   geometry solver's rotation angles.
@@ -21,6 +24,7 @@ use crate::alloc::{strict_priority_into, weighted_max_min_into, AllocScratch, Fl
 use crate::snapshot::{
     check_barrier, check_version, SnapshotError, Snapshottable, SNAPSHOT_VERSION,
 };
+use dcqcn::CcVariant;
 use eventsim::{EventQueue, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
 use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder, SpanTracker};
@@ -37,6 +41,27 @@ pub enum SharingPolicy {
     /// Strict priorities with one class per job; higher class wins the
     /// whole link while it communicates.
     Priority(Vec<u8>),
+    /// One congestion-control variant per job, realized as weighted
+    /// max-min with each job's weight given by
+    /// [`CcVariant::fluid_weight`] — the fluid analogue of the emergent
+    /// split the packet/rate engines produce for the same variants.
+    /// Progress-sensitive variants (`AdaptiveUnfair`, `Mltcp`,
+    /// bonus-decay policies) are re-weighted from each job's current
+    /// phase progress at every allocation event.
+    Cc(Vec<CcVariant>),
+}
+
+/// A job's progress through its current communication phase in `[0, 1]`
+/// (0 while computing), feeding [`CcVariant::fluid_weight`].
+fn comm_progress(progress: &JobProgress) -> f64 {
+    if !progress.is_communicating() {
+        return 0.0;
+    }
+    let total = progress.comm_bytes_per_iteration();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    ((total - progress.remaining_bytes()) / total).clamp(0.0, 1.0)
 }
 
 /// A communication-phase release gate (§4.iii): the phase may start only at
@@ -415,6 +440,9 @@ impl<R: Recorder> FluidSimulator<R> {
             SharingPolicy::Priority(p) => {
                 assert_eq!(p.len(), jobs.len(), "policy priorities length mismatch")
             }
+            SharingPolicy::Cc(vs) => {
+                assert_eq!(vs.len(), jobs.len(), "policy variants length mismatch")
+            }
         }
         if !cfg.gates.is_empty() {
             assert_eq!(cfg.gates.len(), jobs.len(), "gates length mismatch");
@@ -616,9 +644,24 @@ impl<R: Recorder> FluidSimulator<R> {
     ///
     /// # Panics
     /// Panics if the active index disagrees with the predicate scan.
+    /// `true` when allocation weights depend on live job progress
+    /// (progress-sensitive [`SharingPolicy::Cc`] variants): the skip-solve
+    /// fast path would freeze stale weights, so every reallocation
+    /// re-runs the solver.
+    fn dynamic_weights(&self) -> bool {
+        matches!(&self.policy, SharingPolicy::Cc(vs) if vs.iter().any(|v| v.wants_progress()))
+    }
+
     #[doc(hidden)]
     pub fn debug_max_rate_divergence(&self) -> Option<f64> {
         if self.rates_dirty {
+            return None;
+        }
+        // Progress-sensitive weights move continuously between solves;
+        // an oracle rebuilt from *current* progress would legitimately
+        // diverge from rates solved at the last event, so the comparison
+        // is only meaningful for static weights.
+        if self.dynamic_weights() {
             return None;
         }
         let aos = self.aos_view();
@@ -652,6 +695,8 @@ impl<R: Recorder> FluidSimulator<R> {
                     SharingPolicy::MaxMin => (1.0, 0),
                     SharingPolicy::Weighted(w) => (w[j], 0),
                     SharingPolicy::Priority(p) => (1.0, p[j]),
+                    // Only static-weight variants reach here (see above).
+                    SharingPolicy::Cc(vs) => (vs[j].fluid_weight(0.0), 0),
                 };
                 FlowDemand {
                     links: &aos[j][fi].links,
@@ -684,12 +729,15 @@ impl<R: Recorder> FluidSimulator<R> {
     /// telemetry/trace bookkeeping below runs, so observed streams are
     /// identical either way.
     fn recompute_rates(&mut self) {
-        let set_changed =
-            self.allocs == 0 || self.force_resolve || self.active != self.solved_active;
+        let set_changed = self.allocs == 0
+            || self.force_resolve
+            || self.dynamic_weights()
+            || self.active != self.solved_active;
         if set_changed {
             self.force_resolve = false;
             {
                 let arena = &self.arena;
+                let jobs = &self.jobs;
                 let mut demands: Vec<FlowDemand<'_>> = Vec::with_capacity(self.active.len());
                 for &f in &self.active {
                     let j = arena.job_of[f as usize] as usize;
@@ -697,6 +745,9 @@ impl<R: Recorder> FluidSimulator<R> {
                         SharingPolicy::MaxMin => (1.0, 0),
                         SharingPolicy::Weighted(w) => (w[j], 0),
                         SharingPolicy::Priority(p) => (1.0, p[j]),
+                        SharingPolicy::Cc(vs) => {
+                            (vs[j].fluid_weight(comm_progress(&jobs[j].progress)), 0)
+                        }
                     };
                     demands.push(FlowDemand {
                         links: arena.links_of(f as usize),
@@ -1369,6 +1420,110 @@ mod tests {
             assert!(
                 (got - solo).abs() < 2.0,
                 "job {j}: median {got:.1} ms did not reach solo {solo:.1} ms"
+            );
+        }
+    }
+
+    /// `SharingPolicy::Cc` with all-`Fair` variants is the
+    /// congestion-control zoo's spelling of max-min: every weight is
+    /// exactly 1.0, so the runs match bit for bit.
+    #[test]
+    fn cc_fair_policy_matches_maxmin_exactly() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let cfg = FluidConfig {
+            policy: SharingPolicy::Cc(vec![CcVariant::Fair, CcVariant::Fair]),
+            ..FluidConfig::fair()
+        };
+        let (mut cc, _t) = two_job_setup(spec, spec, cfg);
+        let (mut mm, _t) = two_job_setup(spec, spec, FluidConfig::fair());
+        assert!(cc.run_until_iterations(6, Dur::from_secs(5)));
+        assert!(mm.run_until_iterations(6, Dur::from_secs(5)));
+        for j in 0..2 {
+            assert_eq!(
+                cc.progress(j).iteration_times(),
+                mm.progress(j).iteration_times(),
+                "job {j}: Cc(Fair) diverged from MaxMin"
+            );
+        }
+    }
+
+    /// Static wrapped variants reduce to weighted max-min: a proportional
+    /// fairness policy with weight 2 against `Fair` reproduces the
+    /// `Weighted([2, 1])` run exactly.
+    #[test]
+    fn cc_proportional_policy_matches_weighted_exactly() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let cc_cfg = FluidConfig {
+            policy: SharingPolicy::Cc(vec![
+                CcVariant::Policy {
+                    policy: dcqcn::FairnessPolicy::Proportional { weight: 2.0 },
+                },
+                CcVariant::Fair,
+            ]),
+            ..FluidConfig::fair()
+        };
+        let w_cfg = FluidConfig {
+            policy: SharingPolicy::Weighted(vec![2.0, 1.0]),
+            ..FluidConfig::fair()
+        };
+        let (mut cc, _t) = two_job_setup(spec, spec, cc_cfg);
+        let (mut w, _t) = two_job_setup(spec, spec, w_cfg);
+        assert!(cc.run_until_iterations(10, Dur::from_secs(6)));
+        assert!(w.run_until_iterations(10, Dur::from_secs(6)));
+        for j in 0..2 {
+            assert_eq!(
+                cc.progress(j).iteration_times(),
+                w.progress(j).iteration_times(),
+                "job {j}: Cc(Proportional) diverged from Weighted"
+            );
+        }
+    }
+
+    /// MLTCP on the fluid engine: the progress bonus favours whichever
+    /// job is further through its allreduce, sliding staggered compatible
+    /// jobs apart until both run at solo pace — where plain max-min keeps
+    /// them locked in contention.
+    #[test]
+    fn cc_mltcp_interleaves_staggered_jobs() {
+        let spec = JobSpec::reference(Model::Vgg19, 1200);
+        let d = dumbbell(2, LINE, LINE, Dur::ZERO);
+        let t = d.topology.clone();
+        let path = |i: usize| {
+            t.route(topology::FlowKey {
+                src: d.left_hosts[i],
+                dst: d.right_hosts[i],
+                tag: 0,
+            })
+            .unwrap()
+            .links()
+            .to_vec()
+        };
+        let stagger = spec.comm_time_at(LINE) / 2;
+        let run = |policy: SharingPolicy| {
+            let jobs = [
+                FluidJob::single_path(spec, path(0)),
+                FluidJob::single_path_at(spec, path(1), stagger),
+            ];
+            let cfg = FluidConfig {
+                policy,
+                ..FluidConfig::fair()
+            };
+            let mut sim = FluidSimulator::new(&t, cfg, &jobs);
+            assert!(sim.run_until_iterations(12, Dur::from_secs(8)));
+            (median_ms(&sim, 0, 6), median_ms(&sim, 1, 6))
+        };
+        let mltcp = SharingPolicy::Cc(vec![CcVariant::Mltcp { bonus: 4.0 }; 2]);
+        let (m0, m1) = run(mltcp);
+        let (f0, f1) = run(SharingPolicy::MaxMin);
+        let solo = spec.iteration_time_at(LINE).as_millis_f64();
+        for (j, (m, f)) in [(m0, f0), (m1, f1)].into_iter().enumerate() {
+            assert!(
+                m < f - 0.5,
+                "job {j}: MLTCP median {m:.2} ms not faster than max-min {f:.2} ms"
+            );
+            assert!(
+                (m - solo).abs() < 2.0,
+                "job {j}: MLTCP median {m:.2} ms did not settle at solo {solo:.2} ms"
             );
         }
     }

@@ -28,7 +28,7 @@
 use crate::snapshot::{
     check_barrier, check_version, SnapshotError, Snapshottable, SNAPSHOT_VERSION,
 };
-use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, SignalLoss};
+use dcqcn::{CcAlgorithm, CcVariant, DcqcnParams, NotificationPoint, RedMarker, SignalLoss};
 use eventsim::{queue::reference, EventQueue, Rng, ScheduledEvent};
 use simtime::{Bandwidth, Dur, Time};
 use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder, SpanTracker};
@@ -203,7 +203,13 @@ enum Ev {
 #[derive(Clone)]
 struct FlowState {
     progress: JobProgress,
-    rp: dcqcn::DcqcnRp,
+    /// The flow's live congestion controller, built from its
+    /// [`CcVariant`] spec (mark-reactive family only — see the
+    /// constructor's delay-based rejection).
+    rp: Box<dyn CcAlgorithm>,
+    /// Whether the controller consumes communication-phase progress
+    /// ([`CcVariant::wants_progress`]).
+    wants_progress: bool,
     np: NotificationPoint,
     /// Bytes of the current phase not yet emitted as packets.
     to_send: f64,
@@ -312,7 +318,8 @@ impl<R: Recorder> PacketSimulator<R> {
                 );
                 FlowState {
                     progress,
-                    rp: j.variant.build_rp(params),
+                    rp: j.variant.build(params),
+                    wants_progress: j.variant.wants_progress(),
                     np: NotificationPoint::new(cfg.base_params.cnp_interval),
                     to_send: 0.0,
                     rp_clock: Time::ZERO,
@@ -460,7 +467,12 @@ impl<R: Recorder> PacketSimulator<R> {
         let f = &mut self.flows[i];
         let dt = now.saturating_since(f.rp_clock);
         if !dt.is_zero() {
-            f.rp.advance(dt, f.sent_since_advance);
+            if f.wants_progress && f.progress.is_communicating() {
+                let total = f.progress.comm_bytes_per_iteration();
+                let sent = total - f.progress.remaining_bytes();
+                f.rp.on_phase_progress(sent / total);
+            }
+            f.rp.advance(dt, f.sent_since_advance, Dur::ZERO);
             f.sent_since_advance = 0.0;
             f.rp_clock = now;
         }
@@ -691,6 +703,7 @@ impl<R: Recorder> PacketSimulator<R> {
                     let finished = f.progress.deliver(mtu, deliver_at.max(now)).is_some();
                     if finished {
                         f.to_send = 0.0;
+                        f.rp.on_iteration_end();
                         let poll_at = f
                             .progress
                             .next_self_transition()

@@ -16,7 +16,9 @@
 //! single-bottleneck; multi-link topologies are the fluid engine's job).
 
 use crate::snapshot::{check_version, SnapshotError, Snapshottable, SNAPSHOT_VERSION};
-use dcqcn::{CcVariant, DcqcnParams, NotificationPoint, RedMarker, RpStage, SignalLoss};
+use dcqcn::{
+    CcAlgorithm, CcVariant, DcqcnParams, NotificationPoint, RedMarker, RpStage, SignalLoss,
+};
 use eventsim::{Rng, TimeSeries};
 use simtime::{Bandwidth, Dur, Time};
 use telemetry::{CcState, Event, NoopRecorder, Phase, Recorder, SpanTracker};
@@ -133,47 +135,26 @@ impl RateJob {
     }
 }
 
-/// A job's congestion controller: DCQCN (ECN/CNP-driven) or the
-/// delay-based Swift-style alternative.
-#[derive(Clone)]
-enum Controller {
-    Dcqcn(dcqcn::DcqcnRp),
-    Swift(dcqcn::SwiftRp),
-}
-
-impl Controller {
-    fn rate(&self) -> f64 {
-        match self {
-            Controller::Dcqcn(rp) => rp.rate(),
-            Controller::Swift(rp) => rp.rate(),
-        }
-    }
-
-    /// Telemetry tag for the controller's current increase regime.
-    fn cc_state(&self) -> CcState {
-        match self {
-            Controller::Dcqcn(rp) => match rp.stage() {
-                RpStage::FastRecovery => CcState::FastRecovery,
-                RpStage::AdditiveIncrease => CcState::AdditiveIncrease,
-                RpStage::HyperIncrease => CcState::HyperIncrease,
-            },
-            Controller::Swift(_) => CcState::Delay,
-        }
-    }
-
-    fn restart(&mut self) {
-        match self {
-            Controller::Dcqcn(rp) => rp.restart(),
-            Controller::Swift(rp) => rp.restart(),
-        }
+/// Telemetry tag for a controller's current increase regime: DCQCN's
+/// stage machinery when it has one, the delay tag otherwise.
+pub(crate) fn cc_state_of(cc: &dyn CcAlgorithm) -> CcState {
+    match cc.stage() {
+        Some(RpStage::FastRecovery) => CcState::FastRecovery,
+        Some(RpStage::AdditiveIncrease) => CcState::AdditiveIncrease,
+        Some(RpStage::HyperIncrease) => CcState::HyperIncrease,
+        None => CcState::Delay,
     }
 }
 
 #[derive(Clone)]
 struct JobState {
     progress: JobProgress,
-    cc: Controller,
+    /// The job's live congestion controller, built from its
+    /// [`CcVariant`] spec.
+    cc: Box<dyn CcAlgorithm>,
     np: NotificationPoint,
+    /// Whether the controller consumes communication-phase progress
+    /// ([`CcVariant::wants_progress`]).
     adaptive: bool,
     /// Bytes of the current phase not yet placed into the link queue.
     to_inject: f64,
@@ -280,11 +261,7 @@ impl<R: Recorder> RateSimulator<R> {
             .iter()
             .map(|j| {
                 let params = cfg.base_params.with_line_rate(cfg.capacity);
-                let cc = if j.variant.is_delay_based() {
-                    Controller::Swift(j.variant.build_swift(cfg.capacity))
-                } else {
-                    Controller::Dcqcn(j.variant.build_rp(params))
-                };
+                let cc = j.variant.build(params);
                 JobState {
                     progress: JobProgress::with_noise(
                         j.spec,
@@ -294,7 +271,7 @@ impl<R: Recorder> RateSimulator<R> {
                     ),
                     cc,
                     np: NotificationPoint::new(cfg.base_params.cnp_interval),
-                    adaptive: j.variant.is_adaptive(),
+                    adaptive: j.variant.wants_progress(),
                     to_inject: 0.0,
                     backlog: 0.0,
                     traced_bytes: 0.0,
@@ -559,9 +536,9 @@ impl<R: Recorder> RateSimulator<R> {
         // and fire when it crosses the threshold. Marks suppressed by CNP
         // pacing are dropped, as NP hardware coalesces them.
         for (i, js) in self.jobs.iter_mut().enumerate() {
-            let Controller::Dcqcn(rp) = &mut js.cc else {
+            if !js.cc.reacts_to_marks() {
                 continue;
-            };
+            }
             if delivered[i] > 0.0 {
                 let packets = delivered[i] / self.cfg.mtu_bytes;
                 js.expected_marks += packets * self.cfg.marker.mark_probability(standing_queue);
@@ -595,7 +572,7 @@ impl<R: Recorder> RateSimulator<R> {
                                 self.rec.record(t_end, Event::CnpSent { flow: i as u32 });
                             }
                             if !cnp_lost {
-                                rp.on_cnp();
+                                js.cc.on_cnp();
                                 if R::ENABLED {
                                     // NP→RP notification is modeled as
                                     // zero-delay, so send and receipt land
@@ -606,7 +583,7 @@ impl<R: Recorder> RateSimulator<R> {
                                         t_end,
                                         Event::RateChange {
                                             flow: i as u32,
-                                            bps: rp.rate(),
+                                            bps: js.cc.rate(),
                                             state: CcState::Cut,
                                         },
                                     );
@@ -625,17 +602,12 @@ impl<R: Recorder> RateSimulator<R> {
         for (i, js) in self.jobs.iter_mut().enumerate() {
             let communicating = js.progress.is_communicating();
             let rate_before = js.cc.rate();
-            match &mut js.cc {
-                Controller::Dcqcn(rp) => {
-                    if js.adaptive && communicating {
-                        let total = js.progress.comm_bytes_per_iteration();
-                        let sent = total - js.progress.remaining_bytes();
-                        rp.set_phase_progress(sent / total);
-                    }
-                    rp.advance(dt, delivered[i]);
-                }
-                Controller::Swift(rp) => rp.advance(dt, queue_delay),
+            if js.adaptive && communicating {
+                let total = js.progress.comm_bytes_per_iteration();
+                let sent = total - js.progress.remaining_bytes();
+                js.cc.on_phase_progress(sent / total);
             }
+            js.cc.advance(dt, delivered[i], queue_delay);
             // A communicating flow whose controlled rate moved this step
             // is still converging: keep the stepper fine. (Computing
             // flows' clocks replay exactly at any dt, so their motion
@@ -653,11 +625,7 @@ impl<R: Recorder> RateSimulator<R> {
                     // Iteration finished: residual float dust is discarded.
                     js.to_inject = 0.0;
                     js.backlog = 0.0;
-                    if js.adaptive {
-                        if let Controller::Dcqcn(rp) = &mut js.cc {
-                            rp.clear_boost();
-                        }
-                    }
+                    js.cc.on_iteration_end();
                 }
                 // Iteration end — or, for pipelined jobs, a mid-iteration
                 // gap between communication segments — returns the job to
@@ -724,7 +692,7 @@ impl<R: Recorder> RateSimulator<R> {
                         Event::RateChange {
                             flow: i as u32,
                             bps: js.cc.rate(),
-                            state: js.cc.cc_state(),
+                            state: cc_state_of(js.cc.as_ref()),
                         },
                     );
                 }
@@ -815,12 +783,8 @@ impl<R: Recorder> RateSimulator<R> {
     pub fn set_cc_variant(&mut self, i: usize, variant: CcVariant) {
         let params = self.cfg.base_params.with_line_rate(self.cfg.capacity);
         let js = &mut self.jobs[i];
-        js.cc = if variant.is_delay_based() {
-            Controller::Swift(variant.build_swift(self.cfg.capacity))
-        } else {
-            Controller::Dcqcn(variant.build_rp(params))
-        };
-        js.adaptive = variant.is_adaptive();
+        js.cc = variant.build(params);
+        js.adaptive = variant.wants_progress();
         js.np.reset();
     }
 

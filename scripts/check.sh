@@ -230,4 +230,39 @@ awk -v s="$SH_SPEEDUP" -v i="$SH_IDENT" -v m="$SH_STATS" -v b="$SH_BUDGET" \
 }
 echo "sharded paper-scale run ${SH_SPEEDUP}x faster than the global solve, byte-identical"
 
+echo "== variants zoo gate (determinism, mltcp-beats-fair, wall-clock budget) =="
+# The seven-cell controller matrix must be byte-identical across worker
+# counts and shard counts, the MLTCP-style cell must beat fair on mean
+# iteration time (the paper-adjacent claim BENCH_variants.json records),
+# and the sweep must stay inside its wall-clock budget. The pinned golden
+# summary (tests/goldens/variants.json) is gated by run_summary_golden
+# above.
+mkdir -p "$GATE/var"
+VAR_T0=$(date +%s.%N)
+# "wrote <path>" lines name the (differing) output files; the sweep
+# table above them must be byte-identical.
+"$BIN" variants --iterations 12 --jobs 1 --trace "$GATE/var/j1.jsonl" \
+    --summary-dir "$GATE/var" | grep -v '^wrote ' > "$GATE/var/stdout_j1.txt"
+VAR_WALL=$(awk -v t0="$VAR_T0" -v t1="$(date +%s.%N)" 'BEGIN { print t1 - t0 }')
+"$BIN" variants --iterations 12 --jobs 4 --trace "$GATE/var/j4.jsonl" \
+    | grep -v '^wrote ' > "$GATE/var/stdout_j4.txt"
+"$BIN" variants --iterations 12 --shards 4 --trace "$GATE/var/s4.jsonl" \
+    > /dev/null
+cmp "$GATE/var/j1.jsonl" "$GATE/var/j4.jsonl"
+cmp "$GATE/var/j1.jsonl" "$GATE/var/s4.jsonl"
+diff "$GATE/var/stdout_j1.txt" "$GATE/var/stdout_j4.txt"
+MLTCP=$(grep -o '"mltcp.speedup_vs_fair":[0-9.eE+-]*' \
+    "$GATE/var/BENCH_variants.json" | cut -d: -f2)
+awk -v s="$MLTCP" 'BEGIN { exit !(s >= 1.05) }' || {
+    echo "variants: mltcp no longer beats fair (speedup_vs_fair=$MLTCP)" >&2
+    exit 1
+}
+VAR_BUDGET=60
+echo "variants sweep: ${VAR_WALL}s wall clock (budget ${VAR_BUDGET}s), mltcp ${MLTCP}x vs fair"
+awk -v w="$VAR_WALL" -v b="$VAR_BUDGET" 'BEGIN { exit !(w <= b) }' || {
+    echo "variants sweep blew the ${VAR_BUDGET}s wall-clock budget: ${VAR_WALL}s" >&2
+    exit 1
+}
+echo "zoo sweep byte-identical across --jobs/--shards, mltcp beats fair"
+
 echo "OK"

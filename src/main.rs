@@ -546,6 +546,60 @@ fn run_table1(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
     m
 }
 
+fn run_variants(o: &Opts, rec: Option<&mut CliRecorder>) -> BenchMetrics {
+    let mut cfg = exp::variants::VariantsConfig::default();
+    cfg.fig1.iterations = o.iterations.unwrap_or(30);
+    cfg.fig1.chaos = o.chaos;
+    println!(
+        "== Congestion-control zoo ({} cells, {} iterations each) ==",
+        cfg.cells.len(),
+        cfg.fig1.iterations
+    );
+    let r = match rec {
+        Some(rec) => exp::variants::run_traced(&cfg, rec),
+        None => exp::variants::run(&cfg),
+    };
+    println!("{}", r.render());
+    if let Some(dir) = &o.csv {
+        let mut rows = vec![vec![
+            "variant".to_string(),
+            "mean_iter_ms".to_string(),
+            "median_iter_ms".to_string(),
+            "jain".to_string(),
+            "time_to_interleave_ms".to_string(),
+        ]];
+        for v in &r.outcomes {
+            rows.push(vec![
+                v.name.clone(),
+                format!("{:.3}", v.mean_iter_ms),
+                format!("{:.3}", v.median_iter_ms),
+                format!("{:.4}", v.jain),
+                v.time_to_interleave_ms
+                    .map_or("-1".to_string(), |ms| format!("{ms:.1}")),
+            ]);
+        }
+        let p =
+            export::write_csv(dir, "variants.csv", &export::rows_csv(&rows)).expect("write CSV");
+        println!("wrote {}", p.display());
+    }
+    let mut m = BenchMetrics::new();
+    for v in &r.outcomes {
+        m.push((format!("{}.mean_iter_ms", v.name), v.mean_iter_ms));
+        m.push((format!("{}.median_iter_ms", v.name), v.median_iter_ms));
+        m.push((format!("{}.jain", v.name), v.jain));
+        m.push((
+            format!("{}.time_to_interleave_ms", v.name),
+            v.time_to_interleave_ms.unwrap_or(-1.0),
+        ));
+        if v.name != "fair" {
+            if let Some(s) = r.speedup_vs_fair(&v.name) {
+                m.push((format!("{}.speedup_vs_fair", v.name), s));
+            }
+        }
+    }
+    m
+}
+
 fn run_geometry(_o: &Opts) -> BenchMetrics {
     println!("== Figs. 3–5 ==");
     let f3 = exp::geometry_demo::fig3(6);
@@ -1476,7 +1530,7 @@ fn finish_live(opts: &Opts, outcome: &WatchOutcome) -> Result<bool, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mlcc-repro <fig1|fig2|table1|geometry|adaptive|priority|flowsched|cluster|\
+        "usage: mlcc-repro <fig1|fig2|table1|variants|geometry|adaptive|priority|flowsched|cluster|\
          pipelining|chaos|snapshot|shard|all> [--iterations N] [--jobs N] [--shards N]\n\
          \x20      [--csv DIR] [--trace FILE]\n\
          \x20      [--metrics] [--profile] [--report FILE] [--summary FILE] [--summary-dir DIR]\n\
@@ -1587,6 +1641,7 @@ fn main() -> ExitCode {
             "fig1" => run("fig1", &mut rec, &run_fig1),
             "fig2" => run("fig2", &mut rec, &run_fig2),
             "table1" => run("table1", &mut rec, &run_table1),
+            "variants" => run("variants", &mut rec, &run_variants),
             "geometry" => run("geometry", &mut rec, &|o, _| run_geometry(o)),
             "adaptive" => run("adaptive", &mut rec, &run_adaptive),
             "priority" => run("priority", &mut rec, &run_priority),

@@ -87,3 +87,47 @@ fn fig1_chaos_summary_matches_committed_golden() {
         "stragglers golden is identical to the quiet golden — chaos had no effect"
     );
 }
+
+/// Same gate for the congestion-control zoo: the seven-cell variant
+/// matrix at a pinned iteration count must keep producing the committed
+/// summary. This pins the `CcAlgorithm` dispatch path for every variant
+/// family (wrapped MLTCP/policy controllers included) in one diff.
+#[test]
+fn variants_summary_matches_committed_golden() {
+    let golden =
+        RunSummary::from_json(include_str!("goldens/variants.json")).expect("golden parses");
+    // Exactly what `mlcc-repro variants --iterations 12 --summary …` runs
+    // (minus the CLI-only `config.hash` metric).
+    let mut cfg = mlcc::experiments::variants::VariantsConfig::default();
+    cfg.fig1.iterations = 12;
+    let mut rec = BufferRecorder::new();
+    mlcc::experiments::variants::run_traced(&cfg, &mut rec);
+    let current = analyze("variants", rec.events(), &AnalysisConfig::default()).summary();
+
+    assert_eq!(current.name, golden.name);
+    let report = diff(&golden, &current, &DiffConfig::default());
+    assert!(
+        report.is_clean(),
+        "variants drifted from the golden summary ({} compared):\n{}\
+         \nIf the change is intentional, regenerate with:\n  \
+         cargo run -- variants --iterations 12 --summary tests/goldens/variants.json\n  \
+         (then delete the \"config.hash\" line)",
+        report.compared,
+        report.render()
+    );
+    // The golden must keep exercising every zoo cell.
+    for cell in [
+        "variants_fair.",
+        "variants_static-unfair.",
+        "variants_adaptive.",
+        "variants_mltcp.",
+        "variants_policy-prop.",
+        "variants_policy-decay.",
+        "variants_swift.",
+    ] {
+        assert!(
+            golden.metrics.keys().any(|k| k.starts_with(cell)),
+            "golden lost cell {cell}"
+        );
+    }
+}

@@ -244,3 +244,104 @@ proptest! {
         );
     }
 }
+
+/// The congestion-control zoo's wrapped controllers (`Mltcp`'s progress
+/// bonus slot, `Policy`'s fairness boost) carry state of their own; a
+/// snapshot taken mid-slide — staggered pair, barrier inside the
+/// interleaving transient — must round-trip it byte-identically on both
+/// emergent engines.
+#[test]
+fn zoo_variant_controllers_round_trip_byte_identical() {
+    let spec = JobSpec::reference(Model::ResNet50, 400);
+    let pairs: [[CcVariant; 2]; 3] = [
+        [
+            CcVariant::Mltcp { bonus: 1.0 },
+            CcVariant::Mltcp { bonus: 1.0 },
+        ],
+        [
+            CcVariant::Policy {
+                policy: dcqcn::FairnessPolicy::BonusDecay {
+                    bonus: 1.0,
+                    decay: 2.0,
+                },
+            },
+            CcVariant::Policy {
+                policy: dcqcn::FairnessPolicy::Proportional { weight: 1.25 },
+            },
+        ],
+        [CcVariant::AdaptiveUnfair, CcVariant::Mltcp { bonus: 2.0 }],
+    ];
+    for (p, variants) in pairs.iter().enumerate() {
+        let mut jobs = [
+            RateJob::new(spec, variants[0]),
+            RateJob::new(spec, variants[1]),
+        ];
+        jobs[1].start_offset = Dur::from_millis(15);
+        round_trip!(
+            RateSimulator<&mut BufferRecorder>,
+            format!("rate/zoo-pair{p}"),
+            rec,
+            RateSimulator::with_recorder(RateSimConfig::default(), &jobs, rec)
+        );
+        let mut jobs = [
+            PacketJob::new(spec, variants[0]),
+            PacketJob::new(spec, variants[1]),
+        ];
+        jobs[1].start_offset = Dur::from_millis(15);
+        round_trip!(
+            PacketSimulator<&mut BufferRecorder>,
+            format!("packet/zoo-pair{p}"),
+            rec,
+            PacketSimulator::with_recorder(PacketSimConfig::default(), &jobs, rec)
+        );
+    }
+    // Swift is rate-engine only (delay-based; no packet marking model).
+    let swift = CcVariant::Swift {
+        target_delay: Dur::from_micros(30),
+    };
+    let jobs = [RateJob::new(spec, swift), RateJob::new(spec, swift)];
+    round_trip!(
+        RateSimulator<&mut BufferRecorder>,
+        "rate/zoo-swift",
+        rec,
+        RateSimulator::with_recorder(RateSimConfig::default(), &jobs, rec)
+    );
+}
+
+/// A snapshot carrying wrapped-controller state is still guarded by the
+/// layout version: bumping it yields the typed mismatch, not a mangled
+/// restore.
+#[test]
+fn zoo_variant_snapshot_rejects_version_bump() {
+    use netsim::snapshot::{SnapshotError, SNAPSHOT_VERSION};
+    let spec = JobSpec::reference(Model::ResNet50, 400);
+    let jobs = [
+        RateJob::new(spec, CcVariant::Mltcp { bonus: 1.0 }),
+        RateJob::new(
+            spec,
+            CcVariant::Policy {
+                policy: dcqcn::FairnessPolicy::BonusDecay {
+                    bonus: 1.0,
+                    decay: 2.0,
+                },
+            },
+        ),
+    ];
+    let mut sim = RateSimulator::new(RateSimConfig::default(), &jobs);
+    sim.run_until(BARRIER);
+    let snap = sim
+        .snapshot()
+        .expect("clean barrier")
+        .with_version(SNAPSHOT_VERSION + 1);
+    let err = match RateSimulator::restore(snap, telemetry::NoopRecorder) {
+        Ok(_) => panic!("bumped version restored"),
+        Err(e) => e,
+    };
+    assert_eq!(
+        err,
+        SnapshotError::VersionMismatch {
+            expected: SNAPSHOT_VERSION,
+            found: SNAPSHOT_VERSION + 1,
+        }
+    );
+}
